@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Regenerates Fig. 6: distribution of how many CSHR insertions elapse
+ * before a comparison resolves, in data caching. A pair needing fewer
+ * than N intervening insertions would resolve inside an N-entry
+ * fully-associative LRU CSHR; the paper picks 256 entries because
+ * ~70% of comparisons complete within that budget.
+ */
+
+#include "bench_util.hh"
+#include "core/filtered_icache.hh"
+
+using namespace acic;
+using namespace acic::bench;
+
+int
+main()
+{
+    auto params = Workloads::byName("data_caching");
+    params.instructions = benchTraceLength();
+    WorkloadContext context(params);
+
+    CshrLifetimeProfiler profiler;
+    auto org = makeAcicOrg(context.config(), PredictorConfig{},
+                           CshrConfig{});
+    auto *admission =
+        dynamic_cast<AcicAdmission *>(&org->admission());
+    admission->setLifetimeProfiler(&profiler);
+    context.run(*org);
+    profiler.finalize();
+
+    const Histogram &hist = profiler.distribution();
+    TablePrinter table("Fig. 6: comparisons resolved within N CSHR "
+                       "insertions (data caching)");
+    table.setHeader({"insertions until resolution", "percent",
+                     "cumulative"});
+    double cumulative = 0.0;
+    for (std::size_t b = 0; b < hist.buckets(); ++b) {
+        cumulative += hist.percent(b);
+        table.addRow({hist.label(b),
+                      TablePrinter::fmt(hist.percent(b), 2) + "%",
+                      TablePrinter::fmt(cumulative, 2) + "%"});
+    }
+    table.addNote("paper: 31.43% within 50, ~70% within 256 entries, "
+                  "23.13% unresolved (InF)");
+    table.print();
+    return 0;
+}

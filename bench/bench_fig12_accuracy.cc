@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Regenerates Fig. 12a (ACIC bypass accuracy restricted to decisions
+ * where at least one of the two blocks is re-referenced within a
+ * distance bound) and Fig. 12b (MPKI reduction of a 60%-accurate
+ * random bypass vs. ACIC).
+ */
+
+#include "bench_util.hh"
+
+using namespace acic;
+using namespace acic::bench;
+
+int
+main()
+{
+    auto runs = buildBaselines(Workloads::datacenter());
+
+    // Fig. 12a: accumulate range-restricted accuracy across runs.
+    static const std::uint64_t kRanges[] = {2048, 1024, 512, 256,
+                                            128};
+    std::uint64_t all_total = 0, all_correct = 0;
+    std::map<std::uint64_t, std::pair<std::uint64_t, std::uint64_t>>
+        by_range;
+    std::vector<double> red_acic, red_random;
+
+    TablePrinter fig12b("Fig. 12b: MPKI reduction, random 60% bypass "
+                        "vs ACIC (over LRU+FDP)");
+    fig12b.setHeader({"workload", "Random bypass", "ACIC"});
+
+    for (auto &run : runs) {
+        const SimResult acic = run.context->run(Scheme::Acic);
+        const SimResult random =
+            run.context->run(Scheme::RandomBypass);
+        all_total += acic.orgStats.get("acic.decisions");
+        all_correct += acic.orgStats.get("acic.decisions_correct");
+        for (const std::uint64_t r : kRanges) {
+            by_range[r].first += acic.orgStats.get(
+                "acic.decisions_r" + std::to_string(r));
+            by_range[r].second += acic.orgStats.get(
+                "acic.correct_r" + std::to_string(r));
+        }
+        red_acic.push_back(mpkiReductionOf(run.baseline, acic));
+        red_random.push_back(mpkiReductionOf(run.baseline, random));
+        fig12b.addRow({run.name,
+                       TablePrinter::pct(red_random.back(), 1),
+                       TablePrinter::pct(red_acic.back(), 1)});
+    }
+
+    TablePrinter fig12a("Fig. 12a: avg ACIC bypass accuracy by "
+                        "reuse-distance range");
+    fig12a.setHeader({"range", "accuracy"});
+    fig12a.addRow({"[0, InF)",
+                   TablePrinter::pct(
+                       all_total == 0
+                           ? 0.0
+                           : static_cast<double>(all_correct) /
+                                 static_cast<double>(all_total),
+                       1)});
+    for (const std::uint64_t r : {2048ull, 1024ull, 512ull, 256ull,
+                                  128ull}) {
+        const auto &[total, correct] = by_range[r];
+        fig12a.addRow({"[0, " + std::to_string(r) + ")",
+                       TablePrinter::pct(
+                           total == 0
+                               ? 0.0
+                               : static_cast<double>(correct) /
+                                     static_cast<double>(total),
+                           1)});
+    }
+    fig12a.addNote("paper: 60.89% overall, rising toward ~78% for "
+                   "[0,128) -- accuracy matters where a block is "
+                   "re-referenced soon");
+    fig12a.print();
+
+    fig12b.addRow({"Avg", TablePrinter::pct(mean(red_random), 1),
+                   TablePrinter::pct(mean(red_acic), 1)});
+    fig12b.addNote("paper: random-60% achieves 7.65% reduction, "
+                   "42.17% of ACIC's 18.14%");
+    fig12b.print();
+    return 0;
+}

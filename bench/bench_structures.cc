@@ -1,0 +1,111 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks of the hardware-structure models:
+ * per-operation cost of the set-associative lookup, i-Filter probe,
+ * CSHR search, two-level predictor, and the synthetic trace
+ * generator. These guard the simulator's own performance (host-side),
+ * not the simulated machine.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "cache/lru.hh"
+#include "cache/set_assoc.hh"
+#include "common/rng.hh"
+#include "core/admission_predictor.hh"
+#include "core/cshr.hh"
+#include "core/ifilter.hh"
+#include "trace/synthetic.hh"
+#include "trace/workload_params.hh"
+
+using namespace acic;
+
+namespace {
+
+void
+BM_SetAssocLookup(benchmark::State &state)
+{
+    SetAssocCache cache(64, 8, std::make_unique<LruPolicy>());
+    Rng rng(7);
+    for (int i = 0; i < 4096; ++i) {
+        CacheAccess access;
+        access.blk = rng.nextBelow(2048);
+        cache.fill(access);
+    }
+    for (auto _ : state) {
+        CacheAccess access;
+        access.blk = rng.nextBelow(2048);
+        benchmark::DoNotOptimize(cache.lookup(access));
+    }
+}
+BENCHMARK(BM_SetAssocLookup);
+
+void
+BM_IFilterProbe(benchmark::State &state)
+{
+    IFilter filter(16);
+    Rng rng(11);
+    for (int i = 0; i < 64; ++i) {
+        CacheAccess access;
+        access.blk = rng.nextBelow(64);
+        filter.insert(access);
+    }
+    for (auto _ : state) {
+        CacheAccess access;
+        access.blk = rng.nextBelow(64);
+        benchmark::DoNotOptimize(filter.lookup(access));
+    }
+}
+BENCHMARK(BM_IFilterProbe);
+
+void
+BM_CshrSearch(benchmark::State &state)
+{
+    Cshr cshr;
+    Rng rng(13);
+    for (int i = 0; i < 256; ++i)
+        cshr.insert(rng.next(), rng.next(),
+                    static_cast<std::uint32_t>(rng.nextBelow(64)));
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(cshr.search(
+            rng.next(),
+            static_cast<std::uint32_t>(rng.nextBelow(64))));
+    }
+}
+BENCHMARK(BM_CshrSearch);
+
+void
+BM_PredictorTrain(benchmark::State &state)
+{
+    AdmissionPredictor predictor;
+    Rng rng(17);
+    Cycle now = 0;
+    for (auto _ : state) {
+        const auto tag =
+            static_cast<std::uint32_t>(rng.nextBelow(4096));
+        predictor.train(tag, rng.chance(0.5), now);
+        predictor.tick(now);
+        ++now;
+        benchmark::DoNotOptimize(predictor.predict(tag));
+    }
+}
+BENCHMARK(BM_PredictorTrain);
+
+void
+BM_TraceGeneration(benchmark::State &state)
+{
+    auto params = Workloads::byName("media_streaming");
+    params.instructions = 1u << 20;
+    SyntheticWorkload trace(params);
+    TraceInst inst;
+    for (auto _ : state) {
+        if (!trace.next(inst))
+            trace.reset();
+        benchmark::DoNotOptimize(inst.pc);
+    }
+}
+BENCHMARK(BM_TraceGeneration);
+
+} // namespace
+
+BENCHMARK_MAIN();

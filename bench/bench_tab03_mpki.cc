@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Prints Table II (simulation parameters) and regenerates Table III:
+ * baseline (LRU + fetch-directed prefetching) L1i MPKI of the ten
+ * datacenter applications, next to the paper's reported values.
+ */
+
+#include "bench_util.hh"
+
+using namespace acic;
+using namespace acic::bench;
+
+int
+main()
+{
+    const SimConfig config;
+    TablePrinter tab2("Table II: simulation parameters");
+    tab2.setHeader({"parameter", "value"});
+    tab2.addRow({"Fetch width",
+                 std::to_string(config.fetchWidth) + "-wide, " +
+                     std::to_string(config.ftqEntries) +
+                     "-entry FTQ"});
+    tab2.addRow({"Decode queue",
+                 std::to_string(config.decodeQueueEntries) +
+                     " entries"});
+    tab2.addRow({"BTB", std::to_string(config.btbEntries) +
+                            "-entry, " +
+                            std::to_string(config.btbWays) + "-way"});
+    tab2.addRow({"Branch predictor", "TAGE"});
+    tab2.addRow({"L1 I-Cache",
+                 "32KB, 8-way, " + std::to_string(config.l1iMshrs) +
+                     " MSHRs"});
+    tab2.addRow({"L2",
+                 "512KB, 8-way, " +
+                     std::to_string(config.hierarchy.l2Latency) +
+                     "-cycle"});
+    tab2.addRow({"L3",
+                 "2MB, 16-way, " +
+                     std::to_string(config.hierarchy.l3Latency) +
+                     "-cycle"});
+    tab2.addRow({"DRAM", "+" +
+                             std::to_string(
+                                 config.hierarchy.dramLatency) +
+                             " cycles"});
+    tab2.addRow({"Prefetcher", "fetch-directed (FDP)"});
+    tab2.print();
+
+    auto runs = buildBaselines(Workloads::datacenter());
+    TablePrinter tab3(
+        "Table III: baseline L1i MPKI (LRU + FDP)");
+    tab3.setHeader({"workload", "measured MPKI", "paper MPKI",
+                    "IPC", "br-misp/ki"});
+    for (auto &run : runs) {
+        const auto params = Workloads::byName(run.name);
+        tab3.addRow(
+            {run.name, TablePrinter::fmt(run.baseline.mpki(), 1),
+             TablePrinter::fmt(params.paperMpki, 1),
+             TablePrinter::fmt(run.baseline.ipc(), 2),
+             TablePrinter::fmt(
+                 1000.0 *
+                     static_cast<double>(
+                         run.baseline.branchMispredicts) /
+                     static_cast<double>(run.baseline.instructions),
+                 1)});
+    }
+    tab3.addNote("absolute MPKI differs from the paper's testbed; "
+                 "the cross-workload ordering is the reproduced "
+                 "property");
+    tab3.print();
+    return 0;
+}

@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Shared plumbing for the figure/table regeneration binaries: run a
+ * scheme sweep over the datacenter workloads, compute speedups against
+ * the LRU+FDP baseline, and print paper-shaped tables.
+ */
+
+#ifndef ACIC_BENCH_BENCH_UTIL_HH
+#define ACIC_BENCH_BENCH_UTIL_HH
+
+#include <cmath>
+#include <cstdio>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/table.hh"
+#include "sim/runner.hh"
+
+namespace acic::bench {
+
+/** Default per-workload trace length for bench sweeps. */
+inline std::uint64_t
+benchTraceLength()
+{
+    if (const char *env = std::getenv("ACIC_TRACE_LEN")) {
+        const long long v = std::atoll(env);
+        if (v > 1000)
+            return static_cast<std::uint64_t>(v);
+    }
+    return 2'000'000;
+}
+
+/** One workload's context plus its baseline run. */
+struct WorkloadRun
+{
+    std::string name;
+    std::unique_ptr<WorkloadContext> context;
+    SimResult baseline;
+};
+
+/** Build contexts and LRU+FDP baselines for a preset collection. */
+inline std::vector<WorkloadRun>
+buildBaselines(std::vector<WorkloadParams> presets,
+               const SimConfig &config = {},
+               Scheme baseline = Scheme::BaselineLru)
+{
+    std::vector<WorkloadRun> runs;
+    for (auto &params : presets) {
+        params.instructions = benchTraceLength();
+        WorkloadRun run;
+        run.name = params.name;
+        run.context =
+            std::make_unique<WorkloadContext>(params, config);
+        run.baseline = run.context->run(baseline);
+        runs.push_back(std::move(run));
+    }
+    return runs;
+}
+
+inline double
+speedupOf(const SimResult &baseline, const SimResult &result)
+{
+    return static_cast<double>(baseline.cycles) /
+           static_cast<double>(result.cycles);
+}
+
+inline double
+mpkiReductionOf(const SimResult &baseline, const SimResult &result)
+{
+    if (baseline.mpki() == 0.0)
+        return 0.0;
+    return (baseline.mpki() - result.mpki()) / baseline.mpki();
+}
+
+inline double
+geomean(const std::vector<double> &values)
+{
+    if (values.empty())
+        return 0.0;
+    double log_sum = 0.0;
+    for (const double v : values)
+        log_sum += std::log(v);
+    return std::exp(log_sum / static_cast<double>(values.size()));
+}
+
+inline double
+mean(const std::vector<double> &values)
+{
+    if (values.empty())
+        return 0.0;
+    double sum = 0.0;
+    for (const double v : values)
+        sum += v;
+    return sum / static_cast<double>(values.size());
+}
+
+/**
+ * Run a scheme across all workloads and return per-workload results
+ * keyed by workload name.
+ */
+inline std::map<std::string, SimResult>
+runScheme(std::vector<WorkloadRun> &runs, Scheme scheme)
+{
+    std::map<std::string, SimResult> out;
+    for (auto &run : runs)
+        out[run.name] = run.context->run(scheme);
+    return out;
+}
+
+} // namespace acic::bench
+
+#endif // ACIC_BENCH_BENCH_UTIL_HH

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Direct cache-bypass policies (no i-Filter in front): consulted at
+ * demand-fill time to decide whether the incoming block should skip
+ * the i-cache entirely. The paper compares ACIC against DSB [23] and
+ * OBM [58], both originally proposed for last-level caches.
+ */
+
+#ifndef ACIC_BYPASS_BYPASS_HH
+#define ACIC_BYPASS_BYPASS_HH
+
+#include <cstdint>
+#include <string>
+
+#include "cache/cache_types.hh"
+#include "cache/set_assoc.hh"
+
+namespace acic {
+
+/** See file comment. */
+class BypassPolicy
+{
+  public:
+    virtual ~BypassPolicy() = default;
+
+    /**
+     * Decide the fate of an incoming fill.
+     * @param incoming the block being filled after a miss.
+     * @param cache the L1i it would enter (for victim inspection).
+     * @return true to bypass (do not insert).
+     */
+    virtual bool shouldBypass(const CacheAccess &incoming,
+                              SetAssocCache &cache) = 0;
+
+    /** Observe every demand access (training). */
+    virtual void
+    onDemandAccess(const CacheAccess &access, SetAssocCache &cache)
+    {
+        (void)access;
+        (void)cache;
+    }
+
+    virtual std::string name() const = 0;
+
+    virtual std::uint64_t storageBits() const { return 0; }
+};
+
+} // namespace acic
+
+#endif // ACIC_BYPASS_BYPASS_HH

@@ -1,0 +1,79 @@
+#include "bypass/dsb.hh"
+
+namespace acic {
+
+DsbBypass::DsbBypass(std::uint64_t seed)
+    : rng_(seed), level_(5, 16), duels_(kDuelMonitors)
+{
+}
+
+std::uint16_t
+DsbBypass::tag16(BlockAddr blk)
+{
+    return static_cast<std::uint16_t>(blk ^ (blk >> 16) ^
+                                      (blk >> 32));
+}
+
+double
+DsbBypass::bypassProbability() const
+{
+    return static_cast<double>(level_.value()) / kLevels;
+}
+
+bool
+DsbBypass::shouldBypass(const CacheAccess &incoming,
+                        SetAssocCache &cache)
+{
+    const bool bypass = rng_.chance(bypassProbability());
+    if (!bypass)
+        return false;
+
+    // Open a duel: the bypassed block vs. the line it spared.
+    const std::uint32_t set = cache.setOf(incoming.blk);
+    Duel &duel = duels_[set % duels_.size()];
+    if (!duel.active) {
+        CacheAccess probe = incoming;
+        const std::uint32_t way = cache.victimWay(probe);
+        if (cache.lineAt(set, way).valid) {
+            duel.active = true;
+            duel.bypassedTag = tag16(incoming.blk);
+            duel.set = set;
+            duel.sparedWay = static_cast<std::uint8_t>(way);
+        }
+    }
+    return true;
+}
+
+void
+DsbBypass::onDemandAccess(const CacheAccess &access,
+                          SetAssocCache &cache)
+{
+    const std::uint32_t set = cache.setOf(access.blk);
+    Duel &duel = duels_[set % duels_.size()];
+    if (!duel.active || duel.set != set)
+        return;
+
+    if (tag16(access.blk) == duel.bypassedTag) {
+        // The bypassed block came back first: bypassing hurt.
+        level_.decrement();
+        duel.active = false;
+        return;
+    }
+    const CacheLine &spared =
+        cache.lineAt(set, duel.sparedWay);
+    if (spared.valid && spared.blk == access.blk) {
+        // The spared line was re-used first: bypassing helped.
+        level_.increment();
+        duel.active = false;
+    }
+}
+
+std::uint64_t
+DsbBypass::storageBits() const
+{
+    // Tracked tag + set/way bookkeeping per monitor + the level.
+    return kDuelMonitors * (16 + 6 + 3) + 5 +
+           static_cast<std::uint64_t>(0.44 * 1024 * 8);
+}
+
+} // namespace acic

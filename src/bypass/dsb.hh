@@ -1,0 +1,60 @@
+/**
+ * @file
+ * DSB -- Dueling Segmented LRU with adaptive Bypassing (Gao &
+ * Wilkerson, JWAC cache championship 2010). Incoming blocks are
+ * bypassed with an adaptive probability; *duels* between a bypassed
+ * block and the line it spared decide whether bypassing helped, and
+ * the outcome tunes the probability. Per Table IV: 16-bit tracked
+ * line tag, 3-bit competitor way, sampled duel monitors = 0.48 KB.
+ */
+
+#ifndef ACIC_BYPASS_DSB_HH
+#define ACIC_BYPASS_DSB_HH
+
+#include <vector>
+
+#include "bypass/bypass.hh"
+#include "common/rng.hh"
+#include "common/sat_counter.hh"
+
+namespace acic {
+
+/** See file comment. */
+class DsbBypass : public BypassPolicy
+{
+  public:
+    explicit DsbBypass(std::uint64_t seed = 0xD5B);
+
+    bool shouldBypass(const CacheAccess &incoming,
+                      SetAssocCache &cache) override;
+    void onDemandAccess(const CacheAccess &access,
+                        SetAssocCache &cache) override;
+    std::string name() const override { return "DSB"; }
+    std::uint64_t storageBits() const override;
+
+    /** Current bypass probability (tests / instrumentation). */
+    double bypassProbability() const;
+
+  private:
+    /** One in-flight duel: bypassed block vs. the spared line. */
+    struct Duel
+    {
+        bool active = false;
+        std::uint16_t bypassedTag = 0;
+        std::uint32_t set = 0;
+        std::uint8_t sparedWay = 0;
+    };
+
+    static std::uint16_t tag16(BlockAddr blk);
+
+    Rng rng_;
+    /** Adaptive level: bypass probability = level / kLevels. */
+    SatCounter level_;
+    std::vector<Duel> duels_;
+    static constexpr unsigned kLevels = 32;
+    static constexpr std::size_t kDuelMonitors = 16;
+};
+
+} // namespace acic
+
+#endif // ACIC_BYPASS_DSB_HH

@@ -1,0 +1,90 @@
+#include "bypass/obm.hh"
+
+namespace acic {
+
+ObmBypass::ObmBypass(double sample_rate, std::uint64_t seed)
+    : sampleRate_(sample_rate), rng_(seed), rht_(kRhtEntries),
+      bdct_(kBdctEntries, SatCounter(4, 7))
+{
+}
+
+std::uint32_t
+ObmBypass::tag21(BlockAddr blk)
+{
+    return static_cast<std::uint32_t>((blk ^ (blk >> 21)) &
+                                      0x1fffff);
+}
+
+std::uint16_t
+ObmBypass::signatureOf(Addr pc) const
+{
+    const std::uint64_t v = pc >> 2;
+    return static_cast<std::uint16_t>((v ^ (v >> 10) ^ (v >> 20)) &
+                                      0x3ff);
+}
+
+bool
+ObmBypass::shouldBypass(const CacheAccess &incoming,
+                        SetAssocCache &cache)
+{
+    const std::uint16_t sig = signatureOf(incoming.pc);
+    const bool bypass =
+        bdct_[sig % kBdctEntries].atLeast(kBypassThreshold);
+
+    // Sample a duel between the incoming block and the victim the
+    // replacement policy would have chosen.
+    if (rng_.chance(sampleRate_)) {
+        CacheAccess probe = incoming;
+        const std::uint32_t set = cache.setOf(incoming.blk);
+        const std::uint32_t way = cache.victimWay(probe);
+        const CacheLine &victim = cache.lineAt(set, way);
+        if (victim.valid) {
+            RhtEntry *slot = nullptr;
+            std::uint64_t oldest = ~std::uint64_t{0};
+            for (auto &e : rht_) {
+                if (!e.valid) {
+                    slot = &e;
+                    break;
+                }
+                if (e.stamp < oldest) {
+                    oldest = e.stamp;
+                    slot = &e;
+                }
+            }
+            slot->valid = true;
+            slot->incomingTag = tag21(incoming.blk);
+            slot->victimTag = tag21(victim.blk);
+            slot->signature = sig;
+            slot->stamp = ++tick_;
+        }
+    }
+    return bypass;
+}
+
+void
+ObmBypass::onDemandAccess(const CacheAccess &access, SetAssocCache &)
+{
+    const std::uint32_t tag = tag21(access.blk);
+    for (auto &e : rht_) {
+        if (!e.valid)
+            continue;
+        if (e.incomingTag == tag) {
+            // Incoming block returned first: keeping it was right,
+            // so bypassing this signature should become less likely.
+            bdct_[e.signature % kBdctEntries].decrement();
+            e.valid = false;
+        } else if (e.victimTag == tag) {
+            // Victim returned first: bypassing would have kept it.
+            bdct_[e.signature % kBdctEntries].increment();
+            e.valid = false;
+        }
+    }
+}
+
+std::uint64_t
+ObmBypass::storageBits() const
+{
+    return kRhtEntries * (21 + 21 + 10) + kBdctEntries * 4 + 10;
+}
+
+} // namespace acic

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * OBM -- Optimal Bypass Monitor (Li et al., PACT 2012). A small
+ * Replacement History Table (RHT) samples (incoming, victim) pairs at
+ * fill time; whichever block of a sampled pair is re-accessed first
+ * decides whether bypassing would have been optimal, training a
+ * signature-indexed Bypass Decision Counter Table (BDCT). Per Table
+ * IV: 21-bit tags, 10-bit signature, 128-entry RHT, 1024-entry BDCT,
+ * 4-bit counters = 1.41 KB.
+ */
+
+#ifndef ACIC_BYPASS_OBM_HH
+#define ACIC_BYPASS_OBM_HH
+
+#include <vector>
+
+#include "bypass/bypass.hh"
+#include "common/rng.hh"
+#include "common/sat_counter.hh"
+
+namespace acic {
+
+/** See file comment. */
+class ObmBypass : public BypassPolicy
+{
+  public:
+    /** @param sample_rate fraction of fills that open an RHT duel. */
+    explicit ObmBypass(double sample_rate = 1.0 / 8.0,
+                       std::uint64_t seed = 0x0B3);
+
+    bool shouldBypass(const CacheAccess &incoming,
+                      SetAssocCache &cache) override;
+    void onDemandAccess(const CacheAccess &access,
+                        SetAssocCache &cache) override;
+    std::string name() const override { return "OBM"; }
+    std::uint64_t storageBits() const override;
+
+  private:
+    struct RhtEntry
+    {
+        bool valid = false;
+        std::uint32_t incomingTag = 0;
+        std::uint32_t victimTag = 0;
+        std::uint16_t signature = 0;
+        std::uint64_t stamp = 0;
+    };
+
+    static std::uint32_t tag21(BlockAddr blk);
+    std::uint16_t signatureOf(Addr pc) const;
+
+    double sampleRate_;
+    Rng rng_;
+    std::vector<RhtEntry> rht_;
+    std::vector<SatCounter> bdct_;
+    std::uint64_t tick_ = 0;
+    static constexpr std::size_t kRhtEntries = 128;
+    static constexpr std::size_t kBdctEntries = 1024;
+    /** Bypass when the counter clears this threshold (of 15). */
+    static constexpr std::uint32_t kBypassThreshold = 9;
+};
+
+} // namespace acic
+
+#endif // ACIC_BYPASS_OBM_HH

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Shared cache-side value types: the access descriptor threaded through
+ * every lookup/fill, and the per-line bookkeeping state.
+ */
+
+#ifndef ACIC_CACHE_CACHE_TYPES_HH
+#define ACIC_CACHE_CACHE_TYPES_HH
+
+#include <cstdint>
+
+#include "common/types.hh"
+
+namespace acic {
+
+/**
+ * One cache access. `seq` is the index in the demand block-access
+ * sequence and `nextUse` the oracle-provided index of this block's
+ * next demand access (kNeverAgain when absent); oracle fields are only
+ * populated when a run needs OPT / accuracy instrumentation.
+ */
+struct CacheAccess
+{
+    /** PC of the fetch group that generated this access. */
+    Addr pc = 0;
+    /** Block (line) address. */
+    BlockAddr blk = 0;
+    /** Demand-access sequence index (oracle key). */
+    std::uint64_t seq = 0;
+    /** Next demand access of this block, or kNeverAgain. */
+    std::uint64_t nextUse = kNeverAgain;
+    /** Current simulated cycle. */
+    Cycle cycle = 0;
+    /** True for prefetcher-generated fills/probes. */
+    bool isPrefetch = false;
+};
+
+/** State of one cache line (tag store entry). */
+struct CacheLine
+{
+    BlockAddr blk = 0;
+    bool valid = false;
+    /** Filled by a prefetch and not yet demanded. */
+    bool prefetched = false;
+    /** PC that caused the fill (policy signatures). */
+    Addr fillPc = 0;
+    /** Oracle next-use as of the last touch (OPT replacement). */
+    std::uint64_t nextUse = kNeverAgain;
+    /** Demand-sequence index of the last touch. */
+    std::uint64_t lastTouch = 0;
+};
+
+} // namespace acic
+
+#endif // ACIC_CACHE_CACHE_TYPES_HH

@@ -1,0 +1,165 @@
+#include "cache/ghrp.hh"
+
+#include "common/logging.hh"
+
+namespace acic {
+
+GhrpPolicy::GhrpPolicy(std::size_t table_entries, unsigned history_bits)
+    : tableEntries_(table_entries), historyBits_(history_bits)
+{
+    ACIC_ASSERT(table_entries >= 16 && (table_entries &
+                (table_entries - 1)) == 0,
+                "GHRP table entries must be a power of two");
+    ACIC_ASSERT(history_bits >= 4 && history_bits <= 32,
+                "GHRP history bits");
+    for (auto &table : tables_)
+        table.assign(tableEntries_, SatCounter(2, 0));
+}
+
+void
+GhrpPolicy::bind(std::uint32_t num_sets, std::uint32_t num_ways)
+{
+    ReplacementPolicy::bind(num_sets, num_ways);
+    meta_.assign(static_cast<std::size_t>(num_sets) * num_ways, {});
+}
+
+std::uint32_t
+GhrpPolicy::signatureOf(Addr pc) const
+{
+    // 16-bit fold of the accessing PC's block address.
+    const std::uint64_t v = pc >> kBlockShift;
+    return static_cast<std::uint32_t>(
+        (v ^ (v >> 16) ^ (v >> 32)) & 0xffff);
+}
+
+std::size_t
+GhrpPolicy::indexOf(std::uint32_t signature, std::size_t table) const
+{
+    // Three skewed hashes of (signature, history), one per table.
+    std::uint64_t x =
+        (static_cast<std::uint64_t>(signature) << 16) ^ history_;
+    x *= 0x9e3779b97f4a7c15ull + 0x40ull * table;
+    x ^= x >> 29;
+    x *= 0xbf58476d1ce4e5b9ull;
+    x ^= x >> 32;
+    return static_cast<std::size_t>(x & (tableEntries_ - 1));
+}
+
+bool
+GhrpPolicy::predictDead(std::uint32_t signature) const
+{
+    unsigned votes = 0;
+    for (std::size_t t = 0; t < 3; ++t)
+        if (tables_[t][indexOf(signature, t)].msbSet())
+            ++votes;
+    return votes >= kVoteNeeded;
+}
+
+void
+GhrpPolicy::train(std::uint32_t signature, bool dead)
+{
+    for (std::size_t t = 0; t < 3; ++t) {
+        SatCounter &ctr = tables_[t][indexOf(signature, t)];
+        if (dead)
+            ctr.increment();
+        else
+            ctr.decrement();
+    }
+}
+
+void
+GhrpPolicy::pushHistory(std::uint32_t signature)
+{
+    const std::uint32_t mask = (1u << historyBits_) - 1;
+    history_ = ((history_ << 4) ^ signature) & mask;
+}
+
+void
+GhrpPolicy::touchLru(std::uint32_t set, std::uint32_t way)
+{
+    LineMeta &m = at(set, way);
+    const std::uint8_t old = m.lruStamp;
+    for (std::uint32_t other = 0; other < ways_; ++other) {
+        LineMeta &o = at(set, other);
+        if (other != way && o.lruStamp > old)
+            --o.lruStamp;
+    }
+    m.lruStamp = static_cast<std::uint8_t>(ways_ - 1);
+}
+
+void
+GhrpPolicy::onHit(std::uint32_t set, std::uint32_t way,
+                  const CacheAccess &access)
+{
+    LineMeta &m = at(set, way);
+    const std::uint32_t sig = signatureOf(access.pc);
+    // The line proved live: detrain its fill signature.
+    if (!m.reused) {
+        m.reused = true;
+        train(m.signature, false);
+    }
+    // Re-predict under the current history for the new access.
+    m.signature = sig;
+    m.predictedDead = predictDead(sig);
+    touchLru(set, way);
+    pushHistory(sig);
+}
+
+void
+GhrpPolicy::onFill(std::uint32_t set, std::uint32_t way,
+                   const CacheAccess &access)
+{
+    LineMeta &m = at(set, way);
+    const std::uint32_t sig = signatureOf(access.pc);
+    m.signature = sig;
+    m.reused = false;
+    m.predictedDead = predictDead(sig);
+    touchLru(set, way);
+    pushHistory(sig);
+}
+
+void
+GhrpPolicy::onEvict(std::uint32_t set, std::uint32_t way,
+                    const CacheLine &)
+{
+    LineMeta &m = at(set, way);
+    // Evicted without reuse -> the signature led to a dead block.
+    if (!m.reused)
+        train(m.signature, true);
+}
+
+std::uint32_t
+GhrpPolicy::victimWay(std::uint32_t set, const CacheAccess &,
+                      const CacheLine *)
+{
+    // Prefer the least-recent predicted-dead line; else strict LRU.
+    std::uint32_t victim = 0;
+    bool haveDead = false;
+    std::uint8_t deadStamp = 0xff;
+    std::uint8_t lruStamp = 0xff;
+    std::uint32_t lruWay = 0;
+    for (std::uint32_t way = 0; way < ways_; ++way) {
+        const LineMeta &m = at(set, way);
+        if (m.predictedDead && m.lruStamp < deadStamp) {
+            deadStamp = m.lruStamp;
+            victim = way;
+            haveDead = true;
+        }
+        if (m.lruStamp < lruStamp) {
+            lruStamp = m.lruStamp;
+            lruWay = way;
+        }
+    }
+    return haveDead ? victim : lruWay;
+}
+
+std::uint64_t
+GhrpPolicy::storageOverheadBits() const
+{
+    const std::uint64_t lines = std::uint64_t{sets_} * ways_;
+    // 3 tables of 2-bit counters, 16-bit per-line signature, 1-bit
+    // prediction, 16-bit history register (Table IV).
+    return 3 * tableEntries_ * 2 + lines * (16 + 1) + historyBits_;
+}
+
+} // namespace acic

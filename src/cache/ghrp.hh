@@ -1,0 +1,90 @@
+/**
+ * @file
+ * GHRP (Mirbagher Ajorpaz et al., ISCA 2018): global-history-based
+ * predictive replacement for instruction caches. A 16-bit global
+ * history of recent i-cache access signatures, combined with the
+ * accessing signature, indexes three skewed 4096-entry tables of 2-bit
+ * counters; a majority vote predicts whether a line is *dead*. Dead
+ * lines are preferred victims; fills predicted dead insert with a
+ * dead mark so they age out first.
+ * Table IV: 3 x 4096 x 2-bit tables, 16-bit signature per line, 1-bit
+ * prediction, 16-bit history register = 4.06 KB.
+ */
+
+#ifndef ACIC_CACHE_GHRP_HH
+#define ACIC_CACHE_GHRP_HH
+
+#include <vector>
+
+#include "cache/replacement.hh"
+#include "common/sat_counter.hh"
+
+namespace acic {
+
+/** See file comment. */
+class GhrpPolicy : public ReplacementPolicy
+{
+  public:
+    /**
+     * @param table_entries entries per predictor table (paper: 4096).
+     * @param history_bits width of the global history (paper: 16).
+     */
+    explicit GhrpPolicy(std::size_t table_entries = 4096,
+                        unsigned history_bits = 16);
+
+    void bind(std::uint32_t num_sets, std::uint32_t num_ways) override;
+    void onHit(std::uint32_t set, std::uint32_t way,
+               const CacheAccess &access) override;
+    void onFill(std::uint32_t set, std::uint32_t way,
+                const CacheAccess &access) override;
+    void onEvict(std::uint32_t set, std::uint32_t way,
+                 const CacheLine &line) override;
+    std::uint32_t victimWay(std::uint32_t set,
+                            const CacheAccess &incoming,
+                            const CacheLine *lines) override;
+    std::string name() const override { return "GHRP"; }
+    std::uint64_t storageOverheadBits() const override;
+
+    /** Dead prediction for a signature under the current history. */
+    bool predictDead(std::uint32_t signature) const;
+
+    /** Current history register value (tests). */
+    std::uint32_t history() const { return history_; }
+
+  private:
+    struct LineMeta
+    {
+        std::uint32_t signature = 0; ///< signature recorded at fill
+        bool predictedDead = false;  ///< prediction bit stored per line
+        bool reused = false;         ///< touched since fill (training)
+        std::uint8_t lruStamp = 0;   ///< small per-set recency
+    };
+
+    LineMeta &at(std::uint32_t set, std::uint32_t way)
+    {
+        return meta_[static_cast<std::size_t>(set) * ways_ + way];
+    }
+    const LineMeta &at(std::uint32_t set, std::uint32_t way) const
+    {
+        return meta_[static_cast<std::size_t>(set) * ways_ + way];
+    }
+
+    std::uint32_t signatureOf(Addr pc) const;
+    std::size_t indexOf(std::uint32_t signature,
+                        std::size_t table) const;
+    void train(std::uint32_t signature, bool dead);
+    void pushHistory(std::uint32_t signature);
+    void touchLru(std::uint32_t set, std::uint32_t way);
+
+    std::size_t tableEntries_;
+    unsigned historyBits_;
+    std::uint32_t history_ = 0;
+    std::vector<SatCounter> tables_[3];
+    std::vector<LineMeta> meta_;
+    /** Vote threshold: predict dead when >= 2 of 3 counters agree. */
+    static constexpr unsigned kVoteNeeded = 2;
+};
+
+} // namespace acic
+
+#endif // ACIC_CACHE_GHRP_HH

@@ -1,0 +1,176 @@
+#include "cache/hawkeye.hh"
+
+#include "common/logging.hh"
+
+namespace acic {
+
+HawkeyePolicy::HawkeyePolicy(std::size_t predictor_entries,
+                             unsigned sample_shift)
+    : predictorEntries_(predictor_entries), sampleShift_(sample_shift)
+{
+    ACIC_ASSERT(predictor_entries >= 64,
+                "Hawkeye predictor too small");
+    // Start weakly friendly so cold code is cached until proven averse.
+    predictor_.assign(predictorEntries_, SatCounter(3, 4));
+}
+
+void
+HawkeyePolicy::bind(std::uint32_t num_sets, std::uint32_t num_ways)
+{
+    ReplacementPolicy::bind(num_sets, num_ways);
+    meta_.assign(static_cast<std::size_t>(num_sets) * num_ways, {});
+    window_ = 8 * num_ways; // Table IV: 64 entries at 8 ways
+    samples_.clear();
+}
+
+std::size_t
+HawkeyePolicy::pcIndex(Addr pc) const
+{
+    std::uint64_t x = pc >> 2;
+    x ^= x >> 13;
+    x *= 0x9e3779b97f4a7c15ull;
+    x ^= x >> 31;
+    return static_cast<std::size_t>(x % predictorEntries_);
+}
+
+bool
+HawkeyePolicy::predictFriendly(Addr pc) const
+{
+    return predictor_[pcIndex(pc)].msbSet();
+}
+
+void
+HawkeyePolicy::optGenAccess(std::uint32_t set,
+                            const CacheAccess &access)
+{
+    if ((set & ((1u << sampleShift_) - 1)) != 0 || access.isPrefetch)
+        return;
+    OptGenSet &gen = samples_[set];
+    if (gen.occupancy.empty())
+        gen.occupancy.assign(window_, 0);
+
+    const std::uint64_t now = gen.time++;
+    gen.occupancy[now % window_] = 0; // new quantum opens empty
+
+    const auto it = gen.last.find(access.blk);
+    if (it != gen.last.end()) {
+        const std::uint64_t prev = it->second.first;
+        const Addr prev_pc = it->second.second;
+        if (now - prev < window_) {
+            bool fits = true;
+            for (std::uint64_t t = prev; t < now; ++t) {
+                if (gen.occupancy[t % window_] >= ways_) {
+                    fits = false;
+                    break;
+                }
+            }
+            if (fits) {
+                for (std::uint64_t t = prev; t < now; ++t)
+                    ++gen.occupancy[t % window_];
+                predictor_[pcIndex(prev_pc)].increment();
+            } else {
+                predictor_[pcIndex(prev_pc)].decrement();
+            }
+        } else {
+            // Out of OPTgen reach: cannot have been an OPT hit.
+            predictor_[pcIndex(prev_pc)].decrement();
+        }
+    }
+    gen.last[access.blk] = {now, access.pc};
+    // Bound the per-set map: drop entries far outside the window.
+    if (gen.last.size() > 8 * window_) {
+        for (auto iter = gen.last.begin(); iter != gen.last.end();) {
+            if (now - iter->second.first >= 4 * window_)
+                iter = gen.last.erase(iter);
+            else
+                ++iter;
+        }
+    }
+}
+
+void
+HawkeyePolicy::onHit(std::uint32_t set, std::uint32_t way,
+                     const CacheAccess &access)
+{
+    optGenAccess(set, access);
+    LineMeta &m = at(set, way);
+    m.friendly = predictFriendly(access.pc);
+    m.fillPc = access.pc;
+    if (m.friendly) {
+        m.rrpv = 0;
+        // Age everyone else below saturation-1 (Hawkeye aging rule).
+        for (std::uint32_t other = 0; other < ways_; ++other) {
+            if (other == way)
+                continue;
+            LineMeta &o = at(set, other);
+            if (o.rrpv < kMaxRrpv - 1)
+                ++o.rrpv;
+        }
+    } else {
+        m.rrpv = kMaxRrpv;
+    }
+}
+
+void
+HawkeyePolicy::onFill(std::uint32_t set, std::uint32_t way,
+                      const CacheAccess &access)
+{
+    optGenAccess(set, access);
+    LineMeta &m = at(set, way);
+    m.fillPc = access.pc;
+    m.friendly = predictFriendly(access.pc);
+    if (m.friendly) {
+        m.rrpv = 0;
+        for (std::uint32_t other = 0; other < ways_; ++other) {
+            if (other == way)
+                continue;
+            LineMeta &o = at(set, other);
+            if (o.rrpv < kMaxRrpv - 1)
+                ++o.rrpv;
+        }
+    } else {
+        m.rrpv = kMaxRrpv;
+    }
+}
+
+void
+HawkeyePolicy::onEvict(std::uint32_t set, std::uint32_t way,
+                       const CacheLine &)
+{
+    const LineMeta &m = at(set, way);
+    // Evicting a friendly line means OPT would have kept it: detrain.
+    if (m.friendly)
+        predictor_[pcIndex(m.fillPc)].decrement();
+}
+
+std::uint32_t
+HawkeyePolicy::victimWay(std::uint32_t set, const CacheAccess &,
+                         const CacheLine *)
+{
+    std::uint32_t victim = 0;
+    std::uint8_t highest = 0;
+    for (std::uint32_t way = 0; way < ways_; ++way) {
+        const LineMeta &m = at(set, way);
+        if (m.rrpv == kMaxRrpv)
+            return way;
+        if (m.rrpv >= highest) {
+            highest = m.rrpv;
+            victim = way;
+        }
+    }
+    return victim;
+}
+
+std::uint64_t
+HawkeyePolicy::storageOverheadBits() const
+{
+    const std::uint64_t lines = std::uint64_t{sets_} * ways_;
+    const std::uint64_t sampled_sets = sets_ >> sampleShift_;
+    // Predictor + 3-bit RRPV per line + occupancy vectors (4 bits per
+    // quantum) + OPTgen sampler tag/PC store (20 bits per window
+    // entry) for sampled sets -- Table IV's 4.69 KB recipe.
+    return predictorEntries_ * 3 + lines * 3 +
+           sampled_sets * window_ * 4 + sampled_sets * window_ * 20;
+}
+
+} // namespace acic

@@ -1,0 +1,42 @@
+#include "cache/hierarchy.hh"
+
+#include "cache/lru.hh"
+
+namespace acic {
+
+MemoryHierarchy::MemoryHierarchy(const HierarchyConfig &config)
+    : config_(config),
+      l2_(SetAssocCache::bySize(config.l2Bytes, config.l2Ways,
+                                std::make_unique<LruPolicy>())),
+      l3_(SetAssocCache::bySize(config.l3Bytes, config.l3Ways,
+                                std::make_unique<LruPolicy>()))
+{
+}
+
+Cycle
+MemoryHierarchy::serviceMiss(BlockAddr blk, Addr pc)
+{
+    CacheAccess access;
+    access.blk = blk;
+    access.pc = pc;
+
+    if (l2_.lookup(access)) {
+        stats_.bump("hier.l2_hit");
+        return config_.l2Latency;
+    }
+    stats_.bump("hier.l2_miss");
+
+    if (l3_.lookup(access)) {
+        stats_.bump("hier.l3_hit");
+        l2_.fill(access);
+        return config_.l3Latency;
+    }
+    stats_.bump("hier.l3_miss");
+    stats_.bump("hier.dram_access");
+
+    l3_.fill(access);
+    l2_.fill(access);
+    return config_.l3Latency + config_.dramLatency;
+}
+
+} // namespace acic

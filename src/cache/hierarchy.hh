@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Unified L2 / L3 / DRAM backing hierarchy behind the L1i (Table II:
+ * 512 KB 8-way 15-cycle L2, 2 MB 16-way 35-cycle L3, 1-channel
+ * 3200 MT/s DRAM). Trace-driven: an L1i miss walks the levels, fills
+ * them, and returns the total service latency.
+ */
+
+#ifndef ACIC_CACHE_HIERARCHY_HH
+#define ACIC_CACHE_HIERARCHY_HH
+
+#include <cstdint>
+#include <memory>
+
+#include "cache/set_assoc.hh"
+#include "common/stats.hh"
+#include "common/types.hh"
+
+namespace acic {
+
+/** Latency and geometry knobs of the backing hierarchy. */
+struct HierarchyConfig
+{
+    std::uint64_t l2Bytes = 512 * 1024;
+    std::uint32_t l2Ways = 8;
+    Cycle l2Latency = 15;
+
+    std::uint64_t l3Bytes = 2 * 1024 * 1024;
+    std::uint32_t l3Ways = 16;
+    Cycle l3Latency = 35;
+
+    /** DRAM round-trip on top of the L3 latency (4 GHz cycles). */
+    Cycle dramLatency = 200;
+};
+
+/** See file comment. */
+class MemoryHierarchy
+{
+  public:
+    explicit MemoryHierarchy(const HierarchyConfig &config = {});
+
+    /**
+     * Service an L1i miss for @p blk: probes and fills L2/L3.
+     * @return total miss-to-fill latency in cycles.
+     */
+    Cycle serviceMiss(BlockAddr blk, Addr pc);
+
+    /** Hit/miss counters per level. */
+    const StatSet &stats() const { return stats_; }
+    StatSet &stats() { return stats_; }
+
+    const HierarchyConfig &config() const { return config_; }
+
+  private:
+    HierarchyConfig config_;
+    SetAssocCache l2_;
+    SetAssocCache l3_;
+    StatSet stats_;
+};
+
+} // namespace acic
+
+#endif // ACIC_CACHE_HIERARCHY_HH

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Interface every L1i organization implements: the plain policy-driven
+ * cache, victim-cache variants, VVC, and the i-Filter/ACIC family.
+ * The timing simulator talks to the front end's instruction supply
+ * exclusively through this interface.
+ */
+
+#ifndef ACIC_CACHE_ICACHE_ORG_HH
+#define ACIC_CACHE_ICACHE_ORG_HH
+
+#include <string>
+
+#include "cache/cache_types.hh"
+#include "common/stats.hh"
+
+namespace acic {
+
+/** See file comment. */
+class IcacheOrg
+{
+  public:
+    virtual ~IcacheOrg() = default;
+
+    /**
+     * Demand access (one fetch bundle).
+     * @return true on hit in any constituent structure.
+     */
+    virtual bool access(const CacheAccess &access) = 0;
+
+    /** A serviced miss (demand or prefetch) arrives from L2+. */
+    virtual void fill(const CacheAccess &access) = 0;
+
+    /** Presence test covering every constituent structure. */
+    virtual bool contains(BlockAddr blk) const = 0;
+
+    /** Advance internal pipelines (predictor update latency). */
+    virtual void tick(Cycle now) { (void)now; }
+
+    /** Scheme name as used in bench tables. */
+    virtual std::string name() const = 0;
+
+    /** Storage added relative to the baseline 32 KB LRU i-cache. */
+    virtual std::uint64_t storageOverheadBits() const = 0;
+
+    /** Organization-specific counters. */
+    virtual const StatSet &stats() const { return stats_; }
+    StatSet &statsMut() { return stats_; }
+
+  protected:
+    StatSet stats_;
+};
+
+} // namespace acic
+
+#endif // ACIC_CACHE_ICACHE_ORG_HH

@@ -1,0 +1,69 @@
+#include "cache/lru.hh"
+
+#include "common/logging.hh"
+
+namespace acic {
+
+void
+LruPolicy::bind(std::uint32_t num_sets, std::uint32_t num_ways)
+{
+    ReplacementPolicy::bind(num_sets, num_ways);
+    stamps_.assign(static_cast<std::size_t>(num_sets) * num_ways, 0);
+    tick_ = 0;
+}
+
+void
+LruPolicy::onHit(std::uint32_t set, std::uint32_t way,
+                 const CacheAccess &)
+{
+    stampOf(set, way) = ++tick_;
+}
+
+void
+LruPolicy::onFill(std::uint32_t set, std::uint32_t way,
+                  const CacheAccess &)
+{
+    stampOf(set, way) = ++tick_;
+}
+
+std::uint32_t
+LruPolicy::victimWay(std::uint32_t set, const CacheAccess &,
+                     const CacheLine *)
+{
+    return lruWay(set);
+}
+
+std::uint32_t
+LruPolicy::lruWay(std::uint32_t set) const
+{
+    std::uint32_t victim = 0;
+    std::uint64_t oldest = ~std::uint64_t{0};
+    for (std::uint32_t way = 0; way < ways_; ++way) {
+        if (stampOf(set, way) < oldest) {
+            oldest = stampOf(set, way);
+            victim = way;
+        }
+    }
+    return victim;
+}
+
+std::uint32_t
+LruPolicy::rankOf(std::uint32_t set, std::uint32_t way) const
+{
+    std::uint32_t rank = 0;
+    for (std::uint32_t other = 0; other < ways_; ++other)
+        if (other != way && stampOf(set, other) > stampOf(set, way))
+            ++rank;
+    return rank;
+}
+
+RandomPolicy::RandomPolicy(std::uint64_t seed) : rng_(seed) {}
+
+std::uint32_t
+RandomPolicy::victimWay(std::uint32_t, const CacheAccess &,
+                        const CacheLine *)
+{
+    return static_cast<std::uint32_t>(rng_.nextBelow(ways_));
+}
+
+} // namespace acic

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Baseline replacement policies: true LRU (the paper's conventional
+ * i-cache baseline) and Random (tests and sanity baselines).
+ */
+
+#ifndef ACIC_CACHE_LRU_HH
+#define ACIC_CACHE_LRU_HH
+
+#include <vector>
+
+#include "cache/replacement.hh"
+#include "common/rng.hh"
+
+namespace acic {
+
+/** True LRU via per-line monotonically increasing timestamps. */
+class LruPolicy : public ReplacementPolicy
+{
+  public:
+    void bind(std::uint32_t num_sets, std::uint32_t num_ways) override;
+    void onHit(std::uint32_t set, std::uint32_t way,
+               const CacheAccess &access) override;
+    void onFill(std::uint32_t set, std::uint32_t way,
+                const CacheAccess &access) override;
+    std::uint32_t victimWay(std::uint32_t set,
+                            const CacheAccess &incoming,
+                            const CacheLine *lines) override;
+    std::string name() const override { return "LRU"; }
+    std::uint64_t storageOverheadBits() const override { return 0; }
+
+    /**
+     * Way holding the least-recently-used line (the ACIC *contender*
+     * query); identical to victimWay but callable without an access.
+     */
+    std::uint32_t lruWay(std::uint32_t set) const;
+
+    /** Recency rank of a way: 0 = MRU, ways-1 = LRU (tests). */
+    std::uint32_t rankOf(std::uint32_t set, std::uint32_t way) const;
+
+  private:
+    std::uint64_t &stampOf(std::uint32_t set, std::uint32_t way)
+    {
+        return stamps_[static_cast<std::size_t>(set) * ways_ + way];
+    }
+    const std::uint64_t &stampOf(std::uint32_t set,
+                                 std::uint32_t way) const
+    {
+        return stamps_[static_cast<std::size_t>(set) * ways_ + way];
+    }
+
+    std::vector<std::uint64_t> stamps_;
+    std::uint64_t tick_ = 0;
+};
+
+/** Uniform-random victim selection. */
+class RandomPolicy : public ReplacementPolicy
+{
+  public:
+    explicit RandomPolicy(std::uint64_t seed = 0xACDC);
+    void onHit(std::uint32_t, std::uint32_t,
+               const CacheAccess &) override
+    {
+    }
+    void onFill(std::uint32_t, std::uint32_t,
+                const CacheAccess &) override
+    {
+    }
+    std::uint32_t victimWay(std::uint32_t set,
+                            const CacheAccess &incoming,
+                            const CacheLine *lines) override;
+    std::string name() const override { return "Random"; }
+    std::uint64_t storageOverheadBits() const override { return 0; }
+
+  private:
+    Rng rng_;
+};
+
+} // namespace acic
+
+#endif // ACIC_CACHE_LRU_HH

@@ -1,0 +1,88 @@
+#include "cache/mshr.hh"
+
+#include "common/logging.hh"
+
+namespace acic {
+
+MshrFile::MshrFile(std::uint32_t entries)
+{
+    ACIC_ASSERT(entries >= 1, "MSHR file needs entries");
+    entries_.resize(entries);
+}
+
+MshrOutcome
+MshrFile::allocate(BlockAddr blk, Cycle ready_cycle, bool is_prefetch,
+                   Addr pc, std::uint64_t seq)
+{
+    Entry *free_entry = nullptr;
+    for (auto &e : entries_) {
+        if (e.valid && e.blk == blk) {
+            // Merge; a demand joining a prefetch promotes the miss.
+            if (!is_prefetch) {
+                e.demandWaiting = true;
+                e.pc = pc;
+                e.seq = seq;
+            }
+            if (ready_cycle < e.ready)
+                e.ready = ready_cycle;
+            return MshrOutcome::Merged;
+        }
+        if (!e.valid && free_entry == nullptr)
+            free_entry = &e;
+    }
+    if (free_entry == nullptr)
+        return MshrOutcome::Full;
+    free_entry->valid = true;
+    free_entry->blk = blk;
+    free_entry->ready = ready_cycle;
+    free_entry->wasPrefetch = is_prefetch;
+    free_entry->demandWaiting = !is_prefetch;
+    free_entry->pc = pc;
+    free_entry->seq = seq;
+    ++used_;
+    return MshrOutcome::Allocated;
+}
+
+bool
+MshrFile::pending(BlockAddr blk) const
+{
+    for (const auto &e : entries_)
+        if (e.valid && e.blk == blk)
+            return true;
+    return false;
+}
+
+Cycle
+MshrFile::readyCycle(BlockAddr blk) const
+{
+    for (const auto &e : entries_)
+        if (e.valid && e.blk == blk)
+            return e.ready;
+    return 0;
+}
+
+std::size_t
+MshrFile::popReady(Cycle now, std::vector<Fill> &out)
+{
+    std::size_t popped = 0;
+    for (auto &e : entries_) {
+        if (e.valid && e.ready <= now) {
+            out.push_back({e.blk, e.wasPrefetch, e.demandWaiting,
+                           e.pc, e.seq});
+            e.valid = false;
+            --used_;
+            ++popped;
+        }
+    }
+    return popped;
+}
+
+void
+MshrFile::clear()
+{
+    for (auto &e : entries_)
+        e.valid = false;
+    used_ = 0;
+}
+
+} // namespace acic

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Miss Status Holding Registers (Kroft, ISCA 1981). Tracks outstanding
+ * misses so duplicate requests merge and fills release their entry at
+ * the due cycle. The paper gives the L1i 16 MSHRs (Table II); ACIC's
+ * CSHR structure is explicitly "inspired by the design of MSHR".
+ */
+
+#ifndef ACIC_CACHE_MSHR_HH
+#define ACIC_CACHE_MSHR_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace acic {
+
+/** Outcome of an allocation attempt. */
+enum class MshrOutcome : std::uint8_t
+{
+    Allocated, ///< new entry created
+    Merged,    ///< request folded into an in-flight miss
+    Full,      ///< no entry free; caller must retry
+};
+
+/** See file comment. */
+class MshrFile
+{
+  public:
+    explicit MshrFile(std::uint32_t entries);
+
+    /**
+     * Request servicing of @p blk, due back at @p ready_cycle.
+     * Merging keeps the earlier ready cycle. @p pc and @p seq
+     * describe the requesting access and ride along to the fill.
+     */
+    MshrOutcome allocate(BlockAddr blk, Cycle ready_cycle,
+                         bool is_prefetch, Addr pc = 0,
+                         std::uint64_t seq = 0);
+
+    /** True when a miss on @p blk is in flight. */
+    bool pending(BlockAddr blk) const;
+
+    /** Ready cycle of a pending miss (kInvalidAddr-safe: 0 if none). */
+    Cycle readyCycle(BlockAddr blk) const;
+
+    /**
+     * Pop every entry due at or before @p now into @p out.
+     * @return number of fills popped.
+     */
+    struct Fill
+    {
+        BlockAddr blk;
+        bool wasPrefetch;
+        bool demandWaiting; ///< a demand merged into/created this miss
+        Addr pc;            ///< requesting PC (policy signatures)
+        std::uint64_t seq;  ///< requesting demand-sequence index
+    };
+    std::size_t popReady(Cycle now, std::vector<Fill> &out);
+
+    /** In-flight entry count. */
+    std::uint32_t inFlight() const { return used_; }
+
+    /** Capacity. */
+    std::uint32_t capacity() const
+    {
+        return static_cast<std::uint32_t>(entries_.size());
+    }
+
+    /** True when no entry is free. */
+    bool full() const { return used_ == capacity(); }
+
+    /** Drop everything (between benchmark runs). */
+    void clear();
+
+  private:
+    struct Entry
+    {
+        BlockAddr blk = 0;
+        Cycle ready = 0;
+        bool valid = false;
+        bool wasPrefetch = false;
+        bool demandWaiting = false;
+        Addr pc = 0;
+        std::uint64_t seq = 0;
+    };
+
+    std::vector<Entry> entries_;
+    std::uint32_t used_ = 0;
+};
+
+} // namespace acic
+
+#endif // ACIC_CACHE_MSHR_HH

@@ -1,0 +1,40 @@
+#include "cache/opt.hh"
+
+namespace acic {
+
+void
+OptPolicy::onHit(std::uint32_t, std::uint32_t, const CacheAccess &)
+{
+    // CacheLine::nextUse is refreshed by the cache on every touch;
+    // OPT keeps no state of its own.
+}
+
+void
+OptPolicy::onFill(std::uint32_t, std::uint32_t, const CacheAccess &)
+{
+}
+
+std::uint32_t
+OptPolicy::optVictim(const CacheLine *lines, std::uint32_t ways)
+{
+    std::uint32_t victim = 0;
+    std::uint64_t farthest = 0;
+    for (std::uint32_t way = 0; way < ways; ++way) {
+        if (!lines[way].valid)
+            return way;
+        if (lines[way].nextUse >= farthest) {
+            farthest = lines[way].nextUse;
+            victim = way;
+        }
+    }
+    return victim;
+}
+
+std::uint32_t
+OptPolicy::victimWay(std::uint32_t, const CacheAccess &,
+                     const CacheLine *lines)
+{
+    return optVictim(lines, ways_);
+}
+
+} // namespace acic

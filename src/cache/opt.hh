@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Belady's OPT/MIN replacement (1966): evict the line whose next use
+ * is farthest in the future. Not implementable in hardware; the paper
+ * (and this repo) uses it as the upper bound all policies are measured
+ * against. Requires the oracle next-use annotation threaded through
+ * CacheAccess::nextUse and mirrored on CacheLine::nextUse.
+ */
+
+#ifndef ACIC_CACHE_OPT_HH
+#define ACIC_CACHE_OPT_HH
+
+#include "cache/replacement.hh"
+
+namespace acic {
+
+/** See file comment. */
+class OptPolicy : public ReplacementPolicy
+{
+  public:
+    void onHit(std::uint32_t set, std::uint32_t way,
+               const CacheAccess &access) override;
+    void onFill(std::uint32_t set, std::uint32_t way,
+                const CacheAccess &access) override;
+    std::uint32_t victimWay(std::uint32_t set,
+                            const CacheAccess &incoming,
+                            const CacheLine *lines) override;
+    std::string name() const override { return "OPT"; }
+    std::uint64_t storageOverheadBits() const override { return 0; }
+
+    /**
+     * The way OPT would evict given only line state -- shared with the
+     * replacement-accuracy instrumentation (Sec. IV-D) that compares
+     * other policies' victims against OPT's choice.
+     */
+    static std::uint32_t optVictim(const CacheLine *lines,
+                                   std::uint32_t ways);
+};
+
+} // namespace acic
+
+#endif // ACIC_CACHE_OPT_HH

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Replacement-policy interface for SetAssocCache, plus the identifiers
+ * of the policies the paper compares (Table IV).
+ */
+
+#ifndef ACIC_CACHE_REPLACEMENT_HH
+#define ACIC_CACHE_REPLACEMENT_HH
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "cache/cache_types.hh"
+
+namespace acic {
+
+/**
+ * Per-cache replacement policy. The cache invokes the hooks on every
+ * hit/fill/eviction; victimWay() must return a way index in
+ * [0, ways); the cache prefers invalid ways itself, so victimWay() is
+ * only consulted when the set is full.
+ */
+class ReplacementPolicy
+{
+  public:
+    virtual ~ReplacementPolicy() = default;
+
+    /** Geometry callback invoked once by the owning cache. */
+    virtual void bind(std::uint32_t num_sets, std::uint32_t num_ways)
+    {
+        sets_ = num_sets;
+        ways_ = num_ways;
+    }
+
+    /** A lookup hit way @p way of set @p set. */
+    virtual void onHit(std::uint32_t set, std::uint32_t way,
+                       const CacheAccess &access) = 0;
+
+    /** A new block was filled into way @p way of set @p set. */
+    virtual void onFill(std::uint32_t set, std::uint32_t way,
+                        const CacheAccess &access) = 0;
+
+    /** The line at (set, way) is being evicted. */
+    virtual void
+    onEvict(std::uint32_t set, std::uint32_t way, const CacheLine &line)
+    {
+        (void)set;
+        (void)way;
+        (void)line;
+    }
+
+    /**
+     * Pick the victim way of a full set for the incoming access.
+     * @param lines pointer to the set's `ways()` lines.
+     */
+    virtual std::uint32_t victimWay(std::uint32_t set,
+                                    const CacheAccess &incoming,
+                                    const CacheLine *lines) = 0;
+
+    /** Policy name as used in bench tables. */
+    virtual std::string name() const = 0;
+
+    /**
+     * Metadata bits the policy adds on top of a plain tag store,
+     * reproducing the Table IV storage-overhead column.
+     */
+    virtual std::uint64_t storageOverheadBits() const = 0;
+
+  protected:
+    std::uint32_t sets_ = 0;
+    std::uint32_t ways_ = 0;
+};
+
+} // namespace acic
+
+#endif // ACIC_CACHE_REPLACEMENT_HH

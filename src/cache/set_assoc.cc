@@ -1,0 +1,159 @@
+#include "cache/set_assoc.hh"
+
+#include "common/logging.hh"
+
+namespace acic {
+
+namespace {
+
+bool
+isPowerOfTwo(std::uint32_t v)
+{
+    return v != 0 && (v & (v - 1)) == 0;
+}
+
+} // namespace
+
+SetAssocCache::SetAssocCache(std::uint32_t num_sets,
+                             std::uint32_t num_ways,
+                             std::unique_ptr<ReplacementPolicy> policy)
+    : numSets_(num_sets), numWays_(num_ways), policy_(std::move(policy))
+{
+    ACIC_ASSERT(isPowerOfTwo(numSets_), "sets must be a power of two");
+    ACIC_ASSERT(numWays_ >= 1, "cache needs at least one way");
+    ACIC_ASSERT(policy_ != nullptr, "cache needs a replacement policy");
+    lines_.resize(static_cast<std::size_t>(numSets_) * numWays_);
+    policy_->bind(numSets_, numWays_);
+}
+
+SetAssocCache
+SetAssocCache::bySize(std::uint64_t size_bytes, std::uint32_t num_ways,
+                      std::unique_ptr<ReplacementPolicy> p)
+{
+    const std::uint64_t line_bytes =
+        static_cast<std::uint64_t>(num_ways) * kBlockBytes;
+    ACIC_ASSERT(size_bytes % line_bytes == 0,
+                "size must be a multiple of ways*64B");
+    const std::uint64_t sets = size_bytes / line_bytes;
+    return SetAssocCache(static_cast<std::uint32_t>(sets), num_ways,
+                         std::move(p));
+}
+
+std::optional<std::uint32_t>
+SetAssocCache::lookup(const CacheAccess &access)
+{
+    const std::uint32_t set = setOf(access.blk);
+    CacheLine *base = setBase(set);
+    for (std::uint32_t way = 0; way < numWays_; ++way) {
+        CacheLine &line = base[way];
+        if (line.valid && line.blk == access.blk) {
+            line.prefetched = false;
+            line.nextUse = access.nextUse;
+            line.lastTouch = access.seq;
+            policy_->onHit(set, way, access);
+            return way;
+        }
+    }
+    return std::nullopt;
+}
+
+bool
+SetAssocCache::probe(BlockAddr blk) const
+{
+    return probeWay(blk).has_value();
+}
+
+std::optional<std::uint32_t>
+SetAssocCache::probeWay(BlockAddr blk) const
+{
+    const std::uint32_t set = setOf(blk);
+    const CacheLine *base = setBase(set);
+    for (std::uint32_t way = 0; way < numWays_; ++way)
+        if (base[way].valid && base[way].blk == blk)
+            return way;
+    return std::nullopt;
+}
+
+std::uint32_t
+SetAssocCache::victimWay(const CacheAccess &incoming)
+{
+    const std::uint32_t set = setOf(incoming.blk);
+    const CacheLine *base = setBase(set);
+    for (std::uint32_t way = 0; way < numWays_; ++way)
+        if (!base[way].valid)
+            return way;
+    return policy_->victimWay(set, incoming, base);
+}
+
+SetAssocCache::FillResult
+SetAssocCache::fill(const CacheAccess &access)
+{
+    if (probe(access.blk))
+        return {};
+    const std::uint32_t set = setOf(access.blk);
+    const std::uint32_t way = victimWay(access);
+    return fillAt(set, way, access);
+}
+
+SetAssocCache::FillResult
+SetAssocCache::fillAt(std::uint32_t set, std::uint32_t way,
+                      const CacheAccess &access)
+{
+    ACIC_ASSERT(set < numSets_ && way < numWays_,
+                "fillAt out of range");
+    CacheLine &line = setBase(set)[way];
+    FillResult result;
+    if (line.valid) {
+        result.evicted = true;
+        result.victim = line;
+        policy_->onEvict(set, way, line);
+    }
+    line.blk = access.blk;
+    line.valid = true;
+    line.prefetched = access.isPrefetch;
+    line.fillPc = access.pc;
+    line.nextUse = access.nextUse;
+    line.lastTouch = access.seq;
+    policy_->onFill(set, way, access);
+    return result;
+}
+
+bool
+SetAssocCache::invalidate(BlockAddr blk)
+{
+    const auto way = probeWay(blk);
+    if (!way)
+        return false;
+    const std::uint32_t set = setOf(blk);
+    CacheLine &line = setBase(set)[*way];
+    policy_->onEvict(set, *way, line);
+    line.valid = false;
+    return true;
+}
+
+const CacheLine &
+SetAssocCache::lineAt(std::uint32_t set, std::uint32_t way) const
+{
+    ACIC_ASSERT(set < numSets_ && way < numWays_,
+                "lineAt out of range");
+    return setBase(set)[way];
+}
+
+CacheLine &
+SetAssocCache::lineAtMut(std::uint32_t set, std::uint32_t way)
+{
+    ACIC_ASSERT(set < numSets_ && way < numWays_,
+                "lineAtMut out of range");
+    return setBase(set)[way];
+}
+
+std::uint64_t
+SetAssocCache::validLines() const
+{
+    std::uint64_t n = 0;
+    for (const auto &line : lines_)
+        n += line.valid ? 1 : 0;
+    return n;
+}
+
+} // namespace acic

@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Generic set-associative cache tag store with pluggable replacement.
+ * Only tags are modeled (trace-driven simulation never needs data).
+ */
+
+#ifndef ACIC_CACHE_SET_ASSOC_HH
+#define ACIC_CACHE_SET_ASSOC_HH
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "cache/cache_types.hh"
+#include "cache/replacement.hh"
+
+namespace acic {
+
+/**
+ * Set-associative tag store. Sets must be a power of two; ways may be
+ * any positive count (the paper's 36 KB/9-way and 40 KB/10-way
+ * configurations keep 64 sets with non-power-of-two ways).
+ */
+class SetAssocCache
+{
+  public:
+    /** Result of a fill: whether a valid line was displaced. */
+    struct FillResult
+    {
+        bool evicted = false;
+        CacheLine victim{};
+    };
+
+    SetAssocCache(std::uint32_t num_sets, std::uint32_t num_ways,
+                  std::unique_ptr<ReplacementPolicy> policy);
+
+    /** Build by capacity: sizeBytes / (ways * 64B) sets. */
+    static SetAssocCache bySize(std::uint64_t size_bytes,
+                                std::uint32_t num_ways,
+                                std::unique_ptr<ReplacementPolicy> p);
+
+    /**
+     * Demand lookup. Updates replacement state on hit.
+     * @return the hit way, or nullopt on miss.
+     */
+    std::optional<std::uint32_t> lookup(const CacheAccess &access);
+
+    /** State-preserving presence check. */
+    bool probe(BlockAddr blk) const;
+
+    /** State-preserving tag search returning the way. */
+    std::optional<std::uint32_t> probeWay(BlockAddr blk) const;
+
+    /**
+     * Insert @p access.blk, evicting the policy victim when the set is
+     * full. No-op (reported as non-eviction) if the block is present.
+     */
+    FillResult fill(const CacheAccess &access);
+
+    /** Insert into an explicit way (victim caches, VVC placement). */
+    FillResult fillAt(std::uint32_t set, std::uint32_t way,
+                      const CacheAccess &access);
+
+    /**
+     * The way the policy would evict for @p incoming if the set is
+     * full; the first invalid way otherwise. Pure query: the ACIC
+     * admission path uses it to identify the *contender* block.
+     */
+    std::uint32_t victimWay(const CacheAccess &incoming);
+
+    /** Drop a block; @return true when it was present. */
+    bool invalidate(BlockAddr blk);
+
+    /** Set index of a block address. */
+    std::uint32_t setOf(BlockAddr blk) const
+    {
+        return static_cast<std::uint32_t>(blk) & (numSets_ - 1);
+    }
+
+    /** Line at an explicit location. */
+    const CacheLine &lineAt(std::uint32_t set, std::uint32_t way) const;
+
+    /** Mutable line access for organizations that tweak line state. */
+    CacheLine &lineAtMut(std::uint32_t set, std::uint32_t way);
+
+    std::uint32_t numSets() const { return numSets_; }
+    std::uint32_t numWays() const { return numWays_; }
+    std::uint64_t capacityBytes() const
+    {
+        return std::uint64_t{numSets_} * numWays_ * kBlockBytes;
+    }
+
+    /** The bound replacement policy. */
+    ReplacementPolicy &policy() { return *policy_; }
+    const ReplacementPolicy &policy() const { return *policy_; }
+
+    /** Count of currently valid lines (tests, warm-up checks). */
+    std::uint64_t validLines() const;
+
+  private:
+    CacheLine *setBase(std::uint32_t set)
+    {
+        return lines_.data() +
+               static_cast<std::size_t>(set) * numWays_;
+    }
+    const CacheLine *setBase(std::uint32_t set) const
+    {
+        return lines_.data() +
+               static_cast<std::size_t>(set) * numWays_;
+    }
+
+    std::uint32_t numSets_;
+    std::uint32_t numWays_;
+    std::unique_ptr<ReplacementPolicy> policy_;
+    std::vector<CacheLine> lines_;
+};
+
+} // namespace acic
+
+#endif // ACIC_CACHE_SET_ASSOC_HH

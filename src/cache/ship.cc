@@ -1,0 +1,95 @@
+#include "cache/ship.hh"
+
+#include "common/logging.hh"
+
+namespace acic {
+
+ShipPolicy::ShipPolicy(unsigned signature_bits,
+                       std::size_t shct_entries)
+    : sigBits_(signature_bits)
+{
+    ACIC_ASSERT(signature_bits >= 4 && signature_bits <= 20,
+                "SHiP signature bits");
+    shct_.assign(shct_entries, SatCounter(2, 1));
+}
+
+void
+ShipPolicy::bind(std::uint32_t num_sets, std::uint32_t num_ways)
+{
+    ReplacementPolicy::bind(num_sets, num_ways);
+    meta_.assign(static_cast<std::size_t>(num_sets) * num_ways, {});
+}
+
+std::uint32_t
+ShipPolicy::signatureOf(Addr pc) const
+{
+    // Fold the word-aligned PC into sigBits_ bits.
+    std::uint64_t v = pc >> 2;
+    std::uint64_t sig = 0;
+    const std::uint64_t mask = (1ull << sigBits_) - 1;
+    while (v != 0) {
+        sig ^= v & mask;
+        v >>= sigBits_;
+    }
+    return static_cast<std::uint32_t>(sig);
+}
+
+void
+ShipPolicy::onHit(std::uint32_t set, std::uint32_t way,
+                  const CacheAccess &)
+{
+    LineMeta &m = at(set, way);
+    m.rrpv = 0;
+    if (!m.outcome) {
+        m.outcome = true;
+        shct_[m.signature % shct_.size()].increment();
+    }
+}
+
+void
+ShipPolicy::onFill(std::uint32_t set, std::uint32_t way,
+                   const CacheAccess &access)
+{
+    LineMeta &m = at(set, way);
+    m.signature = signatureOf(access.pc);
+    m.outcome = false;
+    const bool distant =
+        shct_[m.signature % shct_.size()].value() == 0;
+    m.rrpv = distant ? kMaxRrpv
+                     : static_cast<std::uint8_t>(kMaxRrpv - 1);
+}
+
+void
+ShipPolicy::onEvict(std::uint32_t set, std::uint32_t way,
+                    const CacheLine &)
+{
+    const LineMeta &m = at(set, way);
+    if (!m.outcome)
+        shct_[m.signature % shct_.size()].decrement();
+}
+
+std::uint32_t
+ShipPolicy::victimWay(std::uint32_t set, const CacheAccess &,
+                      const CacheLine *)
+{
+    for (;;) {
+        for (std::uint32_t way = 0; way < ways_; ++way)
+            if (at(set, way).rrpv == kMaxRrpv)
+                return way;
+        for (std::uint32_t way = 0; way < ways_; ++way) {
+            LineMeta &m = at(set, way);
+            if (m.rrpv < kMaxRrpv)
+                ++m.rrpv;
+        }
+    }
+}
+
+std::uint64_t
+ShipPolicy::storageOverheadBits() const
+{
+    // Per line: 2-bit RRPV + signature + outcome bit; plus the SHCT.
+    const std::uint64_t lines = std::uint64_t{sets_} * ways_;
+    return lines * (2 + sigBits_ + 1) + shct_.size() * 2;
+}
+
+} // namespace acic

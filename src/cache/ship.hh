@@ -1,0 +1,69 @@
+/**
+ * @file
+ * SHiP (Wu et al., MICRO 2011): Signature-based Hit Predictor on an
+ * SRRIP substrate. Each line remembers the 13-bit PC signature that
+ * filled it plus an outcome bit; a Signature History Counter Table
+ * (SHCT, 8K x 2-bit) learns whether fills from a signature are
+ * re-referenced. Zero-counter signatures insert at distant RRPV.
+ * Table IV: 13-bit signature, 8K-entry SHCT, 2-bit counters = 2.88 KB.
+ */
+
+#ifndef ACIC_CACHE_SHIP_HH
+#define ACIC_CACHE_SHIP_HH
+
+#include <vector>
+
+#include "cache/replacement.hh"
+#include "common/sat_counter.hh"
+
+namespace acic {
+
+/** See file comment. */
+class ShipPolicy : public ReplacementPolicy
+{
+  public:
+    /**
+     * @param signature_bits width of the PC signature (paper: 13).
+     * @param shct_entries SHCT size (paper: 8192).
+     */
+    explicit ShipPolicy(unsigned signature_bits = 13,
+                        std::size_t shct_entries = 8192);
+
+    void bind(std::uint32_t num_sets, std::uint32_t num_ways) override;
+    void onHit(std::uint32_t set, std::uint32_t way,
+               const CacheAccess &access) override;
+    void onFill(std::uint32_t set, std::uint32_t way,
+                const CacheAccess &access) override;
+    void onEvict(std::uint32_t set, std::uint32_t way,
+                 const CacheLine &line) override;
+    std::uint32_t victimWay(std::uint32_t set,
+                            const CacheAccess &incoming,
+                            const CacheLine *lines) override;
+    std::string name() const override { return "SHiP"; }
+    std::uint64_t storageOverheadBits() const override;
+
+    /** Signature of a PC (exposed for tests). */
+    std::uint32_t signatureOf(Addr pc) const;
+
+  private:
+    struct LineMeta
+    {
+        std::uint8_t rrpv = 3;
+        std::uint32_t signature = 0;
+        bool outcome = false; ///< re-referenced since fill
+    };
+
+    LineMeta &at(std::uint32_t set, std::uint32_t way)
+    {
+        return meta_[static_cast<std::size_t>(set) * ways_ + way];
+    }
+
+    unsigned sigBits_;
+    std::vector<LineMeta> meta_;
+    std::vector<SatCounter> shct_;
+    static constexpr std::uint8_t kMaxRrpv = 3;
+};
+
+} // namespace acic
+
+#endif // ACIC_CACHE_SHIP_HH

@@ -1,0 +1,61 @@
+#include "cache/srrip.hh"
+
+#include "common/logging.hh"
+
+namespace acic {
+
+SrripPolicy::SrripPolicy(unsigned rrpv_bits)
+    : bits_(rrpv_bits),
+      maxRrpv_(static_cast<std::uint8_t>((1u << rrpv_bits) - 1))
+{
+    ACIC_ASSERT(rrpv_bits >= 1 && rrpv_bits <= 7, "SRRIP rrpv bits");
+}
+
+void
+SrripPolicy::bind(std::uint32_t num_sets, std::uint32_t num_ways)
+{
+    ReplacementPolicy::bind(num_sets, num_ways);
+    rrpv_.assign(static_cast<std::size_t>(num_sets) * num_ways,
+                 maxRrpv_);
+}
+
+void
+SrripPolicy::onHit(std::uint32_t set, std::uint32_t way,
+                   const CacheAccess &)
+{
+    at(set, way) = 0;
+}
+
+void
+SrripPolicy::onFill(std::uint32_t set, std::uint32_t way,
+                    const CacheAccess &)
+{
+    at(set, way) = static_cast<std::uint8_t>(maxRrpv_ - 1);
+}
+
+std::uint32_t
+SrripPolicy::victimWay(std::uint32_t set, const CacheAccess &,
+                       const CacheLine *)
+{
+    for (;;) {
+        for (std::uint32_t way = 0; way < ways_; ++way)
+            if (at(set, way) == maxRrpv_)
+                return way;
+        for (std::uint32_t way = 0; way < ways_; ++way)
+            ++at(set, way);
+    }
+}
+
+std::uint64_t
+SrripPolicy::storageOverheadBits() const
+{
+    return std::uint64_t{bits_} * sets_ * ways_;
+}
+
+std::uint8_t
+SrripPolicy::rrpvOf(std::uint32_t set, std::uint32_t way) const
+{
+    return rrpv_[static_cast<std::size_t>(set) * ways_ + way];
+}
+
+} // namespace acic

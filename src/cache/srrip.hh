@@ -1,0 +1,52 @@
+/**
+ * @file
+ * SRRIP (Jaleel et al., ISCA 2010): 2-bit re-reference prediction
+ * values per line. Insert at "long" (RRPV max-1), promote to 0 on hit,
+ * evict the first line at RRPV max, aging all lines when none is.
+ * Table IV: 2-bit RRPV -> 0.125 KB over a 32 KB / 512-line i-cache.
+ */
+
+#ifndef ACIC_CACHE_SRRIP_HH
+#define ACIC_CACHE_SRRIP_HH
+
+#include <vector>
+
+#include "cache/replacement.hh"
+
+namespace acic {
+
+/** See file comment. */
+class SrripPolicy : public ReplacementPolicy
+{
+  public:
+    /** @param rrpv_bits width of the RRPV field (paper uses 2). */
+    explicit SrripPolicy(unsigned rrpv_bits = 2);
+
+    void bind(std::uint32_t num_sets, std::uint32_t num_ways) override;
+    void onHit(std::uint32_t set, std::uint32_t way,
+               const CacheAccess &access) override;
+    void onFill(std::uint32_t set, std::uint32_t way,
+                const CacheAccess &access) override;
+    std::uint32_t victimWay(std::uint32_t set,
+                            const CacheAccess &incoming,
+                            const CacheLine *lines) override;
+    std::string name() const override { return "SRRIP"; }
+    std::uint64_t storageOverheadBits() const override;
+
+    /** RRPV of a line (tests). */
+    std::uint8_t rrpvOf(std::uint32_t set, std::uint32_t way) const;
+
+  private:
+    std::uint8_t &at(std::uint32_t set, std::uint32_t way)
+    {
+        return rrpv_[static_cast<std::size_t>(set) * ways_ + way];
+    }
+
+    unsigned bits_;
+    std::uint8_t maxRrpv_;
+    std::vector<std::uint8_t> rrpv_;
+};
+
+} // namespace acic
+
+#endif // ACIC_CACHE_SRRIP_HH

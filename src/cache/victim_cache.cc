@@ -1,0 +1,74 @@
+#include "cache/victim_cache.hh"
+
+#include "common/logging.hh"
+
+namespace acic {
+
+VictimCache::VictimCache(std::uint32_t blocks, std::uint32_t ways)
+    : blocks_(blocks), ways_(ways), sets_(blocks / ways)
+{
+    ACIC_ASSERT(ways >= 1 && blocks % ways == 0,
+                "victim cache geometry");
+    ACIC_ASSERT((sets_ & (sets_ - 1)) == 0,
+                "victim cache sets must be a power of two");
+    entries_.resize(blocks_);
+}
+
+bool
+VictimCache::probe(BlockAddr blk) const
+{
+    const std::uint32_t set = setOf(blk);
+    for (std::uint32_t w = 0; w < ways_; ++w) {
+        const Entry &e = entries_[set * ways_ + w];
+        if (e.valid && e.blk == blk)
+            return true;
+    }
+    return false;
+}
+
+bool
+VictimCache::extract(BlockAddr blk)
+{
+    const std::uint32_t set = setOf(blk);
+    for (std::uint32_t w = 0; w < ways_; ++w) {
+        Entry &e = entries_[set * ways_ + w];
+        if (e.valid && e.blk == blk) {
+            e.valid = false;
+            return true;
+        }
+    }
+    return false;
+}
+
+void
+VictimCache::insert(BlockAddr blk)
+{
+    const std::uint32_t set = setOf(blk);
+    Entry *victim = nullptr;
+    std::uint64_t oldest = ~std::uint64_t{0};
+    for (std::uint32_t w = 0; w < ways_; ++w) {
+        Entry &e = entries_[set * ways_ + w];
+        if (!e.valid) {
+            victim = &e;
+            break;
+        }
+        if (e.stamp < oldest) {
+            oldest = e.stamp;
+            victim = &e;
+        }
+    }
+    victim->valid = true;
+    victim->blk = blk;
+    victim->stamp = ++tick_;
+}
+
+std::uint64_t
+VictimCache::storageBits() const
+{
+    // Full data blocks plus ~58-bit tags, valid, and LRU bits.
+    const std::uint64_t per_entry =
+        kBlockBytes * 8 + 58 + 1 + 6;
+    return per_entry * blocks_;
+}
+
+} // namespace acic

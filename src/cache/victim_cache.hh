@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Victim cache (Jouppi, ISCA 1990): a small buffer holding blocks
+ * evicted from L1i for a second chance. The paper compares against a
+ * 3 KB fully-associative VC3K (Sec. IV-F / Fig. 10) and lists an 8 KB
+ * 4-way, 128-block VC8K in Table IV; both are configurations of this
+ * class.
+ */
+
+#ifndef ACIC_CACHE_VICTIM_CACHE_HH
+#define ACIC_CACHE_VICTIM_CACHE_HH
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace acic {
+
+/**
+ * Set-associative (or fully associative with one set) victim buffer
+ * with per-set LRU.
+ */
+class VictimCache
+{
+  public:
+    /**
+     * @param blocks total capacity in blocks.
+     * @param ways associativity; equal to @p blocks (and sets == 1)
+     *        makes it fully associative.
+     */
+    VictimCache(std::uint32_t blocks, std::uint32_t ways);
+
+    /** Fully-associative 3 KB configuration of Sec. IV-F. */
+    static VictimCache vc3k() { return VictimCache(48, 48); }
+
+    /** 4-way, 128-block, 8 KB configuration of Table IV. */
+    static VictimCache vc8k() { return VictimCache(128, 4); }
+
+    /**
+     * Probe for @p blk and remove it on hit (a victim hit swaps the
+     * block back into L1i).
+     * @return true when present.
+     */
+    bool extract(BlockAddr blk);
+
+    /** State-preserving presence test. */
+    bool probe(BlockAddr blk) const;
+
+    /** Insert an evicted block, displacing per-set LRU. */
+    void insert(BlockAddr blk);
+
+    std::uint32_t capacityBlocks() const { return blocks_; }
+
+    /** Data + tag storage in bits (Table IV accounting). */
+    std::uint64_t storageBits() const;
+
+  private:
+    struct Entry
+    {
+        BlockAddr blk = 0;
+        bool valid = false;
+        std::uint64_t stamp = 0;
+    };
+
+    std::uint32_t setOf(BlockAddr blk) const
+    {
+        return static_cast<std::uint32_t>(blk) & (sets_ - 1);
+    }
+
+    std::uint32_t blocks_;
+    std::uint32_t ways_;
+    std::uint32_t sets_;
+    std::uint64_t tick_ = 0;
+    std::vector<Entry> entries_;
+};
+
+} // namespace acic
+
+#endif // ACIC_CACHE_VICTIM_CACHE_HH

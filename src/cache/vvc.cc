@@ -1,0 +1,216 @@
+#include "cache/vvc.hh"
+
+#include "common/logging.hh"
+
+namespace acic {
+
+namespace {
+constexpr std::size_t kTableEntries = 1u << 14;
+} // namespace
+
+VvcCache::VvcCache(std::uint32_t num_sets, std::uint32_t num_ways)
+    : sets_(num_sets), ways_(num_ways)
+{
+    ACIC_ASSERT((sets_ & (sets_ - 1)) == 0 && sets_ >= 2,
+                "VVC sets must be a power of two >= 2");
+    lines_.resize(static_cast<std::size_t>(sets_) * ways_);
+    for (auto &table : tables_)
+        table.assign(kTableEntries, SatCounter(2, 0));
+}
+
+std::uint16_t
+VvcCache::traceStep(std::uint16_t trace, Addr pc)
+{
+    // Truncated-sum trace signature as in the dead-block predictor
+    // lineage VVC builds on, folded to 15 bits.
+    const std::uint32_t step =
+        static_cast<std::uint32_t>((pc >> 2) & 0x7fff);
+    return static_cast<std::uint16_t>((trace + step) & 0x7fff);
+}
+
+std::size_t
+VvcCache::tableIndex(std::uint16_t trace, std::size_t table) const
+{
+    std::uint64_t x = trace;
+    x *= table == 0 ? 0x9e3779b97f4a7c15ull : 0xc2b2ae3d27d4eb4full;
+    x ^= x >> 29;
+    return static_cast<std::size_t>(x & (kTableEntries - 1));
+}
+
+bool
+VvcCache::predictDead(std::uint16_t trace) const
+{
+    return tables_[0][tableIndex(trace, 0)].msbSet() &&
+           tables_[1][tableIndex(trace, 1)].msbSet();
+}
+
+void
+VvcCache::train(std::uint16_t trace, bool dead)
+{
+    for (std::size_t t = 0; t < 2; ++t) {
+        SatCounter &ctr = tables_[t][tableIndex(trace, t)];
+        if (dead)
+            ctr.increment();
+        else
+            ctr.decrement();
+    }
+}
+
+void
+VvcCache::touch(Line &line, const CacheAccess &access)
+{
+    line.stamp = ++tick_;
+    line.nextUse = access.nextUse;
+    if (!line.reused) {
+        line.reused = true;
+        train(line.trace, false);
+    }
+    line.trace = traceStep(line.trace, access.pc);
+}
+
+std::uint32_t
+VvcCache::lruWay(std::uint32_t set) const
+{
+    const Line *base = setBase(set);
+    std::uint32_t victim = 0;
+    std::uint64_t oldest = ~std::uint64_t{0};
+    for (std::uint32_t w = 0; w < ways_; ++w) {
+        if (!base[w].valid)
+            return w;
+        if (base[w].stamp < oldest) {
+            oldest = base[w].stamp;
+            victim = w;
+        }
+    }
+    return victim;
+}
+
+bool
+VvcCache::access(const CacheAccess &access)
+{
+    const std::uint32_t native = setOf(access.blk);
+    Line *base = setBase(native);
+    for (std::uint32_t w = 0; w < ways_; ++w) {
+        if (base[w].valid && base[w].blk == access.blk) {
+            touch(base[w], access);
+            stats_.bump("vvc.native_hit");
+            return true;
+        }
+    }
+    // Probe the partner set for a parked virtual victim.
+    const std::uint32_t partner = partnerOf(native);
+    Line *pbase = setBase(partner);
+    for (std::uint32_t w = 0; w < ways_; ++w) {
+        Line &parked = pbase[w];
+        if (parked.valid && parked.isVirtual &&
+            parked.blk == access.blk) {
+            stats_.bump("vvc.virtual_hit");
+            // Swap back: displaced native LRU takes the parked slot.
+            const std::uint32_t victim_way = lruWay(native);
+            Line &nat = base[victim_way];
+            Line displaced = nat;
+            nat = parked;
+            nat.isVirtual = false;
+            touch(nat, access);
+            if (displaced.valid && !displaced.isVirtual) {
+                parked = displaced;
+                parked.isVirtual = true;
+                parked.stamp = ++tick_;
+            } else {
+                parked.valid = false;
+            }
+            return true;
+        }
+    }
+    return false;
+}
+
+void
+VvcCache::fill(const CacheAccess &access)
+{
+    if (contains(access.blk))
+        return;
+    const std::uint32_t native = setOf(access.blk);
+    const std::uint32_t victim_way = lruWay(native);
+    Line &slot = setBase(native)[victim_way];
+    const Line old = slot;
+
+    if (old.valid && !old.reused)
+        train(old.trace, true);
+
+    slot.blk = access.blk;
+    slot.valid = true;
+    slot.isVirtual = false;
+    slot.reused = false;
+    slot.trace = traceStep(0, access.pc);
+    slot.stamp = ++tick_;
+    slot.nextUse = access.nextUse;
+
+    // Park the real (non-virtual) victim in a predicted-dead line of
+    // the partner set.
+    if (!old.valid || old.isVirtual)
+        return;
+    const std::uint32_t partner = partnerOf(native);
+    Line *pbase = setBase(partner);
+    std::int32_t park_way = -1;
+    for (std::uint32_t w = 0; w < ways_; ++w) {
+        if (!pbase[w].valid) {
+            park_way = static_cast<std::int32_t>(w);
+            break;
+        }
+    }
+    if (park_way < 0) {
+        // Oldest predicted-dead (or already-virtual) line.
+        std::uint64_t oldest = ~std::uint64_t{0};
+        for (std::uint32_t w = 0; w < ways_; ++w) {
+            const Line &cand = pbase[w];
+            const bool sacrificial =
+                cand.isVirtual || predictDead(cand.trace);
+            if (sacrificial && cand.stamp < oldest) {
+                oldest = cand.stamp;
+                park_way = static_cast<std::int32_t>(w);
+            }
+        }
+    }
+    if (park_way < 0) {
+        stats_.bump("vvc.victim_dropped");
+        return;
+    }
+    Line &park = pbase[static_cast<std::uint32_t>(park_way)];
+    if (park.valid && !park.isVirtual) {
+        stats_.bump("vvc.dead_displaced");
+        if (park.nextUse < old.nextUse)
+            stats_.bump("vvc.bad_displacement");
+    }
+    park = old;
+    park.isVirtual = true;
+    park.stamp = ++tick_;
+    stats_.bump("vvc.victim_parked");
+}
+
+bool
+VvcCache::contains(BlockAddr blk) const
+{
+    const std::uint32_t native = setOf(blk);
+    const Line *base = setBase(native);
+    for (std::uint32_t w = 0; w < ways_; ++w)
+        if (base[w].valid && base[w].blk == blk)
+            return true;
+    const Line *pbase = setBase(partnerOf(native));
+    for (std::uint32_t w = 0; w < ways_; ++w)
+        if (pbase[w].valid && pbase[w].isVirtual &&
+            pbase[w].blk == blk)
+            return true;
+    return false;
+}
+
+std::uint64_t
+VvcCache::storageOverheadBits() const
+{
+    const std::uint64_t lines = std::uint64_t{sets_} * ways_;
+    // Two 2^14-entry tables of 2-bit counters plus 15-bit traces and
+    // the virtual/reused marks per line (Table IV: 9.06 KB).
+    return 2 * kTableEntries * 2 + lines * (15 + 2);
+}
+
+} // namespace acic

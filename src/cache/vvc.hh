@@ -1,0 +1,101 @@
+/**
+ * @file
+ * VVC -- using dead blocks as a Virtual Victim Cache (Khan et al.,
+ * PACT 2010). Victims evicted from a set are parked in lines of the
+ * *partner* set that a trace-based dead-block predictor declares dead;
+ * misses probe the partner set for such virtual victims and swap them
+ * back on a hit. The ACIC paper finds VVC can hurt i-caches because
+ * ~60% of parked victims have longer reuse than the "dead" blocks they
+ * displace -- this implementation reproduces that failure mode.
+ * Table IV: 15-bit trace, 2 x 2^14-entry tables, 2-bit counters
+ * = 9.06 KB.
+ */
+
+#ifndef ACIC_CACHE_VVC_HH
+#define ACIC_CACHE_VVC_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "cache/cache_types.hh"
+#include "common/sat_counter.hh"
+#include "common/stats.hh"
+#include "common/types.hh"
+
+namespace acic {
+
+/**
+ * Self-contained L1i organization implementing VVC on an LRU cache.
+ * (Standalone rather than a ReplacementPolicy because placement and
+ * lookup cross set boundaries.)
+ */
+class VvcCache
+{
+  public:
+    VvcCache(std::uint32_t num_sets, std::uint32_t num_ways);
+
+    /** Demand lookup in native and partner sets. @return hit. */
+    bool access(const CacheAccess &access);
+
+    /** Fill after a serviced miss; may park the evicted victim. */
+    void fill(const CacheAccess &access);
+
+    /** Presence in either native or partner location. */
+    bool contains(BlockAddr blk) const;
+
+    /** Dead-block prediction for a line's current trace (tests). */
+    bool predictDead(std::uint16_t trace) const;
+
+    /** Extra storage vs. a plain LRU i-cache, in bits (Table IV). */
+    std::uint64_t storageOverheadBits() const;
+
+    /** Instrumentation counters (virtual hits, parks, displacement). */
+    const StatSet &stats() const { return stats_; }
+
+  private:
+    struct Line
+    {
+        BlockAddr blk = 0;
+        bool valid = false;
+        bool isVirtual = false;  ///< parked victim from partner set
+        bool reused = false;     ///< touched since fill
+        std::uint16_t trace = 0; ///< 15-bit PC trace signature
+        std::uint64_t stamp = 0; ///< recency
+        std::uint64_t nextUse = kNeverAgain;
+    };
+
+    std::uint32_t setOf(BlockAddr blk) const
+    {
+        return static_cast<std::uint32_t>(blk) & (sets_ - 1);
+    }
+    std::uint32_t partnerOf(std::uint32_t set) const
+    {
+        return set ^ 1;
+    }
+    Line *setBase(std::uint32_t set)
+    {
+        return lines_.data() + static_cast<std::size_t>(set) * ways_;
+    }
+    const Line *setBase(std::uint32_t set) const
+    {
+        return lines_.data() + static_cast<std::size_t>(set) * ways_;
+    }
+
+    static std::uint16_t traceStep(std::uint16_t trace, Addr pc);
+    void train(std::uint16_t trace, bool dead);
+    std::size_t tableIndex(std::uint16_t trace,
+                           std::size_t table) const;
+    std::uint32_t lruWay(std::uint32_t set) const;
+    void touch(Line &line, const CacheAccess &access);
+
+    std::uint32_t sets_;
+    std::uint32_t ways_;
+    std::uint64_t tick_ = 0;
+    std::vector<Line> lines_;
+    std::vector<SatCounter> tables_[2];
+    StatSet stats_;
+};
+
+} // namespace acic
+
+#endif // ACIC_CACHE_VVC_HH

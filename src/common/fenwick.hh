@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Fenwick (binary indexed) tree over prefix sums. Used by the
+ * reuse-distance profiler: stack distance of an access is the number of
+ * *distinct* blocks touched since the previous access to the same
+ * block, computed in O(log n) by marking each block's most recent
+ * access time and summing marks in a time window (Olken's algorithm).
+ */
+
+#ifndef ACIC_COMMON_FENWICK_HH
+#define ACIC_COMMON_FENWICK_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/logging.hh"
+
+namespace acic {
+
+/** Fenwick tree of 32-bit deltas with 64-bit prefix sums. */
+class FenwickTree
+{
+  public:
+    /** @param n number of addressable slots [0, n). */
+    explicit FenwickTree(std::size_t n) : tree_(n + 1, 0) {}
+
+    /** Add @p delta at index @p i. */
+    void
+    add(std::size_t i, std::int32_t delta)
+    {
+        ACIC_ASSERT(i + 1 < tree_.size() + 1 && i < size(),
+                    "FenwickTree::add out of range");
+        for (std::size_t j = i + 1; j < tree_.size(); j += j & (~j + 1))
+            tree_[j] += delta;
+    }
+
+    /** Sum of [0, i] inclusive. */
+    std::int64_t
+    prefixSum(std::size_t i) const
+    {
+        std::int64_t sum = 0;
+        for (std::size_t j = i + 1; j > 0; j -= j & (~j + 1))
+            sum += tree_[j];
+        return sum;
+    }
+
+    /** Sum of the closed interval [lo, hi]; 0 when lo > hi. */
+    std::int64_t
+    rangeSum(std::size_t lo, std::size_t hi) const
+    {
+        if (lo > hi)
+            return 0;
+        const std::int64_t upper = prefixSum(hi);
+        return lo == 0 ? upper : upper - prefixSum(lo - 1);
+    }
+
+    /** Number of slots. */
+    std::size_t size() const { return tree_.size() - 1; }
+
+  private:
+    std::vector<std::int64_t> tree_;
+};
+
+} // namespace acic
+
+#endif // ACIC_COMMON_FENWICK_HH

@@ -1,0 +1,80 @@
+#include "common/histogram.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace acic {
+
+Histogram::Histogram(std::vector<std::int64_t> edges,
+                     std::vector<std::string> labels)
+    : edges_(std::move(edges)), labels_(std::move(labels))
+{
+    ACIC_ASSERT(!edges_.empty(), "Histogram needs at least one edge");
+    ACIC_ASSERT(std::is_sorted(edges_.begin(), edges_.end()),
+                "Histogram edges must be ascending");
+    counts_.assign(edges_.size() + 1, 0);
+    if (labels_.empty()) {
+        for (std::size_t i = 0; i < edges_.size(); ++i) {
+            const std::int64_t lo = i == 0 ? 0 : edges_[i - 1] + 1;
+            labels_.push_back(std::to_string(lo) + "-" +
+                              std::to_string(edges_[i]));
+        }
+        labels_.push_back("> " + std::to_string(edges_.back()));
+    }
+    ACIC_ASSERT(labels_.size() == counts_.size(),
+                "Histogram labels must cover every bucket");
+}
+
+void
+Histogram::record(std::int64_t value)
+{
+    record(value, 1);
+}
+
+void
+Histogram::record(std::int64_t value, std::uint64_t count)
+{
+    counts_[bucketOf(value)] += count;
+    total_ += count;
+}
+
+std::size_t
+Histogram::bucketOf(std::int64_t value) const
+{
+    const auto it =
+        std::lower_bound(edges_.begin(), edges_.end(), value);
+    return static_cast<std::size_t>(it - edges_.begin());
+}
+
+std::uint64_t
+Histogram::count(std::size_t i) const
+{
+    ACIC_ASSERT(i < counts_.size(), "Histogram bucket out of range");
+    return counts_[i];
+}
+
+double
+Histogram::percent(std::size_t i) const
+{
+    if (total_ == 0)
+        return 0.0;
+    return 100.0 * static_cast<double>(count(i)) /
+           static_cast<double>(total_);
+}
+
+const std::string &
+Histogram::label(std::size_t i) const
+{
+    ACIC_ASSERT(i < labels_.size(), "Histogram label out of range");
+    return labels_[i];
+}
+
+void
+Histogram::clear()
+{
+    std::fill(counts_.begin(), counts_.end(), 0);
+    total_ = 0;
+}
+
+} // namespace acic

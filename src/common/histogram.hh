@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Bucketed histogram with caller-defined edges. The paper's figures
+ * bucket reuse distances into ranges such as {0, [1,16], (16,512],
+ * (512,1024], (1024,10000]}; this class reproduces those exact
+ * bucketings and prints percentage rows.
+ */
+
+#ifndef ACIC_COMMON_HISTOGRAM_HH
+#define ACIC_COMMON_HISTOGRAM_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace acic {
+
+/**
+ * Histogram over int64 samples with explicit bucket upper bounds.
+ *
+ * Bucket i holds samples v with edge[i-1] < v <= edge[i] (bucket 0
+ * holds v <= edge[0]); an implicit overflow bucket collects everything
+ * above the last edge.
+ */
+class Histogram
+{
+  public:
+    /**
+     * @param edges ascending inclusive upper bounds of each bucket.
+     * @param labels human-readable bucket names (edges.size() + 1 of
+     *        them, the last naming the overflow bucket); empty to
+     *        auto-generate from the edges.
+     */
+    explicit Histogram(std::vector<std::int64_t> edges,
+                       std::vector<std::string> labels = {});
+
+    /** Record one sample. */
+    void record(std::int64_t value);
+
+    /** Record @p count samples of the same value. */
+    void record(std::int64_t value, std::uint64_t count);
+
+    /** Number of buckets including the overflow bucket. */
+    std::size_t buckets() const { return counts_.size(); }
+
+    /** Raw count of bucket @p i. */
+    std::uint64_t count(std::size_t i) const;
+
+    /** Percentage (0..100) of samples in bucket @p i. */
+    double percent(std::size_t i) const;
+
+    /** Total samples recorded. */
+    std::uint64_t total() const { return total_; }
+
+    /** Bucket label. */
+    const std::string &label(std::size_t i) const;
+
+    /** Index of the bucket that @p value falls into. */
+    std::size_t bucketOf(std::int64_t value) const;
+
+    /** Reset all counts. */
+    void clear();
+
+  private:
+    std::vector<std::int64_t> edges_;
+    std::vector<std::string> labels_;
+    std::vector<std::uint64_t> counts_;
+    std::uint64_t total_ = 0;
+};
+
+} // namespace acic
+
+#endif // ACIC_COMMON_HISTOGRAM_HH

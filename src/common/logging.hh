@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Minimal gem5-style logging: panic() for internal invariant violations
+ * (aborts), fatal() for user/configuration errors (clean exit), warn()
+ * and inform() for status. Header-only so every module can use it
+ * without a link dependency.
+ */
+
+#ifndef ACIC_COMMON_LOGGING_HH
+#define ACIC_COMMON_LOGGING_HH
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace acic {
+
+/**
+ * Abort the simulation because an internal invariant was violated.
+ * Use for conditions that indicate a bug in the simulator itself.
+ */
+[[noreturn]] inline void
+panicImpl(const char *file, int line, const char *msg)
+{
+    std::fprintf(stderr, "panic: %s (%s:%d)\n", msg, file, line);
+    std::abort();
+}
+
+/**
+ * Terminate the simulation because of a user-level error such as an
+ * invalid configuration. Exits with status 1 instead of aborting.
+ */
+[[noreturn]] inline void
+fatalImpl(const char *file, int line, const char *msg)
+{
+    std::fprintf(stderr, "fatal: %s (%s:%d)\n", msg, file, line);
+    std::exit(1);
+}
+
+/** Print a warning that does not stop the simulation. */
+inline void
+warn(const char *msg)
+{
+    std::fprintf(stderr, "warn: %s\n", msg);
+}
+
+/** Print an informational status message. */
+inline void
+inform(const char *msg)
+{
+    std::fprintf(stdout, "info: %s\n", msg);
+}
+
+} // namespace acic
+
+#define ACIC_PANIC(msg) ::acic::panicImpl(__FILE__, __LINE__, (msg))
+#define ACIC_FATAL(msg) ::acic::fatalImpl(__FILE__, __LINE__, (msg))
+
+/** Cheap always-on invariant check used on non-hot paths. */
+#define ACIC_ASSERT(cond, msg)                                            \
+    do {                                                                  \
+        if (!(cond)) {                                                    \
+            ACIC_PANIC(msg);                                              \
+        }                                                                 \
+    } while (0)
+
+#endif // ACIC_COMMON_LOGGING_HH

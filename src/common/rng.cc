@@ -1,0 +1,131 @@
+#include "common/rng.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace acic {
+
+namespace {
+
+std::uint64_t
+splitmix64(std::uint64_t &x)
+{
+    x += 0x9e3779b97f4a7c15ull;
+    std::uint64_t z = x;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+}
+
+std::uint64_t
+rotl(std::uint64_t x, int k)
+{
+    return (x << k) | (x >> (64 - k));
+}
+
+} // namespace
+
+Rng::Rng(std::uint64_t seed)
+{
+    std::uint64_t sm = seed;
+    for (auto &word : s_)
+        word = splitmix64(sm);
+}
+
+std::uint64_t
+Rng::next()
+{
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+}
+
+std::uint64_t
+Rng::nextBelow(std::uint64_t bound)
+{
+    if (bound == 0)
+        return 0;
+    // Lemire's multiply-shift mapping; bias is negligible for the
+    // bounds used in workload synthesis (all << 2^64).
+    const unsigned __int128 m =
+        static_cast<unsigned __int128>(next()) * bound;
+    return static_cast<std::uint64_t>(m >> 64);
+}
+
+std::uint64_t
+Rng::nextRange(std::uint64_t lo, std::uint64_t hi)
+{
+    ACIC_ASSERT(lo <= hi, "nextRange: lo > hi");
+    return lo + nextBelow(hi - lo + 1);
+}
+
+double
+Rng::nextDouble()
+{
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+bool
+Rng::chance(double p)
+{
+    if (p <= 0.0)
+        return false;
+    if (p >= 1.0)
+        return true;
+    return nextDouble() < p;
+}
+
+std::uint64_t
+Rng::geometric(double p, std::uint64_t cap)
+{
+    if (p <= 0.0)
+        return cap;
+    if (p >= 1.0)
+        return 1;
+    // Inverse-CDF sampling keeps the stream deterministic (one draw).
+    const double u = nextDouble();
+    const double k = std::floor(std::log1p(-u) / std::log1p(-p)) + 1.0;
+    if (k >= static_cast<double>(cap))
+        return cap;
+    return static_cast<std::uint64_t>(k);
+}
+
+ZipfSampler::ZipfSampler(std::size_t n, double s)
+{
+    ACIC_ASSERT(n > 0, "ZipfSampler needs at least one item");
+    cdf_.resize(n);
+    double acc = 0.0;
+    for (std::size_t r = 0; r < n; ++r) {
+        acc += 1.0 / std::pow(static_cast<double>(r + 1), s);
+        cdf_[r] = acc;
+    }
+    for (auto &v : cdf_)
+        v /= acc;
+}
+
+std::size_t
+ZipfSampler::sample(Rng &rng) const
+{
+    const double u = rng.nextDouble();
+    const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+    if (it == cdf_.end())
+        return cdf_.size() - 1;
+    return static_cast<std::size_t>(it - cdf_.begin());
+}
+
+double
+ZipfSampler::mass(std::size_t r) const
+{
+    ACIC_ASSERT(r < cdf_.size(), "ZipfSampler::mass out of range");
+    return r == 0 ? cdf_[0] : cdf_[r] - cdf_[r - 1];
+}
+
+} // namespace acic

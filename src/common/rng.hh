@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation for workload synthesis.
+ *
+ * The synthetic trace generator must be re-iterable: oracle passes
+ * (Belady OPT, reuse-distance profiling) replay the exact same stream.
+ * We therefore use a self-contained xoshiro256** implementation whose
+ * sequence is fixed for a given seed across platforms, rather than
+ * std::mt19937 whose distributions are not specified bit-exactly.
+ */
+
+#ifndef ACIC_COMMON_RNG_HH
+#define ACIC_COMMON_RNG_HH
+
+#include <cstdint>
+#include <vector>
+
+namespace acic {
+
+/**
+ * xoshiro256** generator (Blackman & Vigna). Deterministic across
+ * platforms for a given seed; fast enough for per-instruction use.
+ */
+class Rng
+{
+  public:
+    /** Seed via splitmix64 so that nearby seeds diverge immediately. */
+    explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ull);
+
+    /** Next raw 64-bit value. */
+    std::uint64_t next();
+
+    /** Uniform integer in [0, bound) using rejection-free mapping. */
+    std::uint64_t nextBelow(std::uint64_t bound);
+
+    /** Uniform integer in [lo, hi] inclusive. */
+    std::uint64_t nextRange(std::uint64_t lo, std::uint64_t hi);
+
+    /** Uniform double in [0, 1). */
+    double nextDouble();
+
+    /** Bernoulli trial with probability p of returning true. */
+    bool chance(double p);
+
+    /**
+     * Geometric-ish run length: smallest k >= 1 with failure prob p
+     * per step, capped at @p cap to bound burst lengths.
+     */
+    std::uint64_t geometric(double p, std::uint64_t cap = 1u << 20);
+
+  private:
+    std::uint64_t s_[4];
+};
+
+/**
+ * Zipf(s, n) sampler over ranks {0, .., n-1} with precomputed CDF and
+ * binary search. Used to pick hot vs cold functions in the synthetic
+ * program model: datacenter instruction footprints are famously
+ * Zipf-distributed across functions.
+ */
+class ZipfSampler
+{
+  public:
+    /**
+     * @param n number of items (ranks).
+     * @param s skew parameter; s = 0 degenerates to uniform.
+     */
+    ZipfSampler(std::size_t n, double s);
+
+    /** Draw a rank in [0, n). Rank 0 is the hottest. */
+    std::size_t sample(Rng &rng) const;
+
+    /** Number of items. */
+    std::size_t size() const { return cdf_.size(); }
+
+    /** Probability mass of rank @p r. */
+    double mass(std::size_t r) const;
+
+  private:
+    std::vector<double> cdf_;
+};
+
+} // namespace acic
+
+#endif // ACIC_COMMON_RNG_HH

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Saturating counter, the workhorse of every predictor in this repo:
+ * the ACIC pattern table (5-bit), GHRP dead-block tables (2-bit),
+ * SRRIP RRPVs, SHiP SHCT, TAGE useful bits, etc.
+ */
+
+#ifndef ACIC_COMMON_SAT_COUNTER_HH
+#define ACIC_COMMON_SAT_COUNTER_HH
+
+#include <cstdint>
+
+#include "common/logging.hh"
+
+namespace acic {
+
+/**
+ * An n-bit saturating counter. Increment/decrement clamp at the bounds
+ * instead of wrapping, matching the hardware structures in the paper.
+ */
+class SatCounter
+{
+  public:
+    /**
+     * @param bits counter width in bits (1..31).
+     * @param initial initial value; clamped to the representable range.
+     */
+    explicit SatCounter(unsigned bits = 2, std::uint32_t initial = 0)
+        : maxVal_((1u << bits) - 1),
+          value_(initial > maxVal_ ? maxVal_ : initial)
+    {
+        ACIC_ASSERT(bits >= 1 && bits <= 31, "SatCounter width");
+    }
+
+    /** Saturating increment. */
+    void
+    increment()
+    {
+        if (value_ < maxVal_)
+            ++value_;
+    }
+
+    /** Saturating decrement. */
+    void
+    decrement()
+    {
+        if (value_ > 0)
+            --value_;
+    }
+
+    /** Current raw value. */
+    std::uint32_t value() const { return value_; }
+
+    /** Largest representable value. */
+    std::uint32_t maxValue() const { return maxVal_; }
+
+    /** Set to an explicit value (clamped). */
+    void
+    set(std::uint32_t v)
+    {
+        value_ = v > maxVal_ ? maxVal_ : v;
+    }
+
+    /** Reset to zero. */
+    void reset() { value_ = 0; }
+
+    /** True when the MSB of the counter is set (taken / predict-yes). */
+    bool msbSet() const { return value_ > maxVal_ / 2; }
+
+    /** True when value >= threshold. */
+    bool atLeast(std::uint32_t threshold) const
+    {
+        return value_ >= threshold;
+    }
+
+  private:
+    std::uint32_t maxVal_;
+    std::uint32_t value_;
+};
+
+} // namespace acic
+
+#endif // ACIC_COMMON_SAT_COUNTER_HH

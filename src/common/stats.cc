@@ -1,0 +1,55 @@
+#include "common/stats.hh"
+
+#include <cstdio>
+
+namespace acic {
+
+void
+StatSet::bump(const std::string &name, std::uint64_t delta)
+{
+    counters_[name] += delta;
+}
+
+void
+StatSet::set(const std::string &name, std::uint64_t value)
+{
+    counters_[name] = value;
+}
+
+std::uint64_t
+StatSet::get(const std::string &name) const
+{
+    const auto it = counters_.find(name);
+    return it == counters_.end() ? 0 : it->second;
+}
+
+bool
+StatSet::has(const std::string &name) const
+{
+    return counters_.find(name) != counters_.end();
+}
+
+double
+StatSet::ratio(const std::string &num, const std::string &den) const
+{
+    const std::uint64_t d = get(den);
+    if (d == 0)
+        return 0.0;
+    return static_cast<double>(get(num)) / static_cast<double>(d);
+}
+
+void
+StatSet::clear()
+{
+    counters_.clear();
+}
+
+void
+StatSet::dump(const std::string &prefix) const
+{
+    for (const auto &[name, value] : counters_)
+        std::printf("%s%s %llu\n", prefix.c_str(), name.c_str(),
+                    static_cast<unsigned long long>(value));
+}
+
+} // namespace acic

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Lightweight named-statistics registry. Modules register counters with
+ * a name and the simulator dumps them at the end of a run; benches pick
+ * specific counters to build the paper's tables.
+ */
+
+#ifndef ACIC_COMMON_STATS_HH
+#define ACIC_COMMON_STATS_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace acic {
+
+/** A flat bag of named 64-bit counters and derived ratios. */
+class StatSet
+{
+  public:
+    /** Add @p delta (default 1) to counter @p name, creating it at 0. */
+    void bump(const std::string &name, std::uint64_t delta = 1);
+
+    /** Set counter @p name to an explicit value. */
+    void set(const std::string &name, std::uint64_t value);
+
+    /** Value of @p name, or 0 when absent. */
+    std::uint64_t get(const std::string &name) const;
+
+    /** True when the counter exists. */
+    bool has(const std::string &name) const;
+
+    /** numerator/denominator with 0 fallback when denominator is 0. */
+    double ratio(const std::string &num, const std::string &den) const;
+
+    /** Reset everything. */
+    void clear();
+
+    /** Dump "name value" lines to stdout, sorted by name. */
+    void dump(const std::string &prefix = "") const;
+
+    /** Access to the underlying map for iteration in tests. */
+    const std::map<std::string, std::uint64_t> &raw() const
+    {
+        return counters_;
+    }
+
+  private:
+    std::map<std::string, std::uint64_t> counters_;
+};
+
+} // namespace acic
+
+#endif // ACIC_COMMON_STATS_HH

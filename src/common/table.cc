@@ -1,0 +1,92 @@
+#include "common/table.hh"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+#include "common/logging.hh"
+
+namespace acic {
+
+TablePrinter::TablePrinter(std::string title) : title_(std::move(title))
+{
+}
+
+void
+TablePrinter::setHeader(std::vector<std::string> header)
+{
+    header_ = std::move(header);
+}
+
+void
+TablePrinter::addRow(std::vector<std::string> row)
+{
+    ACIC_ASSERT(row.size() == header_.size(),
+                "TablePrinter row width mismatch");
+    rows_.push_back(std::move(row));
+}
+
+void
+TablePrinter::addNote(std::string note)
+{
+    notes_.push_back(std::move(note));
+}
+
+std::string
+TablePrinter::str() const
+{
+    std::vector<std::size_t> widths(header_.size(), 0);
+    for (std::size_t c = 0; c < header_.size(); ++c)
+        widths[c] = header_[c].size();
+    for (const auto &row : rows_)
+        for (std::size_t c = 0; c < row.size(); ++c)
+            widths[c] = std::max(widths[c], row[c].size());
+
+    std::ostringstream out;
+    out << "== " << title_ << " ==\n";
+    auto emit = [&](const std::vector<std::string> &row) {
+        for (std::size_t c = 0; c < row.size(); ++c) {
+            out << row[c];
+            if (c + 1 < row.size())
+                out << std::string(widths[c] - row[c].size() + 2, ' ');
+        }
+        out << "\n";
+    };
+    emit(header_);
+    std::size_t rule = 0;
+    for (std::size_t c = 0; c < widths.size(); ++c)
+        rule += widths[c] + (c + 1 < widths.size() ? 2 : 0);
+    out << std::string(rule, '-') << "\n";
+    for (const auto &row : rows_)
+        emit(row);
+    for (const auto &note : notes_)
+        out << "note: " << note << "\n";
+    return out.str();
+}
+
+void
+TablePrinter::print() const
+{
+    const std::string text = str();
+    std::fwrite(text.data(), 1, text.size(), stdout);
+    std::fflush(stdout);
+}
+
+std::string
+TablePrinter::fmt(double value, int digits)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", digits, value);
+    return buf;
+}
+
+std::string
+TablePrinter::pct(double fraction, int digits)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f%%", digits,
+                  100.0 * fraction);
+    return buf;
+}
+
+} // namespace acic

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * ASCII table printer. Every bench binary renders its figure/table in
+ * the paper's row/column layout through this class so outputs stay
+ * visually comparable to the publication.
+ */
+
+#ifndef ACIC_COMMON_TABLE_HH
+#define ACIC_COMMON_TABLE_HH
+
+#include <string>
+#include <vector>
+
+namespace acic {
+
+/** Column-aligned text table with an optional title and footer note. */
+class TablePrinter
+{
+  public:
+    /** @param title caption printed above the table. */
+    explicit TablePrinter(std::string title);
+
+    /** Define the header row. Must be called before any addRow(). */
+    void setHeader(std::vector<std::string> header);
+
+    /** Append one data row; must match the header's column count. */
+    void addRow(std::vector<std::string> row);
+
+    /** Append a note printed under the table. */
+    void addNote(std::string note);
+
+    /** Render to stdout. */
+    void print() const;
+
+    /** Render to a string (used by tests). */
+    std::string str() const;
+
+    /** Format helper: fixed-point double with @p digits decimals. */
+    static std::string fmt(double value, int digits = 4);
+
+    /** Format helper: percentage with sign, e.g. "-18.14%". */
+    static std::string pct(double fraction, int digits = 2);
+
+  private:
+    std::string title_;
+    std::vector<std::string> header_;
+    std::vector<std::vector<std::string>> rows_;
+    std::vector<std::string> notes_;
+};
+
+} // namespace acic
+
+#endif // ACIC_COMMON_TABLE_HH

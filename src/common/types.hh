@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Fundamental scalar types and cache-geometry constants shared by every
+ * module in the ACIC reproduction.
+ */
+
+#ifndef ACIC_COMMON_TYPES_HH
+#define ACIC_COMMON_TYPES_HH
+
+#include <cstdint>
+
+namespace acic {
+
+/** A byte address in the simulated machine. */
+using Addr = std::uint64_t;
+
+/** A 64-byte-block address, i.e. Addr >> kBlockShift. */
+using BlockAddr = std::uint64_t;
+
+/** Simulated clock cycle count. */
+using Cycle = std::uint64_t;
+
+/** Dynamic-instruction index within a trace. */
+using InstSeq = std::uint64_t;
+
+/** log2 of the instruction block size (64 B blocks throughout). */
+constexpr unsigned kBlockShift = 6;
+
+/** Instruction block size in bytes. */
+constexpr unsigned kBlockBytes = 1u << kBlockShift;
+
+/** Sentinel meaning "this block is never accessed again". */
+constexpr InstSeq kNeverAgain = ~InstSeq{0};
+
+/** Sentinel for an invalid / absent address. */
+constexpr Addr kInvalidAddr = ~Addr{0};
+
+/** Convert a byte address to its block address. */
+constexpr BlockAddr
+blockOf(Addr addr)
+{
+    return addr >> kBlockShift;
+}
+
+/** First byte address of a block. */
+constexpr Addr
+blockBase(BlockAddr blk)
+{
+    return blk << kBlockShift;
+}
+
+/** Byte offset of an address within its block. */
+constexpr unsigned
+blockOffset(Addr addr)
+{
+    return static_cast<unsigned>(addr & (kBlockBytes - 1));
+}
+
+} // namespace acic
+
+#endif // ACIC_COMMON_TYPES_HH

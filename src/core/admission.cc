@@ -1,0 +1,115 @@
+#include "core/admission.hh"
+
+#include "common/logging.hh"
+
+namespace acic {
+
+AccessCountAdmission::AccessCountAdmission(std::size_t table_entries,
+                                           unsigned counter_bits)
+{
+    counters_.assign(table_entries, SatCounter(counter_bits, 0));
+}
+
+std::size_t
+AccessCountAdmission::indexOf(BlockAddr blk) const
+{
+    std::uint64_t x = blk;
+    x ^= x >> 21;
+    x *= 0xff51afd7ed558ccdull;
+    x ^= x >> 33;
+    return static_cast<std::size_t>(x % counters_.size());
+}
+
+void
+AccessCountAdmission::onDemandAccess(const CacheAccess &access,
+                                     std::uint32_t)
+{
+    counters_[indexOf(access.blk)].increment();
+}
+
+bool
+AccessCountAdmission::admit(const AdmissionContext &ctx)
+{
+    const std::uint32_t victim_count =
+        counters_[indexOf(ctx.victim.blk)].value();
+    const std::uint32_t contender_count =
+        counters_[indexOf(ctx.contender.blk)].value();
+    return victim_count >= contender_count;
+}
+
+std::uint64_t
+AccessCountAdmission::storageBits() const
+{
+    return counters_.size() * 6;
+}
+
+RandomAdmission::RandomAdmission(double insert_prob,
+                                 std::uint64_t seed)
+    : insertProb_(insert_prob), rng_(seed)
+{
+}
+
+bool
+RandomAdmission::admit(const AdmissionContext &)
+{
+    return rng_.chance(insertProb_);
+}
+
+AcicAdmission::AcicAdmission(PredictorConfig predictor_config,
+                             CshrConfig cshr_config)
+    : predictor_(predictor_config), cshr_(cshr_config)
+{
+}
+
+bool
+AcicAdmission::admit(const AdmissionContext &ctx)
+{
+    const std::uint32_t tag = cshr_.partialTag(ctx.victim.blk);
+    const bool decision = predictor_.predict(tag);
+
+    // Enter the pair into the CSHR regardless of the decision; any
+    // entry evicted unresolved trains in the victim's favour.
+    const auto forced =
+        cshr_.insert(ctx.victim.blk, ctx.contender.blk, ctx.icacheSet,
+                     ctx.victim.nextUse < ctx.contender.nextUse);
+    for (const auto &resolution : forced)
+        predictor_.train(resolution.victimTag, resolution.victimWon,
+                         ctx.now);
+
+    if (profiler_ != nullptr)
+        profiler_->onInsert(ctx.victim.blk, ctx.contender.blk);
+
+    return decision;
+}
+
+void
+AcicAdmission::onDemandAccess(const CacheAccess &access,
+                              std::uint32_t icache_set)
+{
+    const auto resolutions = cshr_.search(access.blk, icache_set);
+    for (const auto &resolution : resolutions)
+        predictor_.train(resolution.victimTag, resolution.victimWon,
+                         access.cycle);
+    if (profiler_ != nullptr)
+        profiler_->onFetch(access.blk);
+}
+
+void
+AcicAdmission::tick(Cycle now)
+{
+    predictor_.tick(now);
+}
+
+std::string
+AcicAdmission::name() const
+{
+    return "acic-" + predictor_.name();
+}
+
+std::uint64_t
+AcicAdmission::storageBits() const
+{
+    return predictor_.storageBits() + cshr_.storageBits();
+}
+
+} // namespace acic

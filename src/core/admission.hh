@@ -1,0 +1,173 @@
+/**
+ * @file
+ * Admission controllers: the policy consulted when the i-Filter evicts
+ * a block and the organization must decide whether that victim enters
+ * the i-cache in place of the set's *contender* (the block LRU would
+ * evict). Variants cover the paper's schemes:
+ *
+ *  - AlwaysAdmit: the plain "i-Filter + i-cache" separation (Fig. 3a).
+ *  - NeverAdmit: i-Filter only (Fig. 17).
+ *  - AcicAdmission: two-level predictor + CSHR (the contribution).
+ *  - OptAdmission: oracle reuse comparison ("OPT bypass", Table IV).
+ *  - AccessCountAdmission: Johnson et al. [37] counter comparison.
+ *  - RandomAdmission: the 60%-accuracy random control of Fig. 12b.
+ */
+
+#ifndef ACIC_CORE_ADMISSION_HH
+#define ACIC_CORE_ADMISSION_HH
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cache/cache_types.hh"
+#include "common/rng.hh"
+#include "common/sat_counter.hh"
+#include "core/admission_predictor.hh"
+#include "core/cshr.hh"
+
+namespace acic {
+
+/** Everything an admission decision can see. */
+struct AdmissionContext
+{
+    /** The i-Filter victim line under judgement. */
+    const CacheLine &victim;
+    /** The i-cache contender it would replace (always valid). */
+    const CacheLine &contender;
+    /** i-cache set index of the victim. */
+    std::uint32_t icacheSet;
+    /** Current demand-sequence position. */
+    std::uint64_t seq;
+    Cycle now;
+};
+
+/** See file comment. */
+class AdmissionController
+{
+  public:
+    virtual ~AdmissionController() = default;
+
+    /** Admit the victim (replacing the contender)? */
+    virtual bool admit(const AdmissionContext &ctx) = 0;
+
+    /** Observe every demand fetch (training). */
+    virtual void
+    onDemandAccess(const CacheAccess &access, std::uint32_t icache_set)
+    {
+        (void)access;
+        (void)icache_set;
+    }
+
+    /** Advance internal update pipelines. */
+    virtual void tick(Cycle now) { (void)now; }
+
+    virtual std::string name() const = 0;
+
+    /** Hardware cost beyond the i-Filter itself, in bits. */
+    virtual std::uint64_t storageBits() const { return 0; }
+};
+
+/** Insert every i-Filter victim (Fig. 3a's 1.0057 scheme). */
+class AlwaysAdmit : public AdmissionController
+{
+  public:
+    bool admit(const AdmissionContext &) override { return true; }
+    std::string name() const override { return "always-insert"; }
+};
+
+/** Drop every i-Filter victim (Fig. 17 "i-Filter only"). */
+class NeverAdmit : public AdmissionController
+{
+  public:
+    bool admit(const AdmissionContext &) override { return false; }
+    std::string name() const override { return "ifilter-only"; }
+};
+
+/** Oracle: admit iff the victim's next use precedes the contender's. */
+class OptAdmission : public AdmissionController
+{
+  public:
+    bool
+    admit(const AdmissionContext &ctx) override
+    {
+        return ctx.victim.nextUse < ctx.contender.nextUse;
+    }
+    std::string name() const override { return "opt-bypass"; }
+};
+
+/**
+ * Access-count comparison (run-time cache bypassing, Johnson et al.):
+ * per-block saturating access counters; the block with the higher
+ * count is retained. The paper shows this underperforms for
+ * instruction streams (Fig. 3a).
+ */
+class AccessCountAdmission : public AdmissionController
+{
+  public:
+    explicit AccessCountAdmission(std::size_t table_entries = 1u << 14,
+                                  unsigned counter_bits = 6);
+
+    bool admit(const AdmissionContext &ctx) override;
+    void onDemandAccess(const CacheAccess &access,
+                        std::uint32_t icache_set) override;
+    std::string name() const override { return "access-count"; }
+    std::uint64_t storageBits() const override;
+
+  private:
+    std::size_t indexOf(BlockAddr blk) const;
+    std::vector<SatCounter> counters_;
+};
+
+/** Coin-flip admission with a fixed insert probability (Fig. 12b). */
+class RandomAdmission : public AdmissionController
+{
+  public:
+    explicit RandomAdmission(double insert_prob = 0.6,
+                             std::uint64_t seed = 0xF1177E5);
+
+    bool admit(const AdmissionContext &) override;
+    std::string name() const override { return "random-bypass"; }
+
+  private:
+    double insertProb_;
+    Rng rng_;
+};
+
+/**
+ * The ACIC admission controller: two-level predictor trained through
+ * the CSHR (Sec. III). Owns both structures; exposes an optional
+ * CshrLifetimeProfiler for the Fig. 6 experiment.
+ */
+class AcicAdmission : public AdmissionController
+{
+  public:
+    AcicAdmission(PredictorConfig predictor_config = {},
+                  CshrConfig cshr_config = {});
+
+    bool admit(const AdmissionContext &ctx) override;
+    void onDemandAccess(const CacheAccess &access,
+                        std::uint32_t icache_set) override;
+    void tick(Cycle now) override;
+    std::string name() const override;
+    std::uint64_t storageBits() const override;
+
+    /** Attach a Fig. 6 lifetime profiler (not owned). */
+    void setLifetimeProfiler(CshrLifetimeProfiler *profiler)
+    {
+        profiler_ = profiler;
+    }
+
+    const AdmissionPredictor &predictor() const { return predictor_; }
+    const Cshr &cshr() const { return cshr_; }
+
+  private:
+    AdmissionPredictor predictor_;
+    Cshr cshr_;
+    CshrLifetimeProfiler *profiler_ = nullptr;
+};
+
+} // namespace acic
+
+#endif // ACIC_CORE_ADMISSION_HH

@@ -1,0 +1,196 @@
+#include "core/admission_predictor.hh"
+
+#include "common/logging.hh"
+
+namespace acic {
+
+namespace {
+
+/** Pipeline latencies of the parallel update scheme (Sec. III-C2). */
+constexpr Cycle kHrtStageDelay = 1;
+constexpr Cycle kPtStageDelay = 2;
+
+std::uint64_t
+mix(std::uint64_t x)
+{
+    x ^= x >> 23;
+    x *= 0x2127599bf4325c37ull;
+    x ^= x >> 47;
+    return x;
+}
+
+} // namespace
+
+AdmissionPredictor::AdmissionPredictor(PredictorConfig config)
+    : config_(config)
+{
+    ACIC_ASSERT(config_.historyBits >= 1 && config_.historyBits <= 16,
+                "history bits out of range");
+    ACIC_ASSERT(config_.counterBits >= 1 && config_.counterBits <= 16,
+                "counter bits out of range");
+    historyMask_ = (1u << config_.historyBits) - 1;
+    const int mid = 1 << (config_.counterBits - 1);
+    const int max_val = (1 << config_.counterBits) - 1;
+    int thr = mid + config_.thresholdDelta;
+    if (thr < 1)
+        thr = 1;
+    if (thr > max_val)
+        thr = max_val;
+    threshold_ = static_cast<std::uint32_t>(thr);
+
+    std::size_t pt_entries;
+    switch (config_.kind) {
+      case PredictorKind::TwoLevel:
+        hrt_.assign(config_.hrtEntries, 0);
+        pt_entries = std::size_t{1} << config_.historyBits;
+        break;
+      case PredictorKind::GlobalHistory:
+        hrt_.assign(1, 0);
+        pt_entries = std::size_t{1} << config_.historyBits;
+        break;
+      case PredictorKind::Bimodal:
+        pt_entries = config_.hrtEntries;
+        break;
+      default:
+        ACIC_PANIC("unknown predictor kind");
+    }
+    // Counters power on at zero: a cold predictor *bypasses*. This
+    // matters beyond warm-up -- admission control is bistable (a
+    // stable i-cache keeps contenders hot, so comparisons resolve
+    // against new victims and keep the predictor selective; an
+    // admit-everything cache churns contenders and the comparisons
+    // degenerate), and the zero start lands in the selective
+    // equilibrium.
+    pt_.assign(pt_entries, SatCounter(config_.counterBits, 0));
+    queues_.resize(pt_entries);
+}
+
+std::size_t
+AdmissionPredictor::hrtIndex(std::uint32_t partial_tag) const
+{
+    if (config_.kind == PredictorKind::GlobalHistory)
+        return 0;
+    return static_cast<std::size_t>(mix(partial_tag) %
+                                    hrt_.size());
+}
+
+std::uint32_t
+AdmissionPredictor::historyFor(std::uint32_t partial_tag) const
+{
+    return hrt_[hrtIndex(partial_tag)];
+}
+
+std::uint32_t
+AdmissionPredictor::ptIndexFor(std::uint32_t partial_tag) const
+{
+    if (config_.kind == PredictorKind::Bimodal) {
+        return static_cast<std::uint32_t>(mix(partial_tag) %
+                                          pt_.size());
+    }
+    return historyFor(partial_tag);
+}
+
+bool
+AdmissionPredictor::predict(std::uint32_t partial_tag) const
+{
+    return pt_[ptIndexFor(partial_tag)].atLeast(threshold_);
+}
+
+void
+AdmissionPredictor::applyHistoryShift(std::uint32_t partial_tag,
+                                      bool won)
+{
+    if (config_.kind == PredictorKind::Bimodal)
+        return;
+    std::uint32_t &reg = hrt_[hrtIndex(partial_tag)];
+    reg = ((reg << 1) | (won ? 1u : 0u)) & historyMask_;
+}
+
+void
+AdmissionPredictor::applyPtUpdate(std::uint32_t pattern,
+                                  bool increment)
+{
+    SatCounter &ctr = pt_[pattern % pt_.size()];
+    if (increment)
+        ctr.increment();
+    else
+        ctr.decrement();
+}
+
+void
+AdmissionPredictor::train(std::uint32_t partial_tag, bool victim_won,
+                          Cycle now)
+{
+    // The PT is indexed with the history value *before* the shift
+    // (Fig. 8: history passed to the PT updater, then HRT updated).
+    const std::uint32_t pattern = ptIndexFor(partial_tag);
+    applyHistoryShift(partial_tag, victim_won);
+
+    if (config_.instantUpdate) {
+        applyPtUpdate(pattern, victim_won);
+        return;
+    }
+    auto &queue = queues_[pattern % queues_.size()];
+    if (queue.size() >= config_.updateQueueSlots) {
+        ++droppedUpdates_;
+        return;
+    }
+    queue.push_back({pattern, victim_won,
+                     now + kHrtStageDelay + kPtStageDelay});
+}
+
+void
+AdmissionPredictor::tick(Cycle now)
+{
+    if (config_.instantUpdate)
+        return;
+    // Each PT entry pops at most one queued update per cycle.
+    for (auto &queue : queues_) {
+        if (!queue.empty() && queue.front().due <= now) {
+            applyPtUpdate(queue.front().pattern,
+                          queue.front().increment);
+            queue.pop_front();
+        }
+    }
+}
+
+void
+AdmissionPredictor::flush()
+{
+    for (auto &queue : queues_) {
+        while (!queue.empty()) {
+            applyPtUpdate(queue.front().pattern,
+                          queue.front().increment);
+            queue.pop_front();
+        }
+    }
+}
+
+std::uint64_t
+AdmissionPredictor::storageBits() const
+{
+    std::uint64_t bits = 0;
+    if (config_.kind != PredictorKind::Bimodal)
+        bits += std::uint64_t{hrt_.size()} * config_.historyBits;
+    bits += std::uint64_t{pt_.size()} * config_.counterBits;
+    // Update queues: (PT index + 1 update-direction bit) per slot.
+    bits += std::uint64_t{pt_.size()} * config_.updateQueueSlots *
+            (config_.historyBits + 1);
+    return bits;
+}
+
+std::string
+AdmissionPredictor::name() const
+{
+    switch (config_.kind) {
+      case PredictorKind::TwoLevel:
+        return "two-level";
+      case PredictorKind::GlobalHistory:
+        return "global-history";
+      case PredictorKind::Bimodal:
+        return "bimodal";
+    }
+    return "?";
+}
+
+} // namespace acic

@@ -1,0 +1,129 @@
+/**
+ * @file
+ * The two-level i-cache admission predictor (Sec. III-A, Fig. 4),
+ * modeled on the Yeh/Patt two-level branch predictor:
+ *
+ *  - HRT (History Register Table): 1024 entries of 4-bit shift
+ *    registers, indexed by a hash of the i-Filter victim's 12-bit
+ *    partial tag. Each bit records one past comparison outcome
+ *    (1 = the victim was re-accessed before its contender).
+ *  - PT (Pattern Table): 2^4 = 16 entries of 5-bit saturating
+ *    counters indexed by the history pattern.
+ *
+ * Training goes through a modeled 2-cycle pipeline with a 10-slot
+ * update queue per PT entry (Sec. III-C2, Fig. 8); Fig. 14's *instant*
+ * mode applies updates immediately. Fig. 17's ablations (global
+ * history register, bimodal table) are variants of this class.
+ */
+
+#ifndef ACIC_CORE_ADMISSION_PREDICTOR_HH
+#define ACIC_CORE_ADMISSION_PREDICTOR_HH
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <vector>
+
+#include "common/sat_counter.hh"
+#include "common/types.hh"
+
+namespace acic {
+
+/** Predictor organization (Fig. 17 ablation space). */
+enum class PredictorKind : std::uint8_t
+{
+    TwoLevel,      ///< per-tag HRT + PT (the ACIC default)
+    GlobalHistory, ///< single global history register + PT
+    Bimodal,       ///< PT indexed directly by the tag hash
+};
+
+/** Configuration mirroring Table I and the Fig. 15 sensitivity axes. */
+struct PredictorConfig
+{
+    PredictorKind kind = PredictorKind::TwoLevel;
+    std::uint32_t hrtEntries = 1024;
+    unsigned historyBits = 4;
+    unsigned counterBits = 5;
+    /** Slots in each PT-entry update queue. */
+    unsigned updateQueueSlots = 10;
+    /** Apply updates immediately (Fig. 14 "instant update"). */
+    bool instantUpdate = false;
+    /**
+     * Offset added to the mid-scale admit threshold. The paper only
+     * says "a simple threshold is then used"; a small positive bias
+     * compensates for the admit-leaning training noise injected by
+     * benefit-of-the-doubt CSHR evictions.
+     */
+    int thresholdDelta = 0;
+};
+
+/** See file comment. */
+class AdmissionPredictor
+{
+  public:
+    explicit AdmissionPredictor(PredictorConfig config = {});
+
+    /**
+     * Should the i-Filter victim with this partial tag be admitted
+     * into the i-cache?
+     */
+    bool predict(std::uint32_t partial_tag) const;
+
+    /**
+     * Record a resolved comparison: @p victim_won is true when the
+     * i-Filter victim was re-accessed before its contender. Enters
+     * the 2-cycle update pipeline unless instantUpdate is set.
+     */
+    void train(std::uint32_t partial_tag, bool victim_won, Cycle now);
+
+    /** Drain due pipeline stages; call once per simulated cycle. */
+    void tick(Cycle now);
+
+    /** Flush the update pipeline (end of run). */
+    void flush();
+
+    /** Storage in bits (Table I: HRT 0.5 KB, PT 10 B, queues 100 B). */
+    std::uint64_t storageBits() const;
+
+    const PredictorConfig &config() const { return config_; }
+    std::string name() const;
+
+    /** Updates dropped because a PT queue was full (instrumentation). */
+    std::uint64_t droppedUpdates() const { return droppedUpdates_; }
+
+    /** Pattern table contents (tests / instrumentation). */
+    const std::vector<SatCounter> &patternTable() const { return pt_; }
+
+    /** History register table contents (tests / instrumentation). */
+    const std::vector<std::uint32_t> &historyTable() const
+    {
+        return hrt_;
+    }
+
+  private:
+    struct PendingUpdate
+    {
+        std::uint32_t pattern;
+        bool increment;
+        Cycle due;
+    };
+
+    std::size_t hrtIndex(std::uint32_t partial_tag) const;
+    void applyHistoryShift(std::uint32_t partial_tag, bool won);
+    std::uint32_t historyFor(std::uint32_t partial_tag) const;
+    std::uint32_t ptIndexFor(std::uint32_t partial_tag) const;
+    void applyPtUpdate(std::uint32_t pattern, bool increment);
+
+    PredictorConfig config_;
+    std::uint32_t historyMask_;
+    std::uint32_t threshold_;
+    std::vector<std::uint32_t> hrt_;
+    std::vector<SatCounter> pt_;
+    /** One bounded update queue per PT entry (Fig. 8). */
+    std::vector<std::deque<PendingUpdate>> queues_;
+    std::uint64_t droppedUpdates_ = 0;
+};
+
+} // namespace acic
+
+#endif // ACIC_CORE_ADMISSION_PREDICTOR_HH

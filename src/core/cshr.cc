@@ -1,0 +1,173 @@
+#include "core/cshr.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace acic {
+
+Cshr::Cshr(CshrConfig config) : config_(config)
+{
+    ACIC_ASSERT(config_.sets >= 1 &&
+                (config_.sets & (config_.sets - 1)) == 0,
+                "CSHR sets must be a power of two");
+    ACIC_ASSERT(config_.entries % config_.sets == 0,
+                "CSHR entries must divide evenly into sets");
+    ACIC_ASSERT(config_.tagBits >= 4 && config_.tagBits <= 30,
+                "CSHR tag bits out of range");
+    ways_ = config_.entries / config_.sets;
+    entries_.resize(config_.entries);
+}
+
+std::uint32_t
+Cshr::partialTag(BlockAddr blk) const
+{
+    // Partial tag above the i-cache set index bits, folded to width.
+    const std::uint64_t tag = blk >> config_.icacheSetBits;
+    const std::uint64_t mask = (1ull << config_.tagBits) - 1;
+    return static_cast<std::uint32_t>(
+        (tag ^ (tag >> config_.tagBits)) & mask);
+}
+
+std::uint32_t
+Cshr::cshrSetOf(std::uint32_t icache_set) const
+{
+    if (config_.sets == 1)
+        return 0;
+    unsigned set_bits = 0;
+    while ((1u << set_bits) < config_.sets)
+        ++set_bits;
+    // The m MSBs of the i-cache set index (Sec. III-C2).
+    return (icache_set >> (config_.icacheSetBits - set_bits)) &
+           (config_.sets - 1);
+}
+
+std::vector<CshrResolution>
+Cshr::insert(BlockAddr victim_blk, BlockAddr contender_blk,
+             std::uint32_t icache_set, bool oracle_victim_wins)
+{
+    std::vector<CshrResolution> forced_out;
+    const std::uint32_t set = cshrSetOf(icache_set);
+    Entry *base = setBase(set);
+
+    Entry *slot = nullptr;
+    std::uint64_t oldest = ~std::uint64_t{0};
+    for (std::uint32_t w = 0; w < ways_; ++w) {
+        if (!base[w].valid) {
+            slot = &base[w];
+            break;
+        }
+        if (base[w].stamp < oldest) {
+            oldest = base[w].stamp;
+            slot = &base[w];
+        }
+    }
+    if (slot->valid) {
+        // Evicted unresolved: benefit of the doubt to the victim.
+        forced_out.push_back({slot->victimTag, true, true});
+        ++forced_;
+    }
+    slot->victimTag = partialTag(victim_blk);
+    slot->contenderTag = partialTag(contender_blk);
+    slot->valid = true;
+    slot->oracleVictimWins = oracle_victim_wins;
+    slot->stamp = ++tick_;
+    return forced_out;
+}
+
+std::vector<CshrResolution>
+Cshr::search(BlockAddr blk, std::uint32_t icache_set)
+{
+    std::vector<CshrResolution> out;
+    const std::uint32_t set = cshrSetOf(icache_set);
+    const std::uint32_t tag = partialTag(blk);
+    Entry *base = setBase(set);
+    for (std::uint32_t w = 0; w < ways_; ++w) {
+        Entry &e = base[w];
+        if (!e.valid)
+            continue;
+        if (e.victimTag == tag) {
+            out.push_back({e.victimTag, true, false});
+            e.valid = false;
+            ++resolved_;
+            ++resolvedWon_;
+            if (e.oracleVictimWins)
+                ++truthMatch_;
+        } else if (e.contenderTag == tag) {
+            out.push_back({e.victimTag, false, false});
+            e.valid = false;
+            ++resolved_;
+            ++resolvedLost_;
+            if (!e.oracleVictimWins)
+                ++truthMatch_;
+        }
+    }
+    return out;
+}
+
+std::uint32_t
+Cshr::occupancy() const
+{
+    std::uint32_t n = 0;
+    for (const auto &e : entries_)
+        n += e.valid ? 1 : 0;
+    return n;
+}
+
+std::uint64_t
+Cshr::storageBits() const
+{
+    // 2 partial tags + valid + 5-bit LRU per entry (Table I).
+    return std::uint64_t{config_.entries} *
+           (2 * config_.tagBits + 1 + 5);
+}
+
+CshrLifetimeProfiler::CshrLifetimeProfiler()
+    : hist_({50, 100, 150, 200, 250, 300, 350, 400},
+            {"0-50", "50-100", "100-150", "150-200", "200-250",
+             "250-300", "300-350", "350-400", "InF"})
+{
+}
+
+void
+CshrLifetimeProfiler::onInsert(BlockAddr victim_blk,
+                               BlockAddr contender_blk)
+{
+    const std::size_t idx = pairs_.size();
+    pairs_.push_back({victim_blk, contender_blk, insertions_, true});
+    byBlock_[victim_blk].push_back(idx);
+    if (contender_blk != victim_blk)
+        byBlock_[contender_blk].push_back(idx);
+    ++insertions_;
+}
+
+void
+CshrLifetimeProfiler::onFetch(BlockAddr blk)
+{
+    const auto it = byBlock_.find(blk);
+    if (it == byBlock_.end())
+        return;
+    for (const std::size_t idx : it->second) {
+        Outstanding &pair = pairs_[idx];
+        if (!pair.live)
+            continue;
+        pair.live = false;
+        hist_.record(static_cast<std::int64_t>(insertions_ -
+                                               pair.insertIndex));
+    }
+    byBlock_.erase(it);
+}
+
+void
+CshrLifetimeProfiler::finalize()
+{
+    for (auto &pair : pairs_) {
+        if (pair.live) {
+            pair.live = false;
+            hist_.record(std::int64_t{1} << 40); // overflow bucket
+        }
+    }
+    byBlock_.clear();
+}
+
+} // namespace acic

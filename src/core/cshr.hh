@@ -1,0 +1,165 @@
+/**
+ * @file
+ * CSHR -- Comparison Status Holding Registers (Sec. III-B/III-C).
+ *
+ * Each entry holds the 12-bit partial tags of an i-Filter victim and
+ * its i-cache contender. The first subsequent fetch matching either
+ * tag resolves the comparison: victim-tag match means the victim was
+ * re-accessed sooner (train 1), contender-tag match means it was not
+ * (train 0). The paper's configuration is 256 entries arranged as 8
+ * sets x 32 ways, indexed by the 3 MSBs of the i-cache set index,
+ * LRU-replaced; entries evicted unresolved give the benefit of the
+ * doubt to the i-Filter victim. Storage: 256 x (2x12 tag + 1 valid +
+ * 5 LRU) = 0.9375 KB (Table I).
+ */
+
+#ifndef ACIC_CORE_CSHR_HH
+#define ACIC_CORE_CSHR_HH
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "common/histogram.hh"
+#include "common/types.hh"
+
+namespace acic {
+
+/** Geometry/width knobs (Fig. 15 varies the tag width). */
+struct CshrConfig
+{
+    std::uint32_t entries = 256;
+    std::uint32_t sets = 8;
+    unsigned tagBits = 12;
+    /** log2 of the number of i-cache sets (64 sets -> 6 bits). */
+    unsigned icacheSetBits = 6;
+};
+
+/** A resolved (or force-resolved) comparison. */
+struct CshrResolution
+{
+    /** Partial tag of the i-Filter victim (the HRT training key). */
+    std::uint32_t victimTag = 0;
+    /** True when the victim was re-accessed before the contender. */
+    bool victimWon = false;
+    /** True when resolved by eviction (benefit of the doubt). */
+    bool forced = false;
+};
+
+/** See file comment. */
+class Cshr
+{
+  public:
+    explicit Cshr(CshrConfig config = {});
+
+    /** Partial tag of a block address under this configuration. */
+    std::uint32_t partialTag(BlockAddr blk) const;
+
+    /**
+     * Insert a (victim, contender) pair keyed by the victim's i-cache
+     * set. If the CSHR set is full, the LRU entry is force-resolved
+     * in the victim's favour and returned.
+     */
+    std::vector<CshrResolution> insert(BlockAddr victim_blk,
+                                       BlockAddr contender_blk,
+                                       std::uint32_t icache_set,
+                                       bool oracle_victim_wins = false);
+
+    /**
+     * Search on a fetch of @p blk (set-associative search in the set
+     * selected by the 3 MSBs of its i-cache set index). Matching
+     * entries are invalidated and their resolutions returned; a block
+     * can match the contender field of several entries but the victim
+     * field of at most one.
+     */
+    std::vector<CshrResolution> search(BlockAddr blk,
+                                       std::uint32_t icache_set);
+
+    /** Valid entries currently held. */
+    std::uint32_t occupancy() const;
+
+    std::uint64_t storageBits() const;
+
+    const CshrConfig &config() const { return config_; }
+
+    /** Comparisons resolved by fetch vs. forced by eviction. */
+    std::uint64_t resolvedCount() const { return resolved_; }
+    std::uint64_t forcedCount() const { return forced_; }
+
+    /** Fetch-resolved outcomes by direction (instrumentation). */
+    std::uint64_t resolvedWonCount() const { return resolvedWon_; }
+    std::uint64_t resolvedLostCount() const { return resolvedLost_; }
+
+    /** Fetch-resolved outcomes agreeing with the oracle annotation. */
+    std::uint64_t resolvedTruthMatches() const { return truthMatch_; }
+
+  private:
+    struct Entry
+    {
+        std::uint32_t victimTag = 0;
+        std::uint32_t contenderTag = 0;
+        bool valid = false;
+        bool oracleVictimWins = false; ///< instrumentation only
+        std::uint64_t stamp = 0;
+    };
+
+    std::uint32_t cshrSetOf(std::uint32_t icache_set) const;
+    Entry *setBase(std::uint32_t set)
+    {
+        return entries_.data() +
+               static_cast<std::size_t>(set) * ways_;
+    }
+
+    CshrConfig config_;
+    std::uint32_t ways_;
+    std::uint64_t tick_ = 0;
+    std::uint64_t resolved_ = 0;
+    std::uint64_t forced_ = 0;
+    std::uint64_t resolvedWon_ = 0;
+    std::uint64_t resolvedLost_ = 0;
+    std::uint64_t truthMatch_ = 0;
+    std::vector<Entry> entries_;
+};
+
+/**
+ * Unbounded-CSHR profiler for Fig. 6: for every inserted pair it
+ * counts how many later insertions occur before the pair resolves.
+ * A pair needing fewer than N intervening insertions would resolve
+ * inside an N-entry fully-associative LRU CSHR.
+ */
+class CshrLifetimeProfiler
+{
+  public:
+    CshrLifetimeProfiler();
+
+    /** Record a pair insertion. */
+    void onInsert(BlockAddr victim_blk, BlockAddr contender_blk);
+
+    /** Record a fetch; resolves any pair either block belongs to. */
+    void onFetch(BlockAddr blk);
+
+    /** Mark everything still outstanding as unresolved (run end). */
+    void finalize();
+
+    /** Histogram over Fig. 6's buckets (50-wide up to 400, then InF). */
+    const Histogram &distribution() const { return hist_; }
+
+  private:
+    struct Outstanding
+    {
+        BlockAddr victim;
+        BlockAddr contender;
+        std::uint64_t insertIndex;
+        bool live;
+    };
+
+    std::uint64_t insertions_ = 0;
+    std::vector<Outstanding> pairs_;
+    /** block -> indices into pairs_ it can resolve. */
+    std::unordered_map<BlockAddr, std::vector<std::size_t>> byBlock_;
+    Histogram hist_;
+};
+
+} // namespace acic
+
+#endif // ACIC_CORE_CSHR_HH

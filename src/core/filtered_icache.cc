@@ -1,0 +1,169 @@
+#include "core/filtered_icache.hh"
+
+#include <iterator>
+
+#include "cache/lru.hh"
+#include "common/logging.hh"
+
+namespace acic {
+
+FilteredIcache::FilteredIcache(
+    Config config, std::unique_ptr<AdmissionController> admission,
+    std::string scheme_name)
+    : config_(config), filter_(config.filterEntries),
+      l1i_(config.icacheSets, config.icacheWays,
+           std::make_unique<LruPolicy>()),
+      admission_(std::move(admission)),
+      schemeName_(std::move(scheme_name))
+{
+    ACIC_ASSERT(admission_ != nullptr,
+                "filtered i-cache needs an admission controller");
+}
+
+bool
+FilteredIcache::access(const CacheAccess &access)
+{
+    // Every issued fetch searches the CSHR (Sec. III-B), hit or miss.
+    admission_->onDemandAccess(access, l1i_.setOf(access.blk));
+
+    if (filter_.lookup(access)) {
+        stats_.bump("filtered.filter_hit");
+        return true;
+    }
+    if (l1i_.lookup(access)) {
+        stats_.bump("filtered.icache_hit");
+        return true;
+    }
+    return false;
+}
+
+void
+FilteredIcache::recordAccuracy(const CacheLine &victim,
+                               const CacheLine &contender,
+                               bool admitted, std::uint64_t seq)
+{
+    // Oracle-correct decision: admit exactly when the victim's next
+    // use comes before the contender's (Sec. IV-G).
+    const bool should_admit = victim.nextUse < contender.nextUse;
+    const bool correct = admitted == should_admit;
+
+    const auto dist = [seq](std::uint64_t next_use) -> std::uint64_t {
+        return next_use == kNeverAgain ? kNeverAgain : next_use - seq;
+    };
+    const std::uint64_t victim_dist = dist(victim.nextUse);
+    const std::uint64_t contender_dist = dist(contender.nextUse);
+    const std::uint64_t min_dist =
+        victim_dist < contender_dist ? victim_dist : contender_dist;
+
+    stats_.bump("acic.decisions");
+    if (correct)
+        stats_.bump("acic.decisions_correct");
+    // Fig. 12a: accuracy restricted to decisions where at least one
+    // of the two blocks is re-referenced within a bound.
+    static constexpr std::uint64_t kRanges[] = {2048, 1024, 512, 256,
+                                                128};
+    for (const std::uint64_t range : kRanges) {
+        if (min_dist < range) {
+            stats_.bump("acic.decisions_r" + std::to_string(range));
+            if (correct)
+                stats_.bump("acic.correct_r" + std::to_string(range));
+        }
+    }
+    // Fig. 3b source data: signed next-use gap (incoming - outgoing)
+    // at admission time, histogrammed into the paper's buckets.
+    if (admitted) {
+        stats_.bump(victim_dist > contender_dist
+                        ? "acic.admit_longer_reuse"
+                        : "acic.admit_shorter_reuse");
+        static constexpr std::int64_t kEdges[] = {
+            -10000, -1000, -100, -10, 0, 10, 100, 1000, 10000};
+        std::int64_t gap;
+        if (victim_dist == kNeverAgain && contender_dist == kNeverAgain)
+            gap = 0;
+        else if (victim_dist == kNeverAgain)
+            gap = 1'000'000;
+        else if (contender_dist == kNeverAgain)
+            gap = -1'000'000;
+        else
+            gap = static_cast<std::int64_t>(victim_dist) -
+                  static_cast<std::int64_t>(contender_dist);
+        std::size_t bucket = 0;
+        while (bucket < std::size(kEdges) && gap > kEdges[bucket])
+            ++bucket;
+        stats_.bump("acic.gap_bucket_" + std::to_string(bucket));
+    }
+}
+
+void
+FilteredIcache::judgeVictim(const CacheLine &victim,
+                            const CacheAccess &cause)
+{
+    stats_.bump("filtered.filter_victims");
+    if (l1i_.probe(victim.blk)) {
+        // Already present (e.g. duplicate fill paths): nothing to do.
+        stats_.bump("filtered.victim_already_cached");
+        return;
+    }
+
+    CacheAccess as_access;
+    as_access.pc = victim.fillPc;
+    as_access.blk = victim.blk;
+    as_access.seq = cause.seq;
+    as_access.nextUse = victim.nextUse;
+    as_access.cycle = cause.cycle;
+
+    const std::uint32_t set = l1i_.setOf(victim.blk);
+    const std::uint32_t way = l1i_.victimWay(as_access);
+    const CacheLine &contender = l1i_.lineAt(set, way);
+
+    if (!contender.valid) {
+        // Free way: no one is displaced, so no comparison to learn.
+        l1i_.fillAt(set, way, as_access);
+        stats_.bump("filtered.victims_admitted");
+        stats_.bump("filtered.admitted_free_way");
+        return;
+    }
+
+    AdmissionContext ctx{victim, contender, set, cause.seq,
+                         cause.cycle};
+    const bool admitted = admission_->admit(ctx);
+    if (config_.trackAccuracy)
+        recordAccuracy(victim, contender, admitted, cause.seq);
+
+    if (admitted) {
+        l1i_.fillAt(set, way, as_access);
+        stats_.bump("filtered.victims_admitted");
+    } else {
+        stats_.bump("filtered.victims_dropped");
+    }
+}
+
+void
+FilteredIcache::fill(const CacheAccess &access)
+{
+    if (contains(access.blk))
+        return;
+    const auto evicted = filter_.insert(access);
+    if (evicted)
+        judgeVictim(*evicted, access);
+}
+
+bool
+FilteredIcache::contains(BlockAddr blk) const
+{
+    return filter_.contains(blk) || l1i_.probe(blk);
+}
+
+void
+FilteredIcache::tick(Cycle now)
+{
+    admission_->tick(now);
+}
+
+std::uint64_t
+FilteredIcache::storageOverheadBits() const
+{
+    return filter_.storageBits() + admission_->storageBits();
+}
+
+} // namespace acic

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * The filtered L1i organization: i-Filter in front of a conventional
+ * LRU i-cache, with a pluggable admission controller judging every
+ * i-Filter victim (Fig. 2 datapath). With AcicAdmission this is the
+ * paper's ACIC; with AlwaysAdmit it is the plain spatio-temporal
+ * separation of Fig. 3a; with OptAdmission it is "OPT bypass".
+ */
+
+#ifndef ACIC_CORE_FILTERED_ICACHE_HH
+#define ACIC_CORE_FILTERED_ICACHE_HH
+
+#include <memory>
+#include <string>
+
+#include "cache/icache_org.hh"
+#include "cache/set_assoc.hh"
+#include "core/admission.hh"
+#include "core/ifilter.hh"
+
+namespace acic {
+
+/** See file comment. */
+class FilteredIcache : public IcacheOrg
+{
+  public:
+    /** Geometry of the filtered organization. */
+    struct Config
+    {
+        std::uint32_t filterEntries = 16;
+        std::uint32_t icacheSets = 64;
+        std::uint32_t icacheWays = 8;
+        /**
+         * Attribute oracle-accuracy instrumentation (Fig. 12a/13);
+         * requires the run to carry next-use annotations.
+         */
+        bool trackAccuracy = false;
+    };
+
+    FilteredIcache(Config config,
+                   std::unique_ptr<AdmissionController> admission,
+                   std::string scheme_name);
+
+    bool access(const CacheAccess &access) override;
+    void fill(const CacheAccess &access) override;
+    bool contains(BlockAddr blk) const override;
+    void tick(Cycle now) override;
+    std::string name() const override { return schemeName_; }
+    std::uint64_t storageOverheadBits() const override;
+
+    /** The underlying admission controller (bench instrumentation). */
+    AdmissionController &admission() { return *admission_; }
+
+    /** The backing i-cache (tests). */
+    const SetAssocCache &icache() const { return l1i_; }
+
+    /** The i-Filter (tests). */
+    const IFilter &filter() const { return filter_; }
+
+  private:
+    void judgeVictim(const CacheLine &victim,
+                     const CacheAccess &cause);
+    void recordAccuracy(const CacheLine &victim,
+                        const CacheLine &contender, bool admitted,
+                        std::uint64_t seq);
+
+    Config config_;
+    IFilter filter_;
+    SetAssocCache l1i_;
+    std::unique_ptr<AdmissionController> admission_;
+    std::string schemeName_;
+};
+
+} // namespace acic
+
+#endif // ACIC_CORE_FILTERED_ICACHE_HH

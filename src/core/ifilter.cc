@@ -1,0 +1,100 @@
+#include "core/ifilter.hh"
+
+#include "common/logging.hh"
+
+namespace acic {
+
+IFilter::IFilter(std::uint32_t entries)
+{
+    ACIC_ASSERT(entries >= 1, "i-Filter needs at least one slot");
+    slots_.resize(entries);
+}
+
+bool
+IFilter::lookup(const CacheAccess &access)
+{
+    for (auto &slot : slots_) {
+        if (slot.line.valid && slot.line.blk == access.blk) {
+            slot.stamp = ++tick_;
+            slot.line.prefetched = false;
+            slot.line.nextUse = access.nextUse;
+            slot.line.lastTouch = access.seq;
+            return true;
+        }
+    }
+    return false;
+}
+
+bool
+IFilter::contains(BlockAddr blk) const
+{
+    for (const auto &slot : slots_)
+        if (slot.line.valid && slot.line.blk == blk)
+            return true;
+    return false;
+}
+
+std::optional<CacheLine>
+IFilter::insert(const CacheAccess &access)
+{
+    if (contains(access.blk))
+        return std::nullopt;
+
+    Slot *victim = nullptr;
+    std::uint64_t oldest = ~std::uint64_t{0};
+    for (auto &slot : slots_) {
+        if (!slot.line.valid) {
+            victim = &slot;
+            oldest = 0;
+            break;
+        }
+        if (slot.stamp < oldest) {
+            oldest = slot.stamp;
+            victim = &slot;
+        }
+    }
+
+    std::optional<CacheLine> evicted;
+    if (victim->line.valid)
+        evicted = victim->line;
+
+    victim->line.blk = access.blk;
+    victim->line.valid = true;
+    victim->line.prefetched = access.isPrefetch;
+    victim->line.fillPc = access.pc;
+    victim->line.nextUse = access.nextUse;
+    victim->line.lastTouch = access.seq;
+    victim->stamp = ++tick_;
+    return evicted;
+}
+
+bool
+IFilter::invalidate(BlockAddr blk)
+{
+    for (auto &slot : slots_) {
+        if (slot.line.valid && slot.line.blk == blk) {
+            slot.line.valid = false;
+            return true;
+        }
+    }
+    return false;
+}
+
+std::uint32_t
+IFilter::occupancy() const
+{
+    std::uint32_t n = 0;
+    for (const auto &slot : slots_)
+        n += slot.line.valid ? 1 : 0;
+    return n;
+}
+
+std::uint64_t
+IFilter::storageBits() const
+{
+    // 58-bit tag + 1 valid + 4 LRU bits = 63 metadata bits, plus the
+    // 64 B instruction block (Table I).
+    return slots_.size() * (63 + kBlockBytes * 8);
+}
+
+} // namespace acic

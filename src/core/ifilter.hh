@@ -1,0 +1,71 @@
+/**
+ * @file
+ * The i-Filter: a 16-entry fully-associative LRU buffer next to the
+ * i-cache (Sec. II, after [29], [49]). All fills from L2+ land here
+ * first; the buffer absorbs the spatial/short-term-temporal burst, and
+ * only its evictions are candidates for i-cache admission.
+ */
+
+#ifndef ACIC_CORE_IFILTER_HH
+#define ACIC_CORE_IFILTER_HH
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "cache/cache_types.hh"
+#include "common/types.hh"
+
+namespace acic {
+
+/** See file comment. */
+class IFilter
+{
+  public:
+    /** @param entries slot count (paper default: 16). */
+    explicit IFilter(std::uint32_t entries = 16);
+
+    /** Demand lookup; refreshes LRU and oracle annotations on hit. */
+    bool lookup(const CacheAccess &access);
+
+    /** State-preserving presence test. */
+    bool contains(BlockAddr blk) const;
+
+    /**
+     * Insert a filled block. When full, the LRU slot is evicted and
+     * returned so the admission controller can judge it.
+     * @return the evicted line, if one was displaced.
+     */
+    std::optional<CacheLine> insert(const CacheAccess &access);
+
+    /** Drop a block if present (duplicate-suppression paths). */
+    bool invalidate(BlockAddr blk);
+
+    std::uint32_t entryCount() const
+    {
+        return static_cast<std::uint32_t>(slots_.size());
+    }
+
+    /** Currently valid slots. */
+    std::uint32_t occupancy() const;
+
+    /**
+     * Storage in bits: per entry 58-bit tag + valid + LRU bits plus
+     * the 64 B instruction block (Table I: 1.123 KB at 16 entries).
+     */
+    std::uint64_t storageBits() const;
+
+  private:
+    struct Slot
+    {
+        CacheLine line{};
+        std::uint64_t stamp = 0;
+    };
+
+    std::vector<Slot> slots_;
+    std::uint64_t tick_ = 0;
+};
+
+} // namespace acic
+
+#endif // ACIC_CORE_IFILTER_HH

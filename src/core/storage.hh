@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Storage accounting reproducing Table I (ACIC component breakdown)
+ * and the storage column of Table IV (all compared schemes).
+ */
+
+#ifndef ACIC_CORE_STORAGE_HH
+#define ACIC_CORE_STORAGE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/admission_predictor.hh"
+#include "core/cshr.hh"
+
+namespace acic {
+
+/** One row of a storage table. */
+struct StorageRow
+{
+    std::string component;
+    std::string detail;
+    std::uint64_t bits;
+
+    double kilobytes() const
+    {
+        return static_cast<double>(bits) / 8.0 / 1024.0;
+    }
+};
+
+/** Table I: per-component ACIC storage for a given configuration. */
+std::vector<StorageRow>
+acicStorageBreakdown(std::uint32_t filter_entries = 16,
+                     const PredictorConfig &predictor = {},
+                     const CshrConfig &cshr = {});
+
+/** Table IV: storage overhead of every compared scheme. */
+std::vector<StorageRow> schemeStorageTable();
+
+/** Sum of a breakdown in bits. */
+std::uint64_t totalBits(const std::vector<StorageRow> &rows);
+
+} // namespace acic
+
+#endif // ACIC_CORE_STORAGE_HH

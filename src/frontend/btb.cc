@@ -1,0 +1,58 @@
+#include "frontend/btb.hh"
+
+#include "common/logging.hh"
+
+namespace acic {
+
+Btb::Btb(std::uint32_t entries, std::uint32_t ways)
+    : sets_(entries / ways), ways_(ways)
+{
+    ACIC_ASSERT(ways >= 1 && entries % ways == 0, "BTB geometry");
+    ACIC_ASSERT((sets_ & (sets_ - 1)) == 0,
+                "BTB sets must be a power of two");
+    entries_.resize(entries);
+}
+
+std::optional<Addr>
+Btb::lookup(Addr pc)
+{
+    const std::uint32_t set = setOf(pc);
+    for (std::uint32_t w = 0; w < ways_; ++w) {
+        Entry &e = entries_[set * ways_ + w];
+        if (e.valid && e.pc == pc) {
+            e.stamp = ++tick_;
+            return e.target;
+        }
+    }
+    return std::nullopt;
+}
+
+void
+Btb::update(Addr pc, Addr target)
+{
+    const std::uint32_t set = setOf(pc);
+    Entry *victim = nullptr;
+    std::uint64_t oldest = ~std::uint64_t{0};
+    for (std::uint32_t w = 0; w < ways_; ++w) {
+        Entry &e = entries_[set * ways_ + w];
+        if (e.valid && e.pc == pc) {
+            e.target = target;
+            e.stamp = ++tick_;
+            return;
+        }
+        if (!e.valid) {
+            victim = &e;
+            break;
+        }
+        if (e.stamp < oldest) {
+            oldest = e.stamp;
+            victim = &e;
+        }
+    }
+    victim->valid = true;
+    victim->pc = pc;
+    victim->target = target;
+    victim->stamp = ++tick_;
+}
+
+} // namespace acic

@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Branch Target Buffer: Table II specifies 8192 entries, 4-way.
+ * Stores targets of taken branches; a taken branch missing in the BTB
+ * costs a front-end re-steer bubble.
+ */
+
+#ifndef ACIC_FRONTEND_BTB_HH
+#define ACIC_FRONTEND_BTB_HH
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace acic {
+
+/** See file comment. */
+class Btb
+{
+  public:
+    /** @param entries total entries; @param ways associativity. */
+    explicit Btb(std::uint32_t entries = 8192, std::uint32_t ways = 4);
+
+    /** Predicted target for a branch PC, if present. */
+    std::optional<Addr> lookup(Addr pc);
+
+    /** Install/update the target of a taken branch. */
+    void update(Addr pc, Addr target);
+
+    std::uint32_t entryCount() const
+    {
+        return static_cast<std::uint32_t>(entries_.size());
+    }
+
+  private:
+    struct Entry
+    {
+        Addr pc = 0;
+        Addr target = 0;
+        bool valid = false;
+        std::uint64_t stamp = 0;
+    };
+
+    std::uint32_t setOf(Addr pc) const
+    {
+        return static_cast<std::uint32_t>(pc >> 2) & (sets_ - 1);
+    }
+
+    std::uint32_t sets_;
+    std::uint32_t ways_;
+    std::uint64_t tick_ = 0;
+    std::vector<Entry> entries_;
+};
+
+/**
+ * Return Address Stack. Calls push their return address; returns pop
+ * a prediction. Fixed depth with wrap-around overwrite on overflow,
+ * as in real front ends.
+ */
+class ReturnAddressStack
+{
+  public:
+    explicit ReturnAddressStack(std::uint32_t depth = 32)
+        : stack_(depth, 0)
+    {
+    }
+
+    /** Record the return address of a call. */
+    void
+    push(Addr return_pc)
+    {
+        top_ = (top_ + 1) % stack_.size();
+        stack_[top_] = return_pc;
+        if (size_ < stack_.size())
+            ++size_;
+    }
+
+    /** Predict a return target; 0 when empty. */
+    Addr
+    pop()
+    {
+        if (size_ == 0)
+            return 0;
+        const Addr predicted = stack_[top_];
+        top_ = (top_ + stack_.size() - 1) % stack_.size();
+        --size_;
+        return predicted;
+    }
+
+    std::uint32_t size() const { return size_; }
+
+  private:
+    std::vector<Addr> stack_;
+    std::uint32_t top_ = 0;
+    std::uint32_t size_ = 0;
+};
+
+} // namespace acic
+
+#endif // ACIC_FRONTEND_BTB_HH

@@ -1,0 +1,59 @@
+#include "frontend/bundle.hh"
+
+#include "common/logging.hh"
+
+namespace acic {
+
+BundleWalker::BundleWalker(TraceSource &source, unsigned width)
+    : source_(source), width_(width)
+{
+    ACIC_ASSERT(width_ >= 1 && width_ <= Bundle::kMaxInsts,
+                "bundle width out of range");
+}
+
+void
+BundleWalker::reset()
+{
+    source_.reset();
+    havePending_ = false;
+    exhausted_ = false;
+    emitted_ = 0;
+}
+
+bool
+BundleWalker::next(Bundle &out)
+{
+    if (!havePending_) {
+        if (exhausted_ || !source_.next(pending_)) {
+            exhausted_ = true;
+            return false;
+        }
+        havePending_ = true;
+    }
+
+    out.blk = blockOf(pending_.pc);
+    out.pc = pending_.pc;
+    out.count = 0;
+
+    for (;;) {
+        out.insts[out.count++] = pending_;
+        const TraceInst current = pending_;
+        havePending_ = source_.next(pending_);
+        if (!havePending_) {
+            exhausted_ = true;
+            break;
+        }
+        // A redirect (taken control transfer) ends the fetch group.
+        if (current.redirects())
+            break;
+        // Sequential flow: stop at block boundary or width.
+        if (blockOf(current.nextPc) != out.blk ||
+            out.count >= width_) {
+            break;
+        }
+    }
+    ++emitted_;
+    return true;
+}
+
+} // namespace acic

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Entangling instruction prefetcher (Ros & Jimborean, ISCA 2021),
+ * the alternative baseline prefetcher of Fig. 20/21. The prefetcher
+ * *entangles* a miss-causing block with a source block accessed at
+ * least one miss-latency earlier, so that a future access to the
+ * source prefetches the destination just in time. We model the 4K
+ * entangled-table configuration the paper cites, with two
+ * destinations per entry.
+ */
+
+#ifndef ACIC_FRONTEND_ENTANGLING_HH
+#define ACIC_FRONTEND_ENTANGLING_HH
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace acic {
+
+/** See file comment. */
+class EntanglingPrefetcher
+{
+  public:
+    /**
+     * @param table_entries entangled table size (paper config: 4096).
+     * @param max_dsts destinations per source entry.
+     * @param history_depth recent-access window searched for sources.
+     */
+    explicit EntanglingPrefetcher(std::size_t table_entries = 4096,
+                                  unsigned max_dsts = 2,
+                                  std::size_t history_depth = 64);
+
+    /**
+     * Record a demand access and emit any entangled prefetch
+     * candidates for it into the internal queue.
+     */
+    void onDemandAccess(BlockAddr blk, Cycle now);
+
+    /** Learn an entangling when a demand miss is detected. */
+    void onDemandMiss(BlockAddr blk, Cycle now, Cycle fill_latency);
+
+    /** Pop the next prefetch candidate, if any. */
+    bool popCandidate(BlockAddr &out);
+
+    /** Candidates currently queued. */
+    std::size_t queued() const { return candidates_.size(); }
+
+    /** Storage cost in bits (~40 KB noted by the ACIC paper). */
+    std::uint64_t storageBits() const;
+
+  private:
+    struct Entry
+    {
+        BlockAddr src = 0;
+        bool valid = false;
+        std::uint8_t nextSlot = 0;
+        std::vector<BlockAddr> dsts;
+    };
+
+    struct HistoryRec
+    {
+        BlockAddr blk;
+        Cycle cycle;
+    };
+
+    std::size_t indexOf(BlockAddr blk) const;
+
+    std::size_t tableEntries_;
+    unsigned maxDsts_;
+    std::size_t historyDepth_;
+    std::vector<Entry> table_;
+    std::deque<HistoryRec> history_;
+    std::deque<BlockAddr> candidates_;
+};
+
+} // namespace acic
+
+#endif // ACIC_FRONTEND_ENTANGLING_HH

@@ -1,0 +1,173 @@
+#include "frontend/tage.hh"
+
+namespace acic {
+
+Tage::Tage()
+{
+    bimodal_.assign(std::size_t{1} << kBimodalBits, SatCounter(2, 1));
+    for (auto &table : tables_)
+        table.assign(std::size_t{1} << kTableBits, TaggedEntry{});
+}
+
+std::uint64_t
+Tage::foldHistory(unsigned length, unsigned bits) const
+{
+    // XOR-fold the most recent `length` history bits down to `bits`.
+    std::uint64_t folded = 0;
+    unsigned consumed = 0;
+    while (consumed < length) {
+        const unsigned word = consumed / 64;
+        const unsigned off = consumed % 64;
+        const unsigned take =
+            std::min<unsigned>(64 - off, length - consumed);
+        std::uint64_t chunk = ghr_[word] >> off;
+        if (take < 64)
+            chunk &= (std::uint64_t{1} << take) - 1;
+        folded ^= chunk;
+        consumed += take;
+    }
+    // Second fold down to the requested width.
+    const std::uint64_t mask = (std::uint64_t{1} << bits) - 1;
+    std::uint64_t out = 0;
+    while (folded != 0) {
+        out ^= folded & mask;
+        folded >>= bits;
+    }
+    return out;
+}
+
+std::size_t
+Tage::tableIndex(Addr pc, unsigned table) const
+{
+    const std::uint64_t h = foldHistory(kHistLen[table], kTableBits);
+    const std::uint64_t p = pc >> 2;
+    return static_cast<std::size_t>(
+        (p ^ (p >> kTableBits) ^ h ^ (h << 1)) &
+        ((std::uint64_t{1} << kTableBits) - 1));
+}
+
+std::uint16_t
+Tage::tableTag(Addr pc, unsigned table) const
+{
+    const std::uint64_t h = foldHistory(kHistLen[table], kTagBits);
+    const std::uint64_t p = pc >> 2;
+    return static_cast<std::uint16_t>(
+        (p ^ (p >> 7) ^ (h << 2) ^ (table * 0x9d)) &
+        ((1u << kTagBits) - 1));
+}
+
+Tage::Lookup
+Tage::lookup(Addr pc)
+{
+    Lookup result;
+    for (int t = kTables - 1; t >= 0; --t) {
+        const std::size_t idx =
+            tableIndex(pc, static_cast<unsigned>(t));
+        const TaggedEntry &e = tables_[static_cast<unsigned>(t)][idx];
+        if (e.tag != tableTag(pc, static_cast<unsigned>(t)))
+            continue;
+        if (result.provider < 0) {
+            result.provider = t;
+            result.providerIdx = idx;
+            result.providerPred = e.ctr >= 4;
+        } else if (result.alt < 0) {
+            result.alt = t;
+            result.altIdx = idx;
+            result.altPred = e.ctr >= 4;
+            break;
+        }
+    }
+    const std::size_t bi =
+        static_cast<std::size_t>(pc >> 2) &
+        ((std::size_t{1} << kBimodalBits) - 1);
+    const bool bimodal_pred = bimodal_[bi].msbSet();
+    if (result.alt < 0) {
+        result.altPred = bimodal_pred;
+        result.altIdx = bi;
+    }
+    result.prediction =
+        result.provider >= 0 ? result.providerPred : bimodal_pred;
+    return result;
+}
+
+bool
+Tage::predict(Addr pc)
+{
+    last_ = lookup(pc);
+    lastPc_ = pc;
+    ++predictions_;
+    return last_.prediction;
+}
+
+void
+Tage::pushHistory(bool taken)
+{
+    // Shift the 192-bit history left by one, inserting the outcome.
+    const std::uint64_t carry1 = ghr_[0] >> 63;
+    const std::uint64_t carry2 = ghr_[1] >> 63;
+    ghr_[0] = (ghr_[0] << 1) | (taken ? 1u : 0u);
+    ghr_[1] = (ghr_[1] << 1) | carry1;
+    ghr_[2] = (ghr_[2] << 1) | carry2;
+}
+
+void
+Tage::update(Addr pc, bool taken)
+{
+    // Re-derive the lookup if predict() was for a different branch.
+    if (lastPc_ != pc)
+        last_ = lookup(pc);
+    const Lookup &l = last_;
+    const bool correct = l.prediction == taken;
+    if (!correct)
+        ++mispredicts_;
+
+    if (l.provider >= 0) {
+        TaggedEntry &e =
+            tables_[static_cast<unsigned>(l.provider)][l.providerIdx];
+        if (taken && e.ctr < 7)
+            ++e.ctr;
+        else if (!taken && e.ctr > 0)
+            --e.ctr;
+        if (l.providerPred != l.altPred) {
+            if (l.providerPred == taken && e.useful < 3)
+                ++e.useful;
+            else if (l.providerPred != taken && e.useful > 0)
+                --e.useful;
+        }
+    } else {
+        SatCounter &b = bimodal_[l.altIdx];
+        if (taken)
+            b.increment();
+        else
+            b.decrement();
+    }
+
+    // Allocate in a longer-history table on a mispredict.
+    if (!correct && l.provider < static_cast<int>(kTables) - 1) {
+        allocSeed_ = allocSeed_ * 6364136223846793005ull + 1443ull;
+        const unsigned start = static_cast<unsigned>(l.provider + 1);
+        bool allocated = false;
+        for (unsigned t = start; t < kTables && !allocated; ++t) {
+            const std::size_t idx = tableIndex(pc, t);
+            TaggedEntry &e = tables_[t][idx];
+            if (e.useful == 0) {
+                e.tag = tableTag(pc, t);
+                e.ctr = taken ? 4 : 3;
+                allocated = true;
+            }
+        }
+        if (!allocated) {
+            // Decay useful bits along the allocation path.
+            for (unsigned t = start; t < kTables; ++t) {
+                TaggedEntry &e = tables_[t][tableIndex(pc, t)];
+                if (e.useful > 0)
+                    --e.useful;
+            }
+        }
+    }
+
+    pushHistory(taken);
+    lastPc_ = 0;
+}
+
+} // namespace acic

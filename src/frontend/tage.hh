@@ -1,0 +1,87 @@
+/**
+ * @file
+ * TAGE conditional branch predictor (Seznec & Michaud, JILP 2006),
+ * the predictor Table II specifies. A bimodal base table plus tagged
+ * tables indexed by geometrically increasing global-history folds;
+ * the longest-history tag match provides the prediction, with the
+ * standard useful-bit allocation policy on mispredicts.
+ */
+
+#ifndef ACIC_FRONTEND_TAGE_HH
+#define ACIC_FRONTEND_TAGE_HH
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "common/sat_counter.hh"
+#include "common/types.hh"
+
+namespace acic {
+
+/** See file comment. */
+class Tage
+{
+  public:
+    Tage();
+
+    /** Predict the direction of the conditional branch at @p pc. */
+    bool predict(Addr pc);
+
+    /**
+     * Train with the actual outcome. Must be called once per
+     * conditional branch, after predict(), with the same PC.
+     */
+    void update(Addr pc, bool taken);
+
+    /** Predictions made / mispredicted (accuracy bookkeeping). */
+    std::uint64_t predictions() const { return predictions_; }
+    std::uint64_t mispredicts() const { return mispredicts_; }
+
+    static constexpr unsigned kTables = 4;
+
+  private:
+    struct TaggedEntry
+    {
+        std::uint16_t tag = 0;
+        std::uint8_t ctr = 4;    ///< 3-bit, taken when >= 4
+        std::uint8_t useful = 0; ///< 2-bit
+    };
+
+    struct Lookup
+    {
+        int provider = -1; ///< table index, -1 = bimodal
+        int alt = -1;
+        std::size_t providerIdx = 0;
+        std::size_t altIdx = 0;
+        bool providerPred = false;
+        bool altPred = false;
+        bool prediction = false;
+    };
+
+    std::uint64_t foldHistory(unsigned length, unsigned bits) const;
+    std::size_t tableIndex(Addr pc, unsigned table) const;
+    std::uint16_t tableTag(Addr pc, unsigned table) const;
+    Lookup lookup(Addr pc);
+    void pushHistory(bool taken);
+
+    static constexpr unsigned kBimodalBits = 13; // 8192 entries
+    static constexpr unsigned kTableBits = 10;   // 1024 entries
+    static constexpr unsigned kTagBits = 9;
+    static constexpr std::array<unsigned, kTables> kHistLen = {
+        8, 21, 55, 144};
+
+    std::vector<SatCounter> bimodal_;
+    std::array<std::vector<TaggedEntry>, kTables> tables_;
+    /** 192-bit global history, bit 0 most recent. */
+    std::array<std::uint64_t, 3> ghr_{};
+    Lookup last_{};
+    Addr lastPc_ = 0;
+    std::uint64_t predictions_ = 0;
+    std::uint64_t mispredicts_ = 0;
+    std::uint64_t allocSeed_ = 0x1234;
+};
+
+} // namespace acic
+
+#endif // ACIC_FRONTEND_TAGE_HH

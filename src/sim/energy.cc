@@ -1,0 +1,41 @@
+#include "sim/energy.hh"
+
+namespace acic {
+
+EnergyBreakdown
+computeEnergy(const SimResult &result, const EnergyParams &params,
+              bool acic_structures)
+{
+    EnergyBreakdown out;
+    const double accesses =
+        static_cast<double>(result.demandAccesses);
+
+    out.dynamicNj += accesses * params.l1iAccessNj;
+    out.dynamicNj += static_cast<double>(result.instructions) *
+                     params.corePerInstNj;
+    out.dynamicNj += static_cast<double>(result.l2Accesses) *
+                     params.l2AccessNj;
+    out.dynamicNj += static_cast<double>(result.l3Accesses) *
+                     params.l3AccessNj;
+    out.dynamicNj += static_cast<double>(result.dramAccesses) *
+                     params.dramAccessNj;
+
+    if (acic_structures) {
+        // Every fetch probes the i-Filter and searches the CSHR in
+        // parallel with the i-cache; every i-Filter eviction reads
+        // the HRT and PT.
+        out.dynamicNj += accesses * params.ifilterAccessNj;
+        out.dynamicNj += accesses * params.cshrAccessNj;
+        const double victims = static_cast<double>(
+            result.orgStats.get("filtered.filter_victims"));
+        out.dynamicNj +=
+            victims * (params.hrtAccessNj + params.ptAccessNj);
+    }
+
+    const double seconds = static_cast<double>(result.cycles) /
+                           (params.clockGhz * 1e9);
+    out.staticNj = params.staticPowerW * seconds * 1e9;
+    return out;
+}
+
+} // namespace acic

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Analytic chip-energy model substituting for the paper's
+ * McPAT + CACTI 7 flow (Sec. III-D). Per-access dynamic energies for
+ * each structure (22 nm CACTI-flavoured constants) plus leakage/clock
+ * power integrated over execution time. ACIC's saving comes from the
+ * shorter execution time outweighing the added i-Filter/HRT/PT/CSHR
+ * energy, exactly the trade-off the paper reports (-0.63% chip
+ * energy).
+ */
+
+#ifndef ACIC_SIM_ENERGY_HH
+#define ACIC_SIM_ENERGY_HH
+
+#include "sim/simulator.hh"
+
+namespace acic {
+
+/** Per-event energies in nanojoules; power in watts. */
+struct EnergyParams
+{
+    double l1iAccessNj = 0.015;    ///< 32 KB 8-way read
+    double ifilterAccessNj = 0.002;///< 16-entry CAM probe
+    double hrtAccessNj = 0.0006;   ///< 1024 x 4 bit read+write
+    double ptAccessNj = 0.0002;    ///< 16 x 5 bit
+    double cshrAccessNj = 0.0012;  ///< 32-way partial-tag search
+    double l2AccessNj = 0.045;
+    double l3AccessNj = 0.140;
+    double dramAccessNj = 15.0;
+    double corePerInstNj = 0.20;   ///< rest-of-core dynamic energy
+    double staticPowerW = 1.8;     ///< chip leakage + clock tree
+    double clockGhz = 4.0;
+};
+
+/** Energy split of one run. */
+struct EnergyBreakdown
+{
+    double dynamicNj = 0.0;
+    double staticNj = 0.0;
+    double totalNj() const { return dynamicNj + staticNj; }
+};
+
+/**
+ * Integrate the model over a run.
+ * @param acic_structures when true, charges the i-Filter/HRT/PT/CSHR
+ *        activity of the filtered organizations.
+ */
+EnergyBreakdown computeEnergy(const SimResult &result,
+                              const EnergyParams &params = {},
+                              bool acic_structures = false);
+
+} // namespace acic
+
+#endif // ACIC_SIM_ENERGY_HH

@@ -1,0 +1,49 @@
+#include "sim/oracle.hh"
+
+#include <algorithm>
+
+#include "frontend/bundle.hh"
+
+namespace acic {
+
+DemandOracle
+DemandOracle::build(TraceSource &trace, unsigned fetch_width)
+{
+    DemandOracle oracle;
+    trace.reset();
+    BundleWalker walker(trace, fetch_width);
+    Bundle bundle;
+    while (walker.next(bundle))
+        oracle.seq_.push_back(bundle.blk);
+    trace.reset();
+
+    const std::uint64_t n = oracle.seq_.size();
+    oracle.nextUse_.assign(n, kNeverAgain);
+    for (std::uint64_t i = 0; i < n; ++i)
+        oracle.occ_[oracle.seq_[i]].push_back(i);
+    // Backward next-use computation.
+    std::unordered_map<BlockAddr, std::uint64_t> upcoming;
+    upcoming.reserve(oracle.occ_.size());
+    for (std::uint64_t i = n; i-- > 0;) {
+        const BlockAddr blk = oracle.seq_[i];
+        const auto it = upcoming.find(blk);
+        if (it != upcoming.end())
+            oracle.nextUse_[i] = it->second;
+        upcoming[blk] = i;
+    }
+    return oracle;
+}
+
+std::uint64_t
+DemandOracle::nextUseAfter(BlockAddr blk, std::uint64_t idx) const
+{
+    const auto it = occ_.find(blk);
+    if (it == occ_.end())
+        return kNeverAgain;
+    const auto &list = it->second;
+    const auto pos =
+        std::upper_bound(list.begin(), list.end(), idx);
+    return pos == list.end() ? kNeverAgain : *pos;
+}
+
+} // namespace acic

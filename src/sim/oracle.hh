@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Oracle next-use annotations. A preliminary pass walks the trace with
+ * the same BundleWalker the simulator uses, records the demand
+ * block-access sequence, and precomputes for every access the index of
+ * the block's next access. Belady OPT, "OPT bypass", and the accuracy
+ * instrumentation of Sec. IV-G all consume these annotations.
+ */
+
+#ifndef ACIC_SIM_ORACLE_HH
+#define ACIC_SIM_ORACLE_HH
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.hh"
+#include "trace/trace.hh"
+
+namespace acic {
+
+/** See file comment. */
+class DemandOracle
+{
+  public:
+    /**
+     * Build by walking @p trace (which is reset before and after).
+     * @param fetch_width must equal the simulator's fetch width so
+     *        bundle indices align.
+     */
+    static DemandOracle build(TraceSource &trace,
+                              unsigned fetch_width = 6);
+
+    /** Length of the demand access sequence (bundle count). */
+    std::uint64_t length() const { return seq_.size(); }
+
+    /** Block accessed by demand access @p idx. */
+    BlockAddr blockAt(std::uint64_t idx) const { return seq_[idx]; }
+
+    /** Next access index of the block accessed at @p idx. */
+    std::uint64_t nextUseAt(std::uint64_t idx) const
+    {
+        return nextUse_[idx];
+    }
+
+    /**
+     * First access of @p blk strictly after @p idx (prefetch fills),
+     * or kNeverAgain.
+     */
+    std::uint64_t nextUseAfter(BlockAddr blk, std::uint64_t idx) const;
+
+    /** Distinct blocks in the sequence (footprint accounting). */
+    std::uint64_t distinctBlocks() const { return occ_.size(); }
+
+  private:
+    std::vector<BlockAddr> seq_;
+    std::vector<std::uint64_t> nextUse_;
+    std::unordered_map<BlockAddr, std::vector<std::uint64_t>> occ_;
+};
+
+} // namespace acic
+
+#endif // ACIC_SIM_ORACLE_HH

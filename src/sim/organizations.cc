@@ -1,0 +1,140 @@
+#include "sim/organizations.hh"
+
+#include "common/logging.hh"
+
+namespace acic {
+
+PlainIcache::PlainIcache(std::uint32_t num_sets,
+                         std::uint32_t num_ways,
+                         std::unique_ptr<ReplacementPolicy> policy,
+                         std::string scheme_name,
+                         std::unique_ptr<BypassPolicy> bypass,
+                         std::unique_ptr<VictimCache> victim_cache)
+    : l1i_(num_sets, num_ways, std::move(policy)),
+      bypass_(std::move(bypass)), vc_(std::move(victim_cache)),
+      schemeName_(std::move(scheme_name))
+{
+    // The baseline L1i is 32 KB / 8-way; a larger geometry itself
+    // counts as overhead (Table IV's 36/40 KB rows).
+    const std::uint64_t baseline_blocks = 64 * 8;
+    const std::uint64_t blocks =
+        std::uint64_t{num_sets} * num_ways;
+    baselineBits_ =
+        blocks > baseline_blocks
+            ? (blocks - baseline_blocks) * (kBlockBytes * 8 + 63)
+            : 0;
+}
+
+bool
+PlainIcache::access(const CacheAccess &access)
+{
+    if (bypass_ != nullptr)
+        bypass_->onDemandAccess(access, l1i_);
+
+    if (l1i_.lookup(access)) {
+        stats_.bump("plain.hit");
+        return true;
+    }
+    if (vc_ != nullptr && vc_->extract(access.blk)) {
+        // Victim-cache hit: swap the block back into the L1i; the
+        // displaced L1i victim takes its place in the VC.
+        stats_.bump("plain.vc_hit");
+        const auto result = l1i_.fill(access);
+        if (result.evicted)
+            vc_->insert(result.victim.blk);
+        return true;
+    }
+    return false;
+}
+
+void
+PlainIcache::fill(const CacheAccess &access)
+{
+    if (l1i_.probe(access.blk))
+        return;
+
+    // Replacement-accuracy instrumentation (Sec. IV-D): compare the
+    // policy's victim with OPT's choice. Only meaningful when the
+    // run carries oracle annotations and the set is full.
+    const std::uint32_t set = l1i_.setOf(access.blk);
+    bool set_full = true;
+    for (std::uint32_t w = 0; w < l1i_.numWays(); ++w) {
+        if (!l1i_.lineAt(set, w).valid) {
+            set_full = false;
+            break;
+        }
+    }
+
+    if (bypass_ != nullptr && set_full) {
+        CacheAccess incoming = access;
+        if (bypass_->shouldBypass(incoming, l1i_)) {
+            stats_.bump("plain.bypassed");
+            return;
+        }
+    }
+
+    if (set_full && access.nextUse != kNeverAgain) {
+        CacheAccess probe = access;
+        const std::uint32_t chosen = l1i_.victimWay(probe);
+        const std::uint32_t opt_choice = OptPolicy::optVictim(
+            &l1i_.lineAt(set, 0), l1i_.numWays());
+        stats_.bump("plain.evictions_judged");
+        if (chosen == opt_choice)
+            stats_.bump("plain.evictions_match_opt");
+    }
+
+    const auto result = l1i_.fill(access);
+    if (result.evicted && vc_ != nullptr)
+        vc_->insert(result.victim.blk);
+}
+
+bool
+PlainIcache::contains(BlockAddr blk) const
+{
+    if (l1i_.probe(blk))
+        return true;
+    return vc_ != nullptr && vc_->probe(blk);
+}
+
+std::uint64_t
+PlainIcache::storageOverheadBits() const
+{
+    std::uint64_t bits = baselineBits_;
+    bits += l1i_.policy().storageOverheadBits();
+    if (bypass_ != nullptr)
+        bits += bypass_->storageBits();
+    if (vc_ != nullptr)
+        bits += vc_->storageBits();
+    return bits;
+}
+
+VvcOrg::VvcOrg(std::uint32_t num_sets, std::uint32_t num_ways)
+    : vvc_(num_sets, num_ways)
+{
+}
+
+bool
+VvcOrg::access(const CacheAccess &access)
+{
+    return vvc_.access(access);
+}
+
+void
+VvcOrg::fill(const CacheAccess &access)
+{
+    vvc_.fill(access);
+}
+
+bool
+VvcOrg::contains(BlockAddr blk) const
+{
+    return vvc_.contains(blk);
+}
+
+std::uint64_t
+VvcOrg::storageOverheadBits() const
+{
+    return vvc_.storageOverheadBits();
+}
+
+} // namespace acic

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Concrete L1i organizations behind the IcacheOrg interface:
+ *
+ *  - PlainIcache: one set-associative cache with a pluggable
+ *    replacement policy, optional direct bypass policy (DSB/OBM), and
+ *    optional victim cache (VC3K/VC8K). Covers the baseline, the
+ *    replacement-policy comparisons, bypassing comparisons, victim
+ *    caches, and the larger-L1i configurations.
+ *  - VvcOrg: the virtual-victim-cache organization.
+ *  - (FilteredIcache, in src/core, covers the i-Filter/ACIC family.)
+ */
+
+#ifndef ACIC_SIM_ORGANIZATIONS_HH
+#define ACIC_SIM_ORGANIZATIONS_HH
+
+#include <memory>
+#include <string>
+
+#include "bypass/bypass.hh"
+#include "cache/icache_org.hh"
+#include "cache/opt.hh"
+#include "cache/set_assoc.hh"
+#include "cache/victim_cache.hh"
+#include "cache/vvc.hh"
+
+namespace acic {
+
+/** See file comment. */
+class PlainIcache : public IcacheOrg
+{
+  public:
+    PlainIcache(std::uint32_t num_sets, std::uint32_t num_ways,
+                std::unique_ptr<ReplacementPolicy> policy,
+                std::string scheme_name,
+                std::unique_ptr<BypassPolicy> bypass = nullptr,
+                std::unique_ptr<VictimCache> victim_cache = nullptr);
+
+    bool access(const CacheAccess &access) override;
+    void fill(const CacheAccess &access) override;
+    bool contains(BlockAddr blk) const override;
+    std::string name() const override { return schemeName_; }
+    std::uint64_t storageOverheadBits() const override;
+
+    const SetAssocCache &cache() const { return l1i_; }
+
+  private:
+    SetAssocCache l1i_;
+    std::unique_ptr<BypassPolicy> bypass_;
+    std::unique_ptr<VictimCache> vc_;
+    std::string schemeName_;
+    std::uint64_t baselineBits_;
+};
+
+/** Wrapper exposing VvcCache through IcacheOrg. */
+class VvcOrg : public IcacheOrg
+{
+  public:
+    VvcOrg(std::uint32_t num_sets, std::uint32_t num_ways);
+
+    bool access(const CacheAccess &access) override;
+    void fill(const CacheAccess &access) override;
+    bool contains(BlockAddr blk) const override;
+    std::string name() const override { return "VVC"; }
+    std::uint64_t storageOverheadBits() const override;
+
+    const VvcCache &vvc() const { return vvc_; }
+
+  private:
+    VvcCache vvc_;
+};
+
+} // namespace acic
+
+#endif // ACIC_SIM_ORGANIZATIONS_HH

@@ -1,0 +1,57 @@
+#include "sim/reuse.hh"
+
+#include "common/logging.hh"
+
+namespace acic {
+
+ReuseProfiler::ReuseProfiler(std::size_t capacity)
+    : marks_(capacity),
+      hist_({0, 16, 512, 1024, 10000},
+            {"0", "1-16", "16-512", "512-1024", "1024-10000",
+             ">10000"}),
+      capacity_(capacity)
+{
+}
+
+void
+ReuseProfiler::feed(BlockAddr blk)
+{
+    ACIC_ASSERT(time_ < capacity_, "ReuseProfiler capacity exceeded");
+    const auto it = lastAccess_.find(blk);
+    if (it != lastAccess_.end()) {
+        const std::uint64_t prev = it->second;
+        // Distinct blocks touched strictly between the two accesses:
+        // marked slots in (prev, time_). The mark at `prev` is this
+        // block's own, hence the open interval.
+        const std::int64_t distance =
+            marks_.rangeSum(prev + 1, time_ == 0 ? 0 : time_ - 1);
+        lastDistance_ = distance;
+        hist_.record(distance);
+
+        const std::uint8_t bucket =
+            static_cast<std::uint8_t>(hist_.bucketOf(distance));
+        const auto prev_bucket = lastBucket_.find(blk);
+        if (prev_bucket != lastBucket_.end())
+            ++transitions_[prev_bucket->second][bucket];
+        lastBucket_[blk] = bucket;
+
+        marks_.add(prev, -1);
+    }
+    marks_.add(time_, +1);
+    lastAccess_[blk] = time_;
+    ++time_;
+}
+
+double
+ReuseProfiler::transitionProb(std::size_t from, std::size_t to) const
+{
+    std::uint64_t row_total = 0;
+    for (std::size_t c = 0; c < kBuckets; ++c)
+        row_total += transitions_[from][c];
+    if (row_total == 0)
+        return 0.0;
+    return static_cast<double>(transitions_[from][to]) /
+           static_cast<double>(row_total);
+}
+
+} // namespace acic

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Reuse-distance (LRU stack distance) profiling over the demand block
+ * sequence, feeding Fig. 1a (distribution), Fig. 1b (Markov chain of
+ * successive distances), and Fig. 3b (admission-time gap analysis).
+ * Uses Olken's algorithm: a Fenwick tree over access times marking
+ * each block's most recent access gives the distinct-block count
+ * between consecutive accesses in O(log n).
+ */
+
+#ifndef ACIC_SIM_REUSE_HH
+#define ACIC_SIM_REUSE_HH
+
+#include <array>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "common/fenwick.hh"
+#include "common/histogram.hh"
+#include "common/types.hh"
+
+namespace acic {
+
+/** See file comment. */
+class ReuseProfiler
+{
+  public:
+    /** Paper bucket edges: 0, (0,16], (16,512], (512,1024],
+     *  (1024,10000], overflow. */
+    static constexpr std::size_t kBuckets = 6;
+
+    /** @param capacity maximum number of accesses to profile. */
+    explicit ReuseProfiler(std::size_t capacity);
+
+    /** Feed the next demand block access. */
+    void feed(BlockAddr blk);
+
+    /** Distribution over the paper's buckets. */
+    const Histogram &distribution() const { return hist_; }
+
+    /**
+     * Markov transition matrix between distance buckets of
+     * *successive reuse distances of the same block* (Fig. 1b).
+     * Row = previous bucket, column = next bucket, values = counts.
+     */
+    const std::array<std::array<std::uint64_t, kBuckets>, kBuckets> &
+    transitions() const
+    {
+        return transitions_;
+    }
+
+    /** Transition probability row-normalized; 0 for empty rows. */
+    double transitionProb(std::size_t from, std::size_t to) const;
+
+    /** Raw stack distance of the most recent fed access (or -1). */
+    std::int64_t lastDistance() const { return lastDistance_; }
+
+    /** Accesses fed so far. */
+    std::uint64_t accesses() const { return time_; }
+
+  private:
+    FenwickTree marks_;
+    std::unordered_map<BlockAddr, std::uint64_t> lastAccess_;
+    std::unordered_map<BlockAddr, std::uint8_t> lastBucket_;
+    Histogram hist_;
+    std::array<std::array<std::uint64_t, kBuckets>, kBuckets>
+        transitions_{};
+    std::uint64_t time_ = 0;
+    std::size_t capacity_;
+    std::int64_t lastDistance_ = -1;
+};
+
+} // namespace acic
+
+#endif // ACIC_SIM_REUSE_HH

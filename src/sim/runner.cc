@@ -1,0 +1,39 @@
+#include "sim/runner.hh"
+
+#include <cstdlib>
+
+namespace acic {
+
+WorkloadParams
+WorkloadContext::withEnvOverrides(WorkloadParams params)
+{
+    if (const char *env = std::getenv("ACIC_TRACE_LEN")) {
+        const long long v = std::atoll(env);
+        if (v > 1000)
+            params.instructions = static_cast<std::uint64_t>(v);
+    }
+    return params;
+}
+
+WorkloadContext::WorkloadContext(WorkloadParams params,
+                                 SimConfig config)
+    : config_(config), trace_(withEnvOverrides(std::move(params))),
+      oracle_(DemandOracle::build(trace_, config.fetchWidth))
+{
+}
+
+SimResult
+WorkloadContext::run(Scheme scheme)
+{
+    auto org = makeScheme(scheme, config_);
+    return run(*org);
+}
+
+SimResult
+WorkloadContext::run(IcacheOrg &org)
+{
+    Simulator simulator(config_);
+    return simulator.run(trace_, org, &oracle_);
+}
+
+} // namespace acic

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Bench/example convenience layer: a WorkloadContext owns one
+ * workload's trace and oracle (built once) and runs any scheme
+ * against it, so every bench binary is a short loop over
+ * (workload x scheme).
+ */
+
+#ifndef ACIC_SIM_RUNNER_HH
+#define ACIC_SIM_RUNNER_HH
+
+#include <cstdint>
+#include <memory>
+
+#include "sim/scheme.hh"
+#include "sim/simulator.hh"
+#include "trace/synthetic.hh"
+#include "trace/workload_params.hh"
+
+namespace acic {
+
+/** See file comment. */
+class WorkloadContext
+{
+  public:
+    /**
+     * @param params workload definition (instructions may be
+     *        overridden by the ACIC_TRACE_LEN env var for quick runs).
+     * @param config simulator configuration.
+     */
+    WorkloadContext(WorkloadParams params, SimConfig config = {});
+
+    /** Run a catalogued scheme. */
+    SimResult run(Scheme scheme);
+
+    /** Run a custom organization (sensitivity sweeps). */
+    SimResult run(IcacheOrg &org);
+
+    const DemandOracle &oracle() const { return oracle_; }
+    SyntheticWorkload &trace() { return trace_; }
+    const SimConfig &config() const { return config_; }
+
+    /** Apply the ACIC_TRACE_LEN override to a parameter block. */
+    static WorkloadParams withEnvOverrides(WorkloadParams params);
+
+  private:
+    SimConfig config_;
+    SyntheticWorkload trace_;
+    DemandOracle oracle_;
+};
+
+} // namespace acic
+
+#endif // ACIC_SIM_RUNNER_HH

@@ -1,0 +1,175 @@
+#include "sim/scheme.hh"
+
+#include "bypass/dsb.hh"
+#include "bypass/obm.hh"
+#include "cache/ghrp.hh"
+#include "cache/hawkeye.hh"
+#include "cache/lru.hh"
+#include "cache/opt.hh"
+#include "cache/ship.hh"
+#include "cache/srrip.hh"
+#include "common/logging.hh"
+#include "sim/organizations.hh"
+
+namespace acic {
+
+std::string
+schemeName(Scheme scheme)
+{
+    switch (scheme) {
+      case Scheme::BaselineLru: return "LRU";
+      case Scheme::Srrip: return "SRRIP";
+      case Scheme::Ship: return "SHiP";
+      case Scheme::Harmony: return "Harmony";
+      case Scheme::Ghrp: return "GHRP";
+      case Scheme::Dsb: return "DSB";
+      case Scheme::Obm: return "OBM";
+      case Scheme::Vvc: return "VVC";
+      case Scheme::Vc3k: return "VC3K";
+      case Scheme::Vc8k: return "VC8K";
+      case Scheme::L1i36k: return "36KB L1i";
+      case Scheme::L1i40k: return "40KB L1i";
+      case Scheme::Opt: return "OPT";
+      case Scheme::OptBypass: return "OPT Bypass";
+      case Scheme::Acic: return "ACIC";
+      case Scheme::AcicInstant: return "ACIC (instant update)";
+      case Scheme::AlwaysInsert: return "Always insert";
+      case Scheme::IFilterOnly: return "i-Filter only";
+      case Scheme::AccessCount: return "Access count";
+      case Scheme::RandomBypass: return "Random bypass";
+      case Scheme::AcicGlobalHistory: return "ACIC global-history";
+      case Scheme::AcicBimodal: return "ACIC bimodal";
+    }
+    return "?";
+}
+
+std::unique_ptr<FilteredIcache>
+makeAcicOrg(const SimConfig &config, PredictorConfig predictor,
+            CshrConfig cshr, std::uint32_t filter_entries,
+            bool track_accuracy, std::string display_name)
+{
+    FilteredIcache::Config fc;
+    fc.filterEntries = filter_entries;
+    fc.icacheSets = config.l1iSets;
+    fc.icacheWays = config.l1iWays;
+    fc.trackAccuracy = track_accuracy;
+    unsigned set_bits = 0;
+    while ((1u << set_bits) < config.l1iSets)
+        ++set_bits;
+    cshr.icacheSetBits = set_bits;
+    auto admission =
+        std::make_unique<AcicAdmission>(predictor, cshr);
+    return std::make_unique<FilteredIcache>(
+        fc, std::move(admission), std::move(display_name));
+}
+
+namespace {
+
+std::unique_ptr<FilteredIcache>
+makeFiltered(const SimConfig &config,
+             std::unique_ptr<AdmissionController> admission,
+             std::string name, bool track_accuracy = true)
+{
+    FilteredIcache::Config fc;
+    fc.filterEntries = 16;
+    fc.icacheSets = config.l1iSets;
+    fc.icacheWays = config.l1iWays;
+    fc.trackAccuracy = track_accuracy;
+    return std::make_unique<FilteredIcache>(fc, std::move(admission),
+                                            std::move(name));
+}
+
+} // namespace
+
+std::unique_ptr<IcacheOrg>
+makeScheme(Scheme scheme, const SimConfig &config)
+{
+    const std::uint32_t sets = config.l1iSets;
+    const std::uint32_t ways = config.l1iWays;
+    switch (scheme) {
+      case Scheme::BaselineLru:
+        return std::make_unique<PlainIcache>(
+            sets, ways, std::make_unique<LruPolicy>(), "LRU");
+      case Scheme::Srrip:
+        return std::make_unique<PlainIcache>(
+            sets, ways, std::make_unique<SrripPolicy>(), "SRRIP");
+      case Scheme::Ship:
+        return std::make_unique<PlainIcache>(
+            sets, ways, std::make_unique<ShipPolicy>(), "SHiP");
+      case Scheme::Harmony:
+        return std::make_unique<PlainIcache>(
+            sets, ways, std::make_unique<HawkeyePolicy>(), "Harmony");
+      case Scheme::Ghrp:
+        return std::make_unique<PlainIcache>(
+            sets, ways, std::make_unique<GhrpPolicy>(), "GHRP");
+      case Scheme::Dsb:
+        return std::make_unique<PlainIcache>(
+            sets, ways, std::make_unique<LruPolicy>(), "DSB",
+            std::make_unique<DsbBypass>());
+      case Scheme::Obm:
+        return std::make_unique<PlainIcache>(
+            sets, ways, std::make_unique<LruPolicy>(), "OBM",
+            std::make_unique<ObmBypass>());
+      case Scheme::Vvc:
+        return std::make_unique<VvcOrg>(sets, ways);
+      case Scheme::Vc3k:
+        return std::make_unique<PlainIcache>(
+            sets, ways, std::make_unique<LruPolicy>(), "VC3K",
+            nullptr,
+            std::make_unique<VictimCache>(VictimCache::vc3k()));
+      case Scheme::Vc8k:
+        return std::make_unique<PlainIcache>(
+            sets, ways, std::make_unique<LruPolicy>(), "VC8K",
+            nullptr,
+            std::make_unique<VictimCache>(VictimCache::vc8k()));
+      case Scheme::L1i36k:
+        return std::make_unique<PlainIcache>(
+            sets, 9, std::make_unique<LruPolicy>(), "36KB L1i");
+      case Scheme::L1i40k:
+        return std::make_unique<PlainIcache>(
+            sets, 10, std::make_unique<LruPolicy>(), "40KB L1i");
+      case Scheme::Opt:
+        return std::make_unique<PlainIcache>(
+            sets, ways, std::make_unique<OptPolicy>(), "OPT");
+      case Scheme::OptBypass:
+        return makeFiltered(config, std::make_unique<OptAdmission>(),
+                            "OPT Bypass");
+      case Scheme::Acic:
+        return makeAcicOrg(config, PredictorConfig{}, CshrConfig{});
+      case Scheme::AcicInstant: {
+        PredictorConfig pc;
+        pc.instantUpdate = true;
+        return makeAcicOrg(config, pc, CshrConfig{}, 16, true,
+                           schemeName(Scheme::AcicInstant));
+      }
+      case Scheme::AlwaysInsert:
+        return makeFiltered(config, std::make_unique<AlwaysAdmit>(),
+                            "Always insert");
+      case Scheme::IFilterOnly:
+        return makeFiltered(config, std::make_unique<NeverAdmit>(),
+                            "i-Filter only");
+      case Scheme::AccessCount:
+        return makeFiltered(config,
+                            std::make_unique<AccessCountAdmission>(),
+                            "Access count");
+      case Scheme::RandomBypass:
+        return makeFiltered(config,
+                            std::make_unique<RandomAdmission>(0.6),
+                            "Random bypass");
+      case Scheme::AcicGlobalHistory: {
+        PredictorConfig pc;
+        pc.kind = PredictorKind::GlobalHistory;
+        return makeAcicOrg(config, pc, CshrConfig{}, 16, true,
+                           schemeName(Scheme::AcicGlobalHistory));
+      }
+      case Scheme::AcicBimodal: {
+        PredictorConfig pc;
+        pc.kind = PredictorKind::Bimodal;
+        return makeAcicOrg(config, pc, CshrConfig{}, 16, true,
+                           schemeName(Scheme::AcicBimodal));
+      }
+    }
+    ACIC_PANIC("unknown scheme");
+}
+
+} // namespace acic

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * The scheme catalogue: every L1i management strategy the paper
+ * evaluates (Table IV plus the motivation/ablation variants), and a
+ * factory building the corresponding IcacheOrg.
+ */
+
+#ifndef ACIC_SIM_SCHEME_HH
+#define ACIC_SIM_SCHEME_HH
+
+#include <memory>
+#include <string>
+
+#include "cache/icache_org.hh"
+#include "core/admission_predictor.hh"
+#include "core/cshr.hh"
+#include "core/filtered_icache.hh"
+#include "sim/sim_config.hh"
+
+namespace acic {
+
+/** Every evaluated L1i scheme. */
+enum class Scheme
+{
+    BaselineLru,  ///< 32 KB 8-way LRU (the speedup denominator)
+    Srrip,
+    Ship,
+    Harmony,      ///< Hawkeye/Harmony
+    Ghrp,
+    Dsb,
+    Obm,
+    Vvc,
+    Vc3k,
+    Vc8k,
+    L1i36k,       ///< 36 KB 9-way
+    L1i40k,       ///< 40 KB 10-way (Table IV variant)
+    Opt,          ///< Belady replacement (oracle)
+    OptBypass,    ///< i-Filter + oracle admission
+    Acic,         ///< the contribution (default Table I config)
+    AcicInstant,  ///< ACIC with instant predictor update (Fig. 14)
+    AlwaysInsert, ///< i-Filter, every victim admitted (Fig. 3a)
+    IFilterOnly,  ///< i-Filter, no admission (Fig. 17)
+    AccessCount,  ///< i-Filter + access-count comparison (Fig. 3a)
+    RandomBypass, ///< i-Filter + 60% random admission (Fig. 12b)
+    AcicGlobalHistory, ///< Fig. 17 ablation
+    AcicBimodal,       ///< Fig. 17 ablation
+};
+
+/** Display name used in bench tables (matches the paper's labels). */
+std::string schemeName(Scheme scheme);
+
+/** Build the organization for @p scheme under @p config. */
+std::unique_ptr<IcacheOrg> makeScheme(Scheme scheme,
+                                      const SimConfig &config);
+
+/**
+ * Build an ACIC organization with explicit structure parameters
+ * (Fig. 15 sensitivity sweeps).
+ */
+std::unique_ptr<FilteredIcache>
+makeAcicOrg(const SimConfig &config, PredictorConfig predictor,
+            CshrConfig cshr, std::uint32_t filter_entries = 16,
+            bool track_accuracy = true,
+            std::string display_name = "ACIC");
+
+} // namespace acic
+
+#endif // ACIC_SIM_SCHEME_HH

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Simulation parameters mirroring Table II (Sunny-Cove-like core,
+ * 4 GHz): 6-wide fetch with a 24-entry FTQ, 60-entry decode queue,
+ * TAGE + 8192-entry 4-way BTB, 32 KB/8-way L1i with 16 MSHRs, and the
+ * L2/L3/DRAM hierarchy. The 352-entry ROB backend is idealized as a
+ * 6-wide consumer (documented in DESIGN.md).
+ */
+
+#ifndef ACIC_SIM_SIM_CONFIG_HH
+#define ACIC_SIM_SIM_CONFIG_HH
+
+#include <cstdint>
+
+#include "cache/hierarchy.hh"
+#include "common/types.hh"
+
+namespace acic {
+
+/** Instruction prefetcher in front of the L1i. */
+enum class PrefetcherKind : std::uint8_t
+{
+    None,
+    Fdp,        ///< fetch-directed prefetching along the FTQ [31]
+    Entangling, ///< entangling prefetcher [76] (Fig. 20/21 baseline)
+};
+
+/** See file comment. */
+struct SimConfig
+{
+    // Front end (Table II).
+    unsigned fetchWidth = 6;
+    unsigned ftqEntries = 24;
+    unsigned decodeQueueEntries = 60;
+    unsigned retireWidth = 6;
+    /**
+     * Fetch-target bundles the BP unit can enqueue per cycle. Running
+     * the BP ahead of fetch is what gives FDP its lookahead (the FTQ
+     * fills during miss stalls and steady-state fetch-bound phases).
+     */
+    unsigned bpBundlesPerCycle = 2;
+
+    // L1 instruction cache.
+    std::uint32_t l1iSets = 64;
+    std::uint32_t l1iWays = 8;
+    std::uint32_t l1iMshrs = 16;
+    Cycle l1iHitLatency = 4; ///< pipelined; constant across schemes
+
+    // Branch prediction.
+    std::uint32_t btbEntries = 8192;
+    std::uint32_t btbWays = 4;
+    std::uint32_t rasDepth = 32;
+    Cycle mispredictPenalty = 14;
+    Cycle btbMissPenalty = 8;
+
+    // Prefetching.
+    PrefetcherKind prefetcher = PrefetcherKind::Fdp;
+    unsigned prefetchDegree = 2; ///< prefetch issues per cycle
+
+    // Backing hierarchy (Table II latencies).
+    HierarchyConfig hierarchy{};
+
+    /** Fraction of the trace used to warm structures (Sec. IV-A). */
+    double warmupFraction = 0.10;
+};
+
+} // namespace acic
+
+#endif // ACIC_SIM_SIM_CONFIG_HH

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Trace-driven timing simulator of the decoupled front end (Sec.
+ * IV-A infrastructure substitute). Per cycle: MSHR fills complete,
+ * the backend retires up to 6 instructions from the decode queue, the
+ * fetch unit services the FTQ head against the L1i organization, the
+ * branch-prediction unit (TAGE + BTB + RAS) enqueues the next fetch
+ * bundle, and the prefetcher (FDP along the FTQ, or the entangling
+ * prefetcher) issues block prefetches. Correct-path only: a predicted-
+ * wrong branch stalls bundle supply for the redirect penalty, the
+ * standard ChampSim-style approximation (DESIGN.md, substitution 2).
+ */
+
+#ifndef ACIC_SIM_SIMULATOR_HH
+#define ACIC_SIM_SIMULATOR_HH
+
+#include <cstdint>
+#include <string>
+
+#include "cache/icache_org.hh"
+#include "common/stats.hh"
+#include "common/types.hh"
+#include "sim/oracle.hh"
+#include "sim/sim_config.hh"
+#include "trace/trace.hh"
+
+namespace acic {
+
+/** Post-warmup metrics of one run. */
+struct SimResult
+{
+    std::string workload;
+    std::string scheme;
+
+    std::uint64_t instructions = 0;
+    Cycle cycles = 0;
+    std::uint64_t demandAccesses = 0;
+    std::uint64_t l1iMisses = 0;
+    std::uint64_t branchMispredicts = 0;
+    std::uint64_t btbMisses = 0;
+    std::uint64_t prefetchesIssued = 0;
+    std::uint64_t latePrefetches = 0;
+
+    /** L2/L3/DRAM counters (energy model inputs). */
+    std::uint64_t l2Accesses = 0;
+    std::uint64_t l3Accesses = 0;
+    std::uint64_t dramAccesses = 0;
+
+    /** Organization-specific counters copied out of the run. */
+    StatSet orgStats;
+
+    double
+    ipc() const
+    {
+        return cycles == 0 ? 0.0
+                           : static_cast<double>(instructions) /
+                                 static_cast<double>(cycles);
+    }
+
+    /** L1i misses per kilo-instruction (the paper's MPKI metric). */
+    double
+    mpki() const
+    {
+        return instructions == 0
+                   ? 0.0
+                   : 1000.0 * static_cast<double>(l1iMisses) /
+                         static_cast<double>(instructions);
+    }
+};
+
+/** See file comment. */
+class Simulator
+{
+  public:
+    explicit Simulator(SimConfig config = {});
+
+    /**
+     * Run @p trace against @p org.
+     * @param oracle optional next-use annotations; required for OPT,
+     *        OPT-bypass, and accuracy instrumentation.
+     */
+    SimResult run(TraceSource &trace, IcacheOrg &org,
+                  const DemandOracle *oracle = nullptr);
+
+    const SimConfig &config() const { return config_; }
+
+  private:
+    SimConfig config_;
+};
+
+} // namespace acic
+
+#endif // ACIC_SIM_SIMULATOR_HH

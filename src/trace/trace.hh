@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Instruction-trace abstraction. The paper drives its simulator with
+ * QEMU full-system traces; this repo drives it with deterministic
+ * synthetic traces exposing the same record content: instruction PC,
+ * control-flow kind, direction, and the PC that follows.
+ */
+
+#ifndef ACIC_TRACE_TRACE_HH
+#define ACIC_TRACE_TRACE_HH
+
+#include <cstdint>
+#include <string>
+
+#include "common/types.hh"
+
+namespace acic {
+
+/** Control-flow class of a traced instruction. */
+enum class BranchKind : std::uint8_t
+{
+    None,     ///< ordinary sequential instruction
+    Cond,     ///< conditional direct branch
+    Direct,   ///< unconditional direct jump
+    Call,     ///< direct call
+    Return,   ///< function return
+};
+
+/** One dynamic instruction. All instructions are 4 bytes. */
+struct TraceInst
+{
+    /** Byte address of the instruction. */
+    Addr pc = 0;
+    /** PC of the *next* dynamic instruction (fallthrough or target). */
+    Addr nextPc = 0;
+    /** Control-flow kind. */
+    BranchKind kind = BranchKind::None;
+    /** Whether a Cond branch was taken (true for other taken kinds). */
+    bool taken = false;
+
+    /** Bytes of one instruction; the generator emits fixed 4 B. */
+    static constexpr unsigned kInstBytes = 4;
+
+    /** True for any control-flow instruction. */
+    bool isBranch() const { return kind != BranchKind::None; }
+    /** True when the next PC is not pc + 4. */
+    bool redirects() const { return nextPc != pc + kInstBytes; }
+};
+
+/**
+ * A re-iterable stream of dynamic instructions.
+ *
+ * Oracle passes (Belady OPT, reuse profiling) replay the stream, so
+ * implementations must return the identical sequence after reset().
+ */
+class TraceSource
+{
+  public:
+    virtual ~TraceSource() = default;
+
+    /** Rewind to the first instruction. */
+    virtual void reset() = 0;
+
+    /**
+     * Produce the next instruction.
+     * @return false when the trace is exhausted.
+     */
+    virtual bool next(TraceInst &out) = 0;
+
+    /** Total dynamic instructions the source will emit. */
+    virtual std::uint64_t length() const = 0;
+
+    /** Workload name, e.g. "web_search". */
+    virtual const std::string &name() const = 0;
+};
+
+} // namespace acic
+
+#endif // ACIC_TRACE_TRACE_HH

@@ -1,0 +1,282 @@
+/**
+ * @file
+ * Unit and property tests of the foundation module: PRNG determinism
+ * and distributions, saturating counters, Fenwick tree vs. a naive
+ * reference, histograms, statistics, and the table printer.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+#include <vector>
+
+#include "common/fenwick.hh"
+#include "common/histogram.hh"
+#include "common/rng.hh"
+#include "common/sat_counter.hh"
+#include "common/stats.hh"
+#include "common/table.hh"
+#include "common/types.hh"
+
+using namespace acic;
+
+TEST(Types, BlockArithmetic)
+{
+    EXPECT_EQ(blockOf(0), 0u);
+    EXPECT_EQ(blockOf(63), 0u);
+    EXPECT_EQ(blockOf(64), 1u);
+    EXPECT_EQ(blockBase(3), 192u);
+    EXPECT_EQ(blockOffset(0x47), 0x7u);
+    EXPECT_EQ(blockOf(blockBase(12345)), 12345u);
+}
+
+TEST(Rng, DeterministicForSeed)
+{
+    Rng a(42), b(42);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 100; ++i)
+        same += a.next() == b.next() ? 1 : 0;
+    EXPECT_LT(same, 5);
+}
+
+TEST(Rng, NextBelowStaysInBound)
+{
+    Rng rng(7);
+    for (int i = 0; i < 10000; ++i)
+        EXPECT_LT(rng.nextBelow(17), 17u);
+}
+
+TEST(Rng, NextRangeInclusive)
+{
+    Rng rng(9);
+    bool saw_lo = false, saw_hi = false;
+    for (int i = 0; i < 10000; ++i) {
+        const std::uint64_t v = rng.nextRange(3, 5);
+        EXPECT_GE(v, 3u);
+        EXPECT_LE(v, 5u);
+        saw_lo |= v == 3;
+        saw_hi |= v == 5;
+    }
+    EXPECT_TRUE(saw_lo);
+    EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, DoubleInUnitInterval)
+{
+    Rng rng(11);
+    for (int i = 0; i < 10000; ++i) {
+        const double d = rng.nextDouble();
+        EXPECT_GE(d, 0.0);
+        EXPECT_LT(d, 1.0);
+    }
+}
+
+TEST(Rng, ChanceExtremes)
+{
+    Rng rng(13);
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_FALSE(rng.chance(0.0));
+        EXPECT_TRUE(rng.chance(1.0));
+    }
+}
+
+TEST(Rng, ChanceApproximatesProbability)
+{
+    Rng rng(15);
+    int hits = 0;
+    for (int i = 0; i < 100000; ++i)
+        hits += rng.chance(0.3) ? 1 : 0;
+    EXPECT_NEAR(hits / 100000.0, 0.3, 0.02);
+}
+
+TEST(Rng, GeometricMeanRoughlyMatches)
+{
+    Rng rng(17);
+    double sum = 0;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i)
+        sum += static_cast<double>(rng.geometric(0.25));
+    EXPECT_NEAR(sum / n, 4.0, 0.2);
+}
+
+TEST(Rng, GeometricRespectsCap)
+{
+    Rng rng(19);
+    for (int i = 0; i < 10000; ++i)
+        EXPECT_LE(rng.geometric(0.01, 8), 8u);
+}
+
+TEST(Zipf, SamplesAllRanksAtLowSkew)
+{
+    Rng rng(21);
+    ZipfSampler zipf(32, 0.1);
+    std::vector<int> counts(32, 0);
+    for (int i = 0; i < 50000; ++i)
+        ++counts[zipf.sample(rng)];
+    for (const int c : counts)
+        EXPECT_GT(c, 0);
+}
+
+TEST(Zipf, SkewPrefersLowRanks)
+{
+    Rng rng(23);
+    ZipfSampler zipf(64, 1.0);
+    std::vector<int> counts(64, 0);
+    for (int i = 0; i < 50000; ++i)
+        ++counts[zipf.sample(rng)];
+    EXPECT_GT(counts[0], counts[63] * 5);
+}
+
+TEST(Zipf, MassSumsToOne)
+{
+    ZipfSampler zipf(16, 0.7);
+    double total = 0;
+    for (std::size_t r = 0; r < zipf.size(); ++r)
+        total += zipf.mass(r);
+    EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(SatCounter, SaturatesAtBounds)
+{
+    SatCounter ctr(2, 0);
+    EXPECT_EQ(ctr.maxValue(), 3u);
+    for (int i = 0; i < 10; ++i)
+        ctr.increment();
+    EXPECT_EQ(ctr.value(), 3u);
+    for (int i = 0; i < 10; ++i)
+        ctr.decrement();
+    EXPECT_EQ(ctr.value(), 0u);
+}
+
+TEST(SatCounter, MsbSemantics)
+{
+    SatCounter ctr(3, 0); // max 7, msb set when > 3
+    EXPECT_FALSE(ctr.msbSet());
+    ctr.set(4);
+    EXPECT_TRUE(ctr.msbSet());
+    ctr.set(3);
+    EXPECT_FALSE(ctr.msbSet());
+}
+
+TEST(SatCounter, InitialClamped)
+{
+    SatCounter ctr(2, 99);
+    EXPECT_EQ(ctr.value(), 3u);
+}
+
+class FenwickProperty : public ::testing::TestWithParam<unsigned>
+{
+};
+
+TEST_P(FenwickProperty, MatchesNaivePrefixSums)
+{
+    const unsigned seed = GetParam();
+    Rng rng(seed);
+    const std::size_t n = 200;
+    FenwickTree tree(n);
+    std::vector<std::int64_t> naive(n, 0);
+    for (int step = 0; step < 500; ++step) {
+        const std::size_t i = rng.nextBelow(n);
+        const std::int32_t delta =
+            static_cast<std::int32_t>(rng.nextRange(0, 10)) - 5;
+        tree.add(i, delta);
+        naive[i] += delta;
+        const std::size_t q = rng.nextBelow(n);
+        const std::int64_t expected = std::accumulate(
+            naive.begin(), naive.begin() + static_cast<long>(q) + 1,
+            std::int64_t{0});
+        ASSERT_EQ(tree.prefixSum(q), expected);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FenwickProperty,
+                         ::testing::Values(1, 2, 3, 4, 5));
+
+TEST(Fenwick, RangeSumAndEmptyRange)
+{
+    FenwickTree tree(16);
+    tree.add(3, 5);
+    tree.add(7, 2);
+    EXPECT_EQ(tree.rangeSum(0, 15), 7);
+    EXPECT_EQ(tree.rangeSum(4, 6), 0);
+    EXPECT_EQ(tree.rangeSum(3, 3), 5);
+    EXPECT_EQ(tree.rangeSum(9, 4), 0); // inverted => empty
+}
+
+TEST(Histogram, PaperBucketsClassifyCorrectly)
+{
+    Histogram hist({0, 16, 512, 1024, 10000});
+    EXPECT_EQ(hist.bucketOf(0), 0u);
+    EXPECT_EQ(hist.bucketOf(1), 1u);
+    EXPECT_EQ(hist.bucketOf(16), 1u);
+    EXPECT_EQ(hist.bucketOf(17), 2u);
+    EXPECT_EQ(hist.bucketOf(512), 2u);
+    EXPECT_EQ(hist.bucketOf(1024), 3u);
+    EXPECT_EQ(hist.bucketOf(10000), 4u);
+    EXPECT_EQ(hist.bucketOf(10001), 5u);
+}
+
+TEST(Histogram, PercentagesSumTo100)
+{
+    Histogram hist({10, 20, 30});
+    Rng rng(3);
+    for (int i = 0; i < 1000; ++i)
+        hist.record(static_cast<std::int64_t>(rng.nextBelow(50)));
+    double total = 0;
+    for (std::size_t b = 0; b < hist.buckets(); ++b)
+        total += hist.percent(b);
+    EXPECT_NEAR(total, 100.0, 1e-9);
+    EXPECT_EQ(hist.total(), 1000u);
+}
+
+TEST(Histogram, WeightedRecordAndClear)
+{
+    Histogram hist({5});
+    hist.record(1, 10);
+    hist.record(100, 30);
+    EXPECT_EQ(hist.count(0), 10u);
+    EXPECT_EQ(hist.count(1), 30u);
+    hist.clear();
+    EXPECT_EQ(hist.total(), 0u);
+}
+
+TEST(Stats, BumpSetGetRatio)
+{
+    StatSet stats;
+    stats.bump("a");
+    stats.bump("a", 4);
+    stats.set("b", 10);
+    EXPECT_EQ(stats.get("a"), 5u);
+    EXPECT_EQ(stats.get("missing"), 0u);
+    EXPECT_TRUE(stats.has("b"));
+    EXPECT_FALSE(stats.has("missing"));
+    EXPECT_DOUBLE_EQ(stats.ratio("a", "b"), 0.5);
+    EXPECT_DOUBLE_EQ(stats.ratio("a", "missing"), 0.0);
+}
+
+TEST(Table, RendersAlignedRowsAndNotes)
+{
+    TablePrinter table("T");
+    table.setHeader({"col1", "c2"});
+    table.addRow({"x", "1.00"});
+    table.addNote("hello");
+    const std::string out = table.str();
+    EXPECT_NE(out.find("== T =="), std::string::npos);
+    EXPECT_NE(out.find("col1"), std::string::npos);
+    EXPECT_NE(out.find("note: hello"), std::string::npos);
+}
+
+TEST(Table, Formatters)
+{
+    EXPECT_EQ(TablePrinter::fmt(1.23456, 2), "1.23");
+    EXPECT_EQ(TablePrinter::pct(0.1814), "18.14%");
+    EXPECT_EQ(TablePrinter::pct(-0.0063), "-0.63%");
+}

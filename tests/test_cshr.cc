@@ -1,0 +1,159 @@
+/**
+ * @file
+ * Tests of the Comparison Status Holding Registers: resolution
+ * directions, multiple contender matches, set mapping by i-cache set
+ * MSBs, LRU eviction with benefit-of-the-doubt, partial tags, the
+ * Fig. 6 lifetime profiler, and Table I storage.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/cshr.hh"
+
+using namespace acic;
+
+namespace {
+
+/** Two blocks in the same i-cache set with different tags. */
+constexpr BlockAddr kVictim = 5 + 64 * 3;
+constexpr BlockAddr kContender = 5 + 64 * 9;
+constexpr std::uint32_t kSet = 5;
+
+} // namespace
+
+TEST(Cshr, VictimFetchResolvesWon)
+{
+    Cshr cshr;
+    cshr.insert(kVictim, kContender, kSet);
+    const auto res = cshr.search(kVictim, kSet);
+    ASSERT_EQ(res.size(), 1u);
+    EXPECT_TRUE(res[0].victimWon);
+    EXPECT_FALSE(res[0].forced);
+    EXPECT_EQ(res[0].victimTag, cshr.partialTag(kVictim));
+    EXPECT_EQ(cshr.occupancy(), 0u);
+}
+
+TEST(Cshr, ContenderFetchResolvesLost)
+{
+    Cshr cshr;
+    cshr.insert(kVictim, kContender, kSet);
+    const auto res = cshr.search(kContender, kSet);
+    ASSERT_EQ(res.size(), 1u);
+    EXPECT_FALSE(res[0].victimWon);
+    EXPECT_EQ(res[0].victimTag, cshr.partialTag(kVictim));
+}
+
+TEST(Cshr, ResolutionConsumesEntry)
+{
+    Cshr cshr;
+    cshr.insert(kVictim, kContender, kSet);
+    cshr.search(kVictim, kSet);
+    EXPECT_TRUE(cshr.search(kVictim, kSet).empty());
+    EXPECT_TRUE(cshr.search(kContender, kSet).empty());
+}
+
+TEST(Cshr, ContenderCanMatchMultipleEntries)
+{
+    Cshr cshr;
+    const BlockAddr v2 = 5 + 64 * 17;
+    cshr.insert(kVictim, kContender, kSet);
+    cshr.insert(v2, kContender, kSet);
+    const auto res = cshr.search(kContender, kSet);
+    EXPECT_EQ(res.size(), 2u);
+    for (const auto &r : res)
+        EXPECT_FALSE(r.victimWon);
+}
+
+TEST(Cshr, UnrelatedFetchResolvesNothing)
+{
+    Cshr cshr;
+    cshr.insert(kVictim, kContender, kSet);
+    EXPECT_TRUE(cshr.search(5 + 64 * 123, kSet).empty());
+    EXPECT_EQ(cshr.occupancy(), 1u);
+}
+
+TEST(Cshr, DifferentSetGroupDoesNotMatch)
+{
+    Cshr cshr; // 8 sets keyed by the 3 MSBs of a 6-bit set index
+    cshr.insert(kVictim, kContender, kSet); // set 5 -> group 0
+    // Same tags searched under set 60 (group 7) find nothing.
+    EXPECT_TRUE(cshr.search(kVictim, 60).empty());
+    EXPECT_EQ(cshr.occupancy(), 1u);
+}
+
+TEST(Cshr, LruEvictionForcesVictimFavour)
+{
+    CshrConfig config;
+    config.entries = 8;
+    config.sets = 1;
+    Cshr cshr(config);
+    for (std::uint32_t i = 0; i < 8; ++i)
+        EXPECT_TRUE(cshr.insert(64ull * (i + 1), 64ull * 100, 0)
+                        .empty());
+    const auto forced = cshr.insert(64ull * 50, 64ull * 100, 0);
+    ASSERT_EQ(forced.size(), 1u);
+    EXPECT_TRUE(forced[0].victimWon);
+    EXPECT_TRUE(forced[0].forced);
+    EXPECT_EQ(forced[0].victimTag, cshr.partialTag(64));
+    EXPECT_EQ(cshr.forcedCount(), 1u);
+}
+
+TEST(Cshr, OccupancyAndCounters)
+{
+    Cshr cshr;
+    cshr.insert(kVictim, kContender, kSet);
+    EXPECT_EQ(cshr.occupancy(), 1u);
+    cshr.search(kVictim, kSet);
+    EXPECT_EQ(cshr.resolvedCount(), 1u);
+    EXPECT_EQ(cshr.resolvedWonCount(), 1u);
+    EXPECT_EQ(cshr.resolvedLostCount(), 0u);
+}
+
+TEST(Cshr, PartialTagIgnoresSetBits)
+{
+    Cshr cshr;
+    // Same tag bits, different set bits -> same partial tag.
+    EXPECT_EQ(cshr.partialTag(64 * 7 + 1), cshr.partialTag(64 * 7 + 9));
+    // Different tag bits -> (almost surely) different partial tag.
+    EXPECT_NE(cshr.partialTag(64 * 7), cshr.partialTag(64 * 8));
+}
+
+TEST(Cshr, StorageMatchesTableI)
+{
+    const Cshr cshr;
+    // 256 x (2x12 + 1 + 5) bits = 0.9375 KB.
+    EXPECT_DOUBLE_EQ(static_cast<double>(cshr.storageBits()) / 8.0 /
+                         1024.0,
+                     0.9375);
+}
+
+TEST(CshrProfiler, CountsInsertionsUntilResolution)
+{
+    CshrLifetimeProfiler profiler;
+    profiler.onInsert(100, 200);
+    // 10 unrelated insertions before the victim returns.
+    for (BlockAddr b = 0; b < 10; ++b)
+        profiler.onInsert(1000 + b, 2000 + b);
+    profiler.onFetch(100);
+    profiler.finalize();
+    const Histogram &hist = profiler.distribution();
+    EXPECT_EQ(hist.count(0), 1u); // resolved within 0-50 insertions
+}
+
+TEST(CshrProfiler, UnresolvedLandsInOverflow)
+{
+    CshrLifetimeProfiler profiler;
+    profiler.onInsert(100, 200);
+    profiler.finalize();
+    const Histogram &hist = profiler.distribution();
+    EXPECT_EQ(hist.count(hist.buckets() - 1), 1u);
+}
+
+TEST(CshrProfiler, ContenderFetchAlsoResolves)
+{
+    CshrLifetimeProfiler profiler;
+    profiler.onInsert(100, 200);
+    profiler.onFetch(200);
+    profiler.finalize();
+    EXPECT_EQ(profiler.distribution().count(0), 1u);
+}

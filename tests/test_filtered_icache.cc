@@ -1,0 +1,193 @@
+/**
+ * @file
+ * Tests of the assembled filtered organization (i-Filter + LRU i-cache
+ * + admission controller): the Fig. 2 datapath, victim judgement under
+ * each admission policy, the no-block-in-both invariant, and the
+ * admission controllers themselves.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hh"
+#include "core/filtered_icache.hh"
+
+using namespace acic;
+
+namespace {
+
+CacheAccess
+access(BlockAddr blk, std::uint64_t seq = 0,
+       std::uint64_t next_use = kNeverAgain)
+{
+    CacheAccess a;
+    a.blk = blk;
+    a.pc = 0x400000 + blk * 64;
+    a.seq = seq;
+    a.nextUse = next_use;
+    return a;
+}
+
+FilteredIcache::Config
+smallConfig()
+{
+    FilteredIcache::Config config;
+    config.filterEntries = 2;
+    config.icacheSets = 4;
+    config.icacheWays = 2;
+    return config;
+}
+
+} // namespace
+
+TEST(FilteredIcache, FillLandsInFilterNotIcache)
+{
+    FilteredIcache org(smallConfig(), std::make_unique<AlwaysAdmit>(),
+                       "test");
+    org.fill(access(1));
+    EXPECT_TRUE(org.filter().contains(1));
+    EXPECT_FALSE(org.icache().probe(1));
+    EXPECT_TRUE(org.access(access(1)));
+    EXPECT_EQ(org.stats().get("filtered.filter_hit"), 1u);
+}
+
+TEST(FilteredIcache, AlwaysAdmitMovesVictimsToIcache)
+{
+    FilteredIcache org(smallConfig(), std::make_unique<AlwaysAdmit>(),
+                       "test");
+    org.fill(access(1));
+    org.fill(access(2));
+    org.fill(access(3)); // evicts 1 from the 2-entry filter
+    EXPECT_TRUE(org.icache().probe(1));
+    EXPECT_TRUE(org.access(access(1)));
+    EXPECT_EQ(org.stats().get("filtered.icache_hit"), 1u);
+}
+
+TEST(FilteredIcache, NeverAdmitDropsVictimsOnceWarm)
+{
+    FilteredIcache org(smallConfig(), std::make_unique<NeverAdmit>(),
+                       "test");
+    // Warm the i-cache's free ways first (free ways always accept).
+    for (BlockAddr b = 0; b < 20; ++b)
+        org.fill(access(100 + b));
+    const auto dropped_before =
+        org.stats().get("filtered.victims_dropped");
+    org.fill(access(1));
+    org.fill(access(2));
+    org.fill(access(3));
+    EXPECT_GT(org.stats().get("filtered.victims_dropped"),
+              dropped_before);
+    EXPECT_FALSE(org.contains(1));
+}
+
+TEST(FilteredIcache, OptAdmissionComparesNextUse)
+{
+    FilteredIcache org(smallConfig(), std::make_unique<OptAdmission>(),
+                       "test");
+    // Fill the i-cache set of block 0 with far-future blocks.
+    for (BlockAddr b : {4, 8, 12, 16, 20, 24})
+        org.fill(access(b, 0, 1'000'000));
+    // Near-future victim must be admitted over a far contender.
+    org.fill(access(0, 10, 50));
+    org.fill(access(32, 11, kNeverAgain));
+    org.fill(access(64, 12, kNeverAgain)); // evict 0 from filter
+    EXPECT_TRUE(org.contains(0));
+}
+
+TEST(FilteredIcache, NoBlockLivesInFilterAndIcache)
+{
+    FilteredIcache org(smallConfig(), std::make_unique<AlwaysAdmit>(),
+                       "test");
+    Rng rng(3);
+    for (int i = 0; i < 5000; ++i) {
+        const BlockAddr blk = rng.nextBelow(64);
+        CacheAccess a = access(blk, i);
+        if (!org.access(a))
+            org.fill(a);
+        if (org.filter().contains(blk)) {
+            ASSERT_FALSE(org.icache().probe(blk))
+                << "block " << blk << " in both structures";
+        }
+    }
+}
+
+TEST(FilteredIcache, ContainsCoversBothStructures)
+{
+    FilteredIcache org(smallConfig(), std::make_unique<AlwaysAdmit>(),
+                       "test");
+    org.fill(access(1));
+    org.fill(access(2));
+    org.fill(access(3));
+    EXPECT_TRUE(org.contains(1)); // now in i-cache
+    EXPECT_TRUE(org.contains(3)); // still in filter
+    EXPECT_FALSE(org.contains(99));
+}
+
+TEST(FilteredIcache, AcicEndToEndTrains)
+{
+    FilteredIcache::Config config;
+    config.filterEntries = 4;
+    config.icacheSets = 8;
+    config.icacheWays = 2;
+    auto admission = std::make_unique<AcicAdmission>();
+    auto *admission_raw = admission.get();
+    FilteredIcache org(config, std::move(admission), "acic");
+    Rng rng(7);
+    for (int i = 0; i < 20000; ++i) {
+        const BlockAddr blk = rng.nextBelow(128);
+        CacheAccess a = access(blk, i);
+        a.cycle = static_cast<Cycle>(i);
+        org.tick(a.cycle);
+        if (!org.access(a))
+            org.fill(a);
+    }
+    EXPECT_GT(admission_raw->cshr().resolvedCount(), 100u);
+    EXPECT_GT(org.stats().get("filtered.filter_victims"), 1000u);
+}
+
+TEST(FilteredIcache, StorageIncludesFilterAndAdmission)
+{
+    FilteredIcache plain(smallConfig(),
+                         std::make_unique<AlwaysAdmit>(), "a");
+    FilteredIcache acic(smallConfig(),
+                        std::make_unique<AcicAdmission>(), "b");
+    EXPECT_GT(acic.storageOverheadBits(),
+              plain.storageOverheadBits());
+}
+
+TEST(Admission, AccessCountPrefersHotterBlock)
+{
+    AccessCountAdmission admission;
+    CacheLine victim, contender;
+    victim.blk = 1;
+    contender.blk = 2;
+    // Touch the victim's block far more often.
+    for (int i = 0; i < 30; ++i)
+        admission.onDemandAccess(access(1), 0);
+    admission.onDemandAccess(access(2), 0);
+    AdmissionContext ctx{victim, contender, 0, 0, 0};
+    EXPECT_TRUE(admission.admit(ctx));
+
+    AccessCountAdmission admission2;
+    for (int i = 0; i < 30; ++i)
+        admission2.onDemandAccess(access(2), 0);
+    EXPECT_FALSE(admission2.admit(ctx));
+}
+
+TEST(Admission, RandomRespectsProbability)
+{
+    RandomAdmission admission(0.6, 99);
+    CacheLine victim, contender;
+    AdmissionContext ctx{victim, contender, 0, 0, 0};
+    int admits = 0;
+    for (int i = 0; i < 10000; ++i)
+        admits += admission.admit(ctx) ? 1 : 0;
+    EXPECT_NEAR(admits / 10000.0, 0.6, 0.03);
+}
+
+TEST(Admission, NamesAreStable)
+{
+    EXPECT_EQ(AlwaysAdmit().name(), "always-insert");
+    EXPECT_EQ(NeverAdmit().name(), "ifilter-only");
+    EXPECT_EQ(OptAdmission().name(), "opt-bypass");
+    EXPECT_EQ(AcicAdmission().name(), "acic-two-level");
+}

@@ -1,0 +1,307 @@
+/**
+ * @file
+ * Tests of the front-end substrate: BTB lookup/replacement, return
+ * address stack, TAGE learning (biased branches, loop exits,
+ * history-correlated patterns), fetch-bundle formation rules, and the
+ * entangling prefetcher's learning loop.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "frontend/btb.hh"
+#include "frontend/bundle.hh"
+#include "frontend/entangling.hh"
+#include "frontend/tage.hh"
+#include "trace/trace.hh"
+
+using namespace acic;
+
+namespace {
+
+/** Minimal scripted trace for bundle-formation tests. */
+class ScriptedTrace : public TraceSource
+{
+  public:
+    explicit ScriptedTrace(std::vector<TraceInst> insts)
+        : insts_(std::move(insts))
+    {
+    }
+    void reset() override { pos_ = 0; }
+    bool
+    next(TraceInst &out) override
+    {
+        if (pos_ >= insts_.size())
+            return false;
+        out = insts_[pos_++];
+        return true;
+    }
+    std::uint64_t length() const override { return insts_.size(); }
+    const std::string &name() const override { return name_; }
+
+  private:
+    std::vector<TraceInst> insts_;
+    std::size_t pos_ = 0;
+    std::string name_ = "scripted";
+};
+
+TraceInst
+seqInst(Addr pc)
+{
+    TraceInst inst;
+    inst.pc = pc;
+    inst.nextPc = pc + 4;
+    inst.kind = BranchKind::None;
+    return inst;
+}
+
+TraceInst
+takenBranch(Addr pc, Addr target, BranchKind kind = BranchKind::Cond)
+{
+    TraceInst inst;
+    inst.pc = pc;
+    inst.nextPc = target;
+    inst.kind = kind;
+    inst.taken = true;
+    return inst;
+}
+
+} // namespace
+
+TEST(Btb, LookupAfterUpdate)
+{
+    Btb btb(64, 4);
+    EXPECT_FALSE(btb.lookup(0x1000).has_value());
+    btb.update(0x1000, 0x2000);
+    const auto target = btb.lookup(0x1000);
+    ASSERT_TRUE(target.has_value());
+    EXPECT_EQ(*target, 0x2000u);
+}
+
+TEST(Btb, UpdateOverwritesTarget)
+{
+    Btb btb(64, 4);
+    btb.update(0x1000, 0x2000);
+    btb.update(0x1000, 0x3000);
+    EXPECT_EQ(*btb.lookup(0x1000), 0x3000u);
+}
+
+TEST(Btb, LruReplacementWithinSet)
+{
+    Btb btb(8, 2); // 4 sets x 2 ways
+    // Three PCs mapping to the same set (pc>>2 & 3).
+    const Addr a = 0x10, b = 0x10 + 16, c = 0x10 + 32;
+    btb.update(a, 1);
+    btb.update(b, 2);
+    btb.lookup(a); // refresh a
+    btb.update(c, 3);
+    EXPECT_TRUE(btb.lookup(a).has_value());
+    EXPECT_FALSE(btb.lookup(b).has_value());
+    EXPECT_TRUE(btb.lookup(c).has_value());
+}
+
+TEST(Ras, PushPopLifo)
+{
+    ReturnAddressStack ras(8);
+    ras.push(0x100);
+    ras.push(0x200);
+    EXPECT_EQ(ras.pop(), 0x200u);
+    EXPECT_EQ(ras.pop(), 0x100u);
+    EXPECT_EQ(ras.pop(), 0u); // empty
+}
+
+TEST(Ras, OverflowWrapsKeepingNewest)
+{
+    ReturnAddressStack ras(2);
+    ras.push(1);
+    ras.push(2);
+    ras.push(3);
+    EXPECT_EQ(ras.pop(), 3u);
+    EXPECT_EQ(ras.pop(), 2u);
+}
+
+TEST(Tage, LearnsStronglyBiasedBranch)
+{
+    Tage tage;
+    const Addr pc = 0x4040;
+    for (int i = 0; i < 64; ++i) {
+        tage.predict(pc);
+        tage.update(pc, true);
+    }
+    EXPECT_TRUE(tage.predict(pc));
+    tage.update(pc, true);
+}
+
+TEST(Tage, LearnsAlternatingPatternViaHistory)
+{
+    Tage tage;
+    const Addr pc = 0x5050;
+    // Strict alternation is history-predictable; TAGE must converge
+    // to low error after warm-up.
+    bool taken = false;
+    int wrong = 0;
+    for (int i = 0; i < 2000; ++i) {
+        const bool pred = tage.predict(pc);
+        if (i > 1000 && pred != taken)
+            ++wrong;
+        tage.update(pc, taken);
+        taken = !taken;
+    }
+    EXPECT_LT(wrong, 100);
+}
+
+TEST(Tage, LearnsFixedTripLoop)
+{
+    Tage tage;
+    const Addr pc = 0x6060;
+    // Loop with 6 taken iterations then one not-taken exit.
+    int wrong = 0, total = 0;
+    for (int round = 0; round < 300; ++round) {
+        for (int trip = 0; trip < 7; ++trip) {
+            const bool taken = trip < 6;
+            const bool pred = tage.predict(pc);
+            if (round > 150) {
+                ++total;
+                wrong += pred != taken ? 1 : 0;
+            }
+            tage.update(pc, taken);
+        }
+    }
+    // Exit prediction requires history; demand clear improvement
+    // over always-taken (which would be wrong 1/7 ~= 14%).
+    EXPECT_LT(static_cast<double>(wrong) / total, 0.10);
+}
+
+TEST(Tage, TracksAccuracyCounters)
+{
+    Tage tage;
+    tage.predict(0x1234);
+    tage.update(0x1234, true);
+    EXPECT_EQ(tage.predictions(), 1u);
+    EXPECT_LE(tage.mispredicts(), 1u);
+}
+
+TEST(Bundle, SplitsAtFetchWidth)
+{
+    std::vector<TraceInst> insts;
+    for (Addr pc = 0; pc < 4 * 16; pc += 4)
+        insts.push_back(seqInst(pc));
+    ScriptedTrace trace(insts);
+    BundleWalker walker(trace, 6);
+    Bundle bundle;
+    ASSERT_TRUE(walker.next(bundle));
+    EXPECT_EQ(bundle.count, 6);
+    EXPECT_EQ(bundle.pc, 0u);
+    ASSERT_TRUE(walker.next(bundle));
+    EXPECT_EQ(bundle.pc, 24u);
+}
+
+TEST(Bundle, SplitsAtBlockBoundary)
+{
+    std::vector<TraceInst> insts;
+    // Start 2 instructions before a block boundary.
+    for (Addr pc = 56; pc < 120; pc += 4)
+        insts.push_back(seqInst(pc));
+    ScriptedTrace trace(insts);
+    BundleWalker walker(trace, 6);
+    Bundle bundle;
+    ASSERT_TRUE(walker.next(bundle));
+    EXPECT_EQ(bundle.count, 2); // 56, 60 end block 0
+    EXPECT_EQ(bundle.blk, 0u);
+    ASSERT_TRUE(walker.next(bundle));
+    EXPECT_EQ(bundle.blk, 1u);
+    EXPECT_EQ(bundle.pc, 64u);
+}
+
+TEST(Bundle, SplitsAtTakenBranch)
+{
+    std::vector<TraceInst> insts;
+    insts.push_back(seqInst(0));
+    insts.push_back(takenBranch(4, 256));
+    insts.push_back(seqInst(256));
+    insts.push_back(seqInst(260));
+    ScriptedTrace trace(insts);
+    BundleWalker walker(trace, 6);
+    Bundle bundle;
+    ASSERT_TRUE(walker.next(bundle));
+    EXPECT_EQ(bundle.count, 2);
+    ASSERT_TRUE(walker.next(bundle));
+    EXPECT_EQ(bundle.pc, 256u);
+    EXPECT_EQ(bundle.count, 2);
+    EXPECT_FALSE(walker.next(bundle));
+}
+
+TEST(Bundle, IntraBlockBackwardBranchSplitsButKeepsBlock)
+{
+    std::vector<TraceInst> insts;
+    insts.push_back(seqInst(8));
+    insts.push_back(takenBranch(12, 0)); // backward within block 0
+    insts.push_back(seqInst(0));
+    ScriptedTrace trace(insts);
+    BundleWalker walker(trace, 6);
+    Bundle bundle;
+    ASSERT_TRUE(walker.next(bundle));
+    EXPECT_EQ(bundle.blk, 0u);
+    EXPECT_EQ(bundle.count, 2);
+    ASSERT_TRUE(walker.next(bundle));
+    EXPECT_EQ(bundle.blk, 0u); // distance-0 reuse
+}
+
+TEST(Bundle, ResetReplays)
+{
+    std::vector<TraceInst> insts;
+    for (Addr pc = 0; pc < 4 * 20; pc += 4)
+        insts.push_back(seqInst(pc));
+    ScriptedTrace trace(insts);
+    BundleWalker walker(trace, 6);
+    Bundle bundle;
+    std::vector<Addr> first;
+    while (walker.next(bundle))
+        first.push_back(bundle.pc);
+    walker.reset();
+    std::size_t i = 0;
+    while (walker.next(bundle))
+        ASSERT_EQ(bundle.pc, first[i++]);
+    EXPECT_EQ(i, first.size());
+}
+
+TEST(Entangling, LearnsSourceDestinationPair)
+{
+    EntanglingPrefetcher pf(64, 2, 16);
+    // Access A at cycle 0, miss B at cycle 100 with 50-cycle fill:
+    // A qualifies as the just-in-time source.
+    pf.onDemandAccess(10, 0);
+    pf.onDemandMiss(20, 100, 50);
+    // Future access of A must emit B.
+    pf.onDemandAccess(10, 200);
+    BlockAddr candidate;
+    ASSERT_TRUE(pf.popCandidate(candidate));
+    EXPECT_EQ(candidate, 20u);
+    EXPECT_FALSE(pf.popCandidate(candidate));
+}
+
+TEST(Entangling, TooRecentSourceIsSkipped)
+{
+    EntanglingPrefetcher pf(64, 2, 16);
+    pf.onDemandAccess(10, 95);
+    pf.onDemandMiss(20, 100, 50); // A only 5 cycles old: not timely
+    pf.onDemandAccess(10, 200);
+    BlockAddr candidate;
+    EXPECT_FALSE(pf.popCandidate(candidate));
+}
+
+TEST(Entangling, CapsDestinationsPerSource)
+{
+    EntanglingPrefetcher pf(64, 2, 16);
+    pf.onDemandAccess(10, 0);
+    pf.onDemandMiss(20, 100, 50);
+    pf.onDemandMiss(21, 110, 50);
+    pf.onDemandMiss(22, 120, 50);
+    pf.onDemandAccess(10, 500);
+    int count = 0;
+    BlockAddr candidate;
+    while (pf.popCandidate(candidate))
+        ++count;
+    EXPECT_EQ(count, 2);
+}

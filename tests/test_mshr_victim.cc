@@ -1,0 +1,161 @@
+/**
+ * @file
+ * Tests of the MSHR file, the victim caches (VC3K/VC8K), the virtual
+ * victim cache, and the memory hierarchy latencies.
+ */
+
+#include <gtest/gtest.h>
+
+#include "cache/hierarchy.hh"
+#include "cache/mshr.hh"
+#include "cache/victim_cache.hh"
+#include "cache/vvc.hh"
+
+using namespace acic;
+
+TEST(Mshr, AllocateMergeFull)
+{
+    MshrFile mshr(2);
+    EXPECT_EQ(mshr.allocate(1, 10, false), MshrOutcome::Allocated);
+    EXPECT_EQ(mshr.allocate(1, 12, false), MshrOutcome::Merged);
+    EXPECT_EQ(mshr.allocate(2, 10, false), MshrOutcome::Allocated);
+    EXPECT_EQ(mshr.allocate(3, 10, false), MshrOutcome::Full);
+    EXPECT_TRUE(mshr.full());
+    EXPECT_EQ(mshr.inFlight(), 2u);
+}
+
+TEST(Mshr, MergeKeepsEarlierReadyCycle)
+{
+    MshrFile mshr(4);
+    mshr.allocate(1, 100, true);
+    mshr.allocate(1, 50, false);
+    EXPECT_EQ(mshr.readyCycle(1), 50u);
+}
+
+TEST(Mshr, DemandPromotesPrefetchMiss)
+{
+    MshrFile mshr(4);
+    mshr.allocate(7, 20, true, 0x100, 5);
+    mshr.allocate(7, 25, false, 0x200, 9);
+    std::vector<MshrFile::Fill> fills;
+    mshr.popReady(30, fills);
+    ASSERT_EQ(fills.size(), 1u);
+    EXPECT_TRUE(fills[0].wasPrefetch);
+    EXPECT_TRUE(fills[0].demandWaiting);
+    EXPECT_EQ(fills[0].seq, 9u);
+}
+
+TEST(Mshr, PopReadyRespectsDueCycle)
+{
+    MshrFile mshr(4);
+    mshr.allocate(1, 10, false);
+    mshr.allocate(2, 20, false);
+    std::vector<MshrFile::Fill> fills;
+    EXPECT_EQ(mshr.popReady(5, fills), 0u);
+    EXPECT_EQ(mshr.popReady(10, fills), 1u);
+    EXPECT_EQ(fills[0].blk, 1u);
+    EXPECT_TRUE(mshr.pending(2));
+    EXPECT_FALSE(mshr.pending(1));
+    fills.clear();
+    EXPECT_EQ(mshr.popReady(100, fills), 1u);
+    EXPECT_EQ(mshr.inFlight(), 0u);
+}
+
+TEST(Mshr, ClearDropsEverything)
+{
+    MshrFile mshr(4);
+    mshr.allocate(1, 10, false);
+    mshr.clear();
+    EXPECT_EQ(mshr.inFlight(), 0u);
+    EXPECT_FALSE(mshr.pending(1));
+}
+
+TEST(VictimCache, Vc3kGeometry)
+{
+    const auto vc = VictimCache::vc3k();
+    EXPECT_EQ(vc.capacityBlocks(), 48u);
+    // 48 x 64 B = 3 KB of data.
+    EXPECT_GE(vc.storageBits(), 48u * 64 * 8);
+}
+
+TEST(VictimCache, Vc8kGeometry)
+{
+    const auto vc = VictimCache::vc8k();
+    EXPECT_EQ(vc.capacityBlocks(), 128u);
+}
+
+TEST(VictimCache, ExtractRemovesOnHit)
+{
+    auto vc = VictimCache::vc3k();
+    vc.insert(42);
+    EXPECT_TRUE(vc.probe(42));
+    EXPECT_TRUE(vc.extract(42));
+    EXPECT_FALSE(vc.probe(42));
+    EXPECT_FALSE(vc.extract(42));
+}
+
+TEST(VictimCache, LruDisplacementWhenFull)
+{
+    VictimCache vc(4, 4); // fully associative, 4 blocks
+    for (BlockAddr b = 0; b < 4; ++b)
+        vc.insert(b);
+    vc.insert(99); // displaces 0 (oldest)
+    EXPECT_FALSE(vc.probe(0));
+    EXPECT_TRUE(vc.probe(99));
+    EXPECT_TRUE(vc.probe(1));
+}
+
+TEST(Vvc, ParkedVictimHitsInPartnerSet)
+{
+    VvcCache vvc(4, 2);
+    // Fill set 0 beyond capacity; victims park in partner set 1.
+    const auto acc = [](BlockAddr blk) {
+        CacheAccess a;
+        a.blk = blk;
+        a.pc = 0x100;
+        return a;
+    };
+    vvc.fill(acc(0));  // set 0
+    vvc.fill(acc(4));  // set 0
+    vvc.fill(acc(8));  // set 0 -> evicts 0, parks it in set 1
+    EXPECT_TRUE(vvc.contains(8));
+    // Block 0 must still be findable via its virtual copy.
+    EXPECT_TRUE(vvc.contains(0));
+    EXPECT_TRUE(vvc.access(acc(0))); // virtual hit swaps it back
+    EXPECT_TRUE(vvc.contains(0));
+}
+
+TEST(Vvc, StorageMatchesTableIV)
+{
+    const VvcCache vvc(64, 8);
+    EXPECT_NEAR(static_cast<double>(vvc.storageOverheadBits()) /
+                    8.0 / 1024.0,
+                9.06, 1.0);
+}
+
+TEST(Hierarchy, LatenciesPerLevel)
+{
+    MemoryHierarchy hierarchy;
+    // Cold miss goes to DRAM.
+    const Cycle first = hierarchy.serviceMiss(1234, 0x100);
+    EXPECT_EQ(first, 35u + 200u);
+    // Now resident in L2.
+    const Cycle second = hierarchy.serviceMiss(1234, 0x100);
+    EXPECT_EQ(second, 15u);
+    EXPECT_EQ(hierarchy.stats().get("hier.dram_access"), 1u);
+    EXPECT_EQ(hierarchy.stats().get("hier.l2_hit"), 1u);
+}
+
+TEST(Hierarchy, L3HitAfterL2Eviction)
+{
+    HierarchyConfig config;
+    config.l2Bytes = 2 * 64 * 8; // tiny 2-set L2 to force eviction
+    config.l2Ways = 8;
+    MemoryHierarchy hierarchy(config);
+    hierarchy.serviceMiss(0, 0);
+    // Evict block 0 from L2 by filling its set.
+    for (BlockAddr b = 1; b <= 8; ++b)
+        hierarchy.serviceMiss(b * 2, 0);
+    const Cycle latency = hierarchy.serviceMiss(0, 0);
+    EXPECT_EQ(latency, 35u); // L3 still holds it
+}

@@ -1,0 +1,157 @@
+/**
+ * @file
+ * Tests of the oracle toolkit: next-use annotations against a naive
+ * recomputation, nextUseAfter queries, and the Fenwick-based
+ * reuse-distance profiler against a brute-force stack-distance
+ * reference (property-tested over random streams).
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <unordered_map>
+#include <vector>
+
+#include "common/rng.hh"
+#include "sim/oracle.hh"
+#include "sim/reuse.hh"
+#include "trace/synthetic.hh"
+#include "trace/workload_params.hh"
+
+using namespace acic;
+
+TEST(Oracle, NextUseMatchesNaiveRecomputation)
+{
+    auto params = Workloads::byName("sibench");
+    params.instructions = 20'000;
+    SyntheticWorkload trace(params);
+    const DemandOracle oracle = DemandOracle::build(trace);
+
+    // Naive forward scan.
+    const std::uint64_t n = oracle.length();
+    ASSERT_GT(n, 1000u);
+    for (std::uint64_t i = 0; i < std::min<std::uint64_t>(n, 500);
+         ++i) {
+        std::uint64_t expected = kNeverAgain;
+        for (std::uint64_t j = i + 1; j < n; ++j) {
+            if (oracle.blockAt(j) == oracle.blockAt(i)) {
+                expected = j;
+                break;
+            }
+        }
+        ASSERT_EQ(oracle.nextUseAt(i), expected) << "at index " << i;
+    }
+}
+
+TEST(Oracle, NextUseAfterFindsStrictlyLater)
+{
+    auto params = Workloads::byName("sibench");
+    params.instructions = 20'000;
+    SyntheticWorkload trace(params);
+    const DemandOracle oracle = DemandOracle::build(trace);
+    const BlockAddr blk = oracle.blockAt(100);
+    const std::uint64_t next = oracle.nextUseAfter(blk, 100);
+    EXPECT_EQ(next, oracle.nextUseAt(100));
+    EXPECT_EQ(oracle.nextUseAfter(blk, oracle.length()),
+              kNeverAgain);
+    EXPECT_EQ(oracle.nextUseAfter(0xdeadbeef, 0), kNeverAgain);
+}
+
+TEST(Oracle, BuildResetsTheTrace)
+{
+    auto params = Workloads::byName("sibench");
+    params.instructions = 5'000;
+    SyntheticWorkload trace(params);
+    const DemandOracle a = DemandOracle::build(trace);
+    const DemandOracle b = DemandOracle::build(trace);
+    ASSERT_EQ(a.length(), b.length());
+    for (std::uint64_t i = 0; i < a.length(); i += 97)
+        ASSERT_EQ(a.blockAt(i), b.blockAt(i));
+}
+
+namespace {
+
+/** Brute-force stack distance: distinct blocks since last access. */
+std::int64_t
+naiveStackDistance(const std::vector<BlockAddr> &seq, std::size_t i)
+{
+    for (std::size_t j = i; j-- > 0;) {
+        if (seq[j] == seq[i]) {
+            std::set<BlockAddr> distinct(seq.begin() + j + 1,
+                                         seq.begin() + i);
+            distinct.erase(seq[i]);
+            return static_cast<std::int64_t>(distinct.size());
+        }
+    }
+    return -1;
+}
+
+} // namespace
+
+class ReuseProperty : public ::testing::TestWithParam<unsigned>
+{
+};
+
+TEST_P(ReuseProperty, MatchesBruteForceStackDistance)
+{
+    Rng rng(GetParam());
+    std::vector<BlockAddr> seq;
+    for (int i = 0; i < 600; ++i)
+        seq.push_back(rng.nextBelow(40));
+
+    ReuseProfiler profiler(seq.size());
+    for (std::size_t i = 0; i < seq.size(); ++i) {
+        profiler.feed(seq[i]);
+        const std::int64_t expected = naiveStackDistance(seq, i);
+        if (expected >= 0) {
+            ASSERT_EQ(profiler.lastDistance(), expected)
+                << "at access " << i;
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ReuseProperty,
+                         ::testing::Values(11, 22, 33, 44));
+
+TEST(Reuse, SequentialBlocksGiveDistanceZero)
+{
+    ReuseProfiler profiler(100);
+    profiler.feed(5);
+    profiler.feed(5);
+    EXPECT_EQ(profiler.lastDistance(), 0);
+    EXPECT_EQ(profiler.distribution().count(0), 1u);
+}
+
+TEST(Reuse, DistanceCountsDistinctBlocksOnly)
+{
+    ReuseProfiler profiler(100);
+    profiler.feed(1);
+    profiler.feed(2);
+    profiler.feed(2);
+    profiler.feed(2);
+    profiler.feed(1); // only block 2 in between -> distance 1
+    EXPECT_EQ(profiler.lastDistance(), 1);
+}
+
+TEST(Reuse, MarkovTransitionsTrackBucketPairs)
+{
+    ReuseProfiler profiler(1000);
+    // Block 9 alternates distance 0 and distance 1 reuses.
+    profiler.feed(9);
+    profiler.feed(9); // d=0
+    profiler.feed(7);
+    profiler.feed(9); // d=1
+    profiler.feed(9); // d=0
+    const auto &t = profiler.transitions();
+    EXPECT_EQ(t[0][1], 1u); // 0 -> 1-16 bucket
+    EXPECT_EQ(t[1][0], 1u); // 1-16 -> 0 bucket
+    EXPECT_GT(profiler.transitionProb(0, 1), 0.0);
+}
+
+TEST(Reuse, FirstAccessRecordsNoDistance)
+{
+    ReuseProfiler profiler(10);
+    profiler.feed(1);
+    EXPECT_EQ(profiler.distribution().total(), 0u);
+    EXPECT_EQ(profiler.accesses(), 1u);
+}

@@ -1,0 +1,209 @@
+/**
+ * @file
+ * Tests of the concrete L1i organizations behind IcacheOrg:
+ * PlainIcache with bypass policies and victim caches, the VVC
+ * organization wrapper, replacement-accuracy instrumentation, and
+ * cross-organization invariants (fill/contains coherence).
+ */
+
+#include <gtest/gtest.h>
+
+#include "bypass/obm.hh"
+#include "cache/lru.hh"
+#include "cache/opt.hh"
+#include "common/rng.hh"
+#include "sim/organizations.hh"
+
+using namespace acic;
+
+namespace {
+
+CacheAccess
+access(BlockAddr blk, Addr pc = 0x8000,
+       std::uint64_t next_use = kNeverAgain)
+{
+    CacheAccess a;
+    a.blk = blk;
+    a.pc = pc;
+    a.nextUse = next_use;
+    return a;
+}
+
+/** Bypass policy that always bypasses (test double). */
+class AlwaysBypass : public BypassPolicy
+{
+  public:
+    bool shouldBypass(const CacheAccess &, SetAssocCache &) override
+    {
+        return true;
+    }
+    std::string name() const override { return "always-bypass"; }
+};
+
+} // namespace
+
+TEST(PlainIcache, FillThenHit)
+{
+    PlainIcache org(4, 2, std::make_unique<LruPolicy>(), "t");
+    EXPECT_FALSE(org.access(access(1)));
+    org.fill(access(1));
+    EXPECT_TRUE(org.access(access(1)));
+    EXPECT_TRUE(org.contains(1));
+    EXPECT_EQ(org.stats().get("plain.hit"), 1u);
+}
+
+TEST(PlainIcache, BypassOnlyAppliesToFullSets)
+{
+    PlainIcache org(4, 2, std::make_unique<LruPolicy>(), "t",
+                    std::make_unique<AlwaysBypass>());
+    // Cold set: fills land even under an always-bypass policy.
+    org.fill(access(0));
+    EXPECT_TRUE(org.contains(0));
+    org.fill(access(4));
+    EXPECT_TRUE(org.contains(4));
+    // Full set: the bypass policy now drops the fill.
+    org.fill(access(8));
+    EXPECT_FALSE(org.contains(8));
+    EXPECT_EQ(org.stats().get("plain.bypassed"), 1u);
+}
+
+TEST(PlainIcache, VictimCacheCatchesEvictions)
+{
+    PlainIcache org(4, 2, std::make_unique<LruPolicy>(), "t",
+                    nullptr,
+                    std::make_unique<VictimCache>(8, 8));
+    org.fill(access(0));
+    org.fill(access(4));
+    org.fill(access(8)); // evicts 0 into the VC
+    EXPECT_FALSE(org.access(access(99)));
+    EXPECT_TRUE(org.contains(0)); // via the VC
+    // A demand access to 0 swaps it back into the L1i.
+    EXPECT_TRUE(org.access(access(0)));
+    EXPECT_EQ(org.stats().get("plain.vc_hit"), 1u);
+    EXPECT_TRUE(org.cache().probe(0));
+}
+
+TEST(PlainIcache, VcSwapSendsDisplacedLineToVc)
+{
+    PlainIcache org(4, 2, std::make_unique<LruPolicy>(), "t",
+                    nullptr,
+                    std::make_unique<VictimCache>(8, 8));
+    org.fill(access(0));
+    org.fill(access(4));
+    org.fill(access(8)); // 0 -> VC
+    org.access(access(0)); // swap back; displaced block -> VC
+    // All three blocks must still be reachable somewhere.
+    EXPECT_TRUE(org.contains(0));
+    EXPECT_TRUE(org.contains(4));
+    EXPECT_TRUE(org.contains(8));
+}
+
+TEST(PlainIcache, ReplacementAccuracyInstrumentation)
+{
+    PlainIcache org(4, 2, std::make_unique<LruPolicy>(), "t");
+    // Fill a set with oracle annotations, then force an eviction.
+    org.fill(access(0, 0x8000, 100));
+    org.fill(access(4, 0x8000, 200));
+    org.fill(access(8, 0x8000, 50));
+    EXPECT_EQ(org.stats().get("plain.evictions_judged"), 1u);
+    // LRU evicts block 0 (oldest); OPT would evict block 4 (farthest
+    // next use): mismatch.
+    EXPECT_EQ(org.stats().get("plain.evictions_match_opt"), 0u);
+}
+
+TEST(PlainIcache, StorageOverheadForLargerGeometries)
+{
+    PlainIcache base(64, 8, std::make_unique<LruPolicy>(), "b");
+    PlainIcache bigger(64, 9, std::make_unique<LruPolicy>(), "36");
+    EXPECT_EQ(base.storageOverheadBits(), 0u);
+    EXPECT_GT(bigger.storageOverheadBits(), 0u);
+}
+
+TEST(PlainIcache, ObmIntegrationRuns)
+{
+    PlainIcache org(8, 2, std::make_unique<LruPolicy>(), "t",
+                    std::make_unique<ObmBypass>());
+    Rng rng(9);
+    for (int i = 0; i < 10000; ++i) {
+        CacheAccess a = access(rng.nextBelow(64));
+        if (!org.access(a))
+            org.fill(a);
+    }
+    // Cache stays bounded and functional.
+    EXPECT_LE(org.cache().validLines(), 16u);
+}
+
+TEST(VvcOrg, AccessAndFillCoherent)
+{
+    VvcOrg org(8, 2);
+    Rng rng(21);
+    for (int i = 0; i < 20000; ++i) {
+        const BlockAddr blk = rng.nextBelow(64);
+        CacheAccess a = access(blk);
+        const bool hit = org.access(a);
+        if (!hit)
+            org.fill(a);
+        // fill() must make the block visible.
+        ASSERT_TRUE(org.contains(blk));
+    }
+    EXPECT_GT(org.vvc().stats().get("vvc.victim_parked"), 0u);
+}
+
+TEST(VvcOrg, ReportsTableIvStorage)
+{
+    VvcOrg org(64, 8);
+    EXPECT_NEAR(static_cast<double>(org.storageOverheadBits()) / 8.0 /
+                    1024.0,
+                9.06, 1.0);
+}
+
+class OrgInvariant : public ::testing::TestWithParam<int>
+{
+  public:
+    std::unique_ptr<IcacheOrg>
+    make() const
+    {
+        switch (GetParam()) {
+          case 0:
+            return std::make_unique<PlainIcache>(
+                8, 2, std::make_unique<LruPolicy>(), "lru");
+          case 1:
+            return std::make_unique<PlainIcache>(
+                8, 2, std::make_unique<OptPolicy>(), "opt");
+          case 2:
+            return std::make_unique<VvcOrg>(8, 2);
+          case 3:
+            return std::make_unique<PlainIcache>(
+                8, 2, std::make_unique<LruPolicy>(), "vc", nullptr,
+                std::make_unique<VictimCache>(8, 8));
+          default:
+            return nullptr;
+        }
+    }
+};
+
+TEST_P(OrgInvariant, HitAfterFillUntilEvicted)
+{
+    auto org = make();
+    Rng rng(31);
+    std::uint64_t hits = 0, accesses = 0;
+    for (int i = 0; i < 30000; ++i) {
+        const BlockAddr blk = rng.nextBelow(48);
+        CacheAccess a = access(blk, 0x8000 + 4 * blk,
+                               i + rng.nextBelow(100));
+        ++accesses;
+        if (org->access(a)) {
+            ++hits;
+        } else {
+            org->fill(a);
+            ASSERT_TRUE(org->contains(blk));
+        }
+    }
+    // Some locality must be captured by every organization.
+    EXPECT_GT(static_cast<double>(hits) /
+                  static_cast<double>(accesses),
+              0.1);
+}
+
+INSTANTIATE_TEST_SUITE_P(Orgs, OrgInvariant,
+                         ::testing::Values(0, 1, 2, 3));

@@ -1,0 +1,178 @@
+/**
+ * @file
+ * Tests of the generic set-associative tag store: hit/miss, fills and
+ * evictions, LRU ordering, invalidate, probe purity, non-power-of-two
+ * associativities (36 KB/9-way, 40 KB/10-way), and oracle next-use
+ * bookkeeping on lines.
+ */
+
+#include <gtest/gtest.h>
+
+#include "cache/lru.hh"
+#include "cache/set_assoc.hh"
+
+using namespace acic;
+
+namespace {
+
+CacheAccess
+access(BlockAddr blk, Addr pc = 0x1000,
+       std::uint64_t next_use = kNeverAgain)
+{
+    CacheAccess a;
+    a.blk = blk;
+    a.pc = pc;
+    a.nextUse = next_use;
+    return a;
+}
+
+/** Block mapping to a given set of a 64-set cache. */
+BlockAddr
+blkInSet(std::uint32_t set, std::uint32_t i)
+{
+    return set + 64ull * (i + 1);
+}
+
+} // namespace
+
+TEST(SetAssoc, MissThenHitAfterFill)
+{
+    SetAssocCache cache(64, 8, std::make_unique<LruPolicy>());
+    EXPECT_FALSE(cache.lookup(access(100)).has_value());
+    cache.fill(access(100));
+    EXPECT_TRUE(cache.lookup(access(100)).has_value());
+}
+
+TEST(SetAssoc, CapacityAndGeometry)
+{
+    const auto cache = SetAssocCache::bySize(
+        32 * 1024, 8, std::make_unique<LruPolicy>());
+    EXPECT_EQ(cache.numSets(), 64u);
+    EXPECT_EQ(cache.numWays(), 8u);
+    EXPECT_EQ(cache.capacityBytes(), 32u * 1024u);
+}
+
+TEST(SetAssoc, NonPowerOfTwoWays)
+{
+    const auto c36 = SetAssocCache::bySize(
+        36 * 1024, 9, std::make_unique<LruPolicy>());
+    EXPECT_EQ(c36.numSets(), 64u);
+    const auto c40 = SetAssocCache::bySize(
+        40 * 1024, 10, std::make_unique<LruPolicy>());
+    EXPECT_EQ(c40.numSets(), 64u);
+}
+
+TEST(SetAssoc, FillsUseInvalidWaysFirst)
+{
+    SetAssocCache cache(4, 4, std::make_unique<LruPolicy>());
+    for (std::uint32_t i = 0; i < 4; ++i) {
+        const auto result = cache.fill(access(blkInSet(1, i) * 4 + 1));
+        EXPECT_FALSE(result.evicted);
+    }
+}
+
+TEST(SetAssoc, LruEvictionOrder)
+{
+    SetAssocCache cache(64, 4, std::make_unique<LruPolicy>());
+    // Fill set 5 with 4 blocks, touch them in a known order.
+    for (std::uint32_t i = 0; i < 4; ++i)
+        cache.fill(access(blkInSet(5, i)));
+    // Touch 0,1,2 so 3 is LRU.
+    for (std::uint32_t i = 0; i < 3; ++i)
+        cache.lookup(access(blkInSet(5, i)));
+    const auto result = cache.fill(access(blkInSet(5, 9)));
+    ASSERT_TRUE(result.evicted);
+    EXPECT_EQ(result.victim.blk, blkInSet(5, 3));
+}
+
+TEST(SetAssoc, ProbeDoesNotDisturbLru)
+{
+    SetAssocCache cache(64, 2, std::make_unique<LruPolicy>());
+    cache.fill(access(blkInSet(0, 0)));
+    cache.fill(access(blkInSet(0, 1)));
+    // Probe the LRU block many times; it must still be evicted.
+    for (int i = 0; i < 10; ++i)
+        EXPECT_TRUE(cache.probe(blkInSet(0, 0)));
+    const auto result = cache.fill(access(blkInSet(0, 2)));
+    ASSERT_TRUE(result.evicted);
+    EXPECT_EQ(result.victim.blk, blkInSet(0, 0));
+}
+
+TEST(SetAssoc, FillIsIdempotentForPresentBlock)
+{
+    SetAssocCache cache(4, 2, std::make_unique<LruPolicy>());
+    cache.fill(access(8));
+    const auto result = cache.fill(access(8));
+    EXPECT_FALSE(result.evicted);
+    EXPECT_EQ(cache.validLines(), 1u);
+}
+
+TEST(SetAssoc, InvalidateRemovesBlock)
+{
+    SetAssocCache cache(4, 2, std::make_unique<LruPolicy>());
+    cache.fill(access(8));
+    EXPECT_TRUE(cache.invalidate(8));
+    EXPECT_FALSE(cache.probe(8));
+    EXPECT_FALSE(cache.invalidate(8));
+}
+
+TEST(SetAssoc, VictimWayReportsContenderWithoutEviction)
+{
+    SetAssocCache cache(64, 2, std::make_unique<LruPolicy>());
+    cache.fill(access(blkInSet(3, 0)));
+    cache.fill(access(blkInSet(3, 1)));
+    CacheAccess incoming = access(blkInSet(3, 2));
+    const std::uint32_t way = cache.victimWay(incoming);
+    const CacheLine &line = cache.lineAt(3, way);
+    EXPECT_EQ(line.blk, blkInSet(3, 0)); // LRU of the set
+    // No state change: both blocks still present.
+    EXPECT_TRUE(cache.probe(blkInSet(3, 0)));
+    EXPECT_TRUE(cache.probe(blkInSet(3, 1)));
+}
+
+TEST(SetAssoc, LineTracksNextUseOnTouch)
+{
+    SetAssocCache cache(4, 2, std::make_unique<LruPolicy>());
+    cache.fill(access(8, 0x1000, 55));
+    const auto way = cache.probeWay(8);
+    ASSERT_TRUE(way.has_value());
+    EXPECT_EQ(cache.lineAt(cache.setOf(8), *way).nextUse, 55u);
+    cache.lookup(access(8, 0x1000, 99));
+    EXPECT_EQ(cache.lineAt(cache.setOf(8), *way).nextUse, 99u);
+}
+
+TEST(SetAssoc, PrefetchMarkClearedOnDemandHit)
+{
+    SetAssocCache cache(4, 2, std::make_unique<LruPolicy>());
+    CacheAccess pf = access(8);
+    pf.isPrefetch = true;
+    cache.fill(pf);
+    const auto way = cache.probeWay(8);
+    EXPECT_TRUE(cache.lineAt(cache.setOf(8), *way).prefetched);
+    cache.lookup(access(8));
+    EXPECT_FALSE(cache.lineAt(cache.setOf(8), *way).prefetched);
+}
+
+TEST(LruPolicy, RankReflectsRecency)
+{
+    SetAssocCache cache(64, 4, std::make_unique<LruPolicy>());
+    auto &lru = static_cast<LruPolicy &>(cache.policy());
+    for (std::uint32_t i = 0; i < 4; ++i)
+        cache.fill(access(blkInSet(0, i)));
+    // Most recent fill is way 3 -> rank ways-1... rank 0 is MRU.
+    EXPECT_EQ(lru.rankOf(0, 3), 0u);
+    EXPECT_EQ(lru.rankOf(0, 0), 3u);
+    EXPECT_EQ(lru.lruWay(0), 0u);
+    cache.lookup(access(blkInSet(0, 0)));
+    EXPECT_EQ(lru.lruWay(0), 1u);
+}
+
+TEST(RandomPolicy, VictimInRange)
+{
+    SetAssocCache cache(4, 8, std::make_unique<RandomPolicy>());
+    for (std::uint32_t i = 0; i < 64; ++i)
+        cache.fill(access(4ull * i + 1));
+    CacheAccess incoming = access(999 * 4 + 1);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_LT(cache.victimWay(incoming), 8u);
+}

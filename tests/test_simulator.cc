@@ -1,0 +1,189 @@
+/**
+ * @file
+ * Integration tests of the timing simulator and the scheme catalogue:
+ * full-run invariants (all instructions retire, IPC bounds, miss
+ * accounting), determinism, OPT-never-worse property, scheme factory
+ * coverage, and prefetcher effects.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/runner.hh"
+
+using namespace acic;
+
+namespace {
+
+WorkloadParams
+tinyWorkload(const char *name = "sibench",
+             std::uint64_t instructions = 200'000)
+{
+    auto params = Workloads::byName(name);
+    params.instructions = instructions;
+    return params;
+}
+
+} // namespace
+
+TEST(Simulator, RetiresEveryInstruction)
+{
+    WorkloadContext context(tinyWorkload());
+    const SimResult r = context.run(Scheme::BaselineLru);
+    // Post-warmup instructions = 90% of the trace.
+    EXPECT_EQ(r.instructions, 180'000u);
+    EXPECT_GT(r.cycles, 0u);
+}
+
+TEST(Simulator, IpcWithinPhysicalBounds)
+{
+    WorkloadContext context(tinyWorkload());
+    const SimResult r = context.run(Scheme::BaselineLru);
+    EXPECT_GT(r.ipc(), 0.1);
+    EXPECT_LE(r.ipc(), 6.0); // retire width
+}
+
+TEST(Simulator, DeterministicAcrossRuns)
+{
+    WorkloadContext context(tinyWorkload());
+    const SimResult a = context.run(Scheme::BaselineLru);
+    const SimResult b = context.run(Scheme::BaselineLru);
+    EXPECT_EQ(a.cycles, b.cycles);
+    EXPECT_EQ(a.l1iMisses, b.l1iMisses);
+    EXPECT_EQ(a.branchMispredicts, b.branchMispredicts);
+}
+
+TEST(Simulator, MissesImplyDemandAccesses)
+{
+    WorkloadContext context(tinyWorkload());
+    const SimResult r = context.run(Scheme::BaselineLru);
+    EXPECT_GT(r.demandAccesses, 0u);
+    EXPECT_LE(r.l1iMisses, r.demandAccesses);
+    EXPECT_GT(r.mpki(), 0.0);
+}
+
+TEST(Simulator, OptNeverMissesMoreThanLru)
+{
+    WorkloadContext context(tinyWorkload("media_streaming"));
+    const SimResult lru = context.run(Scheme::BaselineLru);
+    const SimResult opt = context.run(Scheme::Opt);
+    EXPECT_LE(opt.l1iMisses, lru.l1iMisses);
+    EXPECT_LE(opt.cycles, lru.cycles + lru.cycles / 100);
+}
+
+TEST(Simulator, LargerIcacheDoesNotIncreaseMisses)
+{
+    WorkloadContext context(tinyWorkload("media_streaming"));
+    const SimResult base = context.run(Scheme::BaselineLru);
+    const SimResult big = context.run(Scheme::L1i36k);
+    EXPECT_LE(big.l1iMisses, base.l1iMisses + base.l1iMisses / 50);
+}
+
+TEST(Simulator, PrefetchingReducesMisses)
+{
+    auto params = tinyWorkload("media_streaming");
+    SimConfig no_prefetch;
+    no_prefetch.prefetcher = PrefetcherKind::None;
+    WorkloadContext without(params, no_prefetch);
+    WorkloadContext with(params); // FDP default
+    const SimResult r_without = without.run(Scheme::BaselineLru);
+    const SimResult r_with = with.run(Scheme::BaselineLru);
+    EXPECT_LT(r_with.l1iMisses, r_without.l1iMisses);
+    EXPECT_GT(r_with.prefetchesIssued, 0u);
+}
+
+TEST(Simulator, EntanglingPrefetcherRuns)
+{
+    auto params = tinyWorkload("media_streaming");
+    SimConfig config;
+    config.prefetcher = PrefetcherKind::Entangling;
+    WorkloadContext context(params, config);
+    const SimResult r = context.run(Scheme::BaselineLru);
+    EXPECT_GT(r.prefetchesIssued, 0u);
+    EXPECT_EQ(r.instructions, 180'000u);
+}
+
+TEST(Simulator, VictimCacheReducesMissesVsBaseline)
+{
+    WorkloadContext context(tinyWorkload("media_streaming"));
+    const SimResult base = context.run(Scheme::BaselineLru);
+    const SimResult vc = context.run(Scheme::Vc3k);
+    EXPECT_LE(vc.l1iMisses, base.l1iMisses);
+}
+
+class AllSchemes : public ::testing::TestWithParam<Scheme>
+{
+};
+
+TEST_P(AllSchemes, RunsToCompletionWithSaneMetrics)
+{
+    WorkloadContext context(tinyWorkload("data_serving", 100'000));
+    const SimResult r = context.run(GetParam());
+    EXPECT_EQ(r.instructions, 90'000u);
+    EXPECT_GT(r.cycles, 0u);
+    EXPECT_GT(r.ipc(), 0.05);
+    EXPECT_EQ(r.scheme, schemeName(GetParam()));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Catalogue, AllSchemes,
+    ::testing::Values(Scheme::BaselineLru, Scheme::Srrip,
+                      Scheme::Ship, Scheme::Harmony, Scheme::Ghrp,
+                      Scheme::Dsb, Scheme::Obm, Scheme::Vvc,
+                      Scheme::Vc3k, Scheme::Vc8k, Scheme::L1i36k,
+                      Scheme::L1i40k, Scheme::Opt, Scheme::OptBypass,
+                      Scheme::Acic, Scheme::AcicInstant,
+                      Scheme::AlwaysInsert, Scheme::IFilterOnly,
+                      Scheme::AccessCount, Scheme::RandomBypass,
+                      Scheme::AcicGlobalHistory,
+                      Scheme::AcicBimodal),
+    [](const auto &param_info) {
+        std::string name = schemeName(param_info.param);
+        for (auto &c : name)
+            if (!std::isalnum(static_cast<unsigned char>(c)))
+                c = '_';
+        return name;
+    });
+
+TEST(Schemes, NamesAreUniqueAndNonEmpty)
+{
+    std::set<std::string> names;
+    for (const Scheme s :
+         {Scheme::BaselineLru, Scheme::Srrip, Scheme::Ship,
+          Scheme::Harmony, Scheme::Ghrp, Scheme::Dsb, Scheme::Obm,
+          Scheme::Vvc, Scheme::Vc3k, Scheme::Vc8k, Scheme::L1i36k,
+          Scheme::L1i40k, Scheme::Opt, Scheme::OptBypass,
+          Scheme::Acic}) {
+        const std::string name = schemeName(s);
+        EXPECT_FALSE(name.empty());
+        EXPECT_TRUE(names.insert(name).second);
+    }
+}
+
+TEST(Schemes, AcicStorageIs267Kb)
+{
+    const SimConfig config;
+    const auto org = makeScheme(Scheme::Acic, config);
+    EXPECT_NEAR(static_cast<double>(org->storageOverheadBits()) /
+                    8.0 / 1024.0,
+                2.67, 0.01);
+}
+
+TEST(Schemes, LargerIcacheReportsCapacityOverhead)
+{
+    const SimConfig config;
+    const auto org = makeScheme(Scheme::L1i36k, config);
+    // 64 extra blocks: ~4 KB of data + tags.
+    EXPECT_GT(org->storageOverheadBits(), 64u * 64 * 8);
+}
+
+TEST(Runner, EnvOverrideAppliesToLength)
+{
+    auto params = tinyWorkload();
+    ::setenv("ACIC_TRACE_LEN", "123456", 1);
+    const auto overridden =
+        WorkloadContext::withEnvOverrides(params);
+    EXPECT_EQ(overridden.instructions, 123'456u);
+    ::unsetenv("ACIC_TRACE_LEN");
+    const auto plain = WorkloadContext::withEnvOverrides(params);
+    EXPECT_EQ(plain.instructions, params.instructions);
+}
