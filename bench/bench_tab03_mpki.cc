@@ -2,10 +2,12 @@
  * @file
  * Prints Table II (simulation parameters) and regenerates Table III:
  * baseline (LRU + fetch-directed prefetching) L1i MPKI of the ten
- * datacenter applications, next to the paper's reported values.
+ * datacenter applications, next to the paper's reported values. The
+ * ten baseline runs execute in parallel on the experiment driver.
  */
 
 #include "bench_util.hh"
+#include "driver/experiment.hh"
 
 using namespace acic;
 using namespace acic::bench;
@@ -45,22 +47,29 @@ main()
     tab2.addRow({"Prefetcher", "fetch-directed (FDP)"});
     tab2.print();
 
-    auto runs = buildBaselines(Workloads::datacenter());
-    TablePrinter tab3(
-        "Table III: baseline L1i MPKI (LRU + FDP)");
-    tab3.setHeader({"workload", "measured MPKI", "paper MPKI",
-                    "IPC", "br-misp/ki"});
-    for (auto &run : runs) {
-        const auto params = Workloads::byName(run.name);
+    ExperimentSpec spec;
+    spec.workloads = Workloads::datacenter();
+    spec.schemes = {Scheme::BaselineLru};
+    spec.config = config;
+    spec.instructions = benchTraceLength();
+
+    ExperimentDriver driver(spec);
+    const auto cells = driver.run();
+
+    TablePrinter tab3("Table III: baseline L1i MPKI (LRU + FDP)");
+    tab3.setHeader({"workload", "measured MPKI", "paper MPKI", "IPC",
+                    "br-misp/ki"});
+    for (std::size_t w = 0; w < spec.workloads.size(); ++w) {
+        const SimResult &baseline = cells[w].result;
         tab3.addRow(
-            {run.name, TablePrinter::fmt(run.baseline.mpki(), 1),
-             TablePrinter::fmt(params.paperMpki, 1),
-             TablePrinter::fmt(run.baseline.ipc(), 2),
+            {spec.workloads[w].name,
+             TablePrinter::fmt(baseline.mpki(), 1),
+             TablePrinter::fmt(spec.workloads[w].paperMpki, 1),
+             TablePrinter::fmt(baseline.ipc(), 2),
              TablePrinter::fmt(
                  1000.0 *
-                     static_cast<double>(
-                         run.baseline.branchMispredicts) /
-                     static_cast<double>(run.baseline.instructions),
+                     static_cast<double>(baseline.branchMispredicts) /
+                     static_cast<double>(baseline.instructions),
                  1)});
     }
     tab3.addNote("absolute MPKI differs from the paper's testbed; "

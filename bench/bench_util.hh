@@ -24,12 +24,10 @@ namespace acic::bench {
 inline std::uint64_t
 benchTraceLength()
 {
-    if (const char *env = std::getenv("ACIC_TRACE_LEN")) {
-        const long long v = std::atoll(env);
-        if (v > 1000)
-            return static_cast<std::uint64_t>(v);
-    }
-    return 2'000'000;
+    // Delegate ACIC_TRACE_LEN parsing to the one hardened parser.
+    WorkloadParams params;
+    params.instructions = 2'000'000;
+    return WorkloadContext::withEnvOverrides(params).instructions;
 }
 
 /** One workload's context plus its baseline run. */

@@ -1,6 +1,6 @@
 #include "common/stats.hh"
 
-#include <cstdio>
+#include <iostream>
 
 namespace acic {
 
@@ -47,9 +47,14 @@ StatSet::clear()
 void
 StatSet::dump(const std::string &prefix) const
 {
+    dump(std::cout, prefix);
+}
+
+void
+StatSet::dump(std::ostream &out, const std::string &prefix) const
+{
     for (const auto &[name, value] : counters_)
-        std::printf("%s%s %llu\n", prefix.c_str(), name.c_str(),
-                    static_cast<unsigned long long>(value));
+        out << prefix << name << ' ' << value << '\n';
 }
 
 } // namespace acic

@@ -9,6 +9,7 @@
 #define ACIC_COMMON_STATS_HH
 
 #include <cstdint>
+#include <iosfwd>
 #include <map>
 #include <string>
 
@@ -36,8 +37,14 @@ class StatSet
     /** Reset everything. */
     void clear();
 
-    /** Dump "name value" lines to stdout, sorted by name. */
+    /**
+     * Dump "name value" lines sorted by name.
+     * @param out destination stream (std::cout by default), so the
+     *        driver's emitters and tests can capture the output.
+     */
     void dump(const std::string &prefix = "") const;
+    void dump(std::ostream &out,
+              const std::string &prefix = "") const;
 
     /** Access to the underlying map for iteration in tests. */
     const std::map<std::string, std::uint64_t> &raw() const

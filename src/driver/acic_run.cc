@@ -1,0 +1,371 @@
+/**
+ * @file
+ * acic_run — experiment-driver CLI.
+ *
+ *   acic_run list
+ *       Show every workload preset and every catalogued scheme.
+ *
+ *   acic_run record --workloads W [--out-dir D] [--instructions N]
+ *       Capture synthetic workloads to .acictrace files.
+ *
+ *   acic_run run --workloads W --schemes S [--threads N]
+ *            [--instructions N] [--trace-dir D] [--baseline SCHEME]
+ *            [--csv FILE] [--json FILE] [--quiet]
+ *       Execute the workloads x schemes matrix on a thread pool and
+ *       print paper-shaped IPC/MPKI/speedup tables.
+ *
+ * Workload lists are comma-separated preset names, or the groups
+ * "all", "all-datacenter", "all-spec". Scheme lists accept the
+ * display names of Table IV ("-"/"_" may stand in for spaces, case
+ * does not matter), or "all".
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/table.hh"
+#include "driver/emitters.hh"
+#include "driver/experiment.hh"
+#include "trace/io.hh"
+
+using namespace acic;
+
+namespace {
+
+int
+usage(const char *argv0)
+{
+    std::fprintf(
+        stderr,
+        "usage: %s <command> [options]\n"
+        "\n"
+        "commands:\n"
+        "  list                     show workload presets and "
+        "schemes\n"
+        "  record --workloads W [--out-dir D] [--instructions N]\n"
+        "                           capture synthetic traces to "
+        "disk\n"
+        "  run --workloads W --schemes S [--threads N]\n"
+        "      [--instructions N] [--trace-dir D] "
+        "[--baseline SCHEME]\n"
+        "      [--csv FILE] [--json FILE] [--quiet]\n"
+        "                           execute the experiment matrix\n"
+        "\n"
+        "W: comma-separated preset names, or all | all-datacenter | "
+        "all-spec\n"
+        "S: comma-separated scheme names, or all\n",
+        argv0);
+    return 2;
+}
+
+std::vector<std::string>
+splitCommas(const std::string &list)
+{
+    std::vector<std::string> out;
+    std::size_t start = 0;
+    while (start <= list.size()) {
+        const std::size_t comma = list.find(',', start);
+        const std::string item =
+            list.substr(start, comma == std::string::npos
+                                   ? std::string::npos
+                                   : comma - start);
+        if (!item.empty())
+            out.push_back(item);
+        if (comma == std::string::npos)
+            break;
+        start = comma + 1;
+    }
+    return out;
+}
+
+std::vector<WorkloadParams>
+parseWorkloads(const std::string &list)
+{
+    if (list == "all" || list == "all-datacenter") {
+        auto out = Workloads::datacenter();
+        if (list == "all") {
+            for (auto &p : Workloads::spec())
+                out.push_back(p);
+        }
+        return out;
+    }
+    if (list == "all-spec")
+        return Workloads::spec();
+    std::vector<WorkloadParams> out;
+    for (const auto &name : splitCommas(list))
+        out.push_back(Workloads::byName(name)); // fatals on unknown
+    return out;
+}
+
+std::vector<Scheme>
+parseSchemes(const std::string &list)
+{
+    if (list == "all")
+        return allSchemes();
+    std::vector<Scheme> out;
+    for (const auto &name : splitCommas(list)) {
+        const auto scheme = schemeFromName(name);
+        if (!scheme) {
+            std::fprintf(stderr, "unknown scheme '%s'\n",
+                         name.c_str());
+            std::exit(2);
+        }
+        out.push_back(*scheme);
+    }
+    return out;
+}
+
+/** Pull "--flag value" style options out of argv. */
+class OptionParser
+{
+  public:
+    OptionParser(int argc, char **argv) : argc_(argc), argv_(argv) {}
+
+    const char *value(const char *flag) const
+    {
+        for (int i = 2; i + 1 < argc_; ++i)
+            if (std::strcmp(argv_[i], flag) == 0)
+                return argv_[i + 1];
+        return nullptr;
+    }
+
+    bool present(const char *flag) const
+    {
+        for (int i = 2; i < argc_; ++i)
+            if (std::strcmp(argv_[i], flag) == 0)
+                return true;
+        return false;
+    }
+
+  private:
+    int argc_;
+    char **argv_;
+};
+
+std::uint64_t
+parseCount(const char *text, const char *what)
+{
+    char *end = nullptr;
+    const long long v = std::strtoll(text, &end, 10);
+    if (end == text || *end != '\0' || v <= 0) {
+        std::fprintf(stderr, "%s must be a positive integer\n", what);
+        std::exit(2);
+    }
+    return static_cast<std::uint64_t>(v);
+}
+
+int
+cmdList()
+{
+    TablePrinter workloads("Workload presets");
+    workloads.setHeader(
+        {"name", "suite", "instructions", "paper MPKI"});
+    for (const auto &p : Workloads::datacenter())
+        workloads.addRow({p.name, "datacenter",
+                          std::to_string(p.instructions),
+                          TablePrinter::fmt(p.paperMpki, 1)});
+    for (const auto &p : Workloads::spec())
+        workloads.addRow({p.name, "spec",
+                          std::to_string(p.instructions),
+                          TablePrinter::fmt(p.paperMpki, 1)});
+    workloads.print();
+
+    TablePrinter schemes("Scheme catalogue");
+    schemes.setHeader({"name"});
+    for (const Scheme s : allSchemes())
+        schemes.addRow({schemeName(s)});
+    schemes.print();
+    return 0;
+}
+
+int
+cmdRecord(const OptionParser &opts)
+{
+    const char *list = opts.value("--workloads");
+    if (!list) {
+        std::fprintf(stderr, "record: --workloads is required\n");
+        return 2;
+    }
+    const std::string out_dir =
+        opts.value("--out-dir") ? opts.value("--out-dir") : ".";
+    auto presets = parseWorkloads(list);
+    for (auto &params : presets) {
+        // Precedence: explicit flag > ACIC_TRACE_LEN > preset.
+        params = WorkloadContext::withEnvOverrides(params);
+        if (const char *n = opts.value("--instructions"))
+            params.instructions = parseCount(n, "--instructions");
+        const std::string path =
+            out_dir + "/" + params.name + TraceFormat::suffix();
+        SyntheticWorkload trace(params);
+        const std::uint64_t written = recordTrace(trace, path);
+        std::printf("recorded %s: %llu instructions\n", path.c_str(),
+                    static_cast<unsigned long long>(written));
+    }
+    return 0;
+}
+
+int
+cmdRun(const OptionParser &opts)
+{
+    const char *workload_list = opts.value("--workloads");
+    const char *scheme_list = opts.value("--schemes");
+    if (!workload_list || !scheme_list) {
+        std::fprintf(stderr,
+                     "run: --workloads and --schemes are required\n");
+        return 2;
+    }
+
+    ExperimentSpec spec;
+    spec.workloads = parseWorkloads(workload_list);
+    spec.schemes = parseSchemes(scheme_list);
+    if (const char *t = opts.value("--threads"))
+        spec.threads =
+            static_cast<unsigned>(parseCount(t, "--threads"));
+    if (const char *n = opts.value("--instructions"))
+        spec.instructions = parseCount(n, "--instructions");
+    if (const char *d = opts.value("--trace-dir"))
+        spec.traceDir = d;
+
+    Scheme baseline = spec.schemes.front();
+    if (const char *b = opts.value("--baseline")) {
+        const auto parsed = schemeFromName(b);
+        if (!parsed) {
+            std::fprintf(stderr, "unknown scheme '%s'\n", b);
+            return 2;
+        }
+        baseline = *parsed;
+        bool in_matrix = false;
+        for (const Scheme s : spec.schemes)
+            in_matrix = in_matrix || s == baseline;
+        if (!in_matrix) {
+            std::fprintf(stderr,
+                         "--baseline %s is not in --schemes; add it "
+                         "to the scheme list\n",
+                         b);
+            return 2;
+        }
+    }
+
+    const bool quiet = opts.present("--quiet");
+    const std::size_t total = spec.cellCount();
+    std::size_t done = 0;
+
+    ExperimentDriver driver(spec);
+    const auto wall_start = std::chrono::steady_clock::now();
+    const auto cells = driver.run([&](const CellResult &cell) {
+        ++done;
+        if (quiet)
+            return;
+        std::fprintf(
+            stderr,
+            "[%zu/%zu] %s / %s: ipc %.3f, mpki %.2f (%.2fs)\n", done,
+            total,
+            driver.spec().workloads[cell.workloadIndex].name.c_str(),
+            schemeName(driver.spec().schemes[cell.schemeIndex])
+                .c_str(),
+            cell.result.ipc(), cell.result.mpki(),
+            cell.hostSeconds);
+    });
+    const double wall = std::chrono::duration<double>(
+                            std::chrono::steady_clock::now() -
+                            wall_start)
+                            .count();
+
+    // Per-workload baseline cycles for the speedup table.
+    const std::size_t n_schemes = spec.schemes.size();
+    std::map<std::size_t, double> baseline_cycles;
+    for (const auto &cell : cells)
+        if (spec.schemes[cell.schemeIndex] == baseline)
+            baseline_cycles[cell.workloadIndex] =
+                static_cast<double>(cell.result.cycles);
+
+    TablePrinter ipc_table("IPC");
+    TablePrinter mpki_table("L1i MPKI");
+    TablePrinter speedup_table("Speedup over " +
+                               schemeName(baseline));
+    std::vector<std::string> header{"workload"};
+    for (const Scheme s : spec.schemes)
+        header.push_back(schemeName(s));
+    ipc_table.setHeader(header);
+    mpki_table.setHeader(header);
+    speedup_table.setHeader(header);
+    const bool have_baseline =
+        baseline_cycles.size() == spec.workloads.size();
+
+    for (std::size_t w = 0; w < spec.workloads.size(); ++w) {
+        std::vector<std::string> ipc_row{spec.workloads[w].name};
+        std::vector<std::string> mpki_row{spec.workloads[w].name};
+        std::vector<std::string> speedup_row{spec.workloads[w].name};
+        for (std::size_t s = 0; s < n_schemes; ++s) {
+            const SimResult &r = cells[w * n_schemes + s].result;
+            ipc_row.push_back(TablePrinter::fmt(r.ipc(), 3));
+            mpki_row.push_back(TablePrinter::fmt(r.mpki(), 2));
+            if (have_baseline)
+                speedup_row.push_back(TablePrinter::fmt(
+                    baseline_cycles[w] /
+                        static_cast<double>(r.cycles),
+                    4));
+        }
+        ipc_table.addRow(ipc_row);
+        mpki_table.addRow(mpki_row);
+        if (have_baseline)
+            speedup_table.addRow(speedup_row);
+    }
+    ipc_table.print();
+    mpki_table.print();
+    if (have_baseline)
+        speedup_table.print();
+
+    double cell_seconds = 0.0;
+    for (const auto &cell : cells)
+        cell_seconds += cell.hostSeconds;
+    const unsigned hw = std::thread::hardware_concurrency();
+    std::printf("\n%zu cells in %.2fs wall (%.2fs of simulation; "
+                "parallel speedup %.2fx on %u threads)\n",
+                total, wall, cell_seconds,
+                wall > 0.0 ? cell_seconds / wall : 0.0,
+                spec.threads ? spec.threads : (hw ? hw : 1));
+
+    if (const char *path = opts.value("--csv")) {
+        std::ofstream out(path);
+        writeResultsCsv(out, driver.spec(), cells);
+        if (!out)
+            std::fprintf(stderr, "failed writing %s\n", path);
+        else
+            std::printf("wrote %s\n", path);
+    }
+    if (const char *path = opts.value("--json")) {
+        std::ofstream out(path);
+        writeResultsJson(out, driver.spec(), cells);
+        if (!out)
+            std::fprintf(stderr, "failed writing %s\n", path);
+        else
+            std::printf("wrote %s\n", path);
+    }
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 2)
+        return usage(argv[0]);
+    const OptionParser opts(argc, argv);
+    const std::string command = argv[1];
+    if (command == "list")
+        return cmdList();
+    if (command == "record")
+        return cmdRecord(opts);
+    if (command == "run")
+        return cmdRun(opts);
+    return usage(argv[0]);
+}

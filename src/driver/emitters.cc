@@ -1,0 +1,118 @@
+#include "driver/emitters.hh"
+
+#include <cstdio>
+#include <ostream>
+
+namespace acic {
+
+namespace {
+
+/** Fixed-point double formatting without locale surprises. */
+std::string
+fmtDouble(double v, int digits)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", digits, v);
+    return buf;
+}
+
+} // namespace
+
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size() + 8);
+    for (const char c : s) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\r': out += "\\r"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                out += buf;
+            } else {
+                out.push_back(c);
+            }
+        }
+    }
+    return out;
+}
+
+void
+writeResultsCsv(std::ostream &out, const ExperimentSpec &spec,
+                const std::vector<CellResult> &cells)
+{
+    out << "workload,scheme,instructions,cycles,ipc,mpki,"
+           "demand_accesses,l1i_misses,branch_mispredicts,"
+           "btb_misses,prefetches_issued,late_prefetches,"
+           "l2_accesses,l3_accesses,dram_accesses,host_seconds\n";
+    for (const CellResult &cell : cells) {
+        const SimResult &r = cell.result;
+        // Workload/scheme names contain no commas or quotes; emit
+        // them bare so the file stays trivially parseable.
+        out << spec.workloads[cell.workloadIndex].name << ','
+            << schemeName(spec.schemes[cell.schemeIndex]) << ','
+            << r.instructions << ',' << r.cycles << ','
+            << fmtDouble(r.ipc(), 6) << ','
+            << fmtDouble(r.mpki(), 6) << ',' << r.demandAccesses
+            << ',' << r.l1iMisses << ',' << r.branchMispredicts
+            << ',' << r.btbMisses << ',' << r.prefetchesIssued << ','
+            << r.latePrefetches << ',' << r.l2Accesses << ','
+            << r.l3Accesses << ',' << r.dramAccesses << ','
+            << fmtDouble(cell.hostSeconds, 3) << '\n';
+    }
+}
+
+void
+writeResultsJson(std::ostream &out, const ExperimentSpec &spec,
+                 const std::vector<CellResult> &cells)
+{
+    out << "{\n  \"format\": 1,\n  \"workloads\": [";
+    for (std::size_t i = 0; i < spec.workloads.size(); ++i)
+        out << (i ? ", " : "") << '"'
+            << jsonEscape(spec.workloads[i].name) << '"';
+    out << "],\n  \"schemes\": [";
+    for (std::size_t i = 0; i < spec.schemes.size(); ++i)
+        out << (i ? ", " : "") << '"'
+            << jsonEscape(schemeName(spec.schemes[i])) << '"';
+    out << "],\n  \"cells\": [\n";
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+        const CellResult &cell = cells[i];
+        const SimResult &r = cell.result;
+        out << "    {\"workload\": \""
+            << jsonEscape(spec.workloads[cell.workloadIndex].name)
+            << "\", \"scheme\": \""
+            << jsonEscape(schemeName(spec.schemes[cell.schemeIndex]))
+            << "\",\n     \"instructions\": " << r.instructions
+            << ", \"cycles\": " << r.cycles
+            << ", \"ipc\": " << fmtDouble(r.ipc(), 6)
+            << ", \"mpki\": " << fmtDouble(r.mpki(), 6)
+            << ",\n     \"demand_accesses\": " << r.demandAccesses
+            << ", \"l1i_misses\": " << r.l1iMisses
+            << ", \"branch_mispredicts\": " << r.branchMispredicts
+            << ", \"btb_misses\": " << r.btbMisses
+            << ",\n     \"prefetches_issued\": " << r.prefetchesIssued
+            << ", \"late_prefetches\": " << r.latePrefetches
+            << ", \"l2_accesses\": " << r.l2Accesses
+            << ", \"l3_accesses\": " << r.l3Accesses
+            << ", \"dram_accesses\": " << r.dramAccesses
+            << ",\n     \"host_seconds\": "
+            << fmtDouble(cell.hostSeconds, 3)
+            << ",\n     \"org_stats\": {";
+        bool first = true;
+        for (const auto &[name, value] : r.orgStats.raw()) {
+            out << (first ? "" : ", ") << '"' << jsonEscape(name)
+                << "\": " << value;
+            first = false;
+        }
+        out << "}}" << (i + 1 < cells.size() ? "," : "") << '\n';
+    }
+    out << "  ]\n}\n";
+}
+
+} // namespace acic

@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Result emitters for the experiment driver: a flat CSV (one row per
+ * cell, the shape the paper's plotting scripts want) and a structured
+ * JSON document including every organization-specific counter. Both
+ * write to any std::ostream.
+ */
+
+#ifndef ACIC_DRIVER_EMITTERS_HH
+#define ACIC_DRIVER_EMITTERS_HH
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "driver/experiment.hh"
+
+namespace acic {
+
+/**
+ * Emit one CSV row per cell, workload-major, with a header row.
+ * Columns: workload, scheme, instructions, cycles, ipc, mpki,
+ * demand_accesses, l1i_misses, branch_mispredicts, btb_misses,
+ * prefetches_issued, late_prefetches, l2_accesses, l3_accesses,
+ * dram_accesses, host_seconds.
+ */
+void writeResultsCsv(std::ostream &out, const ExperimentSpec &spec,
+                     const std::vector<CellResult> &cells);
+
+/**
+ * Emit a JSON document:
+ * {"format": 1, "workloads": [...], "schemes": [...],
+ *  "cells": [{... per-cell metrics ..., "org_stats": {...}}]}
+ */
+void writeResultsJson(std::ostream &out, const ExperimentSpec &spec,
+                      const std::vector<CellResult> &cells);
+
+/** Escape @p s for inclusion in a JSON string literal. */
+std::string jsonEscape(const std::string &s);
+
+} // namespace acic
+
+#endif // ACIC_DRIVER_EMITTERS_HH

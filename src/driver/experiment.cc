@@ -1,0 +1,133 @@
+#include "driver/experiment.hh"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <utility>
+
+#include "common/logging.hh"
+#include "driver/thread_pool.hh"
+#include "trace/io.hh"
+
+namespace acic {
+
+ExperimentDriver::ExperimentDriver(ExperimentSpec spec)
+    : spec_(std::move(spec))
+{
+    ACIC_ASSERT(!spec_.workloads.empty(),
+                "experiment spec names no workloads");
+    ACIC_ASSERT(!spec_.schemes.empty(),
+                "experiment spec names no schemes");
+}
+
+std::shared_ptr<const SharedWorkload>
+ExperimentDriver::prepareWorkload(const WorkloadParams &params) const
+{
+    if (!spec_.traceDir.empty()) {
+        const std::string path = spec_.traceDir + "/" + params.name +
+                                 TraceFormat::suffix();
+        FileTraceSource file(path);
+        return std::make_shared<SharedWorkload>(file, spec_.config);
+    }
+    // Precedence: explicit spec override > ACIC_TRACE_LEN > preset.
+    WorkloadParams effective =
+        WorkloadContext::withEnvOverrides(params);
+    if (spec_.instructions != 0)
+        effective.instructions = spec_.instructions;
+    return std::make_shared<SharedWorkload>(std::move(effective),
+                                            spec_.config);
+}
+
+namespace {
+
+/** Shared bookkeeping of one ExperimentDriver::run() invocation. */
+struct RunState
+{
+    explicit RunState(std::size_t n_workloads)
+        : remainingCells(
+              std::make_unique<std::atomic<std::size_t>[]>(
+                  n_workloads)),
+          nextWorkload(0)
+    {
+    }
+
+    /** Unfinished cells per workload; 0 releases its trace image. */
+    std::unique_ptr<std::atomic<std::size_t>[]> remainingCells;
+    /** Next workload index to prepare. */
+    std::atomic<std::size_t> nextWorkload;
+    std::mutex observerMutex;
+};
+
+} // namespace
+
+std::vector<CellResult>
+ExperimentDriver::run(const Observer &observer)
+{
+    const std::size_t n_workloads = spec_.workloads.size();
+    const std::size_t n_schemes = spec_.schemes.size();
+    std::vector<CellResult> cells(spec_.cellCount());
+
+    ThreadPool pool(spec_.threads);
+    const std::size_t threads = pool.threads();
+    RunState state(n_workloads);
+    for (std::size_t w = 0; w < n_workloads; ++w)
+        state.remainingCells[w] = n_schemes;
+
+    // A prepare task builds one workload's shared trace + oracle and
+    // fans its row's scheme cells back into the same pool. Prepares
+    // are released in a sliding window of ~thread-count workloads —
+    // the last cell of a finished workload submits the next prepare —
+    // so preparation overlaps simulation while the number of live
+    // (materialized) trace images stays bounded by the thread count,
+    // not the workload count.
+    std::function<void()> submitNextPrepare =
+        [&]() {
+            const std::size_t w = state.nextWorkload.fetch_add(1);
+            if (w >= n_workloads)
+                return;
+            pool.submit([this, w, n_schemes, &cells, &pool,
+                         &observer, &state, &submitNextPrepare] {
+                const auto shared =
+                    prepareWorkload(spec_.workloads[w]);
+                for (std::size_t s = 0; s < n_schemes; ++s) {
+                    pool.submit([this, w, s, n_schemes, shared,
+                                 &cells, &observer, &state,
+                                 &submitNextPrepare] {
+                        const auto start =
+                            std::chrono::steady_clock::now();
+                        CellResult cell;
+                        cell.workloadIndex = w;
+                        cell.schemeIndex = s;
+                        cell.result = shared->run(spec_.schemes[s]);
+                        cell.hostSeconds =
+                            std::chrono::duration<double>(
+                                std::chrono::steady_clock::now() -
+                                start)
+                                .count();
+                        cells[w * n_schemes + s] = cell;
+                        if (observer) {
+                            std::lock_guard<std::mutex> lock(
+                                state.observerMutex);
+                            observer(cells[w * n_schemes + s]);
+                        }
+                        if (state.remainingCells[w].fetch_sub(1) ==
+                            1)
+                            submitNextPrepare();
+                    });
+                }
+            });
+        };
+
+    const std::size_t window = std::min(
+        n_workloads, std::max<std::size_t>(threads, 1));
+    for (std::size_t i = 0; i < window; ++i)
+        submitNextPrepare();
+
+    pool.wait();
+    return cells;
+}
+
+} // namespace acic

@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Parallel experiment driver: a declarative ExperimentSpec names a
+ * workloads x schemes matrix (the shape of the paper's Table IV and
+ * Figs. 10-17) and the driver executes every cell on a thread pool.
+ * Each workload's trace is materialized and its Belady oracle built
+ * exactly once, shared read-only by all workers; per-cell state (the
+ * cache organization and simulator) is private to the worker, so
+ * results are bit-identical to the serial WorkloadContext path at any
+ * thread count.
+ */
+
+#ifndef ACIC_DRIVER_EXPERIMENT_HH
+#define ACIC_DRIVER_EXPERIMENT_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "sim/runner.hh"
+#include "sim/scheme.hh"
+#include "sim/sim_config.hh"
+#include "trace/workload_params.hh"
+
+namespace acic {
+
+/** Declarative description of one experiment matrix. */
+struct ExperimentSpec
+{
+    /** Workloads forming the rows of the matrix. */
+    std::vector<WorkloadParams> workloads;
+
+    /** Schemes forming the columns. */
+    std::vector<Scheme> schemes;
+
+    /** Simulator configuration shared by every cell. */
+    SimConfig config{};
+
+    /** Worker threads; 0 means hardware concurrency. */
+    unsigned threads = 0;
+
+    /** Per-workload trace-length override; 0 keeps preset lengths. */
+    std::uint64_t instructions = 0;
+
+    /**
+     * When non-empty, load `<traceDir>/<name>.acictrace` recorded by
+     * `acic_run record` instead of regenerating synthetically.
+     */
+    std::string traceDir;
+
+    /** Matrix size (cells). */
+    std::size_t cellCount() const
+    {
+        return workloads.size() * schemes.size();
+    }
+};
+
+/** Outcome of one (workload, scheme) cell. */
+struct CellResult
+{
+    std::size_t workloadIndex = 0;
+    std::size_t schemeIndex = 0;
+    SimResult result;
+    /** Host wall-clock seconds the cell's simulation took. */
+    double hostSeconds = 0.0;
+};
+
+/** See file comment. */
+class ExperimentDriver
+{
+  public:
+    explicit ExperimentDriver(ExperimentSpec spec);
+
+    /**
+     * Streaming-aggregation callback, invoked as each cell finishes
+     * (from worker threads, serialized by the driver). Completion
+     * order is nondeterministic; cell indices identify the work.
+     */
+    using Observer = std::function<void(const CellResult &)>;
+
+    /**
+     * Execute the full matrix.
+     * @return every cell, ordered workload-major (row by row),
+     *         independent of completion order.
+     */
+    std::vector<CellResult> run(const Observer &observer = {});
+
+    const ExperimentSpec &spec() const { return spec_; }
+
+  private:
+    /** Build one workload's shared trace + oracle. */
+    std::shared_ptr<const SharedWorkload>
+    prepareWorkload(const WorkloadParams &params) const;
+
+    ExperimentSpec spec_;
+};
+
+} // namespace acic
+
+#endif // ACIC_DRIVER_EXPERIMENT_HH

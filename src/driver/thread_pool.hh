@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Fixed-size worker pool for the experiment driver. Tasks may submit
+ * further tasks (the driver's per-workload prepare tasks fan out into
+ * per-scheme run tasks), and wait() blocks until the whole transitive
+ * task graph has drained.
+ */
+
+#ifndef ACIC_DRIVER_THREAD_POOL_HH
+#define ACIC_DRIVER_THREAD_POOL_HH
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace acic {
+
+/** See file comment. */
+class ThreadPool
+{
+  public:
+    /**
+     * @param threads worker count; 0 means
+     *        std::thread::hardware_concurrency() (at least 1).
+     */
+    explicit ThreadPool(unsigned threads);
+
+    /** Drains outstanding work, then joins the workers. */
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    /** Enqueue @p task. Safe to call from worker threads. */
+    void submit(std::function<void()> task);
+
+    /**
+     * Block until every submitted task — including tasks submitted by
+     * running tasks — has finished.
+     */
+    void wait();
+
+    /** Worker-thread count. */
+    unsigned threads() const
+    {
+        return static_cast<unsigned>(workers_.size());
+    }
+
+  private:
+    void workerLoop();
+
+    std::mutex mutex_;
+    std::condition_variable workCv_;  ///< workers wait for tasks
+    std::condition_variable idleCv_;  ///< wait() waits for drain
+    std::deque<std::function<void()>> queue_;
+    std::vector<std::thread> workers_;
+    std::size_t outstanding_ = 0; ///< queued + currently running
+    bool stopping_ = false;
+};
+
+} // namespace acic
+
+#endif // ACIC_DRIVER_THREAD_POOL_HH

@@ -1,17 +1,31 @@
 #include "sim/runner.hh"
 
+#include <cerrno>
 #include <cstdlib>
+
+#include "common/logging.hh"
 
 namespace acic {
 
 WorkloadParams
 WorkloadContext::withEnvOverrides(WorkloadParams params)
 {
-    if (const char *env = std::getenv("ACIC_TRACE_LEN")) {
-        const long long v = std::atoll(env);
-        if (v > 1000)
-            params.instructions = static_cast<std::uint64_t>(v);
+    const char *env = std::getenv("ACIC_TRACE_LEN");
+    if (!env)
+        return params;
+    errno = 0;
+    char *end = nullptr;
+    const long long v = std::strtoll(env, &end, 10);
+    if (end == env || *end != '\0' || errno == ERANGE) {
+        warn("ACIC_TRACE_LEN is not a number; ignoring override");
+        return params;
     }
+    if (v <= 0) {
+        warn("ACIC_TRACE_LEN must be a positive instruction count; "
+             "ignoring override");
+        return params;
+    }
+    params.instructions = static_cast<std::uint64_t>(v);
     return params;
 }
 
@@ -34,6 +48,56 @@ WorkloadContext::run(IcacheOrg &org)
 {
     Simulator simulator(config_);
     return simulator.run(trace_, org, &oracle_);
+}
+
+namespace {
+
+/** Materialize a freshly generated synthetic trace. */
+TraceImage
+generateImage(const WorkloadParams &params)
+{
+    SyntheticWorkload trace(params);
+    return materializeTrace(trace);
+}
+
+/** Build the shared oracle from an image (one pass, then immutable). */
+DemandOracle
+buildOracle(const TraceImage &image, const std::string &name,
+            unsigned fetch_width)
+{
+    MemoryTraceSource cursor(image, name);
+    return DemandOracle::build(cursor, fetch_width);
+}
+
+} // namespace
+
+SharedWorkload::SharedWorkload(WorkloadParams params, SimConfig config)
+    : config_(config), name_(params.name)
+{
+    image_ = generateImage(params);
+    oracle_ = buildOracle(image_, name_, config_.fetchWidth);
+}
+
+SharedWorkload::SharedWorkload(TraceSource &source, SimConfig config)
+    : config_(config), name_(source.name()),
+      image_(materializeTrace(source)),
+      oracle_(buildOracle(image_, name_, config_.fetchWidth))
+{
+}
+
+SimResult
+SharedWorkload::run(Scheme scheme) const
+{
+    auto org = makeScheme(scheme, config_);
+    return run(*org);
+}
+
+SimResult
+SharedWorkload::run(IcacheOrg &org) const
+{
+    MemoryTraceSource cursor = source();
+    Simulator simulator(config_);
+    return simulator.run(cursor, org, &oracle_);
 }
 
 } // namespace acic

@@ -4,6 +4,12 @@
  * workload's trace and oracle (built once) and runs any scheme
  * against it, so every bench binary is a short loop over
  * (workload x scheme).
+ *
+ * SharedWorkload is the thread-safe variant the experiment driver
+ * uses: the trace is materialized into immutable shared storage and
+ * the oracle is built once, after which any number of worker threads
+ * can run() schemes concurrently — each run gets a private cursor
+ * over the shared image and a private simulator/organization.
  */
 
 #ifndef ACIC_SIM_RUNNER_HH
@@ -11,9 +17,11 @@
 
 #include <cstdint>
 #include <memory>
+#include <string>
 
 #include "sim/scheme.hh"
 #include "sim/simulator.hh"
+#include "trace/memory.hh"
 #include "trace/synthetic.hh"
 #include "trace/workload_params.hh"
 
@@ -46,6 +54,53 @@ class WorkloadContext
   private:
     SimConfig config_;
     SyntheticWorkload trace_;
+    DemandOracle oracle_;
+};
+
+/** See file comment. Immutable after construction; run() is const. */
+class SharedWorkload
+{
+  public:
+    /**
+     * Generate @p params synthetically as given, materialize, and
+     * build the oracle once. Unlike WorkloadContext, ACIC_TRACE_LEN
+     * is NOT applied here — callers owning a length precedence (the
+     * experiment driver ranks explicit overrides above the env var)
+     * apply withEnvOverrides() themselves.
+     */
+    SharedWorkload(WorkloadParams params, SimConfig config = {});
+
+    /**
+     * Adopt an existing source (e.g. a FileTraceSource): materialize
+     * it and build the oracle once. @p source is reset around the
+     * capture and not retained.
+     */
+    SharedWorkload(TraceSource &source, SimConfig config = {});
+
+    /** Run a catalogued scheme. Safe to call from any thread. */
+    SimResult run(Scheme scheme) const;
+
+    /**
+     * Run a caller-owned organization. Safe to call from any thread
+     * as long as @p org itself is not shared across threads.
+     */
+    SimResult run(IcacheOrg &org) const;
+
+    /** A fresh private cursor over the shared trace image. */
+    MemoryTraceSource source() const
+    {
+        return MemoryTraceSource(image_, name_);
+    }
+
+    const DemandOracle &oracle() const { return oracle_; }
+    const SimConfig &config() const { return config_; }
+    const std::string &name() const { return name_; }
+    std::uint64_t instructions() const { return image_->size(); }
+
+  private:
+    SimConfig config_;
+    std::string name_;
+    TraceImage image_;
     DemandOracle oracle_;
 };
 

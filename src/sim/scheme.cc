@@ -1,5 +1,7 @@
 #include "sim/scheme.hh"
 
+#include <cctype>
+
 #include "bypass/dsb.hh"
 #include "bypass/obm.hh"
 #include "cache/ghrp.hh"
@@ -41,6 +43,56 @@ schemeName(Scheme scheme)
       case Scheme::AcicBimodal: return "ACIC bimodal";
     }
     return "?";
+}
+
+const std::vector<Scheme> &
+allSchemes()
+{
+    static const std::vector<Scheme> catalogue = {
+        Scheme::BaselineLru,  Scheme::Srrip,
+        Scheme::Ship,         Scheme::Harmony,
+        Scheme::Ghrp,         Scheme::Dsb,
+        Scheme::Obm,          Scheme::Vvc,
+        Scheme::Vc3k,         Scheme::Vc8k,
+        Scheme::L1i36k,       Scheme::L1i40k,
+        Scheme::Opt,          Scheme::OptBypass,
+        Scheme::Acic,         Scheme::AcicInstant,
+        Scheme::AlwaysInsert, Scheme::IFilterOnly,
+        Scheme::AccessCount,  Scheme::RandomBypass,
+        Scheme::AcicGlobalHistory,
+        Scheme::AcicBimodal,
+    };
+    return catalogue;
+}
+
+namespace {
+
+/** Lower-case and collapse '_'/'-' to spaces for lenient matching. */
+std::string
+canonicalName(const std::string &name)
+{
+    std::string out;
+    out.reserve(name.size());
+    for (const char c : name) {
+        if (c == '_' || c == '-')
+            out.push_back(' ');
+        else
+            out.push_back(static_cast<char>(
+                std::tolower(static_cast<unsigned char>(c))));
+    }
+    return out;
+}
+
+} // namespace
+
+std::optional<Scheme>
+schemeFromName(const std::string &name)
+{
+    const std::string wanted = canonicalName(name);
+    for (const Scheme s : allSchemes())
+        if (canonicalName(schemeName(s)) == wanted)
+            return s;
+    return std::nullopt;
 }
 
 std::unique_ptr<FilteredIcache>

@@ -9,7 +9,9 @@
 #define ACIC_SIM_SCHEME_HH
 
 #include <memory>
+#include <optional>
 #include <string>
+#include <vector>
 
 #include "cache/icache_org.hh"
 #include "core/admission_predictor.hh"
@@ -48,6 +50,15 @@ enum class Scheme
 
 /** Display name used in bench tables (matches the paper's labels). */
 std::string schemeName(Scheme scheme);
+
+/** Every catalogued scheme, in enum order. */
+const std::vector<Scheme> &allSchemes();
+
+/**
+ * Inverse of schemeName, for CLI/spec parsing. Case-insensitive and
+ * tolerant of '_'/'-' standing in for spaces.
+ */
+std::optional<Scheme> schemeFromName(const std::string &name);
 
 /** Build the organization for @p scheme under @p config. */
 std::unique_ptr<IcacheOrg> makeScheme(Scheme scheme,

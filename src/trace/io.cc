@@ -1,0 +1,296 @@
+#include "trace/io.hh"
+
+#include <cstring>
+
+#include "common/logging.hh"
+
+namespace acic {
+
+namespace {
+
+/** Buffer size for both writer and reader (1 MiB). */
+constexpr std::size_t kBufBytes = 1u << 20;
+
+/** Header byte offset of the instruction-count field. */
+constexpr std::streamoff kCountOff = 8;
+
+void
+putU16(std::vector<std::uint8_t> &buf, std::uint16_t v)
+{
+    buf.push_back(static_cast<std::uint8_t>(v));
+    buf.push_back(static_cast<std::uint8_t>(v >> 8));
+}
+
+void
+putU32(std::vector<std::uint8_t> &buf, std::uint32_t v)
+{
+    for (int i = 0; i < 4; ++i)
+        buf.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+void
+putU64(std::vector<std::uint8_t> &buf, std::uint64_t v)
+{
+    for (int i = 0; i < 8; ++i)
+        buf.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+std::uint16_t
+readU16(std::istream &in)
+{
+    std::uint8_t b[2];
+    in.read(reinterpret_cast<char *>(b), 2);
+    return static_cast<std::uint16_t>(b[0] | (b[1] << 8));
+}
+
+std::uint32_t
+readU32(std::istream &in)
+{
+    std::uint8_t b[4];
+    in.read(reinterpret_cast<char *>(b), 4);
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i)
+        v |= static_cast<std::uint32_t>(b[i]) << (8 * i);
+    return v;
+}
+
+std::uint64_t
+readU64(std::istream &in)
+{
+    std::uint8_t b[8];
+    in.read(reinterpret_cast<char *>(b), 8);
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i)
+        v |= static_cast<std::uint64_t>(b[i]) << (8 * i);
+    return v;
+}
+
+} // namespace
+
+// ------------------------------------------------------------ TraceWriter
+
+TraceWriter::TraceWriter(const std::string &path,
+                         const std::string &name)
+    : out_(path, std::ios::binary | std::ios::trunc), path_(path)
+{
+    if (!out_)
+        ACIC_FATAL("cannot open trace file for writing");
+    buf_.reserve(kBufBytes + 32);
+    putU32(buf_, TraceFormat::kMagic);
+    putU16(buf_, TraceFormat::kVersion);
+    putU16(buf_, 0); // flags
+    putU64(buf_, 0); // count placeholder, patched by close()
+    putU32(buf_, static_cast<std::uint32_t>(name.size()));
+    for (const char c : name)
+        buf_.push_back(static_cast<std::uint8_t>(c));
+    open_ = true;
+}
+
+TraceWriter::~TraceWriter()
+{
+    if (open_)
+        close();
+}
+
+void
+TraceWriter::putByte(std::uint8_t b)
+{
+    buf_.push_back(b);
+    if (buf_.size() >= kBufBytes)
+        flush();
+}
+
+void
+TraceWriter::putVarint(std::uint64_t v)
+{
+    while (v >= 0x80) {
+        buf_.push_back(static_cast<std::uint8_t>(v) | 0x80);
+        v >>= 7;
+    }
+    buf_.push_back(static_cast<std::uint8_t>(v));
+    if (buf_.size() >= kBufBytes)
+        flush();
+}
+
+void
+TraceWriter::flush()
+{
+    if (buf_.empty())
+        return;
+    out_.write(reinterpret_cast<const char *>(buf_.data()),
+               static_cast<std::streamsize>(buf_.size()));
+    buf_.clear();
+}
+
+void
+TraceWriter::append(const TraceInst &inst)
+{
+    ACIC_ASSERT(open_, "append() on a closed TraceWriter");
+    const bool linked = inst.pc == prevNext_;
+    const Addr seq_next = inst.pc + TraceInst::kInstBytes;
+    const bool sequential = inst.nextPc == seq_next;
+
+    std::uint8_t tag = static_cast<std::uint8_t>(inst.kind) &
+                       TraceFormat::kKindMask;
+    if (inst.taken)
+        tag |= TraceFormat::kTakenBit;
+    if (linked)
+        tag |= TraceFormat::kLinkedBit;
+    if (sequential)
+        tag |= TraceFormat::kSequentialBit;
+    putByte(tag);
+
+    if (!linked)
+        putVarint(zigzagEncode(static_cast<std::int64_t>(
+            inst.pc - prevNext_)));
+    if (!sequential)
+        putVarint(zigzagEncode(static_cast<std::int64_t>(
+            inst.nextPc - seq_next)));
+
+    prevNext_ = inst.nextPc;
+    ++count_;
+}
+
+void
+TraceWriter::close()
+{
+    if (!open_)
+        return;
+    flush();
+    out_.seekp(kCountOff);
+    std::vector<std::uint8_t> count_bytes;
+    putU64(count_bytes, count_);
+    out_.write(reinterpret_cast<const char *>(count_bytes.data()),
+               static_cast<std::streamsize>(count_bytes.size()));
+    out_.close();
+    if (!out_)
+        ACIC_FATAL("error finalizing trace file");
+    open_ = false;
+}
+
+// -------------------------------------------------------- FileTraceSource
+
+FileTraceSource::FileTraceSource(const std::string &path)
+    : in_(path, std::ios::binary), path_(path)
+{
+    if (!in_)
+        ACIC_FATAL("cannot open trace file for reading");
+    if (readU32(in_) != TraceFormat::kMagic)
+        ACIC_FATAL("not an ACIC trace (bad magic)");
+    version_ = readU16(in_);
+    if (version_ != TraceFormat::kVersion)
+        ACIC_FATAL("unsupported trace-format version");
+    readU16(in_); // flags
+    count_ = readU64(in_);
+    const std::uint32_t name_len = readU32(in_);
+    if (!in_ || name_len > (1u << 20))
+        ACIC_FATAL("corrupt trace header");
+    name_.resize(name_len);
+    in_.read(name_.data(), name_len);
+    if (!in_)
+        ACIC_FATAL("truncated trace header");
+    payloadOff_ = in_.tellg();
+    buf_.resize(kBufBytes);
+}
+
+void
+FileTraceSource::reset()
+{
+    in_.clear();
+    in_.seekg(payloadOff_);
+    bufPos_ = bufEnd_ = 0;
+    prevNext_ = 0;
+    emitted_ = 0;
+}
+
+bool
+FileTraceSource::getByte(std::uint8_t &b)
+{
+    if (bufPos_ == bufEnd_) {
+        in_.read(reinterpret_cast<char *>(buf_.data()),
+                 static_cast<std::streamsize>(buf_.size()));
+        bufEnd_ = static_cast<std::size_t>(in_.gcount());
+        bufPos_ = 0;
+        if (bufEnd_ == 0)
+            return false;
+    }
+    b = buf_[bufPos_++];
+    return true;
+}
+
+std::uint64_t
+FileTraceSource::getVarint()
+{
+    std::uint64_t v = 0;
+    unsigned shift = 0;
+    std::uint8_t b = 0;
+    do {
+        if (!getByte(b) || shift > 63)
+            ACIC_FATAL("truncated or corrupt trace record");
+        v |= static_cast<std::uint64_t>(b & 0x7f) << shift;
+        shift += 7;
+    } while (b & 0x80);
+    return v;
+}
+
+bool
+FileTraceSource::next(TraceInst &out)
+{
+    if (emitted_ >= count_)
+        return false;
+    std::uint8_t tag = 0;
+    if (!getByte(tag))
+        ACIC_FATAL("trace shorter than its header count");
+    const auto kind_raw = tag & TraceFormat::kKindMask;
+    if (kind_raw > static_cast<std::uint8_t>(BranchKind::Return))
+        ACIC_FATAL("corrupt trace record (bad branch kind)");
+    out.kind = static_cast<BranchKind>(kind_raw);
+    out.taken = (tag & TraceFormat::kTakenBit) != 0;
+
+    if (tag & TraceFormat::kLinkedBit)
+        out.pc = prevNext_;
+    else
+        out.pc = prevNext_ + static_cast<Addr>(
+                                 zigzagDecode(getVarint()));
+
+    const Addr seq_next = out.pc + TraceInst::kInstBytes;
+    if (tag & TraceFormat::kSequentialBit)
+        out.nextPc = seq_next;
+    else
+        out.nextPc = seq_next + static_cast<Addr>(
+                                    zigzagDecode(getVarint()));
+
+    prevNext_ = out.nextPc;
+    ++emitted_;
+    return true;
+}
+
+// ------------------------------------------------------------- free funcs
+
+std::uint64_t
+recordTrace(TraceSource &src, const std::string &path)
+{
+    TraceWriter writer(path, src.name());
+    src.reset();
+    TraceInst inst;
+    while (src.next(inst))
+        writer.append(inst);
+    writer.close();
+    src.reset();
+    return writer.written();
+}
+
+TraceImage
+materializeTrace(TraceSource &src)
+{
+    auto image = std::make_shared<std::vector<TraceInst>>();
+    image->reserve(src.length());
+    src.reset();
+    TraceInst inst;
+    while (src.next(inst))
+        image->push_back(inst);
+    src.reset();
+    return image;
+}
+
+} // namespace acic

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * In-memory trace source. Materializes any TraceSource into an
+ * immutable, shareable instruction vector; each MemoryTraceSource is
+ * then a private cursor over that shared vector. This is the
+ * thread-safe sharing primitive of the experiment driver: one
+ * materialized trace per workload, one cursor per worker.
+ */
+
+#ifndef ACIC_TRACE_MEMORY_HH
+#define ACIC_TRACE_MEMORY_HH
+
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "trace/trace.hh"
+
+namespace acic {
+
+/** Shared immutable instruction storage. */
+using TraceImage = std::shared_ptr<const std::vector<TraceInst>>;
+
+/**
+ * Drain @p src (reset before and after) into a shared image.
+ * One instruction is 18 bytes, so a 5M-instruction workload costs
+ * ~90 MB — materialize once per workload, never per run.
+ */
+TraceImage materializeTrace(TraceSource &src);
+
+/** See file comment. Copyable; copies share the image. */
+class MemoryTraceSource : public TraceSource
+{
+  public:
+    MemoryTraceSource(TraceImage image, std::string name)
+        : image_(std::move(image)), name_(std::move(name))
+    {
+    }
+
+    /** Materialize @p src and wrap the result. */
+    static MemoryTraceSource capture(TraceSource &src)
+    {
+        return MemoryTraceSource(materializeTrace(src), src.name());
+    }
+
+    void reset() override { pos_ = 0; }
+
+    bool next(TraceInst &out) override
+    {
+        if (pos_ >= image_->size())
+            return false;
+        out = (*image_)[pos_++];
+        return true;
+    }
+
+    std::uint64_t length() const override { return image_->size(); }
+    const std::string &name() const override { return name_; }
+
+    /** The shared storage, for further cursors over the same trace. */
+    const TraceImage &image() const { return image_; }
+
+  private:
+    TraceImage image_;
+    std::string name_;
+    std::size_t pos_ = 0;
+};
+
+} // namespace acic
+
+#endif // ACIC_TRACE_MEMORY_HH

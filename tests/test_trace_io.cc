@@ -1,0 +1,256 @@
+/**
+ * @file
+ * Tests of the on-disk trace subsystem: varint/zigzag primitives,
+ * write->read round-trips (including after reset(), the
+ * re-iterability contract), header metadata, compactness of the
+ * encoding, and the MemoryTraceSource sharing primitive.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "trace/io.hh"
+#include "trace/memory.hh"
+#include "trace/synthetic.hh"
+#include "trace/workload_params.hh"
+
+using namespace acic;
+
+namespace {
+
+/** Unique-ish temp path per test, removed on destruction. */
+class TempTracePath
+{
+  public:
+    explicit TempTracePath(const std::string &tag)
+        : path_("acic_test_" + tag + TraceFormat::suffix())
+    {
+        std::remove(path_.c_str());
+    }
+    ~TempTracePath() { std::remove(path_.c_str()); }
+    const std::string &str() const { return path_; }
+
+  private:
+    std::string path_;
+};
+
+WorkloadParams
+tinyParams(std::uint64_t instructions = 30'000)
+{
+    auto p = Workloads::byName("web_search");
+    p.instructions = instructions;
+    return p;
+}
+
+std::vector<TraceInst>
+drain(TraceSource &src)
+{
+    std::vector<TraceInst> out;
+    TraceInst inst;
+    while (src.next(inst))
+        out.push_back(inst);
+    return out;
+}
+
+void
+expectSameStream(const std::vector<TraceInst> &a,
+                 const std::vector<TraceInst> &b)
+{
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        ASSERT_EQ(a[i].pc, b[i].pc) << "record " << i;
+        ASSERT_EQ(a[i].nextPc, b[i].nextPc) << "record " << i;
+        ASSERT_EQ(static_cast<int>(a[i].kind),
+                  static_cast<int>(b[i].kind))
+            << "record " << i;
+        ASSERT_EQ(a[i].taken, b[i].taken) << "record " << i;
+    }
+}
+
+} // namespace
+
+TEST(Zigzag, RoundTripsSignedDeltas)
+{
+    for (const std::int64_t v :
+         {std::int64_t{0}, std::int64_t{1}, std::int64_t{-1},
+          std::int64_t{4096}, std::int64_t{-4096},
+          std::int64_t{1} << 40, -(std::int64_t{1} << 40),
+          std::numeric_limits<std::int64_t>::max(),
+          std::numeric_limits<std::int64_t>::min()}) {
+        EXPECT_EQ(zigzagDecode(zigzagEncode(v)), v);
+    }
+    // Small magnitudes must encode small (varint-friendly).
+    EXPECT_LT(zigzagEncode(-1), 2u);
+    EXPECT_LT(zigzagEncode(63), 127u);
+}
+
+TEST(TraceIo, RoundTripEqualsOriginalStream)
+{
+    TempTracePath path("roundtrip");
+    SyntheticWorkload synth(tinyParams());
+    const auto original = drain(synth);
+    synth.reset();
+
+    const std::uint64_t written = recordTrace(synth, path.str());
+    EXPECT_EQ(written, original.size());
+
+    FileTraceSource file(path.str());
+    EXPECT_EQ(file.length(), original.size());
+    EXPECT_EQ(file.name(), synth.name());
+    EXPECT_EQ(file.version(), TraceFormat::kVersion);
+    expectSameStream(original, drain(file));
+}
+
+TEST(TraceIo, ResetReplaysIdenticalStream)
+{
+    TempTracePath path("reset");
+    SyntheticWorkload synth(tinyParams(10'000));
+    recordTrace(synth, path.str());
+
+    FileTraceSource file(path.str());
+    const auto first = drain(file);
+    ASSERT_EQ(first.size(), 10'000u);
+    file.reset();
+    expectSameStream(first, drain(file));
+
+    // A partially consumed source must also rewind cleanly.
+    file.reset();
+    TraceInst inst;
+    for (int i = 0; i < 1234; ++i)
+        ASSERT_TRUE(file.next(inst));
+    file.reset();
+    expectSameStream(first, drain(file));
+}
+
+TEST(TraceIo, ExhaustedSourceStaysExhausted)
+{
+    TempTracePath path("exhausted");
+    SyntheticWorkload synth(tinyParams(2'000));
+    recordTrace(synth, path.str());
+
+    FileTraceSource file(path.str());
+    EXPECT_EQ(drain(file).size(), 2'000u);
+    TraceInst inst;
+    EXPECT_FALSE(file.next(inst));
+    EXPECT_FALSE(file.next(inst));
+}
+
+TEST(TraceIo, EncodingIsCompact)
+{
+    TempTracePath path("compact");
+    SyntheticWorkload synth(tinyParams(50'000));
+    recordTrace(synth, path.str());
+
+    std::FILE *f = std::fopen(path.str().c_str(), "rb");
+    ASSERT_NE(f, nullptr);
+    std::fseek(f, 0, SEEK_END);
+    const long bytes = std::ftell(f);
+    std::fclose(f);
+    // Mostly-sequential synthetic streams should stay under
+    // 2 B/instruction (vs. 18 B for in-memory TraceInst records).
+    EXPECT_LT(static_cast<double>(bytes) / 50'000.0, 2.0);
+}
+
+TEST(TraceIo, WriterCountsAndClosesIdempotently)
+{
+    TempTracePath path("close");
+    TraceWriter writer(path.str(), "unit");
+    TraceInst inst;
+    inst.pc = 0x400000;
+    inst.nextPc = inst.pc + TraceInst::kInstBytes;
+    writer.append(inst);
+    inst.pc = inst.nextPc;
+    inst.nextPc = 0x500000; // taken branch with a large delta
+    inst.kind = BranchKind::Direct;
+    inst.taken = true;
+    writer.append(inst);
+    EXPECT_EQ(writer.written(), 2u);
+    writer.close();
+    writer.close(); // second close is a no-op
+
+    FileTraceSource file(path.str());
+    EXPECT_EQ(file.length(), 2u);
+    EXPECT_EQ(file.name(), "unit");
+    const auto records = drain(file);
+    ASSERT_EQ(records.size(), 2u);
+    EXPECT_EQ(records[0].pc, 0x400000u);
+    EXPECT_EQ(records[1].nextPc, 0x500000u);
+    EXPECT_EQ(static_cast<int>(records[1].kind),
+              static_cast<int>(BranchKind::Direct));
+    EXPECT_TRUE(records[1].taken);
+}
+
+TEST(TraceIo, HandlesBackwardAndUnlinkedDeltas)
+{
+    TempTracePath path("deltas");
+    // A hand-built stream exercising every tag combination: linked
+    // sequential, linked non-sequential, unlinked with negative pc
+    // delta, and a conditional not-taken.
+    std::vector<TraceInst> stream;
+    TraceInst a;
+    a.pc = 0x401000;
+    a.nextPc = a.pc + 4;
+    stream.push_back(a);
+    TraceInst b;
+    b.pc = a.nextPc; // linked
+    b.nextPc = 0x400800; // backward target
+    b.kind = BranchKind::Cond;
+    b.taken = true;
+    stream.push_back(b);
+    TraceInst c;
+    c.pc = 0x400100; // NOT linked (pc != 0x400800)
+    c.nextPc = c.pc + 4;
+    c.kind = BranchKind::None;
+    stream.push_back(c);
+    TraceInst d;
+    d.pc = c.nextPc;
+    d.nextPc = d.pc + 4;
+    d.kind = BranchKind::Cond;
+    d.taken = false;
+    stream.push_back(d);
+
+    {
+        TraceWriter writer(path.str(), "deltas");
+        for (const auto &inst : stream)
+            writer.append(inst);
+    } // destructor closes
+
+    FileTraceSource file(path.str());
+    expectSameStream(stream, drain(file));
+}
+
+TEST(MemorySource, SharesOneImageAcrossCursors)
+{
+    SyntheticWorkload synth(tinyParams(5'000));
+    const TraceImage image = materializeTrace(synth);
+    EXPECT_EQ(image->size(), 5'000u);
+
+    MemoryTraceSource a(image, "ws");
+    MemoryTraceSource b(image, "ws");
+    // Interleaved iteration: private cursors over shared storage.
+    TraceInst ia, ib;
+    ASSERT_TRUE(a.next(ia));
+    ASSERT_TRUE(a.next(ia));
+    ASSERT_TRUE(b.next(ib));
+    EXPECT_EQ(ib.pc, (*image)[0].pc);
+    EXPECT_EQ(ia.pc, (*image)[1].pc);
+    EXPECT_EQ(a.image().get(), b.image().get());
+
+    a.reset();
+    expectSameStream(*image, drain(a));
+}
+
+TEST(MemorySource, CaptureMatchesSource)
+{
+    SyntheticWorkload synth(tinyParams(5'000));
+    const auto original = drain(synth);
+    synth.reset();
+    MemoryTraceSource captured = MemoryTraceSource::capture(synth);
+    EXPECT_EQ(captured.name(), synth.name());
+    EXPECT_EQ(captured.length(), original.size());
+    expectSameStream(original, drain(captured));
+}
