@@ -18,7 +18,7 @@ int
 main()
 {
     ExperimentSpec spec;
-    spec.workloads = Workloads::datacenter();
+    spec.workloads = datacenterEntries();
     spec.schemes = {
         Scheme::BaselineLru, Scheme::Srrip,  Scheme::Ship,
         Scheme::Harmony,     Scheme::Ghrp,   Scheme::Dsb,
@@ -44,7 +44,7 @@ main()
     std::map<std::string, std::vector<double>> per_scheme;
     for (std::size_t w = 0; w < spec.workloads.size(); ++w) {
         const SimResult &baseline = cells[w * n_schemes].result;
-        std::vector<std::string> row{spec.workloads[w].name};
+        std::vector<std::string> row{spec.workloads[w].name()};
         for (std::size_t s = 1; s < n_schemes; ++s) {
             const SimResult &result = cells[w * n_schemes + s].result;
             const double speedup = speedupOf(baseline, result);

@@ -48,7 +48,7 @@ main()
     tab2.print();
 
     ExperimentSpec spec;
-    spec.workloads = Workloads::datacenter();
+    spec.workloads = datacenterEntries();
     spec.schemes = {Scheme::BaselineLru};
     spec.config = config;
     spec.instructions = benchTraceLength();
@@ -61,10 +61,13 @@ main()
                     "br-misp/ki"});
     for (std::size_t w = 0; w < spec.workloads.size(); ++w) {
         const SimResult &baseline = cells[w].result;
+        const double paper_mpki =
+            spec.workloads[w].params.paperMpki;
         tab3.addRow(
-            {spec.workloads[w].name,
+            {spec.workloads[w].name(),
              TablePrinter::fmt(baseline.mpki(), 1),
-             TablePrinter::fmt(spec.workloads[w].paperMpki, 1),
+             paper_mpki > 0.0 ? TablePrinter::fmt(paper_mpki, 1)
+                              : "-",
              TablePrinter::fmt(baseline.ipc(), 2),
              TablePrinter::fmt(
                  1000.0 *

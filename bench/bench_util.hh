@@ -10,6 +10,7 @@
 
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <map>
 #include <memory>
 #include <string>
@@ -17,8 +18,24 @@
 
 #include "common/table.hh"
 #include "sim/runner.hh"
+#include "trace/catalog.hh"
 
 namespace acic::bench {
+
+/**
+ * Catalog entries for the datacenter suite — the default rows of the
+ * figure/table benches. Set ACIC_BENCH_TRACE_DIR to overlay a
+ * directory of recorded or imported `.acictrace` files onto the
+ * presets, so every bench can rerun against real traces unchanged.
+ */
+inline std::vector<WorkloadEntry>
+datacenterEntries()
+{
+    WorkloadCatalog catalog = WorkloadCatalog::builtin();
+    if (const char *dir = std::getenv("ACIC_BENCH_TRACE_DIR"))
+        catalog.addTraceDir(dir);
+    return catalog.resolve("all-datacenter");
+}
 
 /** Default per-workload trace length for bench sweeps. */
 inline std::uint64_t

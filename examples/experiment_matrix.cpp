@@ -3,7 +3,9 @@
  * Experiment-driver walkthrough: declare a small workloads x schemes
  * matrix, execute it in parallel with per-cell streaming progress,
  * then capture one workload to an on-disk .acictrace file and show
- * that replaying the file reproduces the in-memory results exactly.
+ * that a trace-file WorkloadEntry (the same kind `acic_run import`
+ * produces) replayed through the driver reproduces the in-memory
+ * results exactly.
  *
  * Usage: experiment_matrix [instructions] (default 200000)
  */
@@ -38,7 +40,9 @@ main(int argc, char **argv)
     ExperimentDriver driver(spec);
     const auto cells = driver.run([&](const CellResult &cell) {
         std::printf("  finished %s / %s: mpki %.2f\n",
-                    spec.workloads[cell.workloadIndex].name.c_str(),
+                    spec.workloads[cell.workloadIndex]
+                        .name()
+                        .c_str(),
                     schemeName(spec.schemes[cell.schemeIndex])
                         .c_str(),
                     cell.result.mpki());
@@ -51,7 +55,7 @@ main(int argc, char **argv)
     // Round-trip one workload through the on-disk trace format.
     const std::string path = "web_search.acictrace";
     {
-        auto params = spec.workloads[0];
+        auto params = spec.workloads[0].params;
         params.instructions = spec.instructions;
         SyntheticWorkload synth(params);
         std::printf("\nrecording %s (%llu instructions)...\n",
@@ -59,9 +63,15 @@ main(int argc, char **argv)
                     static_cast<unsigned long long>(
                         recordTrace(synth, path)));
     }
-    FileTraceSource file(path);
-    SharedWorkload replayed(file);
-    const SimResult from_disk = replayed.run(Scheme::Acic);
+    // A trace-file entry runs through the same driver as synthetic
+    // presets — matrices can mix both sources freely.
+    ExperimentSpec replay_spec;
+    replay_spec.workloads = {
+        WorkloadEntry::traceFile("web_search", path)};
+    replay_spec.schemes = {Scheme::Acic};
+    replay_spec.threads = 1;
+    const SimResult from_disk =
+        ExperimentDriver(replay_spec).run()[0].result;
     const SimResult in_memory = cells[2].result; // web_search/ACIC
     std::printf("ACIC on web_search: %llu cycles in memory, "
                 "%llu cycles from disk -> %s\n",

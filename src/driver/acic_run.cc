@@ -2,22 +2,22 @@
  * @file
  * acic_run — experiment-driver CLI.
  *
- *   acic_run list
- *       Show every workload preset and every catalogued scheme.
+ *   acic_run list    [--trace-dir D]
+ *   acic_run record  --workloads W [--out-dir D] [--instructions N]
+ *   acic_run run     --workloads W --schemes S [--threads N]
+ *                    [--instructions N] [--trace-dir D]
+ *                    [--baseline SCHEME] [--csv FILE] [--json FILE]
+ *                    [--quiet]
+ *   acic_run import  <input> <output> [--format F] [--name N]
+ *   acic_run stat    <trace>
+ *   acic_run help    [command]
  *
- *   acic_run record --workloads W [--out-dir D] [--instructions N]
- *       Capture synthetic workloads to .acictrace files.
- *
- *   acic_run run --workloads W --schemes S [--threads N]
- *            [--instructions N] [--trace-dir D] [--baseline SCHEME]
- *            [--csv FILE] [--json FILE] [--quiet]
- *       Execute the workloads x schemes matrix on a thread pool and
- *       print paper-shaped IPC/MPKI/speedup tables.
- *
- * Workload lists are comma-separated preset names, or the groups
- * "all", "all-datacenter", "all-spec". Scheme lists accept the
- * display names of Table IV ("-"/"_" may stand in for spaces, case
- * does not matter), or "all".
+ * Workload lists are resolved against the WorkloadCatalog: synthetic
+ * presets plus, when --trace-dir is given, the `.acictrace` files
+ * under that directory. Scheme lists accept the display names of
+ * Table IV ("-"/"_" may stand in for spaces, case does not matter),
+ * or "all". Every subcommand answers --help; exit codes are 0
+ * (success), 1 (runtime error), 2 (usage error).
  */
 
 #include <chrono>
@@ -25,6 +25,7 @@
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <iostream>
 #include <map>
 #include <string>
 #include <thread>
@@ -33,36 +34,150 @@
 #include "common/table.hh"
 #include "driver/emitters.hh"
 #include "driver/experiment.hh"
+#include "trace/catalog.hh"
+#include "trace/import/importer.hh"
 #include "trace/io.hh"
+#include "trace/stats.hh"
 
 using namespace acic;
 
 namespace {
 
+/** Exit status of a malformed command line. */
+constexpr int kUsageError = 2;
+
+const char *const kMainHelp =
+    "usage: acic_run <command> [options]\n"
+    "\n"
+    "commands:\n"
+    "  list      show the workload catalog and scheme catalogue\n"
+    "  record    capture synthetic workloads to .acictrace files\n"
+    "  run       execute a workloads x schemes experiment matrix\n"
+    "  import    convert an external instruction trace to "
+    ".acictrace\n"
+    "  stat      print trace-intrinsic statistics of a .acictrace "
+    "file\n"
+    "  help      show help for a command\n"
+    "\n"
+    "Run 'acic_run help <command>' or 'acic_run <command> --help'\n"
+    "for details. Exit codes: 0 success, 1 runtime error, 2 usage\n"
+    "error.\n";
+
+const char *const kListHelp =
+    "usage: acic_run list [--trace-dir D]\n"
+    "\n"
+    "Show every catalog workload and every scheme. Workloads name\n"
+    "their suite (datacenter/spec/imported) and source (synthetic\n"
+    "generator or on-disk trace file).\n"
+    "\n"
+    "options:\n"
+    "  --trace-dir D   overlay the .acictrace files under D onto\n"
+    "                  the synthetic presets (same-named files\n"
+    "                  replace a preset; new names join the\n"
+    "                  'imported' suite)\n"
+    "\n"
+    "exit codes: 0 success, 1 runtime error, 2 usage error\n";
+
+const char *const kRecordHelp =
+    "usage: acic_run record --workloads W [--out-dir D]\n"
+    "                       [--instructions N]\n"
+    "\n"
+    "Generate synthetic workloads and capture them to\n"
+    "<out-dir>/<name>.acictrace (DESIGN.md section 2 format).\n"
+    "\n"
+    "options:\n"
+    "  --workloads W      comma-separated preset names, or one of\n"
+    "                     all | all-datacenter | all-spec\n"
+    "  --out-dir D        output directory (default '.')\n"
+    "  --instructions N   per-workload trace-length override\n"
+    "\n"
+    "Trace-length precedence: --instructions beats the\n"
+    "ACIC_TRACE_LEN environment variable, which beats the preset\n"
+    "length.\n"
+    "\n"
+    "exit codes: 0 success, 1 runtime error, 2 usage error\n";
+
+const char *const kRunHelp =
+    "usage: acic_run run --workloads W --schemes S [--threads N]\n"
+    "                    [--instructions N] [--trace-dir D]\n"
+    "                    [--baseline SCHEME] [--csv FILE]\n"
+    "                    [--json FILE] [--quiet]\n"
+    "\n"
+    "Execute the workloads x schemes matrix on a thread pool and\n"
+    "print paper-shaped IPC/MPKI/speedup tables.\n"
+    "\n"
+    "options:\n"
+    "  --workloads W      comma-separated catalog names, or one of\n"
+    "                     all | all-datacenter | all-spec |\n"
+    "                     all-imported\n"
+    "  --schemes S        comma-separated scheme names, or all\n"
+    "  --threads N        worker threads (default: hardware\n"
+    "                     concurrency)\n"
+    "  --instructions N   trace-length override for synthetic\n"
+    "                     workloads (trace files always replay in\n"
+    "                     full)\n"
+    "  --trace-dir D      overlay the .acictrace files under D onto\n"
+    "                     the catalog before resolving --workloads\n"
+    "  --baseline SCHEME  speedup denominator (default: first\n"
+    "                     scheme; must be in --schemes)\n"
+    "  --csv FILE         write per-cell results as CSV\n"
+    "  --json FILE        write per-cell results (including every\n"
+    "                     org-stats counter) as JSON\n"
+    "  --quiet            suppress per-cell progress on stderr\n"
+    "\n"
+    "Trace-length precedence: --instructions beats the\n"
+    "ACIC_TRACE_LEN environment variable, which beats the preset\n"
+    "length; both are ignored by trace-file workloads.\n"
+    "\n"
+    "exit codes: 0 success, 1 runtime error, 2 usage error\n";
+
+const char *const kImportHelp =
+    "usage: acic_run import <input> <output> [--format F] "
+    "[--name N]\n"
+    "\n"
+    "Convert an external instruction trace into the .acictrace v1\n"
+    "container (DESIGN.md section 5). Gzip-compressed input is\n"
+    "detected by magic and inflated transparently. The converted\n"
+    "file replays through 'acic_run run --trace-dir' exactly like a\n"
+    "recorded synthetic trace.\n"
+    "\n"
+    "options:\n"
+    "  --format F   auto | acictrace | champsim | qemu\n"
+    "               (default auto: probe the input head)\n"
+    "  --name N     workload name stored in the output header\n"
+    "               (default: the input's own stored name if any,\n"
+    "               else the output file name)\n"
+    "\n"
+    "formats:\n"
+    "  champsim    64-byte binary records (ip, is_branch,\n"
+    "              branch_taken, register lists)\n"
+    "  qemu        text logs: execlog-plugin lines\n"
+    "              (cpu, 0xPC, 0xOP, \"disasm\") or -d exec lines\n"
+    "              (Trace N: ... [.../PC/...])\n"
+    "  acictrace   native re-encode (decompress / re-frame)\n"
+    "\n"
+    "exit codes: 0 success, 1 runtime or malformed-input error,\n"
+    "2 usage error\n";
+
+const char *const kStatHelp =
+    "usage: acic_run stat <trace>\n"
+    "\n"
+    "Print trace-intrinsic statistics of a .acictrace file:\n"
+    "instruction count, branch mix and density, code footprint, and\n"
+    "the block-reuse-distance histogram over the paper's buckets\n"
+    "{0, [1,16], (16,512], (512,1024], (1024,10000], >10000}.\n"
+    "These are the statistics the synthetic generator is calibrated\n"
+    "to (DESIGN.md section 1.1), so imported traces can be\n"
+    "sanity-checked against the presets; the output contains no\n"
+    "file paths, so two identical streams print identically.\n"
+    "\n"
+    "exit codes: 0 success, 1 runtime error, 2 usage error\n";
+
 int
-usage(const char *argv0)
+usage(const char *text, bool requested)
 {
-    std::fprintf(
-        stderr,
-        "usage: %s <command> [options]\n"
-        "\n"
-        "commands:\n"
-        "  list                     show workload presets and "
-        "schemes\n"
-        "  record --workloads W [--out-dir D] [--instructions N]\n"
-        "                           capture synthetic traces to "
-        "disk\n"
-        "  run --workloads W --schemes S [--threads N]\n"
-        "      [--instructions N] [--trace-dir D] "
-        "[--baseline SCHEME]\n"
-        "      [--csv FILE] [--json FILE] [--quiet]\n"
-        "                           execute the experiment matrix\n"
-        "\n"
-        "W: comma-separated preset names, or all | all-datacenter | "
-        "all-spec\n"
-        "S: comma-separated scheme names, or all\n",
-        argv0);
-    return 2;
+    std::fputs(text, requested ? stdout : stderr);
+    return requested ? 0 : kUsageError;
 }
 
 std::vector<std::string>
@@ -85,25 +200,6 @@ splitCommas(const std::string &list)
     return out;
 }
 
-std::vector<WorkloadParams>
-parseWorkloads(const std::string &list)
-{
-    if (list == "all" || list == "all-datacenter") {
-        auto out = Workloads::datacenter();
-        if (list == "all") {
-            for (auto &p : Workloads::spec())
-                out.push_back(p);
-        }
-        return out;
-    }
-    if (list == "all-spec")
-        return Workloads::spec();
-    std::vector<WorkloadParams> out;
-    for (const auto &name : splitCommas(list))
-        out.push_back(Workloads::byName(name)); // fatals on unknown
-    return out;
-}
-
 std::vector<Scheme>
 parseSchemes(const std::string &list)
 {
@@ -115,7 +211,7 @@ parseSchemes(const std::string &list)
         if (!scheme) {
             std::fprintf(stderr, "unknown scheme '%s'\n",
                          name.c_str());
-            std::exit(2);
+            std::exit(kUsageError);
         }
         out.push_back(*scheme);
     }
@@ -144,6 +240,24 @@ class OptionParser
         return false;
     }
 
+    /**
+     * The @p n-th (0-based) positional argument — one that neither
+     * starts with "--" nor is the value of a preceding flag.
+     */
+    const char *positional(std::size_t n) const
+    {
+        std::size_t seen = 0;
+        for (int i = 2; i < argc_; ++i) {
+            if (std::strncmp(argv_[i], "--", 2) == 0) {
+                ++i; // skip the flag's value slot
+                continue;
+            }
+            if (seen++ == n)
+                return argv_[i];
+        }
+        return nullptr;
+    }
+
   private:
     int argc_;
     char **argv_;
@@ -156,25 +270,42 @@ parseCount(const char *text, const char *what)
     const long long v = std::strtoll(text, &end, 10);
     if (end == text || *end != '\0' || v <= 0) {
         std::fprintf(stderr, "%s must be a positive integer\n", what);
-        std::exit(2);
+        std::exit(kUsageError);
     }
     return static_cast<std::uint64_t>(v);
 }
 
-int
-cmdList()
+/** Builtin catalog, with --trace-dir overlaid when present. */
+WorkloadCatalog
+buildCatalog(const OptionParser &opts)
 {
-    TablePrinter workloads("Workload presets");
-    workloads.setHeader(
-        {"name", "suite", "instructions", "paper MPKI"});
-    for (const auto &p : Workloads::datacenter())
-        workloads.addRow({p.name, "datacenter",
-                          std::to_string(p.instructions),
-                          TablePrinter::fmt(p.paperMpki, 1)});
-    for (const auto &p : Workloads::spec())
-        workloads.addRow({p.name, "spec",
-                          std::to_string(p.instructions),
-                          TablePrinter::fmt(p.paperMpki, 1)});
+    WorkloadCatalog catalog = WorkloadCatalog::builtin();
+    if (const char *dir = opts.value("--trace-dir"))
+        catalog.addTraceDir(dir);
+    return catalog;
+}
+
+int
+cmdList(const OptionParser &opts)
+{
+    if (opts.present("--help"))
+        return usage(kListHelp, true);
+    const WorkloadCatalog catalog = buildCatalog(opts);
+
+    TablePrinter workloads("Workload catalog");
+    workloads.setHeader({"name", "suite", "source", "instructions",
+                         "paper MPKI"});
+    for (const auto &entry : catalog.entries()) {
+        const bool synthetic =
+            entry.source == WorkloadSource::Synthetic;
+        workloads.addRow(
+            {entry.name(), entry.suite,
+             synthetic ? "synthetic" : "trace file",
+             std::to_string(entry.params.instructions),
+             synthetic && entry.params.paperMpki > 0.0
+                 ? TablePrinter::fmt(entry.params.paperMpki, 1)
+                 : "-"});
+    }
     workloads.print();
 
     TablePrinter schemes("Scheme catalogue");
@@ -188,17 +319,20 @@ cmdList()
 int
 cmdRecord(const OptionParser &opts)
 {
+    if (opts.present("--help"))
+        return usage(kRecordHelp, true);
     const char *list = opts.value("--workloads");
     if (!list) {
         std::fprintf(stderr, "record: --workloads is required\n");
-        return 2;
+        return usage(kRecordHelp, false);
     }
     const std::string out_dir =
         opts.value("--out-dir") ? opts.value("--out-dir") : ".";
-    auto presets = parseWorkloads(list);
-    for (auto &params : presets) {
+    const WorkloadCatalog catalog = WorkloadCatalog::builtin();
+    for (const auto &entry : catalog.resolve(list)) {
         // Precedence: explicit flag > ACIC_TRACE_LEN > preset.
-        params = WorkloadContext::withEnvOverrides(params);
+        WorkloadParams params =
+            WorkloadContext::withEnvOverrides(entry.params);
         if (const char *n = opts.value("--instructions"))
             params.instructions = parseCount(n, "--instructions");
         const std::string path =
@@ -212,33 +346,98 @@ cmdRecord(const OptionParser &opts)
 }
 
 int
+cmdImport(const OptionParser &opts)
+{
+    if (opts.present("--help"))
+        return usage(kImportHelp, true);
+    const char *in_path = opts.positional(0);
+    const char *out_path = opts.positional(1);
+    if (!in_path || !out_path) {
+        std::fprintf(stderr,
+                     "import: <input> and <output> are required\n");
+        return usage(kImportHelp, false);
+    }
+
+    ImportOptions options;
+    if (const char *format = opts.value("--format"))
+        options.format = format;
+    if (const char *name = opts.value("--name"))
+        options.name = name;
+    if (options.format != "auto" &&
+        !importerByFormat(options.format)) {
+        std::fprintf(stderr, "import: unknown --format '%s'\n",
+                     options.format.c_str());
+        return usage(kImportHelp, false);
+    }
+
+    const ImportSummary summary =
+        importTraceFile(in_path, out_path, options);
+    std::printf("imported %s -> %s: %llu instructions "
+                "(format %s%s, workload '%s')\n",
+                in_path, out_path,
+                static_cast<unsigned long long>(
+                    summary.instructions),
+                summary.format.c_str(),
+                summary.compressed ? ", gzip" : "",
+                summary.name.c_str());
+    return 0;
+}
+
+int
+cmdStat(const OptionParser &opts)
+{
+    if (opts.present("--help"))
+        return usage(kStatHelp, true);
+    const char *path = opts.positional(0);
+    if (!path) {
+        std::fprintf(stderr, "stat: <trace> is required\n");
+        return usage(kStatHelp, false);
+    }
+    FileTraceSource trace(path);
+    printTraceStats(std::cout, computeTraceStats(trace));
+    return 0;
+}
+
+int
 cmdRun(const OptionParser &opts)
 {
+    if (opts.present("--help"))
+        return usage(kRunHelp, true);
     const char *workload_list = opts.value("--workloads");
     const char *scheme_list = opts.value("--schemes");
     if (!workload_list || !scheme_list) {
         std::fprintf(stderr,
                      "run: --workloads and --schemes are required\n");
-        return 2;
+        return usage(kRunHelp, false);
     }
 
     ExperimentSpec spec;
-    spec.workloads = parseWorkloads(workload_list);
+    spec.workloads = buildCatalog(opts).resolve(workload_list);
     spec.schemes = parseSchemes(scheme_list);
+    // The overlay tolerates missing files (so matrices can mix
+    // sources on purpose), but falling back to synthesis must be
+    // loud: results would otherwise be mistaken for trace replays.
+    if (opts.value("--trace-dir")) {
+        for (const auto &entry : spec.workloads)
+            if (entry.source == WorkloadSource::Synthetic)
+                std::fprintf(stderr,
+                             "warn: workload '%s' has no trace in "
+                             "--trace-dir; simulating the synthetic "
+                             "preset instead\n",
+                             entry.name().c_str());
+    }
     if (const char *t = opts.value("--threads"))
         spec.threads =
             static_cast<unsigned>(parseCount(t, "--threads"));
     if (const char *n = opts.value("--instructions"))
         spec.instructions = parseCount(n, "--instructions");
-    if (const char *d = opts.value("--trace-dir"))
-        spec.traceDir = d;
 
     Scheme baseline = spec.schemes.front();
     if (const char *b = opts.value("--baseline")) {
         const auto parsed = schemeFromName(b);
         if (!parsed) {
             std::fprintf(stderr, "unknown scheme '%s'\n", b);
-            return 2;
+            return kUsageError;
         }
         baseline = *parsed;
         bool in_matrix = false;
@@ -249,7 +448,7 @@ cmdRun(const OptionParser &opts)
                          "--baseline %s is not in --schemes; add it "
                          "to the scheme list\n",
                          b);
-            return 2;
+            return kUsageError;
         }
     }
 
@@ -267,7 +466,10 @@ cmdRun(const OptionParser &opts)
             stderr,
             "[%zu/%zu] %s / %s: ipc %.3f, mpki %.2f (%.2fs)\n", done,
             total,
-            driver.spec().workloads[cell.workloadIndex].name.c_str(),
+            driver.spec()
+                .workloads[cell.workloadIndex]
+                .name()
+                .c_str(),
             schemeName(driver.spec().schemes[cell.schemeIndex])
                 .c_str(),
             cell.result.ipc(), cell.result.mpki(),
@@ -300,9 +502,10 @@ cmdRun(const OptionParser &opts)
         baseline_cycles.size() == spec.workloads.size();
 
     for (std::size_t w = 0; w < spec.workloads.size(); ++w) {
-        std::vector<std::string> ipc_row{spec.workloads[w].name};
-        std::vector<std::string> mpki_row{spec.workloads[w].name};
-        std::vector<std::string> speedup_row{spec.workloads[w].name};
+        std::vector<std::string> ipc_row{spec.workloads[w].name()};
+        std::vector<std::string> mpki_row{spec.workloads[w].name()};
+        std::vector<std::string> speedup_row{
+            spec.workloads[w].name()};
         for (std::size_t s = 0; s < n_schemes; ++s) {
             const SimResult &r = cells[w * n_schemes + s].result;
             ipc_row.push_back(TablePrinter::fmt(r.ipc(), 3));
@@ -352,20 +555,47 @@ cmdRun(const OptionParser &opts)
     return 0;
 }
 
+int
+cmdHelp(int argc, char **argv)
+{
+    if (argc < 3)
+        return usage(kMainHelp, true);
+    const std::string topic = argv[2];
+    if (topic == "list")
+        return usage(kListHelp, true);
+    if (topic == "record")
+        return usage(kRecordHelp, true);
+    if (topic == "run")
+        return usage(kRunHelp, true);
+    if (topic == "import")
+        return usage(kImportHelp, true);
+    if (topic == "stat")
+        return usage(kStatHelp, true);
+    std::fprintf(stderr, "unknown command '%s'\n", topic.c_str());
+    return usage(kMainHelp, false);
+}
+
 } // namespace
 
 int
 main(int argc, char **argv)
 {
     if (argc < 2)
-        return usage(argv[0]);
+        return usage(kMainHelp, false);
     const OptionParser opts(argc, argv);
     const std::string command = argv[1];
     if (command == "list")
-        return cmdList();
+        return cmdList(opts);
     if (command == "record")
         return cmdRecord(opts);
     if (command == "run")
         return cmdRun(opts);
-    return usage(argv[0]);
+    if (command == "import")
+        return cmdImport(opts);
+    if (command == "stat")
+        return cmdStat(opts);
+    if (command == "help" || command == "--help" || command == "-h")
+        return cmdHelp(argc, argv);
+    std::fprintf(stderr, "unknown command '%s'\n", command.c_str());
+    return usage(kMainHelp, false);
 }

@@ -16,6 +16,26 @@ fmtDouble(double v, int digits)
     return buf;
 }
 
+/**
+ * RFC 4180 field quoting. Preset names are plain identifiers, but
+ * trace-file catalog entries are named after arbitrary file stems,
+ * which may carry commas or quotes.
+ */
+std::string
+csvField(const std::string &s)
+{
+    if (s.find_first_of(",\"\n\r") == std::string::npos)
+        return s;
+    std::string out = "\"";
+    for (const char c : s) {
+        if (c == '"')
+            out += '"';
+        out += c;
+    }
+    out += '"';
+    return out;
+}
+
 } // namespace
 
 std::string
@@ -53,11 +73,10 @@ writeResultsCsv(std::ostream &out, const ExperimentSpec &spec,
            "l2_accesses,l3_accesses,dram_accesses,host_seconds\n";
     for (const CellResult &cell : cells) {
         const SimResult &r = cell.result;
-        // Workload/scheme names contain no commas or quotes; emit
-        // them bare so the file stays trivially parseable.
-        out << spec.workloads[cell.workloadIndex].name << ','
-            << schemeName(spec.schemes[cell.schemeIndex]) << ','
-            << r.instructions << ',' << r.cycles << ','
+        out << csvField(spec.workloads[cell.workloadIndex].name())
+            << ','
+            << csvField(schemeName(spec.schemes[cell.schemeIndex]))
+            << ',' << r.instructions << ',' << r.cycles << ','
             << fmtDouble(r.ipc(), 6) << ','
             << fmtDouble(r.mpki(), 6) << ',' << r.demandAccesses
             << ',' << r.l1iMisses << ',' << r.branchMispredicts
@@ -75,7 +94,7 @@ writeResultsJson(std::ostream &out, const ExperimentSpec &spec,
     out << "{\n  \"format\": 1,\n  \"workloads\": [";
     for (std::size_t i = 0; i < spec.workloads.size(); ++i)
         out << (i ? ", " : "") << '"'
-            << jsonEscape(spec.workloads[i].name) << '"';
+            << jsonEscape(spec.workloads[i].name()) << '"';
     out << "],\n  \"schemes\": [";
     for (std::size_t i = 0; i < spec.schemes.size(); ++i)
         out << (i ? ", " : "") << '"'
@@ -85,7 +104,7 @@ writeResultsJson(std::ostream &out, const ExperimentSpec &spec,
         const CellResult &cell = cells[i];
         const SimResult &r = cell.result;
         out << "    {\"workload\": \""
-            << jsonEscape(spec.workloads[cell.workloadIndex].name)
+            << jsonEscape(spec.workloads[cell.workloadIndex].name())
             << "\", \"scheme\": \""
             << jsonEscape(schemeName(spec.schemes[cell.schemeIndex]))
             << "\",\n     \"instructions\": " << r.instructions

@@ -24,17 +24,22 @@ ExperimentDriver::ExperimentDriver(ExperimentSpec spec)
 }
 
 std::shared_ptr<const SharedWorkload>
-ExperimentDriver::prepareWorkload(const WorkloadParams &params) const
+ExperimentDriver::prepareWorkload(const WorkloadEntry &entry) const
 {
+    if (entry.source == WorkloadSource::TraceFile) {
+        FileTraceSource file(entry.path);
+        return std::make_shared<SharedWorkload>(file, spec_.config);
+    }
     if (!spec_.traceDir.empty()) {
-        const std::string path = spec_.traceDir + "/" + params.name +
+        const std::string path = spec_.traceDir + "/" +
+                                 entry.name() +
                                  TraceFormat::suffix();
         FileTraceSource file(path);
         return std::make_shared<SharedWorkload>(file, spec_.config);
     }
     // Precedence: explicit spec override > ACIC_TRACE_LEN > preset.
     WorkloadParams effective =
-        WorkloadContext::withEnvOverrides(params);
+        WorkloadContext::withEnvOverrides(entry.params);
     if (spec_.instructions != 0)
         effective.instructions = spec_.instructions;
     return std::make_shared<SharedWorkload>(std::move(effective),

@@ -22,6 +22,7 @@
 #include "sim/runner.hh"
 #include "sim/scheme.hh"
 #include "sim/sim_config.hh"
+#include "trace/catalog.hh"
 #include "trace/workload_params.hh"
 
 namespace acic {
@@ -29,8 +30,13 @@ namespace acic {
 /** Declarative description of one experiment matrix. */
 struct ExperimentSpec
 {
-    /** Workloads forming the rows of the matrix. */
-    std::vector<WorkloadParams> workloads;
+    /**
+     * Workloads forming the rows of the matrix. Entries name either
+     * a synthetic preset or an on-disk trace (WorkloadEntry), so
+     * imported and generated workloads mix freely in one matrix; a
+     * bare WorkloadParams converts implicitly to a synthetic entry.
+     */
+    std::vector<WorkloadEntry> workloads;
 
     /** Schemes forming the columns. */
     std::vector<Scheme> schemes;
@@ -41,12 +47,20 @@ struct ExperimentSpec
     /** Worker threads; 0 means hardware concurrency. */
     unsigned threads = 0;
 
-    /** Per-workload trace-length override; 0 keeps preset lengths. */
+    /**
+     * Per-workload trace-length override; 0 keeps preset lengths.
+     * Applies to synthetic entries only — trace-file entries always
+     * replay their recorded stream in full.
+     */
     std::uint64_t instructions = 0;
 
     /**
      * When non-empty, load `<traceDir>/<name>.acictrace` recorded by
      * `acic_run record` instead of regenerating synthetically.
+     * Strict: every *synthetic* entry must have its file present.
+     * (TraceFile entries carry their own path and ignore this; the
+     * `acic_run --trace-dir` flag instead overlays the directory
+     * onto the catalog, which tolerates missing files.)
      */
     std::string traceDir;
 
@@ -92,7 +106,7 @@ class ExperimentDriver
   private:
     /** Build one workload's shared trace + oracle. */
     std::shared_ptr<const SharedWorkload>
-    prepareWorkload(const WorkloadParams &params) const;
+    prepareWorkload(const WorkloadEntry &entry) const;
 
     ExperimentSpec spec_;
 };

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * ChampSim binary trace importer. One record per retired instruction,
+ * 64 bytes, little-endian, matching ChampSim's input_instr layout:
+ *
+ *   offset  size  field
+ *   0       8     ip
+ *   8       1     is_branch
+ *   9       1     branch_taken
+ *   10      2     destination_registers[2]
+ *   12      4     source_registers[4]
+ *   16      16    destination_memory[2]
+ *   32      32    source_memory[4]
+ *
+ * The next-PC of each instruction is the following record's ip (the
+ * final record falls through to ip + 4). Branch kinds are recovered
+ * from the register lists with ChampSim's own convention — register
+ * 6 is the stack pointer, 25 the flags, 26 the instruction pointer —
+ * see classify() for the mapping onto BranchKind.
+ */
+
+#ifndef ACIC_TRACE_IMPORT_CHAMPSIM_HH
+#define ACIC_TRACE_IMPORT_CHAMPSIM_HH
+
+#include "trace/import/importer.hh"
+
+namespace acic {
+
+/** See file comment. */
+class ChampSimImporter : public TraceImporter
+{
+  public:
+    /** Record size in bytes; files must be a whole number of these. */
+    static constexpr std::size_t kRecordBytes = 64;
+
+    /** ChampSim special register numbers. */
+    static constexpr std::uint8_t kRegStackPointer = 6;
+    static constexpr std::uint8_t kRegFlags = 25;
+    static constexpr std::uint8_t kRegInstructionPointer = 26;
+
+    const char *format() const override { return "champsim"; }
+    bool probe(const std::uint8_t *head, std::size_t n,
+               bool complete) const override;
+    std::uint64_t convert(InputStream &in,
+                          TraceWriter &out) const override;
+};
+
+} // namespace acic
+
+#endif // ACIC_TRACE_IMPORT_CHAMPSIM_HH

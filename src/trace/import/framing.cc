@@ -1,0 +1,205 @@
+#include "trace/import/framing.hh"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/logging.hh"
+
+#ifdef ACIC_HAVE_ZLIB
+#include <zlib.h>
+#endif
+
+namespace acic {
+
+namespace {
+
+/** Buffer size; must exceed InputStream::kPeekMax. */
+constexpr std::size_t kBufBytes = 1u << 18;
+
+bool
+hasGzipMagic(const unsigned char *b, std::size_t n)
+{
+    return n >= 2 && b[0] == 0x1f && b[1] == 0x8b;
+}
+
+} // namespace
+
+bool
+gzipSupported()
+{
+#ifdef ACIC_HAVE_ZLIB
+    return true;
+#else
+    return false;
+#endif
+}
+
+bool
+gzipFile(const std::string &src_path, const std::string &dst_path)
+{
+#ifdef ACIC_HAVE_ZLIB
+    std::FILE *in = std::fopen(src_path.c_str(), "rb");
+    if (!in)
+        return false;
+    gzFile out = gzopen(dst_path.c_str(), "wb");
+    if (!out) {
+        std::fclose(in);
+        return false;
+    }
+    char buf[1u << 16];
+    std::size_t n;
+    bool ok = true;
+    while ((n = std::fread(buf, 1, sizeof(buf), in)) > 0)
+        ok = ok && gzwrite(out, buf, static_cast<unsigned>(n)) ==
+                       static_cast<int>(n);
+    std::fclose(in);
+    ok = gzclose(out) == Z_OK && ok;
+    return ok;
+#else
+    (void)src_path;
+    (void)dst_path;
+    ACIC_FATAL("gzip support not compiled in (zlib missing)");
+#endif
+}
+
+InputStream::InputStream(const std::string &path) : path_(path)
+{
+    file_ = std::fopen(path.c_str(), "rb");
+    if (!file_)
+        ACIC_FATAL("cannot open input trace file");
+    unsigned char magic[2];
+    const std::size_t got = std::fread(magic, 1, 2, file_);
+    buf_.resize(kBufBytes);
+    if (hasGzipMagic(magic, got)) {
+        std::fclose(file_);
+        file_ = nullptr;
+#ifdef ACIC_HAVE_ZLIB
+        gz_ = gzopen(path.c_str(), "rb");
+        if (!gz_)
+            ACIC_FATAL("cannot open gzip input trace file");
+#else
+        ACIC_FATAL("input is gzip-compressed but gzip support was "
+                   "not compiled in (zlib missing)");
+#endif
+    } else {
+        // Seed the buffer with the sniffed bytes instead of
+        // rewinding, so non-seekable input (a pipe) is not
+        // silently misframed by two bytes.
+        std::memcpy(buf_.data(), magic, got);
+        end_ = got;
+    }
+    static_assert(kBufBytes > InputStream::kPeekMax,
+                  "peek window must fit the buffer");
+}
+
+InputStream::~InputStream()
+{
+    if (file_)
+        std::fclose(file_);
+#ifdef ACIC_HAVE_ZLIB
+    if (gz_)
+        gzclose(static_cast<gzFile>(gz_));
+#endif
+}
+
+std::size_t
+InputStream::backendRead(void *buf, std::size_t n)
+{
+#ifdef ACIC_HAVE_ZLIB
+    if (gz_) {
+        const int r = gzread(static_cast<gzFile>(gz_), buf,
+                             static_cast<unsigned>(n));
+        if (r < 0)
+            ACIC_FATAL("gzip decompression error in input trace");
+        return static_cast<std::size_t>(r);
+    }
+#endif
+    return std::fread(buf, 1, n, file_);
+}
+
+void
+InputStream::fill(std::size_t want)
+{
+    if (end_ - pos_ >= want)
+        return;
+    // Compact the unconsumed tail to the front, then top up.
+    if (pos_ > 0) {
+        std::memmove(buf_.data(), buf_.data() + pos_, end_ - pos_);
+        end_ -= pos_;
+        pos_ = 0;
+    }
+    while (end_ - pos_ < want && end_ < buf_.size()) {
+        const std::size_t got =
+            backendRead(buf_.data() + end_, buf_.size() - end_);
+        if (got == 0)
+            break;
+        end_ += got;
+    }
+}
+
+std::size_t
+InputStream::read(void *buf, std::size_t n)
+{
+    std::uint8_t *dst = static_cast<std::uint8_t *>(buf);
+    std::size_t copied = 0;
+    while (copied < n) {
+        if (pos_ == end_) {
+            fill(1);
+            if (pos_ == end_)
+                break;
+        }
+        const std::size_t take =
+            std::min(n - copied, end_ - pos_);
+        std::memcpy(dst + copied, buf_.data() + pos_, take);
+        pos_ += take;
+        copied += take;
+    }
+    consumed_ += copied;
+    return copied;
+}
+
+bool
+InputStream::getLine(std::string &out)
+{
+    out.clear();
+    bool any = false;
+    for (;;) {
+        if (pos_ == end_) {
+            fill(1);
+            if (pos_ == end_)
+                return any || !out.empty();
+        }
+        any = true;
+        const std::uint8_t *nl = static_cast<const std::uint8_t *>(
+            std::memchr(buf_.data() + pos_, '\n', end_ - pos_));
+        if (!nl) {
+            out.append(reinterpret_cast<const char *>(
+                           buf_.data() + pos_),
+                       end_ - pos_);
+            consumed_ += end_ - pos_;
+            pos_ = end_;
+            continue;
+        }
+        const std::size_t line_end =
+            static_cast<std::size_t>(nl - buf_.data());
+        out.append(reinterpret_cast<const char *>(
+                       buf_.data() + pos_),
+                   line_end - pos_);
+        consumed_ += line_end - pos_ + 1; // include the '\n'
+        pos_ = line_end + 1;
+        if (!out.empty() && out.back() == '\r')
+            out.pop_back();
+        return true;
+    }
+}
+
+std::size_t
+InputStream::peek(const std::uint8_t *&ptr, std::size_t n)
+{
+    ACIC_ASSERT(n <= kPeekMax, "peek window too large");
+    fill(n);
+    ptr = buf_.data() + pos_;
+    return std::min(n, end_ - pos_);
+}
+
+} // namespace acic

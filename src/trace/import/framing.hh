@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Shared input framing for the trace importers: a buffered byte
+ * stream over a file that transparently inflates gzip-compressed
+ * input (when built with zlib), with three access styles layered on
+ * one buffer:
+ *
+ *  - read():    record framing for binary formats (ChampSim);
+ *  - getLine(): line framing for text formats (QEMU logs);
+ *  - peek():    a non-consuming view of the stream head, used by the
+ *               format auto-detection in the importer registry.
+ *
+ * Compression is detected from the gzip magic (0x1f 0x8b), never from
+ * the file name, so `foo.champsim.gz` and a renamed `foo.bin` both
+ * work. Without zlib, opening gzip input fails with a clear fatal
+ * instead of feeding compressed bytes to a parser.
+ */
+
+#ifndef ACIC_TRACE_IMPORT_FRAMING_HH
+#define ACIC_TRACE_IMPORT_FRAMING_HH
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace acic {
+
+/** True when gzip decompression was compiled in (zlib present). */
+bool gzipSupported();
+
+/**
+ * Compress @p src_path into gzip file @p dst_path. Test/CI utility
+ * for building compressed fixtures; ACIC_FATALs without zlib.
+ * @return false when either file cannot be opened.
+ */
+bool gzipFile(const std::string &src_path,
+              const std::string &dst_path);
+
+/** See file comment. */
+class InputStream
+{
+  public:
+    /** Open @p path; ACIC_FATALs if it cannot be opened. */
+    explicit InputStream(const std::string &path);
+    ~InputStream();
+
+    InputStream(const InputStream &) = delete;
+    InputStream &operator=(const InputStream &) = delete;
+
+    /**
+     * Consume up to @p n decompressed bytes into @p buf, filling as
+     * much as the input allows.
+     * @return bytes copied; short counts happen only at end of input,
+     *         so 0 means a clean EOF and 0 < r < n a truncated tail.
+     */
+    std::size_t read(void *buf, std::size_t n);
+
+    /**
+     * Consume the next line into @p out, without its terminator
+     * ("\n" and "\r\n" both end a line; a final unterminated line is
+     * returned as-is).
+     * @return false when the stream is exhausted.
+     */
+    bool getLine(std::string &out);
+
+    /**
+     * Expose up to @p n buffered bytes at the current position
+     * without consuming them. @p n must be at most kPeekMax.
+     * @return bytes available at @p ptr (short only near EOF).
+     */
+    std::size_t peek(const std::uint8_t *&ptr, std::size_t n);
+
+    /** Decompressed bytes consumed so far. */
+    std::uint64_t consumed() const { return consumed_; }
+
+    /** True when the underlying file is gzip-compressed. */
+    bool compressed() const { return gz_ != nullptr; }
+
+    const std::string &path() const { return path_; }
+
+    /** Upper bound on a single peek() request. */
+    static constexpr std::size_t kPeekMax = 1u << 16;
+
+  private:
+    /** Pull more backend bytes into the buffer (compacting first). */
+    void fill(std::size_t want);
+    std::size_t backendRead(void *buf, std::size_t n);
+
+    std::string path_;
+    std::FILE *file_ = nullptr;
+    void *gz_ = nullptr; // gzFile, opaque so the header needs no zlib
+    std::vector<std::uint8_t> buf_;
+    std::size_t pos_ = 0;
+    std::size_t end_ = 0;
+    std::uint64_t consumed_ = 0;
+};
+
+} // namespace acic
+
+#endif // ACIC_TRACE_IMPORT_FRAMING_HH

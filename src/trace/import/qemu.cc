@@ -1,0 +1,273 @@
+#include "trace/import/qemu.hh"
+
+#include <cctype>
+#include <cstdlib>
+#include <cstring>
+#include <iterator>
+
+#include "common/logging.hh"
+
+namespace acic {
+
+namespace {
+
+/** One successfully parsed log line. */
+struct ParsedLine
+{
+    Addr pc = 0;
+    /** True for execlog lines carrying a quoted disassembly. */
+    bool haveMnemonic = false;
+    std::string mnemonic;
+};
+
+std::string
+trim(const std::string &s)
+{
+    std::size_t b = 0, e = s.size();
+    while (b < e && std::isspace(static_cast<unsigned char>(s[b])))
+        ++b;
+    while (e > b &&
+           std::isspace(static_cast<unsigned char>(s[e - 1])))
+        --e;
+    return s.substr(b, e - b);
+}
+
+bool
+parseHex(const std::string &text, Addr &out)
+{
+    const std::string t = trim(text);
+    if (t.empty())
+        return false;
+    const char *start = t.c_str();
+    if (t.size() > 2 && t[0] == '0' && (t[1] == 'x' || t[1] == 'X'))
+        start += 2;
+    char *end = nullptr;
+    out = std::strtoull(start, &end, 16);
+    return end != start && *end == '\0';
+}
+
+bool
+allDigits(const std::string &text)
+{
+    const std::string t = trim(text);
+    if (t.empty())
+        return false;
+    for (const char c : t)
+        if (!std::isdigit(static_cast<unsigned char>(c)))
+            return false;
+    return true;
+}
+
+/** `cpu, 0xPC, 0xOPCODE[, "disasm..."]` (execlog plugin). */
+bool
+parseExeclogLine(const std::string &line, ParsedLine &out)
+{
+    const std::size_t c1 = line.find(',');
+    if (c1 == std::string::npos)
+        return false;
+    const std::size_t c2 = line.find(',', c1 + 1);
+    if (!allDigits(line.substr(0, c1)))
+        return false;
+    const std::string pc_field =
+        line.substr(c1 + 1, (c2 == std::string::npos
+                                 ? std::string::npos
+                                 : c2 - c1 - 1));
+    if (trim(pc_field).rfind("0x", 0) != 0 &&
+        trim(pc_field).rfind("0X", 0) != 0)
+        return false;
+    if (!parseHex(pc_field, out.pc))
+        return false;
+    // Mnemonic: first token of the first quoted substring, if any.
+    const std::size_t q1 = line.find('"');
+    if (q1 != std::string::npos) {
+        std::size_t t = q1 + 1;
+        std::string mnemonic;
+        while (t < line.size() && line[t] != '"' &&
+               !std::isspace(static_cast<unsigned char>(line[t])))
+            mnemonic.push_back(line[t++]);
+        if (!mnemonic.empty()) {
+            out.haveMnemonic = true;
+            out.mnemonic = mnemonic;
+        }
+    }
+    return true;
+}
+
+/** `Trace N: 0xHOST [cs_base/PC/flags/...]` (-d exec). */
+bool
+parseExecTraceLine(const std::string &line, ParsedLine &out)
+{
+    if (trim(line).rfind("Trace", 0) != 0)
+        return false;
+    const std::size_t open = line.find('[');
+    const std::size_t close = line.find(']');
+    if (open == std::string::npos || close == std::string::npos ||
+        close <= open)
+        return false;
+    const std::string inner =
+        line.substr(open + 1, close - open - 1);
+    const std::size_t slash = inner.find('/');
+    if (slash == std::string::npos)
+        return false;
+    const std::size_t slash2 = inner.find('/', slash + 1);
+    const std::string pc_field =
+        inner.substr(slash + 1, (slash2 == std::string::npos
+                                     ? std::string::npos
+                                     : slash2 - slash - 1));
+    return parseHex(pc_field, out.pc);
+}
+
+bool
+isIgnorableLine(const std::string &line)
+{
+    const std::string t = trim(line);
+    return t.empty() || t[0] == '#';
+}
+
+bool
+matchesAny(const std::string &m, const char *const *names,
+           std::size_t n)
+{
+    for (std::size_t i = 0; i < n; ++i)
+        if (m == names[i])
+            return true;
+    return false;
+}
+
+TraceInst
+finalize(const ParsedLine &line, Addr next_pc)
+{
+    TraceInst inst;
+    inst.pc = line.pc;
+    inst.nextPc = next_pc;
+    const bool redirects =
+        next_pc != line.pc + TraceInst::kInstBytes;
+    if (line.haveMnemonic) {
+        inst.kind = QemuImporter::classifyMnemonic(line.mnemonic);
+        inst.taken = inst.kind == BranchKind::Cond
+                         ? redirects
+                         : inst.kind != BranchKind::None;
+    } else {
+        // TB-granularity lines carry no mnemonic: infer a taken
+        // direct branch from any control-flow discontinuity.
+        inst.kind =
+            redirects ? BranchKind::Direct : BranchKind::None;
+        inst.taken = redirects;
+    }
+    return inst;
+}
+
+} // namespace
+
+BranchKind
+QemuImporter::classifyMnemonic(const std::string &mnemonic)
+{
+    std::string m;
+    m.reserve(mnemonic.size());
+    for (const char c : mnemonic)
+        m.push_back(static_cast<char>(
+            std::tolower(static_cast<unsigned char>(c))));
+
+    static const char *const kCalls[] = {"bl",    "blr",  "call",
+                                         "callq", "calll", "jal",
+                                         "jalr",  "bal"};
+    static const char *const kReturns[] = {"ret",  "retq", "retl",
+                                           "eret", "mret", "sret",
+                                           "uret"};
+    static const char *const kDirects[] = {"b", "br", "jmp", "jmpq",
+                                           "j"};
+    static const char *const kConds[] = {
+        "cbz",    "cbnz",   "tbz",    "tbnz",  "beqz", "bnez",
+        "blez",   "bgez",   "bltz",   "bgtz",  "loop", "loope",
+        "loopz",  "loopne", "loopnz", "jcxz",  "jecxz", "jrcxz"};
+
+    if (matchesAny(m, kCalls, std::size(kCalls)))
+        return BranchKind::Call;
+    if (matchesAny(m, kReturns, std::size(kReturns)))
+        return BranchKind::Return;
+    if (matchesAny(m, kDirects, std::size(kDirects)))
+        return BranchKind::Direct;
+    if (matchesAny(m, kConds, std::size(kConds)))
+        return BranchKind::Cond;
+    if (m.rfind("b.", 0) == 0) // aarch64 b.eq, b.ne, ...
+        return BranchKind::Cond;
+    // Short b<cond> (arm/riscv: beq, bne, bltu, ...) and j<cc>
+    // (x86: je, jnz, jnae, ...) families.
+    const bool alpha_tail = [&] {
+        for (std::size_t i = 1; i < m.size(); ++i)
+            if (!std::isalpha(static_cast<unsigned char>(m[i])))
+                return false;
+        return true;
+    }();
+    if (m.size() >= 2 && m.size() <= 4 && alpha_tail &&
+        (m[0] == 'b' || m[0] == 'j'))
+        return BranchKind::Cond;
+    return BranchKind::None;
+}
+
+bool
+QemuImporter::probe(const std::uint8_t *head, std::size_t n,
+                    bool complete) const
+{
+    // Text input whose first parseable line matches either grammar.
+    std::string text(reinterpret_cast<const char *>(head), n);
+    for (const char c : text)
+        if (c != '\t' && c != '\n' && c != '\r' &&
+            (static_cast<unsigned char>(c) < 0x20 ||
+             static_cast<unsigned char>(c) > 0x7e))
+            return false;
+    std::size_t start = 0;
+    while (start < text.size()) {
+        std::size_t end = text.find('\n', start);
+        const bool unterminated = end == std::string::npos;
+        const std::string line =
+            text.substr(start, unterminated ? std::string::npos
+                                            : end - start);
+        if (!isIgnorableLine(line)) {
+            // An unterminated line at the end of the probe window
+            // may be cut mid-token — unless EOF fell inside the
+            // window, in which case the line is actually complete.
+            if (unterminated && !complete)
+                return false;
+            ParsedLine parsed;
+            return parseExeclogLine(line, parsed) ||
+                   parseExecTraceLine(line, parsed);
+        }
+        if (unterminated)
+            break;
+        start = end + 1;
+    }
+    return false;
+}
+
+std::uint64_t
+QemuImporter::convert(InputStream &in, TraceWriter &out) const
+{
+    std::string line;
+    std::uint64_t lineno = 0;
+    ParsedLine prev;
+    bool have_prev = false;
+    while (in.getLine(line)) {
+        ++lineno;
+        if (isIgnorableLine(line))
+            continue;
+        ParsedLine cur;
+        if (!parseExeclogLine(line, cur) &&
+            !parseExecTraceLine(line, cur)) {
+            std::string msg = "malformed QEMU log line " +
+                              std::to_string(lineno) + " in " +
+                              in.path();
+            ACIC_FATAL(msg.c_str());
+        }
+        if (have_prev)
+            out.append(finalize(prev, cur.pc));
+        prev = cur;
+        have_prev = true;
+    }
+    if (have_prev)
+        out.append(
+            finalize(prev, prev.pc + TraceInst::kInstBytes));
+    return out.written();
+}
+
+} // namespace acic

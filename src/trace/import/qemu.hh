@@ -1,0 +1,54 @@
+/**
+ * @file
+ * QEMU text-log importer. Accepts the two per-line shapes QEMU's
+ * instruction tracing produces, auto-distinguished per line:
+ *
+ *  1. execlog plugin (`-plugin libexeclog.so`), one instruction per
+ *     line:
+ *
+ *         0, 0x40052d, 0x94000043, "bl #0x400638"
+ *
+ *     The PC is field 2; the quoted disassembly, when present, names
+ *     the mnemonic used to classify the branch kind (bl/call ->
+ *     Call, ret -> Return, conditional mnemonics -> Cond, other
+ *     jumps -> Direct).
+ *
+ *  2. `-d exec[,nochain]` translation-block log lines:
+ *
+ *         Trace 0: 0x7f7d4c [00000000/0000000000400526/0x31/...]
+ *
+ *     The PC is the second '/'-separated component in brackets. TB
+ *     granularity carries no mnemonic, so control flow is inferred:
+ *     a line whose successor is not pc + 4 becomes a taken Direct
+ *     branch.
+ *
+ * Blank lines and lines starting with '#' are skipped; any other
+ * unparseable line is a fatal naming its line number. The next-PC of
+ * each instruction is the following line's PC (the final line falls
+ * through to pc + 4).
+ */
+
+#ifndef ACIC_TRACE_IMPORT_QEMU_HH
+#define ACIC_TRACE_IMPORT_QEMU_HH
+
+#include "trace/import/importer.hh"
+
+namespace acic {
+
+/** See file comment. */
+class QemuImporter : public TraceImporter
+{
+  public:
+    const char *format() const override { return "qemu"; }
+    bool probe(const std::uint8_t *head, std::size_t n,
+               bool complete) const override;
+    std::uint64_t convert(InputStream &in,
+                          TraceWriter &out) const override;
+
+    /** Branch kind of a disassembly mnemonic (exposed for tests). */
+    static BranchKind classifyMnemonic(const std::string &mnemonic);
+};
+
+} // namespace acic
+
+#endif // ACIC_TRACE_IMPORT_QEMU_HH

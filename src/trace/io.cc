@@ -75,6 +75,14 @@ TraceWriter::TraceWriter(const std::string &path,
 {
     if (!out_)
         ACIC_FATAL("cannot open trace file for writing");
+    // close() patches the instruction count back into the header, so
+    // a non-seekable target (pipe, FIFO, character device) would end
+    // up with a corrupt count-0 header. Detect it now and fail with
+    // a clear error instead.
+    if (out_.tellp() == std::ofstream::pos_type(-1))
+        ACIC_FATAL("trace output is not seekable (the instruction "
+                   "count is patched into the header on close); "
+                   "write to a regular file");
     buf_.reserve(kBufBytes + 32);
     putU32(buf_, TraceFormat::kMagic);
     putU16(buf_, TraceFormat::kVersion);
@@ -266,6 +274,33 @@ FileTraceSource::next(TraceInst &out)
 }
 
 // ------------------------------------------------------------- free funcs
+
+bool
+readTraceHeader(const std::string &path, TraceFileInfo &out)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        return false;
+    if (readU32(in) != TraceFormat::kMagic || !in)
+        return false;
+    TraceFileInfo info;
+    info.version = readU16(in);
+    // Reject unsupported versions here so directory scans skip the
+    // file up front instead of fataling when it is later opened.
+    if (info.version != TraceFormat::kVersion)
+        return false;
+    readU16(in); // flags
+    info.instructions = readU64(in);
+    const std::uint32_t name_len = readU32(in);
+    if (!in || name_len > (1u << 20))
+        return false;
+    info.name.resize(name_len);
+    in.read(info.name.data(), name_len);
+    if (!in)
+        return false;
+    out = info;
+    return true;
+}
 
 std::uint64_t
 recordTrace(TraceSource &src, const std::string &path)

@@ -62,13 +62,17 @@ struct TraceFormat
 
 /**
  * Streaming trace writer. Buffered; append() never seeks, the
- * instruction count is patched into the header by close().
+ * instruction count is patched into the header by close() — which
+ * requires a seekable output, so the constructor rejects pipes,
+ * FIFOs, and other non-seekable targets up front instead of leaving
+ * a corrupt (count = 0) header behind.
  */
 class TraceWriter
 {
   public:
     /**
      * Open @p path for writing and emit the header.
+     * ACIC_FATALs when @p path cannot be opened or is not seekable.
      * @param name workload name stored in the file.
      */
     TraceWriter(const std::string &path, const std::string &name);
@@ -143,6 +147,23 @@ class FileTraceSource : public TraceSource
  * @return instructions written.
  */
 std::uint64_t recordTrace(TraceSource &src, const std::string &path);
+
+/** Header metadata of an on-disk trace, read without the payload. */
+struct TraceFileInfo
+{
+    std::uint16_t version = 0;
+    std::uint64_t instructions = 0;
+    std::string name;
+};
+
+/**
+ * Read just the header of @p path into @p out.
+ * @return false (leaving @p out untouched) when the file cannot be
+ *         opened, is not a valid `.acictrace` header, or is an
+ *         unsupported format version — unlike FileTraceSource, this
+ *         never fatals, so directory scans can skip foreign files.
+ */
+bool readTraceHeader(const std::string &path, TraceFileInfo &out);
 
 /** Zigzag encode a signed delta into an unsigned varint payload. */
 constexpr std::uint64_t

@@ -1,0 +1,92 @@
+#include "trace/stats.hh"
+
+#include <cstdio>
+#include <unordered_set>
+
+#include "sim/oracle.hh"
+
+namespace acic {
+
+TraceStats
+computeTraceStats(TraceSource &trace)
+{
+    TraceStats stats;
+    stats.name = trace.name();
+
+    trace.reset();
+    std::unordered_set<BlockAddr> blocks;
+    TraceInst inst;
+    while (trace.next(inst)) {
+        ++stats.instructions;
+        ++stats.kinds[static_cast<std::size_t>(inst.kind)];
+        stats.taken += inst.taken ? 1 : 0;
+        stats.redirects += inst.redirects() ? 1 : 0;
+        blocks.insert(blockOf(inst.pc));
+    }
+    stats.uniqueBlocks = blocks.size();
+    trace.reset();
+
+    // Reuse distances over the demand sequence the simulator sees.
+    const DemandOracle oracle = DemandOracle::build(trace);
+    ReuseProfiler profiler(oracle.length());
+    for (std::uint64_t i = 0; i < oracle.length(); ++i)
+        profiler.feed(oracle.blockAt(i));
+    stats.demandAccesses = profiler.distribution().total();
+    for (std::size_t b = 0; b < ReuseProfiler::kBuckets; ++b)
+        stats.reuse[b] = profiler.distribution().count(b);
+    return stats;
+}
+
+void
+printTraceStats(std::ostream &out, const TraceStats &stats)
+{
+    char line[160];
+    const auto row = [&](const char *label, const std::string &val) {
+        std::snprintf(line, sizeof(line), "%-22s %s\n", label,
+                      val.c_str());
+        out << line;
+    };
+    const auto pct = [&](std::uint64_t n, std::uint64_t total) {
+        std::snprintf(line, sizeof(line), "%.2f%%",
+                      total ? 100.0 * static_cast<double>(n) /
+                                  static_cast<double>(total)
+                            : 0.0);
+        return std::string(line);
+    };
+
+    row("name", stats.name);
+    row("instructions", std::to_string(stats.instructions));
+    std::snprintf(line, sizeof(line), "%llu (density %.4f/inst)",
+                  static_cast<unsigned long long>(stats.branches()),
+                  stats.branchDensity());
+    row("branches", line);
+    static const char *const kKindNames[] = {nullptr, "  cond",
+                                             "  direct", "  call",
+                                             "  return"};
+    for (std::size_t k = 1; k < stats.kinds.size(); ++k)
+        row(kKindNames[k],
+            std::to_string(stats.kinds[k]) + " (" +
+                pct(stats.kinds[k], stats.instructions) + ")");
+    row("taken", std::to_string(stats.taken) + " (" +
+                     pct(stats.taken, stats.instructions) + ")");
+    row("redirects", std::to_string(stats.redirects) + " (" +
+                         pct(stats.redirects, stats.instructions) +
+                         ")");
+    std::snprintf(line, sizeof(line), "%llu blocks (%.1f KB)",
+                  static_cast<unsigned long long>(
+                      stats.uniqueBlocks),
+                  stats.footprintKb());
+    row("code footprint", line);
+    row("demand accesses", std::to_string(stats.demandAccesses));
+    out << "block reuse distance (% of demand accesses)\n";
+    static const char *const kBucketNames[] = {
+        "  0",          "  [1,16]",       "  (16,512]",
+        "  (512,1024]", "  (1024,10000]", "  >10000"};
+    for (std::size_t b = 0; b < ReuseProfiler::kBuckets; ++b) {
+        std::snprintf(line, sizeof(line), "%-22s %.2f\n",
+                      kBucketNames[b], stats.reusePercent(b));
+        out << line;
+    }
+}
+
+} // namespace acic

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Trace-intrinsic statistics: instruction count, branch mix, code
+ * footprint, and the block-reuse-distance distribution over the
+ * paper's buckets — the same statistics the synthetic generator is
+ * calibrated against (DESIGN.md section 1.1), so `acic_run stat` can
+ * sanity-check an imported trace against the synthetic presets.
+ *
+ * The reuse distribution is computed over the demand block-access
+ * sequence the simulator actually sees (DemandOracle's BundleWalker
+ * pass), making the numbers directly comparable to Fig. 1a /
+ * `bench_fig01_reuse`.
+ */
+
+#ifndef ACIC_TRACE_STATS_HH
+#define ACIC_TRACE_STATS_HH
+
+#include <array>
+#include <cstdint>
+#include <ostream>
+#include <string>
+
+#include "sim/reuse.hh"
+#include "trace/trace.hh"
+
+namespace acic {
+
+/** See file comment. Every field is intrinsic to the instruction
+ *  stream, so two traces with identical streams print identically
+ *  (the property the CI import smoke test diffs). */
+struct TraceStats
+{
+    std::string name;
+    std::uint64_t instructions = 0;
+
+    /** Dynamic count per BranchKind (index = enum value). */
+    std::array<std::uint64_t, 5> kinds{};
+    std::uint64_t taken = 0;
+    /** Instructions whose nextPc is not pc + 4. */
+    std::uint64_t redirects = 0;
+
+    /** Distinct 64 B blocks touched (static code footprint). */
+    std::uint64_t uniqueBlocks = 0;
+
+    /** Demand block accesses (fetch bundles) underlying the reuse
+     *  distribution. */
+    std::uint64_t demandAccesses = 0;
+    /** Counts per paper bucket {0, [1,16], (16,512], (512,1024],
+     *  (1024,10000], >10000}. */
+    std::array<std::uint64_t, ReuseProfiler::kBuckets> reuse{};
+
+    std::uint64_t branches() const
+    {
+        std::uint64_t n = 0;
+        for (std::size_t i = 1; i < kinds.size(); ++i)
+            n += kinds[i];
+        return n;
+    }
+
+    /** Branch sites per instruction. */
+    double branchDensity() const
+    {
+        return instructions
+                   ? static_cast<double>(branches()) /
+                         static_cast<double>(instructions)
+                   : 0.0;
+    }
+
+    double footprintKb() const
+    {
+        return static_cast<double>(uniqueBlocks) * 64.0 / 1024.0;
+    }
+
+    double reusePercent(std::size_t bucket) const
+    {
+        return demandAccesses
+                   ? 100.0 * static_cast<double>(reuse[bucket]) /
+                         static_cast<double>(demandAccesses)
+                   : 0.0;
+    }
+};
+
+/** Compute the stats of @p trace (reset before and after). */
+TraceStats computeTraceStats(TraceSource &trace);
+
+/**
+ * Render @p stats in the fixed `acic_run stat` text layout. The
+ * output is deterministic and file-path free, so the same stream
+ * always prints byte-identically.
+ */
+void printTraceStats(std::ostream &out, const TraceStats &stats);
+
+} // namespace acic
+
+#endif // ACIC_TRACE_STATS_HH

@@ -1,6 +1,7 @@
 #include "trace/workload_params.hh"
 
 #include "common/logging.hh"
+#include "trace/catalog.hh"
 
 namespace acic {
 
@@ -210,13 +211,13 @@ Workloads::spec()
 WorkloadParams
 Workloads::byName(const std::string &name)
 {
-    for (const auto &p : datacenter())
-        if (p.name == name)
-            return p;
-    for (const auto &p : spec())
-        if (p.name == name)
-            return p;
-    ACIC_FATAL("unknown workload name");
+    // The catalog is the registry of record; this stays as the
+    // params-only convenience for code that synthesizes directly.
+    const WorkloadCatalog catalog = WorkloadCatalog::builtin();
+    const WorkloadEntry *entry = catalog.find(name);
+    if (!entry)
+        ACIC_FATAL("unknown workload name");
+    return entry->params;
 }
 
 } // namespace acic

@@ -178,8 +178,8 @@ TEST(Driver, TraceDirReplayMatchesSynthetic)
     // Record the two workloads at the spec's instruction count.
     const std::string dir = ".";
     std::vector<std::string> paths;
-    for (const auto &params : spec.workloads) {
-        auto p = params;
+    for (const auto &entry : spec.workloads) {
+        auto p = entry.params;
         p.instructions = spec.instructions;
         SyntheticWorkload synth(p);
         const std::string path =
@@ -243,7 +243,7 @@ TEST(Emitters, CsvIsParseable)
         EXPECT_EQ(countCommas(lines[i]) + 1, columns)
             << "row " << i << ": " << lines[i];
     EXPECT_EQ(lines[1].substr(0, lines[1].find(',')),
-              spec.workloads[0].name);
+              spec.workloads[0].name());
 }
 
 TEST(Emitters, JsonIsStructurallyValid)
@@ -287,6 +287,30 @@ TEST(Emitters, JsonIsStructurallyValid)
     EXPECT_NE(json.find("\"cells\": ["), std::string::npos);
     EXPECT_NE(json.find("\"org_stats\": {"), std::string::npos);
     EXPECT_NE(json.find("\"web_search\""), std::string::npos);
+}
+
+TEST(Emitters, CsvQuotesAwkwardWorkloadNames)
+{
+    // Trace-file catalog entries are named after arbitrary file
+    // stems, so a comma in a name must not corrupt the column
+    // count: the field gets RFC 4180 quoting.
+    ExperimentSpec spec;
+    auto params = Workloads::byName("tpcc");
+    params.name = "we,ird \"name\"";
+    spec.workloads = {params};
+    spec.schemes = {Scheme::BaselineLru};
+    spec.instructions = 20'000;
+    spec.threads = 1;
+    ExperimentDriver driver(spec);
+    const auto cells = driver.run();
+
+    std::ostringstream out;
+    writeResultsCsv(out, driver.spec(), cells);
+    const auto lines = splitLines(out.str());
+    ASSERT_EQ(lines.size(), 2u);
+    EXPECT_EQ(lines[1].substr(0, 18), "\"we,ird \"\"name\"\"\",");
+    // Commas inside the quoted field plus the 15 real separators.
+    EXPECT_EQ(countCommas(lines[1]), countCommas(lines[0]) + 1);
 }
 
 TEST(Emitters, JsonEscapesControlAndQuoteCharacters)
