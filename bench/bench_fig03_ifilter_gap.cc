@@ -22,9 +22,9 @@ main()
     std::vector<double> s_always, s_count, s_opt;
     std::map<std::string, SimResult> always_results;
     for (auto &run : runs) {
-        const SimResult always = run.context->run(Scheme::AlwaysInsert);
-        const SimResult count = run.context->run(Scheme::AccessCount);
-        const SimResult opt = run.context->run(Scheme::Opt);
+        const SimResult always = run.context->run("always_insert");
+        const SimResult count = run.context->run("access_count");
+        const SimResult opt = run.context->run("opt");
         always_results[run.name] = always;
         s_always.push_back(speedupOf(run.baseline, always));
         s_count.push_back(speedupOf(run.baseline, count));

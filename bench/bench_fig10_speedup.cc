@@ -19,13 +19,9 @@ main()
 {
     ExperimentSpec spec;
     spec.workloads = datacenterEntries();
-    spec.schemes = {
-        Scheme::BaselineLru, Scheme::Srrip,  Scheme::Ship,
-        Scheme::Harmony,     Scheme::Ghrp,   Scheme::Dsb,
-        Scheme::Obm,         Scheme::Vvc,    Scheme::Vc3k,
-        Scheme::Acic,        Scheme::L1i36k, Scheme::Opt,
-        Scheme::OptBypass,
-    };
+    spec.schemes = parseSchemeList(
+        "lru,srrip,ship,harmony,ghrp,dsb,obm,vvc,vc3k,acic,"
+        "l1i36k,opt,opt_bypass");
     spec.instructions = benchTraceLength();
 
     ExperimentDriver driver(spec);

@@ -15,16 +15,13 @@ main()
 {
     auto runs = buildBaselines(Workloads::datacenter());
 
-    static const Scheme kSchemes[] = {
-        Scheme::Srrip,  Scheme::Ship,   Scheme::Harmony,
-        Scheme::Ghrp,   Scheme::Dsb,    Scheme::Obm,
-        Scheme::Vvc,    Scheme::Vc3k,   Scheme::Acic,
-        Scheme::L1i36k, Scheme::Opt,    Scheme::OptBypass,
-    };
+    const std::vector<SchemeSpec> kSchemes = parseSchemeList(
+        "srrip,ship,harmony,ghrp,dsb,obm,vvc,vc3k,acic,l1i36k,"
+        "opt,opt_bypass");
 
     TablePrinter table("Fig. 11: L1i MPKI reduction over LRU+FDP");
     std::vector<std::string> header{"workload"};
-    for (const Scheme s : kSchemes)
+    for (const SchemeSpec &s : kSchemes)
         header.push_back(schemeName(s));
     table.setHeader(header);
 
@@ -32,7 +29,7 @@ main()
     std::map<std::string, std::vector<double>> accuracy;
     for (auto &run : runs) {
         std::vector<std::string> row{run.name};
-        for (const Scheme s : kSchemes) {
+        for (const SchemeSpec &s : kSchemes) {
             const SimResult result = run.context->run(s);
             const double red = mpkiReductionOf(run.baseline, result);
             reductions[schemeName(s)].push_back(red);
@@ -47,7 +44,7 @@ main()
         table.addRow(row);
     }
     std::vector<std::string> avg_row{"Avg"};
-    for (const Scheme s : kSchemes)
+    for (const SchemeSpec &s : kSchemes)
         avg_row.push_back(
             TablePrinter::pct(mean(reductions[schemeName(s)]), 1));
     table.addRow(avg_row);

@@ -4,90 +4,63 @@
  * sensitivity axes -- HRT entries, history length, PT counter width,
  * i-Filter slots, and CSHR partial-tag width -- around the default
  * Table I configuration.
+ *
+ * The sweep is declared as registry spec strings and executed on the
+ * parallel experiment driver: the same points are reachable from the
+ * command line, e.g.
+ *   acic_run sweep --grid 'acic(filter={8,16,32})' \
+ *            --workloads all-datacenter
  */
 
-#include <functional>
-
 #include "bench_util.hh"
+#include "driver/experiment.hh"
 
 using namespace acic;
 using namespace acic::bench;
 
-namespace {
-
-struct Variant
-{
-    std::string label;
-    PredictorConfig predictor;
-    CshrConfig cshr;
-    std::uint32_t filterEntries = 16;
-};
-
-} // namespace
-
 int
 main()
 {
-    auto runs = buildBaselines(Workloads::datacenter());
+    // (figure label, registry spec) pairs; "lru" is the denominator.
+    static const std::pair<const char *, const char *> kVariants[] = {
+        {"default", "acic"},
+        {"2k HRT entries", "acic(hrt=2048)"},
+        {"512 HRT entries", "acic(hrt=512)"},
+        {"8-bit history", "acic(history=8)"},
+        {"10-bit history", "acic(history=10)"},
+        {"2-bit counter", "acic(counter=2)"},
+        {"8-bit counter", "acic(counter=8)"},
+        {"8-slot i-Filter", "acic(filter=8)"},
+        {"32-slot i-Filter", "acic(filter=32)"},
+        {"7-bit CSHR tag", "acic(tag=7)"},
+        {"27-bit CSHR tag", "acic(tag=27)"},
+    };
 
-    std::vector<Variant> variants;
-    variants.push_back({"default", {}, {}, 16});
-    {
-        Variant v{"2k HRT entries", {}, {}, 16};
-        v.predictor.hrtEntries = 2048;
-        variants.push_back(v);
+    ExperimentSpec spec;
+    spec.workloads = datacenterEntries();
+    spec.schemes = {parseScheme("lru")};
+    for (const auto &[label, text] : kVariants) {
+        (void)label;
+        spec.schemes.push_back(parseScheme(text));
     }
-    {
-        Variant v{"512 HRT entries", {}, {}, 16};
-        v.predictor.hrtEntries = 512;
-        variants.push_back(v);
-    }
-    {
-        Variant v{"8-bit history", {}, {}, 16};
-        v.predictor.historyBits = 8;
-        variants.push_back(v);
-    }
-    {
-        Variant v{"10-bit history", {}, {}, 16};
-        v.predictor.historyBits = 10;
-        variants.push_back(v);
-    }
-    {
-        Variant v{"2-bit counter", {}, {}, 16};
-        v.predictor.counterBits = 2;
-        variants.push_back(v);
-    }
-    {
-        Variant v{"8-bit counter", {}, {}, 16};
-        v.predictor.counterBits = 8;
-        variants.push_back(v);
-    }
-    variants.push_back({"8-slot i-Filter", {}, {}, 8});
-    variants.push_back({"32-slot i-Filter", {}, {}, 32});
-    {
-        Variant v{"7-bit CSHR tag", {}, {}, 16};
-        v.cshr.tagBits = 7;
-        variants.push_back(v);
-    }
-    {
-        Variant v{"27-bit CSHR tag", {}, {}, 16};
-        v.cshr.tagBits = 27;
-        variants.push_back(v);
-    }
+    spec.instructions = benchTraceLength();
+
+    ExperimentDriver driver(spec);
+    const auto cells = driver.run();
+    const std::size_t n_schemes = spec.schemes.size();
 
     TablePrinter table("Fig. 15: ACIC sensitivity (gmean speedup "
                        "over LRU+FDP)");
     table.setHeader({"configuration", "gmean speedup"});
-    for (const auto &variant : variants) {
+    for (std::size_t s = 1; s < n_schemes; ++s) {
         std::vector<double> speedups;
-        for (auto &run : runs) {
-            auto org = makeAcicOrg(run.context->config(),
-                                   variant.predictor, variant.cshr,
-                                   variant.filterEntries);
-            const SimResult r = run.context->run(*org);
-            speedups.push_back(speedupOf(run.baseline, r));
+        for (std::size_t w = 0; w < spec.workloads.size(); ++w) {
+            const SimResult &baseline =
+                cells[w * n_schemes].result;
+            speedups.push_back(
+                speedupOf(baseline, cells[w * n_schemes + s].result));
         }
-        table.addRow({variant.label,
+        table.addRow({kVariants[s - 1].first,
                       TablePrinter::fmt(geomean(speedups), 4)});
     }
     table.addNote("paper: larger i-Filter helps most; smaller "

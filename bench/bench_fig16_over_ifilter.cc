@@ -16,14 +16,14 @@ main()
 {
     // Baseline here is the i-Filter + always-insert organization.
     auto runs = buildBaselines(Workloads::datacenter(), SimConfig{},
-                               Scheme::AlwaysInsert);
+                               "always_insert");
 
     TablePrinter table("Fig. 16: ACIC speedup over FDP baseline "
                        "with i-Filter (always-insert)");
     table.setHeader({"workload", "speedup"});
     std::vector<double> speedups;
     for (auto &run : runs) {
-        const SimResult r = run.context->run(Scheme::Acic);
+        const SimResult r = run.context->run("acic");
         speedups.push_back(speedupOf(run.baseline, r));
         table.addRow({run.name,
                       TablePrinter::fmt(speedups.back(), 4)});

@@ -4,11 +4,14 @@
  * simplified -- no i-Filter (1-slot filter, every fill judged
  * immediately), i-Filter only (no admission), global-history
  * predictor, and bimodal predictor -- against the full design.
+ *
+ * Every ablation is a registry spec string run through the parallel
+ * experiment driver; the same points are reachable from the command
+ * line via `acic_run run --schemes`.
  */
 
-#include <functional>
-
 #include "bench_util.hh"
+#include "driver/experiment.hh"
 
 using namespace acic;
 using namespace acic::bench;
@@ -16,43 +19,40 @@ using namespace acic::bench;
 int
 main()
 {
-    auto runs = buildBaselines(Workloads::datacenter());
-
-    struct Variant
-    {
-        std::string label;
-        std::function<SimResult(WorkloadRun &)> run;
+    // (figure label, registry spec) pairs; "lru" is the denominator.
+    static const std::pair<const char *, const char *> kVariants[] = {
+        {"default ACIC", "acic"},
+        {"no i-Filter", "acic(filter=1)"},
+        {"i-Filter only", "ifilter_only"},
+        {"global-history predictor", "acic_global_history"},
+        {"bimodal predictor", "acic_bimodal"},
     };
-    std::vector<Variant> variants;
-    variants.push_back({"default ACIC", [](WorkloadRun &run) {
-        return run.context->run(Scheme::Acic);
-    }});
-    variants.push_back({"no i-Filter", [](WorkloadRun &run) {
-        auto org = makeAcicOrg(run.context->config(),
-                               PredictorConfig{}, CshrConfig{},
-                               /*filter_entries=*/1);
-        return run.context->run(*org);
-    }});
-    variants.push_back({"i-Filter only", [](WorkloadRun &run) {
-        return run.context->run(Scheme::IFilterOnly);
-    }});
-    variants.push_back({"global-history predictor",
-                        [](WorkloadRun &run) {
-        return run.context->run(Scheme::AcicGlobalHistory);
-    }});
-    variants.push_back({"bimodal predictor", [](WorkloadRun &run) {
-        return run.context->run(Scheme::AcicBimodal);
-    }});
+
+    ExperimentSpec spec;
+    spec.workloads = datacenterEntries();
+    spec.schemes = {parseScheme("lru")};
+    for (const auto &[label, text] : kVariants) {
+        (void)label;
+        spec.schemes.push_back(parseScheme(text));
+    }
+    spec.instructions = benchTraceLength();
+
+    ExperimentDriver driver(spec);
+    const auto cells = driver.run();
+    const std::size_t n_schemes = spec.schemes.size();
 
     TablePrinter table("Fig. 17: speedup of ACIC with simpler "
                        "designs over LRU+FDP (gmean)");
     table.setHeader({"design", "gmean speedup"});
-    for (auto &variant : variants) {
+    for (std::size_t s = 1; s < n_schemes; ++s) {
         std::vector<double> speedups;
-        for (auto &run : runs)
+        for (std::size_t w = 0; w < spec.workloads.size(); ++w) {
+            const SimResult &baseline =
+                cells[w * n_schemes].result;
             speedups.push_back(
-                speedupOf(run.baseline, variant.run(run)));
-        table.addRow({variant.label,
+                speedupOf(baseline, cells[w * n_schemes + s].result));
+        }
+        table.addRow({kVariants[s - 1].first,
                       TablePrinter::fmt(geomean(speedups), 4)});
     }
     table.addNote("paper: turning off the i-Filter or the predictor, "

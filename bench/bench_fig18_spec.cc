@@ -17,13 +17,13 @@ main()
 {
     auto runs = buildBaselines(Workloads::spec());
 
-    static const Scheme kSchemes[] = {Scheme::Ghrp, Scheme::L1i36k,
-                                      Scheme::Acic, Scheme::Opt};
+    const std::vector<SchemeSpec> kSchemes =
+        parseSchemeList("ghrp,l1i36k,acic,opt");
 
     TablePrinter fig18("Fig. 18: SPEC speedup over LRU+FDP");
     TablePrinter fig19("Fig. 19: SPEC L1i MPKI reduction");
     std::vector<std::string> header{"workload"};
-    for (const Scheme s : kSchemes)
+    for (const SchemeSpec &s : kSchemes)
         header.push_back(schemeName(s));
     header.push_back("baseline MPKI");
     fig18.setHeader(header);
@@ -32,7 +32,7 @@ main()
     std::map<std::string, std::vector<double>> speedups, reductions;
     for (auto &run : runs) {
         std::vector<std::string> srow{run.name}, rrow{run.name};
-        for (const Scheme s : kSchemes) {
+        for (const SchemeSpec &s : kSchemes) {
             const SimResult r = run.context->run(s);
             const double sp = speedupOf(run.baseline, r);
             const double red = mpkiReductionOf(run.baseline, r);
@@ -47,7 +47,7 @@ main()
         fig19.addRow(rrow);
     }
     std::vector<std::string> grow{"gmean"}, arow{"Avg"};
-    for (const Scheme s : kSchemes) {
+    for (const SchemeSpec &s : kSchemes) {
         grow.push_back(
             TablePrinter::fmt(geomean(speedups[schemeName(s)]), 4));
         arow.push_back(

@@ -19,15 +19,15 @@ main()
     config.prefetcher = PrefetcherKind::Entangling;
     auto runs = buildBaselines(Workloads::datacenter(), config);
 
-    static const Scheme kSchemes[] = {Scheme::Ghrp, Scheme::L1i36k,
-                                      Scheme::Acic, Scheme::Opt};
+    const std::vector<SchemeSpec> kSchemes =
+        parseSchemeList("ghrp,l1i36k,acic,opt");
 
     TablePrinter fig20(
         "Fig. 20: speedup over entangling-prefetcher baseline");
     TablePrinter fig21(
         "Fig. 21: L1i MPKI reduction over entangling baseline");
     std::vector<std::string> header{"workload"};
-    for (const Scheme s : kSchemes)
+    for (const SchemeSpec &s : kSchemes)
         header.push_back(schemeName(s));
     fig20.setHeader(header);
     fig21.setHeader(header);
@@ -35,7 +35,7 @@ main()
     std::map<std::string, std::vector<double>> speedups, reductions;
     for (auto &run : runs) {
         std::vector<std::string> srow{run.name}, rrow{run.name};
-        for (const Scheme s : kSchemes) {
+        for (const SchemeSpec &s : kSchemes) {
             const SimResult r = run.context->run(s);
             const double sp = speedupOf(run.baseline, r);
             const double red = mpkiReductionOf(run.baseline, r);
@@ -48,7 +48,7 @@ main()
         fig21.addRow(rrow);
     }
     std::vector<std::string> grow{"gmean"}, arow{"Avg"};
-    for (const Scheme s : kSchemes) {
+    for (const SchemeSpec &s : kSchemes) {
         grow.push_back(
             TablePrinter::fmt(geomean(speedups[schemeName(s)]), 4));
         arow.push_back(

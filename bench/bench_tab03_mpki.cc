@@ -49,7 +49,7 @@ main()
 
     ExperimentSpec spec;
     spec.workloads = datacenterEntries();
-    spec.schemes = {Scheme::BaselineLru};
+    spec.schemes = {parseScheme("lru")};
     spec.config = config;
     spec.instructions = benchTraceLength();
 

@@ -59,8 +59,9 @@ struct WorkloadRun
 inline std::vector<WorkloadRun>
 buildBaselines(std::vector<WorkloadParams> presets,
                const SimConfig &config = {},
-               Scheme baseline = Scheme::BaselineLru)
+               const std::string &baseline = "lru")
 {
+    const SchemeSpec baseline_spec = parseScheme(baseline);
     std::vector<WorkloadRun> runs;
     for (auto &params : presets) {
         params.instructions = benchTraceLength();
@@ -68,7 +69,7 @@ buildBaselines(std::vector<WorkloadParams> presets,
         run.name = params.name;
         run.context =
             std::make_unique<WorkloadContext>(params, config);
-        run.baseline = run.context->run(baseline);
+        run.baseline = run.context->run(baseline_spec);
         runs.push_back(std::move(run));
     }
     return runs;
@@ -116,7 +117,7 @@ mean(const std::vector<double> &values)
  * keyed by workload name.
  */
 inline std::map<std::string, SimResult>
-runScheme(std::vector<WorkloadRun> &runs, Scheme scheme)
+runScheme(std::vector<WorkloadRun> &runs, const SchemeSpec &scheme)
 {
     std::map<std::string, SimResult> out;
     for (auto &run : runs)

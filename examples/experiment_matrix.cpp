@@ -27,8 +27,7 @@ main(int argc, char **argv)
     spec.workloads = {Workloads::byName("web_search"),
                       Workloads::byName("media_streaming"),
                       Workloads::byName("tpcc")};
-    spec.schemes = {Scheme::BaselineLru, Scheme::Srrip, Scheme::Acic,
-                    Scheme::Opt};
+    spec.schemes = parseSchemeList("lru,srrip,acic,opt");
     spec.instructions =
         argc > 1 ? static_cast<std::uint64_t>(std::atoll(argv[1]))
                  : 200'000;
@@ -68,7 +67,7 @@ main(int argc, char **argv)
     ExperimentSpec replay_spec;
     replay_spec.workloads = {
         WorkloadEntry::traceFile("web_search", path)};
-    replay_spec.schemes = {Scheme::Acic};
+    replay_spec.schemes = {parseScheme("acic")};
     replay_spec.threads = 1;
     const SimResult from_disk =
         ExperimentDriver(replay_spec).run()[0].result;

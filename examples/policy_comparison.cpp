@@ -29,15 +29,11 @@ main(int argc, char **argv)
                  : 2'000'000;
 
     WorkloadContext context(params);
-    const SimResult base = context.run(Scheme::BaselineLru);
+    const SimResult base = context.run("lru");
 
-    static const Scheme kSchemes[] = {
-        Scheme::Srrip,       Scheme::Ship,     Scheme::Harmony,
-        Scheme::Ghrp,        Scheme::Dsb,      Scheme::Obm,
-        Scheme::Vvc,         Scheme::Vc3k,     Scheme::AlwaysInsert,
-        Scheme::Acic,        Scheme::L1i36k,   Scheme::Opt,
-        Scheme::OptBypass,
-    };
+    const std::vector<SchemeSpec> kSchemes = parseSchemeList(
+        "srrip,ship,harmony,ghrp,dsb,obm,vvc,vc3k,always_insert,"
+        "acic,l1i36k,opt,opt_bypass");
 
     TablePrinter table("Scheme comparison on " + params.name +
                        " (baseline LRU+FDP: " +
@@ -45,7 +41,7 @@ main(int argc, char **argv)
                        TablePrinter::fmt(base.ipc(), 2) + " IPC)");
     table.setHeader({"scheme", "speedup", "MPKI", "MPKI reduction",
                      "admit rate", "storage KB"});
-    for (const Scheme scheme : kSchemes) {
+    for (const SchemeSpec &scheme : kSchemes) {
         auto org = makeScheme(scheme, context.config());
         const SimResult r = context.run(*org);
         const double speedup = static_cast<double>(base.cycles) /

@@ -34,9 +34,9 @@ main(int argc, char **argv)
 
     WorkloadContext context(params);
 
-    const SimResult base = context.run(Scheme::BaselineLru);
-    const SimResult acic = context.run(Scheme::Acic);
-    const SimResult opt = context.run(Scheme::Opt);
+    const SimResult base = context.run("lru");
+    const SimResult acic = context.run("acic");
+    const SimResult opt = context.run("opt");
 
     TablePrinter table("Quickstart: LRU baseline vs ACIC vs OPT");
     table.setHeader({"scheme", "IPC", "L1i MPKI", "speedup",

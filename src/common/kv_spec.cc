@@ -1,0 +1,428 @@
+#include "common/kv_spec.hh"
+
+#include <algorithm>
+#include <cctype>
+#include <cerrno>
+#include <cstdlib>
+
+namespace acic {
+
+namespace {
+
+std::string
+trimmed(const std::string &s)
+{
+    std::size_t first = 0;
+    std::size_t last = s.size();
+    while (first < last &&
+           std::isspace(static_cast<unsigned char>(s[first])))
+        ++first;
+    while (last > first &&
+           std::isspace(static_cast<unsigned char>(s[last - 1])))
+        --last;
+    return s.substr(first, last - first);
+}
+
+} // namespace
+
+std::string
+KvSpec::toString() const
+{
+    if (params.empty())
+        return name;
+    std::string out = name + "(";
+    for (std::size_t i = 0; i < params.size(); ++i) {
+        if (i)
+            out += ',';
+        out += params[i].key + "=" + params[i].value;
+    }
+    out += ')';
+    return out;
+}
+
+std::string
+canonicalToken(const std::string &token)
+{
+    std::string out;
+    out.reserve(token.size());
+    for (const char c : token) {
+        if (c == '_' || c == '-')
+            out.push_back(' ');
+        else
+            out.push_back(static_cast<char>(
+                std::tolower(static_cast<unsigned char>(c))));
+    }
+    return trimmed(out);
+}
+
+std::vector<std::string>
+splitTopLevel(const std::string &list, char sep)
+{
+    std::vector<std::string> out;
+    std::string item;
+    int depth = 0;
+    for (const char c : list) {
+        if (c == '(' || c == '{')
+            ++depth;
+        else if (c == ')' || c == '}')
+            --depth;
+        if (c == sep && depth == 0) {
+            const std::string t = trimmed(item);
+            if (!t.empty())
+                out.push_back(t);
+            item.clear();
+        } else {
+            item.push_back(c);
+        }
+    }
+    const std::string t = trimmed(item);
+    if (!t.empty())
+        out.push_back(t);
+    return out;
+}
+
+KvSpec
+parseKvSpec(const std::string &text)
+{
+    const std::string spec = trimmed(text);
+    KvSpec out;
+
+    const std::size_t open = spec.find('(');
+    if (open == std::string::npos) {
+        if (spec.find(')') != std::string::npos ||
+            spec.find('=') != std::string::npos)
+            throw SpecError("malformed spec '" + spec +
+                            "': expected name or name(key=value,...)");
+        out.name = spec;
+        if (out.name.empty())
+            throw SpecError("empty scheme spec");
+        return out;
+    }
+
+    out.name = trimmed(spec.substr(0, open));
+    if (out.name.empty())
+        throw SpecError("malformed spec '" + spec +
+                        "': missing name before '('");
+    if (spec.back() != ')')
+        throw SpecError("malformed spec '" + spec +
+                        "': expected ')' at the end");
+    const std::string body =
+        spec.substr(open + 1, spec.size() - open - 2);
+    if (body.find('(') != std::string::npos ||
+        body.find(')') != std::string::npos)
+        throw SpecError("malformed spec '" + spec +
+                        "': nested parentheses");
+    if (trimmed(body).empty())
+        throw SpecError("malformed spec '" + spec +
+                        "': empty parameter list (drop the parens)");
+
+    for (const std::string &param : splitTopLevel(body, ',')) {
+        const std::size_t eq = param.find('=');
+        if (eq == std::string::npos)
+            throw SpecError("malformed parameter '" + param +
+                            "' in '" + spec +
+                            "': expected key=value");
+        KvPair pair;
+        pair.key = trimmed(param.substr(0, eq));
+        pair.value = trimmed(param.substr(eq + 1));
+        if (pair.key.empty() || pair.value.empty())
+            throw SpecError("malformed parameter '" + param +
+                            "' in '" + spec +
+                            "': expected key=value");
+        if (pair.value.find('{') != std::string::npos) {
+            if (pair.value.front() != '{' ||
+                pair.value.back() != '}' ||
+                pair.value.find('{', 1) != std::string::npos)
+                throw SpecError("malformed value set '" + pair.value +
+                                "' in '" + spec + "'");
+        } else if (pair.value.find('}') != std::string::npos) {
+            throw SpecError("malformed value set '" + pair.value +
+                            "' in '" + spec + "'");
+        }
+        for (const KvPair &seen : out.params)
+            if (seen.key == pair.key)
+                throw SpecError("duplicate parameter '" + pair.key +
+                                "' in '" + spec + "'");
+        out.params.push_back(std::move(pair));
+    }
+    return out;
+}
+
+bool
+hasValueSets(const KvSpec &spec)
+{
+    for (const KvPair &p : spec.params)
+        if (!p.value.empty() && p.value.front() == '{')
+            return true;
+    return false;
+}
+
+std::vector<KvSpec>
+expandValueSets(const KvSpec &spec)
+{
+    // Per-parameter candidate values; scalars contribute one each.
+    std::vector<std::vector<std::string>> choices;
+    for (const KvPair &p : spec.params) {
+        if (!p.value.empty() && p.value.front() == '{') {
+            const std::string body =
+                p.value.substr(1, p.value.size() - 2);
+            std::vector<std::string> values =
+                splitTopLevel(body, ',');
+            if (values.empty())
+                throw SpecError("empty value set for parameter '" +
+                                p.key + "' in '" + spec.toString() +
+                                "'");
+            choices.push_back(std::move(values));
+        } else {
+            choices.push_back({p.value});
+        }
+    }
+
+    std::vector<KvSpec> out;
+    std::vector<std::size_t> index(choices.size(), 0);
+    while (true) {
+        KvSpec concrete;
+        concrete.name = spec.name;
+        for (std::size_t i = 0; i < choices.size(); ++i)
+            concrete.params.push_back(
+                {spec.params[i].key, choices[i][index[i]]});
+        out.push_back(std::move(concrete));
+
+        // Odometer: rightmost parameter varies fastest.
+        std::size_t i = choices.size();
+        while (i > 0) {
+            --i;
+            if (++index[i] < choices[i].size())
+                break;
+            index[i] = 0;
+            if (i == 0)
+                return out;
+        }
+        if (choices.empty())
+            return out;
+    }
+}
+
+std::size_t
+editDistance(const std::string &a, const std::string &b)
+{
+    std::vector<std::size_t> prev(b.size() + 1);
+    std::vector<std::size_t> cur(b.size() + 1);
+    for (std::size_t j = 0; j <= b.size(); ++j)
+        prev[j] = j;
+    for (std::size_t i = 1; i <= a.size(); ++i) {
+        cur[0] = i;
+        for (std::size_t j = 1; j <= b.size(); ++j) {
+            const std::size_t subst =
+                prev[j - 1] + (a[i - 1] == b[j - 1] ? 0 : 1);
+            cur[j] = std::min({prev[j] + 1, cur[j - 1] + 1, subst});
+        }
+        std::swap(prev, cur);
+    }
+    return prev[b.size()];
+}
+
+std::string
+ParamSpec::rangeText() const
+{
+    if (kind == Kind::Keyword) {
+        std::string out;
+        for (std::size_t i = 0; i < keywords.size(); ++i)
+            out += (i ? "|" : "") + keywords[i];
+        return out;
+    }
+    const auto fmt = [this](double v) {
+        char buf[32];
+        if (kind == Kind::Real)
+            std::snprintf(buf, sizeof(buf), "%g", v);
+        else
+            std::snprintf(buf, sizeof(buf), "%lld",
+                          static_cast<long long>(v));
+        return std::string(buf);
+    };
+    return "[" + fmt(min) + ".." + fmt(max) + "]";
+}
+
+ParamSpec
+ParamSpec::count(std::string key, std::string def, double min,
+                 double max, std::string summary)
+{
+    ParamSpec p;
+    p.key = std::move(key);
+    p.kind = Kind::Count;
+    p.defaultText = std::move(def);
+    p.min = min;
+    p.max = max;
+    p.summary = std::move(summary);
+    return p;
+}
+
+ParamSpec
+ParamSpec::integer(std::string key, std::string def, double min,
+                   double max, std::string summary)
+{
+    ParamSpec p = count(std::move(key), std::move(def), min, max,
+                        std::move(summary));
+    p.kind = Kind::Integer;
+    return p;
+}
+
+ParamSpec
+ParamSpec::real(std::string key, std::string def, double min,
+                double max, std::string summary)
+{
+    ParamSpec p = count(std::move(key), std::move(def), min, max,
+                        std::move(summary));
+    p.kind = Kind::Real;
+    return p;
+}
+
+ParamSpec
+ParamSpec::keyword(std::string key, std::string def,
+                   std::vector<std::string> keywords,
+                   std::string summary)
+{
+    ParamSpec p;
+    p.key = std::move(key);
+    p.kind = Kind::Keyword;
+    p.defaultText = std::move(def);
+    p.keywords = std::move(keywords);
+    p.summary = std::move(summary);
+    return p;
+}
+
+namespace {
+
+double
+parseNumber(const std::string &subject, const ParamSpec &doc,
+            const std::string &value)
+{
+    errno = 0;
+    char *end = nullptr;
+    const double v = std::strtod(value.c_str(), &end);
+    if (end == value.c_str() || *end != '\0' || errno == ERANGE)
+        throw SpecError(subject + ": parameter '" + doc.key +
+                        "' has non-numeric value '" + value + "'");
+    if (doc.kind != ParamSpec::Kind::Real &&
+        v != static_cast<double>(static_cast<long long>(v)))
+        throw SpecError(subject + ": parameter '" + doc.key +
+                        "' must be an integer, got '" + value + "'");
+    if (v < doc.min || v > doc.max)
+        throw SpecError(subject + ": " + doc.key + "=" + value +
+                        " out of range " + doc.rangeText());
+    return v;
+}
+
+} // namespace
+
+ParamReader::ParamReader(std::string subject,
+                         const std::vector<ParamSpec> &docs,
+                         const std::vector<KvPair> &given)
+    : subject_(std::move(subject)), given_(given)
+{
+    for (std::size_t i = 0; i < given_.size(); ++i) {
+        const KvPair &pair = given_[i];
+        for (std::size_t j = 0; j < i; ++j)
+            if (given_[j].key == pair.key)
+                throw SpecError(subject_ + ": duplicate parameter '" +
+                                pair.key + "'");
+        if (!pair.value.empty() && pair.value.front() == '{')
+            throw SpecError(subject_ + ": value sets {a,b,...} are "
+                            "only expanded by sweep grids (parameter "
+                            "'" + pair.key + "')");
+
+        const ParamSpec *doc = nullptr;
+        for (const ParamSpec &d : docs)
+            if (d.key == pair.key) {
+                doc = &d;
+                break;
+            }
+        if (!doc) {
+            std::string msg = subject_ + ": unknown parameter '" +
+                              pair.key + "'";
+            if (docs.empty()) {
+                msg = subject_ + " takes no parameters (got '" +
+                      pair.key + "')";
+            } else {
+                msg += " (valid:";
+                for (const ParamSpec &d : docs)
+                    msg += " " + d.key;
+                msg += ")";
+            }
+            throw SpecError(msg);
+        }
+
+        if (doc->kind == ParamSpec::Kind::Keyword) {
+            const std::string folded = canonicalToken(pair.value);
+            bool ok = false;
+            for (const std::string &k : doc->keywords)
+                ok = ok || canonicalToken(k) == folded;
+            if (!ok)
+                throw SpecError(subject_ + ": " + doc->key + "='" +
+                                pair.value + "' invalid (one of: " +
+                                doc->rangeText() + ")");
+        } else {
+            parseNumber(subject_, *doc, pair.value);
+        }
+    }
+}
+
+const KvPair *
+ParamReader::findPair(const std::string &key) const
+{
+    for (const KvPair &p : given_)
+        if (p.key == key)
+            return &p;
+    return nullptr;
+}
+
+bool
+ParamReader::given(const std::string &key) const
+{
+    return findPair(key) != nullptr;
+}
+
+std::uint64_t
+ParamReader::count(const std::string &key,
+                   std::uint64_t fallback) const
+{
+    const KvPair *p = findPair(key);
+    if (!p)
+        return fallback;
+    // strtod, matching validation: "1e2" and "0x20" read as the
+    // same number the range check accepted (integrality was
+    // enforced there, so the cast is exact).
+    return static_cast<std::uint64_t>(
+        std::strtod(p->value.c_str(), nullptr));
+}
+
+std::int64_t
+ParamReader::integer(const std::string &key,
+                     std::int64_t fallback) const
+{
+    const KvPair *p = findPair(key);
+    if (!p)
+        return fallback;
+    return static_cast<std::int64_t>(
+        std::strtod(p->value.c_str(), nullptr));
+}
+
+double
+ParamReader::real(const std::string &key, double fallback) const
+{
+    const KvPair *p = findPair(key);
+    if (!p)
+        return fallback;
+    return std::strtod(p->value.c_str(), nullptr);
+}
+
+std::string
+ParamReader::keyword(const std::string &key,
+                     std::string fallback) const
+{
+    const KvPair *p = findPair(key);
+    // Canonicalize both sides so "Two-Level" matches "two_level".
+    return canonicalToken(p ? p->value : fallback);
+}
+
+} // namespace acic

@@ -1,0 +1,171 @@
+/**
+ * @file
+ * Reusable spec-string machinery: parse "name(key=value,...)" forms,
+ * split comma lists that may nest parentheses/braces, expand {a,b,c}
+ * value sets into cartesian grids, and validate parameter lists
+ * against a declared ParamSpec table with typed accessors and range
+ * checks. The scheme registry (sim/scheme) and the driver's sweep
+ * subcommand are both built on this layer; it knows nothing about
+ * caches, so any future registry (prefetchers, hierarchies) can reuse
+ * it unchanged.
+ */
+
+#ifndef ACIC_COMMON_KV_SPEC_HH
+#define ACIC_COMMON_KV_SPEC_HH
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace acic {
+
+/**
+ * User-facing spec-string error (unknown name, bad grammar, bad
+ * parameter). Thrown instead of ACIC_FATAL so CLIs can print the
+ * message with usage-error exit codes and tests can assert on it.
+ */
+class SpecError : public std::runtime_error
+{
+  public:
+    using std::runtime_error::runtime_error;
+};
+
+/** One key=value parameter, both sides kept as written. */
+struct KvPair
+{
+    std::string key;
+    std::string value;
+
+    bool operator==(const KvPair &o) const
+    {
+        return key == o.key && value == o.value;
+    }
+};
+
+/** Parsed "name" or "name(key=value,...)" spec string. */
+struct KvSpec
+{
+    std::string name;
+    std::vector<KvPair> params;
+
+    /** Canonical text form; reparses to an equal KvSpec. */
+    std::string toString() const;
+};
+
+/**
+ * Lower-case @p token, collapse '-'/'_' to spaces, and trim
+ * surrounding whitespace — the lenient-matching fold of the legacy
+ * schemeFromName ("OPT_Bypass" == "opt-bypass" == "OPT Bypass").
+ */
+std::string canonicalToken(const std::string &token);
+
+/**
+ * Split @p list at top-level occurrences of @p sep: separators inside
+ * '(' ')' or '{' '}' do not split, so "acic(filter=8,cshr=4),lru"
+ * yields two items. Empty items are dropped.
+ */
+std::vector<std::string> splitTopLevel(const std::string &list,
+                                       char sep = ',');
+
+/**
+ * Parse "name" or "name(key=value,...)". Values may be "{a,b,c}"
+ * sets, later expanded by expandValueSets(). Throws SpecError on an
+ * empty name, empty parens, a parameter without '=' or with an empty
+ * side, duplicate keys, unbalanced brackets, or trailing text after
+ * the closing paren.
+ */
+KvSpec parseKvSpec(const std::string &text);
+
+/** True when any parameter value is a "{...}" set. */
+bool hasValueSets(const KvSpec &spec);
+
+/**
+ * Expand every "{a,b,c}" value set into scalars: the cartesian
+ * product over parameters, leftmost set varying slowest. A spec
+ * without sets expands to itself. Throws SpecError on an empty set.
+ */
+std::vector<KvSpec> expandValueSets(const KvSpec &spec);
+
+/** Levenshtein distance, for near-miss suggestions. */
+std::size_t editDistance(const std::string &a, const std::string &b);
+
+/** Declared parameter of a spec-driven builder (validation + docs). */
+struct ParamSpec
+{
+    enum class Kind
+    {
+        Count,   ///< unsigned integer
+        Integer, ///< signed integer
+        Real,    ///< floating point
+        Keyword, ///< one of a fixed keyword list
+    };
+
+    std::string key;
+    Kind kind = Kind::Count;
+    /** Default shown in docs (the builder owns the actual default). */
+    std::string defaultText;
+    /** Inclusive numeric range (ignored for Keyword). */
+    double min = 0.0;
+    double max = 0.0;
+    /** Allowed values for Keyword parameters. */
+    std::vector<std::string> keywords;
+    /** One-line description for `acic_run list` / DESIGN.md. */
+    std::string summary;
+
+    /** Range rendered for docs: "[min..max]" or the keyword list. */
+    std::string rangeText() const;
+
+    static ParamSpec count(std::string key, std::string def,
+                           double min, double max,
+                           std::string summary);
+    static ParamSpec integer(std::string key, std::string def,
+                             double min, double max,
+                             std::string summary);
+    static ParamSpec real(std::string key, std::string def,
+                          double min, double max,
+                          std::string summary);
+    static ParamSpec keyword(std::string key, std::string def,
+                             std::vector<std::string> keywords,
+                             std::string summary);
+};
+
+/**
+ * Typed, validated view of a parameter list against a ParamSpec
+ * table. Construction throws SpecError (prefixed with @p subject) on
+ * an unknown key (naming the valid ones), a duplicate key, an
+ * unparsable value, a value outside the declared range, a keyword
+ * outside the declared list, or a leftover "{...}" set. Accessors
+ * return the validated value or the caller's fallback.
+ */
+class ParamReader
+{
+  public:
+    ParamReader(std::string subject,
+                const std::vector<ParamSpec> &docs,
+                const std::vector<KvPair> &given);
+
+    /** Was @p key explicitly given? */
+    bool given(const std::string &key) const;
+
+    std::uint64_t count(const std::string &key,
+                        std::uint64_t fallback) const;
+    std::int64_t integer(const std::string &key,
+                         std::int64_t fallback) const;
+    double real(const std::string &key, double fallback) const;
+    std::string keyword(const std::string &key,
+                        std::string fallback) const;
+
+    /** The subject name, for builder-side SpecError prefixes. */
+    const std::string &subject() const { return subject_; }
+
+  private:
+    const KvPair *findPair(const std::string &key) const;
+
+    std::string subject_;
+    std::vector<KvPair> given_;
+};
+
+} // namespace acic
+
+#endif // ACIC_COMMON_KV_SPEC_HH

@@ -8,16 +8,20 @@
  *                    [--instructions N] [--trace-dir D]
  *                    [--baseline SCHEME] [--csv FILE] [--json FILE]
  *                    [--quiet]
+ *   acic_run sweep   --grid G --workloads W [same options as run]
  *   acic_run import  <input> <output> [--format F] [--name N]
  *   acic_run stat    <trace>
  *   acic_run help    [command]
  *
  * Workload lists are resolved against the WorkloadCatalog: synthetic
  * presets plus, when --trace-dir is given, the `.acictrace` files
- * under that directory. Scheme lists accept the display names of
- * Table IV ("-"/"_" may stand in for spaces, case does not matter),
- * or "all". Every subcommand answers --help; exit codes are 0
- * (success), 1 (runtime error), 2 (usage error).
+ * under that directory. Scheme lists are registry spec strings
+ * (DESIGN.md section 6): preset names — Table IV display names with
+ * "-"/"_" standing in for spaces, case-insensitive — optionally
+ * parameterized, e.g. "acic(filter=32,update=instant)", or "all".
+ * `sweep` additionally expands {a,b,c} value sets into a cartesian
+ * grid. Every subcommand answers --help; exit codes are 0 (success),
+ * 1 (runtime error), 2 (usage error).
  */
 
 #include <chrono>
@@ -50,9 +54,10 @@ const char *const kMainHelp =
     "usage: acic_run <command> [options]\n"
     "\n"
     "commands:\n"
-    "  list      show the workload catalog and scheme catalogue\n"
+    "  list      show the workload catalog and scheme registry\n"
     "  record    capture synthetic workloads to .acictrace files\n"
     "  run       execute a workloads x schemes experiment matrix\n"
+    "  sweep     expand a {a,b,c} parameter grid and run the matrix\n"
     "  import    convert an external instruction trace to "
     ".acictrace\n"
     "  stat      print trace-intrinsic statistics of a .acictrace "
@@ -66,9 +71,10 @@ const char *const kMainHelp =
 const char *const kListHelp =
     "usage: acic_run list [--trace-dir D]\n"
     "\n"
-    "Show every catalog workload and every scheme. Workloads name\n"
-    "their suite (datacenter/spec/imported) and source (synthetic\n"
-    "generator or on-disk trace file).\n"
+    "Show every catalog workload and every registered scheme with\n"
+    "its accepted parameters (key=default [range] description).\n"
+    "Workloads name their suite (datacenter/spec/imported) and\n"
+    "source (synthetic generator or on-disk trace file).\n"
     "\n"
     "options:\n"
     "  --trace-dir D   overlay the .acictrace files under D onto\n"
@@ -110,7 +116,9 @@ const char *const kRunHelp =
     "  --workloads W      comma-separated catalog names, or one of\n"
     "                     all | all-datacenter | all-spec |\n"
     "                     all-imported\n"
-    "  --schemes S        comma-separated scheme names, or all\n"
+    "  --schemes S        comma-separated registry specs — preset\n"
+    "                     names or parameterized forms like\n"
+    "                     acic(filter=32,update=instant) — or all\n"
     "  --threads N        worker threads (default: hardware\n"
     "                     concurrency)\n"
     "  --instructions N   trace-length override for synthetic\n"
@@ -128,6 +136,45 @@ const char *const kRunHelp =
     "Trace-length precedence: --instructions beats the\n"
     "ACIC_TRACE_LEN environment variable, which beats the preset\n"
     "length; both are ignored by trace-file workloads.\n"
+    "\n"
+    "exit codes: 0 success, 1 runtime error, 2 usage error\n";
+
+const char *const kSweepHelp =
+    "usage: acic_run sweep --grid G --workloads W [--threads N]\n"
+    "                      [--instructions N] [--trace-dir D]\n"
+    "                      [--baseline SPEC] [--csv FILE]\n"
+    "                      [--json FILE] [--quiet]\n"
+    "\n"
+    "Expand a parameter grid into concrete schemes and run the\n"
+    "workloads x schemes matrix on the thread pool (identical\n"
+    "execution and output to 'acic_run run'; only the scheme list\n"
+    "construction differs).\n"
+    "\n"
+    "The grid is a comma-separated list of registry specs whose\n"
+    "parameter values may be {a,b,c} sets; every set is expanded\n"
+    "cartesianly, leftmost set varying slowest. Example:\n"
+    "\n"
+    "  --grid 'acic(filter={8,16,32},cshr={64,256}),lru(ways={8,9})'\n"
+    "\n"
+    "yields 3x2 ACIC variants plus 2 LRU variants = 8 schemes.\n"
+    "Quote the grid: braces and parens are shell metacharacters.\n"
+    "\n"
+    "options:\n"
+    "  --grid G           the sweep grid (see above)\n"
+    "  --workloads W      comma-separated catalog names, or one of\n"
+    "                     all | all-datacenter | all-spec |\n"
+    "                     all-imported\n"
+    "  --threads N        worker threads (default: hardware\n"
+    "                     concurrency)\n"
+    "  --instructions N   trace-length override for synthetic\n"
+    "                     workloads\n"
+    "  --trace-dir D      overlay the .acictrace files under D onto\n"
+    "                     the catalog before resolving --workloads\n"
+    "  --baseline SPEC    speedup denominator (default: first\n"
+    "                     expanded scheme; must be in the grid)\n"
+    "  --csv FILE         write per-cell results as CSV\n"
+    "  --json FILE        write per-cell results as JSON\n"
+    "  --quiet            suppress per-cell progress on stderr\n"
     "\n"
     "exit codes: 0 success, 1 runtime error, 2 usage error\n";
 
@@ -178,44 +225,6 @@ usage(const char *text, bool requested)
 {
     std::fputs(text, requested ? stdout : stderr);
     return requested ? 0 : kUsageError;
-}
-
-std::vector<std::string>
-splitCommas(const std::string &list)
-{
-    std::vector<std::string> out;
-    std::size_t start = 0;
-    while (start <= list.size()) {
-        const std::size_t comma = list.find(',', start);
-        const std::string item =
-            list.substr(start, comma == std::string::npos
-                                   ? std::string::npos
-                                   : comma - start);
-        if (!item.empty())
-            out.push_back(item);
-        if (comma == std::string::npos)
-            break;
-        start = comma + 1;
-    }
-    return out;
-}
-
-std::vector<Scheme>
-parseSchemes(const std::string &list)
-{
-    if (list == "all")
-        return allSchemes();
-    std::vector<Scheme> out;
-    for (const auto &name : splitCommas(list)) {
-        const auto scheme = schemeFromName(name);
-        if (!scheme) {
-            std::fprintf(stderr, "unknown scheme '%s'\n",
-                         name.c_str());
-            std::exit(kUsageError);
-        }
-        out.push_back(*scheme);
-    }
-    return out;
 }
 
 /** Pull "--flag value" style options out of argv. */
@@ -308,11 +317,30 @@ cmdList(const OptionParser &opts)
     }
     workloads.print();
 
-    TablePrinter schemes("Scheme catalogue");
-    schemes.setHeader({"name"});
-    for (const Scheme s : allSchemes())
-        schemes.addRow({schemeName(s)});
+    TablePrinter schemes("Scheme registry");
+    schemes.setHeader({"name", "spec", "description"});
+    for (const auto &entry : SchemeRegistry::instance().entries())
+        schemes.addRow({entry.display, entry.key, entry.summary});
     schemes.print();
+
+    // Parameter docs, one line per (scheme, parameter): the sweep
+    // grammar's vocabulary. Spec strings accept any subset, e.g.
+    // acic(filter=32,update=instant).
+    std::printf("Scheme parameters (key=default [range]):\n");
+    for (const auto &entry : SchemeRegistry::instance().entries()) {
+        if (entry.params.empty())
+            continue;
+        std::printf("  %s:\n", entry.key.c_str());
+        for (const auto &param : entry.params)
+            std::printf("    %s=%s  %s  %s\n", param.key.c_str(),
+                        param.defaultText.c_str(),
+                        param.rangeText().c_str(),
+                        param.summary.c_str());
+    }
+    std::printf("\nSpec grammar: name | name(key=value,...); names "
+                "match case-insensitively\nwith '-'/'_'/' ' "
+                "interchangeable. 'acic_run sweep' expands "
+                "{a,b,c}\nvalue sets cartesianly.\n");
     return 0;
 }
 
@@ -398,22 +426,18 @@ cmdStat(const OptionParser &opts)
     return 0;
 }
 
+/**
+ * Execute a workloads x schemes matrix and print/emit results — the
+ * shared back half of `run` (schemes from --schemes) and `sweep`
+ * (schemes from an expanded --grid).
+ */
 int
-cmdRun(const OptionParser &opts)
+runMatrix(const OptionParser &opts, const char *workload_list,
+          std::vector<SchemeSpec> schemes)
 {
-    if (opts.present("--help"))
-        return usage(kRunHelp, true);
-    const char *workload_list = opts.value("--workloads");
-    const char *scheme_list = opts.value("--schemes");
-    if (!workload_list || !scheme_list) {
-        std::fprintf(stderr,
-                     "run: --workloads and --schemes are required\n");
-        return usage(kRunHelp, false);
-    }
-
     ExperimentSpec spec;
     spec.workloads = buildCatalog(opts).resolve(workload_list);
-    spec.schemes = parseSchemes(scheme_list);
+    spec.schemes = std::move(schemes);
     // The overlay tolerates missing files (so matrices can mix
     // sources on purpose), but falling back to synthesis must be
     // loud: results would otherwise be mistaken for trace replays.
@@ -432,21 +456,16 @@ cmdRun(const OptionParser &opts)
     if (const char *n = opts.value("--instructions"))
         spec.instructions = parseCount(n, "--instructions");
 
-    Scheme baseline = spec.schemes.front();
+    SchemeSpec baseline = spec.schemes.front();
     if (const char *b = opts.value("--baseline")) {
-        const auto parsed = schemeFromName(b);
-        if (!parsed) {
-            std::fprintf(stderr, "unknown scheme '%s'\n", b);
-            return kUsageError;
-        }
-        baseline = *parsed;
+        baseline = parseScheme(b);
         bool in_matrix = false;
-        for (const Scheme s : spec.schemes)
+        for (const SchemeSpec &s : spec.schemes)
             in_matrix = in_matrix || s == baseline;
         if (!in_matrix) {
             std::fprintf(stderr,
-                         "--baseline %s is not in --schemes; add it "
-                         "to the scheme list\n",
+                         "--baseline %s is not in the scheme list; "
+                         "add it\n",
                          b);
             return kUsageError;
         }
@@ -493,7 +512,7 @@ cmdRun(const OptionParser &opts)
     TablePrinter speedup_table("Speedup over " +
                                schemeName(baseline));
     std::vector<std::string> header{"workload"};
-    for (const Scheme s : spec.schemes)
+    for (const SchemeSpec &s : spec.schemes)
         header.push_back(schemeName(s));
     ipc_table.setHeader(header);
     mpki_table.setHeader(header);
@@ -556,6 +575,40 @@ cmdRun(const OptionParser &opts)
 }
 
 int
+cmdRun(const OptionParser &opts)
+{
+    if (opts.present("--help"))
+        return usage(kRunHelp, true);
+    const char *workload_list = opts.value("--workloads");
+    const char *scheme_list = opts.value("--schemes");
+    if (!workload_list || !scheme_list) {
+        std::fprintf(stderr,
+                     "run: --workloads and --schemes are required\n");
+        return usage(kRunHelp, false);
+    }
+    return runMatrix(opts, workload_list,
+                     parseSchemeList(scheme_list));
+}
+
+int
+cmdSweep(const OptionParser &opts)
+{
+    if (opts.present("--help"))
+        return usage(kSweepHelp, true);
+    const char *workload_list = opts.value("--workloads");
+    const char *grid = opts.value("--grid");
+    if (!workload_list || !grid) {
+        std::fprintf(stderr,
+                     "sweep: --grid and --workloads are required\n");
+        return usage(kSweepHelp, false);
+    }
+    std::vector<SchemeSpec> schemes = expandSchemeGrid(grid);
+    std::fprintf(stderr, "sweep: grid expands to %zu schemes\n",
+                 schemes.size());
+    return runMatrix(opts, workload_list, std::move(schemes));
+}
+
+int
 cmdHelp(int argc, char **argv)
 {
     if (argc < 3)
@@ -567,6 +620,8 @@ cmdHelp(int argc, char **argv)
         return usage(kRecordHelp, true);
     if (topic == "run")
         return usage(kRunHelp, true);
+    if (topic == "sweep")
+        return usage(kSweepHelp, true);
     if (topic == "import")
         return usage(kImportHelp, true);
     if (topic == "stat")
@@ -584,18 +639,31 @@ main(int argc, char **argv)
         return usage(kMainHelp, false);
     const OptionParser opts(argc, argv);
     const std::string command = argv[1];
-    if (command == "list")
-        return cmdList(opts);
-    if (command == "record")
-        return cmdRecord(opts);
-    if (command == "run")
-        return cmdRun(opts);
-    if (command == "import")
-        return cmdImport(opts);
-    if (command == "stat")
-        return cmdStat(opts);
-    if (command == "help" || command == "--help" || command == "-h")
-        return cmdHelp(argc, argv);
+    try {
+        if (command == "list")
+            return cmdList(opts);
+        if (command == "record")
+            return cmdRecord(opts);
+        if (command == "run")
+            return cmdRun(opts);
+        if (command == "sweep")
+            return cmdSweep(opts);
+        if (command == "import")
+            return cmdImport(opts);
+        if (command == "stat")
+            return cmdStat(opts);
+        if (command == "help" || command == "--help" ||
+            command == "-h")
+            return cmdHelp(argc, argv);
+    } catch (const SpecError &e) {
+        // Bad spec strings (unknown scheme with did-you-mean
+        // suggestions, out-of-range parameters, grid grammar).
+        std::fprintf(stderr, "%s: %s\n", command.c_str(), e.what());
+        return kUsageError;
+    } catch (const std::exception &e) {
+        std::fprintf(stderr, "%s: %s\n", command.c_str(), e.what());
+        return 1;
+    }
     std::fprintf(stderr, "unknown command '%s'\n", command.c_str());
     return usage(kMainHelp, false);
 }

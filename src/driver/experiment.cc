@@ -106,7 +106,17 @@ ExperimentDriver::run(const Observer &observer)
                         CellResult cell;
                         cell.workloadIndex = w;
                         cell.schemeIndex = s;
-                        cell.result = shared->run(spec_.schemes[s]);
+                        try {
+                            cell.result =
+                                shared->run(spec_.schemes[s]);
+                        } catch (const std::exception &e) {
+                            // Specs are pre-validated against the
+                            // default SimConfig only; a builder
+                            // rejecting the run-time config must
+                            // fail loudly, not std::terminate the
+                            // pool on an escaping exception.
+                            ACIC_FATAL(e.what());
+                        }
                         cell.hostSeconds =
                             std::chrono::duration<double>(
                                 std::chrono::steady_clock::now() -

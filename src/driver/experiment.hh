@@ -38,8 +38,13 @@ struct ExperimentSpec
      */
     std::vector<WorkloadEntry> workloads;
 
-    /** Schemes forming the columns. */
-    std::vector<Scheme> schemes;
+    /**
+     * Schemes forming the columns: validated registry specs (see
+     * sim/scheme.hh), so presets and parameterized variants mix
+     * freely in one matrix. Build with parseSchemeList() /
+     * expandSchemeGrid() or parseScheme() per entry.
+     */
+    std::vector<SchemeSpec> schemes;
 
     /** Simulator configuration shared by every cell. */
     SimConfig config{};

@@ -37,10 +37,16 @@ WorkloadContext::WorkloadContext(WorkloadParams params,
 }
 
 SimResult
-WorkloadContext::run(Scheme scheme)
+WorkloadContext::run(const SchemeSpec &scheme)
 {
     auto org = makeScheme(scheme, config_);
     return run(*org);
+}
+
+SimResult
+WorkloadContext::run(const std::string &spec)
+{
+    return run(parseScheme(spec));
 }
 
 SimResult
@@ -86,10 +92,16 @@ SharedWorkload::SharedWorkload(TraceSource &source, SimConfig config)
 }
 
 SimResult
-SharedWorkload::run(Scheme scheme) const
+SharedWorkload::run(const SchemeSpec &scheme) const
 {
     auto org = makeScheme(scheme, config_);
     return run(*org);
+}
+
+SimResult
+SharedWorkload::run(const std::string &spec) const
+{
+    return run(parseScheme(spec));
 }
 
 SimResult

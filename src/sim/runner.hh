@@ -38,8 +38,11 @@ class WorkloadContext
      */
     WorkloadContext(WorkloadParams params, SimConfig config = {});
 
-    /** Run a catalogued scheme. */
-    SimResult run(Scheme scheme);
+    /** Run a registered scheme. */
+    SimResult run(const SchemeSpec &scheme);
+
+    /** Parse-and-run convenience: any registry spec string. */
+    SimResult run(const std::string &spec);
 
     /** Run a custom organization (sensitivity sweeps). */
     SimResult run(IcacheOrg &org);
@@ -77,8 +80,11 @@ class SharedWorkload
      */
     SharedWorkload(TraceSource &source, SimConfig config = {});
 
-    /** Run a catalogued scheme. Safe to call from any thread. */
-    SimResult run(Scheme scheme) const;
+    /** Run a registered scheme. Safe to call from any thread. */
+    SimResult run(const SchemeSpec &scheme) const;
+
+    /** Parse-and-run convenience: any registry spec string. */
+    SimResult run(const std::string &spec) const;
 
     /**
      * Run a caller-owned organization. Safe to call from any thread

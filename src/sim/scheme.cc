@@ -1,6 +1,7 @@
 #include "sim/scheme.hh"
 
-#include <cctype>
+#include <algorithm>
+#include <utility>
 
 #include "bypass/dsb.hh"
 #include "bypass/obm.hh"
@@ -16,83 +17,537 @@
 namespace acic {
 
 std::string
-schemeName(Scheme scheme)
+SchemeSpec::toString() const
 {
-    switch (scheme) {
-      case Scheme::BaselineLru: return "LRU";
-      case Scheme::Srrip: return "SRRIP";
-      case Scheme::Ship: return "SHiP";
-      case Scheme::Harmony: return "Harmony";
-      case Scheme::Ghrp: return "GHRP";
-      case Scheme::Dsb: return "DSB";
-      case Scheme::Obm: return "OBM";
-      case Scheme::Vvc: return "VVC";
-      case Scheme::Vc3k: return "VC3K";
-      case Scheme::Vc8k: return "VC8K";
-      case Scheme::L1i36k: return "36KB L1i";
-      case Scheme::L1i40k: return "40KB L1i";
-      case Scheme::Opt: return "OPT";
-      case Scheme::OptBypass: return "OPT Bypass";
-      case Scheme::Acic: return "ACIC";
-      case Scheme::AcicInstant: return "ACIC (instant update)";
-      case Scheme::AlwaysInsert: return "Always insert";
-      case Scheme::IFilterOnly: return "i-Filter only";
-      case Scheme::AccessCount: return "Access count";
-      case Scheme::RandomBypass: return "Random bypass";
-      case Scheme::AcicGlobalHistory: return "ACIC global-history";
-      case Scheme::AcicBimodal: return "ACIC bimodal";
-    }
-    return "?";
-}
-
-const std::vector<Scheme> &
-allSchemes()
-{
-    static const std::vector<Scheme> catalogue = {
-        Scheme::BaselineLru,  Scheme::Srrip,
-        Scheme::Ship,         Scheme::Harmony,
-        Scheme::Ghrp,         Scheme::Dsb,
-        Scheme::Obm,          Scheme::Vvc,
-        Scheme::Vc3k,         Scheme::Vc8k,
-        Scheme::L1i36k,       Scheme::L1i40k,
-        Scheme::Opt,          Scheme::OptBypass,
-        Scheme::Acic,         Scheme::AcicInstant,
-        Scheme::AlwaysInsert, Scheme::IFilterOnly,
-        Scheme::AccessCount,  Scheme::RandomBypass,
-        Scheme::AcicGlobalHistory,
-        Scheme::AcicBimodal,
-    };
-    return catalogue;
+    KvSpec kv;
+    kv.name = key;
+    kv.params = params;
+    return kv.toString();
 }
 
 namespace {
 
-/** Lower-case and collapse '_'/'-' to spaces for lenient matching. */
-std::string
-canonicalName(const std::string &name)
+/** PlainIcache builder for the parameterless replacement schemes. */
+template <typename Policy>
+SchemeRegistry::Builder
+plainBuilder()
 {
-    std::string out;
-    out.reserve(name.size());
-    for (const char c : name) {
-        if (c == '_' || c == '-')
-            out.push_back(' ');
-        else
-            out.push_back(static_cast<char>(
-                std::tolower(static_cast<unsigned char>(c))));
+    return [](const SimConfig &config, ParamReader &,
+              const std::string &display) {
+        return std::make_unique<PlainIcache>(
+            config.l1iSets, config.l1iWays,
+            std::make_unique<Policy>(), display);
+    };
+}
+
+/** LRU i-cache with optional capacity override (kb= or ways=). */
+std::unique_ptr<IcacheOrg>
+buildLru(const SimConfig &config, ParamReader &p,
+         const std::string &display)
+{
+    std::uint32_t ways = config.l1iWays;
+    if (p.given("kb") && p.given("ways"))
+        throw SpecError("lru: give kb or ways, not both");
+    if (p.given("ways")) {
+        ways = static_cast<std::uint32_t>(p.count("ways", ways));
+    } else if (p.given("kb")) {
+        const std::uint64_t kb = p.count("kb", 32);
+        const std::uint64_t way_bytes = config.l1iSets * 64ull;
+        if ((kb * 1024) % way_bytes != 0)
+            throw SpecError(
+                "lru: kb=" + std::to_string(kb) +
+                " is not a whole number of ways (" +
+                std::to_string(config.l1iSets) +
+                " sets of 64 B blocks need a multiple of " +
+                std::to_string(way_bytes / 1024) + " KB)");
+        ways = static_cast<std::uint32_t>(kb * 1024 / way_bytes);
     }
+    return std::make_unique<PlainIcache>(
+        config.l1iSets, ways, std::make_unique<LruPolicy>(),
+        display);
+}
+
+/** Fixed-geometry LRU variants (the Table IV capacity rows). */
+SchemeRegistry::Builder
+largerLruBuilder(std::uint32_t ways)
+{
+    return [ways](const SimConfig &config, ParamReader &,
+                  const std::string &display) {
+        return std::make_unique<PlainIcache>(
+            config.l1iSets, ways, std::make_unique<LruPolicy>(),
+            display);
+    };
+}
+
+/** LRU i-cache behind a bypass policy (DSB/OBM). */
+template <typename Bypass>
+SchemeRegistry::Builder
+bypassBuilder()
+{
+    return [](const SimConfig &config, ParamReader &,
+              const std::string &display) {
+        return std::make_unique<PlainIcache>(
+            config.l1iSets, config.l1iWays,
+            std::make_unique<LruPolicy>(), display,
+            std::make_unique<Bypass>());
+    };
+}
+
+/** LRU i-cache with a victim cache (VC3K/VC8K presets). */
+SchemeRegistry::Builder
+victimCacheBuilder(bool vc8k)
+{
+    return [vc8k](const SimConfig &config, ParamReader &,
+                  const std::string &display) {
+        return std::make_unique<PlainIcache>(
+            config.l1iSets, config.l1iWays,
+            std::make_unique<LruPolicy>(), display, nullptr,
+            std::make_unique<VictimCache>(vc8k
+                                              ? VictimCache::vc8k()
+                                              : VictimCache::vc3k()));
+    };
+}
+
+/** Shared docs for the i-Filter size knob of the filtered family. */
+ParamSpec
+filterParam()
+{
+    return ParamSpec::count("filter", "16", 1, 1024,
+                            "i-Filter entries (fully associative)");
+}
+
+/** FilteredIcache around a fixed admission-controller factory. */
+SchemeRegistry::Builder
+filteredBuilder(
+    std::function<std::unique_ptr<AdmissionController>(ParamReader &)>
+        make_admission)
+{
+    return [make_admission = std::move(make_admission)](
+               const SimConfig &config, ParamReader &p,
+               const std::string &display) {
+        FilteredIcache::Config fc;
+        fc.filterEntries =
+            static_cast<std::uint32_t>(p.count("filter", 16));
+        fc.icacheSets = config.l1iSets;
+        fc.icacheWays = config.l1iWays;
+        fc.trackAccuracy = true;
+        return std::make_unique<FilteredIcache>(fc, make_admission(p),
+                                                display);
+    };
+}
+
+/** Parameter table of the ACIC family (Fig. 15/17 axes). */
+std::vector<ParamSpec>
+acicParams(const char *update_def, const char *predictor_def)
+{
+    return {
+        filterParam(),
+        ParamSpec::count("hrt", "1024", 1, 1u << 20,
+                         "HRT (history register table) entries"),
+        ParamSpec::count("history", "4", 1, 16,
+                         "history register bits (PT has 2^history "
+                         "entries)"),
+        ParamSpec::count("counter", "5", 1, 16,
+                         "PT saturating-counter bits"),
+        ParamSpec::count("queue", "10", 1, 64,
+                         "update-queue slots per PT entry"),
+        ParamSpec::keyword("update", update_def,
+                           {"pipelined", "instant"},
+                           "predictor update timing (Fig. 14)"),
+        ParamSpec::keyword("predictor", predictor_def,
+                           {"two_level", "global_history", "bimodal"},
+                           "predictor organization (Fig. 17)"),
+        ParamSpec::count("cshr", "256", 1, 65536, "CSHR entries"),
+        ParamSpec::count("cshr_sets", "8", 1, 4096,
+                         "CSHR sets (power of two; default follows "
+                         "cshr when smaller than 8)"),
+        ParamSpec::count("tag", "12", 4, 30,
+                         "CSHR partial-tag bits"),
+        ParamSpec::integer("threshold", "0", -16, 16,
+                           "admit-threshold offset from mid-scale"),
+    };
+}
+
+/** ACIC family builder with per-preset predictor/update defaults. */
+SchemeRegistry::Builder
+acicBuilder(PredictorKind kind_def, bool instant_def)
+{
+    return [kind_def, instant_def](const SimConfig &config,
+                                   ParamReader &p,
+                                   const std::string &display) {
+        PredictorConfig pc;
+        pc.kind = kind_def;
+        // Keyword values come back canonicalized ('_' -> ' ').
+        const std::string kind = p.keyword(
+            "predictor", kind_def == PredictorKind::GlobalHistory
+                             ? "global history"
+                             : kind_def == PredictorKind::Bimodal
+                                   ? "bimodal"
+                                   : "two level");
+        if (kind == "global history")
+            pc.kind = PredictorKind::GlobalHistory;
+        else if (kind == "bimodal")
+            pc.kind = PredictorKind::Bimodal;
+        else
+            pc.kind = PredictorKind::TwoLevel;
+        pc.hrtEntries =
+            static_cast<std::uint32_t>(p.count("hrt", pc.hrtEntries));
+        pc.historyBits =
+            static_cast<unsigned>(p.count("history", pc.historyBits));
+        pc.counterBits =
+            static_cast<unsigned>(p.count("counter", pc.counterBits));
+        pc.updateQueueSlots = static_cast<unsigned>(
+            p.count("queue", pc.updateQueueSlots));
+        pc.instantUpdate =
+            p.keyword("update",
+                      instant_def ? "instant" : "pipelined") ==
+            "instant";
+        pc.thresholdDelta = static_cast<int>(
+            p.integer("threshold", pc.thresholdDelta));
+
+        CshrConfig cc;
+        cc.entries =
+            static_cast<std::uint32_t>(p.count("cshr", cc.entries));
+        // Small CSHRs shrink the set count with them so one entry
+        // per set stays buildable without an explicit cshr_sets.
+        const bool sets_given = p.given("cshr_sets");
+        const std::uint32_t sets_def =
+            std::min<std::uint32_t>(cc.sets, cc.entries);
+        cc.sets = static_cast<std::uint32_t>(
+            p.count("cshr_sets", sets_def));
+        cc.tagBits =
+            static_cast<unsigned>(p.count("tag", cc.tagBits));
+        if ((cc.sets & (cc.sets - 1)) != 0) {
+            // Blame the knob the user actually set: a non-power-of-
+            // two set count can come from an auto-derived cshr.
+            if (sets_given)
+                throw SpecError(p.subject() + ": cshr_sets=" +
+                                std::to_string(cc.sets) +
+                                " must be a power of two");
+            throw SpecError(
+                p.subject() + ": cshr=" +
+                std::to_string(cc.entries) +
+                " implies a non-power-of-two set count (" +
+                std::to_string(cc.sets) +
+                "); use a power-of-two cshr or give cshr_sets");
+        }
+        if (cc.entries % cc.sets != 0)
+            throw SpecError(p.subject() + ": cshr=" +
+                            std::to_string(cc.entries) +
+                            " must be a multiple of cshr_sets=" +
+                            std::to_string(cc.sets));
+
+        return makeAcicOrg(
+            config, pc, cc,
+            static_cast<std::uint32_t>(p.count("filter", 16)), true,
+            display);
+    };
+}
+
+/** The paper's preset catalogue, in Table IV / legacy enum order. */
+std::vector<SchemeRegistry::Entry>
+builtinEntries()
+{
+    std::vector<SchemeRegistry::Entry> out;
+    const auto add = [&out](SchemeRegistry::Entry e) {
+        out.push_back(std::move(e));
+    };
+
+    add({"lru", "LRU",
+         "32 KB 8-way LRU i-cache (the speedup denominator)",
+         {"baseline", "baseline_lru"},
+         {ParamSpec::count("kb", "32", 4, 4096,
+                           "total capacity in KB (whole ways)"),
+          ParamSpec::count("ways", "8", 1, 128, "associativity")},
+         buildLru});
+    add({"srrip", "SRRIP", "static re-reference interval prediction",
+         {}, {}, plainBuilder<SrripPolicy>()});
+    add({"ship", "SHiP", "signature-based hit prediction", {}, {},
+         plainBuilder<ShipPolicy>()});
+    add({"harmony", "Harmony", "Hawkeye/Harmony (OPTgen-trained)",
+         {"hawkeye"}, {}, plainBuilder<HawkeyePolicy>()});
+    add({"ghrp", "GHRP", "global history reuse prediction", {}, {},
+         plainBuilder<GhrpPolicy>()});
+    add({"dsb", "DSB", "dead-block-style selective bypass", {}, {},
+         bypassBuilder<DsbBypass>()});
+    add({"obm", "OBM", "optimal bypass monitor", {}, {},
+         bypassBuilder<ObmBypass>()});
+    add({"vvc", "VVC", "virtual victim cache", {}, {},
+         [](const SimConfig &config, ParamReader &,
+            const std::string &) {
+             return std::make_unique<VvcOrg>(config.l1iSets,
+                                             config.l1iWays);
+         }});
+    add({"vc3k", "VC3K", "3 KB fully-associative victim cache", {},
+         {}, victimCacheBuilder(false)});
+    add({"vc8k", "VC8K", "8 KB 4-way victim cache", {}, {},
+         victimCacheBuilder(true)});
+    add({"l1i36k", "36KB L1i", "36 KB 9-way LRU i-cache",
+         {"36kb"}, {}, largerLruBuilder(9)});
+    add({"l1i40k", "40KB L1i", "40 KB 10-way LRU i-cache (Table IV)",
+         {"40kb"}, {}, largerLruBuilder(10)});
+    add({"opt", "OPT", "Belady replacement (oracle)", {"belady"}, {},
+         plainBuilder<OptPolicy>()});
+    add({"opt_bypass", "OPT Bypass",
+         "i-Filter + oracle admission",
+         {},
+         {filterParam()},
+         filteredBuilder([](ParamReader &) {
+             return std::make_unique<OptAdmission>();
+         })});
+    add({"acic", "ACIC",
+         "the contribution (default Table I configuration)",
+         {},
+         acicParams("pipelined", "two_level"),
+         acicBuilder(PredictorKind::TwoLevel, false)});
+    add({"acic_instant", "ACIC (instant update)",
+         "ACIC with instant predictor update (Fig. 14)",
+         {},
+         acicParams("instant", "two_level"),
+         acicBuilder(PredictorKind::TwoLevel, true)});
+    add({"always_insert", "Always insert",
+         "i-Filter, every victim admitted (Fig. 3a)",
+         {},
+         {filterParam()},
+         filteredBuilder([](ParamReader &) {
+             return std::make_unique<AlwaysAdmit>();
+         })});
+    add({"ifilter_only", "i-Filter only",
+         "i-Filter, no admission (Fig. 17)",
+         {"i_filter_only"},
+         {filterParam()},
+         filteredBuilder([](ParamReader &) {
+             return std::make_unique<NeverAdmit>();
+         })});
+    add({"access_count", "Access count",
+         "i-Filter + access-count comparison (Fig. 3a)",
+         {},
+         {filterParam(),
+          ParamSpec::count("entries", "16384", 1, 1u << 24,
+                           "access-counter table entries"),
+          ParamSpec::count("counter", "6", 1, 16,
+                           "access-counter bits")},
+         filteredBuilder([](ParamReader &p) {
+             return std::make_unique<AccessCountAdmission>(
+                 static_cast<std::size_t>(
+                     p.count("entries", 1u << 14)),
+                 static_cast<unsigned>(p.count("counter", 6)));
+         })});
+    add({"random_bypass", "Random bypass",
+         "i-Filter + random admission (Fig. 12b)",
+         {},
+         {filterParam(),
+          ParamSpec::real("rate", "0.6", 0.0, 1.0,
+                          "admission probability")},
+         filteredBuilder([](ParamReader &p) {
+             return std::make_unique<RandomAdmission>(
+                 p.real("rate", 0.6));
+         })});
+    add({"acic_global_history", "ACIC global-history",
+         "Fig. 17 ablation: single global history register",
+         {},
+         acicParams("pipelined", "global_history"),
+         acicBuilder(PredictorKind::GlobalHistory, false)});
+    add({"acic_bimodal", "ACIC bimodal",
+         "Fig. 17 ablation: PT indexed directly by the tag hash",
+         {},
+         acicParams("pipelined", "bimodal"),
+         acicBuilder(PredictorKind::Bimodal, false)});
     return out;
 }
 
 } // namespace
 
-std::optional<Scheme>
+SchemeRegistry &
+SchemeRegistry::instance()
+{
+    static SchemeRegistry registry;
+    static bool seeded = [] {
+        for (auto &entry : builtinEntries())
+            registry.add(std::move(entry));
+        return true;
+    }();
+    (void)seeded;
+    return registry;
+}
+
+void
+SchemeRegistry::add(Entry entry)
+{
+    ACIC_ASSERT(!entry.key.empty() && entry.builder,
+                "scheme registration needs a key and a builder");
+    for (Entry &existing : entries_) {
+        if (existing.key == entry.key) {
+            existing = std::move(entry);
+            return;
+        }
+    }
+    entries_.push_back(std::move(entry));
+}
+
+const SchemeRegistry::Entry *
+SchemeRegistry::find(const std::string &name) const
+{
+    const std::string wanted = canonicalToken(name);
+    if (wanted.empty())
+        return nullptr;
+    for (const Entry &entry : entries_) {
+        if (canonicalToken(entry.key) == wanted ||
+            canonicalToken(entry.display) == wanted)
+            return &entry;
+        for (const std::string &alias : entry.aliases)
+            if (canonicalToken(alias) == wanted)
+                return &entry;
+    }
+    return nullptr;
+}
+
+std::vector<std::string>
+SchemeRegistry::suggest(const std::string &name,
+                        std::size_t max_hits) const
+{
+    const std::string wanted = canonicalToken(name);
+    const std::size_t cutoff =
+        std::max<std::size_t>(2, wanted.size() / 3);
+
+    std::vector<std::pair<std::size_t, std::string>> scored;
+    for (const Entry &entry : entries_) {
+        std::size_t best =
+            editDistance(wanted, canonicalToken(entry.key));
+        best = std::min(
+            best, editDistance(wanted, canonicalToken(entry.display)));
+        for (const std::string &alias : entry.aliases)
+            best = std::min(
+                best, editDistance(wanted, canonicalToken(alias)));
+        if (best <= cutoff)
+            scored.emplace_back(best, entry.key);
+    }
+    std::stable_sort(scored.begin(), scored.end(),
+                     [](const auto &a, const auto &b) {
+                         return a.first < b.first;
+                     });
+    std::vector<std::string> out;
+    for (const auto &[dist, key] : scored) {
+        (void)dist;
+        if (out.size() >= max_hits)
+            break;
+        out.push_back(key);
+    }
+    return out;
+}
+
+SchemeSpec
+SchemeRegistry::parse(const std::string &text) const
+{
+    // Whole-string lenient lookup first, so legacy display names
+    // containing spaces or parens ("ACIC (instant update)") keep
+    // resolving as bare presets.
+    if (const Entry *entry = find(text))
+        return SchemeSpec{entry->key, {}, entry->display};
+
+    const KvSpec kv = parseKvSpec(text);
+    const Entry *entry = find(kv.name);
+    if (!entry) {
+        std::string msg = "unknown scheme '" + kv.name + "'";
+        const auto hits = suggest(kv.name);
+        if (!hits.empty()) {
+            msg += "; did you mean ";
+            for (std::size_t i = 0; i < hits.size(); ++i)
+                msg += (i ? ", " : "") + hits[i];
+            msg += "?";
+        }
+        throw SpecError(msg);
+    }
+    if (hasValueSets(kv))
+        throw SpecError("'" + text + "': value sets {a,b,...} are "
+                        "only expanded by sweep grids (acic_run "
+                        "sweep --grid)");
+
+    SchemeSpec spec;
+    spec.key = entry->key;
+    spec.params = kv.params;
+    spec.display =
+        kv.params.empty() ? entry->display : spec.toString();
+    // Full validation now (ranges via ParamReader, cross-parameter
+    // checks inside the builder) so errors surface at parse time,
+    // before any workload is prepared.
+    build(spec, SimConfig{});
+    return spec;
+}
+
+std::unique_ptr<IcacheOrg>
+SchemeRegistry::build(const SchemeSpec &spec,
+                      const SimConfig &config) const
+{
+    const Entry *entry = nullptr;
+    for (const Entry &e : entries_)
+        if (e.key == spec.key) {
+            entry = &e;
+            break;
+        }
+    if (!entry)
+        throw SpecError("unknown scheme '" + spec.key + "'");
+    ParamReader reader(entry->key, entry->params, spec.params);
+    return entry->builder(config, reader, spec.display);
+}
+
+SchemeSpec
+parseScheme(const std::string &text)
+{
+    return SchemeRegistry::instance().parse(text);
+}
+
+std::optional<SchemeSpec>
 schemeFromName(const std::string &name)
 {
-    const std::string wanted = canonicalName(name);
-    for (const Scheme s : allSchemes())
-        if (canonicalName(schemeName(s)) == wanted)
-            return s;
-    return std::nullopt;
+    try {
+        return SchemeRegistry::instance().parse(name);
+    } catch (const SpecError &) {
+        return std::nullopt;
+    }
+}
+
+std::vector<SchemeSpec>
+parseSchemeList(const std::string &list)
+{
+    if (canonicalToken(list) == "all")
+        return allSchemes();
+    std::vector<SchemeSpec> out;
+    for (const std::string &item : splitTopLevel(list))
+        out.push_back(parseScheme(item));
+    if (out.empty())
+        throw SpecError("empty scheme list");
+    return out;
+}
+
+std::vector<SchemeSpec>
+expandSchemeGrid(const std::string &grid)
+{
+    std::vector<SchemeSpec> out;
+    for (const std::string &item : splitTopLevel(grid)) {
+        const KvSpec kv = parseKvSpec(item);
+        for (const KvSpec &concrete : expandValueSets(kv))
+            out.push_back(parseScheme(concrete.toString()));
+    }
+    if (out.empty())
+        throw SpecError("empty sweep grid");
+    return out;
+}
+
+std::vector<SchemeSpec>
+allSchemes()
+{
+    std::vector<SchemeSpec> out;
+    for (const auto &entry : SchemeRegistry::instance().entries())
+        if (entry.listed)
+            out.push_back(SchemeSpec{entry.key, {}, entry.display});
+    return out;
+}
+
+std::unique_ptr<IcacheOrg>
+makeScheme(const SchemeSpec &spec, const SimConfig &config)
+{
+    return SchemeRegistry::instance().build(spec, config);
 }
 
 std::unique_ptr<FilteredIcache>
@@ -113,115 +568,6 @@ makeAcicOrg(const SimConfig &config, PredictorConfig predictor,
         std::make_unique<AcicAdmission>(predictor, cshr);
     return std::make_unique<FilteredIcache>(
         fc, std::move(admission), std::move(display_name));
-}
-
-namespace {
-
-std::unique_ptr<FilteredIcache>
-makeFiltered(const SimConfig &config,
-             std::unique_ptr<AdmissionController> admission,
-             std::string name, bool track_accuracy = true)
-{
-    FilteredIcache::Config fc;
-    fc.filterEntries = 16;
-    fc.icacheSets = config.l1iSets;
-    fc.icacheWays = config.l1iWays;
-    fc.trackAccuracy = track_accuracy;
-    return std::make_unique<FilteredIcache>(fc, std::move(admission),
-                                            std::move(name));
-}
-
-} // namespace
-
-std::unique_ptr<IcacheOrg>
-makeScheme(Scheme scheme, const SimConfig &config)
-{
-    const std::uint32_t sets = config.l1iSets;
-    const std::uint32_t ways = config.l1iWays;
-    switch (scheme) {
-      case Scheme::BaselineLru:
-        return std::make_unique<PlainIcache>(
-            sets, ways, std::make_unique<LruPolicy>(), "LRU");
-      case Scheme::Srrip:
-        return std::make_unique<PlainIcache>(
-            sets, ways, std::make_unique<SrripPolicy>(), "SRRIP");
-      case Scheme::Ship:
-        return std::make_unique<PlainIcache>(
-            sets, ways, std::make_unique<ShipPolicy>(), "SHiP");
-      case Scheme::Harmony:
-        return std::make_unique<PlainIcache>(
-            sets, ways, std::make_unique<HawkeyePolicy>(), "Harmony");
-      case Scheme::Ghrp:
-        return std::make_unique<PlainIcache>(
-            sets, ways, std::make_unique<GhrpPolicy>(), "GHRP");
-      case Scheme::Dsb:
-        return std::make_unique<PlainIcache>(
-            sets, ways, std::make_unique<LruPolicy>(), "DSB",
-            std::make_unique<DsbBypass>());
-      case Scheme::Obm:
-        return std::make_unique<PlainIcache>(
-            sets, ways, std::make_unique<LruPolicy>(), "OBM",
-            std::make_unique<ObmBypass>());
-      case Scheme::Vvc:
-        return std::make_unique<VvcOrg>(sets, ways);
-      case Scheme::Vc3k:
-        return std::make_unique<PlainIcache>(
-            sets, ways, std::make_unique<LruPolicy>(), "VC3K",
-            nullptr,
-            std::make_unique<VictimCache>(VictimCache::vc3k()));
-      case Scheme::Vc8k:
-        return std::make_unique<PlainIcache>(
-            sets, ways, std::make_unique<LruPolicy>(), "VC8K",
-            nullptr,
-            std::make_unique<VictimCache>(VictimCache::vc8k()));
-      case Scheme::L1i36k:
-        return std::make_unique<PlainIcache>(
-            sets, 9, std::make_unique<LruPolicy>(), "36KB L1i");
-      case Scheme::L1i40k:
-        return std::make_unique<PlainIcache>(
-            sets, 10, std::make_unique<LruPolicy>(), "40KB L1i");
-      case Scheme::Opt:
-        return std::make_unique<PlainIcache>(
-            sets, ways, std::make_unique<OptPolicy>(), "OPT");
-      case Scheme::OptBypass:
-        return makeFiltered(config, std::make_unique<OptAdmission>(),
-                            "OPT Bypass");
-      case Scheme::Acic:
-        return makeAcicOrg(config, PredictorConfig{}, CshrConfig{});
-      case Scheme::AcicInstant: {
-        PredictorConfig pc;
-        pc.instantUpdate = true;
-        return makeAcicOrg(config, pc, CshrConfig{}, 16, true,
-                           schemeName(Scheme::AcicInstant));
-      }
-      case Scheme::AlwaysInsert:
-        return makeFiltered(config, std::make_unique<AlwaysAdmit>(),
-                            "Always insert");
-      case Scheme::IFilterOnly:
-        return makeFiltered(config, std::make_unique<NeverAdmit>(),
-                            "i-Filter only");
-      case Scheme::AccessCount:
-        return makeFiltered(config,
-                            std::make_unique<AccessCountAdmission>(),
-                            "Access count");
-      case Scheme::RandomBypass:
-        return makeFiltered(config,
-                            std::make_unique<RandomAdmission>(0.6),
-                            "Random bypass");
-      case Scheme::AcicGlobalHistory: {
-        PredictorConfig pc;
-        pc.kind = PredictorKind::GlobalHistory;
-        return makeAcicOrg(config, pc, CshrConfig{}, 16, true,
-                           schemeName(Scheme::AcicGlobalHistory));
-      }
-      case Scheme::AcicBimodal: {
-        PredictorConfig pc;
-        pc.kind = PredictorKind::Bimodal;
-        return makeAcicOrg(config, pc, CshrConfig{}, 16, true,
-                           schemeName(Scheme::AcicBimodal));
-      }
-    }
-    ACIC_PANIC("unknown scheme");
 }
 
 } // namespace acic

@@ -1,19 +1,37 @@
 /**
  * @file
- * The scheme catalogue: every L1i management strategy the paper
- * evaluates (Table IV plus the motivation/ablation variants), and a
- * factory building the corresponding IcacheOrg.
+ * The scheme registry: an open, string-keyed catalogue of L1i
+ * organization builders. Every experiment row names a spec string —
+ * a bare preset ("acic", "srrip", "36KB L1i") or a parameterized
+ * form ("acic(filter=32,cshr=8,update=instant)", "lru(kb=40)") —
+ * and the registry parses, validates, and builds the corresponding
+ * IcacheOrg. The paper's 22 evaluated schemes (Table IV plus the
+ * motivation/ablation variants) ship as registered presets whose
+ * bare spellings keep their legacy display names, so existing spec
+ * files, CSV headers, and CLI invocations keep working; new schemes
+ * and sweeps land as data (a registration), not as code (an enum
+ * case).
+ *
+ * Spec grammar (DESIGN.md section 6):
+ *   list  := spec (',' spec)*          -- top-level commas
+ *   spec  := name [ '(' param (',' param)* ')' ]
+ *   param := key '=' value
+ *   value := scalar | '{' scalar (',' scalar)* '}'   -- sweep grids
+ * Names match leniently: case-insensitive, '-'/'_'/' '
+ * interchangeable, legacy display names accepted as aliases.
  */
 
 #ifndef ACIC_SIM_SCHEME_HH
 #define ACIC_SIM_SCHEME_HH
 
+#include <functional>
 #include <memory>
 #include <optional>
 #include <string>
 #include <vector>
 
 #include "cache/icache_org.hh"
+#include "common/kv_spec.hh"
 #include "core/admission_predictor.hh"
 #include "core/cshr.hh"
 #include "core/filtered_icache.hh"
@@ -21,52 +39,152 @@
 
 namespace acic {
 
-/** Every evaluated L1i scheme. */
-enum class Scheme
+/**
+ * A validated, buildable scheme instance: canonical registry key plus
+ * the explicitly-given parameters. Produced by SchemeRegistry::parse
+ * (or the parseScheme free function); value-semantic and cheap to
+ * copy, so ExperimentSpec rows carry it directly.
+ */
+struct SchemeSpec
 {
-    BaselineLru,  ///< 32 KB 8-way LRU (the speedup denominator)
-    Srrip,
-    Ship,
-    Harmony,      ///< Hawkeye/Harmony
-    Ghrp,
-    Dsb,
-    Obm,
-    Vvc,
-    Vc3k,
-    Vc8k,
-    L1i36k,       ///< 36 KB 9-way
-    L1i40k,       ///< 40 KB 10-way (Table IV variant)
-    Opt,          ///< Belady replacement (oracle)
-    OptBypass,    ///< i-Filter + oracle admission
-    Acic,         ///< the contribution (default Table I config)
-    AcicInstant,  ///< ACIC with instant predictor update (Fig. 14)
-    AlwaysInsert, ///< i-Filter, every victim admitted (Fig. 3a)
-    IFilterOnly,  ///< i-Filter, no admission (Fig. 17)
-    AccessCount,  ///< i-Filter + access-count comparison (Fig. 3a)
-    RandomBypass, ///< i-Filter + 60% random admission (Fig. 12b)
-    AcicGlobalHistory, ///< Fig. 17 ablation
-    AcicBimodal,       ///< Fig. 17 ablation
+    /** Canonical registry key, e.g. "acic", "opt_bypass". */
+    std::string key;
+
+    /** Explicit parameters, validated, in the order given. */
+    std::vector<KvPair> params;
+
+    /**
+     * Table/CSV label: the legacy display name for a bare preset
+     * ("ACIC", "36KB L1i"), the canonical spec text when parameters
+     * were given ("acic(filter=32)").
+     */
+    std::string display;
+
+    /** Canonical spec text; parseScheme(toString()) == *this. */
+    std::string toString() const;
+
+    bool operator==(const SchemeSpec &o) const
+    {
+        return key == o.key && params == o.params;
+    }
+    bool operator!=(const SchemeSpec &o) const { return !(*this == o); }
 };
 
-/** Display name used in bench tables (matches the paper's labels). */
-std::string schemeName(Scheme scheme);
+/** See file comment. */
+class SchemeRegistry
+{
+  public:
+    /**
+     * Organization factory: @p reader holds the validated parameter
+     * list, @p display the label the built org should report.
+     */
+    using Builder = std::function<std::unique_ptr<IcacheOrg>(
+        const SimConfig &config, ParamReader &reader,
+        const std::string &display)>;
 
-/** Every catalogued scheme, in enum order. */
-const std::vector<Scheme> &allSchemes();
+    /** One registered scheme. */
+    struct Entry
+    {
+        /** Canonical key ("acic_instant"). */
+        std::string key;
+        /** Legacy display name for the bare spelling. */
+        std::string display;
+        /** One-line description for `acic_run list`. */
+        std::string summary;
+        /** Extra accepted spellings (beyond key and display). */
+        std::vector<std::string> aliases;
+        /** Accepted parameters, with ranges and docs. */
+        std::vector<ParamSpec> params;
+        Builder builder;
+        /**
+         * Include in allSchemes() / "--schemes all". Default on;
+         * turn off for experimental registrations that should be
+         * addressable by name without widening golden "all" runs.
+         */
+        bool listed = true;
+    };
+
+    /** Process-wide registry, pre-seeded with the paper's presets. */
+    static SchemeRegistry &instance();
+
+    /** Register @p entry; a same-key entry is replaced in place. */
+    void add(Entry entry);
+
+    /** Every registered scheme, in registration (paper) order. */
+    const std::vector<Entry> &entries() const { return entries_; }
+
+    /**
+     * Lenient lookup by key, display name, or alias ('-'/'_'/case
+     * folding). Null when nothing matches.
+     */
+    const Entry *find(const std::string &name) const;
+
+    /** Closest registered names to @p name (near-miss suggestions). */
+    std::vector<std::string> suggest(const std::string &name,
+                                     std::size_t max_hits = 3) const;
+
+    /**
+     * Parse and fully validate one spec string (builds the org once
+     * against a default SimConfig to run cross-parameter checks).
+     * Throws SpecError — with did-you-mean suggestions on an unknown
+     * name.
+     */
+    SchemeSpec parse(const std::string &text) const;
+
+    /** Build the organization for a validated spec. */
+    std::unique_ptr<IcacheOrg> build(const SchemeSpec &spec,
+                                     const SimConfig &config) const;
+
+  private:
+    std::vector<Entry> entries_;
+};
+
+/** SchemeRegistry::instance().parse — throws SpecError. */
+SchemeSpec parseScheme(const std::string &text);
 
 /**
- * Inverse of schemeName, for CLI/spec parsing. Case-insensitive and
- * tolerant of '_'/'-' standing in for spaces.
+ * Lenient, non-throwing spec lookup (legacy schemeFromName
+ * semantics: '-'/'_'/case folding, display-name aliases). Accepts
+ * full parameterized specs too; nullopt on any error.
  */
-std::optional<Scheme> schemeFromName(const std::string &name);
+std::optional<SchemeSpec> schemeFromName(const std::string &name);
 
-/** Build the organization for @p scheme under @p config. */
-std::unique_ptr<IcacheOrg> makeScheme(Scheme scheme,
+/**
+ * Resolve a CLI scheme list: "all" (every registered preset, paper
+ * order) or comma-separated specs (commas inside parens/braces do
+ * not split). Throws SpecError.
+ */
+std::vector<SchemeSpec> parseSchemeList(const std::string &list);
+
+/**
+ * Expand a sweep grid — specs whose values may be {a,b,c} sets —
+ * into the cartesian list of concrete schemes, leftmost set varying
+ * slowest. Throws SpecError.
+ */
+std::vector<SchemeSpec> expandSchemeGrid(const std::string &grid);
+
+/**
+ * Every listed scheme as a bare preset spec, in registration (paper)
+ * order. Computed from the live registry on each call, so runtime
+ * add()/replacements are reflected immediately.
+ */
+std::vector<SchemeSpec> allSchemes();
+
+/** Display name used in bench tables (matches the paper's labels). */
+inline const std::string &
+schemeName(const SchemeSpec &spec)
+{
+    return spec.display;
+}
+
+/** Build the organization for @p spec under @p config. */
+std::unique_ptr<IcacheOrg> makeScheme(const SchemeSpec &spec,
                                       const SimConfig &config);
 
 /**
- * Build an ACIC organization with explicit structure parameters
- * (Fig. 15 sensitivity sweeps).
+ * Build an ACIC organization with explicit structure parameters (the
+ * primitive behind the registry's acic* builders; also used directly
+ * by instrumentation-heavy benches).
  */
 std::unique_ptr<FilteredIcache>
 makeAcicOrg(const SimConfig &config, PredictorConfig predictor,

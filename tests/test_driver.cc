@@ -32,8 +32,7 @@ smallSpec(unsigned threads)
     spec.workloads = {Workloads::byName("web_search"),
                       Workloads::byName("media_streaming"),
                       Workloads::byName("tpcc")};
-    spec.schemes = {Scheme::BaselineLru, Scheme::Srrip, Scheme::Acic,
-                    Scheme::Opt};
+    spec.schemes = parseSchemeList("lru,srrip,acic,opt");
     spec.instructions = 40'000;
     spec.threads = threads;
     return spec;
@@ -114,8 +113,7 @@ TEST(SharedWorkload, MatchesSerialWorkloadContext)
 
     WorkloadContext serial(params);
     SharedWorkload shared(params);
-    for (const Scheme s :
-         {Scheme::BaselineLru, Scheme::Acic, Scheme::Opt})
+    for (const char *s : {"lru", "acic", "opt"})
         expectSameResult(serial.run(s), shared.run(s));
 }
 
@@ -124,14 +122,14 @@ TEST(SharedWorkload, ConcurrentRunsAreIndependent)
     auto params = Workloads::byName("tpcc");
     params.instructions = 40'000;
     const SharedWorkload shared(params);
-    const SimResult expected = shared.run(Scheme::Acic);
+    const SimResult expected = shared.run("acic");
 
     std::vector<SimResult> results(8);
     {
         ThreadPool pool(4);
         for (auto &slot : results)
             pool.submit(
-                [&shared, &slot] { slot = shared.run(Scheme::Acic); });
+                [&shared, &slot] { slot = shared.run("acic"); });
         pool.wait();
     }
     for (const auto &r : results)
@@ -207,7 +205,7 @@ TEST(Driver, ExplicitInstructionsBeatEnvOverride)
 {
     ExperimentSpec spec;
     spec.workloads = {Workloads::byName("tpcc")};
-    spec.schemes = {Scheme::BaselineLru};
+    spec.schemes = {parseScheme("lru")};
     spec.threads = 1;
 
     // Explicit spec override outranks the env var...
@@ -229,7 +227,7 @@ TEST(Emitters, CsvIsParseable)
 {
     auto spec = smallSpec(2);
     spec.workloads.resize(2);
-    spec.schemes = {Scheme::BaselineLru, Scheme::Acic};
+    spec.schemes = parseSchemeList("lru,acic");
     ExperimentDriver driver(spec);
     const auto cells = driver.run();
 
@@ -250,7 +248,7 @@ TEST(Emitters, JsonIsStructurallyValid)
 {
     auto spec = smallSpec(2);
     spec.workloads.resize(1);
-    spec.schemes = {Scheme::BaselineLru, Scheme::Acic};
+    spec.schemes = parseSchemeList("lru,acic");
     ExperimentDriver driver(spec);
     const auto cells = driver.run();
 
@@ -298,7 +296,7 @@ TEST(Emitters, CsvQuotesAwkwardWorkloadNames)
     auto params = Workloads::byName("tpcc");
     params.name = "we,ird \"name\"";
     spec.workloads = {params};
-    spec.schemes = {Scheme::BaselineLru};
+    spec.schemes = {parseScheme("lru")};
     spec.instructions = 20'000;
     spec.threads = 1;
     ExperimentDriver driver(spec);

@@ -594,13 +594,13 @@ TEST(Catalog, TraceFileEntryRunsIdenticalToDirectRead)
     // Direct FileTraceSource read...
     FileTraceSource file(path.str());
     SharedWorkload direct(file);
-    const SimResult expected = direct.run(Scheme::Acic);
+    const SimResult expected = direct.run("acic");
 
     // ...equals a TraceFile WorkloadEntry through the driver.
     ExperimentSpec spec;
     spec.workloads = {
         WorkloadEntry::traceFile("media_streaming", path.str())};
-    spec.schemes = {Scheme::Acic};
+    spec.schemes = {parseScheme("acic")};
     spec.threads = 2;
     const auto cells = ExperimentDriver(spec).run();
     ASSERT_EQ(cells.size(), 1u);
@@ -624,7 +624,7 @@ TEST(Catalog, ImportedQemuTraceRunsThroughDriver)
     ExperimentSpec spec;
     spec.workloads = {
         WorkloadEntry::traceFile("qemu_loop", out.str())};
-    spec.schemes = {Scheme::BaselineLru, Scheme::Acic};
+    spec.schemes = parseSchemeList("lru,acic");
     spec.threads = 1;
     const auto cells = ExperimentDriver(spec).run();
     ASSERT_EQ(cells.size(), 2u);

@@ -28,7 +28,7 @@ tinyWorkload(const char *name = "sibench",
 TEST(Simulator, RetiresEveryInstruction)
 {
     WorkloadContext context(tinyWorkload());
-    const SimResult r = context.run(Scheme::BaselineLru);
+    const SimResult r = context.run("lru");
     // Post-warmup instructions = 90% of the trace.
     EXPECT_EQ(r.instructions, 180'000u);
     EXPECT_GT(r.cycles, 0u);
@@ -37,7 +37,7 @@ TEST(Simulator, RetiresEveryInstruction)
 TEST(Simulator, IpcWithinPhysicalBounds)
 {
     WorkloadContext context(tinyWorkload());
-    const SimResult r = context.run(Scheme::BaselineLru);
+    const SimResult r = context.run("lru");
     EXPECT_GT(r.ipc(), 0.1);
     EXPECT_LE(r.ipc(), 6.0); // retire width
 }
@@ -45,8 +45,8 @@ TEST(Simulator, IpcWithinPhysicalBounds)
 TEST(Simulator, DeterministicAcrossRuns)
 {
     WorkloadContext context(tinyWorkload());
-    const SimResult a = context.run(Scheme::BaselineLru);
-    const SimResult b = context.run(Scheme::BaselineLru);
+    const SimResult a = context.run("lru");
+    const SimResult b = context.run("lru");
     EXPECT_EQ(a.cycles, b.cycles);
     EXPECT_EQ(a.l1iMisses, b.l1iMisses);
     EXPECT_EQ(a.branchMispredicts, b.branchMispredicts);
@@ -55,7 +55,7 @@ TEST(Simulator, DeterministicAcrossRuns)
 TEST(Simulator, MissesImplyDemandAccesses)
 {
     WorkloadContext context(tinyWorkload());
-    const SimResult r = context.run(Scheme::BaselineLru);
+    const SimResult r = context.run("lru");
     EXPECT_GT(r.demandAccesses, 0u);
     EXPECT_LE(r.l1iMisses, r.demandAccesses);
     EXPECT_GT(r.mpki(), 0.0);
@@ -64,8 +64,8 @@ TEST(Simulator, MissesImplyDemandAccesses)
 TEST(Simulator, OptNeverMissesMoreThanLru)
 {
     WorkloadContext context(tinyWorkload("media_streaming"));
-    const SimResult lru = context.run(Scheme::BaselineLru);
-    const SimResult opt = context.run(Scheme::Opt);
+    const SimResult lru = context.run("lru");
+    const SimResult opt = context.run("opt");
     EXPECT_LE(opt.l1iMisses, lru.l1iMisses);
     EXPECT_LE(opt.cycles, lru.cycles + lru.cycles / 100);
 }
@@ -73,8 +73,8 @@ TEST(Simulator, OptNeverMissesMoreThanLru)
 TEST(Simulator, LargerIcacheDoesNotIncreaseMisses)
 {
     WorkloadContext context(tinyWorkload("media_streaming"));
-    const SimResult base = context.run(Scheme::BaselineLru);
-    const SimResult big = context.run(Scheme::L1i36k);
+    const SimResult base = context.run("lru");
+    const SimResult big = context.run("l1i36k");
     EXPECT_LE(big.l1iMisses, base.l1iMisses + base.l1iMisses / 50);
 }
 
@@ -85,8 +85,8 @@ TEST(Simulator, PrefetchingReducesMisses)
     no_prefetch.prefetcher = PrefetcherKind::None;
     WorkloadContext without(params, no_prefetch);
     WorkloadContext with(params); // FDP default
-    const SimResult r_without = without.run(Scheme::BaselineLru);
-    const SimResult r_with = with.run(Scheme::BaselineLru);
+    const SimResult r_without = without.run("lru");
+    const SimResult r_with = with.run("lru");
     EXPECT_LT(r_with.l1iMisses, r_without.l1iMisses);
     EXPECT_GT(r_with.prefetchesIssued, 0u);
 }
@@ -97,7 +97,7 @@ TEST(Simulator, EntanglingPrefetcherRuns)
     SimConfig config;
     config.prefetcher = PrefetcherKind::Entangling;
     WorkloadContext context(params, config);
-    const SimResult r = context.run(Scheme::BaselineLru);
+    const SimResult r = context.run("lru");
     EXPECT_GT(r.prefetchesIssued, 0u);
     EXPECT_EQ(r.instructions, 180'000u);
 }
@@ -105,39 +105,37 @@ TEST(Simulator, EntanglingPrefetcherRuns)
 TEST(Simulator, VictimCacheReducesMissesVsBaseline)
 {
     WorkloadContext context(tinyWorkload("media_streaming"));
-    const SimResult base = context.run(Scheme::BaselineLru);
-    const SimResult vc = context.run(Scheme::Vc3k);
+    const SimResult base = context.run("lru");
+    const SimResult vc = context.run("vc3k");
     EXPECT_LE(vc.l1iMisses, base.l1iMisses);
 }
 
-class AllSchemes : public ::testing::TestWithParam<Scheme>
+class AllSchemes : public ::testing::TestWithParam<const char *>
 {
 };
 
 TEST_P(AllSchemes, RunsToCompletionWithSaneMetrics)
 {
     WorkloadContext context(tinyWorkload("data_serving", 100'000));
-    const SimResult r = context.run(GetParam());
+    const SchemeSpec spec = parseScheme(GetParam());
+    const SimResult r = context.run(spec);
     EXPECT_EQ(r.instructions, 90'000u);
     EXPECT_GT(r.cycles, 0u);
     EXPECT_GT(r.ipc(), 0.05);
-    EXPECT_EQ(r.scheme, schemeName(GetParam()));
+    EXPECT_EQ(r.scheme, schemeName(spec));
 }
 
 INSTANTIATE_TEST_SUITE_P(
     Catalogue, AllSchemes,
-    ::testing::Values(Scheme::BaselineLru, Scheme::Srrip,
-                      Scheme::Ship, Scheme::Harmony, Scheme::Ghrp,
-                      Scheme::Dsb, Scheme::Obm, Scheme::Vvc,
-                      Scheme::Vc3k, Scheme::Vc8k, Scheme::L1i36k,
-                      Scheme::L1i40k, Scheme::Opt, Scheme::OptBypass,
-                      Scheme::Acic, Scheme::AcicInstant,
-                      Scheme::AlwaysInsert, Scheme::IFilterOnly,
-                      Scheme::AccessCount, Scheme::RandomBypass,
-                      Scheme::AcicGlobalHistory,
-                      Scheme::AcicBimodal),
+    ::testing::Values("lru", "srrip", "ship", "harmony", "ghrp",
+                      "dsb", "obm", "vvc", "vc3k", "vc8k", "l1i36k",
+                      "l1i40k", "opt", "opt_bypass", "acic",
+                      "acic_instant", "always_insert",
+                      "ifilter_only", "access_count",
+                      "random_bypass", "acic_global_history",
+                      "acic_bimodal"),
     [](const auto &param_info) {
-        std::string name = schemeName(param_info.param);
+        std::string name = param_info.param;
         for (auto &c : name)
             if (!std::isalnum(static_cast<unsigned char>(c)))
                 c = '_';
@@ -147,22 +145,19 @@ INSTANTIATE_TEST_SUITE_P(
 TEST(Schemes, NamesAreUniqueAndNonEmpty)
 {
     std::set<std::string> names;
-    for (const Scheme s :
-         {Scheme::BaselineLru, Scheme::Srrip, Scheme::Ship,
-          Scheme::Harmony, Scheme::Ghrp, Scheme::Dsb, Scheme::Obm,
-          Scheme::Vvc, Scheme::Vc3k, Scheme::Vc8k, Scheme::L1i36k,
-          Scheme::L1i40k, Scheme::Opt, Scheme::OptBypass,
-          Scheme::Acic}) {
-        const std::string name = schemeName(s);
-        EXPECT_FALSE(name.empty());
-        EXPECT_TRUE(names.insert(name).second);
+    std::set<std::string> keys;
+    for (const SchemeSpec &s : allSchemes()) {
+        EXPECT_FALSE(schemeName(s).empty());
+        EXPECT_TRUE(names.insert(schemeName(s)).second);
+        EXPECT_TRUE(keys.insert(s.key).second);
     }
+    EXPECT_EQ(names.size(), 22u);
 }
 
 TEST(Schemes, AcicStorageIs267Kb)
 {
     const SimConfig config;
-    const auto org = makeScheme(Scheme::Acic, config);
+    const auto org = makeScheme(parseScheme("acic"), config);
     EXPECT_NEAR(static_cast<double>(org->storageOverheadBits()) /
                     8.0 / 1024.0,
                 2.67, 0.01);
@@ -171,7 +166,7 @@ TEST(Schemes, AcicStorageIs267Kb)
 TEST(Schemes, LargerIcacheReportsCapacityOverhead)
 {
     const SimConfig config;
-    const auto org = makeScheme(Scheme::L1i36k, config);
+    const auto org = makeScheme(parseScheme("l1i36k"), config);
     // 64 extra blocks: ~4 KB of data + tags.
     EXPECT_GT(org->storageOverheadBits(), 64u * 64 * 8);
 }
