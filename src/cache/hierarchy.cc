@@ -11,6 +11,11 @@ MemoryHierarchy::MemoryHierarchy(const HierarchyConfig &config)
       l3_(SetAssocCache::bySize(config.l3Bytes, config.l3Ways,
                                 std::make_unique<LruPolicy>()))
 {
+    stL2Hit_ = stats_.handle("hier.l2_hit");
+    stL2Miss_ = stats_.handle("hier.l2_miss");
+    stL3Hit_ = stats_.handle("hier.l3_hit");
+    stL3Miss_ = stats_.handle("hier.l3_miss");
+    stDramAccess_ = stats_.handle("hier.dram_access");
 }
 
 Cycle
@@ -21,18 +26,18 @@ MemoryHierarchy::serviceMiss(BlockAddr blk, Addr pc)
     access.pc = pc;
 
     if (l2_.lookup(access)) {
-        stats_.bump("hier.l2_hit");
+        stats_.bump(stL2Hit_);
         return config_.l2Latency;
     }
-    stats_.bump("hier.l2_miss");
+    stats_.bump(stL2Miss_);
 
     if (l3_.lookup(access)) {
-        stats_.bump("hier.l3_hit");
+        stats_.bump(stL3Hit_);
         l2_.fill(access);
         return config_.l3Latency;
     }
-    stats_.bump("hier.l3_miss");
-    stats_.bump("hier.dram_access");
+    stats_.bump(stL3Miss_);
+    stats_.bump(stDramAccess_);
 
     l3_.fill(access);
     l2_.fill(access);

@@ -56,6 +56,13 @@ class MemoryHierarchy
     SetAssocCache l2_;
     SetAssocCache l3_;
     StatSet stats_;
+
+    // Interned at construction; serviceMiss() is handle-only.
+    StatHandle stL2Hit_;
+    StatHandle stL2Miss_;
+    StatHandle stL3Hit_;
+    StatHandle stL3Miss_;
+    StatHandle stDramAccess_;
 };
 
 } // namespace acic

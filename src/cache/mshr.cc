@@ -25,6 +25,8 @@ MshrFile::allocate(BlockAddr blk, Cycle ready_cycle, bool is_prefetch,
             }
             if (ready_cycle < e.ready)
                 e.ready = ready_cycle;
+            if (e.ready < minReady_)
+                minReady_ = e.ready;
             return MshrOutcome::Merged;
         }
         if (!e.valid && free_entry == nullptr)
@@ -40,6 +42,8 @@ MshrFile::allocate(BlockAddr blk, Cycle ready_cycle, bool is_prefetch,
     free_entry->pc = pc;
     free_entry->seq = seq;
     ++used_;
+    if (ready_cycle < minReady_)
+        minReady_ = ready_cycle;
     return MshrOutcome::Allocated;
 }
 
@@ -64,16 +68,24 @@ MshrFile::readyCycle(BlockAddr blk) const
 std::size_t
 MshrFile::popReady(Cycle now, std::vector<Fill> &out)
 {
+    if (used_ == 0 || now < minReady_)
+        return 0;
     std::size_t popped = 0;
+    Cycle next_ready = ~Cycle{0};
     for (auto &e : entries_) {
-        if (e.valid && e.ready <= now) {
+        if (!e.valid)
+            continue;
+        if (e.ready <= now) {
             out.push_back({e.blk, e.wasPrefetch, e.demandWaiting,
                            e.pc, e.seq});
             e.valid = false;
             --used_;
             ++popped;
+        } else if (e.ready < next_ready) {
+            next_ready = e.ready;
         }
     }
+    minReady_ = next_ready;
     return popped;
 }
 
@@ -83,6 +95,7 @@ MshrFile::clear()
     for (auto &e : entries_)
         e.valid = false;
     used_ = 0;
+    minReady_ = ~Cycle{0};
 }
 
 } // namespace acic

@@ -88,6 +88,10 @@ class MshrFile
 
     std::vector<Entry> entries_;
     std::uint32_t used_ = 0;
+    /** Lower bound on the earliest in-flight ready cycle (never above
+     *  the true minimum), so the per-cycle popReady() sweep is skipped
+     *  while nothing can complete. */
+    Cycle minReady_ = ~Cycle{0};
 };
 
 } // namespace acic

@@ -16,6 +16,13 @@ VvcCache::VvcCache(std::uint32_t num_sets, std::uint32_t num_ways)
     lines_.resize(static_cast<std::size_t>(sets_) * ways_);
     for (auto &table : tables_)
         table.assign(kTableEntries, SatCounter(2, 0));
+
+    stNativeHit_ = stats_.handle("vvc.native_hit");
+    stVirtualHit_ = stats_.handle("vvc.virtual_hit");
+    stVictimDropped_ = stats_.handle("vvc.victim_dropped");
+    stDeadDisplaced_ = stats_.handle("vvc.dead_displaced");
+    stBadDisplacement_ = stats_.handle("vvc.bad_displacement");
+    stVictimParked_ = stats_.handle("vvc.victim_parked");
 }
 
 std::uint16_t
@@ -93,7 +100,7 @@ VvcCache::access(const CacheAccess &access)
     for (std::uint32_t w = 0; w < ways_; ++w) {
         if (base[w].valid && base[w].blk == access.blk) {
             touch(base[w], access);
-            stats_.bump("vvc.native_hit");
+            stats_.bump(stNativeHit_);
             return true;
         }
     }
@@ -104,7 +111,7 @@ VvcCache::access(const CacheAccess &access)
         Line &parked = pbase[w];
         if (parked.valid && parked.isVirtual &&
             parked.blk == access.blk) {
-            stats_.bump("vvc.virtual_hit");
+            stats_.bump(stVirtualHit_);
             // Swap back: displaced native LRU takes the parked slot.
             const std::uint32_t victim_way = lruWay(native);
             Line &nat = base[victim_way];
@@ -173,19 +180,19 @@ VvcCache::fill(const CacheAccess &access)
         }
     }
     if (park_way < 0) {
-        stats_.bump("vvc.victim_dropped");
+        stats_.bump(stVictimDropped_);
         return;
     }
     Line &park = pbase[static_cast<std::uint32_t>(park_way)];
     if (park.valid && !park.isVirtual) {
-        stats_.bump("vvc.dead_displaced");
+        stats_.bump(stDeadDisplaced_);
         if (park.nextUse < old.nextUse)
-            stats_.bump("vvc.bad_displacement");
+            stats_.bump(stBadDisplacement_);
     }
     park = old;
     park.isVirtual = true;
     park.stamp = ++tick_;
-    stats_.bump("vvc.victim_parked");
+    stats_.bump(stVictimParked_);
 }
 
 bool

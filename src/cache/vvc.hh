@@ -94,6 +94,14 @@ class VvcCache
     std::vector<Line> lines_;
     std::vector<SatCounter> tables_[2];
     StatSet stats_;
+
+    // Interned at construction; access() and fill() are handle-only.
+    StatHandle stNativeHit_;
+    StatHandle stVirtualHit_;
+    StatHandle stVictimDropped_;
+    StatHandle stDeadDisplaced_;
+    StatHandle stBadDisplacement_;
+    StatHandle stVictimParked_;
 };
 
 } // namespace acic

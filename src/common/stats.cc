@@ -1,32 +1,43 @@
 #include "common/stats.hh"
 
+#include <algorithm>
 #include <iostream>
 
 namespace acic {
 
-void
-StatSet::bump(const std::string &name, std::uint64_t delta)
+StatHandle
+StatSet::handle(const std::string &name)
 {
-    counters_[name] += delta;
+    const auto it = index_.find(name);
+    if (it != index_.end())
+        return StatHandle(it->second);
+    const auto idx = static_cast<std::uint32_t>(values_.size());
+    index_.emplace(name, idx);
+    names_.push_back(name);
+    values_.push_back(0);
+    touched_.push_back(0);
+    return StatHandle(idx);
 }
 
-void
-StatSet::set(const std::string &name, std::uint64_t value)
+const std::uint32_t *
+StatSet::findIndex(const std::string &name) const
 {
-    counters_[name] = value;
+    const auto it = index_.find(name);
+    return it == index_.end() ? nullptr : &it->second;
 }
 
 std::uint64_t
 StatSet::get(const std::string &name) const
 {
-    const auto it = counters_.find(name);
-    return it == counters_.end() ? 0 : it->second;
+    const std::uint32_t *idx = findIndex(name);
+    return idx == nullptr ? 0 : values_[*idx];
 }
 
 bool
 StatSet::has(const std::string &name) const
 {
-    return counters_.find(name) != counters_.end();
+    const std::uint32_t *idx = findIndex(name);
+    return idx != nullptr && touched_[*idx] != 0;
 }
 
 double
@@ -41,7 +52,8 @@ StatSet::ratio(const std::string &num, const std::string &den) const
 void
 StatSet::clear()
 {
-    counters_.clear();
+    std::fill(values_.begin(), values_.end(), 0);
+    std::fill(touched_.begin(), touched_.end(), 0);
 }
 
 void
@@ -53,8 +65,18 @@ StatSet::dump(const std::string &prefix) const
 void
 StatSet::dump(std::ostream &out, const std::string &prefix) const
 {
-    for (const auto &[name, value] : counters_)
+    for (const auto &[name, value] : raw())
         out << prefix << name << ' ' << value << '\n';
+}
+
+std::map<std::string, std::uint64_t>
+StatSet::raw() const
+{
+    std::map<std::string, std::uint64_t> out;
+    for (std::size_t i = 0; i < names_.size(); ++i)
+        if (touched_[i] != 0)
+            out.emplace(names_[i], values_[i]);
+    return out;
 }
 
 } // namespace acic

@@ -1,8 +1,22 @@
 /**
  * @file
- * Lightweight named-statistics registry. Modules register counters with
- * a name and the simulator dumps them at the end of a run; benches pick
- * specific counters to build the paper's tables.
+ * Lightweight named-statistics registry with a two-tier design:
+ *
+ *  - Registration phase (cold, construction time): modules intern
+ *    counter names with handle(), receiving an integer StatHandle.
+ *    Bucketed families ("acic.decisions_r2048", "acic.gap_bucket_3")
+ *    intern every member once into a handle table.
+ *  - Hot phase (per fetch bundle): bump(StatHandle) is a
+ *    bounds-checked array increment — no allocation, no hashing, no
+ *    string construction, no tree walk.
+ *
+ * The original string-keyed API remains as a compatibility shim
+ * (interning on first use), so tests, benches, and one-off counters
+ * keep working; it is the slow path and must stay out of per-access
+ * loops. dump()/raw() only show counters that were actually written
+ * (bump/set), never merely registered ones, so output is byte-for-byte
+ * identical to the historical map-based StatSet — the golden-run
+ * corpus under tests/golden/ pins this.
  */
 
 #ifndef ACIC_COMMON_STATS_HH
@@ -12,29 +26,99 @@
 #include <iosfwd>
 #include <map>
 #include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/logging.hh"
 
 namespace acic {
+
+/**
+ * Interned counter id, valid only for the StatSet that produced it
+ * (and copies of that StatSet, which preserve indices). The default
+ * constructed handle is invalid and trips the bump() bounds check.
+ */
+class StatHandle
+{
+  public:
+    StatHandle() = default;
+
+    bool valid() const { return idx_ != kInvalid; }
+
+  private:
+    friend class StatSet;
+    explicit StatHandle(std::uint32_t idx) : idx_(idx) {}
+
+    static constexpr std::uint32_t kInvalid = ~std::uint32_t{0};
+    std::uint32_t idx_ = kInvalid;
+};
 
 /** A flat bag of named 64-bit counters and derived ratios. */
 class StatSet
 {
   public:
-    /** Add @p delta (default 1) to counter @p name, creating it at 0. */
-    void bump(const std::string &name, std::uint64_t delta = 1);
+    // ---- registration phase ------------------------------------
+
+    /**
+     * Intern @p name and return its handle; idempotent, so modules
+     * may register the same name freely. Registration alone does not
+     * make the counter appear in dump()/raw() — only a write does.
+     */
+    StatHandle handle(const std::string &name);
+
+    // ---- hot phase ---------------------------------------------
+
+    /** Add @p delta (default 1) to the counter behind @p handle. */
+    void bump(StatHandle handle, std::uint64_t delta = 1)
+    {
+        ACIC_ASSERT(handle.idx_ < values_.size(),
+                    "bump() on an unregistered stat handle");
+        values_[handle.idx_] += delta;
+        touched_[handle.idx_] = 1;
+    }
+
+    /** Set the counter behind @p handle to an explicit value. */
+    void set(StatHandle handle, std::uint64_t value)
+    {
+        ACIC_ASSERT(handle.idx_ < values_.size(),
+                    "set() on an unregistered stat handle");
+        values_[handle.idx_] = value;
+        touched_[handle.idx_] = 1;
+    }
+
+    /** Value behind @p handle (0 until first written). */
+    std::uint64_t get(StatHandle handle) const
+    {
+        ACIC_ASSERT(handle.idx_ < values_.size(),
+                    "get() on an unregistered stat handle");
+        return values_[handle.idx_];
+    }
+
+    // ---- string compatibility shim (slow path) -----------------
+
+    /** Add @p delta (default 1) to counter @p name, creating it. */
+    void bump(const std::string &name, std::uint64_t delta = 1)
+    {
+        bump(handle(name), delta);
+    }
 
     /** Set counter @p name to an explicit value. */
-    void set(const std::string &name, std::uint64_t value);
+    void set(const std::string &name, std::uint64_t value)
+    {
+        set(handle(name), value);
+    }
 
     /** Value of @p name, or 0 when absent. */
     std::uint64_t get(const std::string &name) const;
 
-    /** True when the counter exists. */
+    /** True when the counter exists (was ever written, not merely
+     *  registered). */
     bool has(const std::string &name) const;
 
     /** numerator/denominator with 0 fallback when denominator is 0. */
     double ratio(const std::string &num, const std::string &den) const;
 
-    /** Reset everything. */
+    /** Reset every counter to unwritten; registrations survive. */
     void clear();
 
     /**
@@ -46,14 +130,21 @@ class StatSet
     void dump(std::ostream &out,
               const std::string &prefix = "") const;
 
-    /** Access to the underlying map for iteration in tests. */
-    const std::map<std::string, std::uint64_t> &raw() const
-    {
-        return counters_;
-    }
+    /** Written counters as a sorted name->value map (tests,
+     *  emitters). Built on demand; not for hot paths. */
+    std::map<std::string, std::uint64_t> raw() const;
 
   private:
-    std::map<std::string, std::uint64_t> counters_;
+    const std::uint32_t *findIndex(const std::string &name) const;
+
+    /** name -> index into values_/touched_/names_. */
+    std::unordered_map<std::string, std::uint32_t> index_;
+    /** Registration-ordered names; dump() sorts a view on demand. */
+    std::vector<std::string> names_;
+    std::vector<std::uint64_t> values_;
+    /** 1 once bump()/set() ran; registered-only counters stay 0 and
+     *  are hidden from dump()/raw()/has(). */
+    std::vector<std::uint8_t> touched_;
 };
 
 } // namespace acic

@@ -135,23 +135,31 @@ AdmissionPredictor::train(std::uint32_t partial_tag, bool victim_won,
         ++droppedUpdates_;
         return;
     }
-    queue.push_back({pattern, victim_won,
-                     now + kHrtStageDelay + kPtStageDelay});
+    const Cycle due = now + kHrtStageDelay + kPtStageDelay;
+    queue.push_back({pattern, victim_won, due});
+    ++pendingUpdates_;
+    if (due < earliestDue_)
+        earliestDue_ = due;
 }
 
 void
 AdmissionPredictor::tick(Cycle now)
 {
-    if (config_.instantUpdate)
+    if (pendingUpdates_ == 0 || now < earliestDue_)
         return;
     // Each PT entry pops at most one queued update per cycle.
+    Cycle next_due = ~Cycle{0};
     for (auto &queue : queues_) {
         if (!queue.empty() && queue.front().due <= now) {
             applyPtUpdate(queue.front().pattern,
                           queue.front().increment);
             queue.pop_front();
+            --pendingUpdates_;
         }
+        if (!queue.empty() && queue.front().due < next_due)
+            next_due = queue.front().due;
     }
+    earliestDue_ = next_due;
 }
 
 void
@@ -164,6 +172,8 @@ AdmissionPredictor::flush()
             queue.pop_front();
         }
     }
+    pendingUpdates_ = 0;
+    earliestDue_ = ~Cycle{0};
 }
 
 std::uint64_t

@@ -121,6 +121,12 @@ class AdmissionPredictor
     std::vector<SatCounter> pt_;
     /** One bounded update queue per PT entry (Fig. 8). */
     std::vector<std::deque<PendingUpdate>> queues_;
+    /** Total updates queued across queues_; tick() is a no-op at 0. */
+    std::uint64_t pendingUpdates_ = 0;
+    /** Lower bound on the earliest queued due cycle (never above the
+     *  true minimum), letting tick() skip the queue sweep entirely
+     *  between bursts. */
+    Cycle earliestDue_ = ~Cycle{0};
     std::uint64_t droppedUpdates_ = 0;
 };
 

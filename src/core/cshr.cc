@@ -16,7 +16,15 @@ Cshr::Cshr(CshrConfig config) : config_(config)
     ACIC_ASSERT(config_.tagBits >= 4 && config_.tagBits <= 30,
                 "CSHR tag bits out of range");
     ways_ = config_.entries / config_.sets;
-    entries_.resize(config_.entries);
+    unsigned set_bits = 0;
+    while ((1u << set_bits) < config_.sets)
+        ++set_bits;
+    // The m MSBs of the i-cache set index (Sec. III-C2).
+    setShift_ = config_.icacheSetBits - set_bits;
+    victimTag_.assign(config_.entries, kFreeTag);
+    contenderTag_.assign(config_.entries, kFreeTag);
+    oracleWins_.assign(config_.entries, 0);
+    stamp_.assign(config_.entries, 0); // 0 = free (ticks start at 1)
 }
 
 std::uint32_t
@@ -29,49 +37,33 @@ Cshr::partialTag(BlockAddr blk) const
         (tag ^ (tag >> config_.tagBits)) & mask);
 }
 
-std::uint32_t
-Cshr::cshrSetOf(std::uint32_t icache_set) const
-{
-    if (config_.sets == 1)
-        return 0;
-    unsigned set_bits = 0;
-    while ((1u << set_bits) < config_.sets)
-        ++set_bits;
-    // The m MSBs of the i-cache set index (Sec. III-C2).
-    return (icache_set >> (config_.icacheSetBits - set_bits)) &
-           (config_.sets - 1);
-}
-
 std::vector<CshrResolution>
 Cshr::insert(BlockAddr victim_blk, BlockAddr contender_blk,
              std::uint32_t icache_set, bool oracle_victim_wins)
 {
     std::vector<CshrResolution> forced_out;
     const std::uint32_t set = cshrSetOf(icache_set);
-    Entry *base = setBase(set);
+    const std::size_t base = std::size_t{set} * ways_;
 
-    Entry *slot = nullptr;
+    // Free slots carry stamp 0, below every live stamp, so one
+    // min-stamp sweep finds the first free slot or the LRU victim.
+    std::size_t slot = base;
     std::uint64_t oldest = ~std::uint64_t{0};
     for (std::uint32_t w = 0; w < ways_; ++w) {
-        if (!base[w].valid) {
-            slot = &base[w];
-            break;
-        }
-        if (base[w].stamp < oldest) {
-            oldest = base[w].stamp;
-            slot = &base[w];
+        if (stamp_[base + w] < oldest) {
+            oldest = stamp_[base + w];
+            slot = base + w;
         }
     }
-    if (slot->valid) {
+    if (stamp_[slot] != 0) {
         // Evicted unresolved: benefit of the doubt to the victim.
-        forced_out.push_back({slot->victimTag, true, true});
+        forced_out.push_back({victimTag_[slot], true, true});
         ++forced_;
     }
-    slot->victimTag = partialTag(victim_blk);
-    slot->contenderTag = partialTag(contender_blk);
-    slot->valid = true;
-    slot->oracleVictimWins = oracle_victim_wins;
-    slot->stamp = ++tick_;
+    victimTag_[slot] = partialTag(victim_blk);
+    contenderTag_[slot] = partialTag(contender_blk);
+    oracleWins_[slot] = oracle_victim_wins ? 1 : 0;
+    stamp_[slot] = ++tick_;
     return forced_out;
 }
 
@@ -81,26 +73,38 @@ Cshr::search(BlockAddr blk, std::uint32_t icache_set)
     std::vector<CshrResolution> out;
     const std::uint32_t set = cshrSetOf(icache_set);
     const std::uint32_t tag = partialTag(blk);
-    Entry *base = setBase(set);
+    const std::size_t base = std::size_t{set} * ways_;
+
+    // Fast path: a pure tag sweep with no stores or early exits, so
+    // it vectorizes; nearly every fetch matches nothing. Free slots
+    // hold kFreeTag, which no partial tag can equal.
+    bool any = false;
+    for (std::uint32_t w = 0; w < ways_; ++w)
+        any |= victimTag_[base + w] == tag ||
+               contenderTag_[base + w] == tag;
+    if (!any)
+        return out;
+
     for (std::uint32_t w = 0; w < ways_; ++w) {
-        Entry &e = base[w];
-        if (!e.valid)
-            continue;
-        if (e.victimTag == tag) {
-            out.push_back({e.victimTag, true, false});
-            e.valid = false;
+        const std::size_t i = base + w;
+        if (victimTag_[i] == tag) {
+            out.push_back({victimTag_[i], true, false});
             ++resolved_;
             ++resolvedWon_;
-            if (e.oracleVictimWins)
+            if (oracleWins_[i])
                 ++truthMatch_;
-        } else if (e.contenderTag == tag) {
-            out.push_back({e.victimTag, false, false});
-            e.valid = false;
+        } else if (contenderTag_[i] == tag) {
+            out.push_back({victimTag_[i], false, false});
             ++resolved_;
             ++resolvedLost_;
-            if (!e.oracleVictimWins)
+            if (!oracleWins_[i])
                 ++truthMatch_;
+        } else {
+            continue;
         }
+        victimTag_[i] = kFreeTag;
+        contenderTag_[i] = kFreeTag;
+        stamp_[i] = 0;
     }
     return out;
 }
@@ -109,8 +113,8 @@ std::uint32_t
 Cshr::occupancy() const
 {
     std::uint32_t n = 0;
-    for (const auto &e : entries_)
-        n += e.valid ? 1 : 0;
+    for (const std::uint64_t s : stamp_)
+        n += s != 0 ? 1 : 0;
     return n;
 }
 

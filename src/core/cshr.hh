@@ -94,31 +94,34 @@ class Cshr
     std::uint64_t resolvedTruthMatches() const { return truthMatch_; }
 
   private:
-    struct Entry
-    {
-        std::uint32_t victimTag = 0;
-        std::uint32_t contenderTag = 0;
-        bool valid = false;
-        bool oracleVictimWins = false; ///< instrumentation only
-        std::uint64_t stamp = 0;
-    };
+    /**
+     * Invalid slots hold this in both tag lanes. Partial tags are at
+     * most 30 bits (config validation), so no real tag collides and
+     * the every-fetch search scans the two tag arrays alone — a
+     * branch-free, vectorizable sweep on the common no-match path.
+     */
+    static constexpr std::uint32_t kFreeTag = ~std::uint32_t{0};
 
-    std::uint32_t cshrSetOf(std::uint32_t icache_set) const;
-    Entry *setBase(std::uint32_t set)
+    std::uint32_t cshrSetOf(std::uint32_t icache_set) const
     {
-        return entries_.data() +
-               static_cast<std::size_t>(set) * ways_;
+        return (icache_set >> setShift_) & (config_.sets - 1);
     }
 
     CshrConfig config_;
     std::uint32_t ways_;
+    unsigned setShift_ = 0;
     std::uint64_t tick_ = 0;
     std::uint64_t resolved_ = 0;
     std::uint64_t forced_ = 0;
     std::uint64_t resolvedWon_ = 0;
     std::uint64_t resolvedLost_ = 0;
     std::uint64_t truthMatch_ = 0;
-    std::vector<Entry> entries_;
+    /** Structure-of-arrays entry storage, indexed set*ways_+way; the
+     *  hot search touches only the tag lanes. */
+    std::vector<std::uint32_t> victimTag_;
+    std::vector<std::uint32_t> contenderTag_;
+    std::vector<std::uint8_t> oracleWins_; ///< instrumentation only
+    std::vector<std::uint64_t> stamp_;     ///< 0 = slot free
 };
 
 /**

@@ -1,6 +1,7 @@
 #include "core/filtered_icache.hh"
 
 #include <iterator>
+#include <string>
 
 #include "cache/lru.hh"
 #include "common/logging.hh"
@@ -18,6 +19,32 @@ FilteredIcache::FilteredIcache(
 {
     ACIC_ASSERT(admission_ != nullptr,
                 "filtered i-cache needs an admission controller");
+
+    // Registration phase: intern every counter this organization can
+    // touch, including the full bucketed families, so the hot paths
+    // below are pure handle bumps.
+    stFilterHit_ = stats_.handle("filtered.filter_hit");
+    stIcacheHit_ = stats_.handle("filtered.icache_hit");
+    stDecisions_ = stats_.handle("acic.decisions");
+    stDecisionsCorrect_ = stats_.handle("acic.decisions_correct");
+    for (std::size_t i = 0; i < std::size(kAccuracyRanges); ++i) {
+        const std::string range =
+            std::to_string(kAccuracyRanges[i]);
+        stDecisionsR_[i] =
+            stats_.handle("acic.decisions_r" + range);
+        stCorrectR_[i] = stats_.handle("acic.correct_r" + range);
+    }
+    stAdmitLongerReuse_ = stats_.handle("acic.admit_longer_reuse");
+    stAdmitShorterReuse_ = stats_.handle("acic.admit_shorter_reuse");
+    for (std::size_t b = 0; b < kGapBuckets; ++b)
+        stGapBucket_[b] =
+            stats_.handle("acic.gap_bucket_" + std::to_string(b));
+    stFilterVictims_ = stats_.handle("filtered.filter_victims");
+    stVictimAlreadyCached_ =
+        stats_.handle("filtered.victim_already_cached");
+    stVictimsAdmitted_ = stats_.handle("filtered.victims_admitted");
+    stAdmittedFreeWay_ = stats_.handle("filtered.admitted_free_way");
+    stVictimsDropped_ = stats_.handle("filtered.victims_dropped");
 }
 
 bool
@@ -27,11 +54,11 @@ FilteredIcache::access(const CacheAccess &access)
     admission_->onDemandAccess(access, l1i_.setOf(access.blk));
 
     if (filter_.lookup(access)) {
-        stats_.bump("filtered.filter_hit");
+        stats_.bump(stFilterHit_);
         return true;
     }
     if (l1i_.lookup(access)) {
-        stats_.bump("filtered.icache_hit");
+        stats_.bump(stIcacheHit_);
         return true;
     }
     return false;
@@ -55,28 +82,24 @@ FilteredIcache::recordAccuracy(const CacheLine &victim,
     const std::uint64_t min_dist =
         victim_dist < contender_dist ? victim_dist : contender_dist;
 
-    stats_.bump("acic.decisions");
+    stats_.bump(stDecisions_);
     if (correct)
-        stats_.bump("acic.decisions_correct");
+        stats_.bump(stDecisionsCorrect_);
     // Fig. 12a: accuracy restricted to decisions where at least one
     // of the two blocks is re-referenced within a bound.
-    static constexpr std::uint64_t kRanges[] = {2048, 1024, 512, 256,
-                                                128};
-    for (const std::uint64_t range : kRanges) {
-        if (min_dist < range) {
-            stats_.bump("acic.decisions_r" + std::to_string(range));
+    for (std::size_t i = 0; i < std::size(kAccuracyRanges); ++i) {
+        if (min_dist < kAccuracyRanges[i]) {
+            stats_.bump(stDecisionsR_[i]);
             if (correct)
-                stats_.bump("acic.correct_r" + std::to_string(range));
+                stats_.bump(stCorrectR_[i]);
         }
     }
     // Fig. 3b source data: signed next-use gap (incoming - outgoing)
     // at admission time, histogrammed into the paper's buckets.
     if (admitted) {
         stats_.bump(victim_dist > contender_dist
-                        ? "acic.admit_longer_reuse"
-                        : "acic.admit_shorter_reuse");
-        static constexpr std::int64_t kEdges[] = {
-            -10000, -1000, -100, -10, 0, 10, 100, 1000, 10000};
+                        ? stAdmitLongerReuse_
+                        : stAdmitShorterReuse_);
         std::int64_t gap;
         if (victim_dist == kNeverAgain && contender_dist == kNeverAgain)
             gap = 0;
@@ -88,9 +111,9 @@ FilteredIcache::recordAccuracy(const CacheLine &victim,
             gap = static_cast<std::int64_t>(victim_dist) -
                   static_cast<std::int64_t>(contender_dist);
         std::size_t bucket = 0;
-        while (bucket < std::size(kEdges) && gap > kEdges[bucket])
+        while (bucket < std::size(kGapEdges) && gap > kGapEdges[bucket])
             ++bucket;
-        stats_.bump("acic.gap_bucket_" + std::to_string(bucket));
+        stats_.bump(stGapBucket_[bucket]);
     }
 }
 
@@ -98,10 +121,10 @@ void
 FilteredIcache::judgeVictim(const CacheLine &victim,
                             const CacheAccess &cause)
 {
-    stats_.bump("filtered.filter_victims");
+    stats_.bump(stFilterVictims_);
     if (l1i_.probe(victim.blk)) {
         // Already present (e.g. duplicate fill paths): nothing to do.
-        stats_.bump("filtered.victim_already_cached");
+        stats_.bump(stVictimAlreadyCached_);
         return;
     }
 
@@ -119,8 +142,8 @@ FilteredIcache::judgeVictim(const CacheLine &victim,
     if (!contender.valid) {
         // Free way: no one is displaced, so no comparison to learn.
         l1i_.fillAt(set, way, as_access);
-        stats_.bump("filtered.victims_admitted");
-        stats_.bump("filtered.admitted_free_way");
+        stats_.bump(stVictimsAdmitted_);
+        stats_.bump(stAdmittedFreeWay_);
         return;
     }
 
@@ -132,9 +155,9 @@ FilteredIcache::judgeVictim(const CacheLine &victim,
 
     if (admitted) {
         l1i_.fillAt(set, way, as_access);
-        stats_.bump("filtered.victims_admitted");
+        stats_.bump(stVictimsAdmitted_);
     } else {
-        stats_.bump("filtered.victims_dropped");
+        stats_.bump(stVictimsDropped_);
     }
 }
 

@@ -10,6 +10,8 @@
 #ifndef ACIC_CORE_FILTERED_ICACHE_HH
 #define ACIC_CORE_FILTERED_ICACHE_HH
 
+#include <cstdint>
+#include <iterator>
 #include <memory>
 #include <string>
 
@@ -64,11 +66,37 @@ class FilteredIcache : public IcacheOrg
                         const CacheLine &contender, bool admitted,
                         std::uint64_t seq);
 
+    /** Fig. 12a accuracy-restriction bounds (descending). */
+    static constexpr std::uint64_t kAccuracyRanges[] = {2048, 1024,
+                                                        512, 256, 128};
+    /** Fig. 3b signed next-use-gap bucket edges. */
+    static constexpr std::int64_t kGapEdges[] = {
+        -10000, -1000, -100, -10, 0, 10, 100, 1000, 10000};
+    static constexpr std::size_t kGapBuckets =
+        std::size(kGapEdges) + 1;
+
     Config config_;
     IFilter filter_;
     SetAssocCache l1i_;
     std::unique_ptr<AdmissionController> admission_;
     std::string schemeName_;
+
+    // Counter handles, interned once at construction so the access
+    // and victim-judgement paths never build name strings.
+    StatHandle stFilterHit_;
+    StatHandle stIcacheHit_;
+    StatHandle stDecisions_;
+    StatHandle stDecisionsCorrect_;
+    StatHandle stDecisionsR_[std::size(kAccuracyRanges)];
+    StatHandle stCorrectR_[std::size(kAccuracyRanges)];
+    StatHandle stAdmitLongerReuse_;
+    StatHandle stAdmitShorterReuse_;
+    StatHandle stGapBucket_[kGapBuckets];
+    StatHandle stFilterVictims_;
+    StatHandle stVictimAlreadyCached_;
+    StatHandle stVictimsAdmitted_;
+    StatHandle stAdmittedFreeWay_;
+    StatHandle stVictimsDropped_;
 };
 
 } // namespace acic

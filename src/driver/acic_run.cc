@@ -7,7 +7,7 @@
  *   acic_run run     --workloads W --schemes S [--threads N]
  *                    [--instructions N] [--trace-dir D]
  *                    [--baseline SCHEME] [--csv FILE] [--json FILE]
- *                    [--quiet]
+ *                    [--dump-stats] [--quiet]
  *   acic_run sweep   --grid G --workloads W [same options as run]
  *   acic_run import  <input> <output> [--format F] [--name N]
  *   acic_run stat    <trace>
@@ -131,6 +131,12 @@ const char *const kRunHelp =
     "  --csv FILE         write per-cell results as CSV\n"
     "  --json FILE        write per-cell results (including every\n"
     "                     org-stats counter) as JSON\n"
+    "  --dump-stats       after the tables, print every cell's\n"
+    "                     complete statistics dump (headline\n"
+    "                     counters + sorted org counters) — the\n"
+    "                     golden-corpus fixture format; cells are\n"
+    "                     separated by '# workload=... scheme=...'\n"
+    "                     comment lines (strip with grep -v '^#')\n"
     "  --quiet            suppress per-cell progress on stderr\n"
     "\n"
     "Trace-length precedence: --instructions beats the\n"
@@ -174,6 +180,8 @@ const char *const kSweepHelp =
     "                     expanded scheme; must be in the grid)\n"
     "  --csv FILE         write per-cell results as CSV\n"
     "  --json FILE        write per-cell results as JSON\n"
+    "  --dump-stats       print every cell's complete statistics\n"
+    "                     dump (see 'acic_run help run')\n"
     "  --quiet            suppress per-cell progress on stderr\n"
     "\n"
     "exit codes: 0 success, 1 runtime error, 2 usage error\n";
@@ -555,6 +563,19 @@ runMatrix(const OptionParser &opts, const char *workload_list,
                 wall > 0.0 ? cell_seconds / wall : 0.0,
                 spec.threads ? spec.threads : (hw ? hw : 1));
 
+    if (opts.present("--dump-stats")) {
+        // Workload-major, matching the result ordering above; the
+        // per-cell body is exactly the golden-fixture format
+        // (tests/golden/, DESIGN.md section 7).
+        for (const CellResult &cell : cells) {
+            std::cout << "# workload="
+                      << spec.workloads[cell.workloadIndex].name()
+                      << " scheme="
+                      << spec.schemes[cell.schemeIndex].toString()
+                      << '\n';
+            writeGoldenDump(std::cout, cell.result);
+        }
+    }
     if (const char *path = opts.value("--csv")) {
         std::ofstream out(path);
         writeResultsCsv(out, driver.spec(), cells);

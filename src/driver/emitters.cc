@@ -88,6 +88,25 @@ writeResultsCsv(std::ostream &out, const ExperimentSpec &spec,
 }
 
 void
+writeGoldenDump(std::ostream &out, const SimResult &r)
+{
+    out << "workload " << r.workload << '\n'
+        << "scheme " << r.scheme << '\n'
+        << "instructions " << r.instructions << '\n'
+        << "cycles " << r.cycles << '\n'
+        << "demand_accesses " << r.demandAccesses << '\n'
+        << "l1i_misses " << r.l1iMisses << '\n'
+        << "branch_mispredicts " << r.branchMispredicts << '\n'
+        << "btb_misses " << r.btbMisses << '\n'
+        << "prefetches_issued " << r.prefetchesIssued << '\n'
+        << "late_prefetches " << r.latePrefetches << '\n'
+        << "l2_accesses " << r.l2Accesses << '\n'
+        << "l3_accesses " << r.l3Accesses << '\n'
+        << "dram_accesses " << r.dramAccesses << '\n';
+    r.orgStats.dump(out, "org.");
+}
+
+void
 writeResultsJson(std::ostream &out, const ExperimentSpec &spec,
                  const std::vector<CellResult> &cells)
 {

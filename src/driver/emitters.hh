@@ -38,6 +38,16 @@ void writeResultsJson(std::ostream &out, const ExperimentSpec &spec,
 /** Escape @p s for inclusion in a JSON string literal. */
 std::string jsonEscape(const std::string &s);
 
+/**
+ * Emit the complete, deterministic statistics dump of one run: the
+ * headline SimResult counters in a fixed order followed by every
+ * organization counter ("org."-prefixed, sorted by name). This is the
+ * golden-corpus format — `acic_run run --dump-stats` writes it and
+ * tests/test_golden_runs.cc diffs live runs against fixtures captured
+ * with it — so any change to a line here invalidates tests/golden/.
+ */
+void writeGoldenDump(std::ostream &out, const SimResult &result);
+
 } // namespace acic
 
 #endif // ACIC_DRIVER_EMITTERS_HH

@@ -23,6 +23,12 @@ PlainIcache::PlainIcache(std::uint32_t num_sets,
         blocks > baseline_blocks
             ? (blocks - baseline_blocks) * (kBlockBytes * 8 + 63)
             : 0;
+
+    stHit_ = stats_.handle("plain.hit");
+    stVcHit_ = stats_.handle("plain.vc_hit");
+    stBypassed_ = stats_.handle("plain.bypassed");
+    stEvictionsJudged_ = stats_.handle("plain.evictions_judged");
+    stEvictionsMatchOpt_ = stats_.handle("plain.evictions_match_opt");
 }
 
 bool
@@ -32,13 +38,13 @@ PlainIcache::access(const CacheAccess &access)
         bypass_->onDemandAccess(access, l1i_);
 
     if (l1i_.lookup(access)) {
-        stats_.bump("plain.hit");
+        stats_.bump(stHit_);
         return true;
     }
     if (vc_ != nullptr && vc_->extract(access.blk)) {
         // Victim-cache hit: swap the block back into the L1i; the
         // displaced L1i victim takes its place in the VC.
-        stats_.bump("plain.vc_hit");
+        stats_.bump(stVcHit_);
         const auto result = l1i_.fill(access);
         if (result.evicted)
             vc_->insert(result.victim.blk);
@@ -68,7 +74,7 @@ PlainIcache::fill(const CacheAccess &access)
     if (bypass_ != nullptr && set_full) {
         CacheAccess incoming = access;
         if (bypass_->shouldBypass(incoming, l1i_)) {
-            stats_.bump("plain.bypassed");
+            stats_.bump(stBypassed_);
             return;
         }
     }
@@ -78,9 +84,9 @@ PlainIcache::fill(const CacheAccess &access)
         const std::uint32_t chosen = l1i_.victimWay(probe);
         const std::uint32_t opt_choice = OptPolicy::optVictim(
             &l1i_.lineAt(set, 0), l1i_.numWays());
-        stats_.bump("plain.evictions_judged");
+        stats_.bump(stEvictionsJudged_);
         if (chosen == opt_choice)
-            stats_.bump("plain.evictions_match_opt");
+            stats_.bump(stEvictionsMatchOpt_);
     }
 
     const auto result = l1i_.fill(access);

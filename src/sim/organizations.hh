@@ -50,6 +50,13 @@ class PlainIcache : public IcacheOrg
     std::unique_ptr<VictimCache> vc_;
     std::string schemeName_;
     std::uint64_t baselineBits_;
+
+    // Interned at construction; access() and fill() are handle-only.
+    StatHandle stHit_;
+    StatHandle stVcHit_;
+    StatHandle stBypassed_;
+    StatHandle stEvictionsJudged_;
+    StatHandle stEvictionsMatchOpt_;
 };
 
 /** Wrapper exposing VvcCache through IcacheOrg. */

@@ -71,6 +71,18 @@ Simulator::run(TraceSource &trace, IcacheOrg &org,
     Cycle pending_latency = 0;
 
     StatSet raw; // cumulative counters; warmup snapshot subtracted
+    // Handle registration happens before the snapshot copy below, so
+    // `raw` and `snap` share one index layout for the whole run.
+    const StatHandle st_prefetches = raw.handle("sim.prefetches");
+    const StatHandle st_demand_accesses =
+        raw.handle("sim.demand_accesses");
+    const StatHandle st_l1i_misses = raw.handle("sim.l1i_misses");
+    const StatHandle st_late_prefetches =
+        raw.handle("sim.late_prefetches");
+    const StatHandle st_mispredicts = raw.handle("sim.mispredicts");
+    const StatHandle st_btb_misses = raw.handle("sim.btb_misses");
+    const StatHandle st_ras_mispredicts =
+        raw.handle("sim.ras_mispredicts");
     bool warmup_snapped = false;
     StatSet snap;
     Cycle warmup_cycle = 0;
@@ -93,7 +105,7 @@ Simulator::run(TraceSource &trace, IcacheOrg &org,
             return false;
         const Cycle latency = hierarchy.serviceMiss(blk, pc);
         mshr.allocate(blk, cycle + latency, true, pc, seq);
-        raw.bump("sim.prefetches");
+        raw.bump(st_prefetches);
         return true;
     };
 
@@ -165,7 +177,7 @@ Simulator::run(TraceSource &trace, IcacheOrg &org,
                     access.nextUse = next_use_of(head.seq);
                     access.cycle = cycle;
                     last_demand_seq = head.seq;
-                    raw.bump("sim.demand_accesses");
+                    raw.bump(st_demand_accesses);
                     if (config_.prefetcher ==
                         PrefetcherKind::Entangling) {
                         entangler.onDemandAccess(access.blk, cycle);
@@ -180,7 +192,7 @@ Simulator::run(TraceSource &trace, IcacheOrg &org,
                         }
                         ftq.pop_front();
                     } else {
-                        raw.bump("sim.l1i_misses");
+                        raw.bump(st_l1i_misses);
                         const Cycle latency = hierarchy.serviceMiss(
                             access.blk, access.pc);
                         if (config_.prefetcher ==
@@ -196,7 +208,7 @@ Simulator::run(TraceSource &trace, IcacheOrg &org,
                             pending_latency = latency;
                         } else {
                             if (outcome == MshrOutcome::Merged)
-                                raw.bump("sim.late_prefetches");
+                                raw.bump(st_late_prefetches);
                             waiting = true;
                             waiting_blk = access.blk;
                         }
@@ -239,12 +251,12 @@ Simulator::run(TraceSource &trace, IcacheOrg &org,
                         const bool pred = tage.predict(inst.pc);
                         tage.update(inst.pc, inst.taken);
                         if (pred != inst.taken) {
-                            raw.bump("sim.mispredicts");
+                            raw.bump(st_mispredicts);
                             penalty = config_.mispredictPenalty;
                         } else if (inst.taken) {
                             const auto target = btb.lookup(inst.pc);
                             if (!target || *target != inst.nextPc) {
-                                raw.bump("sim.btb_misses");
+                                raw.bump(st_btb_misses);
                                 if (penalty < config_.btbMissPenalty)
                                     penalty = config_.btbMissPenalty;
                             }
@@ -257,7 +269,7 @@ Simulator::run(TraceSource &trace, IcacheOrg &org,
                       case BranchKind::Call: {
                         const auto target = btb.lookup(inst.pc);
                         if (!target || *target != inst.nextPc) {
-                            raw.bump("sim.btb_misses");
+                            raw.bump(st_btb_misses);
                             if (penalty < config_.btbMissPenalty)
                                 penalty = config_.btbMissPenalty;
                         }
@@ -271,7 +283,7 @@ Simulator::run(TraceSource &trace, IcacheOrg &org,
                       case BranchKind::Return: {
                         const Addr predicted = ras.pop();
                         if (predicted != inst.nextPc) {
-                            raw.bump("sim.ras_mispredicts");
+                            raw.bump(st_ras_mispredicts);
                             penalty = config_.mispredictPenalty;
                         }
                         break;

@@ -9,6 +9,7 @@
 
 #include <algorithm>
 #include <numeric>
+#include <sstream>
 #include <vector>
 
 #include "common/fenwick.hh"
@@ -260,6 +261,75 @@ TEST(Stats, BumpSetGetRatio)
     EXPECT_FALSE(stats.has("missing"));
     EXPECT_DOUBLE_EQ(stats.ratio("a", "b"), 0.5);
     EXPECT_DOUBLE_EQ(stats.ratio("a", "missing"), 0.0);
+}
+
+TEST(Stats, HandleBumpSetGet)
+{
+    StatSet stats;
+    const StatHandle a = stats.handle("a");
+    const StatHandle b = stats.handle("b");
+    stats.bump(a);
+    stats.bump(a, 4);
+    stats.set(b, 10);
+    EXPECT_EQ(stats.get(a), 5u);
+    EXPECT_EQ(stats.get(b), 10u);
+    EXPECT_EQ(stats.get("a"), 5u);
+    // Interning is idempotent: the same name is the same counter.
+    stats.bump(stats.handle("a"));
+    EXPECT_EQ(stats.get(a), 6u);
+}
+
+TEST(Stats, RegisteredButUnwrittenCountersStayHidden)
+{
+    StatSet stats;
+    stats.handle("never_touched");
+    const StatHandle hit = stats.handle("hit");
+    EXPECT_FALSE(stats.has("never_touched"));
+    EXPECT_EQ(stats.raw().size(), 0u);
+
+    stats.bump(hit);
+    EXPECT_TRUE(stats.has("hit"));
+    EXPECT_FALSE(stats.has("never_touched"));
+    const auto raw = stats.raw();
+    ASSERT_EQ(raw.size(), 1u);
+    EXPECT_EQ(raw.count("hit"), 1u);
+
+    // A zero-delta bump still creates the counter, as the map-based
+    // StatSet did (operator[] insertion).
+    stats.bump("never_touched", 0);
+    EXPECT_TRUE(stats.has("never_touched"));
+    EXPECT_EQ(stats.raw().size(), 2u);
+}
+
+TEST(Stats, CopyPreservesHandlesAndClearKeepsRegistration)
+{
+    StatSet stats;
+    const StatHandle h = stats.handle("x");
+    stats.bump(h, 7);
+
+    // Snapshot copies keep the index layout (the simulator's
+    // warm-up subtraction depends on this).
+    StatSet snap = stats;
+    stats.bump(h, 5);
+    EXPECT_EQ(stats.get(h) - snap.get(h), 5u);
+
+    stats.clear();
+    EXPECT_FALSE(stats.has("x"));
+    EXPECT_TRUE(stats.raw().empty());
+    stats.bump(h, 3); // handle survives clear()
+    EXPECT_EQ(stats.get("x"), 3u);
+}
+
+TEST(Stats, DumpSortsByNameAndHonorsPrefix)
+{
+    StatSet stats;
+    // Register out of order; dump must sort by name regardless.
+    stats.bump("b.second");
+    stats.bump("a.first", 2);
+    stats.handle("z.unwritten");
+    std::ostringstream out;
+    stats.dump(out, "org.");
+    EXPECT_EQ(out.str(), "org.a.first 2\norg.b.second 1\n");
 }
 
 TEST(Table, RendersAlignedRowsAndNotes)
