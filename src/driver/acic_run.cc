@@ -5,7 +5,8 @@
  *   acic_run list    [--trace-dir D]
  *   acic_run record  --workloads W [--out-dir D] [--instructions N]
  *   acic_run run     --workloads W --schemes S [--threads N]
- *                    [--instructions N] [--trace-dir D]
+ *                    [--instructions N] [--intervals K] [--warmup W]
+ *                    [--warm-horizon H] [--trace-dir D]
  *                    [--baseline SCHEME] [--csv FILE] [--json FILE]
  *                    [--dump-stats] [--quiet]
  *   acic_run sweep   --grid G --workloads W [same options as run]
@@ -105,9 +106,10 @@ const char *const kRecordHelp =
 
 const char *const kRunHelp =
     "usage: acic_run run --workloads W --schemes S [--threads N]\n"
-    "                    [--instructions N] [--trace-dir D]\n"
-    "                    [--baseline SCHEME] [--csv FILE]\n"
-    "                    [--json FILE] [--quiet]\n"
+    "                    [--instructions N] [--intervals K]\n"
+    "                    [--warmup W] [--warm-horizon H]\n"
+    "                    [--trace-dir D] [--baseline SCHEME]\n"
+    "                    [--csv FILE] [--json FILE] [--quiet]\n"
     "\n"
     "Execute the workloads x schemes matrix on a thread pool and\n"
     "print paper-shaped IPC/MPKI/speedup tables.\n"
@@ -124,6 +126,20 @@ const char *const kRunHelp =
     "  --instructions N   trace-length override for synthetic\n"
     "                     workloads (trace files always replay in\n"
     "                     full)\n"
+    "  --intervals K      shard each cell's trace into K regions\n"
+    "                     simulated concurrently (sampled interval\n"
+    "                     simulation; merged MPKI/IPC recompute\n"
+    "                     from the summed shards). Default 1: one\n"
+    "                     monolithic pass, bit-identical to the\n"
+    "                     serial path\n"
+    "  --warmup W         timed-warmup instructions before each\n"
+    "                     measured interval (default 100000; only\n"
+    "                     used with --intervals > 1)\n"
+    "  --warm-horizon H   bound the per-shard functional warming to\n"
+    "                     the last H instructions before the timed\n"
+    "                     warmup (default 0 = warm from the trace\n"
+    "                     start, most accurate; bound it on very\n"
+    "                     long traces to keep shard cost flat)\n"
     "  --trace-dir D      overlay the .acictrace files under D onto\n"
     "                     the catalog before resolving --workloads\n"
     "  --baseline SCHEME  speedup denominator (default: first\n"
@@ -147,9 +163,10 @@ const char *const kRunHelp =
 
 const char *const kSweepHelp =
     "usage: acic_run sweep --grid G --workloads W [--threads N]\n"
-    "                      [--instructions N] [--trace-dir D]\n"
-    "                      [--baseline SPEC] [--csv FILE]\n"
-    "                      [--json FILE] [--quiet]\n"
+    "                      [--instructions N] [--intervals K]\n"
+    "                      [--warmup W] [--warm-horizon H]\n"
+    "                      [--trace-dir D] [--baseline SPEC]\n"
+    "                      [--csv FILE] [--json FILE] [--quiet]\n"
     "\n"
     "Expand a parameter grid into concrete schemes and run the\n"
     "workloads x schemes matrix on the thread pool (identical\n"
@@ -174,6 +191,14 @@ const char *const kSweepHelp =
     "                     concurrency)\n"
     "  --instructions N   trace-length override for synthetic\n"
     "                     workloads\n"
+    "  --intervals K      shard each cell into K concurrently\n"
+    "                     simulated regions (see 'acic_run help\n"
+    "                     run'; default 1)\n"
+    "  --warmup W         timed-warmup instructions per interval\n"
+    "                     (default 100000)\n"
+    "  --warm-horizon H   bound per-shard functional warming to the\n"
+    "                     last H instructions (default 0 = from the\n"
+    "                     trace start; see 'acic_run help run')\n"
     "  --trace-dir D      overlay the .acictrace files under D onto\n"
     "                     the catalog before resolving --workloads\n"
     "  --baseline SPEC    speedup denominator (default: first\n"
@@ -281,15 +306,32 @@ class OptionParser
 };
 
 std::uint64_t
-parseCount(const char *text, const char *what)
+parseCount(const char *text, const char *what,
+           bool allow_zero = false)
 {
     char *end = nullptr;
     const long long v = std::strtoll(text, &end, 10);
-    if (end == text || *end != '\0' || v <= 0) {
-        std::fprintf(stderr, "%s must be a positive integer\n", what);
+    if (end == text || *end != '\0' || v < 0 ||
+        (v == 0 && !allow_zero)) {
+        std::fprintf(stderr, "%s must be a %s integer\n", what,
+                     allow_zero ? "non-negative" : "positive");
         std::exit(kUsageError);
     }
     return static_cast<std::uint64_t>(v);
+}
+
+/** parseCount for flags stored in 32-bit fields: a value that a
+ *  static_cast<unsigned> would silently wrap is a usage error, not
+ *  a different (smaller) run. */
+unsigned
+parseCount32(const char *text, const char *what)
+{
+    const std::uint64_t v = parseCount(text, what);
+    if (v > 0xffffffffu) {
+        std::fprintf(stderr, "%s is out of range\n", what);
+        std::exit(kUsageError);
+    }
+    return static_cast<unsigned>(v);
 }
 
 /** Builtin catalog, with --trace-dir overlaid when present. */
@@ -430,6 +472,16 @@ cmdStat(const OptionParser &opts)
         return usage(kStatHelp, false);
     }
     FileTraceSource trace(path);
+    if (trace.length() == 0) {
+        // Percentages and per-instruction densities are meaningless
+        // at n = 0; an empty trace is an ingestion failure the user
+        // should hear about, not a page of zero rows.
+        std::fprintf(stderr,
+                     "stat: %s is an empty trace (0 instructions); "
+                     "nothing to report\n",
+                     path);
+        return 1;
+    }
     printTraceStats(std::cout, computeTraceStats(trace));
     return 0;
 }
@@ -459,10 +511,15 @@ runMatrix(const OptionParser &opts, const char *workload_list,
                              entry.name().c_str());
     }
     if (const char *t = opts.value("--threads"))
-        spec.threads =
-            static_cast<unsigned>(parseCount(t, "--threads"));
+        spec.threads = parseCount32(t, "--threads");
     if (const char *n = opts.value("--instructions"))
         spec.instructions = parseCount(n, "--instructions");
+    if (const char *k = opts.value("--intervals"))
+        spec.intervals = parseCount32(k, "--intervals");
+    if (const char *w = opts.value("--warmup"))
+        spec.intervalWarmup = parseCount(w, "--warmup", true);
+    if (const char *h = opts.value("--warm-horizon"))
+        spec.warmHorizon = parseCount(h, "--warm-horizon", true);
 
     SchemeSpec baseline = spec.schemes.front();
     if (const char *b = opts.value("--baseline")) {

@@ -88,6 +88,28 @@ writeResultsCsv(std::ostream &out, const ExperimentSpec &spec,
 }
 
 void
+writeBenchJson(
+    std::ostream &out, const std::string &bench,
+    const std::vector<std::pair<std::string, std::string>> &meta,
+    const std::vector<BenchRow> &rows)
+{
+    out << "{\n  \"format\": 1,\n  \"bench\": \""
+        << jsonEscape(bench) << "\",\n  \"meta\": {";
+    for (std::size_t i = 0; i < meta.size(); ++i)
+        out << (i ? ", " : "") << '"' << jsonEscape(meta[i].first)
+            << "\": \"" << jsonEscape(meta[i].second) << '"';
+    out << "},\n  \"rows\": [\n";
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+        out << "    {\"label\": \"" << jsonEscape(rows[i].label)
+            << "\", \"seconds\": " << fmtDouble(rows[i].seconds, 4)
+            << ", \"minst_per_sec\": "
+            << fmtDouble(rows[i].minstPerSec, 3) << '}'
+            << (i + 1 < rows.size() ? "," : "") << '\n';
+    }
+    out << "  ]\n}\n";
+}
+
+void
 writeGoldenDump(std::ostream &out, const SimResult &r)
 {
     out << "workload " << r.workload << '\n'

@@ -11,6 +11,7 @@
 
 #include <iosfwd>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "driver/experiment.hh"
@@ -37,6 +38,30 @@ void writeResultsJson(std::ostream &out, const ExperimentSpec &spec,
 
 /** Escape @p s for inclusion in a JSON string literal. */
 std::string jsonEscape(const std::string &s);
+
+/** One measurement row of a bench binary (writeBenchJson). */
+struct BenchRow
+{
+    /** Row label, e.g. the scheme display name. */
+    std::string label;
+    /** Host seconds of the measured run (best repetition). */
+    double seconds = 0.0;
+    /** Simulated instructions per host second, in millions. */
+    double minstPerSec = 0.0;
+};
+
+/**
+ * Emit a machine-readable bench result document so the performance
+ * trajectory is tracked across PRs (CI archives BENCH_*.json):
+ * {"format": 1, "bench": ..., "meta": {...}, "rows": [
+ *   {"label": ..., "seconds": ..., "minst_per_sec": ...}]}
+ * @p meta carries free-form context (workload, instructions,
+ * repetitions, threads), emitted in the given order.
+ */
+void writeBenchJson(
+    std::ostream &out, const std::string &bench,
+    const std::vector<std::pair<std::string, std::string>> &meta,
+    const std::vector<BenchRow> &rows);
 
 /**
  * Emit the complete, deterministic statistics dump of one run: the

@@ -66,6 +66,48 @@ struct RunState
     std::mutex observerMutex;
 };
 
+/** In-flight shards of one interval-sharded cell. */
+struct CellShards
+{
+    explicit CellShards(std::vector<SimInterval> plan_)
+        : plan(std::move(plan_)), parts(plan.size()),
+          seconds(plan.size(), 0.0), remaining(plan.size())
+    {
+    }
+
+    std::vector<SimInterval> plan;
+    std::vector<SimResult> parts;     ///< distinct slots, no lock
+    std::vector<double> seconds;
+    std::atomic<std::size_t> remaining;
+};
+
+/**
+ * One workload's region oracles, shared by every scheme's shard
+ * tasks (the oracle depends only on the region, not the scheme).
+ * Built lazily inside the first shard task that needs each region,
+ * so the builds run on the pool instead of serializing the prepare
+ * task.
+ */
+struct ShardOracles
+{
+    explicit ShardOracles(std::size_t n)
+        : once(std::make_unique<std::once_flag[]>(n)), oracles(n)
+    {
+    }
+
+    const DemandOracle &get(std::size_t i, const SharedWorkload &w,
+                            const SimInterval &interval)
+    {
+        std::call_once(once[i], [&] {
+            oracles[i] = w.buildIntervalOracle(interval);
+        });
+        return oracles[i];
+    }
+
+    std::unique_ptr<std::once_flag[]> once;
+    std::vector<DemandOracle> oracles;
+};
+
 } // namespace
 
 std::vector<CellResult>
@@ -81,57 +123,133 @@ ExperimentDriver::run(const Observer &observer)
     for (std::size_t w = 0; w < n_workloads; ++w)
         state.remainingCells[w] = n_schemes;
 
+    // Publish one finished cell: store it, notify the observer, and
+    // release the workload's trace image (submitting the next
+    // prepare) when its row completes.
+    const auto finishCell = [&cells, &state, &observer, n_schemes](
+                                const CellResult &cell,
+                                const std::function<void()> &next) {
+        const std::size_t idx =
+            cell.workloadIndex * n_schemes + cell.schemeIndex;
+        cells[idx] = cell;
+        if (observer) {
+            std::lock_guard<std::mutex> lock(state.observerMutex);
+            observer(cells[idx]);
+        }
+        if (state.remainingCells[cell.workloadIndex].fetch_sub(1) ==
+            1)
+            next();
+    };
+
     // A prepare task builds one workload's shared trace + oracle and
-    // fans its row's scheme cells back into the same pool. Prepares
-    // are released in a sliding window of ~thread-count workloads —
-    // the last cell of a finished workload submits the next prepare —
-    // so preparation overlaps simulation while the number of live
-    // (materialized) trace images stays bounded by the thread count,
-    // not the workload count.
+    // fans its row's scheme cells back into the same pool — as one
+    // monolithic task per cell (intervals <= 1, the bit-identical
+    // legacy path), or as one task per interval shard, so a long
+    // workload's own trace is simulated by many workers at once.
+    // Prepares are released in a sliding window of ~thread-count
+    // workloads — the last cell of a finished workload submits the
+    // next prepare — so preparation overlaps simulation while the
+    // number of live (materialized) trace images stays bounded by
+    // the thread count, not the workload count.
     std::function<void()> submitNextPrepare =
         [&]() {
             const std::size_t w = state.nextWorkload.fetch_add(1);
             if (w >= n_workloads)
                 return;
-            pool.submit([this, w, n_schemes, &cells, &pool,
-                         &observer, &state, &submitNextPrepare] {
+            pool.submit([this, w, n_schemes, &pool, &state,
+                         &finishCell, &submitNextPrepare] {
                 const auto shared =
                     prepareWorkload(spec_.workloads[w]);
+                std::vector<SimInterval> plan;
+                std::shared_ptr<ShardOracles> oracles;
+                if (spec_.intervals > 1) {
+                    // Shard the same measured region a monolithic
+                    // run reports (post-warmupFraction), so merged
+                    // results are directly comparable to full runs.
+                    const std::uint64_t total =
+                        shared->instructions();
+                    const auto measure_begin =
+                        static_cast<std::uint64_t>(
+                            static_cast<double>(total) *
+                            spec_.config.warmupFraction);
+                    plan = planIntervals(measure_begin, total,
+                                         spec_.intervals,
+                                         spec_.intervalWarmup,
+                                         spec_.warmHorizon);
+                    if (plan.size() > 1)
+                        oracles = std::make_shared<ShardOracles>(
+                            plan.size());
+                }
                 for (std::size_t s = 0; s < n_schemes; ++s) {
-                    pool.submit([this, w, s, n_schemes, shared,
-                                 &cells, &observer, &state,
-                                 &submitNextPrepare] {
-                        const auto start =
-                            std::chrono::steady_clock::now();
-                        CellResult cell;
-                        cell.workloadIndex = w;
-                        cell.schemeIndex = s;
-                        try {
+                    if (plan.size() <= 1) {
+                        pool.submit([this, w, s, shared, &finishCell,
+                                     &submitNextPrepare] {
+                            const auto start =
+                                std::chrono::steady_clock::now();
+                            CellResult cell;
+                            cell.workloadIndex = w;
+                            cell.schemeIndex = s;
+                            try {
+                                cell.result =
+                                    shared->run(spec_.schemes[s]);
+                            } catch (const std::exception &e) {
+                                // Specs are pre-validated against
+                                // the default SimConfig only; a
+                                // builder rejecting the run-time
+                                // config must fail loudly, not
+                                // std::terminate the pool on an
+                                // escaping exception.
+                                ACIC_FATAL(e.what());
+                            }
+                            cell.hostSeconds =
+                                std::chrono::duration<double>(
+                                    std::chrono::steady_clock::
+                                        now() -
+                                    start)
+                                    .count();
+                            finishCell(cell, submitNextPrepare);
+                        });
+                        continue;
+                    }
+                    const auto shards =
+                        std::make_shared<CellShards>(plan);
+                    for (std::size_t i = 0; i < plan.size(); ++i) {
+                        pool.submit([this, w, s, i, shared, shards,
+                                     oracles, &finishCell,
+                                     &submitNextPrepare] {
+                            const auto start =
+                                std::chrono::steady_clock::now();
+                            try {
+                                shards->parts[i] =
+                                    shared->runInterval(
+                                        spec_.schemes[s],
+                                        shards->plan[i],
+                                        &oracles->get(
+                                            i, *shared,
+                                            shards->plan[i]));
+                            } catch (const std::exception &e) {
+                                ACIC_FATAL(e.what());
+                            }
+                            shards->seconds[i] =
+                                std::chrono::duration<double>(
+                                    std::chrono::steady_clock::
+                                        now() -
+                                    start)
+                                    .count();
+                            if (shards->remaining.fetch_sub(1) != 1)
+                                return;
+                            // Last shard: merge and publish.
+                            CellResult cell;
+                            cell.workloadIndex = w;
+                            cell.schemeIndex = s;
                             cell.result =
-                                shared->run(spec_.schemes[s]);
-                        } catch (const std::exception &e) {
-                            // Specs are pre-validated against the
-                            // default SimConfig only; a builder
-                            // rejecting the run-time config must
-                            // fail loudly, not std::terminate the
-                            // pool on an escaping exception.
-                            ACIC_FATAL(e.what());
-                        }
-                        cell.hostSeconds =
-                            std::chrono::duration<double>(
-                                std::chrono::steady_clock::now() -
-                                start)
-                                .count();
-                        cells[w * n_schemes + s] = cell;
-                        if (observer) {
-                            std::lock_guard<std::mutex> lock(
-                                state.observerMutex);
-                            observer(cells[w * n_schemes + s]);
-                        }
-                        if (state.remainingCells[w].fetch_sub(1) ==
-                            1)
-                            submitNextPrepare();
-                    });
+                                mergeSimResults(shards->parts);
+                            for (const double secs :
+                                 shards->seconds)
+                                cell.hostSeconds += secs;
+                            finishCell(cell, submitNextPrepare);
+                        });
+                    }
                 }
             });
         };
@@ -143,6 +261,35 @@ ExperimentDriver::run(const Observer &observer)
 
     pool.wait();
     return cells;
+}
+
+SimResult
+runShardedCell(const SharedWorkload &workload,
+               const SchemeSpec &scheme, unsigned intervals,
+               std::uint64_t warmup, unsigned threads,
+               std::uint64_t warmHorizon)
+{
+    const std::uint64_t total = workload.instructions();
+    const auto measure_begin = static_cast<std::uint64_t>(
+        static_cast<double>(total) *
+        workload.config().warmupFraction);
+    const std::vector<SimInterval> plan = planIntervals(
+        measure_begin, total, intervals, warmup, warmHorizon);
+    if (plan.size() <= 1)
+        return workload.run(scheme);
+    std::vector<SimResult> parts(plan.size());
+    ThreadPool pool(threads);
+    for (std::size_t i = 0; i < plan.size(); ++i) {
+        pool.submit([&workload, &scheme, &plan, &parts, i] {
+            try {
+                parts[i] = workload.runInterval(scheme, plan[i]);
+            } catch (const std::exception &e) {
+                ACIC_FATAL(e.what());
+            }
+        });
+    }
+    pool.wait();
+    return mergeSimResults(parts);
 }
 
 } // namespace acic

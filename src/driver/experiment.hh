@@ -27,6 +27,10 @@
 
 namespace acic {
 
+/** Default timed-warmup instructions per measured interval — the
+ *  `--warmup` default the CLI help cites. */
+constexpr std::uint64_t kDefaultIntervalWarmup = 100'000;
+
 /** Declarative description of one experiment matrix. */
 struct ExperimentSpec
 {
@@ -51,6 +55,34 @@ struct ExperimentSpec
 
     /** Worker threads; 0 means hardware concurrency. */
     unsigned threads = 0;
+
+    /**
+     * Intervals each cell's trace is sharded into (intra-workload
+     * parallelism). 1 (the default) runs the legacy monolithic pass,
+     * bit-identical to the serial path. K > 1 slices the trace into
+     * K equal regions simulated concurrently on the same pool —
+     * each warmed by `intervalWarmup` instructions with stats frozen
+     * — and merges shard results with mergeSimResults(), so the
+     * longest workload no longer sets the wall-clock floor.
+     */
+    unsigned intervals = 1;
+
+    /**
+     * Timed-warmup instructions preceding each measured interval
+     * (clipped at the trace start; the first interval warms from a
+     * cold machine exactly like a full run). Only consulted when
+     * intervals > 1; full runs keep config.warmupFraction.
+     */
+    std::uint64_t intervalWarmup = kDefaultIntervalWarmup;
+
+    /**
+     * Functional-warming horizon per shard; 0 (default) warms from
+     * the trace start — most accurate, with per-shard cost
+     * O(shard start). Bound it (kScalingWarmHorizon) for very long
+     * traces where shard cost must stay O(horizon + interval). Only
+     * consulted when intervals > 1.
+     */
+    std::uint64_t warmHorizon = 0;
 
     /**
      * Per-workload trace-length override; 0 keeps preset lengths.
@@ -82,9 +114,27 @@ struct CellResult
     std::size_t workloadIndex = 0;
     std::size_t schemeIndex = 0;
     SimResult result;
-    /** Host wall-clock seconds the cell's simulation took. */
+    /**
+     * Host wall-clock seconds the cell's simulation took; for an
+     * interval-sharded cell, the summed simulation seconds of its
+     * shards (the work, not the elapsed span).
+     */
     double hostSeconds = 0.0;
 };
+
+/**
+ * Shard one (workload x scheme) cell into @p intervals regions, run
+ * them concurrently on a private pool of @p threads workers, and
+ * merge — the standalone intra-workload parallel primitive (benches,
+ * one-cell tools). The ExperimentDriver schedules the same shards
+ * inline on its own pool instead, so matrix- and interval-level
+ * parallelism share one set of workers.
+ */
+SimResult runShardedCell(const SharedWorkload &workload,
+                         const SchemeSpec &scheme,
+                         unsigned intervals, std::uint64_t warmup,
+                         unsigned threads = 0,
+                         std::uint64_t warmHorizon = 0);
 
 /** See file comment. */
 class ExperimentDriver

@@ -1,0 +1,461 @@
+#include "sim/engine.hh"
+
+#include "common/logging.hh"
+
+namespace acic {
+
+MachineState::MachineState(const SimConfig &config, TraceSource &trace)
+    : walker(trace, config.fetchWidth),
+      btb(config.btbEntries, config.btbWays), ras(config.rasDepth),
+      mshr(config.l1iMshrs), hierarchy(config.hierarchy)
+{
+    fills.reserve(config.l1iMshrs);
+    stPrefetches = raw.handle("sim.prefetches");
+    stDemandAccesses = raw.handle("sim.demand_accesses");
+    stL1iMisses = raw.handle("sim.l1i_misses");
+    stLatePrefetches = raw.handle("sim.late_prefetches");
+    stMispredicts = raw.handle("sim.mispredicts");
+    stBtbMisses = raw.handle("sim.btb_misses");
+    stRasMispredicts = raw.handle("sim.ras_mispredicts");
+}
+
+SimEngine::SimEngine(const SimConfig &config, TraceSource &trace,
+                     IcacheOrg &org, const DemandOracle *oracle)
+    : config_(config), trace_(trace), org_(org), oracle_(oracle),
+      state_(config, trace)
+{
+    // The walker reads lazily, so rewinding here (as the monolithic
+    // run() did up front) happens before any instruction is pulled.
+    trace_.reset();
+}
+
+std::uint64_t
+SimEngine::nextUseOf(std::uint64_t seq) const
+{
+    return oracle_ == nullptr ? kNeverAgain : oracle_->nextUseAt(seq);
+}
+
+std::uint64_t
+SimEngine::nextUseAfter(BlockAddr blk, std::uint64_t seq) const
+{
+    return oracle_ == nullptr ? kNeverAgain
+                              : oracle_->nextUseAfter(blk, seq);
+}
+
+bool
+SimEngine::issuePrefetch(BlockAddr blk, Addr pc, std::uint64_t seq)
+{
+    MachineState &m = state_;
+    if (org_.contains(blk) || m.mshr.pending(blk))
+        return true; // nothing to do; counts as considered
+    if (m.mshr.full())
+        return false;
+    const Cycle latency = m.hierarchy.serviceMiss(blk, pc);
+    m.mshr.allocate(blk, m.cycle + latency, true, pc, seq);
+    m.raw.bump(m.stPrefetches);
+    return true;
+}
+
+void
+SimEngine::functionalWarm(TraceSource &prefix)
+{
+    MachineState &m = state_;
+    ACIC_ASSERT(m.cycle == 0 && m.retired == 0 && m.ftq.empty(),
+                "functionalWarm() must precede any stepping");
+    // Three kinds of long-lived state get warmed, all driven by the
+    // instruction stream under a coarse stall-until-fill clock
+    // (1 cycle per fetch bundle plus the miss service latency):
+    //
+    //  - Branch predictors: mirror stage 5 of stepCycle() call for
+    //    call — predict() and lookup() mutate internal
+    //    history/recency state, so skipping them would leave the
+    //    predictors in a different state than a timed simulation of
+    //    the same prefix would.
+    //  - The organization itself: replacement/admission metadata
+    //    (SRRIP RRPVs, the ACIC history and pattern tables) trains
+    //    over the whole preceding trace, far longer than any
+    //    affordable timed warmup.
+    //  - The L2/L3 backing hierarchy (the slowest-warming capacity
+    //    in the model, ~10^6 instructions for the 2 MB L3), fed by
+    //    the organization's own demand-miss stream. Prefetch
+    //    timeliness — and therefore the measured late-prefetch and
+    //    miss counts — depends on L2/L3 hit rates, which is why a
+    //    cold hierarchy inflates interval MPKI.
+    //
+    // The engine clock resumes from the warming clock so the
+    // organization's delayed-update queues and gap trackers see
+    // monotonic time across the functional/timed boundary.
+    BundleWalker bundles(prefix, config_.fetchWidth);
+    bundles.reset();
+    Bundle bundle;
+    std::uint64_t bundle_seq = 0;
+    const bool entangling =
+        config_.prefetcher == PrefetcherKind::Entangling;
+    while (bundles.next(bundle)) {
+        org_.tick(m.cycle);
+        CacheAccess access;
+        access.pc = bundle.pc;
+        access.blk = bundle.blk;
+        access.seq = bundle_seq++;
+        access.cycle = m.cycle;
+        if (entangling)
+            m.entangler.onDemandAccess(access.blk, m.cycle);
+        if (!org_.access(access)) {
+            const Cycle latency =
+                m.hierarchy.serviceMiss(access.blk, access.pc);
+            if (entangling)
+                m.entangler.onDemandMiss(access.blk, m.cycle,
+                                         latency);
+            m.cycle += latency;
+            access.cycle = m.cycle;
+            org_.fill(access);
+        }
+        if (entangling) {
+            // Train only; candidates cannot be modeled without
+            // timing (and the queue is unbounded), so drain them.
+            BlockAddr discard;
+            while (m.entangler.popCandidate(discard)) {
+            }
+        }
+        ++m.cycle;
+        for (unsigned i = 0; i < bundle.count; ++i) {
+            const TraceInst &inst = bundle.insts[i];
+            switch (inst.kind) {
+              case BranchKind::None:
+                break;
+              case BranchKind::Cond: {
+                const bool pred = m.tage.predict(inst.pc);
+                m.tage.update(inst.pc, inst.taken);
+                if (pred == inst.taken && inst.taken)
+                    (void)m.btb.lookup(inst.pc);
+                if (inst.taken)
+                    m.btb.update(inst.pc, inst.nextPc);
+                break;
+              }
+              case BranchKind::Direct:
+              case BranchKind::Call:
+                (void)m.btb.lookup(inst.pc);
+                m.btb.update(inst.pc, inst.nextPc);
+                if (inst.kind == BranchKind::Call)
+                    m.ras.push(inst.pc + TraceInst::kInstBytes);
+                break;
+              case BranchKind::Return:
+                (void)m.ras.pop();
+                break;
+            }
+        }
+    }
+    const StatSet &hs = m.hierarchy.stats();
+    funcL2Accesses_ = hs.get("hier.l2_hit") + hs.get("hier.l2_miss");
+    funcL3Accesses_ = hs.get("hier.l3_hit") + hs.get("hier.l3_miss");
+    funcDramAccesses_ = hs.get("hier.dram_access");
+    orgStatsBase_ = org_.stats().raw();
+    warmedFunctionally_ = true;
+}
+
+void
+SimEngine::latchSnapshot()
+{
+    state_.warmupSnapped = true;
+    state_.snap = state_.raw;
+    state_.warmupCycle = state_.cycle;
+}
+
+void
+SimEngine::stepCycle()
+{
+    MachineState &m = state_;
+
+    // ---- 1. Structure pipelines -------------------------------
+    org_.tick(m.cycle);
+
+    // ---- 2. Fill completions ----------------------------------
+    m.fills.clear();
+    m.mshr.popReady(m.cycle, m.fills);
+    for (const auto &fill : m.fills) {
+        CacheAccess access;
+        access.blk = fill.blk;
+        access.pc = fill.pc;
+        access.seq = fill.seq;
+        access.cycle = m.cycle;
+        access.isPrefetch = fill.wasPrefetch && !fill.demandWaiting;
+        access.nextUse = fill.demandWaiting
+                             ? nextUseOf(fill.seq)
+                             : nextUseAfter(fill.blk,
+                                            m.lastDemandSeq);
+        org_.fill(access);
+        if (m.waiting && fill.blk == m.waitingBlk)
+            m.headReady = true;
+    }
+
+    // ---- 3. Retire --------------------------------------------
+    {
+        const std::uint64_t n = m.decodeQueue < config_.retireWidth
+                                    ? m.decodeQueue
+                                    : config_.retireWidth;
+        m.decodeQueue -= n;
+        m.retired += n;
+        if (!m.warmupSnapped && m.retired >= snapTarget_)
+            latchSnapshot();
+    }
+
+    // ---- 4. Fetch ---------------------------------------------
+    if (!m.ftq.empty() && !m.waiting) {
+        FtqEntry &head = m.ftq.front();
+        if (m.decodeQueue + head.bundle.count <=
+            config_.decodeQueueEntries) {
+            if (m.pendingAlloc) {
+                // Retry a blocked MSHR allocation.
+                const auto outcome = m.mshr.allocate(
+                    head.bundle.blk, m.cycle + m.pendingLatency,
+                    false, head.bundle.pc, head.seq);
+                if (outcome != MshrOutcome::Full) {
+                    m.pendingAlloc = false;
+                    m.waiting = true;
+                    m.waitingBlk = head.bundle.blk;
+                }
+            } else {
+                CacheAccess access;
+                access.pc = head.bundle.pc;
+                access.blk = head.bundle.blk;
+                access.seq = head.seq;
+                access.nextUse = nextUseOf(head.seq);
+                access.cycle = m.cycle;
+                m.lastDemandSeq = head.seq;
+                m.raw.bump(m.stDemandAccesses);
+                if (config_.prefetcher == PrefetcherKind::Entangling)
+                    m.entangler.onDemandAccess(access.blk, m.cycle);
+                const bool hit = org_.access(access);
+                if (hit) {
+                    m.decodeQueue += head.bundle.count;
+                    if (head.redirectPenalty > 0) {
+                        m.bpResumeAt = m.cycle + head.redirectPenalty;
+                        m.bpWaitingRedirect = false;
+                    }
+                    m.ftq.pop_front();
+                } else {
+                    m.raw.bump(m.stL1iMisses);
+                    const Cycle latency = m.hierarchy.serviceMiss(
+                        access.blk, access.pc);
+                    if (config_.prefetcher ==
+                        PrefetcherKind::Entangling) {
+                        m.entangler.onDemandMiss(access.blk, m.cycle,
+                                                 latency);
+                    }
+                    const auto outcome = m.mshr.allocate(
+                        access.blk, m.cycle + latency, false,
+                        access.pc, access.seq);
+                    if (outcome == MshrOutcome::Full) {
+                        m.pendingAlloc = true;
+                        m.pendingLatency = latency;
+                    } else {
+                        if (outcome == MshrOutcome::Merged)
+                            m.raw.bump(m.stLatePrefetches);
+                        m.waiting = true;
+                        m.waitingBlk = access.blk;
+                    }
+                }
+            }
+        }
+    } else if (!m.ftq.empty() && m.waiting && m.headReady) {
+        FtqEntry &head = m.ftq.front();
+        if (m.decodeQueue + head.bundle.count <=
+            config_.decodeQueueEntries) {
+            m.decodeQueue += head.bundle.count;
+            if (head.redirectPenalty > 0) {
+                m.bpResumeAt = m.cycle + head.redirectPenalty;
+                m.bpWaitingRedirect = false;
+            }
+            m.ftq.pop_front();
+            m.waiting = false;
+            m.headReady = false;
+        }
+    }
+
+    // ---- 5. Branch-prediction unit (bundle supply) -------------
+    for (unsigned bp_slot = 0;
+         bp_slot < config_.bpBundlesPerCycle && !m.walkerDone &&
+         !m.bpWaitingRedirect && m.cycle >= m.bpResumeAt &&
+         m.ftq.size() < config_.ftqEntries;
+         ++bp_slot) {
+        FtqEntry entry;
+        if (!m.walker.next(entry.bundle)) {
+            m.walkerDone = true;
+        } else {
+            entry.seq = m.seqCounter++;
+            Cycle penalty = 0;
+            for (unsigned i = 0; i < entry.bundle.count; ++i) {
+                const TraceInst &inst = entry.bundle.insts[i];
+                switch (inst.kind) {
+                  case BranchKind::None:
+                    break;
+                  case BranchKind::Cond: {
+                    const bool pred = m.tage.predict(inst.pc);
+                    m.tage.update(inst.pc, inst.taken);
+                    if (pred != inst.taken) {
+                        m.raw.bump(m.stMispredicts);
+                        penalty = config_.mispredictPenalty;
+                    } else if (inst.taken) {
+                        const auto target = m.btb.lookup(inst.pc);
+                        if (!target || *target != inst.nextPc) {
+                            m.raw.bump(m.stBtbMisses);
+                            if (penalty < config_.btbMissPenalty)
+                                penalty = config_.btbMissPenalty;
+                        }
+                    }
+                    if (inst.taken)
+                        m.btb.update(inst.pc, inst.nextPc);
+                    break;
+                  }
+                  case BranchKind::Direct:
+                  case BranchKind::Call: {
+                    const auto target = m.btb.lookup(inst.pc);
+                    if (!target || *target != inst.nextPc) {
+                        m.raw.bump(m.stBtbMisses);
+                        if (penalty < config_.btbMissPenalty)
+                            penalty = config_.btbMissPenalty;
+                    }
+                    m.btb.update(inst.pc, inst.nextPc);
+                    if (inst.kind == BranchKind::Call)
+                        m.ras.push(inst.pc + TraceInst::kInstBytes);
+                    break;
+                  }
+                  case BranchKind::Return: {
+                    const Addr predicted = m.ras.pop();
+                    if (predicted != inst.nextPc) {
+                        m.raw.bump(m.stRasMispredicts);
+                        penalty = config_.mispredictPenalty;
+                    }
+                    break;
+                  }
+                }
+            }
+            entry.redirectPenalty = penalty;
+            if (penalty > 0)
+                m.bpWaitingRedirect = true;
+            m.ftq.push_back(std::move(entry));
+        }
+    }
+
+    // ---- 6. Prefetch issue ------------------------------------
+    if (config_.prefetcher == PrefetcherKind::Fdp) {
+        unsigned issued = 0;
+        for (std::size_t i = 1;
+             i < m.ftq.size() && issued < config_.prefetchDegree;
+             ++i) {
+            FtqEntry &entry = m.ftq[i];
+            if (entry.prefetchConsidered)
+                continue;
+            if (issuePrefetch(entry.bundle.blk, entry.bundle.pc,
+                              entry.seq)) {
+                entry.prefetchConsidered = true;
+                ++issued;
+            } else {
+                break; // MSHRs full; retry next cycle
+            }
+        }
+    } else if (config_.prefetcher == PrefetcherKind::Entangling) {
+        unsigned issued = 0;
+        BlockAddr candidate;
+        while (issued < config_.prefetchDegree &&
+               m.entangler.popCandidate(candidate)) {
+            issuePrefetch(candidate, 0, m.lastDemandSeq);
+            ++issued;
+        }
+    }
+
+    ++m.cycle;
+}
+
+void
+SimEngine::advanceUntilRetired(std::uint64_t target)
+{
+    MachineState &m = state_;
+    if (m.retired >= target)
+        return;
+    // Guard against pathological stalls (indicates a simulator bug).
+    const Cycle cycle_limit =
+        m.cycle + (target - m.retired) * 64 + 1'000'000;
+    while (m.retired < target) {
+        ACIC_ASSERT(m.cycle < cycle_limit,
+                    "simulator wedged: cycle limit exceeded");
+        stepCycle();
+    }
+}
+
+void
+SimEngine::warmUp(std::uint64_t n)
+{
+    ACIC_ASSERT(!state_.warmupSnapped,
+                "warmUp(): snapshot already latched (warmUp runs at "
+                "most once and must precede measure)");
+    snapTarget_ = state_.retired + n;
+    measureTarget_ = snapTarget_;
+    if (state_.retired >= snapTarget_) {
+        // Zero-length warmup: latch before the first cycle, which is
+        // where the legacy retire-stage check would latch (no counter
+        // moves before the first retire stage).
+        latchSnapshot();
+        return;
+    }
+    advanceUntilRetired(snapTarget_);
+    ACIC_ASSERT(state_.warmupSnapped,
+                "warmup completed without latching its snapshot");
+}
+
+void
+SimEngine::measure(std::uint64_t n)
+{
+    if (!state_.warmupSnapped)
+        warmUp(0);
+    measureTarget_ += n;
+    advanceUntilRetired(measureTarget_);
+}
+
+SimResult
+SimEngine::finish() const
+{
+    const MachineState &m = state_;
+    SimResult result;
+    result.workload = trace_.name();
+    result.scheme = org_.name();
+    result.instructions = measureTarget_ - snapTarget_;
+    result.cycles = m.cycle - m.warmupCycle;
+    result.demandAccesses = m.raw.get(m.stDemandAccesses) -
+                            m.snap.get("sim.demand_accesses");
+    result.l1iMisses =
+        m.raw.get(m.stL1iMisses) - m.snap.get("sim.l1i_misses");
+    result.branchMispredicts =
+        m.raw.get(m.stMispredicts) - m.snap.get("sim.mispredicts");
+    result.btbMisses =
+        m.raw.get(m.stBtbMisses) - m.snap.get("sim.btb_misses");
+    result.prefetchesIssued =
+        m.raw.get(m.stPrefetches) - m.snap.get("sim.prefetches");
+    result.latePrefetches = m.raw.get(m.stLatePrefetches) -
+                            m.snap.get("sim.late_prefetches");
+
+    const auto &hs = m.hierarchy.stats();
+    result.l2Accesses = hs.get("hier.l2_hit") +
+                        hs.get("hier.l2_miss") - funcL2Accesses_;
+    result.l3Accesses = hs.get("hier.l3_hit") +
+                        hs.get("hier.l3_miss") - funcL3Accesses_;
+    result.dramAccesses =
+        hs.get("hier.dram_access") - funcDramAccesses_;
+    if (!warmedFunctionally_) {
+        result.orgStats = org_.stats();
+    } else {
+        // Report only the organization activity since the warming
+        // pass; every org counter is a monotonic bump() count (no
+        // set() gauges), so a per-name subtraction is exact.
+        for (const auto &[name, value] : org_.stats().raw()) {
+            const auto it = orgStatsBase_.find(name);
+            const std::uint64_t base =
+                it == orgStatsBase_.end() ? 0 : it->second;
+            if (value > base)
+                result.orgStats.bump(name, value - base);
+        }
+    }
+    return result;
+}
+
+} // namespace acic

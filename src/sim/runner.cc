@@ -4,8 +4,39 @@
 #include <cstdlib>
 
 #include "common/logging.hh"
+#include "sim/engine.hh"
 
 namespace acic {
+
+std::vector<SimInterval>
+planIntervals(std::uint64_t measureBegin, std::uint64_t measureEnd,
+              unsigned intervals, std::uint64_t warmup,
+              std::uint64_t warmHorizon)
+{
+    if (measureEnd < measureBegin)
+        measureEnd = measureBegin;
+    const std::uint64_t span = measureEnd - measureBegin;
+    std::uint64_t k = intervals == 0 ? 1 : intervals;
+    if (span > 0 && k > span)
+        k = span;
+    if (span == 0)
+        k = 1;
+    std::vector<SimInterval> plan(static_cast<std::size_t>(k));
+    for (std::uint64_t i = 0; i < k; ++i) {
+        SimInterval &iv = plan[static_cast<std::size_t>(i)];
+        // Equal split with the remainder on the leading shards:
+        // boundary j = floor(span * j / k) is monotone and exact.
+        iv.begin = measureBegin + span / k * i + span % k * i / k;
+        iv.end = measureBegin + span / k * (i + 1) +
+                 span % k * (i + 1) / k;
+        iv.warmStart = iv.begin > warmup ? iv.begin - warmup : 0;
+        iv.funcStart = warmHorizon > 0 &&
+                               iv.warmStart > warmHorizon
+                           ? iv.warmStart - warmHorizon
+                           : 0;
+    }
+    return plan;
+}
 
 WorkloadParams
 WorkloadContext::withEnvOverrides(WorkloadParams params)
@@ -81,14 +112,21 @@ SharedWorkload::SharedWorkload(WorkloadParams params, SimConfig config)
     : config_(config), name_(params.name)
 {
     image_ = generateImage(params);
-    oracle_ = buildOracle(image_, name_, config_.fetchWidth);
 }
 
 SharedWorkload::SharedWorkload(TraceSource &source, SimConfig config)
     : config_(config), name_(source.name()),
-      image_(materializeTrace(source)),
-      oracle_(buildOracle(image_, name_, config_.fetchWidth))
+      image_(materializeTrace(source))
 {
+}
+
+const DemandOracle &
+SharedWorkload::oracle() const
+{
+    std::call_once(oracleOnce_, [this] {
+        oracle_ = buildOracle(image_, name_, config_.fetchWidth);
+    });
+    return oracle_;
 }
 
 SimResult
@@ -109,7 +147,58 @@ SharedWorkload::run(IcacheOrg &org) const
 {
     MemoryTraceSource cursor = source();
     Simulator simulator(config_);
-    return simulator.run(cursor, org, &oracle_);
+    return simulator.run(cursor, org, &oracle());
+}
+
+DemandOracle
+SharedWorkload::buildIntervalOracle(const SimInterval &interval) const
+{
+    // Region-local oracle: next-use indices must align with the
+    // demand sequence the engine walks, which starts at warmStart.
+    // OPT-style schemes therefore see Belady decisions local to the
+    // interval — the standard sampled-simulation approximation.
+    MemoryTraceSource cursor(image_, name_, interval.warmStart,
+                             interval.end);
+    return DemandOracle::build(cursor, config_.fetchWidth);
+}
+
+SimResult
+SharedWorkload::runInterval(const SchemeSpec &scheme,
+                            const SimInterval &interval,
+                            const DemandOracle *oracle) const
+{
+    auto org = makeScheme(scheme, config_);
+    return runInterval(*org, interval, oracle);
+}
+
+SimResult
+SharedWorkload::runInterval(IcacheOrg &org,
+                            const SimInterval &interval,
+                            const DemandOracle *oracle) const
+{
+    ACIC_ASSERT(interval.funcStart <= interval.warmStart &&
+                    interval.warmStart <= interval.begin &&
+                    interval.begin <= interval.end,
+                "malformed simulation interval");
+    DemandOracle local;
+    if (oracle == nullptr) {
+        local = buildIntervalOracle(interval);
+        oracle = &local;
+    }
+    MemoryTraceSource cursor(image_, name_, interval.warmStart,
+                             interval.end);
+    SimEngine engine(config_, cursor, org, oracle);
+    // Functionally replay the prefix (bounded by the planning
+    // horizon) to warm predictors, organization metadata, and the
+    // L2/L3 before the timed warmup region.
+    if (interval.warmStart > interval.funcStart) {
+        MemoryTraceSource prefix(image_, name_, interval.funcStart,
+                                 interval.warmStart);
+        engine.functionalWarm(prefix);
+    }
+    engine.warmUp(interval.warmup());
+    engine.measure(interval.measured());
+    return engine.finish();
 }
 
 } // namespace acic

@@ -17,6 +17,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <string>
 
 #include "sim/scheme.hh"
@@ -26,6 +27,57 @@
 #include "trace/workload_params.hh"
 
 namespace acic {
+
+/**
+ * One shard of an interval-parallel run: instructions
+ * [funcStart, warmStart) functionally warm the long-lived state
+ * (branch predictors, organization metadata, L2/L3 contents — see
+ * SimEngine::functionalWarm), [warmStart, begin) warm under full
+ * timing with stats frozen via the SimEngine snapshot, and
+ * [begin, end) is the measured region. Shard results merge with
+ * mergeSimResults().
+ */
+struct SimInterval
+{
+    std::uint64_t funcStart = 0; ///< functional-warming start
+    std::uint64_t warmStart = 0; ///< first timed instruction
+    std::uint64_t begin = 0;     ///< first measured instruction
+    std::uint64_t end = 0;       ///< one past the last measured
+
+    std::uint64_t measured() const { return end - begin; }
+    std::uint64_t warmup() const { return begin - warmStart; }
+};
+
+/**
+ * Suggested functional-warming horizon for very long traces:
+ * long-lived state mostly saturates within a few million
+ * instructions (the 2 MB L3 holds 32 K blocks; TAGE/BTB sooner), so
+ * a bounded horizon keeps per-shard cost O(horizon + interval) as
+ * traces grow — near-linear intra-workload scaling — at the price
+ * of ~1-2% MPKI error on slow-warming (low-MPKI) workloads. The
+ * default everywhere is 0 (warm from the trace start): sub-1% on
+ * every catalog workload, with the cheap functional pass still
+ * dominated by the parallelized detailed simulation.
+ */
+constexpr std::uint64_t kScalingWarmHorizon = 2'500'000;
+
+/**
+ * Slice the measured region [@p measureBegin, @p measureEnd) into
+ * @p intervals equal shards (the remainder spread over the leading
+ * shards), each preceded by up to @p warmup instructions of
+ * functional warming clipped at the trace start. Passing the
+ * full-run measured region (measureBegin = total * warmupFraction)
+ * makes the merged shards cover exactly the instruction span a
+ * monolithic run measures, so merged and full-run MPKI are directly
+ * comparable. @p intervals is clamped to [1, region length]; an
+ * empty region yields one empty interval. @p warmHorizon bounds the
+ * functional-warming prefix per shard (0 = unbounded, warm from the
+ * trace start).
+ */
+std::vector<SimInterval>
+planIntervals(std::uint64_t measureBegin, std::uint64_t measureEnd,
+              unsigned intervals, std::uint64_t warmup,
+              std::uint64_t warmHorizon = 0);
 
 /** See file comment. */
 class WorkloadContext
@@ -92,13 +144,53 @@ class SharedWorkload
      */
     SimResult run(IcacheOrg &org) const;
 
+    /**
+     * Simulate one interval shard: a private region cursor over
+     * [interval.warmStart, interval.end) of the shared image, a
+     * region-local oracle, warmUp(interval.warmup()), and
+     * measure(interval.measured()). Safe to call from any thread;
+     * this is the per-worker unit of interval-parallel simulation.
+     * Note config().warmupFraction does NOT apply — the interval's
+     * explicit warmup region replaces it.
+     *
+     * @param oracle optional pre-built region oracle whose indices
+     *        start at interval.warmStart (see buildIntervalOracle).
+     *        The oracle depends only on the region, so callers
+     *        running many schemes over the same shard build it once;
+     *        when null, a region-local oracle is built internally.
+     */
+    SimResult runInterval(const SchemeSpec &scheme,
+                          const SimInterval &interval,
+                          const DemandOracle *oracle = nullptr) const;
+
+    /** As above with a caller-owned organization. */
+    SimResult runInterval(IcacheOrg &org,
+                          const SimInterval &interval,
+                          const DemandOracle *oracle = nullptr) const;
+
+    /**
+     * Build the region-local oracle of one shard — the demand
+     * sequence over [interval.warmStart, interval.end), indices
+     * starting at warmStart — for sharing across runInterval()
+     * calls of different schemes.
+     */
+    DemandOracle
+    buildIntervalOracle(const SimInterval &interval) const;
+
     /** A fresh private cursor over the shared trace image. */
     MemoryTraceSource source() const
     {
         return MemoryTraceSource(image_, name_);
     }
 
-    const DemandOracle &oracle() const { return oracle_; }
+    /**
+     * The whole-trace oracle, built on first use (thread-safe).
+     * Lazy because interval runs never consult it — they build
+     * region-local oracles instead — and a full-trace pass per
+     * workload would be pure overhead there.
+     */
+    const DemandOracle &oracle() const;
+
     const SimConfig &config() const { return config_; }
     const std::string &name() const { return name_; }
     std::uint64_t instructions() const { return image_->size(); }
@@ -107,7 +199,8 @@ class SharedWorkload
     SimConfig config_;
     std::string name_;
     TraceImage image_;
-    DemandOracle oracle_;
+    mutable std::once_flag oracleOnce_;
+    mutable DemandOracle oracle_;
 };
 
 } // namespace acic

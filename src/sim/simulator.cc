@@ -1,30 +1,9 @@
 #include "sim/simulator.hh"
 
-#include <deque>
-#include <vector>
-
-#include "cache/hierarchy.hh"
-#include "cache/mshr.hh"
 #include "common/logging.hh"
-#include "frontend/btb.hh"
-#include "frontend/bundle.hh"
-#include "frontend/entangling.hh"
-#include "frontend/tage.hh"
+#include "sim/engine.hh"
 
 namespace acic {
-
-namespace {
-
-/** One FTQ entry: a fetch bundle plus BP bookkeeping. */
-struct FtqEntry
-{
-    Bundle bundle;
-    std::uint64_t seq = 0;      ///< demand-sequence index
-    Cycle redirectPenalty = 0;  ///< charged when the bundle is fetched
-    bool prefetchConsidered = false;
-};
-
-} // namespace
 
 Simulator::Simulator(SimConfig config) : config_(config) {}
 
@@ -32,329 +11,39 @@ SimResult
 Simulator::run(TraceSource &trace, IcacheOrg &org,
                const DemandOracle *oracle)
 {
-    trace.reset();
-    BundleWalker walker(trace, config_.fetchWidth);
-    Tage tage;
-    Btb btb(config_.btbEntries, config_.btbWays);
-    ReturnAddressStack ras(config_.rasDepth);
-    MshrFile mshr(config_.l1iMshrs);
-    MemoryHierarchy hierarchy(config_.hierarchy);
-    EntanglingPrefetcher entangler;
-
-    std::deque<FtqEntry> ftq;
-    std::vector<MshrFile::Fill> fills;
-    fills.reserve(config_.l1iMshrs);
-
     const std::uint64_t total_insts = trace.length();
     const std::uint64_t warmup_insts = static_cast<std::uint64_t>(
         static_cast<double>(total_insts) * config_.warmupFraction);
 
-    Cycle cycle = 0;
-    Cycle bp_resume_at = 0;
-    bool bp_waiting_redirect = false; // paused until bundle fetched
-    bool walker_done = false;
+    SimEngine engine(config_, trace, org, oracle);
+    engine.warmUp(warmup_insts);
+    engine.measure(total_insts - warmup_insts);
+    return engine.finish();
+}
 
-    std::uint64_t decode_queue = 0; // instructions buffered
-    std::uint64_t retired = 0;
-    std::uint64_t seq_counter = 0;
-    std::uint64_t last_demand_seq = 0;
-
-    // Demand-miss wait state: the FTQ head stalls on this block.
-    // `head_ready` is latched by the fill *event* (not by re-probing
-    // the organization): a bypassing organization may drop the fill,
-    // and a later fill may even re-evict the block, but the waiting
-    // fetch group was satisfied by the returning miss either way.
-    bool waiting = false;
-    BlockAddr waiting_blk = 0;
-    bool head_ready = false;
-    bool pending_alloc = false; // MSHRs were full; retry allocate
-    Cycle pending_latency = 0;
-
-    StatSet raw; // cumulative counters; warmup snapshot subtracted
-    // Handle registration happens before the snapshot copy below, so
-    // `raw` and `snap` share one index layout for the whole run.
-    const StatHandle st_prefetches = raw.handle("sim.prefetches");
-    const StatHandle st_demand_accesses =
-        raw.handle("sim.demand_accesses");
-    const StatHandle st_l1i_misses = raw.handle("sim.l1i_misses");
-    const StatHandle st_late_prefetches =
-        raw.handle("sim.late_prefetches");
-    const StatHandle st_mispredicts = raw.handle("sim.mispredicts");
-    const StatHandle st_btb_misses = raw.handle("sim.btb_misses");
-    const StatHandle st_ras_mispredicts =
-        raw.handle("sim.ras_mispredicts");
-    bool warmup_snapped = false;
-    StatSet snap;
-    Cycle warmup_cycle = 0;
-
-    const auto next_use_of = [&](std::uint64_t seq) -> std::uint64_t {
-        return oracle == nullptr ? kNeverAgain
-                                 : oracle->nextUseAt(seq);
-    };
-    const auto next_use_after =
-        [&](BlockAddr blk, std::uint64_t seq) -> std::uint64_t {
-        return oracle == nullptr ? kNeverAgain
-                                 : oracle->nextUseAfter(blk, seq);
-    };
-
-    const auto issue_prefetch = [&](BlockAddr blk, Addr pc,
-                                    std::uint64_t seq) -> bool {
-        if (org.contains(blk) || mshr.pending(blk))
-            return true; // nothing to do; counts as considered
-        if (mshr.full())
-            return false;
-        const Cycle latency = hierarchy.serviceMiss(blk, pc);
-        mshr.allocate(blk, cycle + latency, true, pc, seq);
-        raw.bump(st_prefetches);
-        return true;
-    };
-
-    // Guard against pathological stalls (indicates a simulator bug).
-    const Cycle cycle_limit =
-        total_insts * 64 + 1'000'000;
-
-    while (retired < total_insts) {
-        ACIC_ASSERT(cycle < cycle_limit,
-                    "simulator wedged: cycle limit exceeded");
-
-        // ---- 1. Structure pipelines -------------------------------
-        org.tick(cycle);
-
-        // ---- 2. Fill completions ----------------------------------
-        fills.clear();
-        mshr.popReady(cycle, fills);
-        for (const auto &fill : fills) {
-            CacheAccess access;
-            access.blk = fill.blk;
-            access.pc = fill.pc;
-            access.seq = fill.seq;
-            access.cycle = cycle;
-            access.isPrefetch = fill.wasPrefetch &&
-                                !fill.demandWaiting;
-            access.nextUse =
-                fill.demandWaiting
-                    ? next_use_of(fill.seq)
-                    : next_use_after(fill.blk, last_demand_seq);
-            org.fill(access);
-            if (waiting && fill.blk == waiting_blk)
-                head_ready = true;
-        }
-
-        // ---- 3. Retire --------------------------------------------
-        {
-            const std::uint64_t n =
-                decode_queue < config_.retireWidth ? decode_queue
-                                                   : config_.retireWidth;
-            decode_queue -= n;
-            retired += n;
-            if (!warmup_snapped && retired >= warmup_insts) {
-                warmup_snapped = true;
-                snap = raw;
-                warmup_cycle = cycle;
-            }
-        }
-
-        // ---- 4. Fetch ---------------------------------------------
-        if (!ftq.empty() && !waiting) {
-            FtqEntry &head = ftq.front();
-            if (decode_queue + head.bundle.count <=
-                config_.decodeQueueEntries) {
-                if (pending_alloc) {
-                    // Retry a blocked MSHR allocation.
-                    const auto outcome = mshr.allocate(
-                        head.bundle.blk, cycle + pending_latency,
-                        false, head.bundle.pc, head.seq);
-                    if (outcome != MshrOutcome::Full) {
-                        pending_alloc = false;
-                        waiting = true;
-                        waiting_blk = head.bundle.blk;
-                    }
-                } else {
-                    CacheAccess access;
-                    access.pc = head.bundle.pc;
-                    access.blk = head.bundle.blk;
-                    access.seq = head.seq;
-                    access.nextUse = next_use_of(head.seq);
-                    access.cycle = cycle;
-                    last_demand_seq = head.seq;
-                    raw.bump(st_demand_accesses);
-                    if (config_.prefetcher ==
-                        PrefetcherKind::Entangling) {
-                        entangler.onDemandAccess(access.blk, cycle);
-                    }
-                    const bool hit = org.access(access);
-                    if (hit) {
-                        decode_queue += head.bundle.count;
-                        if (head.redirectPenalty > 0) {
-                            bp_resume_at =
-                                cycle + head.redirectPenalty;
-                            bp_waiting_redirect = false;
-                        }
-                        ftq.pop_front();
-                    } else {
-                        raw.bump(st_l1i_misses);
-                        const Cycle latency = hierarchy.serviceMiss(
-                            access.blk, access.pc);
-                        if (config_.prefetcher ==
-                            PrefetcherKind::Entangling) {
-                            entangler.onDemandMiss(access.blk, cycle,
-                                                   latency);
-                        }
-                        const auto outcome = mshr.allocate(
-                            access.blk, cycle + latency, false,
-                            access.pc, access.seq);
-                        if (outcome == MshrOutcome::Full) {
-                            pending_alloc = true;
-                            pending_latency = latency;
-                        } else {
-                            if (outcome == MshrOutcome::Merged)
-                                raw.bump(st_late_prefetches);
-                            waiting = true;
-                            waiting_blk = access.blk;
-                        }
-                    }
-                }
-            }
-        } else if (!ftq.empty() && waiting && head_ready) {
-            FtqEntry &head = ftq.front();
-            if (decode_queue + head.bundle.count <=
-                config_.decodeQueueEntries) {
-                decode_queue += head.bundle.count;
-                if (head.redirectPenalty > 0) {
-                    bp_resume_at = cycle + head.redirectPenalty;
-                    bp_waiting_redirect = false;
-                }
-                ftq.pop_front();
-                waiting = false;
-                head_ready = false;
-            }
-        }
-
-        // ---- 5. Branch-prediction unit (bundle supply) -------------
-        for (unsigned bp_slot = 0;
-             bp_slot < config_.bpBundlesPerCycle && !walker_done &&
-             !bp_waiting_redirect && cycle >= bp_resume_at &&
-             ftq.size() < config_.ftqEntries;
-             ++bp_slot) {
-            FtqEntry entry;
-            if (!walker.next(entry.bundle)) {
-                walker_done = true;
-            } else {
-                entry.seq = seq_counter++;
-                Cycle penalty = 0;
-                for (unsigned i = 0; i < entry.bundle.count; ++i) {
-                    const TraceInst &inst = entry.bundle.insts[i];
-                    switch (inst.kind) {
-                      case BranchKind::None:
-                        break;
-                      case BranchKind::Cond: {
-                        const bool pred = tage.predict(inst.pc);
-                        tage.update(inst.pc, inst.taken);
-                        if (pred != inst.taken) {
-                            raw.bump(st_mispredicts);
-                            penalty = config_.mispredictPenalty;
-                        } else if (inst.taken) {
-                            const auto target = btb.lookup(inst.pc);
-                            if (!target || *target != inst.nextPc) {
-                                raw.bump(st_btb_misses);
-                                if (penalty < config_.btbMissPenalty)
-                                    penalty = config_.btbMissPenalty;
-                            }
-                        }
-                        if (inst.taken)
-                            btb.update(inst.pc, inst.nextPc);
-                        break;
-                      }
-                      case BranchKind::Direct:
-                      case BranchKind::Call: {
-                        const auto target = btb.lookup(inst.pc);
-                        if (!target || *target != inst.nextPc) {
-                            raw.bump(st_btb_misses);
-                            if (penalty < config_.btbMissPenalty)
-                                penalty = config_.btbMissPenalty;
-                        }
-                        btb.update(inst.pc, inst.nextPc);
-                        if (inst.kind == BranchKind::Call) {
-                            ras.push(inst.pc +
-                                     TraceInst::kInstBytes);
-                        }
-                        break;
-                      }
-                      case BranchKind::Return: {
-                        const Addr predicted = ras.pop();
-                        if (predicted != inst.nextPc) {
-                            raw.bump(st_ras_mispredicts);
-                            penalty = config_.mispredictPenalty;
-                        }
-                        break;
-                      }
-                    }
-                }
-                entry.redirectPenalty = penalty;
-                if (penalty > 0)
-                    bp_waiting_redirect = true;
-                ftq.push_back(std::move(entry));
-            }
-        }
-
-        // ---- 6. Prefetch issue ------------------------------------
-        if (config_.prefetcher == PrefetcherKind::Fdp) {
-            unsigned issued = 0;
-            for (std::size_t i = 1;
-                 i < ftq.size() && issued < config_.prefetchDegree;
-                 ++i) {
-                FtqEntry &entry = ftq[i];
-                if (entry.prefetchConsidered)
-                    continue;
-                if (issue_prefetch(entry.bundle.blk, entry.bundle.pc,
-                                   entry.seq)) {
-                    entry.prefetchConsidered = true;
-                    ++issued;
-                } else {
-                    break; // MSHRs full; retry next cycle
-                }
-            }
-        } else if (config_.prefetcher == PrefetcherKind::Entangling) {
-            unsigned issued = 0;
-            BlockAddr candidate;
-            while (issued < config_.prefetchDegree &&
-                   entangler.popCandidate(candidate)) {
-                issue_prefetch(candidate, 0, last_demand_seq);
-                ++issued;
-            }
-        }
-
-        ++cycle;
+SimResult
+mergeSimResults(const std::vector<SimResult> &parts)
+{
+    ACIC_ASSERT(!parts.empty(), "mergeSimResults: no partial results");
+    SimResult merged;
+    merged.workload = parts.front().workload;
+    merged.scheme = parts.front().scheme;
+    for (const SimResult &part : parts) {
+        merged.instructions += part.instructions;
+        merged.cycles += part.cycles;
+        merged.demandAccesses += part.demandAccesses;
+        merged.l1iMisses += part.l1iMisses;
+        merged.branchMispredicts += part.branchMispredicts;
+        merged.btbMisses += part.btbMisses;
+        merged.prefetchesIssued += part.prefetchesIssued;
+        merged.latePrefetches += part.latePrefetches;
+        merged.l2Accesses += part.l2Accesses;
+        merged.l3Accesses += part.l3Accesses;
+        merged.dramAccesses += part.dramAccesses;
+        for (const auto &[name, value] : part.orgStats.raw())
+            merged.orgStats.bump(name, value);
     }
-
-    // ---- Result assembly ------------------------------------------
-    SimResult result;
-    result.workload = trace.name();
-    result.scheme = org.name();
-    result.instructions = total_insts - warmup_insts;
-    result.cycles = cycle - warmup_cycle;
-    result.demandAccesses =
-        raw.get("sim.demand_accesses") -
-        snap.get("sim.demand_accesses");
-    result.l1iMisses =
-        raw.get("sim.l1i_misses") - snap.get("sim.l1i_misses");
-    result.branchMispredicts =
-        raw.get("sim.mispredicts") - snap.get("sim.mispredicts");
-    result.btbMisses =
-        raw.get("sim.btb_misses") - snap.get("sim.btb_misses");
-    result.prefetchesIssued =
-        raw.get("sim.prefetches") - snap.get("sim.prefetches");
-    result.latePrefetches = raw.get("sim.late_prefetches") -
-                            snap.get("sim.late_prefetches");
-
-    const auto &hs = hierarchy.stats();
-    result.l2Accesses =
-        hs.get("hier.l2_hit") + hs.get("hier.l2_miss");
-    result.l3Accesses =
-        hs.get("hier.l3_hit") + hs.get("hier.l3_miss");
-    result.dramAccesses = hs.get("hier.dram_access");
-    result.orgStats = org.stats();
-    return result;
+    return merged;
 }
 
 } // namespace acic

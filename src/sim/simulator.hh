@@ -9,6 +9,11 @@
  * prefetcher) issues block prefetches. Correct-path only: a predicted-
  * wrong branch stalls bundle supply for the redirect penalty, the
  * standard ChampSim-style approximation (DESIGN.md, substitution 2).
+ *
+ * The per-cycle stepping core lives in sim/engine.hh (SimEngine /
+ * MachineState, the resumable phase API); this header keeps the
+ * one-shot run() wrapper, the SimResult record, and the
+ * interval-merge helper.
  */
 
 #ifndef ACIC_SIM_SIMULATOR_HH
@@ -16,6 +21,7 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "cache/icache_org.hh"
 #include "common/stats.hh"
@@ -68,7 +74,11 @@ struct SimResult
     }
 };
 
-/** See file comment. */
+/**
+ * See file comment. The stepping core lives in SimEngine
+ * (sim/engine.hh); this is the one-shot convenience wrapper:
+ * warmUp(total * warmupFraction) then measure(the rest).
+ */
 class Simulator
 {
   public:
@@ -87,6 +97,16 @@ class Simulator
   private:
     SimConfig config_;
 };
+
+/**
+ * Weighted merge of per-interval partial results into one whole-run
+ * SimResult: every counter (instructions, cycles, misses, the org
+ * stats) sums, and the derived rates recompute from the sums — so
+ * merged ipc() is the instruction-weighted harmonic combination and
+ * merged mpki() is total misses over total instructions. Workload and
+ * scheme labels are taken from the first part.
+ */
+SimResult mergeSimResults(const std::vector<SimResult> &parts);
 
 } // namespace acic
 

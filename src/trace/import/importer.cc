@@ -71,7 +71,9 @@ class NativeImporter : public TraceImporter
         if (in.read(header, sizeof(header)) != sizeof(header) ||
             loadU32(header) != TraceFormat::kMagic)
             ACIC_FATAL("not an ACIC trace (bad magic)");
-        if (loadU16(header + 4) != TraceFormat::kVersion)
+        const std::uint16_t version = loadU16(header + 4);
+        if (version < TraceFormat::kMinVersion ||
+            version > TraceFormat::kVersion)
             ACIC_FATAL("unsupported trace-format version");
         const std::uint64_t count =
             static_cast<std::uint64_t>(loadU32(header + 8)) |

@@ -11,9 +11,6 @@ namespace {
 /** Buffer size for both writer and reader (1 MiB). */
 constexpr std::size_t kBufBytes = 1u << 20;
 
-/** Header byte offset of the instruction-count field. */
-constexpr std::streamoff kCountOff = 8;
-
 void
 putU16(std::vector<std::uint8_t> &buf, std::uint16_t v)
 {
@@ -70,8 +67,10 @@ readU64(std::istream &in)
 // ------------------------------------------------------------ TraceWriter
 
 TraceWriter::TraceWriter(const std::string &path,
-                         const std::string &name)
-    : out_(path, std::ios::binary | std::ios::trunc), path_(path)
+                         const std::string &name,
+                         std::uint64_t index_interval)
+    : out_(path, std::ios::binary | std::ios::trunc), path_(path),
+      indexInterval_(index_interval)
 {
     if (!out_)
         ACIC_FATAL("cannot open trace file for writing");
@@ -91,7 +90,14 @@ TraceWriter::TraceWriter(const std::string &path,
     putU32(buf_, static_cast<std::uint32_t>(name.size()));
     for (const char c : name)
         buf_.push_back(static_cast<std::uint8_t>(c));
+    headerBytes_ = buf_.size();
     open_ = true;
+}
+
+std::uint64_t
+TraceWriter::bytesOut() const
+{
+    return flushedBytes_ + buf_.size();
 }
 
 TraceWriter::~TraceWriter()
@@ -127,6 +133,7 @@ TraceWriter::flush()
         return;
     out_.write(reinterpret_cast<const char *>(buf_.data()),
                static_cast<std::streamsize>(buf_.size()));
+    flushedBytes_ += buf_.size();
     buf_.clear();
 }
 
@@ -134,6 +141,14 @@ void
 TraceWriter::append(const TraceInst &inst)
 {
     ACIC_ASSERT(open_, "append() on a closed TraceWriter");
+    // This record starts instruction `count_`; when that lands on an
+    // index-checkpoint boundary, capture where it begins and the
+    // varint-chain state needed to decode it.
+    if (indexInterval_ > 0 && count_ > 0 &&
+        count_ % indexInterval_ == 0) {
+        checkpoints_.push_back(
+            {bytesOut() - headerBytes_, prevNext_});
+    }
     const bool linked = inst.pc == prevNext_;
     const Addr seq_next = inst.pc + TraceInst::kInstBytes;
     const bool sequential = inst.nextPc == seq_next;
@@ -165,11 +180,28 @@ TraceWriter::close()
     if (!open_)
         return;
     flush();
-    out_.seekp(kCountOff);
-    std::vector<std::uint8_t> count_bytes;
-    putU64(count_bytes, count_);
-    out_.write(reinterpret_cast<const char *>(count_bytes.data()),
-               static_cast<std::streamsize>(count_bytes.size()));
+    std::uint16_t flags = 0;
+    if (indexInterval_ > 0) {
+        // Index footer: checkpoints, then the fixed trailer readers
+        // locate from the end of the file.
+        for (const TraceCheckpoint &cp : checkpoints_) {
+            putU64(buf_, cp.offset);
+            putU64(buf_, cp.prevNext);
+        }
+        putU64(buf_, indexInterval_);
+        putU32(buf_,
+               static_cast<std::uint32_t>(checkpoints_.size()));
+        putU32(buf_, TraceFormat::kIndexMagic);
+        flush();
+        flags |= TraceFormat::kFlagHasIndex;
+    }
+    // Patch the flags and the instruction count into the header.
+    out_.seekp(6);
+    std::vector<std::uint8_t> patch;
+    putU16(patch, flags);
+    putU64(patch, count_);
+    out_.write(reinterpret_cast<const char *>(patch.data()),
+               static_cast<std::streamsize>(patch.size()));
     out_.close();
     if (!out_)
         ACIC_FATAL("error finalizing trace file");
@@ -186,9 +218,10 @@ FileTraceSource::FileTraceSource(const std::string &path)
     if (readU32(in_) != TraceFormat::kMagic)
         ACIC_FATAL("not an ACIC trace (bad magic)");
     version_ = readU16(in_);
-    if (version_ != TraceFormat::kVersion)
+    if (version_ < TraceFormat::kMinVersion ||
+        version_ > TraceFormat::kVersion)
         ACIC_FATAL("unsupported trace-format version");
-    readU16(in_); // flags
+    const std::uint16_t flags = readU16(in_);
     count_ = readU64(in_);
     const std::uint32_t name_len = readU32(in_);
     if (!in_ || name_len > (1u << 20))
@@ -199,6 +232,65 @@ FileTraceSource::FileTraceSource(const std::string &path)
         ACIC_FATAL("truncated trace header");
     payloadOff_ = in_.tellg();
     buf_.resize(kBufBytes);
+    if (version_ >= 2 && (flags & TraceFormat::kFlagHasIndex))
+        loadIndexFooter();
+}
+
+void
+FileTraceSource::loadIndexFooter()
+{
+    in_.seekg(-static_cast<std::streamoff>(
+                  TraceFormat::kTrailerBytes),
+              std::ios::end);
+    const std::streamoff trailer_off = in_.tellg();
+    const std::uint64_t interval = readU64(in_);
+    const std::uint32_t n_checkpoints = readU32(in_);
+    const std::uint32_t magic = readU32(in_);
+    if (!in_ || magic != TraceFormat::kIndexMagic || interval == 0)
+        ACIC_FATAL("corrupt trace index footer");
+    const std::streamoff index_off =
+        trailer_off -
+        static_cast<std::streamoff>(n_checkpoints *
+                                    TraceFormat::kCheckpointBytes);
+    if (index_off < payloadOff_)
+        ACIC_FATAL("corrupt trace index footer");
+    in_.seekg(index_off);
+    checkpoints_.resize(n_checkpoints);
+    for (TraceCheckpoint &cp : checkpoints_) {
+        cp.offset = readU64(in_);
+        cp.prevNext = readU64(in_);
+    }
+    if (!in_)
+        ACIC_FATAL("truncated trace index footer");
+    indexInterval_ = interval;
+    in_.seekg(payloadOff_);
+}
+
+void
+FileTraceSource::seekToInstruction(std::uint64_t index)
+{
+    if (index > count_)
+        index = count_;
+    // Nearest preceding checkpoint (checkpoint j sits at instruction
+    // j * interval; the payload start is the implicit checkpoint 0).
+    std::uint64_t cp_idx =
+        indexInterval_ > 0 ? index / indexInterval_ : 0;
+    if (cp_idx > checkpoints_.size())
+        cp_idx = checkpoints_.size();
+    if (cp_idx == 0) {
+        reset();
+    } else {
+        const TraceCheckpoint &cp = checkpoints_[cp_idx - 1];
+        in_.clear();
+        in_.seekg(payloadOff_ +
+                  static_cast<std::streamoff>(cp.offset));
+        bufPos_ = bufEnd_ = 0;
+        prevNext_ = cp.prevNext;
+        emitted_ = cp_idx * indexInterval_;
+    }
+    TraceInst scratch;
+    while (emitted_ < index && next(scratch)) {
+    }
 }
 
 void
@@ -287,7 +379,8 @@ readTraceHeader(const std::string &path, TraceFileInfo &out)
     info.version = readU16(in);
     // Reject unsupported versions here so directory scans skip the
     // file up front instead of fataling when it is later opened.
-    if (info.version != TraceFormat::kVersion)
+    if (info.version < TraceFormat::kMinVersion ||
+        info.version > TraceFormat::kVersion)
         return false;
     readU16(in); // flags
     info.instructions = readU64(in);

@@ -30,6 +30,26 @@
  * connected chains of mostly sequential instructions, so the common
  * record is the tag byte alone: ~1.1 B/instruction vs. 18 B in
  * memory.
+ *
+ * Version 2 appends an optional *index footer* after the records so
+ * readers can seek to an instruction without decoding everything
+ * before it (interval-parallel simulation, DESIGN.md section 8).
+ * The varint chain makes a record undecodable without the previous
+ * record's nextPc, so each checkpoint stores that decoder state:
+ *
+ *   checkpoint[j] (j = 1..M, at instruction j*N):
+ *     u64  byte offset of the record, relative to payload start
+ *     u64  prevNext decoder state at that record
+ *   trailer (last 16 bytes of the file):
+ *     u64  index interval N (instructions per checkpoint)
+ *     u32  checkpoint count M
+ *     u32  index magic "INDX"
+ *
+ * The footer is announced by the kFlagHasIndex header flag and is
+ * strictly additive: version-1 files (no footer) still load, and
+ * seekToInstruction() on them falls back to linear decode. Readers
+ * locate the footer from the end of the file, so the record payload
+ * needs no length prefix.
  */
 
 #ifndef ACIC_TRACE_IO_HH
@@ -49,15 +69,38 @@ namespace acic {
 struct TraceFormat
 {
     static constexpr std::uint32_t kMagic = 0x43494341; // "ACIC"
-    static constexpr std::uint16_t kVersion = 1;
+    /** Version written by TraceWriter (record payload + index
+     *  footer). */
+    static constexpr std::uint16_t kVersion = 2;
+    /** Oldest version readers still accept (footerless payload). */
+    static constexpr std::uint16_t kMinVersion = 1;
 
     static constexpr std::uint8_t kKindMask = 0x07;
     static constexpr std::uint8_t kTakenBit = 0x08;
     static constexpr std::uint8_t kLinkedBit = 0x10;
     static constexpr std::uint8_t kSequentialBit = 0x20;
 
+    /** Header flag: an index footer follows the records. */
+    static constexpr std::uint16_t kFlagHasIndex = 0x0001;
+    /** Trailer magic "INDX" closing the index footer. */
+    static constexpr std::uint32_t kIndexMagic = 0x58444e49;
+    /** Instructions per index checkpoint (writer default). */
+    static constexpr std::uint64_t kIndexInterval = 1u << 16;
+    /** Bytes of one checkpoint entry / of the footer trailer. */
+    static constexpr std::size_t kCheckpointBytes = 16;
+    static constexpr std::size_t kTrailerBytes = 16;
+
     /** Canonical file suffix. */
     static const char *suffix() { return ".acictrace"; }
+};
+
+/** One index-footer entry: decoder state at instruction j*N. */
+struct TraceCheckpoint
+{
+    /** Byte offset of the record, relative to the payload start. */
+    std::uint64_t offset = 0;
+    /** nextPc of the preceding record (the varint-chain state). */
+    std::uint64_t prevNext = 0;
 };
 
 /**
@@ -74,8 +117,13 @@ class TraceWriter
      * Open @p path for writing and emit the header.
      * ACIC_FATALs when @p path cannot be opened or is not seekable.
      * @param name workload name stored in the file.
+     * @param index_interval instructions per index checkpoint
+     *        (close() appends the footer); 0 writes a footerless
+     *        file, which readers treat like version 1.
      */
-    TraceWriter(const std::string &path, const std::string &name);
+    TraceWriter(const std::string &path, const std::string &name,
+                std::uint64_t index_interval =
+                    TraceFormat::kIndexInterval);
 
     /** close()s if still open. */
     ~TraceWriter();
@@ -97,12 +145,20 @@ class TraceWriter
     void putVarint(std::uint64_t v);
     void flush();
 
+    /** Bytes emitted so far (header + records), flushed or buffered. */
+    std::uint64_t bytesOut() const;
+
     std::ofstream out_;
     std::string path_;
     std::vector<std::uint8_t> buf_;
     std::uint64_t count_ = 0;
     Addr prevNext_ = 0;
     bool open_ = false;
+
+    std::uint64_t indexInterval_ = 0;
+    std::uint64_t headerBytes_ = 0;
+    std::uint64_t flushedBytes_ = 0;
+    std::vector<TraceCheckpoint> checkpoints_;
 };
 
 /**
@@ -121,12 +177,30 @@ class FileTraceSource : public TraceSource
     std::uint64_t length() const override { return count_; }
     const std::string &name() const override { return name_; }
 
+    /**
+     * Position the cursor so the following next() emits instruction
+     * @p index (clamped to the record count). Jumps to the nearest
+     * preceding index-footer checkpoint and decodes forward from
+     * there; on a footerless (version 1) file this degrades to a
+     * linear decode from the start, so it is always available.
+     */
+    void seekToInstruction(std::uint64_t index);
+
     /** File-format version of the opened trace. */
     std::uint16_t version() const { return version_; }
+
+    /** True when the file carries an index footer (a short indexed
+     *  file may hold zero checkpoints — the payload start is the
+     *  implicit checkpoint 0). */
+    bool hasIndex() const { return indexInterval_ != 0; }
+
+    /** Instructions per checkpoint (0 when footerless). */
+    std::uint64_t indexInterval() const { return indexInterval_; }
 
   private:
     bool getByte(std::uint8_t &b);
     std::uint64_t getVarint();
+    void loadIndexFooter();
 
     std::ifstream in_;
     std::string path_;
@@ -139,6 +213,9 @@ class FileTraceSource : public TraceSource
     std::size_t bufPos_ = 0;
     std::size_t bufEnd_ = 0;
     Addr prevNext_ = 0;
+
+    std::uint64_t indexInterval_ = 0;
+    std::vector<TraceCheckpoint> checkpoints_;
 };
 
 /**

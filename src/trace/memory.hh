@@ -29,13 +29,37 @@ using TraceImage = std::shared_ptr<const std::vector<TraceInst>>;
  */
 TraceImage materializeTrace(TraceSource &src);
 
-/** See file comment. Copyable; copies share the image. */
+/**
+ * See file comment. Copyable; copies share the image. A cursor may
+ * view a [begin, end) *region* of the image — the interval-parallel
+ * driver hands each worker a region cursor over one interval (plus
+ * its warmup prefix) of the same shared image.
+ */
 class MemoryTraceSource : public TraceSource
 {
   public:
     MemoryTraceSource(TraceImage image, std::string name)
+        : MemoryTraceSource(std::move(image), std::move(name), 0,
+                            ~std::uint64_t{0})
+    {
+    }
+
+    /**
+     * Cursor over instructions [@p begin, @p end) of @p image, both
+     * clamped to the image size. reset() rewinds to @p begin and
+     * length() is the region length, so the region behaves like a
+     * complete TraceSource (oracle builds, BundleWalker, SimEngine).
+     */
+    MemoryTraceSource(TraceImage image, std::string name,
+                      std::uint64_t begin, std::uint64_t end)
         : image_(std::move(image)), name_(std::move(name))
     {
+        const std::uint64_t size = image_->size();
+        begin_ = begin < size ? begin : size;
+        end_ = end < size ? end : size;
+        if (end_ < begin_)
+            end_ = begin_;
+        pos_ = begin_;
     }
 
     /** Materialize @p src and wrap the result. */
@@ -44,18 +68,35 @@ class MemoryTraceSource : public TraceSource
         return MemoryTraceSource(materializeTrace(src), src.name());
     }
 
-    void reset() override { pos_ = 0; }
+    void reset() override { pos_ = begin_; }
 
     bool next(TraceInst &out) override
     {
-        if (pos_ >= image_->size())
+        if (pos_ >= end_)
             return false;
         out = (*image_)[pos_++];
         return true;
     }
 
-    std::uint64_t length() const override { return image_->size(); }
+    std::uint64_t length() const override { return end_ - begin_; }
     const std::string &name() const override { return name_; }
+
+    /** Position the cursor at region-relative instruction @p index
+     *  (clamped), so the following next() emits it. */
+    void seekToInstruction(std::uint64_t index)
+    {
+        pos_ = index < length() ? begin_ + index : end_;
+    }
+
+    /** A cursor over [@p begin, @p end) of the same image, indexed
+     *  relative to this cursor's own region start. */
+    MemoryTraceSource region(std::uint64_t begin,
+                             std::uint64_t end) const
+    {
+        const std::uint64_t cap = end < length() ? end : length();
+        return MemoryTraceSource(image_, name_, begin_ + begin,
+                                 begin_ + cap);
+    }
 
     /** The shared storage, for further cursors over the same trace. */
     const TraceImage &image() const { return image_; }
@@ -63,6 +104,8 @@ class MemoryTraceSource : public TraceSource
   private:
     TraceImage image_;
     std::string name_;
+    std::uint64_t begin_ = 0;
+    std::uint64_t end_ = 0;
     std::size_t pos_ = 0;
 };
 

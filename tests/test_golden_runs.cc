@@ -41,12 +41,17 @@ struct GoldenCase
 {
     const char *workload; ///< synthetic preset name
     const char *scheme;   ///< registry spec string
+    /** Front-end prefetcher of the pinned run (a SimConfig knob, not
+     *  part of the scheme spec). */
+    PrefetcherKind prefetcher = PrefetcherKind::Fdp;
 };
 
 /**
  * The corpus: ACIC twice (the hot-path refactor's main target), the
- * plain-LRU and SRRIP organizations, the instant-update ablation, and
- * the oracle-driven OPT-bypass path.
+ * plain-LRU and SRRIP organizations, the instant-update ablation, the
+ * oracle-driven OPT-bypass path, and one cell in front of the
+ * entangling prefetcher (the Fig. 20/21 baseline, otherwise only
+ * exercised by benches).
  */
 const std::vector<GoldenCase> &
 goldenCases()
@@ -58,8 +63,20 @@ goldenCases()
         {"media_streaming", "srrip"},
         {"tpcc", "acic_instant"},
         {"tpcc", "opt_bypass"},
+        {"web_search", "acic", PrefetcherKind::Entangling},
     };
     return cases;
+}
+
+const char *
+prefetcherTag(PrefetcherKind kind)
+{
+    switch (kind) {
+      case PrefetcherKind::None: return "nopf";
+      case PrefetcherKind::Fdp: return "";
+      case PrefetcherKind::Entangling: return "entangling";
+    }
+    return "";
 }
 
 std::string
@@ -67,18 +84,24 @@ fixturePath(const GoldenCase &c)
 {
     // "acic(filter=32)" would be hostile as a file name; the corpus
     // only uses bare presets, so the spec string is path-safe.
-    return std::string(ACIC_GOLDEN_DIR) + "/" + c.workload + "__" +
-           c.scheme + ".txt";
+    std::string path = std::string(ACIC_GOLDEN_DIR) + "/" +
+                       c.workload + "__" + c.scheme;
+    const std::string tag = prefetcherTag(c.prefetcher);
+    if (!tag.empty())
+        path += "__" + tag;
+    return path + ".txt";
 }
 
-/** Workloads are shared across cases; build each image+oracle once.
- *  Null when @p name is not a datacenter preset. */
+/** Workloads are shared across cases; build each (preset, prefetcher)
+ *  image+oracle once. Null when @p name is not a datacenter preset. */
 SharedWorkload *
-workloadNamed(const std::string &name)
+workloadNamed(const std::string &name, PrefetcherKind prefetcher)
 {
     static std::map<std::string, std::unique_ptr<SharedWorkload>>
         cache;
-    auto it = cache.find(name);
+    const std::string key =
+        name + "/" + std::to_string(static_cast<int>(prefetcher));
+    auto it = cache.find(key);
     if (it == cache.end()) {
         WorkloadParams params;
         bool found = false;
@@ -93,9 +116,11 @@ workloadNamed(const std::string &name)
         // Fixed length on purpose: ACIC_TRACE_LEN must not be able to
         // invalidate the corpus (SharedWorkload ignores the env var).
         params.instructions = kGoldenInstructions;
+        SimConfig config;
+        config.prefetcher = prefetcher;
         it = cache
-                 .emplace(name, std::make_unique<SharedWorkload>(
-                                    params))
+                 .emplace(key, std::make_unique<SharedWorkload>(
+                                   params, config))
                  .first;
     }
     return it->second.get();
@@ -104,7 +129,8 @@ workloadNamed(const std::string &name)
 std::string
 liveDump(const GoldenCase &c)
 {
-    SharedWorkload *workload = workloadNamed(c.workload);
+    SharedWorkload *workload =
+        workloadNamed(c.workload, c.prefetcher);
     if (workload == nullptr)
         return ""; // caller asserts; avoids simulating garbage
     const SimResult result = workload->run(std::string(c.scheme));
@@ -167,7 +193,7 @@ class GoldenRun : public ::testing::TestWithParam<std::size_t>
 TEST_P(GoldenRun, MatchesFixture)
 {
     const GoldenCase &c = goldenCases()[GetParam()];
-    ASSERT_NE(workloadNamed(c.workload), nullptr)
+    ASSERT_NE(workloadNamed(c.workload, c.prefetcher), nullptr)
         << "unknown golden preset " << c.workload;
     const std::string path = fixturePath(c);
     const std::string live = liveDump(c);
@@ -198,7 +224,11 @@ std::string
 caseName(const ::testing::TestParamInfo<std::size_t> &info)
 {
     const GoldenCase &c = goldenCases()[info.param];
-    return std::string(c.workload) + "__" + c.scheme;
+    std::string name = std::string(c.workload) + "__" + c.scheme;
+    const std::string tag = prefetcherTag(c.prefetcher);
+    if (!tag.empty())
+        name += "__" + tag;
+    return name;
 }
 
 INSTANTIATE_TEST_SUITE_P(Corpus, GoldenRun,

@@ -9,6 +9,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <fstream>
 #include <limits>
 #include <string>
 #include <vector>
@@ -253,4 +254,173 @@ TEST(MemorySource, CaptureMatchesSource)
     EXPECT_EQ(captured.name(), synth.name());
     EXPECT_EQ(captured.length(), original.size());
     expectSameStream(original, drain(captured));
+}
+
+TEST(TraceIndex, WriterEmitsFooterAndReaderLoadsIt)
+{
+    TempTracePath path("indexed");
+    SyntheticWorkload synth(tinyParams(30'000));
+    // A small checkpoint interval so a short trace carries several
+    // checkpoints.
+    {
+        TraceWriter writer(path.str(), synth.name(), 4096);
+        synth.reset();
+        TraceInst inst;
+        while (synth.next(inst))
+            writer.append(inst);
+        writer.close();
+    }
+    FileTraceSource file(path.str());
+    EXPECT_EQ(file.version(), TraceFormat::kVersion);
+    EXPECT_TRUE(file.hasIndex());
+    EXPECT_EQ(file.indexInterval(), 4096u);
+    // The footer must not disturb the record stream.
+    synth.reset();
+    expectSameStream(drain(synth), drain(file));
+
+    // A trace shorter than one default checkpoint interval still
+    // carries (and reports) its footer — zero checkpoints, with the
+    // payload start as the implicit checkpoint 0.
+    TempTracePath short_path("indexed_short");
+    SyntheticWorkload short_synth(tinyParams(2'000));
+    recordTrace(short_synth, short_path.str());
+    FileTraceSource short_file(short_path.str());
+    EXPECT_TRUE(short_file.hasIndex());
+    EXPECT_EQ(short_file.indexInterval(),
+              TraceFormat::kIndexInterval);
+    short_file.seekToInstruction(1'500);
+    TraceInst inst;
+    EXPECT_TRUE(short_file.next(inst));
+}
+
+TEST(TraceIndex, SeekToInstructionMatchesLinearDecode)
+{
+    TempTracePath path("seek");
+    SyntheticWorkload synth(tinyParams(30'000));
+    const auto reference = drain(synth);
+    {
+        TraceWriter writer(path.str(), synth.name(), 1024);
+        for (const TraceInst &inst : reference)
+            writer.append(inst);
+        writer.close();
+    }
+    FileTraceSource file(path.str());
+    // Checkpoint-aligned, mid-checkpoint, backward, start, and end.
+    for (const std::uint64_t target :
+         {std::uint64_t{1024}, std::uint64_t{5000},
+          std::uint64_t{29'999}, std::uint64_t{777},
+          std::uint64_t{0}, std::uint64_t{30'000}}) {
+        file.seekToInstruction(target);
+        TraceInst inst;
+        for (std::uint64_t i = target; i < reference.size(); ++i) {
+            ASSERT_TRUE(file.next(inst)) << "at " << i;
+            ASSERT_EQ(inst.pc, reference[i].pc) << "at " << i;
+            ASSERT_EQ(inst.nextPc, reference[i].nextPc)
+                << "at " << i;
+            if (i > target + 64)
+                break; // spot-check a window, not the whole tail
+        }
+        if (target >= reference.size()) {
+            EXPECT_FALSE(file.next(inst));
+        }
+    }
+    // Seeking past the end clamps and the stream is exhausted.
+    file.seekToInstruction(1u << 30);
+    TraceInst inst;
+    EXPECT_FALSE(file.next(inst));
+}
+
+TEST(TraceIndex, FooterlessFileStillSeeksLinearly)
+{
+    TempTracePath path("nofooter");
+    SyntheticWorkload synth(tinyParams(8'000));
+    const auto reference = drain(synth);
+    {
+        // index_interval = 0: no footer, flags stay clear.
+        TraceWriter writer(path.str(), synth.name(), 0);
+        for (const TraceInst &inst : reference)
+            writer.append(inst);
+        writer.close();
+    }
+    FileTraceSource file(path.str());
+    EXPECT_FALSE(file.hasIndex());
+    EXPECT_EQ(file.indexInterval(), 0u);
+    file.seekToInstruction(6'000);
+    TraceInst inst;
+    ASSERT_TRUE(file.next(inst));
+    EXPECT_EQ(inst.pc, reference[6'000].pc);
+    EXPECT_EQ(inst.nextPc, reference[6'000].nextPc);
+}
+
+TEST(TraceIndex, Version1FilesStillLoad)
+{
+    TempTracePath path("v1compat");
+    SyntheticWorkload synth(tinyParams(4'000));
+    const auto reference = drain(synth);
+    {
+        TraceWriter writer(path.str(), synth.name(), 0);
+        for (const TraceInst &inst : reference)
+            writer.append(inst);
+        writer.close();
+    }
+    // Rewrite the header version to 1 — byte-wise, a footerless v2
+    // file *is* a v1 file.
+    {
+        std::fstream f(path.str(),
+                       std::ios::binary | std::ios::in |
+                           std::ios::out);
+        ASSERT_TRUE(f.is_open());
+        f.seekp(4);
+        const char v1[2] = {1, 0};
+        f.write(v1, 2);
+    }
+    TraceFileInfo info;
+    ASSERT_TRUE(readTraceHeader(path.str(), info));
+    EXPECT_EQ(info.version, 1u);
+    EXPECT_EQ(info.instructions, reference.size());
+
+    FileTraceSource file(path.str());
+    EXPECT_EQ(file.version(), 1u);
+    EXPECT_FALSE(file.hasIndex());
+    expectSameStream(reference, drain(file));
+    file.seekToInstruction(1'000);
+    TraceInst inst;
+    ASSERT_TRUE(file.next(inst));
+    EXPECT_EQ(inst.pc, reference[1'000].pc);
+}
+
+TEST(MemorySource, RegionCursorBehavesLikeCompleteSource)
+{
+    SyntheticWorkload synth(tinyParams(10'000));
+    const auto reference = drain(synth);
+    synth.reset();
+    MemoryTraceSource whole = MemoryTraceSource::capture(synth);
+
+    MemoryTraceSource region(whole.image(), whole.name(), 2'000,
+                             7'000);
+    EXPECT_EQ(region.length(), 5'000u);
+    TraceInst inst;
+    ASSERT_TRUE(region.next(inst));
+    EXPECT_EQ(inst.pc, reference[2'000].pc);
+    // reset() rewinds to the region begin, not the image begin.
+    const auto rest = drain(region);
+    EXPECT_EQ(rest.size(), 4'999u);
+    region.reset();
+    ASSERT_TRUE(region.next(inst));
+    EXPECT_EQ(inst.pc, reference[2'000].pc);
+    // seekToInstruction is region-relative.
+    region.seekToInstruction(4'999);
+    ASSERT_TRUE(region.next(inst));
+    EXPECT_EQ(inst.pc, reference[6'999].pc);
+    EXPECT_FALSE(region.next(inst));
+
+    // Sub-regions nest with region-relative indices, and bounds
+    // clamp to the image.
+    MemoryTraceSource sub = region.region(1'000, 2'000);
+    EXPECT_EQ(sub.length(), 1'000u);
+    ASSERT_TRUE(sub.next(inst));
+    EXPECT_EQ(inst.pc, reference[3'000].pc);
+    MemoryTraceSource clamped(whole.image(), whole.name(), 9'000,
+                              1u << 30);
+    EXPECT_EQ(clamped.length(), 1'000u);
 }
