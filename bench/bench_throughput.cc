@@ -29,6 +29,7 @@
 #include <fstream>
 
 #include "bench_util.hh"
+#include "common/telemetry.hh"
 #include "driver/emitters.hh"
 #include "driver/experiment.hh"
 
@@ -74,6 +75,18 @@ main(int argc, char **argv)
         return 2;
     }
     const std::vector<SchemeSpec> schemes = parseSchemeList(list);
+
+    // ACIC_BENCH_TELEMETRY=out.jsonl opens the telemetry sink so the
+    // timed runs emit phase spans and heartbeats — the bench then
+    // measures the *enabled*-mode overhead instead of the default
+    // disabled path (one predictable branch, no measurable cost).
+    if (const char *tel = std::getenv("ACIC_BENCH_TELEMETRY")) {
+        if (!Telemetry::open(tel)) {
+            std::fprintf(stderr, "failed opening %s\n", tel);
+            return 1;
+        }
+        std::printf("telemetry enabled -> %s\n", tel);
+    }
 
     // One representative datacenter workload, materialized the way
     // the experiment driver replays it: the trace image and oracle
@@ -161,5 +174,6 @@ main(int argc, char **argv)
         std::printf("wrote BENCH_throughput.json\n");
     else
         std::fprintf(stderr, "failed writing BENCH_throughput.json\n");
+    Telemetry::close(); // no-op unless ACIC_BENCH_TELEMETRY opened it
     return 0;
 }

@@ -1,0 +1,105 @@
+#!/usr/bin/env python3
+"""Compare a fresh BENCH_throughput.json against the committed
+baseline and fail on per-scheme Minst/s regressions.
+
+Usage:
+  check_throughput.py BASELINE CURRENT [--tolerance F] [--normalize]
+
+Absolute throughput differs across machines, so a raw compare of a
+laptop-committed baseline against a CI runner would mostly measure
+the runner. --normalize cancels that: every current rate is rescaled
+by the median baseline/current ratio across shared labels, leaving
+only *relative* shifts — a scheme whose hot path got slower while the
+others held still fails even on a slower machine. CI runs with
+--normalize; a local before/after on one machine can omit it.
+
+Exit codes: 0 ok, 1 regression (or no comparable rows), 2 usage.
+"""
+
+import argparse
+import json
+import statistics
+import sys
+
+
+def load_rates(path):
+    """label -> minst_per_sec from a BENCH_throughput.json."""
+    with open(path, encoding="utf-8") as handle:
+        doc = json.load(handle)
+    if doc.get("format") != 1 or doc.get("bench") != "throughput":
+        raise ValueError(f"{path} is not a throughput bench file")
+    rates = {}
+    for row in doc.get("rows", []):
+        rate = float(row["minst_per_sec"])
+        if rate > 0.0:
+            rates[row["label"]] = rate
+    return rates
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("baseline")
+    parser.add_argument("current")
+    parser.add_argument(
+        "--tolerance", type=float, default=0.10,
+        help="allowed fractional slowdown per label (default 0.10)")
+    parser.add_argument(
+        "--normalize", action="store_true",
+        help="rescale by the median baseline/current ratio so only "
+             "relative (per-scheme) shifts count")
+    args = parser.parse_args()
+
+    try:
+        baseline = load_rates(args.baseline)
+        current = load_rates(args.current)
+    except (OSError, ValueError, KeyError) as err:
+        print(f"check_throughput: {err}", file=sys.stderr)
+        return 2
+
+    shared = sorted(set(baseline) & set(current))
+    if not shared:
+        print("check_throughput: no shared labels between baseline "
+              "and current run", file=sys.stderr)
+        return 1
+
+    scale = 1.0
+    if args.normalize:
+        scale = statistics.median(
+            baseline[label] / current[label] for label in shared)
+        print(f"machine-speed normalization: x{scale:.3f} "
+              f"(median baseline/current over {len(shared)} labels)")
+
+    failed = []
+    header = f"{'label':<28} {'baseline':>9} {'current':>9} {'delta':>8}"
+    print(header)
+    print("-" * len(header))
+    for label in shared:
+        adjusted = current[label] * scale
+        delta = adjusted / baseline[label] - 1.0
+        mark = ""
+        if delta < -args.tolerance:
+            failed.append(label)
+            mark = "  REGRESSION"
+        elif delta > args.tolerance:
+            # A big (relative) win usually means the baseline is
+            # stale; nudge without failing.
+            mark = "  improved -- consider refreshing the baseline"
+        print(f"{label:<28} {baseline[label]:>9.2f} {adjusted:>9.2f} "
+              f"{delta:>+7.1%}{mark}")
+
+    missing = sorted(set(baseline) - set(current))
+    if missing:
+        print(f"note: baseline labels not in current run: "
+              f"{', '.join(missing)}")
+
+    if failed:
+        print(f"\nFAIL: {len(failed)} label(s) regressed more than "
+              f"{args.tolerance:.0%}: {', '.join(failed)}",
+              file=sys.stderr)
+        return 1
+    print(f"\nOK: {len(shared)} label(s) within {args.tolerance:.0%}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Minimal JSON support shared by the telemetry layer and the
+ * `acic_run report` reader: string escaping for emission and a small
+ * recursive-descent parser for consumption. The parser covers the
+ * full JSON grammar (objects, arrays, strings with escapes, numbers,
+ * booleans, null) but keeps every number as a double — ample for the
+ * telemetry schema, which this repo itself emits.
+ */
+
+#ifndef ACIC_COMMON_JSON_HH
+#define ACIC_COMMON_JSON_HH
+
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace acic {
+namespace json {
+
+/** Escape @p s for inclusion in a JSON string literal. */
+std::string escape(const std::string &s);
+
+/** One parsed JSON value (tree-owning). */
+struct Value
+{
+    enum class Kind { Null, Bool, Number, String, Array, Object };
+
+    Kind kind = Kind::Null;
+    bool boolean = false;
+    double number = 0.0;
+    std::string str;
+    std::vector<Value> items;                            ///< Array
+    std::vector<std::pair<std::string, Value>> fields;   ///< Object
+
+    bool isObject() const { return kind == Kind::Object; }
+
+    /** Field lookup; nullptr when absent or not an object. */
+    const Value *find(const std::string &key) const;
+
+    /** Field as number, @p dflt when absent or non-numeric. */
+    double num(const std::string &key, double dflt = 0.0) const;
+
+    /** Field as string, @p dflt when absent or non-string. */
+    std::string text(const std::string &key,
+                     const std::string &dflt = "") const;
+};
+
+/**
+ * Parse @p text (one complete JSON document; trailing whitespace
+ * allowed, trailing garbage is an error). @return false with a
+ * position-bearing message in @p err (when non-null) on failure.
+ */
+bool parse(const std::string &text, Value &out,
+           std::string *err = nullptr);
+
+} // namespace json
+} // namespace acic
+
+#endif // ACIC_COMMON_JSON_HH

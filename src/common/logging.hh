@@ -1,9 +1,21 @@
 /**
  * @file
- * Minimal gem5-style logging: panic() for internal invariant violations
- * (aborts), fatal() for user/configuration errors (clean exit), warn()
- * and inform() for status. Header-only so every module can use it
- * without a link dependency.
+ * Minimal gem5-style logging: panic() for internal invariant
+ * violations (aborts), fatal() for user/configuration errors (clean
+ * exit), and printf-style warn()/inform()/logDebug() for status.
+ * Header-only so every module can use it without a link dependency.
+ *
+ * All status output goes to stderr — stdout is reserved for result
+ * payloads (CSV/JSON/stat dumps), which status lines must never
+ * interleave with. warn/inform/debug are filtered by the
+ * ACIC_LOG_LEVEL environment variable (silent|error|warn|info|debug,
+ * or the matching 0-4 numeral; default info), read once per process.
+ * panic() and fatal() always print.
+ *
+ * The single-argument form prints its message verbatim (no format
+ * interpretation), so paths or user strings containing '%' are safe:
+ *   warn(msg.c_str());
+ *   inform("sweep: %zu cells on %u threads", cells, threads);
  */
 
 #ifndef ACIC_COMMON_LOGGING_HH
@@ -11,8 +23,60 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 
 namespace acic {
+
+/** Verbosity threshold of the status macros; higher prints more. */
+enum class LogLevel : int {
+    Silent = 0,
+    Error = 1,
+    Warn = 2,
+    Info = 3,
+    Debug = 4,
+};
+
+/**
+ * Parse an ACIC_LOG_LEVEL value; unknown text (and null) yields the
+ * @p fallback so a typo degrades to the default loudly-enough rather
+ * than silencing the run.
+ */
+inline LogLevel
+logLevelFromString(const char *text,
+                   LogLevel fallback = LogLevel::Info)
+{
+    if (!text || !*text)
+        return fallback;
+    if (text[0] >= '0' && text[0] <= '4' && text[1] == '\0')
+        return static_cast<LogLevel>(text[0] - '0');
+    if (!std::strcmp(text, "silent"))
+        return LogLevel::Silent;
+    if (!std::strcmp(text, "error"))
+        return LogLevel::Error;
+    if (!std::strcmp(text, "warn"))
+        return LogLevel::Warn;
+    if (!std::strcmp(text, "info"))
+        return LogLevel::Info;
+    if (!std::strcmp(text, "debug"))
+        return LogLevel::Debug;
+    return fallback;
+}
+
+/** Process-wide threshold, latched from ACIC_LOG_LEVEL on first use. */
+inline LogLevel
+logLevel()
+{
+    static const LogLevel level =
+        logLevelFromString(std::getenv("ACIC_LOG_LEVEL"));
+    return level;
+}
+
+/** True when messages of @p level should print. */
+inline bool
+logEnabled(LogLevel level)
+{
+    return static_cast<int>(level) <= static_cast<int>(logLevel());
+}
 
 /**
  * Abort the simulation because an internal invariant was violated.
@@ -36,18 +100,50 @@ fatalImpl(const char *file, int line, const char *msg)
     std::exit(1);
 }
 
-/** Print a warning that does not stop the simulation. */
+/**
+ * Print one status line "<tag>: <formatted message>" to stderr. The
+ * zero-argument form bypasses format interpretation (see file
+ * comment); callers go through warn()/inform()/logDebug().
+ */
+template <typename... Args>
 inline void
-warn(const char *msg)
+logLine(LogLevel level, const char *tag, const char *fmt,
+        Args... args)
 {
-    std::fprintf(stderr, "warn: %s\n", msg);
+    if (!logEnabled(level))
+        return;
+    if constexpr (sizeof...(Args) == 0) {
+        std::fprintf(stderr, "%s: %s\n", tag, fmt);
+    } else {
+        std::fprintf(stderr, "%s: ", tag);
+        std::fprintf(stderr, fmt, args...);
+        std::fputc('\n', stderr);
+    }
 }
 
-/** Print an informational status message. */
+/** Print a warning that does not stop the simulation. */
+template <typename... Args>
 inline void
-inform(const char *msg)
+warn(const char *fmt, Args... args)
 {
-    std::fprintf(stdout, "info: %s\n", msg);
+    logLine(LogLevel::Warn, "warn", fmt, args...);
+}
+
+/** Print an informational status message (stderr; stdout carries
+ *  result payloads only). */
+template <typename... Args>
+inline void
+inform(const char *fmt, Args... args)
+{
+    logLine(LogLevel::Info, "info", fmt, args...);
+}
+
+/** Print a debug-level message (hidden unless ACIC_LOG_LEVEL=debug). */
+template <typename... Args>
+inline void
+logDebug(const char *fmt, Args... args)
+{
+    logLine(LogLevel::Debug, "debug", fmt, args...);
 }
 
 } // namespace acic

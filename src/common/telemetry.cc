@@ -1,0 +1,351 @@
+#include "common/telemetry.hh"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <mutex>
+#include <ostream>
+
+#include "common/json.hh"
+#include "common/logging.hh"
+
+namespace acic {
+
+std::atomic<bool> Telemetry::enabled_{false};
+
+namespace {
+
+/** Flush threshold of one thread buffer, in bytes. */
+constexpr std::size_t kFlushBytes = 64 * 1024;
+
+struct ThreadBuffer;
+
+/**
+ * The process-wide sink plus the registry of live thread buffers.
+ * The mutex orders buffer drains, open/close transitions, and the
+ * registry; per-event formatting never takes it.
+ */
+struct Sink
+{
+    std::mutex mutex;
+    std::FILE *file = nullptr;      ///< owned (open())
+    std::ostream *stream = nullptr; ///< borrowed (openStream())
+    std::chrono::steady_clock::time_point epoch;
+    std::vector<ThreadBuffer *> buffers;
+    std::atomic<unsigned> nextTid{0};
+    std::atomic<std::uint64_t> heartbeat{1'000'000};
+
+    void writeLocked(const std::string &data)
+    {
+        if (data.empty())
+            return;
+        if (file)
+            std::fwrite(data.data(), 1, data.size(), file);
+        else if (stream)
+            stream->write(data.data(),
+                          static_cast<std::streamsize>(data.size()));
+    }
+};
+
+Sink &
+sink()
+{
+    static Sink s;
+    return s;
+}
+
+/**
+ * Per-thread event staging: formatted lines accumulate without any
+ * lock and drain to the sink in batches. Registered with the sink so
+ * close() can collect buffers of threads that are already quiescent
+ * but not yet exited; the destructor (thread exit) drains and
+ * unregisters.
+ */
+struct ThreadBuffer
+{
+    std::string data;
+    unsigned tid;
+    int depth = 0;
+
+    ThreadBuffer()
+    {
+        Sink &s = sink();
+        tid = s.nextTid.fetch_add(1, std::memory_order_relaxed);
+        std::lock_guard<std::mutex> lock(s.mutex);
+        s.buffers.push_back(this);
+    }
+
+    ~ThreadBuffer()
+    {
+        Sink &s = sink();
+        std::lock_guard<std::mutex> lock(s.mutex);
+        s.writeLocked(data);
+        data.clear();
+        s.buffers.erase(std::remove(s.buffers.begin(),
+                                    s.buffers.end(), this),
+                        s.buffers.end());
+    }
+
+    void append(std::string &&line)
+    {
+        data += line;
+        if (data.size() >= kFlushBytes)
+            flush();
+    }
+
+    void flush()
+    {
+        Sink &s = sink();
+        std::lock_guard<std::mutex> lock(s.mutex);
+        s.writeLocked(data);
+        data.clear();
+    }
+};
+
+ThreadBuffer &
+tls()
+{
+    thread_local ThreadBuffer buffer;
+    return buffer;
+}
+
+void
+appendDouble(std::string &out, double v)
+{
+    if (!std::isfinite(v))
+        v = 0.0; // JSON has no NaN/Inf
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.6g", v);
+    out += buf;
+}
+
+void
+appendEventHead(std::string &out, const char *ev, const char *name,
+                unsigned tid, std::uint64_t tUs)
+{
+    out += "{\"ev\":\"";
+    out += ev;
+    out += "\",\"name\":\"";
+    out += json::escape(name);
+    out += "\",\"tid\":";
+    out += std::to_string(tid);
+    out += ",\"t_us\":";
+    out += std::to_string(tUs);
+}
+
+template <typename Attrs>
+void
+appendAttrs(std::string &out, const Attrs &attrs)
+{
+    bool any = false;
+    for (const TelemetryAttr &attr : attrs) {
+        out += any ? "," : ",\"attrs\":{";
+        attr.appendTo(out);
+        any = true;
+    }
+    if (any)
+        out += '}';
+}
+
+} // namespace
+
+void
+TelemetryAttr::appendTo(std::string &out) const
+{
+    out += '"';
+    out += json::escape(key_);
+    out += "\":";
+    switch (kind_) {
+      case Kind::Str:
+        out += '"';
+        out += json::escape(str_);
+        out += '"';
+        break;
+      case Kind::U64: out += std::to_string(u64_); break;
+      case Kind::F64: appendDouble(out, f64_); break;
+    }
+}
+
+bool
+Telemetry::open(const std::string &path)
+{
+    Sink &s = sink();
+    std::FILE *file = std::fopen(path.c_str(), "wb");
+    if (!file)
+        return false;
+    // The meta line is written straight through the sink, not via a
+    // thread buffer, so it is always the file's first line.
+    std::string line = "{\"ev\":\"meta\",\"version\":1,"
+                       "\"heartbeat_insts\":";
+    line += std::to_string(
+        s.heartbeat.load(std::memory_order_relaxed));
+    line += "}\n";
+    {
+        std::lock_guard<std::mutex> lock(s.mutex);
+        ACIC_ASSERT(!s.file && !s.stream,
+                    "telemetry sink is already open");
+        s.file = file;
+        s.epoch = std::chrono::steady_clock::now();
+        s.writeLocked(line);
+    }
+    enabled_.store(true, std::memory_order_relaxed);
+    return true;
+}
+
+void
+Telemetry::openStream(std::ostream &os)
+{
+    Sink &s = sink();
+    std::string line = "{\"ev\":\"meta\",\"version\":1,"
+                       "\"heartbeat_insts\":";
+    line += std::to_string(
+        s.heartbeat.load(std::memory_order_relaxed));
+    line += "}\n";
+    {
+        std::lock_guard<std::mutex> lock(s.mutex);
+        ACIC_ASSERT(!s.file && !s.stream,
+                    "telemetry sink is already open");
+        s.stream = &os;
+        s.epoch = std::chrono::steady_clock::now();
+        s.writeLocked(line);
+    }
+    enabled_.store(true, std::memory_order_relaxed);
+}
+
+void
+Telemetry::close()
+{
+    Sink &s = sink();
+    enabled_.store(false, std::memory_order_relaxed);
+    std::lock_guard<std::mutex> lock(s.mutex);
+    // Collect buffers of threads that finished emitting but have not
+    // exited (pool workers between jobs, and the calling thread).
+    for (ThreadBuffer *buffer : s.buffers) {
+        s.writeLocked(buffer->data);
+        buffer->data.clear();
+        buffer->depth = 0;
+    }
+    if (s.file) {
+        std::fclose(s.file);
+        s.file = nullptr;
+    }
+    if (s.stream) {
+        s.stream->flush();
+        s.stream = nullptr;
+    }
+}
+
+std::uint64_t
+Telemetry::heartbeatInterval()
+{
+    return sink().heartbeat.load(std::memory_order_relaxed);
+}
+
+void
+Telemetry::setHeartbeatInterval(std::uint64_t insts)
+{
+    sink().heartbeat.store(insts, std::memory_order_relaxed);
+}
+
+std::uint64_t
+Telemetry::nowMicros()
+{
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::steady_clock::now() - sink().epoch)
+            .count());
+}
+
+void
+Telemetry::counter(const char *name,
+                   std::initializer_list<TelemetryAttr> attrs)
+{
+    if (!enabled())
+        return;
+    ThreadBuffer &buffer = tls();
+    std::string line;
+    line.reserve(192);
+    appendEventHead(line, "count", name, buffer.tid, nowMicros());
+    appendAttrs(line, attrs);
+    line += "}\n";
+    buffer.append(std::move(line));
+}
+
+void
+Telemetry::gauge(const char *name, double value)
+{
+    if (!enabled())
+        return;
+    ThreadBuffer &buffer = tls();
+    std::string line;
+    line.reserve(128);
+    appendEventHead(line, "gauge", name, buffer.tid, nowMicros());
+    line += ",\"value\":";
+    appendDouble(line, value);
+    line += "}\n";
+    buffer.append(std::move(line));
+}
+
+void
+Telemetry::flushThread()
+{
+    tls().flush();
+}
+
+void
+Telemetry::emitSpan(const char *name, std::uint64_t startUs,
+                    std::uint64_t durUs, int depth,
+                    const std::vector<TelemetryAttr> &attrs)
+{
+    ThreadBuffer &buffer = tls();
+    std::string line;
+    line.reserve(192);
+    appendEventHead(line, "span", name, buffer.tid, startUs);
+    line += ",\"dur_us\":";
+    line += std::to_string(durUs);
+    line += ",\"depth\":";
+    line += std::to_string(depth);
+    appendAttrs(line, attrs);
+    line += "}\n";
+    buffer.append(std::move(line));
+}
+
+int
+Telemetry::enterSpan()
+{
+    return tls().depth++;
+}
+
+void
+Telemetry::exitSpan()
+{
+    --tls().depth;
+}
+
+TelemetryScope::TelemetryScope(const char *name)
+    : name_(name), live_(Telemetry::enabled())
+{
+    if (!live_)
+        return;
+    depth_ = Telemetry::enterSpan();
+    startUs_ = Telemetry::nowMicros();
+}
+
+TelemetryScope::~TelemetryScope()
+{
+    if (!live_)
+        return;
+    const std::uint64_t end = Telemetry::nowMicros();
+    Telemetry::exitSpan();
+    // The sink may have closed while the span was open (a span
+    // wrapping close() itself); drop the event in that case rather
+    // than resurrecting a disabled sink.
+    if (!Telemetry::enabled())
+        return;
+    Telemetry::emitSpan(name_, startUs_,
+                        end > startUs_ ? end - startUs_ : 0, depth_,
+                        attrs_);
+}
+
+} // namespace acic

@@ -1,0 +1,194 @@
+/**
+ * @file
+ * Run-telemetry layer: monotonic-clock scoped spans plus
+ * counter/gauge events, serialized as one JSON object per line
+ * (JSONL) into a process-wide sink. Designed so simulation hot loops
+ * pay nothing when telemetry is off:
+ *
+ *  - Telemetry::enabled() is one relaxed atomic load; every emit
+ *    path checks it first and call sites latch it once per phase,
+ *    not per cycle (SimEngine folds the heartbeat check into a
+ *    single integer compare against a sentinel target).
+ *  - Events are formatted into a per-thread buffer (no lock, no
+ *    allocation beyond the buffer's own growth) and drained to the
+ *    sink under a mutex only when the buffer fills, at thread exit,
+ *    or at close().
+ *
+ * Lifecycle: open()/openStream() enable the layer, close() drains
+ * every registered thread buffer and disables it again. close() must
+ * only run when no other thread is still emitting — in practice the
+ * driver joins its worker pool before closing, and worker threads
+ * flush their buffers from thread_local destructors as they exit.
+ *
+ * Event schema (DESIGN.md section 9):
+ *   {"ev":"meta","version":1,"heartbeat_insts":N}
+ *   {"ev":"span","name":S,"tid":T,"t_us":A,"dur_us":D,"depth":K,
+ *    "attrs":{...}}
+ *   {"ev":"count","name":S,"tid":T,"t_us":A,"attrs":{...}}
+ *   {"ev":"gauge","name":S,"tid":T,"t_us":A,"value":V}
+ * t_us is microseconds since open() on the monotonic clock; tid is a
+ * small per-process thread ordinal (first-use order, not an OS id).
+ */
+
+#ifndef ACIC_COMMON_TELEMETRY_HH
+#define ACIC_COMMON_TELEMETRY_HH
+
+#include <atomic>
+#include <cstdint>
+#include <initializer_list>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace acic {
+
+/** One key/value attribute of a telemetry event. */
+class TelemetryAttr
+{
+  public:
+    TelemetryAttr(const char *key, const char *value)
+        : key_(key), kind_(Kind::Str), str_(value)
+    {
+    }
+    TelemetryAttr(const char *key, const std::string &value)
+        : key_(key), kind_(Kind::Str), str_(value)
+    {
+    }
+    TelemetryAttr(const char *key, std::uint64_t value)
+        : key_(key), kind_(Kind::U64), u64_(value)
+    {
+    }
+    TelemetryAttr(const char *key, double value)
+        : key_(key), kind_(Kind::F64), f64_(value)
+    {
+    }
+
+    /** Append `"key":value` (JSON-escaped) to @p out. */
+    void appendTo(std::string &out) const;
+
+  private:
+    enum class Kind { Str, U64, F64 };
+    const char *key_;
+    Kind kind_;
+    std::string str_;
+    std::uint64_t u64_ = 0;
+    double f64_ = 0.0;
+};
+
+/** See file comment. All members are static; this is a process-wide
+ *  facility (one sink per process, like a log). */
+class Telemetry
+{
+  public:
+    /** True between a successful open()/openStream() and close(). */
+    static bool enabled()
+    {
+        return enabled_.load(std::memory_order_relaxed);
+    }
+
+    /**
+     * Open @p path as the JSONL sink (truncating) and enable the
+     * layer. @return false (layer stays disabled) when the file
+     * cannot be created.
+     */
+    static bool open(const std::string &path);
+
+    /**
+     * Use caller-owned @p os as the sink (tests). The stream must
+     * outlive the telemetry session, i.e. stay valid until close().
+     */
+    static void openStream(std::ostream &os);
+
+    /**
+     * Drain every registered thread buffer, write the sink out, and
+     * disable the layer. Only call when no other thread is emitting
+     * (join worker pools first). Idempotent.
+     */
+    static void close();
+
+    /**
+     * Heartbeat cadence in retired instructions, consumed by
+     * SimEngine at construction. Settable any time (takes effect for
+     * engines constructed afterwards); 0 disables heartbeats.
+     */
+    static std::uint64_t heartbeatInterval();
+    static void setHeartbeatInterval(std::uint64_t insts);
+
+    /** Microseconds since open() on the monotonic clock. */
+    static std::uint64_t nowMicros();
+
+    /** Emit a counter event (no-op when disabled). */
+    static void counter(const char *name,
+                        std::initializer_list<TelemetryAttr> attrs);
+
+    /** Emit a gauge event (no-op when disabled). */
+    static void gauge(const char *name, double value);
+
+    /** Flush the calling thread's buffer to the sink. */
+    static void flushThread();
+
+  private:
+    friend class TelemetryScope;
+
+    static void emitSpan(const char *name, std::uint64_t startUs,
+                         std::uint64_t durUs, int depth,
+                         const std::vector<TelemetryAttr> &attrs);
+
+    /** Per-thread span-nesting depth bookkeeping. */
+    static int enterSpan();
+    static void exitSpan();
+
+    static std::atomic<bool> enabled_;
+};
+
+/**
+ * RAII scoped span: records the monotonic interval from construction
+ * to destruction, with the per-thread nesting depth at entry.
+ * Constructed-disabled when telemetry is off — attr() and the
+ * destructor then cost one predictable branch each. Guard any
+ * expensive attribute computation with live().
+ */
+class TelemetryScope
+{
+  public:
+    explicit TelemetryScope(const char *name);
+    ~TelemetryScope();
+
+    TelemetryScope(const TelemetryScope &) = delete;
+    TelemetryScope &operator=(const TelemetryScope &) = delete;
+
+    /** True when the span will be emitted. */
+    bool live() const { return live_; }
+
+    void attr(const char *key, const char *value)
+    {
+        if (live_)
+            attrs_.emplace_back(key, value);
+    }
+    void attr(const char *key, const std::string &value)
+    {
+        if (live_)
+            attrs_.emplace_back(key, value);
+    }
+    void attr(const char *key, std::uint64_t value)
+    {
+        if (live_)
+            attrs_.emplace_back(key, value);
+    }
+    void attr(const char *key, double value)
+    {
+        if (live_)
+            attrs_.emplace_back(key, value);
+    }
+
+  private:
+    const char *name_;
+    bool live_;
+    int depth_ = 0;
+    std::uint64_t startUs_ = 0;
+    std::vector<TelemetryAttr> attrs_;
+};
+
+} // namespace acic
+
+#endif // ACIC_COMMON_TELEMETRY_HH

@@ -8,10 +8,12 @@
  *                    [--instructions N] [--intervals K] [--warmup W]
  *                    [--warm-horizon H] [--trace-dir D]
  *                    [--baseline SCHEME] [--csv FILE] [--json FILE]
- *                    [--dump-stats] [--quiet]
+ *                    [--dump-stats] [--quiet] [--progress]
+ *                    [--telemetry FILE] [--heartbeat N]
  *   acic_run sweep   --grid G --workloads W [same options as run]
  *   acic_run import  <input> <output> [--format F] [--name N]
  *   acic_run stat    <trace>
+ *   acic_run report  <telemetry.jsonl> [--top N]
  *   acic_run help    [command]
  *
  * Workload lists are resolved against the WorkloadCatalog: synthetic
@@ -36,9 +38,12 @@
 #include <thread>
 #include <vector>
 
+#include "common/logging.hh"
 #include "common/table.hh"
+#include "common/telemetry.hh"
 #include "driver/emitters.hh"
 #include "driver/experiment.hh"
+#include "driver/report.hh"
 #include "trace/catalog.hh"
 #include "trace/import/importer.hh"
 #include "trace/io.hh"
@@ -63,6 +68,8 @@ const char *const kMainHelp =
     ".acictrace\n"
     "  stat      print trace-intrinsic statistics of a .acictrace "
     "file\n"
+    "  report    summarize a --telemetry JSONL file (phase times,\n"
+    "            slowest cells, heartbeats)\n"
     "  help      show help for a command\n"
     "\n"
     "Run 'acic_run help <command>' or 'acic_run <command> --help'\n"
@@ -110,6 +117,8 @@ const char *const kRunHelp =
     "                    [--warmup W] [--warm-horizon H]\n"
     "                    [--trace-dir D] [--baseline SCHEME]\n"
     "                    [--csv FILE] [--json FILE] [--quiet]\n"
+    "                    [--progress] [--telemetry FILE]\n"
+    "                    [--heartbeat N]\n"
     "\n"
     "Execute the workloads x schemes matrix on a thread pool and\n"
     "print paper-shaped IPC/MPKI/speedup tables.\n"
@@ -154,6 +163,17 @@ const char *const kRunHelp =
     "                     separated by '# workload=... scheme=...'\n"
     "                     comment lines (strip with grep -v '^#')\n"
     "  --quiet            suppress per-cell progress on stderr\n"
+    "  --progress         one live progress line on stderr (cells\n"
+    "                     done/total, percent, aggregate Minst/s,\n"
+    "                     ETA) instead of per-cell lines\n"
+    "  --telemetry FILE   append-free JSONL telemetry event stream\n"
+    "                     (phase spans, engine heartbeats, pool\n"
+    "                     gauges; DESIGN.md section 9). Off by\n"
+    "                     default with zero overhead; summarize the\n"
+    "                     file with 'acic_run report'\n"
+    "  --heartbeat N      instructions between engine heartbeat\n"
+    "                     snapshots (default 1000000; only\n"
+    "                     meaningful with --telemetry)\n"
     "\n"
     "Trace-length precedence: --instructions beats the\n"
     "ACIC_TRACE_LEN environment variable, which beats the preset\n"
@@ -167,6 +187,8 @@ const char *const kSweepHelp =
     "                      [--warmup W] [--warm-horizon H]\n"
     "                      [--trace-dir D] [--baseline SPEC]\n"
     "                      [--csv FILE] [--json FILE] [--quiet]\n"
+    "                      [--progress] [--telemetry FILE]\n"
+    "                      [--heartbeat N]\n"
     "\n"
     "Expand a parameter grid into concrete schemes and run the\n"
     "workloads x schemes matrix on the thread pool (identical\n"
@@ -208,6 +230,13 @@ const char *const kSweepHelp =
     "  --dump-stats       print every cell's complete statistics\n"
     "                     dump (see 'acic_run help run')\n"
     "  --quiet            suppress per-cell progress on stderr\n"
+    "  --progress         one live progress line on stderr instead\n"
+    "                     of per-cell lines (see 'acic_run help "
+    "run')\n"
+    "  --telemetry FILE   write a JSONL telemetry event stream (see\n"
+    "                     'acic_run help run')\n"
+    "  --heartbeat N      instructions between engine heartbeat\n"
+    "                     snapshots (default 1000000)\n"
     "\n"
     "exit codes: 0 success, 1 runtime error, 2 usage error\n";
 
@@ -252,6 +281,24 @@ const char *const kStatHelp =
     "file paths, so two identical streams print identically.\n"
     "\n"
     "exit codes: 0 success, 1 runtime error, 2 usage error\n";
+
+const char *const kReportHelp =
+    "usage: acic_run report <telemetry.jsonl> [--top N]\n"
+    "\n"
+    "Summarize a telemetry file written by 'run'/'sweep'\n"
+    "--telemetry: per-phase time breakdowns (span totals, means,\n"
+    "maxima, share of wall), the slowest (workload, scheme) cells\n"
+    "by summed simulation seconds, heartbeat rolling-window\n"
+    "aggregates (instruction-weighted window MPKI/IPC, aggregate\n"
+    "Minst/s), and pool-gauge ranges. Lines that do not parse —\n"
+    "e.g. the truncated tail of a killed run — are skipped and\n"
+    "counted, not fatal.\n"
+    "\n"
+    "options:\n"
+    "  --top N   rows of the slowest-cells table (default 10)\n"
+    "\n"
+    "exit codes: 0 success, 1 runtime error (unreadable file or no\n"
+    "telemetry events), 2 usage error\n";
 
 int
 usage(const char *text, bool requested)
@@ -504,11 +551,9 @@ runMatrix(const OptionParser &opts, const char *workload_list,
     if (opts.value("--trace-dir")) {
         for (const auto &entry : spec.workloads)
             if (entry.source == WorkloadSource::Synthetic)
-                std::fprintf(stderr,
-                             "warn: workload '%s' has no trace in "
-                             "--trace-dir; simulating the synthetic "
-                             "preset instead\n",
-                             entry.name().c_str());
+                warn("workload '%s' has no trace in --trace-dir; "
+                     "simulating the synthetic preset instead",
+                     entry.name().c_str());
     }
     if (const char *t = opts.value("--threads"))
         spec.threads = parseCount32(t, "--threads");
@@ -537,28 +582,91 @@ runMatrix(const OptionParser &opts, const char *workload_list,
     }
 
     const bool quiet = opts.present("--quiet");
+    const bool progress = opts.present("--progress");
     const std::size_t total = spec.cellCount();
     std::size_t done = 0;
+    std::uint64_t insts_done = 0;
+
+    if (const char *hb = opts.value("--heartbeat"))
+        Telemetry::setHeartbeatInterval(
+            parseCount(hb, "--heartbeat"));
+    const char *telemetry_path = opts.value("--telemetry");
+    if (telemetry_path && !Telemetry::open(telemetry_path)) {
+        std::fprintf(stderr, "failed opening --telemetry %s\n",
+                     telemetry_path);
+        return 1;
+    }
 
     ExperimentDriver driver(spec);
     const auto wall_start = std::chrono::steady_clock::now();
-    const auto cells = driver.run([&](const CellResult &cell) {
-        ++done;
-        if (quiet)
-            return;
-        std::fprintf(
-            stderr,
-            "[%zu/%zu] %s / %s: ipc %.3f, mpki %.2f (%.2fs)\n", done,
-            total,
-            driver.spec()
-                .workloads[cell.workloadIndex]
-                .name()
-                .c_str(),
-            schemeName(driver.spec().schemes[cell.schemeIndex])
-                .c_str(),
-            cell.result.ipc(), cell.result.mpki(),
-            cell.hostSeconds);
-    });
+    std::vector<CellResult> cells;
+    {
+        // The matrix-wide span must end before Telemetry::close();
+        // its scope is the whole driver run, workers included (the
+        // pool joins inside driver.run()).
+        TelemetryScope run_span("driver.run");
+        if (run_span.live()) {
+            run_span.attr(
+                "workloads",
+                static_cast<std::uint64_t>(spec.workloads.size()));
+            run_span.attr(
+                "schemes",
+                static_cast<std::uint64_t>(spec.schemes.size()));
+            run_span.attr("cells",
+                          static_cast<std::uint64_t>(total));
+            run_span.attr("threads",
+                          static_cast<std::uint64_t>(spec.threads));
+            run_span.attr(
+                "intervals",
+                static_cast<std::uint64_t>(spec.intervals));
+        }
+        // The observer runs under the driver's observer mutex, so
+        // the done/insts_done updates need no extra synchronization.
+        cells = driver.run([&](const CellResult &cell) {
+            ++done;
+            insts_done += cell.result.instructions;
+            if (progress) {
+                const double elapsed =
+                    std::chrono::duration<double>(
+                        std::chrono::steady_clock::now() -
+                        wall_start)
+                        .count();
+                const double rate =
+                    elapsed > 0.0
+                        ? static_cast<double>(insts_done) / 1e6 /
+                              elapsed
+                        : 0.0;
+                const double eta =
+                    static_cast<double>(total - done) * elapsed /
+                    static_cast<double>(done);
+                std::fprintf(stderr,
+                             "\r[%zu/%zu] %3.0f%% | %.1f Minst/s | "
+                             "ETA %.0fs   ",
+                             done, total,
+                             100.0 * static_cast<double>(done) /
+                                 static_cast<double>(total),
+                             rate, eta);
+                std::fflush(stderr);
+                return;
+            }
+            if (quiet)
+                return;
+            std::fprintf(
+                stderr,
+                "[%zu/%zu] %s / %s: ipc %.3f, mpki %.2f (%.2fs)\n",
+                done, total,
+                driver.spec()
+                    .workloads[cell.workloadIndex]
+                    .name()
+                    .c_str(),
+                schemeName(driver.spec().schemes[cell.schemeIndex])
+                    .c_str(),
+                cell.result.ipc(), cell.result.mpki(),
+                cell.hostSeconds);
+        });
+    }
+    if (progress)
+        std::fputc('\n', stderr);
     const double wall = std::chrono::duration<double>(
                             std::chrono::steady_clock::now() -
                             wall_start)
@@ -649,6 +757,12 @@ runMatrix(const OptionParser &opts, const char *workload_list,
         else
             std::printf("wrote %s\n", path);
     }
+    if (telemetry_path) {
+        // All emitters are quiescent: the pool joined inside
+        // driver.run() and this thread's spans have closed.
+        Telemetry::close();
+        std::printf("wrote %s\n", telemetry_path);
+    }
     return 0;
 }
 
@@ -687,6 +801,35 @@ cmdSweep(const OptionParser &opts)
 }
 
 int
+cmdReport(const OptionParser &opts)
+{
+    if (opts.present("--help"))
+        return usage(kReportHelp, true);
+    const char *path = opts.positional(0);
+    if (!path) {
+        std::fprintf(stderr,
+                     "report: <telemetry.jsonl> is required\n");
+        return usage(kReportHelp, false);
+    }
+    ReportOptions options;
+    if (const char *n = opts.value("--top"))
+        options.topCells =
+            static_cast<std::size_t>(parseCount(n, "--top"));
+    std::ifstream in(path);
+    if (!in) {
+        std::fprintf(stderr, "report: cannot open %s\n", path);
+        return 1;
+    }
+    std::string error;
+    if (!writeTelemetryReport(in, std::cout, options, error)) {
+        std::fprintf(stderr, "report: %s: %s\n", path,
+                     error.c_str());
+        return 1;
+    }
+    return 0;
+}
+
+int
 cmdHelp(int argc, char **argv)
 {
     if (argc < 3)
@@ -704,6 +847,8 @@ cmdHelp(int argc, char **argv)
         return usage(kImportHelp, true);
     if (topic == "stat")
         return usage(kStatHelp, true);
+    if (topic == "report")
+        return usage(kReportHelp, true);
     std::fprintf(stderr, "unknown command '%s'\n", topic.c_str());
     return usage(kMainHelp, false);
 }
@@ -730,6 +875,8 @@ main(int argc, char **argv)
             return cmdImport(opts);
         if (command == "stat")
             return cmdStat(opts);
+        if (command == "report")
+            return cmdReport(opts);
         if (command == "help" || command == "--help" ||
             command == "-h")
             return cmdHelp(argc, argv);

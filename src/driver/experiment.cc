@@ -9,10 +9,34 @@
 #include <utility>
 
 #include "common/logging.hh"
+#include "common/telemetry.hh"
 #include "driver/thread_pool.hh"
 #include "trace/io.hh"
 
 namespace acic {
+
+namespace {
+
+/**
+ * Pool-health gauges emitted as each cell/shard task finishes: how
+ * deep the work queue is and what fraction of workers is busy. Cheap
+ * (two locked size reads) and only on the cold per-task epilogue.
+ */
+void
+emitPoolGauges(const ThreadPool &pool)
+{
+    if (!Telemetry::enabled())
+        return;
+    Telemetry::gauge("driver.queue_depth",
+                     static_cast<double>(pool.queued()));
+    const unsigned threads = pool.threads();
+    if (threads > 0)
+        Telemetry::gauge("driver.pool_utilization",
+                         static_cast<double>(pool.running()) /
+                             threads);
+}
+
+} // namespace
 
 ExperimentDriver::ExperimentDriver(ExperimentSpec spec)
     : spec_(std::move(spec))
@@ -158,8 +182,13 @@ ExperimentDriver::run(const Observer &observer)
                 return;
             pool.submit([this, w, n_schemes, &pool, &state,
                          &finishCell, &submitNextPrepare] {
-                const auto shared =
-                    prepareWorkload(spec_.workloads[w]);
+                std::shared_ptr<const SharedWorkload> shared;
+                {
+                    TelemetryScope span("driver.prepare");
+                    span.attr("workload",
+                              spec_.workloads[w].name());
+                    shared = prepareWorkload(spec_.workloads[w]);
+                }
                 std::vector<SimInterval> plan;
                 std::shared_ptr<ShardOracles> oracles;
                 if (spec_.intervals > 1) {
@@ -182,10 +211,20 @@ ExperimentDriver::run(const Observer &observer)
                 }
                 for (std::size_t s = 0; s < n_schemes; ++s) {
                     if (plan.size() <= 1) {
-                        pool.submit([this, w, s, shared, &finishCell,
+                        pool.submit([this, w, s, shared, &pool,
+                                     &finishCell,
                                      &submitNextPrepare] {
                             const auto start =
                                 std::chrono::steady_clock::now();
+                            TelemetryScope span("driver.cell");
+                            if (span.live()) {
+                                span.attr(
+                                    "workload",
+                                    spec_.workloads[w].name());
+                                span.attr(
+                                    "scheme",
+                                    schemeName(spec_.schemes[s]));
+                            }
                             CellResult cell;
                             cell.workloadIndex = w;
                             cell.schemeIndex = s;
@@ -207,6 +246,7 @@ ExperimentDriver::run(const Observer &observer)
                                         now() -
                                     start)
                                     .count();
+                            emitPoolGauges(pool);
                             finishCell(cell, submitNextPrepare);
                         });
                         continue;
@@ -215,10 +255,26 @@ ExperimentDriver::run(const Observer &observer)
                         std::make_shared<CellShards>(plan);
                     for (std::size_t i = 0; i < plan.size(); ++i) {
                         pool.submit([this, w, s, i, shared, shards,
-                                     oracles, &finishCell,
+                                     oracles, &pool, &finishCell,
                                      &submitNextPrepare] {
                             const auto start =
                                 std::chrono::steady_clock::now();
+                            TelemetryScope span("driver.shard");
+                            if (span.live()) {
+                                span.attr(
+                                    "workload",
+                                    spec_.workloads[w].name());
+                                span.attr(
+                                    "scheme",
+                                    schemeName(spec_.schemes[s]));
+                                span.attr(
+                                    "shard",
+                                    static_cast<std::uint64_t>(i));
+                                span.attr(
+                                    "shards",
+                                    static_cast<std::uint64_t>(
+                                        shards->plan.size()));
+                            }
                             try {
                                 shards->parts[i] =
                                     shared->runInterval(
@@ -236,6 +292,7 @@ ExperimentDriver::run(const Observer &observer)
                                         now() -
                                     start)
                                     .count();
+                            emitPoolGauges(pool);
                             if (shards->remaining.fetch_sub(1) != 1)
                                 return;
                             // Last shard: merge and publish.

@@ -50,6 +50,20 @@ ThreadPool::wait()
     idleCv_.wait(lock, [this] { return outstanding_ == 0; });
 }
 
+std::size_t
+ThreadPool::queued() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return queue_.size();
+}
+
+std::size_t
+ThreadPool::running() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return outstanding_ - queue_.size();
+}
+
 void
 ThreadPool::workerLoop()
 {

@@ -49,10 +49,16 @@ class ThreadPool
         return static_cast<unsigned>(workers_.size());
     }
 
+    /** Tasks queued but not yet picked up (telemetry gauge). */
+    std::size_t queued() const;
+
+    /** Tasks currently executing on a worker (telemetry gauge). */
+    std::size_t running() const;
+
   private:
     void workerLoop();
 
-    std::mutex mutex_;
+    mutable std::mutex mutex_;
     std::condition_variable workCv_;  ///< workers wait for tasks
     std::condition_variable idleCv_;  ///< wait() waits for drain
     std::deque<std::function<void()>> queue_;

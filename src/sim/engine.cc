@@ -1,6 +1,7 @@
 #include "sim/engine.hh"
 
 #include "common/logging.hh"
+#include "common/telemetry.hh"
 
 namespace acic {
 
@@ -27,6 +28,13 @@ SimEngine::SimEngine(const SimConfig &config, TraceSource &trace,
     // The walker reads lazily, so rewinding here (as the monolithic
     // run() did up front) happens before any instruction is pulled.
     trace_.reset();
+    if (Telemetry::enabled()) {
+        hbInterval_ = Telemetry::heartbeatInterval();
+        if (hbInterval_ > 0) {
+            hbNext_ = hbInterval_;
+            hbLastWall_ = std::chrono::steady_clock::now();
+        }
+    }
 }
 
 std::uint64_t
@@ -62,6 +70,11 @@ SimEngine::functionalWarm(TraceSource &prefix)
     MachineState &m = state_;
     ACIC_ASSERT(m.cycle == 0 && m.retired == 0 && m.ftq.empty(),
                 "functionalWarm() must precede any stepping");
+    TelemetryScope span("engine.functionalWarm");
+    if (span.live()) {
+        span.attr("workload", trace_.name());
+        span.attr("scheme", org_.name());
+    }
     // Three kinds of long-lived state get warmed, all driven by the
     // instruction stream under a coarse stall-until-fill clock
     // (1 cycle per fetch bundle plus the miss service latency):
@@ -380,7 +393,48 @@ SimEngine::advanceUntilRetired(std::uint64_t target)
         ACIC_ASSERT(m.cycle < cycle_limit,
                     "simulator wedged: cycle limit exceeded");
         stepCycle();
+        // Telemetry heartbeat: hbNext_ is ~0 when disabled, so this
+        // is the stepping loop's single predictable telemetry check.
+        if (m.retired >= hbNext_)
+            emitHeartbeat();
     }
+}
+
+void
+SimEngine::emitHeartbeat()
+{
+    const MachineState &m = state_;
+    const auto now = std::chrono::steady_clock::now();
+    const std::uint64_t misses = m.raw.get(m.stL1iMisses);
+    const std::uint64_t wInsts = m.retired - hbLastRetired_;
+    const std::uint64_t wMisses = misses - hbLastMisses_;
+    const Cycle wCycles = m.cycle - hbLastCycle_;
+    const double wallSecs =
+        std::chrono::duration<double>(now - hbLastWall_).count();
+    Telemetry::counter(
+        "engine.heartbeat",
+        {{"workload", trace_.name()},
+         {"scheme", org_.name()},
+         {"retired", m.retired},
+         {"cycle", static_cast<std::uint64_t>(m.cycle)},
+         {"window_insts", wInsts},
+         {"window_mpki",
+          wInsts == 0 ? 0.0
+                      : 1000.0 * static_cast<double>(wMisses) /
+                            static_cast<double>(wInsts)},
+         {"window_ipc",
+          wCycles == 0 ? 0.0
+                       : static_cast<double>(wInsts) /
+                             static_cast<double>(wCycles)},
+         {"minst_per_s",
+          wallSecs <= 0.0 ? 0.0
+                          : static_cast<double>(wInsts) / 1e6 /
+                                wallSecs}});
+    hbLastRetired_ = m.retired;
+    hbLastMisses_ = misses;
+    hbLastCycle_ = m.cycle;
+    hbLastWall_ = now;
+    hbNext_ = m.retired + hbInterval_;
 }
 
 void
@@ -389,6 +443,12 @@ SimEngine::warmUp(std::uint64_t n)
     ACIC_ASSERT(!state_.warmupSnapped,
                 "warmUp(): snapshot already latched (warmUp runs at "
                 "most once and must precede measure)");
+    TelemetryScope span("engine.warmUp");
+    if (span.live()) {
+        span.attr("workload", trace_.name());
+        span.attr("scheme", org_.name());
+        span.attr("target_insts", n);
+    }
     snapTarget_ = state_.retired + n;
     measureTarget_ = snapTarget_;
     if (state_.retired >= snapTarget_) {
@@ -408,6 +468,12 @@ SimEngine::measure(std::uint64_t n)
 {
     if (!state_.warmupSnapped)
         warmUp(0);
+    TelemetryScope span("engine.measure");
+    if (span.live()) {
+        span.attr("workload", trace_.name());
+        span.attr("scheme", org_.name());
+        span.attr("target_insts", n);
+    }
     measureTarget_ += n;
     advanceUntilRetired(measureTarget_);
 }
@@ -415,6 +481,11 @@ SimEngine::measure(std::uint64_t n)
 SimResult
 SimEngine::finish() const
 {
+    TelemetryScope span("engine.finish");
+    if (span.live()) {
+        span.attr("workload", trace_.name());
+        span.attr("scheme", org_.name());
+    }
     const MachineState &m = state_;
     SimResult result;
     result.workload = trace_.name();

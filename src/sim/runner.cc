@@ -4,6 +4,7 @@
 #include <cstdlib>
 
 #include "common/logging.hh"
+#include "common/telemetry.hh"
 #include "sim/engine.hh"
 
 namespace acic {
@@ -111,19 +112,29 @@ buildOracle(const TraceImage &image, const std::string &name,
 SharedWorkload::SharedWorkload(WorkloadParams params, SimConfig config)
     : config_(config), name_(params.name)
 {
+    TelemetryScope span("runner.materialize");
+    span.attr("workload", name_);
     image_ = generateImage(params);
+    if (span.live())
+        span.attr("instructions", image_->size());
 }
 
 SharedWorkload::SharedWorkload(TraceSource &source, SimConfig config)
-    : config_(config), name_(source.name()),
-      image_(materializeTrace(source))
+    : config_(config), name_(source.name())
 {
+    TelemetryScope span("runner.materialize");
+    span.attr("workload", name_);
+    image_ = materializeTrace(source);
+    if (span.live())
+        span.attr("instructions", image_->size());
 }
 
 const DemandOracle &
 SharedWorkload::oracle() const
 {
     std::call_once(oracleOnce_, [this] {
+        TelemetryScope span("runner.oracle");
+        span.attr("workload", name_);
         oracle_ = buildOracle(image_, name_, config_.fetchWidth);
     });
     return oracle_;
@@ -153,6 +164,12 @@ SharedWorkload::run(IcacheOrg &org) const
 DemandOracle
 SharedWorkload::buildIntervalOracle(const SimInterval &interval) const
 {
+    TelemetryScope span("runner.oracle");
+    if (span.live()) {
+        span.attr("workload", name_);
+        span.attr("region_begin", interval.warmStart);
+        span.attr("region_end", interval.end);
+    }
     // Region-local oracle: next-use indices must align with the
     // demand sequence the engine walks, which starts at warmStart.
     // OPT-style schemes therefore see Belady decisions local to the
