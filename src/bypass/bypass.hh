@@ -43,6 +43,10 @@ class BypassPolicy
     virtual std::string name() const = 0;
 
     virtual std::uint64_t storageBits() const { return 0; }
+
+    /** Checkpoint hooks; stateless policies keep the no-op default. */
+    virtual void save(Serializer &s) const { (void)s; }
+    virtual void load(Deserializer &d) { (void)d; }
 };
 
 } // namespace acic

@@ -76,4 +76,32 @@ DsbBypass::storageBits() const
            static_cast<std::uint64_t>(0.44 * 1024 * 8);
 }
 
+void
+DsbBypass::save(Serializer &s) const
+{
+    rng_.save(s);
+    s.u8(static_cast<std::uint8_t>(level_.value()));
+    s.u64(duels_.size());
+    for (const Duel &duel : duels_) {
+        s.b(duel.active);
+        s.u16(duel.bypassedTag);
+        s.u32(duel.set);
+        s.u8(duel.sparedWay);
+    }
+}
+
+void
+DsbBypass::load(Deserializer &d)
+{
+    rng_.load(d);
+    level_.set(d.u8());
+    d.expectGeometry("dsb duel monitors", duels_.size());
+    for (Duel &duel : duels_) {
+        duel.active = d.b();
+        duel.bypassedTag = d.u16();
+        duel.set = d.u32();
+        duel.sparedWay = d.u8();
+    }
+}
+
 } // namespace acic

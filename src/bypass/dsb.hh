@@ -35,6 +35,9 @@ class DsbBypass : public BypassPolicy
     /** Current bypass probability (tests / instrumentation). */
     double bypassProbability() const;
 
+    void save(Serializer &s) const override;
+    void load(Deserializer &d) override;
+
   private:
     /** One in-flight duel: bypassed block vs. the spared line. */
     struct Duel

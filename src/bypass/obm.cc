@@ -87,4 +87,36 @@ ObmBypass::storageBits() const
     return kRhtEntries * (21 + 21 + 10) + kBdctEntries * 4 + 10;
 }
 
+void
+ObmBypass::save(Serializer &s) const
+{
+    rng_.save(s);
+    s.u64(rht_.size());
+    for (const RhtEntry &e : rht_) {
+        s.b(e.valid);
+        s.u32(e.incomingTag);
+        s.u32(e.victimTag);
+        s.u16(e.signature);
+        s.u64(e.stamp);
+    }
+    s.vecSat(bdct_);
+    s.u64(tick_);
+}
+
+void
+ObmBypass::load(Deserializer &d)
+{
+    rng_.load(d);
+    d.expectGeometry("obm rht entries", rht_.size());
+    for (RhtEntry &e : rht_) {
+        e.valid = d.b();
+        e.incomingTag = d.u32();
+        e.victimTag = d.u32();
+        e.signature = d.u16();
+        e.stamp = d.u64();
+    }
+    d.vecSat(bdct_);
+    tick_ = d.u64();
+}
+
 } // namespace acic

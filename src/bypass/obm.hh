@@ -35,6 +35,9 @@ class ObmBypass : public BypassPolicy
     std::string name() const override { return "OBM"; }
     std::uint64_t storageBits() const override;
 
+    void save(Serializer &s) const override;
+    void load(Deserializer &d) override;
+
   private:
     struct RhtEntry
     {

@@ -9,6 +9,7 @@
 
 #include <cstdint>
 
+#include "common/serialize.hh"
 #include "common/types.hh"
 
 namespace acic {
@@ -49,6 +50,30 @@ struct CacheLine
     /** Demand-sequence index of the last touch. */
     std::uint64_t lastTouch = 0;
 };
+
+/** Field-by-field checkpoint of one line (checkpoint/resume). */
+inline void
+saveCacheLine(Serializer &s, const CacheLine &line)
+{
+    s.u64(line.blk);
+    s.b(line.valid);
+    s.b(line.prefetched);
+    s.u64(line.fillPc);
+    s.u64(line.nextUse);
+    s.u64(line.lastTouch);
+}
+
+/** Inverse of saveCacheLine(). */
+inline void
+loadCacheLine(Deserializer &d, CacheLine &line)
+{
+    line.blk = d.u64();
+    line.valid = d.b();
+    line.prefetched = d.b();
+    line.fillPc = d.u64();
+    line.nextUse = d.u64();
+    line.lastTouch = d.u64();
+}
 
 } // namespace acic
 

@@ -162,4 +162,34 @@ GhrpPolicy::storageOverheadBits() const
     return 3 * tableEntries_ * 2 + lines * (16 + 1) + historyBits_;
 }
 
+void
+GhrpPolicy::save(Serializer &s) const
+{
+    s.u32(history_);
+    for (const auto &table : tables_)
+        s.vecSat(table);
+    s.u64(meta_.size());
+    for (const LineMeta &m : meta_) {
+        s.u32(m.signature);
+        s.b(m.predictedDead);
+        s.b(m.reused);
+        s.u8(m.lruStamp);
+    }
+}
+
+void
+GhrpPolicy::load(Deserializer &d)
+{
+    history_ = d.u32();
+    for (auto &table : tables_)
+        d.vecSat(table);
+    d.expectGeometry("ghrp line metadata", meta_.size());
+    for (LineMeta &m : meta_) {
+        m.signature = d.u32();
+        m.predictedDead = d.b();
+        m.reused = d.b();
+        m.lruStamp = d.u8();
+    }
+}
+
 } // namespace acic

@@ -51,6 +51,9 @@ class GhrpPolicy : public ReplacementPolicy
     /** Current history register value (tests). */
     std::uint32_t history() const { return history_; }
 
+    void save(Serializer &s) const override;
+    void load(Deserializer &d) override;
+
   private:
     struct LineMeta
     {

@@ -1,5 +1,7 @@
 #include "cache/hawkeye.hh"
 
+#include <algorithm>
+
 #include "common/logging.hh"
 
 namespace acic {
@@ -171,6 +173,72 @@ HawkeyePolicy::storageOverheadBits() const
     // entry) for sampled sets -- Table IV's 4.69 KB recipe.
     return predictorEntries_ * 3 + lines * 3 +
            sampled_sets * window_ * 4 + sampled_sets * window_ * 20;
+}
+
+void
+HawkeyePolicy::save(Serializer &s) const
+{
+    s.vecSat(predictor_);
+    s.u64(meta_.size());
+    for (const LineMeta &m : meta_) {
+        s.u8(m.rrpv);
+        s.u64(m.fillPc);
+        s.b(m.friendly);
+    }
+    // Hash maps have no deterministic iteration order; serialize
+    // sorted by key so identical state yields identical bytes.
+    std::vector<std::uint32_t> sets;
+    sets.reserve(samples_.size());
+    for (const auto &kv : samples_)
+        sets.push_back(kv.first);
+    std::sort(sets.begin(), sets.end());
+    s.u64(sets.size());
+    for (std::uint32_t set : sets) {
+        const OptGenSet &gen = samples_.at(set);
+        s.u32(set);
+        s.vecU8(gen.occupancy);
+        std::vector<BlockAddr> blks;
+        blks.reserve(gen.last.size());
+        for (const auto &kv : gen.last)
+            blks.push_back(kv.first);
+        std::sort(blks.begin(), blks.end());
+        s.u64(blks.size());
+        for (BlockAddr blk : blks) {
+            const auto &rec = gen.last.at(blk);
+            s.u64(blk);
+            s.u64(rec.first);
+            s.u64(rec.second);
+        }
+        s.u64(gen.time);
+    }
+}
+
+void
+HawkeyePolicy::load(Deserializer &d)
+{
+    d.vecSat(predictor_);
+    d.expectGeometry("hawkeye line metadata", meta_.size());
+    for (LineMeta &m : meta_) {
+        m.rrpv = d.u8();
+        m.fillPc = d.u64();
+        m.friendly = d.b();
+    }
+    const std::size_t n_sets = d.count(8);
+    samples_.clear();
+    for (std::size_t i = 0; i < n_sets; ++i) {
+        const std::uint32_t set = d.u32();
+        OptGenSet gen;
+        gen.occupancy = d.vecU8();
+        const std::size_t n_blks = d.count(24);
+        for (std::size_t j = 0; j < n_blks; ++j) {
+            const BlockAddr blk = d.u64();
+            const std::uint64_t time = d.u64();
+            const Addr pc = d.u64();
+            gen.last.emplace(blk, std::make_pair(time, pc));
+        }
+        gen.time = d.u64();
+        samples_.emplace(set, std::move(gen));
+    }
 }
 
 } // namespace acic

@@ -52,6 +52,9 @@ class HawkeyePolicy : public ReplacementPolicy
     /** Friendly/averse prediction for a PC (tests). */
     bool predictFriendly(Addr pc) const;
 
+    void save(Serializer &s) const override;
+    void load(Deserializer &d) override;
+
   private:
     /** Per-sampled-set OPTgen state. */
     struct OptGenSet

@@ -44,4 +44,20 @@ MemoryHierarchy::serviceMiss(BlockAddr blk, Addr pc)
     return config_.l3Latency + config_.dramLatency;
 }
 
+void
+MemoryHierarchy::save(Serializer &s) const
+{
+    l2_.save(s);
+    l3_.save(s);
+    stats_.save(s);
+}
+
+void
+MemoryHierarchy::load(Deserializer &d)
+{
+    l2_.load(d);
+    l3_.load(d);
+    stats_.load(d);
+}
+
 } // namespace acic

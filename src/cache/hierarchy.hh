@@ -51,6 +51,10 @@ class MemoryHierarchy
 
     const HierarchyConfig &config() const { return config_; }
 
+    /** Checkpoint L2/L3 tag stores and the level counters. */
+    void save(Serializer &s) const;
+    void load(Deserializer &d);
+
   private:
     HierarchyConfig config_;
     SetAssocCache l2_;

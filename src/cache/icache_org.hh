@@ -47,6 +47,14 @@ class IcacheOrg
     virtual const StatSet &stats() const { return stats_; }
     StatSet &statsMut() { return stats_; }
 
+    /**
+     * Checkpoint the organization (checkpoint/resume). The base
+     * serializes stats_; overrides must call the base first and then
+     * their own structures, in a fixed order.
+     */
+    virtual void save(Serializer &s) const { stats_.save(s); }
+    virtual void load(Deserializer &d) { stats_.load(d); }
+
   protected:
     StatSet stats_;
 };

@@ -57,6 +57,24 @@ LruPolicy::rankOf(std::uint32_t set, std::uint32_t way) const
     return rank;
 }
 
+void
+LruPolicy::save(Serializer &s) const
+{
+    s.vecU64(stamps_);
+    s.u64(tick_);
+}
+
+void
+LruPolicy::load(Deserializer &d)
+{
+    std::vector<std::uint64_t> stamps = d.vecU64();
+    if (stamps.size() != stamps_.size())
+        throw SerializeError("checkpoint LRU stamp-table size "
+                             "mismatch (geometry differs)");
+    stamps_ = std::move(stamps);
+    tick_ = d.u64();
+}
+
 RandomPolicy::RandomPolicy(std::uint64_t seed) : rng_(seed) {}
 
 std::uint32_t

@@ -38,6 +38,9 @@ class LruPolicy : public ReplacementPolicy
     /** Recency rank of a way: 0 = MRU, ways-1 = LRU (tests). */
     std::uint32_t rankOf(std::uint32_t set, std::uint32_t way) const;
 
+    void save(Serializer &s) const override;
+    void load(Deserializer &d) override;
+
   private:
     std::uint64_t &stampOf(std::uint32_t set, std::uint32_t way)
     {
@@ -71,6 +74,9 @@ class RandomPolicy : public ReplacementPolicy
                             const CacheLine *lines) override;
     std::string name() const override { return "Random"; }
     std::uint64_t storageOverheadBits() const override { return 0; }
+
+    void save(Serializer &s) const override { rng_.save(s); }
+    void load(Deserializer &d) override { rng_.load(d); }
 
   private:
     Rng rng_;

@@ -1,6 +1,7 @@
 #include "cache/mshr.hh"
 
 #include "common/logging.hh"
+#include "common/serialize.hh"
 
 namespace acic {
 
@@ -96,6 +97,43 @@ MshrFile::clear()
         e.valid = false;
     used_ = 0;
     minReady_ = ~Cycle{0};
+}
+
+void
+MshrFile::save(Serializer &s) const
+{
+    s.u64(entries_.size());
+    for (const Entry &e : entries_) {
+        s.u64(e.blk);
+        s.u64(e.ready);
+        s.b(e.valid);
+        s.b(e.wasPrefetch);
+        s.b(e.demandWaiting);
+        s.u64(e.pc);
+        s.u64(e.seq);
+    }
+    s.u32(used_);
+    s.u64(minReady_);
+}
+
+void
+MshrFile::load(Deserializer &d)
+{
+    d.expectGeometry("mshr entries", entries_.size());
+    for (Entry &e : entries_) {
+        e.blk = d.u64();
+        e.ready = d.u64();
+        e.valid = d.b();
+        e.wasPrefetch = d.b();
+        e.demandWaiting = d.b();
+        e.pc = d.u64();
+        e.seq = d.u64();
+    }
+    used_ = d.u32();
+    minReady_ = d.u64();
+    if (used_ > entries_.size())
+        throw SerializeError("checkpoint MSHR occupancy exceeds "
+                             "capacity (corrupt payload)");
 }
 
 } // namespace acic

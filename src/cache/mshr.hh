@@ -16,6 +16,9 @@
 
 namespace acic {
 
+class Serializer;
+class Deserializer;
+
 /** Outcome of an allocation attempt. */
 enum class MshrOutcome : std::uint8_t
 {
@@ -73,6 +76,10 @@ class MshrFile
 
     /** Drop everything (between benchmark runs). */
     void clear();
+
+    /** Checkpoint in-flight misses (checkpoint/resume). */
+    void save(Serializer &s) const;
+    void load(Deserializer &d);
 
   private:
     struct Entry

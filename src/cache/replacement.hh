@@ -67,6 +67,14 @@ class ReplacementPolicy
      */
     virtual std::uint64_t storageOverheadBits() const = 0;
 
+    /**
+     * Checkpoint hooks. Stateless policies (OPT) keep the no-op
+     * defaults; stateful ones serialize every replacement-relevant
+     * field so a resumed run replays identical victim choices.
+     */
+    virtual void save(Serializer &s) const { (void)s; }
+    virtual void load(Deserializer &d) { (void)d; }
+
   protected:
     std::uint32_t sets_ = 0;
     std::uint32_t ways_ = 0;

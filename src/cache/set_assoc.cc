@@ -156,4 +156,24 @@ SetAssocCache::validLines() const
     return n;
 }
 
+void
+SetAssocCache::save(Serializer &s) const
+{
+    s.u64(numSets_);
+    s.u64(numWays_);
+    for (const CacheLine &line : lines_)
+        saveCacheLine(s, line);
+    policy_->save(s);
+}
+
+void
+SetAssocCache::load(Deserializer &d)
+{
+    d.expectGeometry("cache sets", numSets_);
+    d.expectGeometry("cache ways", numWays_);
+    for (CacheLine &line : lines_)
+        loadCacheLine(d, line);
+    policy_->load(d);
+}
+
 } // namespace acic

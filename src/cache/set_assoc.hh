@@ -98,6 +98,10 @@ class SetAssocCache
     /** Count of currently valid lines (tests, warm-up checks). */
     std::uint64_t validLines() const;
 
+    /** Checkpoint the tag store plus the bound policy's state. */
+    void save(Serializer &s) const;
+    void load(Deserializer &d);
+
   private:
     CacheLine *setBase(std::uint32_t set)
     {

@@ -92,4 +92,28 @@ ShipPolicy::storageOverheadBits() const
     return lines * (2 + sigBits_ + 1) + shct_.size() * 2;
 }
 
+void
+ShipPolicy::save(Serializer &s) const
+{
+    s.u64(meta_.size());
+    for (const LineMeta &m : meta_) {
+        s.u8(m.rrpv);
+        s.u32(m.signature);
+        s.b(m.outcome);
+    }
+    s.vecSat(shct_);
+}
+
+void
+ShipPolicy::load(Deserializer &d)
+{
+    d.expectGeometry("ship line metadata", meta_.size());
+    for (LineMeta &m : meta_) {
+        m.rrpv = d.u8();
+        m.signature = d.u32();
+        m.outcome = d.b();
+    }
+    d.vecSat(shct_);
+}
+
 } // namespace acic

@@ -45,6 +45,9 @@ class ShipPolicy : public ReplacementPolicy
     /** Signature of a PC (exposed for tests). */
     std::uint32_t signatureOf(Addr pc) const;
 
+    void save(Serializer &s) const override;
+    void load(Deserializer &d) override;
+
   private:
     struct LineMeta
     {

@@ -58,4 +58,20 @@ SrripPolicy::rrpvOf(std::uint32_t set, std::uint32_t way) const
     return rrpv_[static_cast<std::size_t>(set) * ways_ + way];
 }
 
+void
+SrripPolicy::save(Serializer &s) const
+{
+    s.vecU8(rrpv_);
+}
+
+void
+SrripPolicy::load(Deserializer &d)
+{
+    std::vector<std::uint8_t> rrpv = d.vecU8();
+    if (rrpv.size() != rrpv_.size())
+        throw SerializeError("checkpoint SRRIP table size mismatch "
+                             "(geometry differs)");
+    rrpv_ = std::move(rrpv);
+}
+
 } // namespace acic

@@ -36,6 +36,9 @@ class SrripPolicy : public ReplacementPolicy
     /** RRPV of a line (tests). */
     std::uint8_t rrpvOf(std::uint32_t set, std::uint32_t way) const;
 
+    void save(Serializer &s) const override;
+    void load(Deserializer &d) override;
+
   private:
     std::uint8_t &at(std::uint32_t set, std::uint32_t way)
     {

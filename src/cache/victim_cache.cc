@@ -1,6 +1,7 @@
 #include "cache/victim_cache.hh"
 
 #include "common/logging.hh"
+#include "common/serialize.hh"
 
 namespace acic {
 
@@ -69,6 +70,32 @@ VictimCache::storageBits() const
     const std::uint64_t per_entry =
         kBlockBytes * 8 + 58 + 1 + 6;
     return per_entry * blocks_;
+}
+
+void
+VictimCache::save(Serializer &s) const
+{
+    s.u64(blocks_);
+    s.u64(ways_);
+    s.u64(tick_);
+    for (const Entry &e : entries_) {
+        s.u64(e.blk);
+        s.b(e.valid);
+        s.u64(e.stamp);
+    }
+}
+
+void
+VictimCache::load(Deserializer &d)
+{
+    d.expectGeometry("victim-cache blocks", blocks_);
+    d.expectGeometry("victim-cache ways", ways_);
+    tick_ = d.u64();
+    for (Entry &e : entries_) {
+        e.blk = d.u64();
+        e.valid = d.b();
+        e.stamp = d.u64();
+    }
 }
 
 } // namespace acic

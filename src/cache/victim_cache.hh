@@ -18,6 +18,9 @@
 
 namespace acic {
 
+class Serializer;
+class Deserializer;
+
 /**
  * Set-associative (or fully associative with one set) victim buffer
  * with per-set LRU.
@@ -55,6 +58,10 @@ class VictimCache
 
     /** Data + tag storage in bits (Table IV accounting). */
     std::uint64_t storageBits() const;
+
+    /** Checkpoint buffer contents (checkpoint/resume). */
+    void save(Serializer &s) const;
+    void load(Deserializer &d);
 
   private:
     struct Entry

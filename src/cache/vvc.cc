@@ -220,4 +220,44 @@ VvcCache::storageOverheadBits() const
     return 2 * kTableEntries * 2 + lines * (15 + 2);
 }
 
+void
+VvcCache::save(Serializer &s) const
+{
+    s.u64(sets_);
+    s.u64(ways_);
+    s.u64(tick_);
+    for (const Line &line : lines_) {
+        s.u64(line.blk);
+        s.b(line.valid);
+        s.b(line.isVirtual);
+        s.b(line.reused);
+        s.u16(line.trace);
+        s.u64(line.stamp);
+        s.u64(line.nextUse);
+    }
+    for (const auto &table : tables_)
+        s.vecSat(table);
+    stats_.save(s);
+}
+
+void
+VvcCache::load(Deserializer &d)
+{
+    d.expectGeometry("vvc sets", sets_);
+    d.expectGeometry("vvc ways", ways_);
+    tick_ = d.u64();
+    for (Line &line : lines_) {
+        line.blk = d.u64();
+        line.valid = d.b();
+        line.isVirtual = d.b();
+        line.reused = d.b();
+        line.trace = d.u16();
+        line.stamp = d.u64();
+        line.nextUse = d.u64();
+    }
+    for (auto &table : tables_)
+        d.vecSat(table);
+    stats_.load(d);
+}
+
 } // namespace acic

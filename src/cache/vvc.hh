@@ -52,6 +52,10 @@ class VvcCache
     /** Instrumentation counters (virtual hits, parks, displacement). */
     const StatSet &stats() const { return stats_; }
 
+    /** Checkpoint lines, predictor tables, and counters. */
+    void save(Serializer &s) const;
+    void load(Deserializer &d);
+
   private:
     struct Line
     {

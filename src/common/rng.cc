@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/logging.hh"
+#include "common/serialize.hh"
 
 namespace acic {
 
@@ -32,6 +33,20 @@ Rng::Rng(std::uint64_t seed)
     std::uint64_t sm = seed;
     for (auto &word : s_)
         word = splitmix64(sm);
+}
+
+void
+Rng::save(Serializer &s) const
+{
+    for (std::uint64_t word : s_)
+        s.u64(word);
+}
+
+void
+Rng::load(Deserializer &d)
+{
+    for (auto &word : s_)
+        word = d.u64();
 }
 
 std::uint64_t

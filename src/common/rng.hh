@@ -17,6 +17,9 @@
 
 namespace acic {
 
+class Serializer;
+class Deserializer;
+
 /**
  * xoshiro256** generator (Blackman & Vigna). Deterministic across
  * platforms for a given seed; fast enough for per-instruction use.
@@ -47,6 +50,10 @@ class Rng
      * per step, capped at @p cap to bound burst lengths.
      */
     std::uint64_t geometric(double p, std::uint64_t cap = 1u << 20);
+
+    /** Checkpoint the generator state (checkpoint/resume). */
+    void save(Serializer &s) const;
+    void load(Deserializer &d);
 
   private:
     std::uint64_t s_[4];

@@ -1,0 +1,148 @@
+#include "common/serialize.hh"
+
+#include <array>
+#include <atomic>
+#include <cstdio>
+#include <fstream>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <unistd.h>
+#endif
+
+namespace acic {
+
+constexpr char CheckpointFormat::kMagic[4];
+constexpr std::uint16_t CheckpointFormat::kVersion;
+constexpr std::size_t CheckpointFormat::kHeaderBytes;
+
+namespace {
+
+std::array<std::uint32_t, 256>
+buildCrcTable()
+{
+    std::array<std::uint32_t, 256> table{};
+    for (std::uint32_t i = 0; i < 256; ++i) {
+        std::uint32_t c = i;
+        for (int k = 0; k < 8; ++k)
+            c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+        table[i] = c;
+    }
+    return table;
+}
+
+} // namespace
+
+std::uint32_t
+crc32(const void *data, std::size_t size)
+{
+    static const std::array<std::uint32_t, 256> table =
+        buildCrcTable();
+    const auto *p = static_cast<const std::uint8_t *>(data);
+    std::uint32_t c = 0xFFFFFFFFu;
+    for (std::size_t i = 0; i < size; ++i)
+        c = table[(c ^ p[i]) & 0xFF] ^ (c >> 8);
+    return c ^ 0xFFFFFFFFu;
+}
+
+void
+writeCheckpointFile(const std::string &path, const char tag[4],
+                    const std::vector<std::uint8_t> &payload)
+{
+    Serializer header;
+    for (char m : CheckpointFormat::kMagic)
+        header.u8(static_cast<std::uint8_t>(m));
+    header.u16(CheckpointFormat::kVersion);
+    for (int i = 0; i < 4; ++i)
+        header.u8(static_cast<std::uint8_t>(tag[i]));
+    header.u64(payload.size());
+    header.u32(crc32(payload.data(), payload.size()));
+
+    // Unique temp name per process and call: shard processes sharing
+    // a checkpoint directory must never interleave writes into one
+    // temp file (the rename itself is atomic either way).
+    static std::atomic<std::uint64_t> tmpSeq{0};
+    std::string tmp = path + ".tmp";
+#if defined(__unix__) || defined(__APPLE__)
+    tmp += "." + std::to_string(static_cast<long>(getpid()));
+#endif
+    tmp += "." + std::to_string(tmpSeq.fetch_add(1));
+    {
+        std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+        if (!out)
+            throw SerializeError("cannot open checkpoint temp file " +
+                                 tmp + " for writing");
+        const auto &h = header.bytes();
+        out.write(reinterpret_cast<const char *>(h.data()),
+                  static_cast<std::streamsize>(h.size()));
+        out.write(reinterpret_cast<const char *>(payload.data()),
+                  static_cast<std::streamsize>(payload.size()));
+        out.flush();
+        if (!out)
+            throw SerializeError("short write to checkpoint temp "
+                                 "file " +
+                                 tmp);
+    }
+    if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+        std::remove(tmp.c_str());
+        throw SerializeError("cannot rename checkpoint temp file " +
+                             tmp + " over " + path);
+    }
+}
+
+std::vector<std::uint8_t>
+readCheckpointFile(const std::string &path, const char tag[4])
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        throw SerializeError("cannot open checkpoint file " + path);
+    std::vector<std::uint8_t> bytes(
+        (std::istreambuf_iterator<char>(in)),
+        std::istreambuf_iterator<char>());
+    if (bytes.size() < CheckpointFormat::kHeaderBytes)
+        throw SerializeError(
+            "checkpoint file " + path + " is truncated: " +
+            std::to_string(bytes.size()) +
+            " bytes, header needs " +
+            std::to_string(CheckpointFormat::kHeaderBytes));
+
+    Deserializer d(bytes);
+    for (char m : CheckpointFormat::kMagic)
+        if (d.u8() != static_cast<std::uint8_t>(m))
+            throw SerializeError("checkpoint file " + path +
+                                 " has bad magic (not an ACKP "
+                                 "checkpoint)");
+    const std::uint16_t version = d.u16();
+    if (version != CheckpointFormat::kVersion)
+        throw SerializeError(
+            "checkpoint file " + path +
+            " has unsupported format version " +
+            std::to_string(version) + " (this build reads version " +
+            std::to_string(CheckpointFormat::kVersion) + ")");
+    char got_tag[5] = {0, 0, 0, 0, 0};
+    for (int i = 0; i < 4; ++i)
+        got_tag[i] = static_cast<char>(d.u8());
+    if (std::memcmp(got_tag, tag, 4) != 0)
+        throw SerializeError(
+            "checkpoint file " + path + " has payload tag '" +
+            got_tag + "', expected '" + std::string(tag, 4) + "'");
+    const std::uint64_t length = d.u64();
+    const std::uint32_t want_crc = d.u32();
+    if (length != bytes.size() - CheckpointFormat::kHeaderBytes)
+        throw SerializeError(
+            "checkpoint file " + path + " is truncated: header "
+            "declares " +
+            std::to_string(length) + " payload bytes, file has " +
+            std::to_string(bytes.size() -
+                           CheckpointFormat::kHeaderBytes));
+    const std::uint8_t *payload =
+        bytes.data() + CheckpointFormat::kHeaderBytes;
+    const std::uint32_t got_crc =
+        crc32(payload, static_cast<std::size_t>(length));
+    if (got_crc != want_crc)
+        throw SerializeError(
+            "checkpoint file " + path + " failed CRC-32 "
+            "verification (payload is corrupt)");
+    return std::vector<std::uint8_t>(payload, payload + length);
+}
+
+} // namespace acic

@@ -1,0 +1,365 @@
+/**
+ * @file
+ * Versioned binary serialization for checkpoint/resume: a
+ * little-endian field-by-field byte stream (never struct memcpy —
+ * padding bytes are nondeterministic) with a CRC-32-guarded container
+ * format ("ACKP" magic, format version, 4-char payload tag). Every
+ * stateful simulator component exposes save(Serializer&) /
+ * load(Deserializer&) built on these primitives; SimEngine composes
+ * them into a whole-machine snapshot (sim/engine.hh) and the driver
+ * persists completed cells and in-flight engines through
+ * writeCheckpointFile()'s temp-file+rename atomic publish.
+ *
+ * Failure policy: a checkpoint is either provably intact or rejected
+ * loudly. readCheckpointFile() distinguishes truncation, magic,
+ * version, tag, and CRC mismatches in its SerializeError message, and
+ * Deserializer bounds-checks every read, so a corrupted snapshot can
+ * never silently resume into wrong statistics.
+ */
+
+#ifndef ACIC_COMMON_SERIALIZE_HH
+#define ACIC_COMMON_SERIALIZE_HH
+
+#include <cstdint>
+#include <cstring>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "common/sat_counter.hh"
+
+namespace acic {
+
+/** Thrown on any malformed, corrupt, or incompatible checkpoint. */
+class SerializeError : public std::runtime_error
+{
+  public:
+    explicit SerializeError(const std::string &what)
+        : std::runtime_error(what)
+    {
+    }
+};
+
+/** CRC-32 (IEEE 802.3, reflected) over @p size bytes at @p data. */
+std::uint32_t crc32(const void *data, std::size_t size);
+
+/** Little-endian append-only byte sink. */
+class Serializer
+{
+  public:
+    void
+    u8(std::uint8_t v)
+    {
+        buf_.push_back(v);
+    }
+
+    void
+    u16(std::uint16_t v)
+    {
+        u8(static_cast<std::uint8_t>(v));
+        u8(static_cast<std::uint8_t>(v >> 8));
+    }
+
+    void
+    u32(std::uint32_t v)
+    {
+        u16(static_cast<std::uint16_t>(v));
+        u16(static_cast<std::uint16_t>(v >> 16));
+    }
+
+    void
+    u64(std::uint64_t v)
+    {
+        u32(static_cast<std::uint32_t>(v));
+        u32(static_cast<std::uint32_t>(v >> 32));
+    }
+
+    void
+    b(bool v)
+    {
+        u8(v ? 1 : 0);
+    }
+
+    void
+    f64(double v)
+    {
+        std::uint64_t bits = 0;
+        static_assert(sizeof(bits) == sizeof(v), "double is 64-bit");
+        std::memcpy(&bits, &v, sizeof(bits));
+        u64(bits);
+    }
+
+    void
+    str(const std::string &s)
+    {
+        u64(s.size());
+        buf_.insert(buf_.end(), s.begin(), s.end());
+    }
+
+    /** Element-count-prefixed vector of unsigned scalars. */
+    template <typename T, typename Writer>
+    void
+    vec(const std::vector<T> &v, Writer &&write_one)
+    {
+        u64(v.size());
+        for (const T &e : v)
+            write_one(e);
+    }
+
+    void
+    vecU8(const std::vector<std::uint8_t> &v)
+    {
+        u64(v.size());
+        buf_.insert(buf_.end(), v.begin(), v.end());
+    }
+
+    void
+    vecU32(const std::vector<std::uint32_t> &v)
+    {
+        u64(v.size());
+        for (std::uint32_t e : v)
+            u32(e);
+    }
+
+    void
+    vecU64(const std::vector<std::uint64_t> &v)
+    {
+        u64(v.size());
+        for (std::uint64_t e : v)
+            u64(e);
+    }
+
+    /**
+     * Saturating-counter vector: widths come from construction and
+     * are geometry, so only the values travel.
+     */
+    void
+    vecSat(const std::vector<SatCounter> &v)
+    {
+        u64(v.size());
+        for (const SatCounter &c : v)
+            u32(c.value());
+    }
+
+    const std::vector<std::uint8_t> &bytes() const { return buf_; }
+    std::vector<std::uint8_t> take() { return std::move(buf_); }
+
+  private:
+    std::vector<std::uint8_t> buf_;
+};
+
+/** Bounds-checked little-endian reader over a byte buffer. */
+class Deserializer
+{
+  public:
+    Deserializer(const std::uint8_t *data, std::size_t size)
+        : data_(data), size_(size)
+    {
+    }
+
+    explicit Deserializer(const std::vector<std::uint8_t> &buf)
+        : Deserializer(buf.data(), buf.size())
+    {
+    }
+
+    std::uint8_t
+    u8()
+    {
+        need(1);
+        return data_[pos_++];
+    }
+
+    std::uint16_t
+    u16()
+    {
+        const std::uint16_t lo = u8();
+        return static_cast<std::uint16_t>(lo |
+                                          (std::uint16_t{u8()} << 8));
+    }
+
+    std::uint32_t
+    u32()
+    {
+        const std::uint32_t lo = u16();
+        return lo | (std::uint32_t{u16()} << 16);
+    }
+
+    std::uint64_t
+    u64()
+    {
+        const std::uint64_t lo = u32();
+        return lo | (std::uint64_t{u32()} << 32);
+    }
+
+    bool
+    b()
+    {
+        const std::uint8_t v = u8();
+        if (v > 1)
+            throw SerializeError("checkpoint bool field out of "
+                                 "range (corrupt payload)");
+        return v != 0;
+    }
+
+    double
+    f64()
+    {
+        const std::uint64_t bits = u64();
+        double v = 0.0;
+        std::memcpy(&v, &bits, sizeof(v));
+        return v;
+    }
+
+    std::string
+    str()
+    {
+        const std::uint64_t n = u64();
+        need(n);
+        std::string s(reinterpret_cast<const char *>(data_ + pos_),
+                      static_cast<std::size_t>(n));
+        pos_ += static_cast<std::size_t>(n);
+        return s;
+    }
+
+    /** Read an element count, sanity-bounded by remaining bytes. */
+    std::size_t
+    count(std::size_t min_bytes_per_element = 1)
+    {
+        const std::uint64_t n = u64();
+        if (min_bytes_per_element > 0 &&
+            n > remaining() / min_bytes_per_element)
+            throw SerializeError(
+                "checkpoint element count exceeds payload size "
+                "(truncated or corrupt)");
+        return static_cast<std::size_t>(n);
+    }
+
+    std::vector<std::uint8_t>
+    vecU8()
+    {
+        const std::size_t n = count(1);
+        std::vector<std::uint8_t> v(n);
+        need(n);
+        std::memcpy(v.data(), data_ + pos_, n);
+        pos_ += n;
+        return v;
+    }
+
+    std::vector<std::uint32_t>
+    vecU32()
+    {
+        const std::size_t n = count(4);
+        std::vector<std::uint32_t> v(n);
+        for (std::size_t i = 0; i < n; ++i)
+            v[i] = u32();
+        return v;
+    }
+
+    std::vector<std::uint64_t>
+    vecU64()
+    {
+        const std::size_t n = count(8);
+        std::vector<std::uint64_t> v(n);
+        for (std::size_t i = 0; i < n; ++i)
+            v[i] = u64();
+        return v;
+    }
+
+    /**
+     * Restore counter values into an already-constructed vector
+     * (widths are geometry); the length must match.
+     */
+    void
+    vecSat(std::vector<SatCounter> &v)
+    {
+        const std::size_t n = count(4);
+        if (n != v.size())
+            throw SerializeError(
+                "checkpoint counter-table size mismatch (geometry "
+                "differs from the running configuration)");
+        for (SatCounter &c : v)
+            c.set(u32());
+    }
+
+    /**
+     * Assert a geometry field matches the running construction —
+     * checkpoints restore state into identically-built objects, never
+     * reshape them.
+     */
+    void
+    expectGeometry(const char *what, std::uint64_t expected)
+    {
+        const std::uint64_t got = u64();
+        if (got != expected)
+            throw SerializeError(
+                std::string("checkpoint geometry mismatch for ") +
+                what + ": snapshot has " + std::to_string(got) +
+                ", running configuration has " +
+                std::to_string(expected));
+    }
+
+    std::size_t remaining() const { return size_ - pos_; }
+    bool done() const { return pos_ == size_; }
+
+    /** Require the stream to be fully consumed. */
+    void
+    finish()
+    {
+        if (!done())
+            throw SerializeError(
+                "checkpoint payload has " +
+                std::to_string(remaining()) +
+                " unread trailing bytes (format mismatch)");
+    }
+
+  private:
+    void
+    need(std::uint64_t n)
+    {
+        if (n > size_ - pos_)
+            throw SerializeError(
+                "checkpoint payload truncated: wanted " +
+                std::to_string(n) + " bytes, " +
+                std::to_string(size_ - pos_) + " remain");
+    }
+
+    const std::uint8_t *data_;
+    std::size_t size_;
+    std::size_t pos_ = 0;
+};
+
+/** Container framing shared by every on-disk checkpoint file. */
+struct CheckpointFormat
+{
+    /** File magic ("ACKP"). */
+    static constexpr char kMagic[4] = {'A', 'C', 'K', 'P'};
+    /** Container format version; bump on any layout change. */
+    static constexpr std::uint16_t kVersion = 1;
+    /** Header bytes: magic + version + tag + length + crc. */
+    static constexpr std::size_t kHeaderBytes = 4 + 2 + 4 + 8 + 4;
+};
+
+/**
+ * Atomically publish @p payload to @p path under the "ACKP" container
+ * (magic, version, 4-char @p tag, payload length, CRC-32 of the
+ * payload): the bytes are written to `<path>.tmp` and renamed over
+ * @p path, so a concurrently crashed writer leaves either the old
+ * file or nothing — never a partial checkpoint. Throws
+ * SerializeError on any I/O failure.
+ */
+void writeCheckpointFile(const std::string &path, const char tag[4],
+                         const std::vector<std::uint8_t> &payload);
+
+/**
+ * Read and validate a checkpoint container written by
+ * writeCheckpointFile(). Throws SerializeError naming the specific
+ * failure — truncation, bad magic, unsupported version, tag
+ * mismatch, payload length, or CRC mismatch — and the offending
+ * path. Returns the verified payload bytes.
+ */
+std::vector<std::uint8_t>
+readCheckpointFile(const std::string &path, const char tag[4]);
+
+} // namespace acic
+
+#endif // ACIC_COMMON_SERIALIZE_HH

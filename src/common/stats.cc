@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <iostream>
 
+#include "common/serialize.hh"
+
 namespace acic {
 
 StatHandle
@@ -77,6 +79,62 @@ StatSet::raw() const
         if (touched_[i] != 0)
             out.emplace(names_[i], values_[i]);
     return out;
+}
+
+void
+StatSet::save(Serializer &s) const
+{
+    s.u64(names_.size());
+    for (std::size_t i = 0; i < names_.size(); ++i) {
+        s.str(names_[i]);
+        s.u64(values_[i]);
+        s.u8(touched_[i]);
+    }
+}
+
+void
+StatSet::load(Deserializer &d)
+{
+    const std::size_t n = d.count(10);
+    // Handles interned before load() (by the owning object's
+    // constructor) must stay valid afterwards: a checkpoint restores
+    // into a freshly built object whose registrations are a prefix of
+    // (or identical to) the snapshot's, in the same order.
+    if (n < names_.size())
+        throw SerializeError(
+            "checkpoint stat registry has fewer counters than the "
+            "running object registered");
+    std::unordered_map<std::string, std::uint32_t> index;
+    std::vector<std::string> names;
+    std::vector<std::uint64_t> values;
+    std::vector<std::uint8_t> touched;
+    names.reserve(n);
+    values.reserve(n);
+    touched.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        std::string name = d.str();
+        if (i < names_.size() && name != names_[i])
+            throw SerializeError(
+                "checkpoint stat registry mismatch at index " +
+                std::to_string(i) + ": snapshot has '" + name +
+                "', running object registered '" + names_[i] + "'");
+        index.emplace(name, static_cast<std::uint32_t>(i));
+        names.push_back(std::move(name));
+        values.push_back(d.u64());
+        touched.push_back(d.u8());
+        if (touched.back() > 1)
+            throw SerializeError(
+                "checkpoint stat touched flag out of range "
+                "(corrupt payload)");
+    }
+    if (index.size() != n)
+        throw SerializeError(
+            "checkpoint stat registry has duplicate counter names "
+            "(corrupt payload)");
+    index_ = std::move(index);
+    names_ = std::move(names);
+    values_ = std::move(values);
+    touched_ = std::move(touched);
 }
 
 } // namespace acic

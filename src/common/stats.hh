@@ -33,6 +33,9 @@
 
 namespace acic {
 
+class Serializer;
+class Deserializer;
+
 /**
  * Interned counter id, valid only for the StatSet that produced it
  * (and copies of that StatSet, which preserve indices). The default
@@ -133,6 +136,14 @@ class StatSet
     /** Written counters as a sorted name->value map (tests,
      *  emitters). Built on demand; not for hot paths. */
     std::map<std::string, std::uint64_t> raw() const;
+
+    /**
+     * Checkpoint the full registry — names in registration order,
+     * values, and touched flags — so load() reproduces the exact
+     * index layout and previously interned StatHandles stay valid.
+     */
+    void save(Serializer &s) const;
+    void load(Deserializer &d);
 
   private:
     const std::uint32_t *findIndex(const std::string &name) const;

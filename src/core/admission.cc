@@ -43,6 +43,18 @@ AccessCountAdmission::storageBits() const
     return counters_.size() * 6;
 }
 
+void
+AccessCountAdmission::save(Serializer &s) const
+{
+    s.vecSat(counters_);
+}
+
+void
+AccessCountAdmission::load(Deserializer &d)
+{
+    d.vecSat(counters_);
+}
+
 RandomAdmission::RandomAdmission(double insert_prob,
                                  std::uint64_t seed)
     : insertProb_(insert_prob), rng_(seed)
@@ -110,6 +122,20 @@ std::uint64_t
 AcicAdmission::storageBits() const
 {
     return predictor_.storageBits() + cshr_.storageBits();
+}
+
+void
+AcicAdmission::save(Serializer &s) const
+{
+    predictor_.save(s);
+    cshr_.save(s);
+}
+
+void
+AcicAdmission::load(Deserializer &d)
+{
+    predictor_.load(d);
+    cshr_.load(d);
 }
 
 } // namespace acic

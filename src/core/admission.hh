@@ -67,6 +67,10 @@ class AdmissionController
 
     /** Hardware cost beyond the i-Filter itself, in bits. */
     virtual std::uint64_t storageBits() const { return 0; }
+
+    /** Checkpoint hooks; stateless policies keep the no-op default. */
+    virtual void save(Serializer &s) const { (void)s; }
+    virtual void load(Deserializer &d) { (void)d; }
 };
 
 /** Insert every i-Filter victim (Fig. 3a's 1.0057 scheme). */
@@ -114,6 +118,8 @@ class AccessCountAdmission : public AdmissionController
                         std::uint32_t icache_set) override;
     std::string name() const override { return "access-count"; }
     std::uint64_t storageBits() const override;
+    void save(Serializer &s) const override;
+    void load(Deserializer &d) override;
 
   private:
     std::size_t indexOf(BlockAddr blk) const;
@@ -129,6 +135,8 @@ class RandomAdmission : public AdmissionController
 
     bool admit(const AdmissionContext &) override;
     std::string name() const override { return "random-bypass"; }
+    void save(Serializer &s) const override { rng_.save(s); }
+    void load(Deserializer &d) override { rng_.load(d); }
 
   private:
     double insertProb_;
@@ -152,6 +160,8 @@ class AcicAdmission : public AdmissionController
     void tick(Cycle now) override;
     std::string name() const override;
     std::uint64_t storageBits() const override;
+    void save(Serializer &s) const override;
+    void load(Deserializer &d) override;
 
     /** Attach a Fig. 6 lifetime profiler (not owned). */
     void setLifetimeProfiler(CshrLifetimeProfiler *profiler)

@@ -1,6 +1,7 @@
 #include "core/admission_predictor.hh"
 
 #include "common/logging.hh"
+#include "common/serialize.hh"
 
 namespace acic {
 
@@ -174,6 +175,55 @@ AdmissionPredictor::flush()
     }
     pendingUpdates_ = 0;
     earliestDue_ = ~Cycle{0};
+}
+
+void
+AdmissionPredictor::save(Serializer &s) const
+{
+    s.u64(hrt_.size());
+    s.u64(pt_.size());
+    s.vecU32(hrt_);
+    s.vecSat(pt_);
+    s.u64(queues_.size());
+    for (const auto &queue : queues_) {
+        s.u64(queue.size());
+        for (const PendingUpdate &u : queue) {
+            s.u32(u.pattern);
+            s.b(u.increment);
+            s.u64(u.due);
+        }
+    }
+    s.u64(pendingUpdates_);
+    s.u64(earliestDue_);
+    s.u64(droppedUpdates_);
+}
+
+void
+AdmissionPredictor::load(Deserializer &d)
+{
+    d.expectGeometry("predictor hrt entries", hrt_.size());
+    d.expectGeometry("predictor pt entries", pt_.size());
+    std::vector<std::uint32_t> hrt = d.vecU32();
+    if (hrt.size() != hrt_.size())
+        throw SerializeError("checkpoint HRT size mismatch "
+                             "(geometry differs)");
+    hrt_ = std::move(hrt);
+    d.vecSat(pt_);
+    d.expectGeometry("predictor update queues", queues_.size());
+    for (auto &queue : queues_) {
+        queue.clear();
+        const std::size_t n = d.count(13);
+        for (std::size_t i = 0; i < n; ++i) {
+            PendingUpdate u;
+            u.pattern = d.u32();
+            u.increment = d.b();
+            u.due = d.u64();
+            queue.push_back(u);
+        }
+    }
+    pendingUpdates_ = d.u64();
+    earliestDue_ = d.u64();
+    droppedUpdates_ = d.u64();
 }
 
 std::uint64_t

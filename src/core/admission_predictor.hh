@@ -29,6 +29,9 @@
 
 namespace acic {
 
+class Serializer;
+class Deserializer;
+
 /** Predictor organization (Fig. 17 ablation space). */
 enum class PredictorKind : std::uint8_t
 {
@@ -99,6 +102,10 @@ class AdmissionPredictor
     {
         return hrt_;
     }
+
+    /** Checkpoint tables and the in-flight update pipeline. */
+    void save(Serializer &s) const;
+    void load(Deserializer &d);
 
   private:
     struct PendingUpdate

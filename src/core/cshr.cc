@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/logging.hh"
+#include "common/serialize.hh"
 
 namespace acic {
 
@@ -124,6 +125,50 @@ Cshr::storageBits() const
     // 2 partial tags + valid + 5-bit LRU per entry (Table I).
     return std::uint64_t{config_.entries} *
            (2 * config_.tagBits + 1 + 5);
+}
+
+void
+Cshr::save(Serializer &s) const
+{
+    s.u64(config_.entries);
+    s.u64(config_.sets);
+    s.u64(tick_);
+    s.u64(resolved_);
+    s.u64(forced_);
+    s.u64(resolvedWon_);
+    s.u64(resolvedLost_);
+    s.u64(truthMatch_);
+    s.vecU32(victimTag_);
+    s.vecU32(contenderTag_);
+    s.vecU8(oracleWins_);
+    s.vecU64(stamp_);
+}
+
+void
+Cshr::load(Deserializer &d)
+{
+    d.expectGeometry("cshr entries", config_.entries);
+    d.expectGeometry("cshr sets", config_.sets);
+    tick_ = d.u64();
+    resolved_ = d.u64();
+    forced_ = d.u64();
+    resolvedWon_ = d.u64();
+    resolvedLost_ = d.u64();
+    truthMatch_ = d.u64();
+    std::vector<std::uint32_t> victim = d.vecU32();
+    std::vector<std::uint32_t> contender = d.vecU32();
+    std::vector<std::uint8_t> wins = d.vecU8();
+    std::vector<std::uint64_t> stamp = d.vecU64();
+    if (victim.size() != victimTag_.size() ||
+        contender.size() != contenderTag_.size() ||
+        wins.size() != oracleWins_.size() ||
+        stamp.size() != stamp_.size())
+        throw SerializeError("checkpoint CSHR lane size mismatch "
+                             "(geometry differs)");
+    victimTag_ = std::move(victim);
+    contenderTag_ = std::move(contender);
+    oracleWins_ = std::move(wins);
+    stamp_ = std::move(stamp);
 }
 
 CshrLifetimeProfiler::CshrLifetimeProfiler()

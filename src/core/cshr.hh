@@ -25,6 +25,9 @@
 
 namespace acic {
 
+class Serializer;
+class Deserializer;
+
 /** Geometry/width knobs (Fig. 15 varies the tag width). */
 struct CshrConfig
 {
@@ -92,6 +95,10 @@ class Cshr
 
     /** Fetch-resolved outcomes agreeing with the oracle annotation. */
     std::uint64_t resolvedTruthMatches() const { return truthMatch_; }
+
+    /** Checkpoint entries and resolution counters. */
+    void save(Serializer &s) const;
+    void load(Deserializer &d);
 
   private:
     /**

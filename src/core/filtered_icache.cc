@@ -189,4 +189,22 @@ FilteredIcache::storageOverheadBits() const
     return filter_.storageBits() + admission_->storageBits();
 }
 
+void
+FilteredIcache::save(Serializer &s) const
+{
+    IcacheOrg::save(s);
+    filter_.save(s);
+    l1i_.save(s);
+    admission_->save(s);
+}
+
+void
+FilteredIcache::load(Deserializer &d)
+{
+    IcacheOrg::load(d);
+    filter_.load(d);
+    l1i_.load(d);
+    admission_->load(d);
+}
+
 } // namespace acic

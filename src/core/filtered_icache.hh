@@ -49,6 +49,8 @@ class FilteredIcache : public IcacheOrg
     void tick(Cycle now) override;
     std::string name() const override { return schemeName_; }
     std::uint64_t storageOverheadBits() const override;
+    void save(Serializer &s) const override;
+    void load(Deserializer &d) override;
 
     /** The underlying admission controller (bench instrumentation). */
     AdmissionController &admission() { return *admission_; }

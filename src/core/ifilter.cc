@@ -97,4 +97,26 @@ IFilter::storageBits() const
     return slots_.size() * (63 + kBlockBytes * 8);
 }
 
+void
+IFilter::save(Serializer &s) const
+{
+    s.u64(slots_.size());
+    for (const Slot &slot : slots_) {
+        saveCacheLine(s, slot.line);
+        s.u64(slot.stamp);
+    }
+    s.u64(tick_);
+}
+
+void
+IFilter::load(Deserializer &d)
+{
+    d.expectGeometry("ifilter entries", slots_.size());
+    for (Slot &slot : slots_) {
+        loadCacheLine(d, slot.line);
+        slot.stamp = d.u64();
+    }
+    tick_ = d.u64();
+}
+
 } // namespace acic

@@ -55,6 +55,10 @@ class IFilter
      */
     std::uint64_t storageBits() const;
 
+    /** Checkpoint buffer contents (checkpoint/resume). */
+    void save(Serializer &s) const;
+    void load(Deserializer &d);
+
   private:
     struct Slot
     {

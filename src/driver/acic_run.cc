@@ -10,10 +10,13 @@
  *                    [--baseline SCHEME] [--csv FILE] [--json FILE]
  *                    [--dump-stats] [--quiet] [--progress]
  *                    [--telemetry FILE] [--heartbeat N]
+ *                    [--shard I/N] [--checkpoint-dir D]
+ *                    [--checkpoint-every N]
  *   acic_run sweep   --grid G --workloads W [same options as run]
+ *   acic_run merge   <shard.json>... [--csv FILE] [--json FILE]
  *   acic_run import  <input> <output> [--format F] [--name N]
  *   acic_run stat    <trace>
- *   acic_run report  <telemetry.jsonl> [--top N]
+ *   acic_run report  <telemetry.jsonl>... [--top N]
  *   acic_run help    [command]
  *
  * Workload lists are resolved against the WorkloadCatalog: synthetic
@@ -34,6 +37,7 @@
 #include <fstream>
 #include <iostream>
 #include <map>
+#include <sstream>
 #include <string>
 #include <thread>
 #include <vector>
@@ -43,6 +47,7 @@
 #include "common/telemetry.hh"
 #include "driver/emitters.hh"
 #include "driver/experiment.hh"
+#include "driver/merge.hh"
 #include "driver/report.hh"
 #include "trace/catalog.hh"
 #include "trace/import/importer.hh"
@@ -64,6 +69,7 @@ const char *const kMainHelp =
     "  record    capture synthetic workloads to .acictrace files\n"
     "  run       execute a workloads x schemes experiment matrix\n"
     "  sweep     expand a {a,b,c} parameter grid and run the matrix\n"
+    "  merge     reassemble one sweep from per-shard JSON outputs\n"
     "  import    convert an external instruction trace to "
     ".acictrace\n"
     "  stat      print trace-intrinsic statistics of a .acictrace "
@@ -118,7 +124,9 @@ const char *const kRunHelp =
     "                    [--trace-dir D] [--baseline SCHEME]\n"
     "                    [--csv FILE] [--json FILE] [--quiet]\n"
     "                    [--progress] [--telemetry FILE]\n"
-    "                    [--heartbeat N]\n"
+    "                    [--heartbeat N] [--shard I/N]\n"
+    "                    [--checkpoint-dir D]\n"
+    "                    [--checkpoint-every N]\n"
     "\n"
     "Execute the workloads x schemes matrix on a thread pool and\n"
     "print paper-shaped IPC/MPKI/speedup tables.\n"
@@ -174,6 +182,23 @@ const char *const kRunHelp =
     "  --heartbeat N      instructions between engine heartbeat\n"
     "                     snapshots (default 1000000; only\n"
     "                     meaningful with --telemetry)\n"
+    "  --shard I/N        run only this process's cells of the\n"
+    "                     matrix (cell k belongs to shard k mod N;\n"
+    "                     0 <= I < N). All N shards must name the\n"
+    "                     identical matrix. Tables and --dump-stats\n"
+    "                     are suppressed; write --json per shard and\n"
+    "                     reassemble with 'acic_run merge'\n"
+    "  --checkpoint-dir D persist completed cells (and periodic\n"
+    "                     in-flight engine snapshots) under D; a\n"
+    "                     restart with the same spec skips finished\n"
+    "                     cells and resumes interrupted ones from\n"
+    "                     the last snapshot, bit-identically.\n"
+    "                     Shards may share one directory\n"
+    "  --checkpoint-every N\n"
+    "                     instructions between in-flight engine\n"
+    "                     snapshots of a monolithic cell (default\n"
+    "                     5000000; 0 keeps only completed-cell\n"
+    "                     checkpoints; ignored with --intervals>1)\n"
     "\n"
     "Trace-length precedence: --instructions beats the\n"
     "ACIC_TRACE_LEN environment variable, which beats the preset\n"
@@ -188,7 +213,9 @@ const char *const kSweepHelp =
     "                      [--trace-dir D] [--baseline SPEC]\n"
     "                      [--csv FILE] [--json FILE] [--quiet]\n"
     "                      [--progress] [--telemetry FILE]\n"
-    "                      [--heartbeat N]\n"
+    "                      [--heartbeat N] [--shard I/N]\n"
+    "                      [--checkpoint-dir D]\n"
+    "                      [--checkpoint-every N]\n"
     "\n"
     "Expand a parameter grid into concrete schemes and run the\n"
     "workloads x schemes matrix on the thread pool (identical\n"
@@ -237,8 +264,39 @@ const char *const kSweepHelp =
     "                     'acic_run help run')\n"
     "  --heartbeat N      instructions between engine heartbeat\n"
     "                     snapshots (default 1000000)\n"
+    "  --shard I/N        run only this process's cells; merge the\n"
+    "                     per-shard --json outputs with 'acic_run\n"
+    "                     merge' (see 'acic_run help run')\n"
+    "  --checkpoint-dir D persist completed cells and in-flight\n"
+    "                     engine snapshots for crash-safe restarts\n"
+    "                     (see 'acic_run help run')\n"
+    "  --checkpoint-every N\n"
+    "                     instructions between in-flight snapshots\n"
+    "                     (default 5000000; 0 disables)\n"
     "\n"
     "exit codes: 0 success, 1 runtime error, 2 usage error\n";
+
+const char *const kMergeHelp =
+    "usage: acic_run merge <shard.json>... [--csv FILE] "
+    "[--json FILE]\n"
+    "\n"
+    "Reassemble a sweep from per-shard JSON results written by\n"
+    "'acic_run run/sweep --shard i/N --json'. Every shard must\n"
+    "describe the identical workloads x schemes matrix; duplicate\n"
+    "cells, cells outside the matrix, and missing cells are errors\n"
+    "— a partial or double-counted sweep is never emitted. The\n"
+    "merged CSV/JSON is byte-identical to what a monolithic\n"
+    "(unsharded) run of the same matrix writes.\n"
+    "\n"
+    "options:\n"
+    "  --csv FILE    write the reassembled matrix as CSV\n"
+    "  --json FILE   write the reassembled matrix as JSON\n"
+    "\n"
+    "With neither flag, the merged CSV is written to stdout.\n"
+    "\n"
+    "exit codes: 0 success, 1 runtime error (unreadable, malformed,\n"
+    "mismatched, duplicate, or incomplete shard outputs), 2 usage\n"
+    "error\n";
 
 const char *const kImportHelp =
     "usage: acic_run import <input> <output> [--format F] "
@@ -283,10 +341,14 @@ const char *const kStatHelp =
     "exit codes: 0 success, 1 runtime error, 2 usage error\n";
 
 const char *const kReportHelp =
-    "usage: acic_run report <telemetry.jsonl> [--top N]\n"
+    "usage: acic_run report <telemetry.jsonl>... [--top N]\n"
     "\n"
-    "Summarize a telemetry file written by 'run'/'sweep'\n"
-    "--telemetry: per-phase time breakdowns (span totals, means,\n"
+    "Summarize one or more telemetry files written by 'run'/'sweep'\n"
+    "--telemetry. Multiple files — e.g. one per shard of a\n"
+    "distributed sweep — are concatenated into one event stream and\n"
+    "summarized together.\n"
+    "\n"
+    "Reports per-phase time breakdowns (span totals, means,\n"
     "maxima, share of wall), the slowest (workload, scheme) cells\n"
     "by summed simulation seconds, heartbeat rolling-window\n"
     "aggregates (instruction-weighted window MPKI/IPC, aggregate\n"
@@ -565,6 +627,26 @@ runMatrix(const OptionParser &opts, const char *workload_list,
         spec.intervalWarmup = parseCount(w, "--warmup", true);
     if (const char *h = opts.value("--warm-horizon"))
         spec.warmHorizon = parseCount(h, "--warm-horizon", true);
+    if (const char *sh = opts.value("--shard")) {
+        unsigned index = 0, count = 0;
+        char extra = 0;
+        if (std::sscanf(sh, "%u/%u%c", &index, &count, &extra) !=
+                2 ||
+            count == 0 || index >= count) {
+            std::fprintf(stderr,
+                         "--shard must be I/N with 0 <= I < N "
+                         "(got '%s')\n",
+                         sh);
+            return kUsageError;
+        }
+        spec.shardIndex = index;
+        spec.shardCount = count;
+    }
+    if (const char *d = opts.value("--checkpoint-dir"))
+        spec.checkpointDir = d;
+    if (const char *n = opts.value("--checkpoint-every"))
+        spec.checkpointEvery =
+            parseCount(n, "--checkpoint-every", true);
 
     SchemeSpec baseline = spec.schemes.front();
     if (const char *b = opts.value("--baseline")) {
@@ -583,7 +665,16 @@ runMatrix(const OptionParser &opts, const char *workload_list,
 
     const bool quiet = opts.present("--quiet");
     const bool progress = opts.present("--progress");
-    const std::size_t total = spec.cellCount();
+    const bool sharded = spec.shardCount > 1;
+    std::size_t total = spec.cellCount();
+    if (sharded) {
+        // The progress denominator is this shard's share only.
+        total = 0;
+        for (std::size_t w = 0; w < spec.workloads.size(); ++w)
+            for (std::size_t s = 0; s < spec.schemes.size(); ++s)
+                if (spec.ownsCell(w, s))
+                    ++total;
+    }
     std::size_t done = 0;
     std::uint64_t insts_done = 0;
 
@@ -672,73 +763,94 @@ runMatrix(const OptionParser &opts, const char *workload_list,
                             wall_start)
                             .count();
 
-    // Per-workload baseline cycles for the speedup table.
-    const std::size_t n_schemes = spec.schemes.size();
-    std::map<std::size_t, double> baseline_cycles;
-    for (const auto &cell : cells)
-        if (spec.schemes[cell.schemeIndex] == baseline)
-            baseline_cycles[cell.workloadIndex] =
-                static_cast<double>(cell.result.cycles);
+    if (sharded) {
+        // A shard holds a partial matrix: cross-scheme tables and
+        // the golden dump would show zero-filled cells, so they are
+        // suppressed; the per-shard CSV/JSON carries the owned
+        // cells for 'acic_run merge'.
+        double cell_seconds = 0.0;
+        for (const auto &cell : cells)
+            cell_seconds += cell.hostSeconds;
+        std::printf("\nshard %u/%u: %zu of %zu cells in %.2fs wall "
+                    "(%.2fs of simulation); tables suppressed — "
+                    "reassemble the per-shard --json outputs with "
+                    "'acic_run merge'\n",
+                    spec.shardIndex, spec.shardCount, total,
+                    spec.cellCount(), wall, cell_seconds);
+    } else {
+        // Per-workload baseline cycles for the speedup table.
+        const std::size_t n_schemes = spec.schemes.size();
+        std::map<std::size_t, double> baseline_cycles;
+        for (const auto &cell : cells)
+            if (spec.schemes[cell.schemeIndex] == baseline)
+                baseline_cycles[cell.workloadIndex] =
+                    static_cast<double>(cell.result.cycles);
 
-    TablePrinter ipc_table("IPC");
-    TablePrinter mpki_table("L1i MPKI");
-    TablePrinter speedup_table("Speedup over " +
-                               schemeName(baseline));
-    std::vector<std::string> header{"workload"};
-    for (const SchemeSpec &s : spec.schemes)
-        header.push_back(schemeName(s));
-    ipc_table.setHeader(header);
-    mpki_table.setHeader(header);
-    speedup_table.setHeader(header);
-    const bool have_baseline =
-        baseline_cycles.size() == spec.workloads.size();
+        TablePrinter ipc_table("IPC");
+        TablePrinter mpki_table("L1i MPKI");
+        TablePrinter speedup_table("Speedup over " +
+                                   schemeName(baseline));
+        std::vector<std::string> header{"workload"};
+        for (const SchemeSpec &s : spec.schemes)
+            header.push_back(schemeName(s));
+        ipc_table.setHeader(header);
+        mpki_table.setHeader(header);
+        speedup_table.setHeader(header);
+        const bool have_baseline =
+            baseline_cycles.size() == spec.workloads.size();
 
-    for (std::size_t w = 0; w < spec.workloads.size(); ++w) {
-        std::vector<std::string> ipc_row{spec.workloads[w].name()};
-        std::vector<std::string> mpki_row{spec.workloads[w].name()};
-        std::vector<std::string> speedup_row{
-            spec.workloads[w].name()};
-        for (std::size_t s = 0; s < n_schemes; ++s) {
-            const SimResult &r = cells[w * n_schemes + s].result;
-            ipc_row.push_back(TablePrinter::fmt(r.ipc(), 3));
-            mpki_row.push_back(TablePrinter::fmt(r.mpki(), 2));
+        for (std::size_t w = 0; w < spec.workloads.size(); ++w) {
+            std::vector<std::string> ipc_row{
+                spec.workloads[w].name()};
+            std::vector<std::string> mpki_row{
+                spec.workloads[w].name()};
+            std::vector<std::string> speedup_row{
+                spec.workloads[w].name()};
+            for (std::size_t s = 0; s < n_schemes; ++s) {
+                const SimResult &r =
+                    cells[w * n_schemes + s].result;
+                ipc_row.push_back(TablePrinter::fmt(r.ipc(), 3));
+                mpki_row.push_back(TablePrinter::fmt(r.mpki(), 2));
+                if (have_baseline)
+                    speedup_row.push_back(TablePrinter::fmt(
+                        baseline_cycles[w] /
+                            static_cast<double>(r.cycles),
+                        4));
+            }
+            ipc_table.addRow(ipc_row);
+            mpki_table.addRow(mpki_row);
             if (have_baseline)
-                speedup_row.push_back(TablePrinter::fmt(
-                    baseline_cycles[w] /
-                        static_cast<double>(r.cycles),
-                    4));
+                speedup_table.addRow(speedup_row);
         }
-        ipc_table.addRow(ipc_row);
-        mpki_table.addRow(mpki_row);
+        ipc_table.print();
+        mpki_table.print();
         if (have_baseline)
-            speedup_table.addRow(speedup_row);
-    }
-    ipc_table.print();
-    mpki_table.print();
-    if (have_baseline)
-        speedup_table.print();
+            speedup_table.print();
 
-    double cell_seconds = 0.0;
-    for (const auto &cell : cells)
-        cell_seconds += cell.hostSeconds;
-    const unsigned hw = std::thread::hardware_concurrency();
-    std::printf("\n%zu cells in %.2fs wall (%.2fs of simulation; "
-                "parallel speedup %.2fx on %u threads)\n",
-                total, wall, cell_seconds,
-                wall > 0.0 ? cell_seconds / wall : 0.0,
-                spec.threads ? spec.threads : (hw ? hw : 1));
+        double cell_seconds = 0.0;
+        for (const auto &cell : cells)
+            cell_seconds += cell.hostSeconds;
+        const unsigned hw = std::thread::hardware_concurrency();
+        std::printf("\n%zu cells in %.2fs wall (%.2fs of "
+                    "simulation; parallel speedup %.2fx on %u "
+                    "threads)\n",
+                    total, wall, cell_seconds,
+                    wall > 0.0 ? cell_seconds / wall : 0.0,
+                    spec.threads ? spec.threads : (hw ? hw : 1));
 
-    if (opts.present("--dump-stats")) {
-        // Workload-major, matching the result ordering above; the
-        // per-cell body is exactly the golden-fixture format
-        // (tests/golden/, DESIGN.md section 7).
-        for (const CellResult &cell : cells) {
-            std::cout << "# workload="
-                      << spec.workloads[cell.workloadIndex].name()
-                      << " scheme="
-                      << spec.schemes[cell.schemeIndex].toString()
-                      << '\n';
-            writeGoldenDump(std::cout, cell.result);
+        if (opts.present("--dump-stats")) {
+            // Workload-major, matching the result ordering above;
+            // the per-cell body is exactly the golden-fixture
+            // format (tests/golden/, DESIGN.md section 7).
+            for (const CellResult &cell : cells) {
+                std::cout
+                    << "# workload="
+                    << spec.workloads[cell.workloadIndex].name()
+                    << " scheme="
+                    << spec.schemes[cell.schemeIndex].toString()
+                    << '\n';
+                writeGoldenDump(std::cout, cell.result);
+            }
         }
     }
     if (const char *path = opts.value("--csv")) {
@@ -801,12 +913,65 @@ cmdSweep(const OptionParser &opts)
 }
 
 int
+cmdMerge(const OptionParser &opts)
+{
+    if (opts.present("--help"))
+        return usage(kMergeHelp, true);
+    std::vector<std::string> paths;
+    for (std::size_t n = 0; const char *p = opts.positional(n); ++n)
+        paths.push_back(p);
+    if (paths.empty()) {
+        std::fprintf(stderr,
+                     "merge: at least one <shard.json> is "
+                     "required\n");
+        return usage(kMergeHelp, false);
+    }
+
+    const MergedSweep merged = mergeShardOutputs(paths);
+    std::fprintf(stderr,
+                 "merge: %zu shard file(s), %zu workloads x %zu "
+                 "schemes = %zu cells\n",
+                 paths.size(), merged.workloads.size(),
+                 merged.schemes.size(), merged.rows.size());
+
+    const char *csv_path = opts.value("--csv");
+    const char *json_path = opts.value("--json");
+    bool ok = true;
+    if (csv_path) {
+        std::ofstream out(csv_path);
+        writeCsvRows(out, merged.rows);
+        if (!out) {
+            std::fprintf(stderr, "failed writing %s\n", csv_path);
+            ok = false;
+        } else {
+            std::printf("wrote %s\n", csv_path);
+        }
+    }
+    if (json_path) {
+        std::ofstream out(json_path);
+        writeJsonRows(out, merged.workloads, merged.schemes,
+                      merged.rows);
+        if (!out) {
+            std::fprintf(stderr, "failed writing %s\n", json_path);
+            ok = false;
+        } else {
+            std::printf("wrote %s\n", json_path);
+        }
+    }
+    if (!csv_path && !json_path)
+        writeCsvRows(std::cout, merged.rows);
+    return ok ? 0 : 1;
+}
+
+int
 cmdReport(const OptionParser &opts)
 {
     if (opts.present("--help"))
         return usage(kReportHelp, true);
-    const char *path = opts.positional(0);
-    if (!path) {
+    std::vector<std::string> paths;
+    for (std::size_t n = 0; const char *p = opts.positional(n); ++n)
+        paths.push_back(p);
+    if (paths.empty()) {
         std::fprintf(stderr,
                      "report: <telemetry.jsonl> is required\n");
         return usage(kReportHelp, false);
@@ -815,15 +980,27 @@ cmdReport(const OptionParser &opts)
     if (const char *n = opts.value("--top"))
         options.topCells =
             static_cast<std::size_t>(parseCount(n, "--top"));
-    std::ifstream in(path);
-    if (!in) {
-        std::fprintf(stderr, "report: cannot open %s\n", path);
-        return 1;
+    // Concatenate the given files — typically one per shard of a
+    // distributed sweep — into one event stream; the report layer
+    // treats the events uniformly regardless of emitting process.
+    std::stringstream events;
+    for (const std::string &path : paths) {
+        std::ifstream in(path);
+        if (!in) {
+            std::fprintf(stderr, "report: cannot open %s\n",
+                         path.c_str());
+            return 1;
+        }
+        events << in.rdbuf();
+        // Guard against a final line missing its newline (e.g. the
+        // torn tail of a killed shard) splicing into the next
+        // file's first event.
+        events << '\n';
     }
     std::string error;
-    if (!writeTelemetryReport(in, std::cout, options, error)) {
-        std::fprintf(stderr, "report: %s: %s\n", path,
-                     error.c_str());
+    if (!writeTelemetryReport(events, std::cout, options, error)) {
+        std::fprintf(stderr, "report: %s: %s\n",
+                     paths.front().c_str(), error.c_str());
         return 1;
     }
     return 0;
@@ -843,6 +1020,8 @@ cmdHelp(int argc, char **argv)
         return usage(kRunHelp, true);
     if (topic == "sweep")
         return usage(kSweepHelp, true);
+    if (topic == "merge")
+        return usage(kMergeHelp, true);
     if (topic == "import")
         return usage(kImportHelp, true);
     if (topic == "stat")
@@ -871,6 +1050,8 @@ main(int argc, char **argv)
             return cmdRun(opts);
         if (command == "sweep")
             return cmdSweep(opts);
+        if (command == "merge")
+            return cmdMerge(opts);
         if (command == "import")
             return cmdImport(opts);
         if (command == "stat")

@@ -36,6 +36,26 @@ csvField(const std::string &s)
     return out;
 }
 
+std::vector<std::string>
+workloadNames(const ExperimentSpec &spec)
+{
+    std::vector<std::string> names;
+    names.reserve(spec.workloads.size());
+    for (const WorkloadEntry &entry : spec.workloads)
+        names.push_back(entry.name());
+    return names;
+}
+
+std::vector<std::string>
+schemeNames(const ExperimentSpec &spec)
+{
+    std::vector<std::string> names;
+    names.reserve(spec.schemes.size());
+    for (const SchemeSpec &scheme : spec.schemes)
+        names.push_back(schemeName(scheme));
+    return names;
+}
+
 } // namespace
 
 std::string
@@ -63,28 +83,51 @@ jsonEscape(const std::string &s)
     return out;
 }
 
+std::vector<ResultRow>
+resultRows(const ExperimentSpec &spec,
+           const std::vector<CellResult> &cells)
+{
+    std::vector<ResultRow> rows;
+    rows.reserve(cells.size());
+    for (const CellResult &cell : cells) {
+        if (!cell.done)
+            continue;
+        ResultRow row;
+        row.workload = spec.workloads[cell.workloadIndex].name();
+        row.scheme = schemeName(spec.schemes[cell.schemeIndex]);
+        row.result = cell.result;
+        row.hostSeconds = cell.hostSeconds;
+        rows.push_back(std::move(row));
+    }
+    return rows;
+}
+
 void
-writeResultsCsv(std::ostream &out, const ExperimentSpec &spec,
-                const std::vector<CellResult> &cells)
+writeCsvRows(std::ostream &out, const std::vector<ResultRow> &rows)
 {
     out << "workload,scheme,instructions,cycles,ipc,mpki,"
            "demand_accesses,l1i_misses,branch_mispredicts,"
            "btb_misses,prefetches_issued,late_prefetches,"
            "l2_accesses,l3_accesses,dram_accesses,host_seconds\n";
-    for (const CellResult &cell : cells) {
-        const SimResult &r = cell.result;
-        out << csvField(spec.workloads[cell.workloadIndex].name())
-            << ','
-            << csvField(schemeName(spec.schemes[cell.schemeIndex]))
-            << ',' << r.instructions << ',' << r.cycles << ','
-            << fmtDouble(r.ipc(), 6) << ','
+    for (const ResultRow &row : rows) {
+        const SimResult &r = row.result;
+        out << csvField(row.workload) << ','
+            << csvField(row.scheme) << ',' << r.instructions << ','
+            << r.cycles << ',' << fmtDouble(r.ipc(), 6) << ','
             << fmtDouble(r.mpki(), 6) << ',' << r.demandAccesses
             << ',' << r.l1iMisses << ',' << r.branchMispredicts
             << ',' << r.btbMisses << ',' << r.prefetchesIssued << ','
             << r.latePrefetches << ',' << r.l2Accesses << ','
             << r.l3Accesses << ',' << r.dramAccesses << ','
-            << fmtDouble(cell.hostSeconds, 3) << '\n';
+            << fmtDouble(row.hostSeconds, 3) << '\n';
     }
+}
+
+void
+writeResultsCsv(std::ostream &out, const ExperimentSpec &spec,
+                const std::vector<CellResult> &cells)
+{
+    writeCsvRows(out, resultRows(spec, cells));
 }
 
 void
@@ -129,25 +172,25 @@ writeGoldenDump(std::ostream &out, const SimResult &r)
 }
 
 void
-writeResultsJson(std::ostream &out, const ExperimentSpec &spec,
-                 const std::vector<CellResult> &cells)
+writeJsonRows(std::ostream &out,
+              const std::vector<std::string> &workloads,
+              const std::vector<std::string> &schemes,
+              const std::vector<ResultRow> &rows)
 {
     out << "{\n  \"format\": 1,\n  \"workloads\": [";
-    for (std::size_t i = 0; i < spec.workloads.size(); ++i)
-        out << (i ? ", " : "") << '"'
-            << jsonEscape(spec.workloads[i].name()) << '"';
+    for (std::size_t i = 0; i < workloads.size(); ++i)
+        out << (i ? ", " : "") << '"' << jsonEscape(workloads[i])
+            << '"';
     out << "],\n  \"schemes\": [";
-    for (std::size_t i = 0; i < spec.schemes.size(); ++i)
-        out << (i ? ", " : "") << '"'
-            << jsonEscape(schemeName(spec.schemes[i])) << '"';
+    for (std::size_t i = 0; i < schemes.size(); ++i)
+        out << (i ? ", " : "") << '"' << jsonEscape(schemes[i])
+            << '"';
     out << "],\n  \"cells\": [\n";
-    for (std::size_t i = 0; i < cells.size(); ++i) {
-        const CellResult &cell = cells[i];
-        const SimResult &r = cell.result;
-        out << "    {\"workload\": \""
-            << jsonEscape(spec.workloads[cell.workloadIndex].name())
-            << "\", \"scheme\": \""
-            << jsonEscape(schemeName(spec.schemes[cell.schemeIndex]))
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+        const ResultRow &row = rows[i];
+        const SimResult &r = row.result;
+        out << "    {\"workload\": \"" << jsonEscape(row.workload)
+            << "\", \"scheme\": \"" << jsonEscape(row.scheme)
             << "\",\n     \"instructions\": " << r.instructions
             << ", \"cycles\": " << r.cycles
             << ", \"ipc\": " << fmtDouble(r.ipc(), 6)
@@ -162,7 +205,7 @@ writeResultsJson(std::ostream &out, const ExperimentSpec &spec,
             << ", \"l3_accesses\": " << r.l3Accesses
             << ", \"dram_accesses\": " << r.dramAccesses
             << ",\n     \"host_seconds\": "
-            << fmtDouble(cell.hostSeconds, 3)
+            << fmtDouble(row.hostSeconds, 3)
             << ",\n     \"org_stats\": {";
         bool first = true;
         for (const auto &[name, value] : r.orgStats.raw()) {
@@ -170,9 +213,17 @@ writeResultsJson(std::ostream &out, const ExperimentSpec &spec,
                 << "\": " << value;
             first = false;
         }
-        out << "}}" << (i + 1 < cells.size() ? "," : "") << '\n';
+        out << "}}" << (i + 1 < rows.size() ? "," : "") << '\n';
     }
     out << "  ]\n}\n";
+}
+
+void
+writeResultsJson(std::ostream &out, const ExperimentSpec &spec,
+                 const std::vector<CellResult> &cells)
+{
+    writeJsonRows(out, workloadNames(spec), schemeNames(spec),
+                  resultRows(spec, cells));
 }
 
 } // namespace acic

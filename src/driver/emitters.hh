@@ -19,20 +19,56 @@
 namespace acic {
 
 /**
- * Emit one CSV row per cell, workload-major, with a header row.
- * Columns: workload, scheme, instructions, cycles, ipc, mpki,
- * demand_accesses, l1i_misses, branch_mispredicts, btb_misses,
- * prefetches_issued, late_prefetches, l2_accesses, l3_accesses,
- * dram_accesses, host_seconds.
+ * One emitted result row: the display labels plus the metrics. The
+ * spec-based writers build rows from (spec, cells); `acic_run merge`
+ * rebuilds them from per-shard JSON documents — both paths feed the
+ * same row writers, so a merged sweep is byte-identical to a
+ * monolithic one.
  */
-void writeResultsCsv(std::ostream &out, const ExperimentSpec &spec,
-                     const std::vector<CellResult> &cells);
+struct ResultRow
+{
+    std::string workload; ///< display name (CSV/JSON label)
+    std::string scheme;   ///< display name (CSV/JSON label)
+    SimResult result;
+    double hostSeconds = 0.0;
+};
+
+/**
+ * The completed cells of a run as emission rows, in the stored
+ * (workload-major) order. Cells with done == false — the cells a
+ * sharded process does not own — are skipped.
+ */
+std::vector<ResultRow>
+resultRows(const ExperimentSpec &spec,
+           const std::vector<CellResult> &cells);
+
+/**
+ * Emit one CSV row per entry, with a header row. Columns: workload,
+ * scheme, instructions, cycles, ipc, mpki, demand_accesses,
+ * l1i_misses, branch_mispredicts, btb_misses, prefetches_issued,
+ * late_prefetches, l2_accesses, l3_accesses, dram_accesses,
+ * host_seconds.
+ */
+void writeCsvRows(std::ostream &out,
+                  const std::vector<ResultRow> &rows);
 
 /**
  * Emit a JSON document:
  * {"format": 1, "workloads": [...], "schemes": [...],
- *  "cells": [{... per-cell metrics ..., "org_stats": {...}}]}
+ *  "cells": [{... per-row metrics ..., "org_stats": {...}}]}
+ * @p workloads / @p schemes are the header arrays (display names,
+ * full matrix), independent of which rows are present.
  */
+void writeJsonRows(std::ostream &out,
+                   const std::vector<std::string> &workloads,
+                   const std::vector<std::string> &schemes,
+                   const std::vector<ResultRow> &rows);
+
+/** writeCsvRows over resultRows(spec, cells). */
+void writeResultsCsv(std::ostream &out, const ExperimentSpec &spec,
+                     const std::vector<CellResult> &cells);
+
+/** writeJsonRows over resultRows(spec, cells). */
 void writeResultsJson(std::ostream &out, const ExperimentSpec &spec,
                       const std::vector<CellResult> &cells);
 

@@ -3,15 +3,25 @@
 #include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
 #include <functional>
 #include <memory>
 #include <mutex>
+#include <sstream>
 #include <utility>
 
+#include "common/json.hh"
 #include "common/logging.hh"
+#include "common/serialize.hh"
 #include "common/telemetry.hh"
 #include "driver/thread_pool.hh"
 #include "trace/io.hh"
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <unistd.h>
+#endif
 
 namespace acic {
 
@@ -36,6 +46,148 @@ emitPoolGauges(const ThreadPool &pool)
                              threads);
 }
 
+/** Payload tag of completed-cell checkpoint files. */
+constexpr char kCellTag[4] = {'C', 'E', 'L', 'L'};
+
+std::string
+cellFilePath(const std::string &dir, std::size_t w, std::size_t s)
+{
+    return dir + "/cells/cell_" + std::to_string(w) + "_" +
+           std::to_string(s) + ".bin";
+}
+
+std::string
+inflightFilePath(const std::string &dir, std::size_t w,
+                 std::size_t s)
+{
+    return dir + "/inflight/cell_" + std::to_string(w) + "_" +
+           std::to_string(s) + ".ckpt";
+}
+
+/**
+ * Publish one finished cell to its "CELL" container: the identity
+ * (workload and canonical scheme spec, validated on reload), the full
+ * SimResult, and the host seconds. Atomic via writeCheckpointFile.
+ */
+void
+writeCellFile(const std::string &path, const ExperimentSpec &spec,
+              const CellResult &cell)
+{
+    Serializer s;
+    s.str(spec.workloads[cell.workloadIndex].name());
+    s.str(spec.schemes[cell.schemeIndex].toString());
+    cell.result.save(s);
+    s.f64(cell.hostSeconds);
+    writeCheckpointFile(path, kCellTag, s.take());
+}
+
+/**
+ * Load a completed-cell file if present. Returns false when the file
+ * does not exist; throws SerializeError on corruption or when the
+ * stored identity does not match cell (w, s) of the running spec.
+ */
+bool
+loadCellFile(const std::string &path, const ExperimentSpec &spec,
+             std::size_t w, std::size_t s, CellResult &out)
+{
+    {
+        std::ifstream probe(path, std::ios::binary);
+        if (!probe.good())
+            return false;
+    }
+    const std::vector<std::uint8_t> payload =
+        readCheckpointFile(path, kCellTag);
+    Deserializer d(payload);
+    const std::string workload = d.str();
+    const std::string scheme = d.str();
+    if (workload != spec.workloads[w].name() ||
+        scheme != spec.schemes[s].toString())
+        throw SerializeError(
+            "checkpoint cell file " + path + " holds (" + workload +
+            ", " + scheme + "), but the running sweep places (" +
+            spec.workloads[w].name() + ", " +
+            spec.schemes[s].toString() +
+            ") at that cell — the checkpoint directory belongs to a "
+            "different sweep");
+    out.workloadIndex = w;
+    out.schemeIndex = s;
+    out.result.load(d);
+    out.hostSeconds = d.f64();
+    d.finish();
+    out.done = true;
+    return true;
+}
+
+/**
+ * The manifest pins everything that defines the sweep's result
+ * identity — the matrix shape and the instruction budget — so a
+ * restart (or a sibling shard) with a different spec is rejected
+ * instead of silently mixing incompatible cells.
+ */
+std::string
+manifestText(const ExperimentSpec &spec)
+{
+    std::ostringstream out;
+    out << "{\n  \"format\": 1,\n  \"workloads\": [";
+    for (std::size_t w = 0; w < spec.workloads.size(); ++w)
+        out << (w ? ", " : "") << '"'
+            << json::escape(spec.workloads[w].name()) << '"';
+    out << "],\n  \"schemes\": [";
+    for (std::size_t s = 0; s < spec.schemes.size(); ++s)
+        out << (s ? ", " : "") << '"'
+            << json::escape(spec.schemes[s].toString()) << '"';
+    out << "],\n  \"instructions\": " << spec.instructions
+        << ",\n  \"intervals\": " << spec.intervals
+        << ",\n  \"interval_warmup\": " << spec.intervalWarmup
+        << ",\n  \"warm_horizon\": " << spec.warmHorizon << "\n}\n";
+    return out.str();
+}
+
+/**
+ * Write or validate `<dir>/manifest.json`. Concurrent shard
+ * processes may race to create it; both write identical content
+ * through a temp-file + rename, so the race is benign.
+ */
+void
+ensureManifest(const std::string &dir, const ExperimentSpec &spec)
+{
+    const std::string path = dir + "/manifest.json";
+    const std::string want = manifestText(spec);
+    std::ifstream in(path);
+    if (in.good()) {
+        std::ostringstream have;
+        have << in.rdbuf();
+        if (have.str() != want)
+            throw SerializeError(
+                "checkpoint directory " + dir +
+                " was created for a different sweep (manifest.json "
+                "does not match this workload x scheme matrix); use "
+                "a fresh --checkpoint-dir or rerun the original "
+                "spec");
+        return;
+    }
+    std::string tmp = path + ".tmp";
+#if defined(__unix__) || defined(__APPLE__)
+    tmp += "." + std::to_string(static_cast<long>(getpid()));
+#endif
+    {
+        std::ofstream out(tmp, std::ios::trunc);
+        if (!out)
+            throw SerializeError("cannot write sweep manifest " +
+                                 tmp);
+        out << want;
+        out.flush();
+        if (!out)
+            throw SerializeError("short write to sweep manifest " +
+                                 tmp);
+    }
+    if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+        std::remove(tmp.c_str());
+        throw SerializeError("cannot rename sweep manifest " + tmp +
+                             " over " + path);
+    }
+}
+
 } // namespace
 
 ExperimentDriver::ExperimentDriver(ExperimentSpec spec)
@@ -45,6 +197,10 @@ ExperimentDriver::ExperimentDriver(ExperimentSpec spec)
                 "experiment spec names no workloads");
     ACIC_ASSERT(!spec_.schemes.empty(),
                 "experiment spec names no schemes");
+    ACIC_ASSERT(spec_.shardCount >= 1,
+                "experiment shard count must be at least 1");
+    ACIC_ASSERT(spec_.shardIndex < spec_.shardCount,
+                "experiment shard index out of range");
 }
 
 std::shared_ptr<const SharedWorkload>
@@ -141,20 +297,69 @@ ExperimentDriver::run(const Observer &observer)
     const std::size_t n_schemes = spec_.schemes.size();
     std::vector<CellResult> cells(spec_.cellCount());
 
+    // Checkpoint directory: create the layout, pin the sweep
+    // identity, and preload every owned cell already completed by a
+    // previous (crashed or finished) invocation. A corrupt cell file
+    // throws here — restarts never silently recompute or mix results.
+    const bool checkpointing = !spec_.checkpointDir.empty();
+    if (checkpointing) {
+        std::filesystem::create_directories(spec_.checkpointDir +
+                                            "/cells");
+        std::filesystem::create_directories(spec_.checkpointDir +
+                                            "/inflight");
+        ensureManifest(spec_.checkpointDir, spec_);
+    }
+    std::vector<bool> preloaded(spec_.cellCount(), false);
+    for (std::size_t w = 0; w < n_workloads; ++w)
+        for (std::size_t s = 0; s < n_schemes; ++s) {
+            if (!spec_.ownsCell(w, s))
+                continue;
+            const std::size_t idx = w * n_schemes + s;
+            if (checkpointing &&
+                loadCellFile(
+                    cellFilePath(spec_.checkpointDir, w, s), spec_,
+                    w, s, cells[idx]))
+                preloaded[idx] = true;
+        }
+    if (observer)
+        for (const CellResult &cell : cells)
+            if (cell.done)
+                observer(cell);
+
     ThreadPool pool(spec_.threads);
     const std::size_t threads = pool.threads();
     RunState state(n_workloads);
-    for (std::size_t w = 0; w < n_workloads; ++w)
-        state.remainingCells[w] = n_schemes;
+    for (std::size_t w = 0; w < n_workloads; ++w) {
+        std::size_t pending = 0;
+        for (std::size_t s = 0; s < n_schemes; ++s)
+            if (spec_.ownsCell(w, s) &&
+                !preloaded[w * n_schemes + s])
+                ++pending;
+        state.remainingCells[w] = pending;
+    }
 
-    // Publish one finished cell: store it, notify the observer, and
-    // release the workload's trace image (submitting the next
-    // prepare) when its row completes.
-    const auto finishCell = [&cells, &state, &observer, n_schemes](
-                                const CellResult &cell,
+    // Publish one finished cell: store it, persist it to the
+    // checkpoint directory (then drop the now-stale in-flight engine
+    // snapshot — publish-then-clean keeps the cell exactly-once),
+    // notify the observer, and release the workload's trace image
+    // (submitting the next prepare) when its row completes.
+    const auto finishCell = [this, &cells, &state, &observer,
+                             n_schemes, checkpointing](
+                                CellResult cell,
                                 const std::function<void()> &next) {
+        cell.done = true;
         const std::size_t idx =
             cell.workloadIndex * n_schemes + cell.schemeIndex;
+        if (checkpointing) {
+            writeCellFile(cellFilePath(spec_.checkpointDir,
+                                       cell.workloadIndex,
+                                       cell.schemeIndex),
+                          spec_, cell);
+            std::remove(inflightFilePath(spec_.checkpointDir,
+                                         cell.workloadIndex,
+                                         cell.schemeIndex)
+                            .c_str());
+        }
         cells[idx] = cell;
         if (observer) {
             std::lock_guard<std::mutex> lock(state.observerMutex);
@@ -177,11 +382,18 @@ ExperimentDriver::run(const Observer &observer)
     // the thread count, not the workload count.
     std::function<void()> submitNextPrepare =
         [&]() {
-            const std::size_t w = state.nextWorkload.fetch_add(1);
-            if (w >= n_workloads)
-                return;
+            // Skip workloads whose owned cells all preloaded (or
+            // that this shard owns no cell of): their traces need
+            // not materialize at all.
+            std::size_t w;
+            do {
+                w = state.nextWorkload.fetch_add(1);
+                if (w >= n_workloads)
+                    return;
+            } while (state.remainingCells[w].load() == 0);
             pool.submit([this, w, n_schemes, &pool, &state,
-                         &finishCell, &submitNextPrepare] {
+                         &preloaded, checkpointing, &finishCell,
+                         &submitNextPrepare] {
                 std::shared_ptr<const SharedWorkload> shared;
                 {
                     TelemetryScope span("driver.prepare");
@@ -210,9 +422,12 @@ ExperimentDriver::run(const Observer &observer)
                             plan.size());
                 }
                 for (std::size_t s = 0; s < n_schemes; ++s) {
+                    if (!spec_.ownsCell(w, s) ||
+                        preloaded[w * n_schemes + s])
+                        continue;
                     if (plan.size() <= 1) {
                         pool.submit([this, w, s, shared, &pool,
-                                     &finishCell,
+                                     checkpointing, &finishCell,
                                      &submitNextPrepare] {
                             const auto start =
                                 std::chrono::steady_clock::now();
@@ -229,8 +444,22 @@ ExperimentDriver::run(const Observer &observer)
                             cell.workloadIndex = w;
                             cell.schemeIndex = s;
                             try {
+                                // Monolithic checkpointed cells
+                                // resume from (and periodically
+                                // refresh) an in-flight engine
+                                // snapshot; the chunked phases are
+                                // bit-identical to one-shot run().
                                 cell.result =
-                                    shared->run(spec_.schemes[s]);
+                                    checkpointing
+                                        ? shared->runCheckpointed(
+                                              spec_.schemes[s],
+                                              inflightFilePath(
+                                                  spec_
+                                                      .checkpointDir,
+                                                  w, s),
+                                              spec_.checkpointEvery)
+                                        : shared->run(
+                                              spec_.schemes[s]);
                             } catch (const std::exception &e) {
                                 // Specs are pre-validated against
                                 // the default SimConfig only; a

@@ -101,10 +101,56 @@ struct ExperimentSpec
      */
     std::string traceDir;
 
+    /**
+     * Shard selection for distributed sweeps: this process runs only
+     * the cells it owns under the deterministic round-robin
+     * partition ownsCell(). shardIndex must be < shardCount;
+     * shardCount == 1 (the default) owns every cell. Shards of one
+     * sweep must agree on the full matrix — each process names the
+     * complete workload x scheme grid and the same instruction
+     * budget, and only execution is partitioned, so per-shard
+     * outputs reassemble with `acic_run merge`.
+     */
+    unsigned shardIndex = 0;
+    unsigned shardCount = 1;
+
+    /**
+     * When non-empty, the sweep checkpoints into this directory:
+     * completed cells are published to
+     * `<dir>/cells/cell_<w>_<s>.bin` ("CELL" containers) and
+     * skipped on restart, and monolithic (intervals == 1) cells
+     * snapshot their mid-run engine to
+     * `<dir>/inflight/cell_<w>_<s>.ckpt` every `checkpointEvery`
+     * retired instructions, resuming from the snapshot after a
+     * crash. A `manifest.json` pins the matrix shape so a restart
+     * with a different spec is rejected instead of mixing results.
+     */
+    std::string checkpointDir;
+
+    /**
+     * Instructions between in-flight engine snapshots of a
+     * monolithic cell; 0 disables mid-cell snapshots (completed-cell
+     * checkpointing still applies). Ignored when intervals > 1 —
+     * interval shards are short; the completed-cell granularity
+     * bounds lost work by one shard.
+     */
+    std::uint64_t checkpointEvery = 5'000'000;
+
     /** Matrix size (cells). */
     std::size_t cellCount() const
     {
         return workloads.size() * schemes.size();
+    }
+
+    /**
+     * Deterministic cell partition: cell (w, s) belongs to shard
+     * (w * n_schemes + s) mod shardCount — round-robin in
+     * workload-major cell order, so every shard gets a near-equal
+     * slice of every workload's row.
+     */
+    bool ownsCell(std::size_t w, std::size_t s) const
+    {
+        return (w * schemes.size() + s) % shardCount == shardIndex;
     }
 };
 
@@ -120,6 +166,12 @@ struct CellResult
      * shards (the work, not the elapsed span).
      */
     double hostSeconds = 0.0;
+    /**
+     * True once the cell has a result. Cells not owned by this
+     * process's shard stay false and are skipped by the emitters;
+     * a single-shard run marks every cell done.
+     */
+    bool done = false;
 };
 
 /**

@@ -1,0 +1,198 @@
+#include "driver/merge.hh"
+
+#include <cstdint>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <stdexcept>
+#include <utility>
+
+#include "common/json.hh"
+
+namespace acic {
+
+namespace {
+
+[[noreturn]] void
+fail(const std::string &path, const std::string &what)
+{
+    throw std::runtime_error("merge: " + path + ": " + what);
+}
+
+std::vector<std::string>
+stringArray(const std::string &path, const json::Value &doc,
+            const std::string &key)
+{
+    const json::Value *arr = doc.find(key);
+    if (arr == nullptr || arr->kind != json::Value::Kind::Array)
+        fail(path, "missing \"" + key + "\" array");
+    std::vector<std::string> out;
+    out.reserve(arr->items.size());
+    for (const json::Value &item : arr->items) {
+        if (item.kind != json::Value::Kind::String)
+            fail(path, "\"" + key + "\" holds a non-string entry");
+        out.push_back(item.str);
+    }
+    return out;
+}
+
+/** Counter field as u64; sweep counters stay far below 2^53, so the
+ *  double round-trip through JSON is exact. */
+std::uint64_t
+u64Field(const std::string &path, const json::Value &cell,
+         const std::string &key)
+{
+    const json::Value *v = cell.find(key);
+    if (v == nullptr || v->kind != json::Value::Kind::Number)
+        fail(path, "cell is missing numeric field \"" + key + "\"");
+    return static_cast<std::uint64_t>(v->number);
+}
+
+} // namespace
+
+MergedSweep
+mergeShardOutputs(const std::vector<std::string> &paths)
+{
+    if (paths.empty())
+        throw std::runtime_error("merge: no shard files given");
+
+    MergedSweep merged;
+    std::map<std::string, std::size_t> workloadIndex;
+    std::map<std::string, std::size_t> schemeIndex;
+    std::vector<ResultRow> slots;
+    std::vector<bool> filled;
+    std::vector<std::string> filledBy;
+
+    for (const std::string &path : paths) {
+        std::ifstream in(path);
+        if (!in)
+            fail(path, "cannot open file");
+        std::ostringstream text;
+        text << in.rdbuf();
+
+        json::Value doc;
+        std::string err;
+        if (!json::parse(text.str(), doc, &err))
+            fail(path, "malformed JSON (" + err + ")");
+        const json::Value *format = doc.find("format");
+        if (format == nullptr ||
+            format->kind != json::Value::Kind::Number ||
+            format->number != 1.0)
+            fail(path, "unsupported results format (this build "
+                       "merges format 1)");
+
+        const std::vector<std::string> workloads =
+            stringArray(path, doc, "workloads");
+        const std::vector<std::string> schemes =
+            stringArray(path, doc, "schemes");
+        if (merged.workloads.empty() && merged.schemes.empty()) {
+            merged.workloads = workloads;
+            merged.schemes = schemes;
+            for (std::size_t i = 0; i < workloads.size(); ++i)
+                workloadIndex[workloads[i]] = i;
+            for (std::size_t i = 0; i < schemes.size(); ++i)
+                schemeIndex[schemes[i]] = i;
+            const std::size_t cells =
+                workloads.size() * schemes.size();
+            slots.resize(cells);
+            filled.assign(cells, false);
+            filledBy.assign(cells, std::string());
+        } else if (workloads != merged.workloads ||
+                   schemes != merged.schemes) {
+            fail(path, "shard describes a different sweep matrix "
+                       "than " +
+                           paths.front() +
+                           " (workload/scheme lists differ)");
+        }
+
+        const json::Value *cells = doc.find("cells");
+        if (cells == nullptr ||
+            cells->kind != json::Value::Kind::Array)
+            fail(path, "missing \"cells\" array");
+        for (const json::Value &cell : cells->items) {
+            if (!cell.isObject())
+                fail(path, "\"cells\" holds a non-object entry");
+            const std::string workload = cell.text("workload");
+            const std::string scheme = cell.text("scheme");
+            const auto wIt = workloadIndex.find(workload);
+            const auto sIt = schemeIndex.find(scheme);
+            if (wIt == workloadIndex.end() ||
+                sIt == schemeIndex.end())
+                fail(path, "cell (" + workload + ", " + scheme +
+                               ") is not in the sweep matrix");
+            const std::size_t idx =
+                wIt->second * merged.schemes.size() + sIt->second;
+            if (filled[idx])
+                fail(path, "cell (" + workload + ", " + scheme +
+                               ") already provided by " +
+                               filledBy[idx] +
+                               " (duplicate shard output?)");
+
+            ResultRow row;
+            row.workload = workload;
+            row.scheme = scheme;
+            SimResult &r = row.result;
+            r.instructions = u64Field(path, cell, "instructions");
+            r.cycles = u64Field(path, cell, "cycles");
+            r.demandAccesses =
+                u64Field(path, cell, "demand_accesses");
+            r.l1iMisses = u64Field(path, cell, "l1i_misses");
+            r.branchMispredicts =
+                u64Field(path, cell, "branch_mispredicts");
+            r.btbMisses = u64Field(path, cell, "btb_misses");
+            r.prefetchesIssued =
+                u64Field(path, cell, "prefetches_issued");
+            r.latePrefetches =
+                u64Field(path, cell, "late_prefetches");
+            r.l2Accesses = u64Field(path, cell, "l2_accesses");
+            r.l3Accesses = u64Field(path, cell, "l3_accesses");
+            r.dramAccesses = u64Field(path, cell, "dram_accesses");
+            const json::Value *host = cell.find("host_seconds");
+            if (host == nullptr ||
+                host->kind != json::Value::Kind::Number)
+                fail(path, "cell is missing \"host_seconds\"");
+            row.hostSeconds = host->number;
+            const json::Value *org = cell.find("org_stats");
+            if (org == nullptr || !org->isObject())
+                fail(path, "cell is missing \"org_stats\"");
+            for (const auto &[name, value] : org->fields) {
+                if (value.kind != json::Value::Kind::Number)
+                    fail(path, "org_stats counter \"" + name +
+                                   "\" is not a number");
+                r.orgStats.bump(
+                    name,
+                    static_cast<std::uint64_t>(value.number));
+            }
+
+            slots[idx] = std::move(row);
+            filled[idx] = true;
+            filledBy[idx] = path;
+        }
+    }
+
+    std::size_t missing = 0;
+    std::string firstMissing;
+    for (std::size_t w = 0; w < merged.workloads.size(); ++w)
+        for (std::size_t s = 0; s < merged.schemes.size(); ++s) {
+            const std::size_t idx = w * merged.schemes.size() + s;
+            if (filled[idx])
+                continue;
+            ++missing;
+            if (firstMissing.empty())
+                firstMissing = "(" + merged.workloads[w] + ", " +
+                               merged.schemes[s] + ")";
+        }
+    if (missing != 0)
+        throw std::runtime_error(
+            "merge: " + std::to_string(missing) +
+            " cell(s) of the sweep matrix are missing from the "
+            "given shards, first " +
+            firstMissing +
+            " — pass every shard's output (one --shard i/N run per "
+            "i)");
+
+    merged.rows = std::move(slots);
+    return merged;
+}
+
+} // namespace acic

@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Shard-output merging for distributed sweeps: each shard process
+ * (`acic_run sweep --shard i/N --json ...`) emits the full matrix
+ * header but only its owned cells; `acic_run merge` reassembles the
+ * complete sweep. The merge validates that every shard describes the
+ * same matrix, that no cell appears twice, and that no cell is
+ * missing, then re-emits through the same row writers the monolithic
+ * sweep uses — so the merged CSV/JSON is byte-identical to a
+ * single-process run of the whole matrix.
+ */
+
+#ifndef ACIC_DRIVER_MERGE_HH
+#define ACIC_DRIVER_MERGE_HH
+
+#include <string>
+#include <vector>
+
+#include "driver/emitters.hh"
+
+namespace acic {
+
+/** A reassembled sweep: the matrix labels plus every cell's row. */
+struct MergedSweep
+{
+    std::vector<std::string> workloads; ///< display names, in order
+    std::vector<std::string> schemes;   ///< display names, in order
+    /** Full matrix, workload-major — exactly one row per cell. */
+    std::vector<ResultRow> rows;
+};
+
+/**
+ * Parse and combine per-shard sweep JSON documents (the
+ * writeResultsJson format). Throws std::runtime_error naming the
+ * offending file on: unreadable input, malformed JSON, an
+ * unsupported format version, shards describing different matrices,
+ * a cell labeled outside the matrix, a duplicate cell, or missing
+ * cells — partial or double-counted sweeps are never emitted
+ * silently.
+ */
+MergedSweep mergeShardOutputs(const std::vector<std::string> &paths);
+
+} // namespace acic
+
+#endif // ACIC_DRIVER_MERGE_HH

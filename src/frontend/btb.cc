@@ -1,6 +1,7 @@
 #include "frontend/btb.hh"
 
 #include "common/logging.hh"
+#include "common/serialize.hh"
 
 namespace acic {
 
@@ -53,6 +54,61 @@ Btb::update(Addr pc, Addr target)
     victim->pc = pc;
     victim->target = target;
     victim->stamp = ++tick_;
+}
+
+void
+Btb::save(Serializer &s) const
+{
+    s.u64(sets_);
+    s.u64(ways_);
+    s.u64(tick_);
+    for (const Entry &e : entries_) {
+        s.u64(e.pc);
+        s.u64(e.target);
+        s.b(e.valid);
+        s.u64(e.stamp);
+    }
+}
+
+void
+Btb::load(Deserializer &d)
+{
+    d.expectGeometry("btb sets", sets_);
+    d.expectGeometry("btb ways", ways_);
+    tick_ = d.u64();
+    for (Entry &e : entries_) {
+        e.pc = d.u64();
+        e.target = d.u64();
+        e.valid = d.b();
+        e.stamp = d.u64();
+    }
+}
+
+void
+ReturnAddressStack::save(Serializer &s) const
+{
+    s.vecU64(stack_);
+    s.u32(top_);
+    s.u32(size_);
+}
+
+void
+ReturnAddressStack::load(Deserializer &d)
+{
+    std::vector<std::uint64_t> stack = d.vecU64();
+    if (stack.size() != stack_.size())
+        throw SerializeError(
+            "checkpoint geometry mismatch for RAS depth: snapshot "
+            "has " +
+            std::to_string(stack.size()) +
+            ", running configuration has " +
+            std::to_string(stack_.size()));
+    stack_ = std::move(stack);
+    top_ = d.u32();
+    size_ = d.u32();
+    if (top_ >= stack_.size() || size_ > stack_.size())
+        throw SerializeError("checkpoint RAS cursor out of range "
+                             "(corrupt payload)");
 }
 
 } // namespace acic

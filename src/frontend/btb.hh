@@ -16,6 +16,9 @@
 
 namespace acic {
 
+class Serializer;
+class Deserializer;
+
 /** See file comment. */
 class Btb
 {
@@ -33,6 +36,10 @@ class Btb
     {
         return static_cast<std::uint32_t>(entries_.size());
     }
+
+    /** Checkpoint the full table state (checkpoint/resume). */
+    void save(Serializer &s) const;
+    void load(Deserializer &d);
 
   private:
     struct Entry
@@ -90,6 +97,10 @@ class ReturnAddressStack
     }
 
     std::uint32_t size() const { return size_; }
+
+    /** Checkpoint the stack contents (checkpoint/resume). */
+    void save(Serializer &s) const;
+    void load(Deserializer &d);
 
   private:
     std::vector<Addr> stack_;

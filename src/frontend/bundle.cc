@@ -1,8 +1,58 @@
 #include "frontend/bundle.hh"
 
 #include "common/logging.hh"
+#include "common/serialize.hh"
 
 namespace acic {
+
+namespace {
+
+void
+saveInst(Serializer &s, const TraceInst &inst)
+{
+    s.u64(inst.pc);
+    s.u64(inst.nextPc);
+    s.u8(static_cast<std::uint8_t>(inst.kind));
+    s.b(inst.taken);
+}
+
+void
+loadInst(Deserializer &d, TraceInst &inst)
+{
+    inst.pc = d.u64();
+    inst.nextPc = d.u64();
+    const std::uint8_t kind = d.u8();
+    if (kind > static_cast<std::uint8_t>(BranchKind::Return))
+        throw SerializeError("checkpoint branch kind out of range "
+                             "(corrupt payload)");
+    inst.kind = static_cast<BranchKind>(kind);
+    inst.taken = d.b();
+}
+
+} // namespace
+
+void
+saveBundle(Serializer &s, const Bundle &bundle)
+{
+    s.u64(bundle.blk);
+    s.u64(bundle.pc);
+    s.u8(bundle.count);
+    for (unsigned i = 0; i < bundle.count; ++i)
+        saveInst(s, bundle.insts[i]);
+}
+
+void
+loadBundle(Deserializer &d, Bundle &bundle)
+{
+    bundle.blk = d.u64();
+    bundle.pc = d.u64();
+    bundle.count = d.u8();
+    if (bundle.count > Bundle::kMaxInsts)
+        throw SerializeError("checkpoint bundle instruction count "
+                             "out of range (corrupt payload)");
+    for (unsigned i = 0; i < bundle.count; ++i)
+        loadInst(d, bundle.insts[i]);
+}
 
 BundleWalker::BundleWalker(TraceSource &source, unsigned width)
     : source_(source), width_(width)
@@ -18,6 +68,34 @@ BundleWalker::reset()
     havePending_ = false;
     exhausted_ = false;
     emitted_ = 0;
+    consumed_ = 0;
+}
+
+void
+BundleWalker::save(Serializer &s) const
+{
+    s.u64(consumed_);
+    saveInst(s, pending_);
+    s.b(havePending_);
+    s.b(exhausted_);
+    s.u64(emitted_);
+}
+
+void
+BundleWalker::load(Deserializer &d)
+{
+    const std::uint64_t consumed = d.u64();
+    if (!source_.seekTo(consumed))
+        throw SerializeError(
+            "checkpoint trace cursor position " +
+            std::to_string(consumed) +
+            " lies beyond the trace (length " +
+            std::to_string(source_.length()) + ")");
+    consumed_ = consumed;
+    loadInst(d, pending_);
+    havePending_ = d.b();
+    exhausted_ = d.b();
+    emitted_ = d.u64();
 }
 
 bool
@@ -28,6 +106,7 @@ BundleWalker::next(Bundle &out)
             exhausted_ = true;
             return false;
         }
+        ++consumed_;
         havePending_ = true;
     }
 
@@ -39,6 +118,8 @@ BundleWalker::next(Bundle &out)
         out.insts[out.count++] = pending_;
         const TraceInst current = pending_;
         havePending_ = source_.next(pending_);
+        if (havePending_)
+            ++consumed_;
         if (!havePending_) {
             exhausted_ = true;
             break;

@@ -19,6 +19,9 @@
 
 namespace acic {
 
+class Serializer;
+class Deserializer;
+
 /** One fetch group: up to kMaxInsts instructions from one block. */
 struct Bundle
 {
@@ -33,6 +36,10 @@ struct Bundle
     /** The member instructions (branch metadata for the BP unit). */
     TraceInst insts[kMaxInsts];
 };
+
+/** Checkpoint one bundle (FTQ entries hold them by value). */
+void saveBundle(Serializer &s, const Bundle &bundle);
+void loadBundle(Deserializer &d, Bundle &bundle);
 
 /** Streams bundles off a TraceSource; deterministic and re-usable. */
 class BundleWalker
@@ -54,6 +61,16 @@ class BundleWalker
     /** Bundles produced so far. */
     std::uint64_t bundlesEmitted() const { return emitted_; }
 
+    /**
+     * Checkpoint the walker. save() records the number of
+     * instructions consumed from the source plus the lookahead
+     * state; load() seeks the (fresh) source to that instruction via
+     * TraceSource::seekTo() and restores the lookahead, after which
+     * next() resumes the identical bundle sequence.
+     */
+    void save(Serializer &s) const;
+    void load(Deserializer &d);
+
   private:
     TraceSource &source_;
     unsigned width_;
@@ -61,6 +78,8 @@ class BundleWalker
     bool havePending_ = false;
     bool exhausted_ = false;
     std::uint64_t emitted_ = 0;
+    /** Instructions pulled from source_ (successful next() calls). */
+    std::uint64_t consumed_ = 0;
 };
 
 } // namespace acic

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/logging.hh"
+#include "common/serialize.hh"
 
 namespace acic {
 
@@ -99,6 +100,58 @@ EntanglingPrefetcher::storageBits() const
     // matching the ~40 KB the ACIC paper attributes to the 4K-entry
     // configuration.
     return tableEntries_ * (38 + maxDsts_ * 20);
+}
+
+void
+EntanglingPrefetcher::save(Serializer &s) const
+{
+    s.u64(tableEntries_);
+    s.u64(maxDsts_);
+    s.u64(historyDepth_);
+    for (const Entry &e : table_) {
+        s.u64(e.src);
+        s.b(e.valid);
+        s.u8(e.nextSlot);
+        s.vecU64(e.dsts);
+    }
+    s.u64(history_.size());
+    for (const HistoryRec &h : history_) {
+        s.u64(h.blk);
+        s.u64(h.cycle);
+    }
+    s.u64(candidates_.size());
+    for (BlockAddr blk : candidates_)
+        s.u64(blk);
+}
+
+void
+EntanglingPrefetcher::load(Deserializer &d)
+{
+    d.expectGeometry("entangling table entries", tableEntries_);
+    d.expectGeometry("entangling destinations", maxDsts_);
+    d.expectGeometry("entangling history depth", historyDepth_);
+    for (Entry &e : table_) {
+        e.src = d.u64();
+        e.valid = d.b();
+        e.nextSlot = d.u8();
+        e.dsts = d.vecU64();
+        if (e.dsts.size() > maxDsts_)
+            throw SerializeError(
+                "checkpoint entangling entry holds more "
+                "destinations than the configuration allows");
+    }
+    std::size_t n = d.count(16);
+    history_.clear();
+    for (std::size_t i = 0; i < n; ++i) {
+        HistoryRec h{};
+        h.blk = d.u64();
+        h.cycle = d.u64();
+        history_.push_back(h);
+    }
+    n = d.count(8);
+    candidates_.clear();
+    for (std::size_t i = 0; i < n; ++i)
+        candidates_.push_back(d.u64());
 }
 
 } // namespace acic

@@ -20,6 +20,9 @@
 
 namespace acic {
 
+class Serializer;
+class Deserializer;
+
 /** See file comment. */
 class EntanglingPrefetcher
 {
@@ -50,6 +53,10 @@ class EntanglingPrefetcher
 
     /** Storage cost in bits (~40 KB noted by the ACIC paper). */
     std::uint64_t storageBits() const;
+
+    /** Checkpoint table, history window, and candidate queue. */
+    void save(Serializer &s) const;
+    void load(Deserializer &d);
 
   private:
     struct Entry

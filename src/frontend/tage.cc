@@ -1,5 +1,7 @@
 #include "frontend/tage.hh"
 
+#include "common/serialize.hh"
+
 namespace acic {
 
 Tage::Tage()
@@ -168,6 +170,60 @@ Tage::update(Addr pc, bool taken)
 
     pushHistory(taken);
     lastPc_ = 0;
+}
+
+void
+Tage::save(Serializer &s) const
+{
+    s.vecSat(bimodal_);
+    for (const auto &table : tables_) {
+        s.u64(table.size());
+        for (const TaggedEntry &e : table) {
+            s.u16(e.tag);
+            s.u8(e.ctr);
+            s.u8(e.useful);
+        }
+    }
+    for (std::uint64_t word : ghr_)
+        s.u64(word);
+    s.u64(static_cast<std::uint64_t>(last_.provider));
+    s.u64(static_cast<std::uint64_t>(last_.alt));
+    s.u64(last_.providerIdx);
+    s.u64(last_.altIdx);
+    s.b(last_.providerPred);
+    s.b(last_.altPred);
+    s.b(last_.prediction);
+    s.u64(lastPc_);
+    s.u64(predictions_);
+    s.u64(mispredicts_);
+    s.u64(allocSeed_);
+}
+
+void
+Tage::load(Deserializer &d)
+{
+    d.vecSat(bimodal_);
+    for (auto &table : tables_) {
+        d.expectGeometry("tage table entries", table.size());
+        for (TaggedEntry &e : table) {
+            e.tag = d.u16();
+            e.ctr = d.u8();
+            e.useful = d.u8();
+        }
+    }
+    for (auto &word : ghr_)
+        word = d.u64();
+    last_.provider = static_cast<int>(d.u64());
+    last_.alt = static_cast<int>(d.u64());
+    last_.providerIdx = d.u64();
+    last_.altIdx = d.u64();
+    last_.providerPred = d.b();
+    last_.altPred = d.b();
+    last_.prediction = d.b();
+    lastPc_ = d.u64();
+    predictions_ = d.u64();
+    mispredicts_ = d.u64();
+    allocSeed_ = d.u64();
 }
 
 } // namespace acic

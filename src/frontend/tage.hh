@@ -19,6 +19,9 @@
 
 namespace acic {
 
+class Serializer;
+class Deserializer;
+
 /** See file comment. */
 class Tage
 {
@@ -37,6 +40,10 @@ class Tage
     /** Predictions made / mispredicted (accuracy bookkeeping). */
     std::uint64_t predictions() const { return predictions_; }
     std::uint64_t mispredicts() const { return mispredicts_; }
+
+    /** Checkpoint the full predictor state (checkpoint/resume). */
+    void save(Serializer &s) const;
+    void load(Deserializer &d);
 
     static constexpr unsigned kTables = 4;
 

@@ -1,6 +1,7 @@
 #include "sim/engine.hh"
 
 #include "common/logging.hh"
+#include "common/serialize.hh"
 #include "common/telemetry.hh"
 
 namespace acic {
@@ -476,6 +477,213 @@ SimEngine::measure(std::uint64_t n)
     }
     measureTarget_ += n;
     advanceUntilRetired(measureTarget_);
+}
+
+void
+SimEngine::save(Serializer &s) const
+{
+    const MachineState &m = state_;
+
+    // Identity header: the checkpoint only resumes into an engine
+    // built over the same trace, scheme, oracle mode, and core
+    // configuration.
+    s.str(trace_.name());
+    s.u64(trace_.length());
+    s.str(org_.name());
+    s.b(oracle_ != nullptr);
+    s.u64(config_.fetchWidth);
+    s.u64(config_.ftqEntries);
+    s.u64(config_.decodeQueueEntries);
+    s.u64(config_.retireWidth);
+    s.u64(config_.bpBundlesPerCycle);
+    s.u64(config_.mispredictPenalty);
+    s.u64(config_.btbMissPenalty);
+    s.u8(static_cast<std::uint8_t>(config_.prefetcher));
+    s.u64(config_.prefetchDegree);
+
+    // Phase targets and functional-warm bookkeeping.
+    s.u64(snapTarget_);
+    s.u64(measureTarget_);
+    s.u64(funcL2Accesses_);
+    s.u64(funcL3Accesses_);
+    s.u64(funcDramAccesses_);
+    s.b(warmedFunctionally_);
+    s.u64(orgStatsBase_.size());
+    for (const auto &[name, value] : orgStatsBase_) {
+        s.str(name);
+        s.u64(value);
+    }
+
+    // Machine state. `fills` is per-cycle scratch (always cleared at
+    // the top of stepCycle) and the telemetry heartbeat is
+    // host-side-only, so neither travels.
+    m.walker.save(s);
+    m.tage.save(s);
+    m.btb.save(s);
+    m.ras.save(s);
+    m.mshr.save(s);
+    m.hierarchy.save(s);
+    m.entangler.save(s);
+
+    s.u64(m.ftq.size());
+    for (const FtqEntry &entry : m.ftq) {
+        saveBundle(s, entry.bundle);
+        s.u64(entry.seq);
+        s.u64(entry.redirectPenalty);
+        s.b(entry.prefetchConsidered);
+    }
+
+    s.u64(m.cycle);
+    s.u64(m.bpResumeAt);
+    s.b(m.bpWaitingRedirect);
+    s.b(m.walkerDone);
+    s.u64(m.decodeQueue);
+    s.u64(m.retired);
+    s.u64(m.seqCounter);
+    s.u64(m.lastDemandSeq);
+    s.b(m.waiting);
+    s.u64(m.waitingBlk);
+    s.b(m.headReady);
+    s.b(m.pendingAlloc);
+    s.u64(m.pendingLatency);
+
+    m.raw.save(s);
+    s.b(m.warmupSnapped);
+    m.snap.save(s);
+    s.u64(m.warmupCycle);
+
+    org_.save(s);
+}
+
+void
+SimEngine::load(Deserializer &d)
+{
+    MachineState &m = state_;
+
+    const std::string trace_name = d.str();
+    if (trace_name != trace_.name())
+        throw SerializeError("checkpoint was taken over trace '" +
+                             trace_name + "', this engine runs '" +
+                             trace_.name() + "'");
+    d.expectGeometry("trace length", trace_.length());
+    const std::string org_name = d.str();
+    if (org_name != org_.name())
+        throw SerializeError("checkpoint was taken under scheme '" +
+                             org_name + "', this engine runs '" +
+                             org_.name() + "'");
+    if (d.b() != (oracle_ != nullptr))
+        throw SerializeError("checkpoint oracle presence differs "
+                             "from the running configuration");
+    d.expectGeometry("fetch width", config_.fetchWidth);
+    d.expectGeometry("ftq entries", config_.ftqEntries);
+    d.expectGeometry("decode queue entries",
+                     config_.decodeQueueEntries);
+    d.expectGeometry("retire width", config_.retireWidth);
+    d.expectGeometry("bp bundles per cycle",
+                     config_.bpBundlesPerCycle);
+    d.expectGeometry("mispredict penalty",
+                     config_.mispredictPenalty);
+    d.expectGeometry("btb miss penalty", config_.btbMissPenalty);
+    if (d.u8() != static_cast<std::uint8_t>(config_.prefetcher))
+        throw SerializeError("checkpoint prefetcher kind differs "
+                             "from the running configuration");
+    d.expectGeometry("prefetch degree", config_.prefetchDegree);
+
+    snapTarget_ = d.u64();
+    measureTarget_ = d.u64();
+    funcL2Accesses_ = d.u64();
+    funcL3Accesses_ = d.u64();
+    funcDramAccesses_ = d.u64();
+    warmedFunctionally_ = d.b();
+    orgStatsBase_.clear();
+    const std::size_t n_base = d.count(9);
+    for (std::size_t i = 0; i < n_base; ++i) {
+        std::string name = d.str();
+        const std::uint64_t value = d.u64();
+        orgStatsBase_.emplace(std::move(name), value);
+    }
+
+    m.walker.load(d);
+    m.tage.load(d);
+    m.btb.load(d);
+    m.ras.load(d);
+    m.mshr.load(d);
+    m.hierarchy.load(d);
+    m.entangler.load(d);
+
+    m.ftq.clear();
+    const std::size_t n_ftq = d.count(34);
+    for (std::size_t i = 0; i < n_ftq; ++i) {
+        FtqEntry entry;
+        loadBundle(d, entry.bundle);
+        entry.seq = d.u64();
+        entry.redirectPenalty = d.u64();
+        entry.prefetchConsidered = d.b();
+        m.ftq.push_back(std::move(entry));
+    }
+    m.fills.clear();
+
+    m.cycle = d.u64();
+    m.bpResumeAt = d.u64();
+    m.bpWaitingRedirect = d.b();
+    m.walkerDone = d.b();
+    m.decodeQueue = d.u64();
+    m.retired = d.u64();
+    m.seqCounter = d.u64();
+    m.lastDemandSeq = d.u64();
+    m.waiting = d.b();
+    m.waitingBlk = d.u64();
+    m.headReady = d.b();
+    m.pendingAlloc = d.b();
+    m.pendingLatency = d.u64();
+
+    m.raw.load(d);
+    m.warmupSnapped = d.b();
+    m.snap.load(d);
+    m.warmupCycle = d.u64();
+
+    org_.load(d);
+
+    // Restart the telemetry heartbeat window from the resume point;
+    // rolling-window rates never span the process boundary.
+    if (hbInterval_ > 0) {
+        hbNext_ = m.retired + hbInterval_;
+        hbLastRetired_ = m.retired;
+        hbLastMisses_ = m.raw.get(m.stL1iMisses);
+        hbLastCycle_ = m.cycle;
+        hbLastWall_ = std::chrono::steady_clock::now();
+    }
+}
+
+void
+SimEngine::saveCheckpoint(const std::string &path) const
+{
+    TelemetryScope span("engine.saveCheckpoint");
+    if (span.live()) {
+        span.attr("workload", trace_.name());
+        span.attr("scheme", org_.name());
+        span.attr("retired", state_.retired);
+        span.attr("path", path);
+    }
+    Serializer s;
+    save(s);
+    writeCheckpointFile(path, kCheckpointTag, s.bytes());
+}
+
+void
+SimEngine::loadCheckpoint(const std::string &path)
+{
+    TelemetryScope span("engine.loadCheckpoint");
+    if (span.live()) {
+        span.attr("workload", trace_.name());
+        span.attr("scheme", org_.name());
+        span.attr("path", path);
+    }
+    const std::vector<std::uint8_t> payload =
+        readCheckpointFile(path, kCheckpointTag);
+    Deserializer d(payload);
+    load(d);
+    d.finish();
 }
 
 SimResult

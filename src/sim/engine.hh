@@ -177,10 +177,40 @@ class SimEngine
     /** Cumulative instructions retired (warmup + measured). */
     std::uint64_t retired() const { return state_.retired; }
 
+    /**
+     * Nominal retire count the phases run so far extend to: warmup
+     * length plus every measure(n) — unlike retired(), free of the
+     * bundle-granularity overshoot of the retire stage. A chunked
+     * driver must plan its next measure(n) from this value so that
+     * warmUp(w) + measure(a) + measure(b) lands on the identical
+     * final target as warmUp(w) + measure(a + b).
+     */
+    std::uint64_t plannedTarget() const { return measureTarget_; }
+
     /** Cumulative cycles simulated. */
     Cycle cycles() const { return state_.cycle; }
 
     const MachineState &state() const { return state_; }
+
+    /** Payload tag of on-disk engine checkpoint containers. */
+    static constexpr char kCheckpointTag[4] = {'E', 'N', 'G', 'N'};
+
+    /**
+     * Serialize the entire mid-run machine — trace cursor, front-end
+     * structures, organization, hierarchy, cumulative and snapshot
+     * stats, and the phase targets — so that an identically
+     * constructed engine in a fresh process can load() and continue
+     * to byte-identical final statistics. The stream starts with an
+     * identity header (trace name/length, scheme name, oracle
+     * presence, core config) that load() validates, so a checkpoint
+     * can never resume into a mismatched run.
+     */
+    void save(Serializer &s) const;
+    void load(Deserializer &d);
+
+    /** save()/load() through an "ENGN" checkpoint file at @p path. */
+    void saveCheckpoint(const std::string &path) const;
+    void loadCheckpoint(const std::string &path);
 
   private:
     void stepCycle();

@@ -114,6 +114,36 @@ PlainIcache::storageOverheadBits() const
     return bits;
 }
 
+void
+PlainIcache::save(Serializer &s) const
+{
+    IcacheOrg::save(s);
+    l1i_.save(s);
+    s.b(bypass_ != nullptr);
+    if (bypass_ != nullptr)
+        bypass_->save(s);
+    s.b(vc_ != nullptr);
+    if (vc_ != nullptr)
+        vc_->save(s);
+}
+
+void
+PlainIcache::load(Deserializer &d)
+{
+    IcacheOrg::load(d);
+    l1i_.load(d);
+    if (d.b() != (bypass_ != nullptr))
+        throw SerializeError("checkpoint bypass-policy presence "
+                             "differs from the running scheme");
+    if (bypass_ != nullptr)
+        bypass_->load(d);
+    if (d.b() != (vc_ != nullptr))
+        throw SerializeError("checkpoint victim-cache presence "
+                             "differs from the running scheme");
+    if (vc_ != nullptr)
+        vc_->load(d);
+}
+
 VvcOrg::VvcOrg(std::uint32_t num_sets, std::uint32_t num_ways)
     : vvc_(num_sets, num_ways)
 {
@@ -141,6 +171,20 @@ std::uint64_t
 VvcOrg::storageOverheadBits() const
 {
     return vvc_.storageOverheadBits();
+}
+
+void
+VvcOrg::save(Serializer &s) const
+{
+    IcacheOrg::save(s);
+    vvc_.save(s);
+}
+
+void
+VvcOrg::load(Deserializer &d)
+{
+    IcacheOrg::load(d);
+    vvc_.load(d);
 }
 
 } // namespace acic

@@ -41,6 +41,8 @@ class PlainIcache : public IcacheOrg
     bool contains(BlockAddr blk) const override;
     std::string name() const override { return schemeName_; }
     std::uint64_t storageOverheadBits() const override;
+    void save(Serializer &s) const override;
+    void load(Deserializer &d) override;
 
     const SetAssocCache &cache() const { return l1i_; }
 
@@ -70,6 +72,8 @@ class VvcOrg : public IcacheOrg
     bool contains(BlockAddr blk) const override;
     std::string name() const override { return "VVC"; }
     std::uint64_t storageOverheadBits() const override;
+    void save(Serializer &s) const override;
+    void load(Deserializer &d) override;
 
     const VvcCache &vvc() const { return vvc_; }
 

@@ -2,6 +2,7 @@
 
 #include <cerrno>
 #include <cstdlib>
+#include <fstream>
 
 #include "common/logging.hh"
 #include "common/telemetry.hh"
@@ -159,6 +160,44 @@ SharedWorkload::run(IcacheOrg &org) const
     MemoryTraceSource cursor = source();
     Simulator simulator(config_);
     return simulator.run(cursor, org, &oracle());
+}
+
+SimResult
+SharedWorkload::runCheckpointed(const SchemeSpec &scheme,
+                                const std::string &inflightPath,
+                                std::uint64_t checkpointEvery) const
+{
+    auto org = makeScheme(scheme, config_);
+    MemoryTraceSource cursor = source();
+    SimEngine engine(config_, cursor, *org, &oracle());
+
+    const std::uint64_t total = instructions();
+    const std::uint64_t warmup = static_cast<std::uint64_t>(
+        static_cast<double>(total) * config_.warmupFraction);
+
+    const bool resuming = [&] {
+        std::ifstream probe(inflightPath, std::ios::binary);
+        return probe.good();
+    }();
+    if (resuming)
+        engine.loadCheckpoint(inflightPath);
+    else
+        engine.warmUp(warmup);
+
+    // Chunked measure planned on nominal targets (plannedTarget()),
+    // not retired(): the retire stage overshoots targets by bundle
+    // granularity, and only target arithmetic makes
+    // warmUp + measure(a) + measure(b) land on the same final target
+    // as the monolithic warmUp + measure(a + b).
+    const std::uint64_t every =
+        checkpointEvery == 0 ? total : checkpointEvery;
+    while (engine.plannedTarget() < total) {
+        const std::uint64_t left = total - engine.plannedTarget();
+        engine.measure(left < every ? left : every);
+        if (checkpointEvery != 0 && engine.plannedTarget() < total)
+            engine.saveCheckpoint(inflightPath);
+    }
+    return engine.finish();
 }
 
 DemandOracle

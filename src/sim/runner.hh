@@ -145,6 +145,26 @@ class SharedWorkload
     SimResult run(IcacheOrg &org) const;
 
     /**
+     * run(scheme) with periodic mid-measure checkpoints: every
+     * @p checkpointEvery retired instructions the engine snapshots
+     * itself to @p inflightPath (atomically, temp-file + rename). If
+     * @p inflightPath already exists when the run starts, the engine
+     * resumes from it instead of warming up from the trace start —
+     * the chunked phases accumulate (warmUp + measure(a) +
+     * measure(b) == warmUp + measure(a+b)), so an interrupted and
+     * resumed run finishes with byte-identical statistics to an
+     * uninterrupted one. A corrupt or mismatched checkpoint makes
+     * loadCheckpoint() throw SerializeError; nothing is silently
+     * recomputed. The caller removes @p inflightPath once the final
+     * result is published. @p checkpointEvery == 0 disables the
+     * in-flight snapshots (the run still resumes from an existing
+     * file).
+     */
+    SimResult runCheckpointed(const SchemeSpec &scheme,
+                              const std::string &inflightPath,
+                              std::uint64_t checkpointEvery) const;
+
+    /**
      * Simulate one interval shard: a private region cursor over
      * [interval.warmStart, interval.end) of the shared image, a
      * region-local oracle, warmUp(interval.warmup()), and

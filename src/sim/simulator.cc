@@ -1,6 +1,7 @@
 #include "sim/simulator.hh"
 
 #include "common/logging.hh"
+#include "common/serialize.hh"
 #include "sim/engine.hh"
 
 namespace acic {
@@ -19,6 +20,44 @@ Simulator::run(TraceSource &trace, IcacheOrg &org,
     engine.warmUp(warmup_insts);
     engine.measure(total_insts - warmup_insts);
     return engine.finish();
+}
+
+void
+SimResult::save(Serializer &s) const
+{
+    s.str(workload);
+    s.str(scheme);
+    s.u64(instructions);
+    s.u64(cycles);
+    s.u64(demandAccesses);
+    s.u64(l1iMisses);
+    s.u64(branchMispredicts);
+    s.u64(btbMisses);
+    s.u64(prefetchesIssued);
+    s.u64(latePrefetches);
+    s.u64(l2Accesses);
+    s.u64(l3Accesses);
+    s.u64(dramAccesses);
+    orgStats.save(s);
+}
+
+void
+SimResult::load(Deserializer &d)
+{
+    workload = d.str();
+    scheme = d.str();
+    instructions = d.u64();
+    cycles = d.u64();
+    demandAccesses = d.u64();
+    l1iMisses = d.u64();
+    branchMispredicts = d.u64();
+    btbMisses = d.u64();
+    prefetchesIssued = d.u64();
+    latePrefetches = d.u64();
+    l2Accesses = d.u64();
+    l3Accesses = d.u64();
+    dramAccesses = d.u64();
+    orgStats.load(d);
 }
 
 SimResult

@@ -32,6 +32,9 @@
 
 namespace acic {
 
+class Serializer;
+class Deserializer;
+
 /** Post-warmup metrics of one run. */
 struct SimResult
 {
@@ -72,6 +75,10 @@ struct SimResult
                    : 1000.0 * static_cast<double>(l1iMisses) /
                          static_cast<double>(instructions);
     }
+
+    /** Checkpoint the result record (completed-cell files). */
+    void save(Serializer &s) const;
+    void load(Deserializer &d);
 };
 
 /**

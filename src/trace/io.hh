@@ -186,6 +186,19 @@ class FileTraceSource : public TraceSource
      */
     void seekToInstruction(std::uint64_t index);
 
+    /**
+     * TraceSource seek override backed by the v2 index footer (the
+     * decoder state stored every 64K instructions), so checkpoint
+     * resume re-aligns a file cursor without replaying the prefix.
+     */
+    bool seekTo(std::uint64_t index) override
+    {
+        if (index > count_)
+            return false;
+        seekToInstruction(index);
+        return true;
+    }
+
     /** File-format version of the opened trace. */
     std::uint16_t version() const { return version_; }
 

@@ -88,6 +88,15 @@ class MemoryTraceSource : public TraceSource
         pos_ = index < length() ? begin_ + index : end_;
     }
 
+    /** O(1) random-access override of the generic replay seek. */
+    bool seekTo(std::uint64_t index) override
+    {
+        if (index > length())
+            return false;
+        pos_ = begin_ + index;
+        return true;
+    }
+
     /** A cursor over [@p begin, @p end) of the same image, indexed
      *  relative to this cursor's own region start. */
     MemoryTraceSource region(std::uint64_t begin,

@@ -72,6 +72,30 @@ class TraceSource
 
     /** Workload name, e.g. "web_search". */
     virtual const std::string &name() const = 0;
+
+    /**
+     * Position the stream so the following next() emits instruction
+     * @p index (0-based within this source's region). Checkpoint
+     * resume uses this to re-align a fresh cursor with a serialized
+     * BundleWalker. The default implementation replays from reset()
+     * — always correct, O(index); random-access sources (in-memory
+     * images, indexed v2 trace files) override with O(1)/O(64K)
+     * seeks.
+     * @return true when the stream now holds exactly
+     *         length() - index remaining instructions; false when
+     *         @p index lies past the end (index == length() is a
+     *         valid position: the exhausted stream).
+     */
+    virtual bool
+    seekTo(std::uint64_t index)
+    {
+        reset();
+        TraceInst scratch;
+        for (std::uint64_t i = 0; i < index; ++i)
+            if (!next(scratch))
+                return false;
+        return true;
+    }
 };
 
 } // namespace acic

@@ -1,0 +1,494 @@
+/**
+ * @file
+ * Checkpoint/resume correctness battery (the crash-safety acceptance
+ * bar of the distributed-sweep work):
+ *
+ *  - Round-trip property over every registered scheme preset:
+ *    serialize a mid-measure engine, load it into a freshly
+ *    constructed engine in pristine state, run both to completion,
+ *    and diff the complete writeGoldenDump() statistics byte for
+ *    byte against the uninterrupted run — at seeded-random
+ *    checkpoint instants, so the cut point is not a lucky boundary.
+ *  - Container hardening: bit flips (CRC), truncation, bad magic,
+ *    foreign version, wrong payload tag — each must be rejected
+ *    with its own diagnostic, never silently loaded.
+ *  - Identity hardening: a checkpoint taken over one workload or
+ *    scheme must refuse to resume a different one.
+ *  - Driver checkpointing: completed cells persist into
+ *    --checkpoint-dir files, a rerun preloads them bit-identically
+ *    without resimulating, and shard partitions are disjoint,
+ *    covering, and cell-for-cell equal to the monolithic run.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <random>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/serialize.hh"
+#include "driver/emitters.hh"
+#include "driver/experiment.hh"
+#include "sim/engine.hh"
+#include "sim/runner.hh"
+#include "sim/scheme.hh"
+#include "trace/workload_params.hh"
+
+using namespace acic;
+
+namespace {
+
+/** One shared workload for the whole suite (materialized once). */
+const SharedWorkload &
+workload()
+{
+    static const SharedWorkload *shared = [] {
+        WorkloadParams params = Workloads::byName("web_search");
+        params.instructions = 50'000;
+        return new SharedWorkload(params);
+    }();
+    return *shared;
+}
+
+std::string
+golden(const SimResult &result)
+{
+    std::ostringstream out;
+    writeGoldenDump(out, result);
+    return out.str();
+}
+
+std::uint64_t
+warmupOf(const SharedWorkload &shared)
+{
+    return static_cast<std::uint64_t>(
+        static_cast<double>(shared.instructions()) *
+        shared.config().warmupFraction);
+}
+
+/**
+ * Run @p spec with a checkpoint at @p cut measured instructions: the
+ * first engine stops mid-measure and serializes, a second engine —
+ * fresh organization, fresh trace cursor, nothing carried over but
+ * the byte stream — loads and finishes the run.
+ */
+SimResult
+runWithCheckpoint(const SharedWorkload &shared,
+                  const SchemeSpec &spec, std::uint64_t cut)
+{
+    const std::uint64_t warm = warmupOf(shared);
+    const std::uint64_t measured = shared.instructions() - warm;
+
+    Serializer s;
+    {
+        auto org = makeScheme(spec, shared.config());
+        MemoryTraceSource cursor = shared.source();
+        SimEngine engine(shared.config(), cursor, *org,
+                         &shared.oracle());
+        engine.warmUp(warm);
+        engine.measure(cut);
+        engine.save(s);
+    }
+    auto org = makeScheme(spec, shared.config());
+    MemoryTraceSource cursor = shared.source();
+    SimEngine engine(shared.config(), cursor, *org,
+                     &shared.oracle());
+    Deserializer d(s.bytes());
+    engine.load(d);
+    d.finish();
+    engine.measure(measured - cut);
+    return engine.finish();
+}
+
+std::vector<std::uint8_t>
+readAll(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    return std::vector<std::uint8_t>(
+        (std::istreambuf_iterator<char>(in)),
+        std::istreambuf_iterator<char>());
+}
+
+void
+writeAll(const std::string &path,
+         const std::vector<std::uint8_t> &bytes)
+{
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(reinterpret_cast<const char *>(bytes.data()),
+              static_cast<std::streamsize>(bytes.size()));
+}
+
+} // namespace
+
+TEST(CheckpointRoundTrip, EveryPresetBitIdenticalAtRandomInstants)
+{
+    const SharedWorkload &shared = workload();
+    const std::uint64_t measured =
+        shared.instructions() - warmupOf(shared);
+    ASSERT_GT(measured, 2u);
+
+    // Seeded, so failures replay; distinct per-preset instants, so
+    // one lucky cut cannot mask a phase-dependent bug.
+    std::mt19937_64 rng(0xAC1CAC1Cull);
+    for (const SchemeSpec &spec : allSchemes()) {
+        const SimResult whole = shared.run(spec);
+        const std::uint64_t cut = 1 + rng() % (measured - 1);
+        const SimResult resumed =
+            runWithCheckpoint(shared, spec, cut);
+        EXPECT_EQ(golden(whole), golden(resumed))
+            << spec.toString() << " diverged after resuming at "
+            << cut << " measured instructions";
+    }
+}
+
+TEST(CheckpointRoundTrip, ChunkedCheckpointsComposeAcrossManyCuts)
+{
+    // Several checkpoints in one run (the --checkpoint-every loop):
+    // save/load at every chunk boundary, each into a fresh engine.
+    const SharedWorkload &shared = workload();
+    const SchemeSpec spec = parseScheme("acic");
+    const std::uint64_t warm = warmupOf(shared);
+    const std::uint64_t measured = shared.instructions() - warm;
+    const SimResult whole = shared.run(spec);
+
+    const std::uint64_t chunk = measured / 5 + 1;
+    auto org = makeScheme(spec, shared.config());
+    MemoryTraceSource cursor = shared.source();
+    auto engine = std::make_unique<SimEngine>(
+        shared.config(), cursor, *org, &shared.oracle());
+    engine->warmUp(warm);
+    std::uint64_t done = 0;
+    while (done < measured) {
+        const std::uint64_t step = std::min(chunk, measured - done);
+        engine->measure(step);
+        done += step;
+        Serializer s;
+        engine->save(s);
+        engine.reset(); // before its org and cursor are replaced
+        org = makeScheme(spec, shared.config());
+        cursor = shared.source();
+        engine = std::make_unique<SimEngine>(
+            shared.config(), cursor, *org, &shared.oracle());
+        Deserializer d(s.bytes());
+        engine->load(d);
+        d.finish();
+    }
+    EXPECT_EQ(golden(whole), golden(engine->finish()));
+}
+
+TEST(CheckpointRoundTrip, RunCheckpointedResumesFromInflightFile)
+{
+    // The driver-facing primitive: interrupt by saving an in-flight
+    // file mid-run, then let runCheckpointed() find and finish it.
+    const SharedWorkload &shared = workload();
+    const SchemeSpec spec = parseScheme("lru");
+    const std::string path = "acic_test_inflight.ckpt";
+    std::remove(path.c_str());
+
+    const std::uint64_t warm = warmupOf(shared);
+    {
+        auto org = makeScheme(spec, shared.config());
+        MemoryTraceSource cursor = shared.source();
+        SimEngine engine(shared.config(), cursor, *org,
+                         &shared.oracle());
+        engine.warmUp(warm);
+        engine.measure(7'321);
+        engine.saveCheckpoint(path);
+    }
+    const SimResult resumed =
+        shared.runCheckpointed(spec, path, 10'000);
+    EXPECT_EQ(golden(shared.run(spec)), golden(resumed));
+    std::remove(path.c_str());
+}
+
+TEST(CheckpointContainer, CorruptionAndFormatErrorsAreDistinct)
+{
+    const SharedWorkload &shared = workload();
+    const SchemeSpec spec = parseScheme("lru");
+    const std::string path = "acic_test_container.ckpt";
+    {
+        auto org = makeScheme(spec, shared.config());
+        MemoryTraceSource cursor = shared.source();
+        SimEngine engine(shared.config(), cursor, *org,
+                         &shared.oracle());
+        engine.warmUp(warmupOf(shared));
+        engine.measure(1'000);
+        engine.saveCheckpoint(path);
+    }
+    const std::vector<std::uint8_t> intact = readAll(path);
+    ASSERT_GT(intact.size(), CheckpointFormat::kHeaderBytes);
+
+    const auto expectError = [&](const std::string &what) {
+        try {
+            readCheckpointFile(path, SimEngine::kCheckpointTag);
+            FAIL() << "expected rejection mentioning '" << what
+                   << "'";
+        } catch (const SerializeError &e) {
+            EXPECT_NE(std::string(e.what()).find(what),
+                      std::string::npos)
+                << "actual diagnostic: " << e.what();
+        }
+    };
+
+    // Payload bit flip -> CRC failure.
+    std::vector<std::uint8_t> bytes = intact;
+    bytes[CheckpointFormat::kHeaderBytes + bytes.size() / 2] ^= 0x40;
+    writeAll(path, bytes);
+    expectError("CRC");
+
+    // Truncation -> declared length no longer matches.
+    bytes = intact;
+    bytes.resize(bytes.size() - 7);
+    writeAll(path, bytes);
+    expectError("truncated");
+
+    // Truncation inside the header.
+    bytes = intact;
+    bytes.resize(CheckpointFormat::kHeaderBytes / 2);
+    writeAll(path, bytes);
+    expectError("truncated");
+
+    // Foreign magic.
+    bytes = intact;
+    bytes[0] = 'Z';
+    writeAll(path, bytes);
+    expectError("bad magic");
+
+    // Unsupported container version (magic is 4 bytes, then u16).
+    bytes = intact;
+    bytes[4] = 0xEE;
+    writeAll(path, bytes);
+    expectError("unsupported format version");
+
+    // Wrong payload tag: an engine snapshot is not a cell record.
+    writeAll(path, intact);
+    try {
+        readCheckpointFile(path, "CELL");
+        FAIL() << "expected a payload-tag rejection";
+    } catch (const SerializeError &e) {
+        EXPECT_NE(std::string(e.what()).find("payload tag"),
+                  std::string::npos);
+    }
+
+    // And the intact bytes still load (the harness itself is sound).
+    writeAll(path, intact);
+    EXPECT_NO_THROW(
+        readCheckpointFile(path, SimEngine::kCheckpointTag));
+    std::remove(path.c_str());
+}
+
+TEST(CheckpointIdentity, RefusesForeignWorkloadAndScheme)
+{
+    const SharedWorkload &shared = workload();
+    const SchemeSpec lru = parseScheme("lru");
+    Serializer s;
+    {
+        auto org = makeScheme(lru, shared.config());
+        MemoryTraceSource cursor = shared.source();
+        SimEngine engine(shared.config(), cursor, *org,
+                         &shared.oracle());
+        engine.warmUp(warmupOf(shared));
+        engine.measure(500);
+        engine.save(s);
+    }
+
+    // Same scheme, different workload.
+    WorkloadParams other = Workloads::byName("tpcc");
+    other.instructions = 50'000;
+    const SharedWorkload foreign(other);
+    {
+        auto org = makeScheme(lru, foreign.config());
+        MemoryTraceSource cursor = foreign.source();
+        SimEngine engine(foreign.config(), cursor, *org,
+                         &foreign.oracle());
+        Deserializer d(s.bytes());
+        EXPECT_THROW(engine.load(d), SerializeError);
+    }
+
+    // Same workload, different scheme.
+    {
+        auto org = makeScheme(parseScheme("srrip"), shared.config());
+        MemoryTraceSource cursor = shared.source();
+        SimEngine engine(shared.config(), cursor, *org,
+                         &shared.oracle());
+        Deserializer d(s.bytes());
+        EXPECT_THROW(engine.load(d), SerializeError);
+    }
+}
+
+namespace {
+
+/** Two workloads x two schemes at ctest-friendly length. */
+ExperimentSpec
+smallMatrix()
+{
+    WorkloadParams a = Workloads::byName("web_search");
+    a.instructions = 40'000;
+    WorkloadParams b = Workloads::byName("tpcc");
+    b.instructions = 40'000;
+    ExperimentSpec spec;
+    spec.workloads = {a, b};
+    spec.schemes = parseSchemeList("lru,acic");
+    spec.threads = 2;
+    return spec;
+}
+
+std::string
+goldenCells(const std::vector<CellResult> &cells)
+{
+    std::ostringstream out;
+    for (const CellResult &cell : cells) {
+        out << "cell " << cell.workloadIndex << ' '
+            << cell.schemeIndex << ' ' << cell.done << '\n';
+        writeGoldenDump(out, cell.result);
+    }
+    return out.str();
+}
+
+} // namespace
+
+TEST(CheckpointDriver, RerunPreloadsEveryCompletedCell)
+{
+    const std::string dir = "acic_test_ckpt_dir";
+    std::filesystem::remove_all(dir);
+
+    ExperimentSpec spec = smallMatrix();
+    spec.checkpointDir = dir;
+    spec.checkpointEvery = 10'000;
+    const auto first = ExperimentDriver(spec).run();
+    ASSERT_EQ(first.size(), 4u);
+    for (const CellResult &cell : first) {
+        EXPECT_TRUE(cell.done);
+        EXPECT_TRUE(std::filesystem::exists(
+            dir + "/cells/cell_" +
+            std::to_string(cell.workloadIndex) + "_" +
+            std::to_string(cell.schemeIndex) + ".bin"));
+    }
+    // In-flight snapshots are cleaned up after each cell completes.
+    EXPECT_TRUE(std::filesystem::is_empty(dir + "/inflight"));
+
+    // The rerun must preload — observer fires once per cell before
+    // any simulation — and reproduce the results bit-for-bit.
+    std::size_t observed = 0;
+    const auto second =
+        ExperimentDriver(spec).run([&](const CellResult &) {
+            ++observed;
+        });
+    EXPECT_EQ(observed, 4u);
+    EXPECT_EQ(goldenCells(first), goldenCells(second));
+
+    // Checkpointed execution itself must not perturb results.
+    const auto plain = ExperimentDriver(smallMatrix()).run();
+    EXPECT_EQ(goldenCells(plain), goldenCells(first));
+    std::filesystem::remove_all(dir);
+}
+
+TEST(CheckpointDriver, ManifestRejectsDifferentSweep)
+{
+    const std::string dir = "acic_test_ckpt_manifest";
+    std::filesystem::remove_all(dir);
+
+    ExperimentSpec spec = smallMatrix();
+    spec.checkpointDir = dir;
+    ExperimentDriver(spec).run();
+
+    ExperimentSpec other = smallMatrix();
+    other.schemes = parseSchemeList("lru,srrip");
+    other.checkpointDir = dir;
+    ExperimentDriver driver(other);
+    EXPECT_THROW(driver.run(), SerializeError);
+    std::filesystem::remove_all(dir);
+}
+
+TEST(CheckpointDriver, CorruptCellFileIsRejectedNotResimulated)
+{
+    const std::string dir = "acic_test_ckpt_corrupt";
+    std::filesystem::remove_all(dir);
+
+    ExperimentSpec spec = smallMatrix();
+    spec.checkpointDir = dir;
+    ExperimentDriver(spec).run();
+
+    const std::string victim = dir + "/cells/cell_0_1.bin";
+    std::vector<std::uint8_t> bytes = readAll(victim);
+    ASSERT_GT(bytes.size(), CheckpointFormat::kHeaderBytes);
+    bytes[bytes.size() - 3] ^= 0x01;
+    writeAll(victim, bytes);
+
+    ExperimentDriver driver(spec);
+    try {
+        driver.run();
+        FAIL() << "corrupt completed-cell file must be rejected";
+    } catch (const SerializeError &e) {
+        EXPECT_NE(std::string(e.what()).find("CRC"),
+                  std::string::npos)
+            << "actual diagnostic: " << e.what();
+    }
+    std::filesystem::remove_all(dir);
+}
+
+TEST(ShardedDriver, ShardsPartitionAndReproduceTheMonolithicRun)
+{
+    const auto whole = ExperimentDriver(smallMatrix()).run();
+    ASSERT_EQ(whole.size(), 4u);
+
+    std::vector<bool> covered(whole.size(), false);
+    for (unsigned shard = 0; shard < 3; ++shard) {
+        ExperimentSpec spec = smallMatrix();
+        spec.shardIndex = shard;
+        spec.shardCount = 3;
+        const auto part = ExperimentDriver(spec).run();
+        ASSERT_EQ(part.size(), whole.size());
+        for (std::size_t i = 0; i < part.size(); ++i) {
+            if (!part[i].done)
+                continue;
+            EXPECT_FALSE(covered[i])
+                << "cell " << i << " ran on two shards";
+            covered[i] = true;
+            EXPECT_TRUE(spec.ownsCell(part[i].workloadIndex,
+                                      part[i].schemeIndex));
+            EXPECT_EQ(golden(whole[i].result),
+                      golden(part[i].result))
+                << "cell " << i << " diverged on shard " << shard;
+        }
+    }
+    for (std::size_t i = 0; i < covered.size(); ++i)
+        EXPECT_TRUE(covered[i]) << "cell " << i << " ran nowhere";
+}
+
+TEST(ShardedDriver, EmittersSkipUnownedCells)
+{
+    ExperimentSpec spec = smallMatrix();
+    spec.shardIndex = 1;
+    spec.shardCount = 2;
+    const auto cells = ExperimentDriver(spec).run();
+
+    const std::vector<ResultRow> rows = resultRows(spec, cells);
+    ASSERT_EQ(rows.size(), 2u); // cells 1 and 3 of 4
+    std::ostringstream csv;
+    writeCsvRows(csv, rows);
+    // Header plus exactly one line per owned cell.
+    std::size_t lines = 0;
+    for (const char c : csv.str())
+        lines += c == '\n';
+    EXPECT_EQ(lines, 3u);
+}
+
+TEST(CheckpointSimResult, SaveLoadRoundTripsEveryField)
+{
+    const SharedWorkload &shared = workload();
+    const SimResult a = shared.run(parseScheme("acic"));
+    Serializer s;
+    a.save(s);
+    SimResult b;
+    Deserializer d(s.bytes());
+    b.load(d);
+    d.finish();
+    EXPECT_EQ(golden(a), golden(b));
+    EXPECT_EQ(a.workload, b.workload);
+    EXPECT_EQ(a.scheme, b.scheme);
+}

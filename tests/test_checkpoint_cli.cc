@@ -1,0 +1,344 @@
+/**
+ * @file
+ * End-to-end battery for the distributed sweep machinery, exercised
+ * through the installed `acic_run` binary exactly as an operator
+ * would drive it:
+ *
+ *  - crash injection: SIGKILL a checkpointing sweep partway, restart
+ *    it, and demand the merged results match an uninterrupted run
+ *    with no duplicate and no missing cells;
+ *  - shard/merge equivalence: three `--shard i/3` processes plus
+ *    `acic_run merge` must reproduce the monolithic sweep's CSV and
+ *    JSON byte-for-byte;
+ *  - corrupted checkpoints: a bit-flipped or truncated completed-cell
+ *    file must fail the rerun loudly (nonzero exit, CRC/truncation
+ *    diagnostic) rather than feed silently wrong stats downstream.
+ *
+ * host_seconds is wall-clock and therefore differs between
+ * independent processes; comparisons against an *independent* clean
+ * run strip that column. The shard -> merge round trip itself
+ * preserves it exactly, so merged-vs-shard comparisons don't strip.
+ *
+ * POSIX-only (fork/exec/kill); the whole file is compiled out on
+ * Windows.
+ */
+
+#ifndef _WIN32
+
+#include <sys/stat.h>
+#include <sys/types.h>
+#include <sys/wait.h>
+
+#include <fcntl.h>
+#include <signal.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace fs = std::filesystem;
+
+namespace {
+
+std::string
+readAll(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    std::ostringstream text;
+    text << in.rdbuf();
+    return text.str();
+}
+
+/** Run @p cmd through the shell; return its exit status (or -1 if it
+ *  died on a signal / could not spawn). */
+int
+runCommand(const std::string &cmd)
+{
+    const int status = std::system(cmd.c_str());
+    if (status == -1 || !WIFEXITED(status))
+        return -1;
+    return WEXITSTATUS(status);
+}
+
+/** Drop the trailing host_seconds column from every CSV line. */
+std::string
+stripHostSecondsCsv(const std::string &csv)
+{
+    std::istringstream in(csv);
+    std::string line, out;
+    while (std::getline(in, line)) {
+        const std::size_t comma = line.rfind(',');
+        out += comma == std::string::npos ? line
+                                          : line.substr(0, comma);
+        out += '\n';
+    }
+    return out;
+}
+
+/** Drop the host_seconds line of every cell object. */
+std::string
+stripHostSecondsJson(const std::string &json)
+{
+    std::istringstream in(json);
+    std::string line, out;
+    while (std::getline(in, line)) {
+        if (line.find("\"host_seconds\"") != std::string::npos)
+            continue;
+        out += line;
+        out += '\n';
+    }
+    return out;
+}
+
+/** The shared 2x2 sweep every test here runs. */
+std::string
+sweepCommand(const std::string &instructions)
+{
+    return std::string(ACIC_RUN_BIN) +
+           " sweep --workloads web_search,tpcc --grid lru,acic"
+           " --threads 1 --instructions " +
+           instructions;
+}
+
+/** (workload, scheme) pairs of the CSV body, for duplicate checks. */
+std::vector<std::string>
+csvCellLabels(const std::string &csv)
+{
+    std::istringstream in(csv);
+    std::string line;
+    std::vector<std::string> labels;
+    bool header = true;
+    while (std::getline(in, line)) {
+        if (header) {
+            header = false;
+            continue;
+        }
+        const std::size_t first = line.find(',');
+        const std::size_t second = line.find(',', first + 1);
+        labels.push_back(line.substr(0, second));
+    }
+    return labels;
+}
+
+struct ScratchDir
+{
+    explicit ScratchDir(std::string path) : path(std::move(path))
+    {
+        fs::remove_all(this->path);
+        fs::create_directories(this->path);
+    }
+    ~ScratchDir() { fs::remove_all(path); }
+    std::string file(const std::string &name) const
+    {
+        return (fs::path(path) / name).string();
+    }
+    std::string path;
+};
+
+} // namespace
+
+TEST(ShardMergeCli, ThreeShardsMergeBitIdenticalToMonolithic)
+{
+    const ScratchDir dir("acic_test_cli_shard");
+    const std::string monoCsv = dir.file("mono.csv");
+    const std::string monoJson = dir.file("mono.json");
+    ASSERT_EQ(runCommand(sweepCommand("40000") + " --csv " + monoCsv +
+                         " --json " + monoJson + " >/dev/null 2>&1"),
+              0);
+
+    std::vector<std::string> shardJsons;
+    for (int i = 0; i < 3; ++i) {
+        const std::string out =
+            dir.file("shard" + std::to_string(i) + ".json");
+        shardJsons.push_back(out);
+        ASSERT_EQ(runCommand(sweepCommand("40000") + " --shard " +
+                             std::to_string(i) + "/3 --json " + out +
+                             " >/dev/null 2>&1"),
+                  0)
+            << "shard " << i << " failed";
+    }
+
+    const std::string mergedCsv = dir.file("merged.csv");
+    const std::string mergedJson = dir.file("merged.json");
+    ASSERT_EQ(runCommand(std::string(ACIC_RUN_BIN) + " merge " +
+                         shardJsons[0] + ' ' + shardJsons[1] + ' ' +
+                         shardJsons[2] + " --csv " + mergedCsv +
+                         " --json " + mergedJson +
+                         " >/dev/null 2>&1"),
+              0);
+
+    // Independent processes: wall-clock host_seconds differs, all
+    // simulated counters must not.
+    EXPECT_EQ(stripHostSecondsCsv(readAll(mergedCsv)),
+              stripHostSecondsCsv(readAll(monoCsv)));
+    EXPECT_EQ(stripHostSecondsJson(readAll(mergedJson)),
+              stripHostSecondsJson(readAll(monoJson)));
+
+    // Partial inputs must not merge: feeding only two of the three
+    // shards has to name the missing cells, not emit a partial CSV.
+    const std::string err = dir.file("merge.stderr");
+    EXPECT_EQ(runCommand(std::string(ACIC_RUN_BIN) + " merge " +
+                         shardJsons[0] + ' ' + shardJsons[1] +
+                         " >/dev/null 2>" + err),
+              1);
+    EXPECT_NE(readAll(err).find("missing"), std::string::npos)
+        << "stderr was: " << readAll(err);
+
+    // Nor may a duplicated shard double-count its cells.
+    EXPECT_EQ(runCommand(std::string(ACIC_RUN_BIN) + " merge " +
+                         shardJsons[0] + ' ' + shardJsons[0] + ' ' +
+                         shardJsons[1] + ' ' + shardJsons[2] +
+                         " >/dev/null 2>" + err),
+              1);
+    EXPECT_NE(readAll(err).find("already provided"),
+              std::string::npos)
+        << "stderr was: " << readAll(err);
+}
+
+TEST(CrashInjectionCli, SigkilledSweepResumesToIdenticalResults)
+{
+    const ScratchDir dir("acic_test_cli_crash");
+    const std::string ckpt = dir.file("ckpt");
+    const std::string crashCsv = dir.file("crash.csv");
+    const std::string cleanCsv = dir.file("clean.csv");
+
+    // Reference: the same sweep, uninterrupted, no checkpointing.
+    ASSERT_EQ(runCommand(sweepCommand("200000") + " --csv " +
+                         cleanCsv + " >/dev/null 2>&1"),
+              0);
+
+    // Launch the checkpointing sweep as a child we can SIGKILL. The
+    // long trace (~50ms+ per cell) and the 2ms poll below make it
+    // overwhelmingly likely the kill lands mid-sweep; if the child
+    // somehow finishes first the test degrades to a (still valid)
+    // resume-from-complete check.
+    const pid_t pid = fork();
+    ASSERT_NE(pid, -1);
+    if (pid == 0) {
+        const int devnull = ::open("/dev/null", O_WRONLY);
+        ::dup2(devnull, 1);
+        ::dup2(devnull, 2);
+        ::execl(ACIC_RUN_BIN, "acic_run", "sweep", "--workloads",
+                "web_search,tpcc", "--grid", "lru,acic", "--threads",
+                "1", "--instructions", "200000", "--checkpoint-dir",
+                ckpt.c_str(), "--checkpoint-every", "20000", "--csv",
+                crashCsv.c_str(), static_cast<char *>(nullptr));
+        _exit(127);
+    }
+
+    // Kill as soon as the first completed cell is published, so the
+    // restart must both preload finished cells and resume/redo the
+    // rest.
+    const fs::path cellsDir = fs::path(ckpt) / "cells";
+    bool childExited = false;
+    for (int i = 0; i < 30'000; ++i) { // <= 60 s
+        std::error_code ec;
+        if (fs::exists(cellsDir, ec) && !fs::is_empty(cellsDir, ec))
+            break;
+        int status = 0;
+        if (::waitpid(pid, &status, WNOHANG) == pid) {
+            childExited = true;
+            break;
+        }
+        ::usleep(2'000);
+    }
+    if (!childExited) {
+        ASSERT_EQ(::kill(pid, SIGKILL), 0);
+        int status = 0;
+        ASSERT_EQ(::waitpid(pid, &status, 0), pid);
+        EXPECT_TRUE(WIFSIGNALED(status));
+    }
+    ASSERT_TRUE(fs::exists(cellsDir))
+        << "sweep died before publishing its first cell";
+
+    // Restart the identical command in a fresh process; it must
+    // finish the sweep from the checkpoint directory.
+    ASSERT_EQ(runCommand(sweepCommand("200000") + " --checkpoint-dir " +
+                         ckpt + " --checkpoint-every 20000 --csv " +
+                         crashCsv + " >/dev/null 2>&1"),
+              0);
+
+    const std::string crashed = readAll(crashCsv);
+    EXPECT_EQ(stripHostSecondsCsv(crashed),
+              stripHostSecondsCsv(readAll(cleanCsv)));
+
+    // Exactly-once: every cell of the 2x2 matrix appears exactly one
+    // time — a resume bug would duplicate or drop rows.
+    const std::vector<std::string> labels = csvCellLabels(crashed);
+    EXPECT_EQ(labels.size(), 4u);
+    EXPECT_EQ(std::set<std::string>(labels.begin(), labels.end())
+                  .size(),
+              4u);
+
+    // The finished run leaves no in-flight snapshots behind.
+    const fs::path inflight = fs::path(ckpt) / "inflight";
+    ASSERT_TRUE(fs::exists(inflight));
+    EXPECT_TRUE(fs::is_empty(inflight));
+}
+
+TEST(CorruptCheckpointCli, BitFlipAndTruncationFailTheRerunLoudly)
+{
+    const ScratchDir dir("acic_test_cli_corrupt");
+    const std::string ckpt = dir.file("ckpt");
+    const std::string csv = dir.file("out.csv");
+    const std::string cmd = sweepCommand("40000") +
+                            " --checkpoint-dir " + ckpt + " --csv " +
+                            csv;
+    ASSERT_EQ(runCommand(cmd + " >/dev/null 2>&1"), 0);
+
+    // Pick a deterministic victim among the completed-cell files.
+    std::vector<std::string> cells;
+    for (const auto &entry :
+         fs::directory_iterator(fs::path(ckpt) / "cells"))
+        cells.push_back(entry.path().string());
+    ASSERT_EQ(cells.size(), 4u);
+    std::sort(cells.begin(), cells.end());
+    const std::string victim = cells.front();
+    const std::string pristine = readAll(victim);
+    ASSERT_GT(pristine.size(), 32u);
+
+    const auto rerunFailsWith = [&](const std::string &needle) {
+        const std::string err = dir.file("rerun.stderr");
+        EXPECT_EQ(runCommand(cmd + " >/dev/null 2>" + err), 1);
+        const std::string captured = readAll(err);
+        EXPECT_NE(captured.find(needle), std::string::npos)
+            << "stderr was: " << captured;
+    };
+
+    // Bit-flip inside the payload: the CRC must catch it and the
+    // rerun must refuse to trust (or silently resimulate over) the
+    // poisoned cell.
+    {
+        std::string bytes = pristine;
+        bytes[30] = static_cast<char>(bytes[30] ^ 0x40);
+        std::ofstream(victim, std::ios::binary | std::ios::trunc)
+            << bytes;
+    }
+    rerunFailsWith("CRC");
+
+    // Truncation — a torn copy or full disk — is diagnosed as such.
+    std::ofstream(victim, std::ios::binary | std::ios::trunc)
+        << pristine.substr(0, 10);
+    rerunFailsWith("truncated");
+
+    // Restoring the pristine bytes heals the directory: the rerun
+    // preloads every cell and reproduces the original CSV exactly
+    // (same process count is irrelevant — preloaded host_seconds are
+    // part of the cell file, so not even that column changes).
+    const std::string before = readAll(csv);
+    std::ofstream(victim, std::ios::binary | std::ios::trunc)
+        << pristine;
+    ASSERT_EQ(runCommand(cmd + " >/dev/null 2>&1"), 0);
+    EXPECT_EQ(readAll(csv), before);
+}
+
+#endif // _WIN32
