@@ -3,18 +3,30 @@
  * google-benchmark microbenchmarks of the hardware-structure models:
  * per-operation cost of the set-associative lookup, i-Filter probe,
  * CSHR search, two-level predictor, and the synthetic trace
- * generator. These guard the simulator's own performance (host-side),
- * not the simulated machine.
+ * generator — plus the two kernels under the throughput tentpole,
+ * each implementation individually selectable: the tag-probe scan
+ * (portable / SSE2 / dispatched wide path, hit and miss, 2/4/8
+ * ways) and the trace decoder (scalar next() vs 64-record
+ * decodeBatch() vs zero-copy acquireRun()). These guard the
+ * simulator's own performance (host-side), not the simulated
+ * machine.
  */
 
 #include <benchmark/benchmark.h>
 
+#include <cstdint>
+#include <string>
+#include <vector>
+
 #include "cache/lru.hh"
 #include "cache/set_assoc.hh"
 #include "common/rng.hh"
+#include "common/tagscan.hh"
 #include "core/admission_predictor.hh"
 #include "core/cshr.hh"
 #include "core/ifilter.hh"
+#include "trace/io.hh"
+#include "trace/memory.hh"
 #include "trace/synthetic.hh"
 #include "trace/workload_params.hh"
 
@@ -90,6 +102,153 @@ BM_PredictorTrain(benchmark::State &state)
     }
 }
 BENCHMARK(BM_PredictorTrain);
+
+/**
+ * Tag-probe kernel cost per scan, one implementation per capture.
+ * Arg 0: ways (2/4/8, padded to the lane stride like SetAssocCache
+ * rows are). Arg 1: 1 = every probe hits, 0 = every probe misses.
+ * 1024 sets probed round-robin so the targets are not
+ * branch-predictable.
+ */
+void
+BM_TagProbe(benchmark::State &state,
+            std::uint64_t (*kernel)(const std::uint64_t *,
+                                    std::uint32_t, std::uint64_t))
+{
+    const auto ways = static_cast<std::uint32_t>(state.range(0));
+    const bool hit = state.range(1) != 0;
+    constexpr std::size_t kSets = 1024;
+    const std::uint32_t stride = tagscan::padLanes64(ways);
+    std::vector<std::uint64_t> lanes(kSets * stride);
+    Rng rng(31);
+    for (auto &lane : lanes)
+        lane = 1 + rng.nextBelow(1u << 20); // never 0
+    std::vector<std::uint64_t> targets(kSets);
+    for (std::size_t s = 0; s < kSets; ++s) {
+        targets[s] =
+            hit ? lanes[s * stride + rng.nextBelow(ways)] : 0;
+    }
+    std::size_t s = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            kernel(lanes.data() + s * stride, ways, targets[s]));
+        s = (s + 1) & (kSets - 1);
+    }
+    state.SetLabel(hit ? "hit" : "miss");
+}
+BENCHMARK_CAPTURE(BM_TagProbe, portable,
+                  &tagscan::matchMask64Portable)
+    ->ArgsProduct({{2, 4, 8}, {0, 1}});
+#ifdef ACIC_TAGSCAN_SIMD
+BENCHMARK_CAPTURE(BM_TagProbe, sse2, &tagscan::matchMask64Sse2)
+    ->ArgsProduct({{2, 4, 8}, {0, 1}});
+BENCHMARK_CAPTURE(BM_TagProbe, wide, tagscan::matchMask64Wide)
+    ->ArgsProduct({{2, 4, 8}, {0, 1}});
+#endif
+
+/** The recorded trace the decoder benches read (built once). */
+const std::string &
+decoderBenchTrace()
+{
+    static const std::string path = [] {
+        const std::string p =
+            "bench_structures_decode" + std::string(
+                TraceFormat::suffix());
+        auto params = Workloads::byName("media_streaming");
+        params.instructions = 1u << 20;
+        SyntheticWorkload synth(params);
+        recordTrace(synth, p);
+        return p;
+    }();
+    return path;
+}
+
+/** Per-instruction cost of the scalar next() decode loop. */
+void
+BM_DecodeScalarFile(benchmark::State &state)
+{
+    FileTraceSource file(decoderBenchTrace());
+    TraceInst inst;
+    for (auto _ : state) {
+        if (!file.next(inst))
+            file.reset();
+        benchmark::DoNotOptimize(inst.pc);
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_DecodeScalarFile);
+
+/** Per-instruction cost through the 64-record batch decoder. */
+void
+BM_DecodeBatchFile(benchmark::State &state)
+{
+    FileTraceSource file(decoderBenchTrace());
+    InstBatch batch;
+    unsigned pos = 0;
+    for (auto _ : state) {
+        if (pos >= batch.count) {
+            if (file.decodeBatch(batch) == 0) {
+                file.reset();
+                file.decodeBatch(batch);
+            }
+            pos = 0;
+        }
+        benchmark::DoNotOptimize(batch.pc[pos]);
+        ++pos;
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_DecodeBatchFile);
+
+/** Per-instruction cost of the batched copy out of a materialized
+ *  image (the driver's steady-state source). */
+void
+BM_DecodeBatchMemory(benchmark::State &state)
+{
+    FileTraceSource file(decoderBenchTrace());
+    MemoryTraceSource mem = MemoryTraceSource::capture(file);
+    InstBatch batch;
+    unsigned pos = 0;
+    for (auto _ : state) {
+        if (pos >= batch.count) {
+            if (mem.decodeBatch(batch) == 0) {
+                mem.reset();
+                mem.decodeBatch(batch);
+            }
+            pos = 0;
+        }
+        benchmark::DoNotOptimize(batch.pc[pos]);
+        ++pos;
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_DecodeBatchMemory);
+
+/** Per-instruction cost of the zero-copy run path (what the
+ *  BundleWalker rides in steady state). */
+void
+BM_DecodeRunMemory(benchmark::State &state)
+{
+    FileTraceSource file(decoderBenchTrace());
+    MemoryTraceSource mem = MemoryTraceSource::capture(file);
+    const TraceInst *run = nullptr;
+    std::uint64_t len = 0;
+    std::uint64_t pos = 0;
+    for (auto _ : state) {
+        if (pos >= len) {
+            run = mem.acquireRun(~std::uint64_t{0}, len);
+            if (run == nullptr) {
+                mem.reset();
+                run = mem.acquireRun(~std::uint64_t{0}, len);
+            }
+            pos = 0;
+        }
+        benchmark::DoNotOptimize(run[pos].pc);
+        ++pos;
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_DecodeRunMemory);
 
 void
 BM_TraceGeneration(benchmark::State &state)

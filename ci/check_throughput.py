@@ -4,6 +4,7 @@ baseline and fail on per-scheme Minst/s regressions.
 
 Usage:
   check_throughput.py BASELINE CURRENT [--tolerance F] [--normalize]
+  check_throughput.py BASELINE CURRENT --update
 
 Absolute throughput differs across machines, so a raw compare of a
 laptop-committed baseline against a CI runner would mostly measure
@@ -13,7 +14,14 @@ only *relative* shifts — a scheme whose hot path got slower while the
 others held still fails even on a slower machine. CI runs with
 --normalize; a local before/after on one machine can omit it.
 
-Exit codes: 0 ok, 1 regression (or no comparable rows), 2 usage.
+The two runs must cover the same labels: a benched scheme silently
+dropping out of the matrix (or a new one sneaking in unbaselined)
+is reported as LABEL DIVERGENCE and fails, never skated over as
+"fewer shared rows". Landing an intentional matrix change — or a new
+performance level — goes through --update, which validates CURRENT
+and rewrites BASELINE from it verbatim (commit the result).
+
+Exit codes: 0 ok, 1 regression or label divergence, 2 usage.
 """
 
 import argparse
@@ -47,14 +55,58 @@ def main():
         "--normalize", action="store_true",
         help="rescale by the median baseline/current ratio so only "
              "relative (per-scheme) shifts count")
+    parser.add_argument(
+        "--update", action="store_true",
+        help="validate CURRENT and rewrite BASELINE from it, landing "
+             "a new committed baseline instead of comparing")
     args = parser.parse_args()
 
     try:
-        baseline = load_rates(args.baseline)
         current = load_rates(args.current)
+        if args.update:
+            # A missing or stale-format baseline is fine when we are
+            # about to replace it.
+            try:
+                baseline = load_rates(args.baseline)
+            except (OSError, ValueError, KeyError):
+                baseline = {}
+        else:
+            baseline = load_rates(args.baseline)
     except (OSError, ValueError, KeyError) as err:
         print(f"check_throughput: {err}", file=sys.stderr)
         return 2
+
+    if args.update:
+        with open(args.current, encoding="utf-8") as handle:
+            text = handle.read()
+        with open(args.baseline, "w", encoding="utf-8") as handle:
+            handle.write(text)
+        print(f"baseline updated: {args.baseline} <- {args.current} "
+              f"({len(current)} label(s))")
+        for label in sorted(current):
+            old = baseline.get(label)
+            was = f"{old:.2f}" if old is not None else "(new)"
+            print(f"  {label:<28} {was:>9} -> {current[label]:.2f} "
+                  f"Minst/s")
+        dropped = sorted(set(baseline) - set(current))
+        if dropped:
+            print(f"  dropped label(s): {', '.join(dropped)}")
+        return 0
+
+    only_base = sorted(set(baseline) - set(current))
+    only_cur = sorted(set(current) - set(baseline))
+    if only_base or only_cur:
+        print("check_throughput: LABEL DIVERGENCE between baseline "
+              "and current run", file=sys.stderr)
+        if only_base:
+            print(f"  only in baseline: {', '.join(only_base)}",
+                  file=sys.stderr)
+        if only_cur:
+            print(f"  only in current:  {', '.join(only_cur)}",
+                  file=sys.stderr)
+        print("  (intentional matrix change? land it with --update)",
+              file=sys.stderr)
+        return 1
 
     shared = sorted(set(baseline) & set(current))
     if not shared:
@@ -86,11 +138,6 @@ def main():
             mark = "  improved -- consider refreshing the baseline"
         print(f"{label:<28} {baseline[label]:>9.2f} {adjusted:>9.2f} "
               f"{delta:>+7.1%}{mark}")
-
-    missing = sorted(set(baseline) - set(current))
-    if missing:
-        print(f"note: baseline labels not in current run: "
-              f"{', '.join(missing)}")
 
     if failed:
         print(f"\nFAIL: {len(failed)} label(s) regressed more than "

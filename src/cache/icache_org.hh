@@ -20,6 +20,9 @@ namespace acic {
 class IcacheOrg
 {
   public:
+    /** tickWake_ value meaning "no pending pipeline work". */
+    static constexpr Cycle kNeverTick = ~Cycle{0};
+
     virtual ~IcacheOrg() = default;
 
     /**
@@ -34,8 +37,26 @@ class IcacheOrg
     /** Presence test covering every constituent structure. */
     virtual bool contains(BlockAddr blk) const = 0;
 
-    /** Advance internal pipelines (predictor update latency). */
+    /**
+     * Advance internal pipelines (predictor update latency).
+     * Contract: an organization overriding this must keep tickWake_
+     * at or below the next cycle on which tick() would do work (0 is
+     * always safe: tick every cycle); the base leaves it at
+     * kNeverTick because this default tick() does nothing.
+     */
     virtual void tick(Cycle now) { (void)now; }
+
+    /**
+     * The engine's per-cycle entry point: dispatches to tick() only
+     * when pipeline work can be due, so the many organizations with
+     * no update pipeline (and ACIC between training bursts) cost
+     * nothing per cycle instead of a virtual-call chain.
+     */
+    void maybeTick(Cycle now)
+    {
+        if (now >= tickWake_)
+            tick(now);
+    }
 
     /** Scheme name as used in bench tables. */
     virtual std::string name() const = 0;
@@ -57,6 +78,8 @@ class IcacheOrg
 
   protected:
     StatSet stats_;
+    /** Earliest cycle at which tick() can have work; see tick(). */
+    Cycle tickWake_ = kNeverTick;
 };
 
 } // namespace acic

@@ -36,13 +36,17 @@ LruPolicy::victimWay(std::uint32_t set, const CacheAccess &,
 std::uint32_t
 LruPolicy::lruWay(std::uint32_t set) const
 {
+    // Branch-free min-scan: both updates compile to cmov, so the
+    // loop carries no data-dependent branches (stamps are
+    // effectively random, the old `if` was a 50/50 misprediction).
     std::uint32_t victim = 0;
     std::uint64_t oldest = ~std::uint64_t{0};
+    const std::uint64_t *stamps =
+        stamps_.data() + static_cast<std::size_t>(set) * ways_;
     for (std::uint32_t way = 0; way < ways_; ++way) {
-        if (stampOf(set, way) < oldest) {
-            oldest = stampOf(set, way);
-            victim = way;
-        }
+        const bool older = stamps[way] < oldest;
+        victim = older ? way : victim;
+        oldest = older ? stamps[way] : oldest;
     }
     return victim;
 }

@@ -2,46 +2,94 @@
 
 #include "common/logging.hh"
 #include "common/serialize.hh"
+#include "common/tagscan.hh"
 
 namespace acic {
+
+namespace {
+
+constexpr std::size_t kNpos = ~std::size_t{0};
+
+} // namespace
 
 MshrFile::MshrFile(std::uint32_t entries)
 {
     ACIC_ASSERT(entries >= 1, "MSHR file needs entries");
     entries_.resize(entries);
+    tags_.assign(tagscan::padLanes64(entries), kFreeTag);
+}
+
+std::size_t
+MshrFile::findTag(BlockAddr blk) const
+{
+    const std::uint64_t *tags = tags_.data();
+    const std::size_t stride = tags_.size();
+    for (std::size_t base = 0; base < stride; base += 64) {
+        const std::size_t n =
+            stride - base < 64 ? stride - base : 64;
+        const std::uint64_t mask =
+            tagscan::matchMask64(tags + base, n, blk);
+        if (mask != 0)
+            return base + static_cast<std::size_t>(
+                              __builtin_ctzll(mask));
+    }
+    return kNpos;
+}
+
+std::size_t
+MshrFile::findFree() const
+{
+    // Padding lanes also hold kFreeTag; clamp each chunk's match
+    // mask to the real entry lanes.
+    const std::uint64_t *tags = tags_.data();
+    const std::size_t stride = tags_.size();
+    const std::size_t count = entries_.size();
+    for (std::size_t base = 0; base < stride; base += 64) {
+        const std::size_t n =
+            stride - base < 64 ? stride - base : 64;
+        std::uint64_t mask =
+            tagscan::matchMask64(tags + base, n, kFreeTag);
+        const std::size_t live = count > base ? count - base : 0;
+        if (live < 64)
+            mask &= (std::uint64_t{1} << live) - 1;
+        if (mask != 0)
+            return base + static_cast<std::size_t>(
+                              __builtin_ctzll(mask));
+    }
+    return kNpos;
 }
 
 MshrOutcome
 MshrFile::allocate(BlockAddr blk, Cycle ready_cycle, bool is_prefetch,
                    Addr pc, std::uint64_t seq)
 {
-    Entry *free_entry = nullptr;
-    for (auto &e : entries_) {
-        if (e.valid && e.blk == blk) {
-            // Merge; a demand joining a prefetch promotes the miss.
-            if (!is_prefetch) {
-                e.demandWaiting = true;
-                e.pc = pc;
-                e.seq = seq;
-            }
-            if (ready_cycle < e.ready)
-                e.ready = ready_cycle;
-            if (e.ready < minReady_)
-                minReady_ = e.ready;
-            return MshrOutcome::Merged;
+    const std::size_t hit = findTag(blk);
+    if (hit != kNpos) {
+        Entry &e = entries_[hit];
+        // Merge; a demand joining a prefetch promotes the miss.
+        if (!is_prefetch) {
+            e.demandWaiting = true;
+            e.pc = pc;
+            e.seq = seq;
         }
-        if (!e.valid && free_entry == nullptr)
-            free_entry = &e;
+        if (ready_cycle < e.ready)
+            e.ready = ready_cycle;
+        if (e.ready < minReady_)
+            minReady_ = e.ready;
+        return MshrOutcome::Merged;
     }
-    if (free_entry == nullptr)
+    const std::size_t free_idx = findFree();
+    if (free_idx == kNpos)
         return MshrOutcome::Full;
-    free_entry->valid = true;
-    free_entry->blk = blk;
-    free_entry->ready = ready_cycle;
-    free_entry->wasPrefetch = is_prefetch;
-    free_entry->demandWaiting = !is_prefetch;
-    free_entry->pc = pc;
-    free_entry->seq = seq;
+    Entry &e = entries_[free_idx];
+    e.valid = true;
+    e.blk = blk;
+    e.ready = ready_cycle;
+    e.wasPrefetch = is_prefetch;
+    e.demandWaiting = !is_prefetch;
+    e.pc = pc;
+    e.seq = seq;
+    tags_[free_idx] = blk;
     ++used_;
     if (ready_cycle < minReady_)
         minReady_ = ready_cycle;
@@ -51,19 +99,14 @@ MshrFile::allocate(BlockAddr blk, Cycle ready_cycle, bool is_prefetch,
 bool
 MshrFile::pending(BlockAddr blk) const
 {
-    for (const auto &e : entries_)
-        if (e.valid && e.blk == blk)
-            return true;
-    return false;
+    return findTag(blk) != kNpos;
 }
 
 Cycle
 MshrFile::readyCycle(BlockAddr blk) const
 {
-    for (const auto &e : entries_)
-        if (e.valid && e.blk == blk)
-            return e.ready;
-    return 0;
+    const std::size_t idx = findTag(blk);
+    return idx == kNpos ? 0 : entries_[idx].ready;
 }
 
 std::size_t
@@ -73,13 +116,15 @@ MshrFile::popReady(Cycle now, std::vector<Fill> &out)
         return 0;
     std::size_t popped = 0;
     Cycle next_ready = ~Cycle{0};
-    for (auto &e : entries_) {
+    for (std::size_t i = 0; i < entries_.size(); ++i) {
+        Entry &e = entries_[i];
         if (!e.valid)
             continue;
         if (e.ready <= now) {
             out.push_back({e.blk, e.wasPrefetch, e.demandWaiting,
                            e.pc, e.seq});
             e.valid = false;
+            tags_[i] = kFreeTag;
             --used_;
             ++popped;
         } else if (e.ready < next_ready) {
@@ -93,8 +138,10 @@ MshrFile::popReady(Cycle now, std::vector<Fill> &out)
 void
 MshrFile::clear()
 {
-    for (auto &e : entries_)
-        e.valid = false;
+    for (std::size_t i = 0; i < entries_.size(); ++i) {
+        entries_[i].valid = false;
+        tags_[i] = kFreeTag;
+    }
     used_ = 0;
     minReady_ = ~Cycle{0};
 }
@@ -134,6 +181,8 @@ MshrFile::load(Deserializer &d)
     if (used_ > entries_.size())
         throw SerializeError("checkpoint MSHR occupancy exceeds "
                              "capacity (corrupt payload)");
+    for (std::size_t i = 0; i < entries_.size(); ++i)
+        tags_[i] = entries_[i].valid ? entries_[i].blk : kFreeTag;
 }
 
 } // namespace acic

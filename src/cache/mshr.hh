@@ -62,6 +62,15 @@ class MshrFile
     };
     std::size_t popReady(Cycle now, std::vector<Fill> &out);
 
+    /** Inline gate for popReady(): false guarantees no entry is due,
+     *  letting the per-cycle caller skip the call and its fill-loop
+     *  setup entirely. (True only promises a fill *may* be due:
+     *  minReady_ is a lower bound.) */
+    bool anyReady(Cycle now) const
+    {
+        return used_ != 0 && now >= minReady_;
+    }
+
     /** In-flight entry count. */
     std::uint32_t inFlight() const { return used_; }
 
@@ -93,7 +102,22 @@ class MshrFile
         std::uint64_t seq = 0;
     };
 
+    /** Unmatchable tag-mirror value for free slots (blk < 2^58). */
+    static constexpr std::uint64_t kFreeTag = ~std::uint64_t{0};
+
+    /** Index of the live entry holding @p blk, or npos. */
+    std::size_t findTag(BlockAddr blk) const;
+    /** Index of the first free entry, or npos. */
+    std::size_t findFree() const;
+
     std::vector<Entry> entries_;
+    /**
+     * SoA mirror of the entry block tags (kFreeTag when invalid),
+     * padded to the tag-scan lane stride so pending()/allocate()
+     * resolve with one SIMD sweep instead of walking the entry
+     * structs. Derived state: rebuilt on load().
+     */
+    std::vector<std::uint64_t> tags_;
     std::uint32_t used_ = 0;
     /** Lower bound on the earliest in-flight ready cycle (never above
      *  the true minimum), so the per-cycle popReady() sweep is skipped

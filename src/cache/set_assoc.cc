@@ -1,6 +1,7 @@
 #include "cache/set_assoc.hh"
 
 #include "common/logging.hh"
+#include "common/tagscan.hh"
 
 namespace acic {
 
@@ -17,12 +18,17 @@ isPowerOfTwo(std::uint32_t v)
 SetAssocCache::SetAssocCache(std::uint32_t num_sets,
                              std::uint32_t num_ways,
                              std::unique_ptr<ReplacementPolicy> policy)
-    : numSets_(num_sets), numWays_(num_ways), policy_(std::move(policy))
+    : numSets_(num_sets), numWays_(num_ways),
+      wayStride_(tagscan::padLanes64(num_ways)),
+      maskWords_((num_ways + 63) / 64), policy_(std::move(policy))
 {
     ACIC_ASSERT(isPowerOfTwo(numSets_), "sets must be a power of two");
     ACIC_ASSERT(numWays_ >= 1, "cache needs at least one way");
     ACIC_ASSERT(policy_ != nullptr, "cache needs a replacement policy");
     lines_.resize(static_cast<std::size_t>(numSets_) * numWays_);
+    tags_.assign(static_cast<std::size_t>(numSets_) * wayStride_,
+                 kInvalidTag);
+    valid_.assign(static_cast<std::size_t>(numSets_) * maskWords_, 0);
     policy_->bind(numSets_, numWays_);
 }
 
@@ -40,58 +46,88 @@ SetAssocCache::bySize(std::uint64_t size_bytes, std::uint32_t num_ways,
 }
 
 std::optional<std::uint32_t>
+SetAssocCache::findWay(std::uint32_t set, BlockAddr blk) const
+{
+    // Scanning the padded stride (not numWays_) keeps the kernel on
+    // its full-vector path; padding lanes hold kInvalidTag and can
+    // never contribute a match bit. Configs beyond 64 ways (the
+    // registry allows up to 128) take extra 64-lane chunks.
+    const std::uint64_t *tags = tagBase(set);
+    for (std::uint32_t base = 0; base < wayStride_; base += 64) {
+        const std::uint32_t n =
+            wayStride_ - base >= 64 ? 64 : wayStride_ - base;
+        const std::uint64_t match =
+            tagscan::matchMask64(tags + base, n, blk);
+        if (match != 0)
+            return base +
+                   static_cast<std::uint32_t>(__builtin_ctzll(match));
+    }
+    return std::nullopt;
+}
+
+std::optional<std::uint32_t>
+SetAssocCache::firstFreeWay(std::uint32_t set) const
+{
+    const std::uint64_t *v =
+        valid_.data() + static_cast<std::size_t>(set) * maskWords_;
+    for (std::uint32_t w = 0; w < maskWords_; ++w) {
+        const std::uint64_t free = ~v[w] & wordMask(w);
+        if (free != 0)
+            return w * 64 +
+                   static_cast<std::uint32_t>(__builtin_ctzll(free));
+    }
+    return std::nullopt;
+}
+
+std::optional<std::uint32_t>
 SetAssocCache::lookup(const CacheAccess &access)
 {
     const std::uint32_t set = setOf(access.blk);
-    CacheLine *base = setBase(set);
-    for (std::uint32_t way = 0; way < numWays_; ++way) {
-        CacheLine &line = base[way];
-        if (line.valid && line.blk == access.blk) {
-            line.prefetched = false;
-            line.nextUse = access.nextUse;
-            line.lastTouch = access.seq;
-            policy_->onHit(set, way, access);
-            return way;
-        }
-    }
-    return std::nullopt;
+    const auto way = findWay(set, access.blk);
+    if (!way)
+        return std::nullopt;
+    CacheLine &line = setBase(set)[*way];
+    line.prefetched = false;
+    line.nextUse = access.nextUse;
+    line.lastTouch = access.seq;
+    policy_->onHit(set, *way, access);
+    return way;
 }
 
 bool
 SetAssocCache::probe(BlockAddr blk) const
 {
-    return probeWay(blk).has_value();
+    return findWay(setOf(blk), blk).has_value();
 }
 
 std::optional<std::uint32_t>
 SetAssocCache::probeWay(BlockAddr blk) const
 {
-    const std::uint32_t set = setOf(blk);
-    const CacheLine *base = setBase(set);
-    for (std::uint32_t way = 0; way < numWays_; ++way)
-        if (base[way].valid && base[way].blk == blk)
-            return way;
-    return std::nullopt;
+    return findWay(setOf(blk), blk);
 }
 
 std::uint32_t
 SetAssocCache::victimWay(const CacheAccess &incoming)
 {
     const std::uint32_t set = setOf(incoming.blk);
-    const CacheLine *base = setBase(set);
-    for (std::uint32_t way = 0; way < numWays_; ++way)
-        if (!base[way].valid)
-            return way;
-    return policy_->victimWay(set, incoming, base);
+    const auto free = firstFreeWay(set);
+    if (free)
+        return *free;
+    return policy_->victimWay(set, incoming, setBase(set));
 }
 
 SetAssocCache::FillResult
 SetAssocCache::fill(const CacheAccess &access)
 {
-    if (probe(access.blk))
-        return {};
     const std::uint32_t set = setOf(access.blk);
-    const std::uint32_t way = victimWay(access);
+    // One sweep answers both questions the old probe+victimWay pair
+    // asked: the tag scan for presence, the valid mask for the first
+    // free way.
+    if (findWay(set, access.blk))
+        return {};
+    const auto free = firstFreeWay(set);
+    const std::uint32_t way =
+        free ? *free : policy_->victimWay(set, access, setBase(set));
     return fillAt(set, way, access);
 }
 
@@ -101,6 +137,8 @@ SetAssocCache::fillAt(std::uint32_t set, std::uint32_t way,
 {
     ACIC_ASSERT(set < numSets_ && way < numWays_,
                 "fillAt out of range");
+    ACIC_ASSERT(access.blk != kInvalidTag,
+                "block address collides with the invalid sentinel");
     CacheLine &line = setBase(set)[way];
     FillResult result;
     if (line.valid) {
@@ -114,6 +152,8 @@ SetAssocCache::fillAt(std::uint32_t set, std::uint32_t way,
     line.fillPc = access.pc;
     line.nextUse = access.nextUse;
     line.lastTouch = access.seq;
+    tags_[static_cast<std::size_t>(set) * wayStride_ + way] = access.blk;
+    validWord(set, way) |= std::uint64_t{1} << (way % 64);
     policy_->onFill(set, way, access);
     return result;
 }
@@ -121,13 +161,16 @@ SetAssocCache::fillAt(std::uint32_t set, std::uint32_t way,
 bool
 SetAssocCache::invalidate(BlockAddr blk)
 {
-    const auto way = probeWay(blk);
+    const std::uint32_t set = setOf(blk);
+    const auto way = findWay(set, blk);
     if (!way)
         return false;
-    const std::uint32_t set = setOf(blk);
     CacheLine &line = setBase(set)[*way];
     policy_->onEvict(set, *way, line);
     line.valid = false;
+    tags_[static_cast<std::size_t>(set) * wayStride_ + *way] =
+        kInvalidTag;
+    validWord(set, *way) &= ~(std::uint64_t{1} << (*way % 64));
     return true;
 }
 
@@ -139,21 +182,33 @@ SetAssocCache::lineAt(std::uint32_t set, std::uint32_t way) const
     return setBase(set)[way];
 }
 
-CacheLine &
-SetAssocCache::lineAtMut(std::uint32_t set, std::uint32_t way)
-{
-    ACIC_ASSERT(set < numSets_ && way < numWays_,
-                "lineAtMut out of range");
-    return setBase(set)[way];
-}
-
 std::uint64_t
 SetAssocCache::validLines() const
 {
+    // Straight accumulation over the valid-mask words — no per-line
+    // branch.
     std::uint64_t n = 0;
-    for (const auto &line : lines_)
-        n += line.valid ? 1 : 0;
+    for (const std::uint64_t mask : valid_)
+        n += static_cast<std::uint64_t>(__builtin_popcountll(mask));
     return n;
+}
+
+void
+SetAssocCache::rebuildMirrors()
+{
+    tags_.assign(static_cast<std::size_t>(numSets_) * wayStride_,
+                 kInvalidTag);
+    valid_.assign(static_cast<std::size_t>(numSets_) * maskWords_, 0);
+    for (std::uint32_t set = 0; set < numSets_; ++set) {
+        const CacheLine *base = setBase(set);
+        for (std::uint32_t way = 0; way < numWays_; ++way) {
+            if (!base[way].valid)
+                continue;
+            tags_[static_cast<std::size_t>(set) * wayStride_ + way] =
+                base[way].blk;
+            validWord(set, way) |= std::uint64_t{1} << (way % 64);
+        }
+    }
 }
 
 void
@@ -173,6 +228,7 @@ SetAssocCache::load(Deserializer &d)
     d.expectGeometry("cache ways", numWays_);
     for (CacheLine &line : lines_)
         loadCacheLine(d, line);
+    rebuildMirrors();
     policy_->load(d);
 }
 

@@ -2,6 +2,19 @@
  * @file
  * Generic set-associative cache tag store with pluggable replacement.
  * Only tags are modeled (trace-driven simulation never needs data).
+ *
+ * Hot-path layout: the per-way search state is mirrored
+ * struct-of-arrays — a contiguous `tags_` row per set (stride-padded
+ * to the SIMD lane count) plus a per-set valid bitmask — so the way
+ * compare in lookup/probeWay/fill is a single vectorized tag scan
+ * (common/tagscan.hh) instead of a branchy per-way walk over
+ * `CacheLine`. The `CacheLine` array stays canonical: replacement
+ * policies (notably OPT, which reads `nextUse` per way) and the ACKP
+ * checkpoint format see exactly the layout they always did; every
+ * writer keeps the mirrors in sync. Invalid ways hold the
+ * unmatchable sentinel tag (block addresses are pc >> 6 and can
+ * never reach 2^64-1), which folds the `valid &&` term of the old
+ * scalar compare into the tag match itself.
  */
 
 #ifndef ACIC_CACHE_SET_ASSOC_HH
@@ -25,6 +38,10 @@ namespace acic {
 class SetAssocCache
 {
   public:
+    /** Tag stored in invalid/padding lanes; provably unmatchable
+     *  because block addresses are full PCs shifted right by 6. */
+    static constexpr std::uint64_t kInvalidTag = ~std::uint64_t{0};
+
     /** Result of a fill: whether a valid line was displaced. */
     struct FillResult
     {
@@ -55,6 +72,8 @@ class SetAssocCache
     /**
      * Insert @p access.blk, evicting the policy victim when the set is
      * full. No-op (reported as non-eviction) if the block is present.
+     * Single sweep: one tag scan answers both "already present?" and,
+     * via the valid mask, "first free way?".
      */
     FillResult fill(const CacheAccess &access);
 
@@ -81,8 +100,29 @@ class SetAssocCache
     /** Line at an explicit location. */
     const CacheLine &lineAt(std::uint32_t set, std::uint32_t way) const;
 
-    /** Mutable line access for organizations that tweak line state. */
-    CacheLine &lineAtMut(std::uint32_t set, std::uint32_t way);
+    /**
+     * Bitmask of valid ways in word @p word of @p set (bit w = way
+     * word*64+w valid). Realistic configs have one word; the registry
+     * allows up to 128 ways, hence the word index.
+     */
+    std::uint64_t validMask(std::uint32_t set,
+                            std::uint32_t word = 0) const
+    {
+        return valid_[static_cast<std::size_t>(set) * maskWords_ +
+                      word];
+    }
+
+    /** True when every way of @p set holds a valid line. */
+    bool setFull(std::uint32_t set) const
+    {
+        const std::uint64_t *v =
+            valid_.data() +
+            static_cast<std::size_t>(set) * maskWords_;
+        for (std::uint32_t w = 0; w < maskWords_; ++w)
+            if (v[w] != wordMask(w))
+                return false;
+        return true;
+    }
 
     std::uint32_t numSets() const { return numSets_; }
     std::uint32_t numWays() const { return numWays_; }
@@ -113,11 +153,49 @@ class SetAssocCache
         return lines_.data() +
                static_cast<std::size_t>(set) * numWays_;
     }
+    const std::uint64_t *tagBase(std::uint32_t set) const
+    {
+        return tags_.data() +
+               static_cast<std::size_t>(set) * wayStride_;
+    }
+
+    /** Vectorized tag scan over one set returning the matching way.
+     *  Padding lanes hold kInvalidTag, so the scan covers the full
+     *  stride (no tail) without false matches. One 64-lane chunk per
+     *  iteration; every realistic config is a single chunk. */
+    std::optional<std::uint32_t> findWay(std::uint32_t set,
+                                         BlockAddr blk) const;
+
+    /** First invalid way of @p set, or nullopt when full. */
+    std::optional<std::uint32_t> firstFreeWay(std::uint32_t set) const;
+
+    /** Valid-mask bits covering ways of mask word @p word. */
+    std::uint64_t wordMask(std::uint32_t word) const
+    {
+        const std::uint32_t lo = word * 64;
+        const std::uint32_t n = numWays_ - lo >= 64 ? 64
+                                                    : numWays_ - lo;
+        return n == 64 ? ~std::uint64_t{0}
+                       : (std::uint64_t{1} << n) - 1;
+    }
+
+    std::uint64_t &validWord(std::uint32_t set, std::uint32_t way)
+    {
+        return valid_[static_cast<std::size_t>(set) * maskWords_ +
+                      way / 64];
+    }
+
+    /** Rebuild tags_/valid_ from the canonical lines_ (after load). */
+    void rebuildMirrors();
 
     std::uint32_t numSets_;
     std::uint32_t numWays_;
+    std::uint32_t wayStride_;  ///< numWays_ padded to the SIMD stride
+    std::uint32_t maskWords_;  ///< u64 valid-mask words per set
     std::unique_ptr<ReplacementPolicy> policy_;
-    std::vector<CacheLine> lines_;
+    std::vector<CacheLine> lines_;     ///< canonical per-line metadata
+    std::vector<std::uint64_t> tags_;  ///< SoA tag mirror, per-set rows
+    std::vector<std::uint64_t> valid_; ///< per-set valid-way bitmasks
 };
 
 } // namespace acic

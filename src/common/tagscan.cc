@@ -1,0 +1,143 @@
+/**
+ * @file
+ * AVX2 tag-scan kernels and the one-time wide-scan dispatch. The
+ * narrow SSE2/portable kernels live inline in tagscan.hh; only the
+ * AVX2 pair needs a translation unit of its own for the
+ * target("avx2") attribute, plus the CPU probe that picks the wide
+ * function pointers before main().
+ */
+
+#include "common/tagscan.hh"
+
+#ifdef ACIC_TAGSCAN_SIMD
+#include <immintrin.h>
+#endif
+
+namespace acic {
+namespace tagscan {
+
+#ifdef ACIC_TAGSCAN_SIMD
+
+__attribute__((target("avx2"))) std::uint64_t
+matchMask64Avx2(const std::uint64_t *lanes, std::uint32_t count,
+                std::uint64_t target)
+{
+    const __m256i t = _mm256_set1_epi64x(static_cast<long long>(target));
+    std::uint64_t mask = 0;
+    std::uint32_t i = 0;
+    for (; i + 4 <= count; i += 4) {
+        const __m256i v = _mm256_loadu_si256(
+            reinterpret_cast<const __m256i *>(lanes + i));
+        const int m = _mm256_movemask_pd(
+            _mm256_castsi256_pd(_mm256_cmpeq_epi64(v, t)));
+        mask |= static_cast<std::uint64_t>(m) << i;
+    }
+    for (; i < count; ++i)
+        mask |= static_cast<std::uint64_t>(lanes[i] == target) << i;
+    return mask;
+}
+
+__attribute__((target("avx2"))) bool
+anyEqual32Avx2(const std::uint32_t *lanes, std::uint32_t count,
+               std::uint32_t target)
+{
+    const __m256i t = _mm256_set1_epi32(static_cast<int>(target));
+    std::uint32_t i = 0;
+    for (; i + 8 <= count; i += 8) {
+        const __m256i v = _mm256_loadu_si256(
+            reinterpret_cast<const __m256i *>(lanes + i));
+        if (_mm256_movemask_epi8(_mm256_cmpeq_epi32(v, t)) != 0)
+            return true;
+    }
+    for (; i < count; ++i)
+        if (lanes[i] == target)
+            return true;
+    return false;
+}
+
+__attribute__((target("avx2"))) bool
+anyEqual32PairAvx2(const std::uint32_t *a, const std::uint32_t *b,
+                   std::uint32_t count, std::uint32_t target)
+{
+    const __m256i t = _mm256_set1_epi32(static_cast<int>(target));
+    std::uint32_t i = 0;
+    for (; i + 8 <= count; i += 8) {
+        const __m256i va = _mm256_loadu_si256(
+            reinterpret_cast<const __m256i *>(a + i));
+        const __m256i vb = _mm256_loadu_si256(
+            reinterpret_cast<const __m256i *>(b + i));
+        const __m256i hit = _mm256_or_si256(
+            _mm256_cmpeq_epi32(va, t), _mm256_cmpeq_epi32(vb, t));
+        if (_mm256_movemask_epi8(hit) != 0)
+            return true;
+    }
+    for (; i < count; ++i)
+        if (a[i] == target || b[i] == target)
+            return true;
+    return false;
+}
+
+bool
+avx2Supported()
+{
+    return __builtin_cpu_supports("avx2") != 0;
+}
+
+namespace {
+
+// SSE2-built wrappers with out-of-line linkage for the dispatch
+// table (the inline header kernels have no stable address).
+std::uint64_t
+matchMask64Sse2Fn(const std::uint64_t *lanes, std::uint32_t count,
+                  std::uint64_t target)
+{
+    return matchMask64Sse2(lanes, count, target);
+}
+
+bool
+anyEqual32Sse2Fn(const std::uint32_t *lanes, std::uint32_t count,
+                 std::uint32_t target)
+{
+    return anyEqual32Sse2(lanes, count, target);
+}
+
+bool
+anyEqual32PairSse2Fn(const std::uint32_t *a, const std::uint32_t *b,
+                     std::uint32_t count, std::uint32_t target)
+{
+    return anyEqual32PairSse2(a, b, count, target);
+}
+
+const bool haveAvx2 = avx2Supported();
+
+} // namespace
+
+std::uint64_t (*const matchMask64Wide)(const std::uint64_t *,
+                                       std::uint32_t, std::uint64_t) =
+    haveAvx2 ? matchMask64Avx2 : matchMask64Sse2Fn;
+bool (*const anyEqual32Wide)(const std::uint32_t *, std::uint32_t,
+                             std::uint32_t) =
+    haveAvx2 ? anyEqual32Avx2 : anyEqual32Sse2Fn;
+bool (*const anyEqual32PairWide)(const std::uint32_t *,
+                                 const std::uint32_t *, std::uint32_t,
+                                 std::uint32_t) =
+    haveAvx2 ? anyEqual32PairAvx2 : anyEqual32PairSse2Fn;
+
+const char *
+activeIsa()
+{
+    return haveAvx2 ? "avx2" : "sse2";
+}
+
+#else // !ACIC_TAGSCAN_SIMD
+
+const char *
+activeIsa()
+{
+    return "portable";
+}
+
+#endif // ACIC_TAGSCAN_SIMD
+
+} // namespace tagscan
+} // namespace acic

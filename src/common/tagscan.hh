@@ -1,0 +1,271 @@
+/**
+ * @file
+ * Vectorized tag-scan kernels — the one hot loop every associative
+ * structure in the simulator shares: "which of these N lanes equals
+ * this tag?". SetAssocCache way probes, the i-Filter's
+ * fully-associative search, and the CSHR's dual-lane sweep all
+ * funnel through the two entry points here:
+ *
+ *   matchMask64(lanes, count, target)  -> bitmask of equal lanes
+ *   anyEqual32(lanes, count, target)   -> any lane equal?
+ *
+ * Three implementations exist: a portable 4x-unrolled scalar loop,
+ * an SSE2 path (2/4 lanes per vector), and an AVX2 path (4/8 lanes
+ * per vector). SSE2 is part of the x86-64 baseline, so it is
+ * *inlined here in the header* — the typical 8-32 lane scan of an
+ * 8-way set or 16-entry filter is a handful of compares, and an
+ * out-of-line call would cost as much as the scan itself. AVX2 needs
+ * a CPU check, so it sits behind one-time function-pointer dispatch
+ * (tagscan.cc) and is only consulted for wide scans
+ * (>= kWideLaneThreshold lanes), where the call amortizes.
+ *
+ * All paths compute bit-identical results, so the choice is
+ * invisible to simulation output — a property the forced-portable
+ * CI build (-DACIC_DISABLE_SIMD=ON) pins against the golden corpus.
+ *
+ * Kernels are tail-safe: they read exactly `count` lanes (full
+ * vectors plus a scalar tail), so callers need no padding or
+ * alignment guarantees. Callers that can pad their rows to a vector
+ * multiple (SetAssocCache strides ways to 4) hit the no-tail fast
+ * case.
+ */
+
+#ifndef ACIC_COMMON_TAGSCAN_HH
+#define ACIC_COMMON_TAGSCAN_HH
+
+#include <cstdint>
+
+#if defined(__x86_64__) && !defined(ACIC_DISABLE_SIMD)
+#define ACIC_TAGSCAN_SIMD 1
+#include <emmintrin.h>
+#endif
+
+namespace acic {
+namespace tagscan {
+
+/** Lanes-per-vector stride callers pad to for the no-tail fast case
+ *  (4 x u64 = one 256-bit vector = half a cache line). */
+constexpr std::uint32_t kLaneStride64 = 4;
+
+/** Scans at least this many lanes go through the dispatched wide
+ *  (AVX2 when available) kernel; narrower scans stay on the inlined
+ *  SSE2/portable path where call overhead would dominate. */
+constexpr std::uint32_t kWideLaneThreshold = 32;
+
+/** Round @p n up to the u64 lane stride. */
+constexpr std::uint32_t
+padLanes64(std::uint32_t n)
+{
+    return (n + kLaneStride64 - 1) & ~(kLaneStride64 - 1);
+}
+
+/** Portable reference implementations, always available — the bench
+ *  measures them against the SIMD paths, and the equivalence
+ *  property test compares every path against these. */
+inline std::uint64_t
+matchMask64Portable(const std::uint64_t *lanes, std::uint32_t count,
+                    std::uint64_t target)
+{
+    std::uint64_t mask = 0;
+    std::uint32_t i = 0;
+    for (; i + 4 <= count; i += 4) {
+        // Branch-free unrolled compare; each equality becomes a
+        // setcc + shift, no data-dependent branches.
+        mask |= static_cast<std::uint64_t>(lanes[i + 0] == target) << (i + 0);
+        mask |= static_cast<std::uint64_t>(lanes[i + 1] == target) << (i + 1);
+        mask |= static_cast<std::uint64_t>(lanes[i + 2] == target) << (i + 2);
+        mask |= static_cast<std::uint64_t>(lanes[i + 3] == target) << (i + 3);
+    }
+    for (; i < count; ++i)
+        mask |= static_cast<std::uint64_t>(lanes[i] == target) << i;
+    return mask;
+}
+
+inline bool
+anyEqual32Portable(const std::uint32_t *lanes, std::uint32_t count,
+                   std::uint32_t target)
+{
+    std::uint32_t any = 0;
+    std::uint32_t i = 0;
+    for (; i + 4 <= count; i += 4) {
+        any |= (lanes[i + 0] == target) | (lanes[i + 1] == target) |
+               (lanes[i + 2] == target) | (lanes[i + 3] == target);
+    }
+    for (; i < count; ++i)
+        any |= (lanes[i] == target);
+    return any != 0;
+}
+
+inline bool
+anyEqual32PairPortable(const std::uint32_t *a, const std::uint32_t *b,
+                       std::uint32_t count, std::uint32_t target)
+{
+    std::uint32_t any = 0;
+    std::uint32_t i = 0;
+    for (; i + 4 <= count; i += 4) {
+        any |= (a[i + 0] == target) | (a[i + 1] == target) |
+               (a[i + 2] == target) | (a[i + 3] == target) |
+               (b[i + 0] == target) | (b[i + 1] == target) |
+               (b[i + 2] == target) | (b[i + 3] == target);
+    }
+    for (; i < count; ++i)
+        any |= (a[i] == target) | (b[i] == target);
+    return any != 0;
+}
+
+#ifdef ACIC_TAGSCAN_SIMD
+
+inline std::uint64_t
+matchMask64Sse2(const std::uint64_t *lanes, std::uint32_t count,
+                std::uint64_t target)
+{
+    const __m128i t = _mm_set1_epi64x(static_cast<long long>(target));
+    std::uint64_t mask = 0;
+    std::uint32_t i = 0;
+    for (; i + 2 <= count; i += 2) {
+        const __m128i v = _mm_loadu_si128(
+            reinterpret_cast<const __m128i *>(lanes + i));
+        // Baseline SSE2 has no 64-bit compare (_mm_cmpeq_epi64 is
+        // SSE4.1): compare the 32-bit halves and AND with the
+        // pair-swapped result, so a 64-bit lane is all-ones iff both
+        // halves matched. movmskpd then compresses the two lanes
+        // into bits 0..1.
+        const __m128i c = _mm_cmpeq_epi32(v, t);
+        const __m128i cs =
+            _mm_shuffle_epi32(c, _MM_SHUFFLE(2, 3, 0, 1));
+        const int m = _mm_movemask_pd(
+            _mm_castsi128_pd(_mm_and_si128(c, cs)));
+        mask |= static_cast<std::uint64_t>(m) << i;
+    }
+    for (; i < count; ++i)
+        mask |= static_cast<std::uint64_t>(lanes[i] == target) << i;
+    return mask;
+}
+
+inline bool
+anyEqual32Sse2(const std::uint32_t *lanes, std::uint32_t count,
+               std::uint32_t target)
+{
+    const __m128i t = _mm_set1_epi32(static_cast<int>(target));
+    std::uint32_t i = 0;
+    for (; i + 4 <= count; i += 4) {
+        const __m128i v = _mm_loadu_si128(
+            reinterpret_cast<const __m128i *>(lanes + i));
+        if (_mm_movemask_epi8(_mm_cmpeq_epi32(v, t)) != 0)
+            return true;
+    }
+    for (; i < count; ++i)
+        if (lanes[i] == target)
+            return true;
+    return false;
+}
+
+inline bool
+anyEqual32PairSse2(const std::uint32_t *a, const std::uint32_t *b,
+                   std::uint32_t count, std::uint32_t target)
+{
+    const __m128i t = _mm_set1_epi32(static_cast<int>(target));
+    std::uint32_t i = 0;
+    for (; i + 4 <= count; i += 4) {
+        const __m128i va = _mm_loadu_si128(
+            reinterpret_cast<const __m128i *>(a + i));
+        const __m128i vb = _mm_loadu_si128(
+            reinterpret_cast<const __m128i *>(b + i));
+        const __m128i hit = _mm_or_si128(_mm_cmpeq_epi32(va, t),
+                                         _mm_cmpeq_epi32(vb, t));
+        if (_mm_movemask_epi8(hit) != 0)
+            return true;
+    }
+    for (; i < count; ++i)
+        if (a[i] == target || b[i] == target)
+            return true;
+    return false;
+}
+
+/** AVX2 kernels, compiled with a target attribute in tagscan.cc and
+ *  reached through the one-time dispatch below. Only call directly
+ *  (benches/tests) when avx2Supported() is true. */
+std::uint64_t matchMask64Avx2(const std::uint64_t *lanes,
+                              std::uint32_t count,
+                              std::uint64_t target);
+bool anyEqual32Avx2(const std::uint32_t *lanes, std::uint32_t count,
+                    std::uint32_t target);
+bool anyEqual32PairAvx2(const std::uint32_t *a,
+                        const std::uint32_t *b, std::uint32_t count,
+                        std::uint32_t target);
+bool avx2Supported();
+
+/** Dispatched wide-scan entry points (AVX2 when the CPU has it,
+ *  SSE2 otherwise); resolved once before main(). */
+extern std::uint64_t (*const matchMask64Wide)(const std::uint64_t *,
+                                              std::uint32_t,
+                                              std::uint64_t);
+extern bool (*const anyEqual32Wide)(const std::uint32_t *,
+                                    std::uint32_t, std::uint32_t);
+extern bool (*const anyEqual32PairWide)(const std::uint32_t *,
+                                        const std::uint32_t *,
+                                        std::uint32_t, std::uint32_t);
+
+#endif // ACIC_TAGSCAN_SIMD
+
+/**
+ * Bit i (i < @p count, count <= 64) is set iff lanes[i] == target.
+ * Reads exactly @p count lanes.
+ */
+inline std::uint64_t
+matchMask64(const std::uint64_t *lanes, std::uint32_t count,
+            std::uint64_t target)
+{
+#ifdef ACIC_TAGSCAN_SIMD
+    if (count >= kWideLaneThreshold)
+        return matchMask64Wide(lanes, count, target);
+    return matchMask64Sse2(lanes, count, target);
+#else
+    return matchMask64Portable(lanes, count, target);
+#endif
+}
+
+/** True when any of lanes[0..count) equals @p target. */
+inline bool
+anyEqual32(const std::uint32_t *lanes, std::uint32_t count,
+           std::uint32_t target)
+{
+#ifdef ACIC_TAGSCAN_SIMD
+    if (count >= kWideLaneThreshold)
+        return anyEqual32Wide(lanes, count, target);
+    return anyEqual32Sse2(lanes, count, target);
+#else
+    return anyEqual32Portable(lanes, count, target);
+#endif
+}
+
+/**
+ * True when any of a[0..count) or b[0..count) equals @p target —
+ * one fused sweep over two parallel tag rows (the CSHR's
+ * victim/contender pair), halving the calls and interleaving the
+ * loads of the common no-match case.
+ */
+inline bool
+anyEqual32Pair(const std::uint32_t *a, const std::uint32_t *b,
+               std::uint32_t count, std::uint32_t target)
+{
+#ifdef ACIC_TAGSCAN_SIMD
+    if (count >= kWideLaneThreshold)
+        return anyEqual32PairWide(a, b, count, target);
+    return anyEqual32PairSse2(a, b, count, target);
+#else
+    return anyEqual32PairPortable(a, b, count, target);
+#endif
+}
+
+/**
+ * The implementation stack the build/CPU selected: "avx2" or "sse2"
+ * (inlined SSE2 narrow path + that wide path), or "portable".
+ * Surfaced in bench labels and the equivalence tests.
+ */
+const char *activeIsa();
+
+} // namespace tagscan
+} // namespace acic
+
+#endif // ACIC_COMMON_TAGSCAN_HH

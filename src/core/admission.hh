@@ -63,6 +63,14 @@ class AdmissionController
     /** Advance internal update pipelines. */
     virtual void tick(Cycle now) { (void)now; }
 
+    /**
+     * Earliest cycle at which tick() has work to do (~0 when the
+     * update pipeline is idle). The owning organization polls this
+     * after every call that can enqueue work and skips tick()
+     * entirely until it falls due.
+     */
+    virtual Cycle nextDue() const { return ~Cycle{0}; }
+
     virtual std::string name() const = 0;
 
     /** Hardware cost beyond the i-Filter itself, in bits. */
@@ -158,6 +166,7 @@ class AcicAdmission : public AdmissionController
     void onDemandAccess(const CacheAccess &access,
                         std::uint32_t icache_set) override;
     void tick(Cycle now) override;
+    Cycle nextDue() const override { return predictor_.nextDue(); }
     std::string name() const override;
     std::uint64_t storageBits() const override;
     void save(Serializer &s) const override;

@@ -131,12 +131,16 @@ AdmissionPredictor::train(std::uint32_t partial_tag, bool victim_won,
         applyPtUpdate(pattern, victim_won);
         return;
     }
-    auto &queue = queues_[pattern % queues_.size()];
+    const std::uint32_t qi =
+        static_cast<std::uint32_t>(pattern % queues_.size());
+    auto &queue = queues_[qi];
     if (queue.size() >= config_.updateQueueSlots) {
         ++droppedUpdates_;
         return;
     }
     const Cycle due = now + kHrtStageDelay + kPtStageDelay;
+    if (queue.empty())
+        activeQueues_.push_back(qi);
     queue.push_back({pattern, victim_won, due});
     ++pendingUpdates_;
     if (due < earliestDue_)
@@ -148,17 +152,27 @@ AdmissionPredictor::tick(Cycle now)
 {
     if (pendingUpdates_ == 0 || now < earliestDue_)
         return;
-    // Each PT entry pops at most one queued update per cycle.
+    // Each PT entry pops at most one queued update per cycle; the
+    // queues are independent, so visiting only the non-empty ones
+    // (in any order) matches the full sweep exactly.
     Cycle next_due = ~Cycle{0};
-    for (auto &queue : queues_) {
-        if (!queue.empty() && queue.front().due <= now) {
+    std::size_t i = 0;
+    while (i < activeQueues_.size()) {
+        auto &queue = queues_[activeQueues_[i]];
+        if (queue.front().due <= now) {
             applyPtUpdate(queue.front().pattern,
                           queue.front().increment);
             queue.pop_front();
             --pendingUpdates_;
+            if (queue.empty()) {
+                activeQueues_[i] = activeQueues_.back();
+                activeQueues_.pop_back();
+                continue;
+            }
         }
-        if (!queue.empty() && queue.front().due < next_due)
+        if (queue.front().due < next_due)
             next_due = queue.front().due;
+        ++i;
     }
     earliestDue_ = next_due;
 }
@@ -175,6 +189,7 @@ AdmissionPredictor::flush()
     }
     pendingUpdates_ = 0;
     earliestDue_ = ~Cycle{0};
+    activeQueues_.clear();
 }
 
 void
@@ -224,6 +239,11 @@ AdmissionPredictor::load(Deserializer &d)
     pendingUpdates_ = d.u64();
     earliestDue_ = d.u64();
     droppedUpdates_ = d.u64();
+    activeQueues_.clear();
+    for (std::size_t i = 0; i < queues_.size(); ++i) {
+        if (!queues_[i].empty())
+            activeQueues_.push_back(static_cast<std::uint32_t>(i));
+    }
 }
 
 std::uint64_t

@@ -82,6 +82,14 @@ class AdmissionPredictor
     /** Drain due pipeline stages; call once per simulated cycle. */
     void tick(Cycle now);
 
+    /** Earliest cycle at which tick() has queued work (~0 if none) —
+     *  exactly the complement of tick()'s early-exit condition, so
+     *  skipping tick() until this falls due is behavior-identical. */
+    Cycle nextDue() const
+    {
+        return pendingUpdates_ == 0 ? ~Cycle{0} : earliestDue_;
+    }
+
     /** Flush the update pipeline (end of run). */
     void flush();
 
@@ -128,6 +136,12 @@ class AdmissionPredictor
     std::vector<SatCounter> pt_;
     /** One bounded update queue per PT entry (Fig. 8). */
     std::vector<std::deque<PendingUpdate>> queues_;
+    /**
+     * Indices of the non-empty queues (unordered, no duplicates), so
+     * tick() visits only queues that hold work instead of sweeping
+     * every PT entry. Derived state: rebuilt on load().
+     */
+    std::vector<std::uint32_t> activeQueues_;
     /** Total updates queued across queues_; tick() is a no-op at 0. */
     std::uint64_t pendingUpdates_ = 0;
     /** Lower bound on the earliest queued due cycle (never above the

@@ -4,6 +4,7 @@
 
 #include "common/logging.hh"
 #include "common/serialize.hh"
+#include "common/tagscan.hh"
 
 namespace acic {
 
@@ -76,14 +77,12 @@ Cshr::search(BlockAddr blk, std::uint32_t icache_set)
     const std::uint32_t tag = partialTag(blk);
     const std::size_t base = std::size_t{set} * ways_;
 
-    // Fast path: a pure tag sweep with no stores or early exits, so
-    // it vectorizes; nearly every fetch matches nothing. Free slots
-    // hold kFreeTag, which no partial tag can equal.
-    bool any = false;
-    for (std::uint32_t w = 0; w < ways_; ++w)
-        any |= victimTag_[base + w] == tag ||
-               contenderTag_[base + w] == tag;
-    if (!any)
+    // Fast path: one fused SIMD any-equal sweep over both tag rows;
+    // nearly every fetch matches nothing. Free slots hold kFreeTag,
+    // which no partial tag can equal.
+    if (!tagscan::anyEqual32Pair(victimTag_.data() + base,
+                                 contenderTag_.data() + base, ways_,
+                                 tag))
         return out;
 
     for (std::uint32_t w = 0; w < ways_; ++w) {

@@ -52,6 +52,7 @@ FilteredIcache::access(const CacheAccess &access)
 {
     // Every issued fetch searches the CSHR (Sec. III-B), hit or miss.
     admission_->onDemandAccess(access, l1i_.setOf(access.blk));
+    tickWake_ = admission_->nextDue();
 
     if (filter_.lookup(access)) {
         stats_.bump(stFilterHit_);
@@ -166,9 +167,12 @@ FilteredIcache::fill(const CacheAccess &access)
 {
     if (contains(access.blk))
         return;
-    const auto evicted = filter_.insert(access);
+    // The contains() check above just proved the block absent from
+    // the filter, so insert can skip its own duplicate probe.
+    const auto evicted = filter_.insertAbsent(access);
     if (evicted)
         judgeVictim(*evicted, access);
+    tickWake_ = admission_->nextDue();
 }
 
 bool
@@ -181,6 +185,7 @@ void
 FilteredIcache::tick(Cycle now)
 {
     admission_->tick(now);
+    tickWake_ = admission_->nextDue();
 }
 
 std::uint64_t
@@ -205,6 +210,7 @@ FilteredIcache::load(Deserializer &d)
     filter_.load(d);
     l1i_.load(d);
     admission_->load(d);
+    tickWake_ = admission_->nextDue();
 }
 
 } // namespace acic

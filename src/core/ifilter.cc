@@ -1,6 +1,9 @@
 #include "core/ifilter.hh"
 
+#include <algorithm>
+
 #include "common/logging.hh"
+#include "common/tagscan.hh"
 
 namespace acic {
 
@@ -8,30 +11,48 @@ IFilter::IFilter(std::uint32_t entries)
 {
     ACIC_ASSERT(entries >= 1, "i-Filter needs at least one slot");
     slots_.resize(entries);
+    tags_.assign(tagscan::padLanes64(entries), kInvalidTag);
+}
+
+std::optional<std::uint32_t>
+IFilter::findSlot(BlockAddr blk) const
+{
+    // Padding lanes hold kInvalidTag, so the scan covers the padded
+    // stride on the kernel's full-vector path. The filter parameter
+    // range reaches 1024 entries, hence the 64-lane chunking; the
+    // paper-default 16 entries is a single chunk.
+    const std::uint32_t stride =
+        static_cast<std::uint32_t>(tags_.size());
+    for (std::uint32_t base = 0; base < stride; base += 64) {
+        const std::uint32_t n =
+            stride - base >= 64 ? 64 : stride - base;
+        const std::uint64_t match =
+            tagscan::matchMask64(tags_.data() + base, n, blk);
+        if (match != 0)
+            return base +
+                   static_cast<std::uint32_t>(__builtin_ctzll(match));
+    }
+    return std::nullopt;
 }
 
 bool
 IFilter::lookup(const CacheAccess &access)
 {
-    for (auto &slot : slots_) {
-        if (slot.line.valid && slot.line.blk == access.blk) {
-            slot.stamp = ++tick_;
-            slot.line.prefetched = false;
-            slot.line.nextUse = access.nextUse;
-            slot.line.lastTouch = access.seq;
-            return true;
-        }
-    }
-    return false;
+    const auto idx = findSlot(access.blk);
+    if (!idx)
+        return false;
+    Slot &slot = slots_[*idx];
+    slot.stamp = ++tick_;
+    slot.line.prefetched = false;
+    slot.line.nextUse = access.nextUse;
+    slot.line.lastTouch = access.seq;
+    return true;
 }
 
 bool
 IFilter::contains(BlockAddr blk) const
 {
-    for (const auto &slot : slots_)
-        if (slot.line.valid && slot.line.blk == blk)
-            return true;
-    return false;
+    return findSlot(blk).has_value();
 }
 
 std::optional<CacheLine>
@@ -39,20 +60,30 @@ IFilter::insert(const CacheAccess &access)
 {
     if (contains(access.blk))
         return std::nullopt;
+    return insertAbsent(access);
+}
 
-    Slot *victim = nullptr;
+std::optional<CacheLine>
+IFilter::insertAbsent(const CacheAccess &access)
+{
+    // First invalid slot, else the LRU stamp minimum. Kept as the
+    // scalar walk over slots_: inserts are an order of magnitude
+    // rarer than lookups, and this preserves victim choice exactly
+    // even for checkpoints whose invalid slots carry stale stamps.
+    std::uint32_t victim_idx = 0;
     std::uint64_t oldest = ~std::uint64_t{0};
-    for (auto &slot : slots_) {
-        if (!slot.line.valid) {
-            victim = &slot;
-            oldest = 0;
+    for (std::uint32_t i = 0;
+         i < static_cast<std::uint32_t>(slots_.size()); ++i) {
+        if (!slots_[i].line.valid) {
+            victim_idx = i;
             break;
         }
-        if (slot.stamp < oldest) {
-            oldest = slot.stamp;
-            victim = &slot;
+        if (slots_[i].stamp < oldest) {
+            oldest = slots_[i].stamp;
+            victim_idx = i;
         }
     }
+    Slot *victim = &slots_[victim_idx];
 
     std::optional<CacheLine> evicted;
     if (victim->line.valid)
@@ -65,19 +96,19 @@ IFilter::insert(const CacheAccess &access)
     victim->line.nextUse = access.nextUse;
     victim->line.lastTouch = access.seq;
     victim->stamp = ++tick_;
+    tags_[victim_idx] = access.blk;
     return evicted;
 }
 
 bool
 IFilter::invalidate(BlockAddr blk)
 {
-    for (auto &slot : slots_) {
-        if (slot.line.valid && slot.line.blk == blk) {
-            slot.line.valid = false;
-            return true;
-        }
-    }
-    return false;
+    const auto idx = findSlot(blk);
+    if (!idx)
+        return false;
+    slots_[*idx].line.valid = false;
+    tags_[*idx] = kInvalidTag;
+    return true;
 }
 
 std::uint32_t
@@ -95,6 +126,15 @@ IFilter::storageBits() const
     // 58-bit tag + 1 valid + 4 LRU bits = 63 metadata bits, plus the
     // 64 B instruction block (Table I).
     return slots_.size() * (63 + kBlockBytes * 8);
+}
+
+void
+IFilter::rebuildTags()
+{
+    std::fill(tags_.begin(), tags_.end(), kInvalidTag);
+    for (std::size_t i = 0; i < slots_.size(); ++i)
+        if (slots_[i].line.valid)
+            tags_[i] = slots_[i].line.blk;
 }
 
 void
@@ -116,6 +156,7 @@ IFilter::load(Deserializer &d)
         loadCacheLine(d, slot.line);
         slot.stamp = d.u64();
     }
+    rebuildTags();
     tick_ = d.u64();
 }
 

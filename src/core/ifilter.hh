@@ -38,6 +38,14 @@ class IFilter
      */
     std::optional<CacheLine> insert(const CacheAccess &access);
 
+    /**
+     * insert() minus the duplicate-presence probe, for callers that
+     * have just proven the block absent (FilteredIcache::fill checks
+     * contains() across filter + i-cache first). Inserting a block
+     * that IS present would create a duplicate entry.
+     */
+    std::optional<CacheLine> insertAbsent(const CacheAccess &access);
+
     /** Drop a block if present (duplicate-suppression paths). */
     bool invalidate(BlockAddr blk);
 
@@ -66,7 +74,21 @@ class IFilter
         std::uint64_t stamp = 0;
     };
 
+    /** Tag stored in the SoA mirror for invalid/padding lanes;
+     *  unmatchable (block addresses are PCs shifted right by 6). */
+    static constexpr std::uint64_t kInvalidTag = ~std::uint64_t{0};
+
+    /** Vectorized scan of the tag mirror; lowest matching slot. */
+    std::optional<std::uint32_t> findSlot(BlockAddr blk) const;
+
+    /** Rebuild the tag mirror from slots_ (after load). */
+    void rebuildTags();
+
     std::vector<Slot> slots_;
+    /** SoA tag mirror of slots_ (padded to the SIMD lane stride) so
+     *  lookup/contains are one vectorized scan instead of a branchy
+     *  walk over the 80-byte Slot records. */
+    std::vector<std::uint64_t> tags_;
     std::uint64_t tick_ = 0;
 };
 

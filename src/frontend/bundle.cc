@@ -69,6 +69,44 @@ BundleWalker::reset()
     exhausted_ = false;
     emitted_ = 0;
     consumed_ = 0;
+    run_ = nullptr;
+    runLen_ = 0;
+    runPos_ = 0;
+    batch_.count = 0;
+    batchPos_ = 0;
+}
+
+bool
+BundleWalker::pullInst(TraceInst &out)
+{
+    if (runPos_ < runLen_) {
+        out = run_[runPos_++];
+        return true;
+    }
+    return pullInstSlow(out);
+}
+
+bool
+BundleWalker::pullInstSlow(TraceInst &out)
+{
+    // Prefer one zero-copy run over the source's whole remainder;
+    // sources without contiguous storage return nullptr and we read
+    // through the 64-record decode batch instead.
+    runPos_ = 0;
+    run_ = source_.acquireRun(~std::uint64_t{0}, runLen_);
+    if (run_ != nullptr && runLen_ != 0) {
+        runPos_ = 1;
+        out = run_[0];
+        return true;
+    }
+    runLen_ = 0;
+    if (batchPos_ >= batch_.count) {
+        if (source_.decodeBatch(batch_) == 0)
+            return false;
+        batchPos_ = 0;
+    }
+    out = batch_.get(batchPos_++);
+    return true;
 }
 
 void
@@ -96,13 +134,21 @@ BundleWalker::load(Deserializer &d)
     havePending_ = d.b();
     exhausted_ = d.b();
     emitted_ = d.u64();
+    // Read-ahead (run + batch) is walker-internal and not
+    // checkpointed; the freshly sought source refills it on the
+    // next pull.
+    run_ = nullptr;
+    runLen_ = 0;
+    runPos_ = 0;
+    batch_.count = 0;
+    batchPos_ = 0;
 }
 
 bool
 BundleWalker::next(Bundle &out)
 {
     if (!havePending_) {
-        if (exhausted_ || !source_.next(pending_)) {
+        if (exhausted_ || !pullInst(pending_)) {
             exhausted_ = true;
             return false;
         }
@@ -117,7 +163,7 @@ BundleWalker::next(Bundle &out)
     for (;;) {
         out.insts[out.count++] = pending_;
         const TraceInst current = pending_;
-        havePending_ = source_.next(pending_);
+        havePending_ = pullInst(pending_);
         if (havePending_)
             ++consumed_;
         if (!havePending_) {

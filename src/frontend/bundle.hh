@@ -72,14 +72,32 @@ class BundleWalker
     void load(Deserializer &d);
 
   private:
+    /** Hand out the next instruction: from the zero-copy run when
+     *  the source exposes one (TraceSource::acquireRun), else from
+     *  the internal batch refilled via source_.decodeBatch(). Both
+     *  are pure read-ahead: consumed_ counts only what the walker
+     *  has handed out, so the checkpoint format (and load()'s
+     *  seekTo) are untouched — reset()/load() simply drop them. */
+    bool pullInst(TraceInst &out);
+    /** Slow half of pullInst (run drained): acquire a new run or
+     *  fall back to the decode batch. */
+    bool pullInstSlow(TraceInst &out);
+
     TraceSource &source_;
     unsigned width_;
     TraceInst pending_{};
     bool havePending_ = false;
     bool exhausted_ = false;
     std::uint64_t emitted_ = 0;
-    /** Instructions pulled from source_ (successful next() calls). */
+    /** Instructions handed out (read-ahead not included). */
     std::uint64_t consumed_ = 0;
+    /** Zero-copy instruction run (memory-backed sources). */
+    const TraceInst *run_ = nullptr;
+    std::uint64_t runLen_ = 0;
+    std::uint64_t runPos_ = 0;
+    /** Batched read-ahead over source_ (not checkpointed). */
+    InstBatch batch_{};
+    unsigned batchPos_ = 0;
 };
 
 } // namespace acic

@@ -1,35 +1,30 @@
 #include "frontend/tage.hh"
 
+#include <algorithm>
+
 #include "common/serialize.hh"
 
 namespace acic {
 
-Tage::Tage()
-{
-    bimodal_.assign(std::size_t{1} << kBimodalBits, SatCounter(2, 1));
-    for (auto &table : tables_)
-        table.assign(std::size_t{1} << kTableBits, TaggedEntry{});
-}
+namespace {
 
+/**
+ * Second fold stage: XOR-collapse a 64-bit word to `bits` wide.
+ * For bits >= 8 a word holds at most 8 fields, so a 3-step halving
+ * network folds them all into field 0 — identical to the sequential
+ * mask-and-shift loop (field order is irrelevant under XOR), minus
+ * the loop-carried dependency chain.
+ */
 std::uint64_t
-Tage::foldHistory(unsigned length, unsigned bits) const
+foldDown(std::uint64_t folded, unsigned bits)
 {
-    // XOR-fold the most recent `length` history bits down to `bits`.
-    std::uint64_t folded = 0;
-    unsigned consumed = 0;
-    while (consumed < length) {
-        const unsigned word = consumed / 64;
-        const unsigned off = consumed % 64;
-        const unsigned take =
-            std::min<unsigned>(64 - off, length - consumed);
-        std::uint64_t chunk = ghr_[word] >> off;
-        if (take < 64)
-            chunk &= (std::uint64_t{1} << take) - 1;
-        folded ^= chunk;
-        consumed += take;
-    }
-    // Second fold down to the requested width.
     const std::uint64_t mask = (std::uint64_t{1} << bits) - 1;
+    if (bits >= 8 && bits * 4 < 64) {
+        folded ^= folded >> (bits * 4);
+        folded ^= folded >> (bits * 2);
+        folded ^= folded >> bits;
+        return folded & mask;
+    }
     std::uint64_t out = 0;
     while (folded != 0) {
         out ^= folded & mask;
@@ -38,10 +33,46 @@ Tage::foldHistory(unsigned length, unsigned bits) const
     return out;
 }
 
+} // namespace
+
+Tage::Tage()
+{
+    bimodal_.assign(std::size_t{1} << kBimodalBits, SatCounter(2, 1));
+    for (auto &table : tables_)
+        table.assign(std::size_t{1} << kTableBits, TaggedEntry{});
+    refold();
+}
+
+void
+Tage::refold()
+{
+    for (unsigned t = 0; t < kTables; ++t) {
+        const unsigned length = kHistLen[t];
+        // XOR-fold the most recent `length` history bits into one
+        // 64-bit word; the index- and tag-width folds share it.
+        std::uint64_t folded = 0;
+        unsigned consumed = 0;
+        while (consumed < length) {
+            const unsigned word = consumed / 64;
+            const unsigned off = consumed % 64;
+            const unsigned take =
+                std::min<unsigned>(64 - off, length - consumed);
+            std::uint64_t chunk = ghr_[word] >> off;
+            if (take < 64)
+                chunk &= (std::uint64_t{1} << take) - 1;
+            folded ^= chunk;
+            consumed += take;
+        }
+        folded64_[t] = folded;
+        foldedIdx_[t] = foldDown(folded, kTableBits);
+        foldedTag_[t] = foldDown(folded, kTagBits);
+    }
+}
+
 std::size_t
 Tage::tableIndex(Addr pc, unsigned table) const
 {
-    const std::uint64_t h = foldHistory(kHistLen[table], kTableBits);
+    const std::uint64_t h = foldedIdx_[table];
     const std::uint64_t p = pc >> 2;
     return static_cast<std::size_t>(
         (p ^ (p >> kTableBits) ^ h ^ (h << 1)) &
@@ -51,7 +82,7 @@ Tage::tableIndex(Addr pc, unsigned table) const
 std::uint16_t
 Tage::tableTag(Addr pc, unsigned table) const
 {
-    const std::uint64_t h = foldHistory(kHistLen[table], kTagBits);
+    const std::uint64_t h = foldedTag_[table];
     const std::uint64_t p = pc >> 2;
     return static_cast<std::uint16_t>(
         (p ^ (p >> 7) ^ (h << 2) ^ (table * 0x9d)) &
@@ -104,10 +135,40 @@ Tage::predict(Addr pc)
 void
 Tage::pushHistory(bool taken)
 {
-    // Shift the 192-bit history left by one, inserting the outcome.
+    const std::uint64_t b = taken ? 1u : 0u;
     const std::uint64_t carry1 = ghr_[0] >> 63;
     const std::uint64_t carry2 = ghr_[1] >> 63;
-    ghr_[0] = (ghr_[0] << 1) | (taken ? 1u : 0u);
+
+    // Incremental stage-1 fold, exact by the chunk-fold algebra: with
+    // L = kHistLen[t] and fold_old the XOR of the 64-bit chunks of
+    // ghr[0:L), the new history is (ghr[0:L-1) << 1) | outcome, so
+    //
+    //   fold_new = ((fold_old ^ outgoing-bit) << 1) ^ outcome
+    //              ^ (top bit of every full chunk below L-1)
+    //
+    // — dropping history bit L-1 from its in-chunk offset, shifting
+    // every chunk up one (64-bit shifts truncate each chunk's top
+    // bit exactly like the chunk-wise fold does), and re-inserting
+    // the bits that cross chunk boundaries. refold() computes the
+    // same values from scratch (ctor/load pin the equivalence).
+    for (unsigned t = 0; t < kTables; ++t) {
+        const unsigned L = kHistLen[t];
+        const unsigned top = (L - 1) & 63;
+        const std::uint64_t out_bit =
+            (ghr_[(L - 1) >> 6] >> top) & 1;
+        std::uint64_t f = folded64_[t] ^ (out_bit << top);
+        f = (f << 1) ^ b;
+        if (L > 64)
+            f ^= carry1;
+        if (L > 128)
+            f ^= carry2;
+        folded64_[t] = f;
+        foldedIdx_[t] = foldDown(f, kTableBits);
+        foldedTag_[t] = foldDown(f, kTagBits);
+    }
+
+    // Shift the 192-bit history left by one, inserting the outcome.
+    ghr_[0] = (ghr_[0] << 1) | b;
     ghr_[1] = (ghr_[1] << 1) | carry1;
     ghr_[2] = (ghr_[2] << 1) | carry2;
 }
@@ -224,6 +285,7 @@ Tage::load(Deserializer &d)
     predictions_ = d.u64();
     mispredicts_ = d.u64();
     allocSeed_ = d.u64();
+    refold();
 }
 
 } // namespace acic

@@ -66,7 +66,7 @@ class Tage
         bool prediction = false;
     };
 
-    std::uint64_t foldHistory(unsigned length, unsigned bits) const;
+    void refold();
     std::size_t tableIndex(Addr pc, unsigned table) const;
     std::uint16_t tableTag(Addr pc, unsigned table) const;
     Lookup lookup(Addr pc);
@@ -82,6 +82,20 @@ class Tage
     std::array<std::vector<TaggedEntry>, kTables> tables_;
     /** 192-bit global history, bit 0 most recent. */
     std::array<std::uint64_t, 3> ghr_{};
+    /**
+     * Cached XOR-folds of ghr_ per table (index-width and tag-width),
+     * recomputed by refold() whenever the history changes. Every
+     * lookup of every table reads these instead of re-folding the
+     * history from scratch. Derived state: not checkpointed, rebuilt
+     * after load().
+     */
+    std::array<std::uint64_t, kTables> foldedIdx_{};
+    std::array<std::uint64_t, kTables> foldedTag_{};
+    /** Stage-1 fold (64-bit chunk XOR of the low kHistLen[t] history
+     *  bits) per table, maintained incrementally by pushHistory() and
+     *  from scratch by refold(); foldedIdx_/foldedTag_ derive from
+     *  it. Derived state like the folds above. */
+    std::array<std::uint64_t, kTables> folded64_{};
     Lookup last_{};
     Addr lastPc_ = 0;
     std::uint64_t predictions_ = 0;

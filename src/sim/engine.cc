@@ -106,7 +106,7 @@ SimEngine::functionalWarm(TraceSource &prefix)
     const bool entangling =
         config_.prefetcher == PrefetcherKind::Entangling;
     while (bundles.next(bundle)) {
-        org_.tick(m.cycle);
+        org_.maybeTick(m.cycle);
         CacheAccess access;
         access.pc = bundle.pc;
         access.blk = bundle.blk;
@@ -181,25 +181,28 @@ SimEngine::stepCycle()
     MachineState &m = state_;
 
     // ---- 1. Structure pipelines -------------------------------
-    org_.tick(m.cycle);
+    org_.maybeTick(m.cycle);
 
     // ---- 2. Fill completions ----------------------------------
-    m.fills.clear();
-    m.mshr.popReady(m.cycle, m.fills);
-    for (const auto &fill : m.fills) {
-        CacheAccess access;
-        access.blk = fill.blk;
-        access.pc = fill.pc;
-        access.seq = fill.seq;
-        access.cycle = m.cycle;
-        access.isPrefetch = fill.wasPrefetch && !fill.demandWaiting;
-        access.nextUse = fill.demandWaiting
-                             ? nextUseOf(fill.seq)
-                             : nextUseAfter(fill.blk,
-                                            m.lastDemandSeq);
-        org_.fill(access);
-        if (m.waiting && fill.blk == m.waitingBlk)
-            m.headReady = true;
+    if (m.mshr.anyReady(m.cycle)) {
+        m.fills.clear();
+        m.mshr.popReady(m.cycle, m.fills);
+        for (const auto &fill : m.fills) {
+            CacheAccess access;
+            access.blk = fill.blk;
+            access.pc = fill.pc;
+            access.seq = fill.seq;
+            access.cycle = m.cycle;
+            access.isPrefetch =
+                fill.wasPrefetch && !fill.demandWaiting;
+            access.nextUse = fill.demandWaiting
+                                 ? nextUseOf(fill.seq)
+                                 : nextUseAfter(fill.blk,
+                                                m.lastDemandSeq);
+            org_.fill(access);
+            if (m.waiting && fill.blk == m.waitingBlk)
+                m.headReady = true;
+        }
     }
 
     // ---- 3. Retire --------------------------------------------
@@ -354,8 +357,19 @@ SimEngine::stepCycle()
     // ---- 6. Prefetch issue ------------------------------------
     if (config_.prefetcher == PrefetcherKind::Fdp) {
         unsigned issued = 0;
-        for (std::size_t i = 1;
-             i < m.ftq.size() && issued < config_.prefetchDegree;
+        // Resume where the last scan stopped: entries with
+        // seq < prefetchCursor are already considered, and FTQ seqs
+        // are consecutive, so the first candidate sits at a computed
+        // index instead of behind a front-to-back flag walk.
+        std::size_t i = 1;
+        if (!m.ftq.empty() &&
+            m.prefetchCursor > m.ftq.front().seq) {
+            const std::uint64_t skip =
+                m.prefetchCursor - m.ftq.front().seq;
+            if (skip > i)
+                i = static_cast<std::size_t>(skip);
+        }
+        for (; i < m.ftq.size() && issued < config_.prefetchDegree;
              ++i) {
             FtqEntry &entry = m.ftq[i];
             if (entry.prefetchConsidered)
@@ -363,6 +377,7 @@ SimEngine::stepCycle()
             if (issuePrefetch(entry.bundle.blk, entry.bundle.pc,
                               entry.seq)) {
                 entry.prefetchConsidered = true;
+                m.prefetchCursor = entry.seq + 1;
                 ++issued;
             } else {
                 break; // MSHRs full; retry next cycle
@@ -514,8 +529,8 @@ SimEngine::save(Serializer &s) const
         s.u64(value);
     }
 
-    // Machine state. `fills` is per-cycle scratch (always cleared at
-    // the top of stepCycle) and the telemetry heartbeat is
+    // Machine state. `fills` is per-cycle scratch (cleared before
+    // every use in stepCycle) and the telemetry heartbeat is
     // host-side-only, so neither travels.
     m.walker.save(s);
     m.tage.save(s);
@@ -622,6 +637,16 @@ SimEngine::load(Deserializer &d)
         m.ftq.push_back(std::move(entry));
     }
     m.fills.clear();
+    // Re-derive the FDP scan cursor from the restored flags: the seq
+    // of the first unconsidered entry past the head (everything
+    // before it has been considered).
+    m.prefetchCursor = 0;
+    for (std::size_t i = 1; i < m.ftq.size(); ++i) {
+        m.prefetchCursor = m.ftq[i].seq;
+        if (!m.ftq[i].prefetchConsidered)
+            break;
+        m.prefetchCursor = m.ftq[i].seq + 1;
+    }
 
     m.cycle = d.u64();
     m.bpResumeAt = d.u64();

@@ -99,6 +99,17 @@ struct MachineState
     bool pendingAlloc = false; ///< MSHRs were full; retry allocate
     Cycle pendingLatency = 0;
 
+    /**
+     * FDP scan cursor: every FTQ entry past the head with
+     * seq < prefetchCursor has already been prefetch-considered
+     * (the scan marks entries front-to-back and stops at the first
+     * failure, so the unconsidered entries form a suffix). Derived
+     * from the per-entry flags — not checkpointed, recomputed on
+     * load — it lets the per-cycle prefetch stage start at the
+     * first unconsidered entry instead of rescanning the whole FTQ.
+     */
+    std::uint64_t prefetchCursor = 0;
+
     // Cumulative counters; the warmup snapshot is subtracted by
     // finish(). Handle registration happens before any snapshot
     // copy, so `raw` and `snap` share one index layout.

@@ -1,6 +1,7 @@
 #include "sim/oracle.hh"
 
 #include <algorithm>
+#include <unordered_map>
 
 #include "frontend/bundle.hh"
 
@@ -19,11 +20,8 @@ DemandOracle::build(TraceSource &trace, unsigned fetch_width)
 
     const std::uint64_t n = oracle.seq_.size();
     oracle.nextUse_.assign(n, kNeverAgain);
-    for (std::uint64_t i = 0; i < n; ++i)
-        oracle.occ_[oracle.seq_[i]].push_back(i);
     // Backward next-use computation.
     std::unordered_map<BlockAddr, std::uint64_t> upcoming;
-    upcoming.reserve(oracle.occ_.size());
     for (std::uint64_t i = n; i-- > 0;) {
         const BlockAddr blk = oracle.seq_[i];
         const auto it = upcoming.find(blk);
@@ -31,19 +29,49 @@ DemandOracle::build(TraceSource &trace, unsigned fetch_width)
             oracle.nextUse_[i] = it->second;
         upcoming[blk] = i;
     }
+
+    // CSR occurrence lists: counting sort of the access indices by
+    // block, with sorted keys (see oracle.hh).
+    oracle.keys_.reserve(upcoming.size());
+    for (const auto &[blk, first] : upcoming)
+        oracle.keys_.push_back(blk);
+    std::sort(oracle.keys_.begin(), oracle.keys_.end());
+    const std::uint64_t k = oracle.keys_.size();
+    oracle.rowStart_.assign(k + 1, 0);
+    for (std::uint64_t i = 0; i < n; ++i) {
+        const std::uint64_t row =
+            std::lower_bound(oracle.keys_.begin(),
+                             oracle.keys_.end(), oracle.seq_[i]) -
+            oracle.keys_.begin();
+        ++oracle.rowStart_[row + 1];
+    }
+    for (std::uint64_t r = 0; r < k; ++r)
+        oracle.rowStart_[r + 1] += oracle.rowStart_[r];
+    oracle.positions_.resize(n);
+    std::vector<std::uint64_t> cursor(oracle.rowStart_.begin(),
+                                      oracle.rowStart_.end() - 1);
+    for (std::uint64_t i = 0; i < n; ++i) {
+        const std::uint64_t row =
+            std::lower_bound(oracle.keys_.begin(),
+                             oracle.keys_.end(), oracle.seq_[i]) -
+            oracle.keys_.begin();
+        oracle.positions_[cursor[row]++] = i;
+    }
     return oracle;
 }
 
 std::uint64_t
 DemandOracle::nextUseAfter(BlockAddr blk, std::uint64_t idx) const
 {
-    const auto it = occ_.find(blk);
-    if (it == occ_.end())
+    const auto key =
+        std::lower_bound(keys_.begin(), keys_.end(), blk);
+    if (key == keys_.end() || *key != blk)
         return kNeverAgain;
-    const auto &list = it->second;
-    const auto pos =
-        std::upper_bound(list.begin(), list.end(), idx);
-    return pos == list.end() ? kNeverAgain : *pos;
+    const std::uint64_t row = key - keys_.begin();
+    const auto begin = positions_.begin() + rowStart_[row];
+    const auto end = positions_.begin() + rowStart_[row + 1];
+    const auto pos = std::upper_bound(begin, end, idx);
+    return pos == end ? kNeverAgain : *pos;
 }
 
 } // namespace acic

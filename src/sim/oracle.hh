@@ -11,7 +11,6 @@
 #define ACIC_SIM_ORACLE_HH
 
 #include <cstdint>
-#include <unordered_map>
 #include <vector>
 
 #include "common/types.hh"
@@ -50,12 +49,21 @@ class DemandOracle
     std::uint64_t nextUseAfter(BlockAddr blk, std::uint64_t idx) const;
 
     /** Distinct blocks in the sequence (footprint accounting). */
-    std::uint64_t distinctBlocks() const { return occ_.size(); }
+    std::uint64_t distinctBlocks() const { return keys_.size(); }
 
   private:
     std::vector<BlockAddr> seq_;
     std::vector<std::uint64_t> nextUse_;
-    std::unordered_map<BlockAddr, std::vector<std::uint64_t>> occ_;
+    /**
+     * Per-block occurrence lists in CSR form: block keys_[k]'s
+     * ascending access indices are positions_[rowStart_[k] ..
+     * rowStart_[k+1]). keys_ is sorted, so nextUseAfter() is two
+     * binary searches over contiguous arrays — the hot prefetch-fill
+     * path — instead of a hash-map chase through per-block vectors.
+     */
+    std::vector<BlockAddr> keys_;
+    std::vector<std::uint64_t> rowStart_;
+    std::vector<std::uint64_t> positions_;
 };
 
 } // namespace acic

@@ -63,13 +63,7 @@ PlainIcache::fill(const CacheAccess &access)
     // policy's victim with OPT's choice. Only meaningful when the
     // run carries oracle annotations and the set is full.
     const std::uint32_t set = l1i_.setOf(access.blk);
-    bool set_full = true;
-    for (std::uint32_t w = 0; w < l1i_.numWays(); ++w) {
-        if (!l1i_.lineAt(set, w).valid) {
-            set_full = false;
-            break;
-        }
-    }
+    const bool set_full = l1i_.setFull(set);
 
     if (bypass_ != nullptr && set_full) {
         CacheAccess incoming = access;

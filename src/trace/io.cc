@@ -333,6 +333,105 @@ FileTraceSource::getVarint()
     return v;
 }
 
+void
+FileTraceSource::refillBuffer()
+{
+    const std::size_t leftover = bufEnd_ - bufPos_;
+    if (leftover > 0 && bufPos_ > 0)
+        std::memmove(buf_.data(), buf_.data() + bufPos_, leftover);
+    bufPos_ = 0;
+    bufEnd_ = leftover;
+    // A previous short read may have latched eofbit; clear it so the
+    // stream accepts another read (position is unaffected). At true
+    // EOF the read simply returns 0 bytes again.
+    in_.clear();
+    in_.read(reinterpret_cast<char *>(buf_.data()) + bufEnd_,
+             static_cast<std::streamsize>(buf_.size() - bufEnd_));
+    bufEnd_ += static_cast<std::size_t>(in_.gcount());
+}
+
+namespace {
+
+/** Worst-case encoded record: tag byte + two 10-byte varints. */
+constexpr std::size_t kMaxRecordBytes = 21;
+
+/** Pointer-decode one varint; FATALs on a runaway (corrupt) chain,
+ *  which also bounds the bytes consumed to kMaxRecordBytes. */
+inline std::uint64_t
+takeVarint(const std::uint8_t *&p)
+{
+    std::uint64_t v = 0;
+    unsigned shift = 0;
+    std::uint8_t b;
+    do {
+        if (shift > 63)
+            ACIC_FATAL("truncated or corrupt trace record");
+        b = *p++;
+        v |= static_cast<std::uint64_t>(b & 0x7f) << shift;
+        shift += 7;
+    } while (b & 0x80);
+    return v;
+}
+
+} // namespace
+
+unsigned
+FileTraceSource::decodeBatch(InstBatch &out)
+{
+    out.count = 0;
+    const std::uint64_t remaining = count_ - emitted_;
+    const unsigned target =
+        remaining < InstBatch::kCapacity
+            ? static_cast<unsigned>(remaining)
+            : InstBatch::kCapacity;
+    if (target == 0)
+        return 0;
+
+    if (bufEnd_ - bufPos_ < target * kMaxRecordBytes)
+        refillBuffer();
+    if (bufEnd_ - bufPos_ < target * kMaxRecordBytes) {
+        // Near EOF the buffer holds everything left of the file,
+        // which can be less than a worst-case batch even though all
+        // `target` records are present (typical records are ~1 byte).
+        // The bounds-checked scalar path handles this tail.
+        TraceInst inst;
+        while (out.count < target && next(inst))
+            out.set(out.count++, inst);
+        return out.count;
+    }
+
+    // Fast path: the buffer provably holds a worst-case batch, so
+    // decode with a raw pointer and no per-byte checks. takeVarint
+    // FATALs on malformed chains, which caps every record at
+    // kMaxRecordBytes — the pointer cannot run off the buffer.
+    const std::uint8_t *p = buf_.data() + bufPos_;
+    Addr prev = prevNext_;
+    for (unsigned i = 0; i < target; ++i) {
+        const std::uint8_t tag = *p++;
+        const auto kind_raw = tag & TraceFormat::kKindMask;
+        if (kind_raw > static_cast<std::uint8_t>(BranchKind::Return))
+            ACIC_FATAL("corrupt trace record (bad branch kind)");
+        out.kind[i] = static_cast<BranchKind>(kind_raw);
+        out.taken[i] = (tag & TraceFormat::kTakenBit) != 0;
+
+        Addr pc = prev;
+        if (!(tag & TraceFormat::kLinkedBit))
+            pc += static_cast<Addr>(zigzagDecode(takeVarint(p)));
+        Addr next_pc = pc + TraceInst::kInstBytes;
+        if (!(tag & TraceFormat::kSequentialBit))
+            next_pc +=
+                static_cast<Addr>(zigzagDecode(takeVarint(p)));
+        out.pc[i] = pc;
+        out.nextPc[i] = next_pc;
+        prev = next_pc;
+    }
+    bufPos_ = static_cast<std::size_t>(p - buf_.data());
+    prevNext_ = prev;
+    emitted_ += target;
+    out.count = target;
+    return target;
+}
+
 bool
 FileTraceSource::next(TraceInst &out)
 {
@@ -414,9 +513,10 @@ materializeTrace(TraceSource &src)
     auto image = std::make_shared<std::vector<TraceInst>>();
     image->reserve(src.length());
     src.reset();
-    TraceInst inst;
-    while (src.next(inst))
-        image->push_back(inst);
+    InstBatch batch;
+    while (src.decodeBatch(batch) > 0)
+        for (unsigned i = 0; i < batch.count; ++i)
+            image->push_back(batch.get(i));
     src.reset();
     return image;
 }

@@ -174,6 +174,16 @@ class FileTraceSource : public TraceSource
 
     void reset() override;
     bool next(TraceInst &out) override;
+
+    /**
+     * Batched decode: up to 64 records in one call, decoded with a
+     * raw pointer over the read buffer (no per-byte bounds checks —
+     * the buffer is guaranteed to hold a worst-case batch up front).
+     * Interleaves freely with next()/seekToInstruction(); the stream
+     * position and varint-chain state stay shared.
+     */
+    unsigned decodeBatch(InstBatch &out) override;
+
     std::uint64_t length() const override { return count_; }
     const std::string &name() const override { return name_; }
 
@@ -214,6 +224,10 @@ class FileTraceSource : public TraceSource
     bool getByte(std::uint8_t &b);
     std::uint64_t getVarint();
     void loadIndexFooter();
+
+    /** Compact the unread buffer tail to the front and top the
+     *  buffer up from the file (decodeBatch fast-path supply). */
+    void refillBuffer();
 
     std::ifstream in_;
     std::string path_;

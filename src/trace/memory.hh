@@ -78,6 +78,38 @@ class MemoryTraceSource : public TraceSource
         return true;
     }
 
+    /** Batched copy straight out of the image — one bounds check per
+     *  64 instructions instead of one virtual call per instruction. */
+    unsigned decodeBatch(InstBatch &out) override
+    {
+        const std::uint64_t avail = end_ - pos_;
+        const unsigned n =
+            avail < InstBatch::kCapacity
+                ? static_cast<unsigned>(avail)
+                : InstBatch::kCapacity;
+        const TraceInst *src = image_->data() + pos_;
+        for (unsigned i = 0; i < n; ++i)
+            out.set(i, src[i]);
+        out.count = n;
+        pos_ += n;
+        return n;
+    }
+
+    /** Zero-copy run straight out of the shared image: the hottest
+     *  consumer (BundleWalker) reads instructions in place, paying
+     *  one virtual call per region instead of per 64 records. */
+    const TraceInst *
+    acquireRun(std::uint64_t max, std::uint64_t &n) override
+    {
+        const std::uint64_t avail = end_ - pos_;
+        n = avail < max ? avail : max;
+        if (n == 0)
+            return nullptr;
+        const TraceInst *run = image_->data() + pos_;
+        pos_ += n;
+        return run;
+    }
+
     std::uint64_t length() const override { return end_ - begin_; }
     const std::string &name() const override { return name_; }
 

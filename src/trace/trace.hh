@@ -48,6 +48,44 @@ struct TraceInst
 };
 
 /**
+ * A fixed-capacity struct-of-arrays instruction buffer, filled 64
+ * records at a time by TraceSource::decodeBatch(). Batching turns
+ * the per-instruction virtual next() call — one of the hottest
+ * edges in the simulator profile — into one virtual call per 64
+ * instructions, and gives file decoders a run of records they can
+ * decode from a raw buffer pointer without per-byte checks.
+ */
+struct InstBatch
+{
+    static constexpr unsigned kCapacity = 64;
+
+    Addr pc[kCapacity];
+    Addr nextPc[kCapacity];
+    BranchKind kind[kCapacity];
+    bool taken[kCapacity];
+    /** Valid records (prefix of the arrays). */
+    unsigned count = 0;
+
+    void set(unsigned i, const TraceInst &inst)
+    {
+        pc[i] = inst.pc;
+        nextPc[i] = inst.nextPc;
+        kind[i] = inst.kind;
+        taken[i] = inst.taken;
+    }
+
+    TraceInst get(unsigned i) const
+    {
+        TraceInst inst;
+        inst.pc = pc[i];
+        inst.nextPc = nextPc[i];
+        inst.kind = kind[i];
+        inst.taken = taken[i];
+        return inst;
+    }
+};
+
+/**
  * A re-iterable stream of dynamic instructions.
  *
  * Oracle passes (Belady OPT, reuse profiling) replay the stream, so
@@ -66,6 +104,44 @@ class TraceSource
      * @return false when the trace is exhausted.
      */
     virtual bool next(TraceInst &out) = 0;
+
+    /**
+     * Fill @p out with the next up-to-64 instructions; the batched
+     * equivalent of next(), consuming the identical stream (a
+     * decodeBatch after N next() calls continues at instruction N,
+     * and vice versa). The base implementation loops next(), so every
+     * source batches correctly by default; FileTraceSource and
+     * MemoryTraceSource override with real block decodes.
+     * @return out.count (0 when the trace is exhausted).
+     */
+    virtual unsigned
+    decodeBatch(InstBatch &out)
+    {
+        out.count = 0;
+        TraceInst inst;
+        while (out.count < InstBatch::kCapacity && next(inst))
+            out.set(out.count++, inst);
+        return out.count;
+    }
+
+    /**
+     * Zero-copy alternative to decodeBatch() for sources backed by
+     * materialized storage: return a pointer to the next contiguous
+     * run of up to @p max instructions, set @p n to its length, and
+     * consume those instructions from the stream (a later next() or
+     * decodeBatch() continues after the run). Sources without
+     * contiguous storage keep the default, which returns nullptr
+     * with n = 0 and consumes nothing — callers then fall back to
+     * decodeBatch(). The pointer stays valid until the source is
+     * destroyed or mutated.
+     */
+    virtual const TraceInst *
+    acquireRun(std::uint64_t max, std::uint64_t &n)
+    {
+        (void)max;
+        n = 0;
+        return nullptr;
+    }
 
     /** Total dynamic instructions the source will emit. */
     virtual std::uint64_t length() const = 0;

@@ -1,0 +1,203 @@
+/**
+ * @file
+ * Equivalence property tests for the vectorized tag-scan kernels:
+ * every implementation (SSE2, AVX2 when the CPU has it, and the
+ * dispatched entry points the simulator actually calls) must compute
+ * bit-identical results to the portable reference on randomized
+ * lanes, for every count including vector-tail remainders — the
+ * invariant that lets the forced-portable CI build pin the golden
+ * corpus.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/rng.hh"
+#include "common/tagscan.hh"
+
+using namespace acic;
+using namespace acic::tagscan;
+
+namespace {
+
+/** Lanes with planted duplicates of @p target so matches land at
+ *  arbitrary positions (including vector tails). */
+std::vector<std::uint64_t>
+randomLanes64(Rng &rng, std::uint32_t count, std::uint64_t target)
+{
+    std::vector<std::uint64_t> lanes(count);
+    for (auto &lane : lanes) {
+        // Small value range forces frequent accidental equality;
+        // 10% planted exact targets.
+        lane = rng.chance(0.1) ? target : rng.nextBelow(64);
+    }
+    return lanes;
+}
+
+std::vector<std::uint32_t>
+randomLanes32(Rng &rng, std::uint32_t count, std::uint32_t target)
+{
+    std::vector<std::uint32_t> lanes(count);
+    for (auto &lane : lanes)
+        lane = rng.chance(0.1)
+                   ? target
+                   : static_cast<std::uint32_t>(rng.nextBelow(64));
+    return lanes;
+}
+
+} // namespace
+
+TEST(TagScan, ActiveIsaNamesARealStack)
+{
+    const std::string isa = activeIsa();
+    EXPECT_TRUE(isa == "avx2" || isa == "sse2" || isa == "portable")
+        << isa;
+#ifndef ACIC_TAGSCAN_SIMD
+    EXPECT_EQ(isa, "portable");
+#endif
+}
+
+TEST(TagScan, MatchMask64AllPathsEqualPortable)
+{
+    Rng rng(2024);
+    // Every count from empty through past the wide threshold covers
+    // full vectors, scalar tails, and both dispatch branches.
+    for (std::uint32_t count = 0; count <= 64; ++count) {
+        for (int round = 0; round < 16; ++round) {
+            const std::uint64_t target = rng.nextBelow(64);
+            const auto lanes = randomLanes64(rng, count, target);
+            const std::uint64_t want =
+                matchMask64Portable(lanes.data(), count, target);
+
+            EXPECT_EQ(matchMask64(lanes.data(), count, target), want)
+                << "count " << count;
+#ifdef ACIC_TAGSCAN_SIMD
+            EXPECT_EQ(matchMask64Sse2(lanes.data(), count, target),
+                      want)
+                << "count " << count;
+            EXPECT_EQ(matchMask64Wide(lanes.data(), count, target),
+                      want)
+                << "count " << count;
+            if (avx2Supported()) {
+                EXPECT_EQ(
+                    matchMask64Avx2(lanes.data(), count, target),
+                    want)
+                    << "count " << count;
+            }
+#endif
+        }
+    }
+}
+
+TEST(TagScan, MatchMask64SeesSplit64BitLanes)
+{
+    // The SSE2 kernel compares 32-bit halves and fuses them; a lane
+    // agreeing with the target in only ONE half must not match.
+    const std::uint64_t target = 0x00000001'00000002ull;
+    const std::uint64_t lanes[4] = {
+        0x00000001'00000002ull, // full match
+        0x00000001'ffffffffull, // high half only
+        0xffffffff'00000002ull, // low half only
+        0x00000002'00000001ull, // halves swapped
+    };
+    const std::uint64_t want =
+        matchMask64Portable(lanes, 4, target);
+    EXPECT_EQ(want, 0x1u);
+    EXPECT_EQ(matchMask64(lanes, 4, target), want);
+#ifdef ACIC_TAGSCAN_SIMD
+    EXPECT_EQ(matchMask64Sse2(lanes, 4, target), want);
+    if (avx2Supported())
+        EXPECT_EQ(matchMask64Avx2(lanes, 4, target), want);
+#endif
+}
+
+TEST(TagScan, AnyEqual32AllPathsEqualPortable)
+{
+    Rng rng(4048);
+    for (std::uint32_t count = 0; count <= 48; ++count) {
+        for (int round = 0; round < 16; ++round) {
+            const auto target =
+                static_cast<std::uint32_t>(rng.nextBelow(64));
+            const auto lanes = randomLanes32(rng, count, target);
+            const bool want =
+                anyEqual32Portable(lanes.data(), count, target);
+
+            EXPECT_EQ(anyEqual32(lanes.data(), count, target), want)
+                << "count " << count;
+#ifdef ACIC_TAGSCAN_SIMD
+            EXPECT_EQ(anyEqual32Sse2(lanes.data(), count, target),
+                      want)
+                << "count " << count;
+            EXPECT_EQ(anyEqual32Wide(lanes.data(), count, target),
+                      want)
+                << "count " << count;
+            if (avx2Supported()) {
+                EXPECT_EQ(
+                    anyEqual32Avx2(lanes.data(), count, target),
+                    want)
+                    << "count " << count;
+            }
+#endif
+        }
+    }
+}
+
+TEST(TagScan, AnyEqual32PairAllPathsEqualPortable)
+{
+    Rng rng(777);
+    for (std::uint32_t count = 0; count <= 48; ++count) {
+        for (int round = 0; round < 16; ++round) {
+            const auto target =
+                static_cast<std::uint32_t>(rng.nextBelow(64));
+            const auto a = randomLanes32(rng, count, target);
+            const auto b = randomLanes32(rng, count, target);
+            const bool want = anyEqual32PairPortable(
+                a.data(), b.data(), count, target);
+
+            EXPECT_EQ(
+                anyEqual32Pair(a.data(), b.data(), count, target),
+                want)
+                << "count " << count;
+#ifdef ACIC_TAGSCAN_SIMD
+            EXPECT_EQ(
+                anyEqual32PairSse2(a.data(), b.data(), count,
+                                   target),
+                want)
+                << "count " << count;
+            EXPECT_EQ(
+                anyEqual32PairWide(a.data(), b.data(), count,
+                                   target),
+                want)
+                << "count " << count;
+            if (avx2Supported()) {
+                EXPECT_EQ(anyEqual32PairAvx2(a.data(), b.data(),
+                                             count, target),
+                          want)
+                    << "count " << count;
+            }
+#endif
+        }
+    }
+}
+
+TEST(TagScan, PairMatchInSecondRowOnly)
+{
+    // The pair sweep must see row b even when row a is all misses.
+    std::vector<std::uint32_t> a(40, 1u);
+    std::vector<std::uint32_t> b(40, 2u);
+    b[39] = 77; // match in the scalar tail of the second row
+    EXPECT_TRUE(anyEqual32Pair(a.data(), b.data(), 40, 77));
+    EXPECT_FALSE(anyEqual32Pair(a.data(), b.data(), 39, 77));
+}
+
+TEST(TagScan, PadLanes64RoundsToStride)
+{
+    EXPECT_EQ(padLanes64(0), 0u);
+    EXPECT_EQ(padLanes64(1), kLaneStride64);
+    EXPECT_EQ(padLanes64(kLaneStride64), kLaneStride64);
+    EXPECT_EQ(padLanes64(kLaneStride64 + 1), 2 * kLaneStride64);
+    EXPECT_EQ(padLanes64(8), 8u);
+}
