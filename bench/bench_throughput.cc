@@ -25,6 +25,7 @@
  */
 
 #include <chrono>
+#include <cstdio>
 #include <cstdlib>
 #include <fstream>
 
@@ -32,6 +33,9 @@
 #include "common/telemetry.hh"
 #include "driver/emitters.hh"
 #include "driver/experiment.hh"
+#include "sim/engine.hh"
+#include "trace/streaming.hh"
+#include "trace/synthetic.hh"
 
 using namespace acic;
 using namespace acic::bench;
@@ -123,6 +127,74 @@ main(int argc, char **argv)
     table.addNote("rate = trace instructions / host seconds of "
                   "Simulator::run (org built inside the timer)");
     table.print();
+
+    {
+        // Streamed-source lane: the same workload framed once to a
+        // file (outside the timer), then consumed the way
+        // `acic_run serve` consumes live traffic — decode thread,
+        // bounded ring, tee fan-out, no oracle. The @streamed labels
+        // record the ingest path's cost trajectory in
+        // BENCH_throughput.json without gating the perf check
+        // (check_throughput.py compares them only when both sides
+        // have them).
+        const std::string framed = "bench_stream.acis";
+        {
+            SyntheticWorkload synth(params);
+            std::ofstream out(framed,
+                              std::ios::binary | std::ios::trunc);
+            StreamTraceWriter writer(out, params.name);
+            TraceInst inst;
+            while (synth.next(inst))
+                writer.append(inst);
+            writer.finish();
+        }
+        const SimConfig config;
+        const std::uint64_t warm = static_cast<std::uint64_t>(
+            static_cast<double>(params.instructions) *
+            config.warmupFraction);
+        TablePrinter stable("Streamed-source throughput (framed "
+                            "stream, ring " +
+                            std::to_string(
+                                StreamingTraceSource::
+                                    kDefaultRingRecords) +
+                            ", best of " + std::to_string(reps) +
+                            ")");
+        stable.setHeader(
+            {"scheme", "seconds", "Minst/s", "vs file-sourced"});
+        for (std::size_t s = 0; s < schemes.size(); ++s) {
+            const SchemeSpec &scheme = schemes[s];
+            const double secs = bestSeconds(reps, [&] {
+                auto source =
+                    StreamingTraceSource::openPath(framed);
+                StreamTee tee(*source, 1);
+                auto org = makeScheme(scheme, config);
+                SimEngine engine(config, tee.cursor(0), *org);
+                engine.warmUp(warm);
+                engine.measure(params.instructions - warm);
+                (void)engine.finish();
+            });
+            if (secs <= 0.0) {
+                stable.addRow({schemeName(scheme), "-", "-", "-"});
+                continue;
+            }
+            const std::string ratio =
+                serial_secs[s] > 0.0
+                    ? TablePrinter::fmt(serial_secs[s] / secs, 2) +
+                          "x"
+                    : "-";
+            stable.addRow({schemeName(scheme),
+                           TablePrinter::fmt(secs, 3),
+                           TablePrinter::fmt(minst / secs, 2),
+                           ratio});
+            rows.push_back({schemeName(scheme) + "@streamed", secs,
+                            minst / secs});
+        }
+        stable.addNote("decode thread + SPSC ring + tee, oracle "
+                       "disabled; the file-sourced lane replays a "
+                       "pre-materialized image");
+        stable.print();
+        std::remove(framed.c_str());
+    }
 
     if (intervals > 1) {
         // Interval mode: the same cell sharded into K concurrently

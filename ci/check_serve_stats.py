@@ -1,0 +1,92 @@
+#!/usr/bin/env python3
+"""Validate an `acic_run serve` rolling-stats JSONL file.
+
+Usage: check_serve_stats.py STATS.jsonl [--min-windows N]
+
+Every line must parse as JSON. serve.window lines must carry the
+dashboard fields (workload, scheme, seq, retired, window_mpki,
+window_ipc, minst_per_s) with per-scheme seq numbers increasing from
+0 without gaps; serve.final lines must carry the end-of-run summary
+fields. The file must hold at least --min-windows window lines
+(default 3) and at least one final line per scheme seen.
+
+Exit codes: 0 ok, 1 malformed stats, 2 usage.
+"""
+
+import argparse
+import json
+import sys
+
+WINDOW_FIELDS = {"workload", "scheme", "seq", "retired", "cycle",
+                 "window_insts", "window_mpki", "window_ipc",
+                 "minst_per_s"}
+FINAL_FIELDS = {"workload", "scheme", "instructions", "cycles",
+                "l1i_misses", "mpki", "ipc"}
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("stats")
+    parser.add_argument(
+        "--min-windows", type=int, default=3,
+        help="minimum serve.window lines required (default 3)")
+    args = parser.parse_args()
+
+    windows = 0
+    next_seq = {}
+    finals = set()
+    try:
+        with open(args.stats, encoding="utf-8") as handle:
+            for lineno, line in enumerate(handle, 1):
+                if not line.strip():
+                    continue
+                try:
+                    event = json.loads(line)
+                except json.JSONDecodeError as err:
+                    print(f"{args.stats}:{lineno}: not JSON: {err}",
+                          file=sys.stderr)
+                    return 1
+                kind = event.get("ev")
+                if kind == "serve.window":
+                    missing = WINDOW_FIELDS - event.keys()
+                    if missing:
+                        print(f"{args.stats}:{lineno}: serve.window "
+                              f"missing {sorted(missing)}",
+                              file=sys.stderr)
+                        return 1
+                    scheme = event["scheme"]
+                    want = next_seq.get(scheme, 0)
+                    if event["seq"] != want:
+                        print(f"{args.stats}:{lineno}: {scheme} seq "
+                              f"{event['seq']}, expected {want}",
+                              file=sys.stderr)
+                        return 1
+                    next_seq[scheme] = want + 1
+                    windows += 1
+                elif kind == "serve.final":
+                    missing = FINAL_FIELDS - event.keys()
+                    if missing:
+                        print(f"{args.stats}:{lineno}: serve.final "
+                              f"missing {sorted(missing)}",
+                              file=sys.stderr)
+                        return 1
+                    finals.add(event["scheme"])
+    except OSError as err:
+        print(f"check_serve_stats: {err}", file=sys.stderr)
+        return 2
+
+    if windows < args.min_windows:
+        print(f"only {windows} serve.window line(s), expected at "
+              f"least {args.min_windows}", file=sys.stderr)
+        return 1
+    if not finals:
+        print("no serve.final lines", file=sys.stderr)
+        return 1
+    print(f"serve stats ok: {windows} windows over "
+          f"{len(next_seq)} scheme(s), finals for "
+          f"{', '.join(sorted(finals))}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -13,6 +13,12 @@
  *                    [--shard I/N] [--checkpoint-dir D]
  *                    [--checkpoint-every N]
  *   acic_run sweep   --grid G --workloads W [same options as run]
+ *   acic_run serve   <input> --schemes S [--warmup N] [--window N]
+ *                    [--step N] [--ring N] [--stats-out FILE]
+ *                    [--dump-stats] [--quiet] [--telemetry FILE]
+ *                    [--heartbeat N]
+ *   acic_run stream  --workloads W [--instructions N] |
+ *                    --trace FILE  [--out PATH] [--frame-records N]
  *   acic_run merge   <shard.json>... [--csv FILE] [--json FILE]
  *   acic_run import  <input> <output> [--format F] [--name N]
  *   acic_run stat    <trace>
@@ -49,6 +55,7 @@
 #include "driver/experiment.hh"
 #include "driver/merge.hh"
 #include "driver/report.hh"
+#include "driver/serve.hh"
 #include "trace/catalog.hh"
 #include "trace/import/importer.hh"
 #include "trace/io.hh"
@@ -69,6 +76,11 @@ const char *const kMainHelp =
     "  record    capture synthetic workloads to .acictrace files\n"
     "  run       execute a workloads x schemes experiment matrix\n"
     "  sweep     expand a {a,b,c} parameter grid and run the matrix\n"
+    "  serve     simulate a live framed instruction stream (stdin /\n"
+    "            FIFO) with resident per-scheme engines and rolling\n"
+    "            window stats\n"
+    "  stream    frame a workload or .acictrace file as a live\n"
+    "            stream (the producer side of serve)\n"
     "  merge     reassemble one sweep from per-shard JSON outputs\n"
     "  import    convert an external instruction trace to "
     ".acictrace\n"
@@ -170,6 +182,14 @@ const char *const kRunHelp =
     "                     golden-corpus fixture format; cells are\n"
     "                     separated by '# workload=... scheme=...'\n"
     "                     comment lines (strip with grep -v '^#')\n"
+    "  --no-oracle        skip building the Belady next-use oracle.\n"
+    "                     OPT-style schemes then see 'never reused'\n"
+    "                     for every block and the advisory accuracy\n"
+    "                     counters (match_opt, acic.*_r*) stay zero\n"
+    "                     — the same statistics a single-pass live\n"
+    "                     stream ('acic_run serve') can compute, so\n"
+    "                     serve output diffs byte-identically\n"
+    "                     against this mode\n"
     "  --quiet            suppress per-cell progress on stderr\n"
     "  --progress         one live progress line on stderr (cells\n"
     "                     done/total, percent, aggregate Minst/s,\n"
@@ -256,6 +276,8 @@ const char *const kSweepHelp =
     "  --json FILE        write per-cell results as JSON\n"
     "  --dump-stats       print every cell's complete statistics\n"
     "                     dump (see 'acic_run help run')\n"
+    "  --no-oracle        skip the Belady oracle (see 'acic_run\n"
+    "                     help run')\n"
     "  --quiet            suppress per-cell progress on stderr\n"
     "  --progress         one live progress line on stderr instead\n"
     "                     of per-cell lines (see 'acic_run help "
@@ -273,6 +295,96 @@ const char *const kSweepHelp =
     "  --checkpoint-every N\n"
     "                     instructions between in-flight snapshots\n"
     "                     (default 5000000; 0 disables)\n"
+    "\n"
+    "exit codes: 0 success, 1 runtime error, 2 usage error\n";
+
+const char *const kServeHelp =
+    "usage: acic_run serve <input> --schemes S [--warmup N]\n"
+    "                      [--window N] [--step N] [--ring N]\n"
+    "                      [--stats-out FILE] [--dump-stats]\n"
+    "                      [--quiet] [--telemetry FILE]\n"
+    "                      [--heartbeat N]\n"
+    "\n"
+    "Simulate a live framed instruction stream (the 'acic_run\n"
+    "stream' format, DESIGN.md section 12) with one resident engine\n"
+    "per scheme. The stream is single-pass: a bounded ingest ring\n"
+    "plus a lockstep fan-out buffer keep peak memory independent of\n"
+    "stream length (the producer blocks in write(2) when the\n"
+    "service falls behind — pipe backpressure is the flow control).\n"
+    "Rolling-window statistics are emitted as JSON lines while the\n"
+    "stream runs; on end-of-stream the final per-scheme statistics\n"
+    "match 'acic_run run --no-oracle' over the equivalent\n"
+    "materialized trace byte-for-byte (a single-pass stream cannot\n"
+    "build the Belady oracle).\n"
+    "\n"
+    "  <input>   '-' for stdin, 'pipe:PATH' or PATH for a FIFO or\n"
+    "            file carrying the framed stream\n"
+    "\n"
+    "examples:\n"
+    "  acic_run stream --workloads web_search |\n"
+    "      acic_run serve - --schemes acic,lru\n"
+    "  mkfifo /tmp/insts && acic_run serve pipe:/tmp/insts \\\n"
+    "      --schemes acic &\n"
+    "  acic_run stream --workloads web_search --out /tmp/insts\n"
+    "\n"
+    "options:\n"
+    "  --schemes S       comma-separated registry specs (required)\n"
+    "  --warmup N        warmup instructions before measurement\n"
+    "                    (default 0; a live stream has no known\n"
+    "                    length to take a fraction of)\n"
+    "  --window N        rolling-window width in instructions\n"
+    "                    (default 1000000); each window emits one\n"
+    "                    serve.window JSON line per scheme\n"
+    "  --step N          lockstep round granularity in instructions\n"
+    "                    (default 65536); bounds how far engines\n"
+    "                    drift apart and thus the fan-out backlog\n"
+    "  --ring N          ingest ring capacity in records (default\n"
+    "                    65536); bounds decoded-but-unconsumed\n"
+    "                    buffering and thus peak memory\n"
+    "  --stats-out FILE  write the JSON stats lines to FILE instead\n"
+    "                    of stdout\n"
+    "  --dump-stats      after the final stats, print the\n"
+    "                    golden-corpus statistics dump per scheme\n"
+    "                    ('# workload=... scheme=...' separators),\n"
+    "                    exactly as 'acic_run run --dump-stats'\n"
+    "  --quiet           suppress the human summary on stderr\n"
+    "  --telemetry FILE  JSONL telemetry event stream (engine\n"
+    "                    heartbeats; see 'acic_run help run')\n"
+    "  --heartbeat N     instructions between heartbeats (default\n"
+    "                    1000000; only with --telemetry)\n"
+    "\n"
+    "Shutdown: a clean end-of-stream frame, SIGTERM, or SIGINT end\n"
+    "the service with exit 0 (final stats are still emitted); a\n"
+    "malformed or truncated stream — e.g. the producer died\n"
+    "mid-frame — exits 1 with the byte offset of the damage.\n"
+    "\n"
+    "exit codes: 0 clean end-of-stream or signal shutdown, 1\n"
+    "runtime/stream error, 2 usage error\n";
+
+const char *const kStreamHelp =
+    "usage: acic_run stream --workloads W [--instructions N]\n"
+    "                       [--out PATH] [--frame-records N]\n"
+    "       acic_run stream --trace FILE [--out PATH]\n"
+    "                       [--frame-records N]\n"
+    "\n"
+    "Produce a framed live instruction stream (DESIGN.md section\n"
+    "12) on stdout — the producer side of 'acic_run serve'. Unlike\n"
+    "the on-disk .acictrace container (whose header count is\n"
+    "patched on close and therefore needs a seekable file), the\n"
+    "framed stream works through pipes and FIFOs: each frame\n"
+    "carries its own length and decoder seed, and the total record\n"
+    "count rides in the trailing end-of-stream frame.\n"
+    "\n"
+    "options:\n"
+    "  --workloads W      synthetic catalog workload to generate\n"
+    "                     (exactly one name)\n"
+    "  --instructions N   trace-length override for the synthetic\n"
+    "                     workload\n"
+    "  --trace FILE       frame an existing .acictrace file instead\n"
+    "                     of generating\n"
+    "  --out PATH         write to PATH (e.g. a FIFO) instead of\n"
+    "                     stdout\n"
+    "  --frame-records N  records per frame (default 4096)\n"
     "\n"
     "exit codes: 0 success, 1 runtime error, 2 usage error\n";
 
@@ -647,6 +759,8 @@ runMatrix(const OptionParser &opts, const char *workload_list,
     if (const char *n = opts.value("--checkpoint-every"))
         spec.checkpointEvery =
             parseCount(n, "--checkpoint-every", true);
+    if (opts.present("--no-oracle"))
+        spec.useOracle = false;
 
     SchemeSpec baseline = spec.schemes.front();
     if (const char *b = opts.value("--baseline")) {
@@ -913,6 +1027,82 @@ cmdSweep(const OptionParser &opts)
 }
 
 int
+cmdServe(const OptionParser &opts)
+{
+    if (opts.present("--help"))
+        return usage(kServeHelp, true);
+    const char *input = opts.positional(0);
+    const char *schemes = opts.value("--schemes");
+    if (!input || !schemes) {
+        std::fprintf(stderr,
+                     "serve: <input> and --schemes are required\n");
+        return usage(kServeHelp, false);
+    }
+
+    ServeOptions options;
+    options.input = input;
+    options.schemes = schemes;
+    if (const char *w = opts.value("--warmup"))
+        options.warmup = parseCount(w, "--warmup", true);
+    if (const char *w = opts.value("--window"))
+        options.window = parseCount(w, "--window");
+    if (const char *s = opts.value("--step"))
+        options.step = parseCount(s, "--step");
+    if (const char *r = opts.value("--ring"))
+        options.ring = parseCount(r, "--ring");
+    if (const char *p = opts.value("--stats-out"))
+        options.statsOut = p;
+    options.dumpStats = opts.present("--dump-stats");
+    options.quiet = opts.present("--quiet");
+
+    // Telemetry must be live before runServe constructs its engines
+    // — SimEngine latches the heartbeat interval at construction.
+    if (const char *hb = opts.value("--heartbeat"))
+        Telemetry::setHeartbeatInterval(
+            parseCount(hb, "--heartbeat"));
+    const char *telemetry_path = opts.value("--telemetry");
+    if (telemetry_path && !Telemetry::open(telemetry_path)) {
+        std::fprintf(stderr, "failed opening --telemetry %s\n",
+                     telemetry_path);
+        return 1;
+    }
+    const int rc = runServe(options);
+    if (telemetry_path) {
+        Telemetry::close();
+        std::fprintf(stderr, "wrote %s\n", telemetry_path);
+    }
+    return rc;
+}
+
+int
+cmdStream(const OptionParser &opts)
+{
+    if (opts.present("--help"))
+        return usage(kStreamHelp, true);
+    const char *workload = opts.value("--workloads");
+    const char *trace = opts.value("--trace");
+    if (!workload == !trace) {
+        std::fprintf(stderr,
+                     "stream: exactly one of --workloads or "
+                     "--trace is required\n");
+        return usage(kStreamHelp, false);
+    }
+
+    StreamGenOptions options;
+    if (workload)
+        options.workload = workload;
+    if (trace)
+        options.trace = trace;
+    if (const char *n = opts.value("--instructions"))
+        options.instructions = parseCount(n, "--instructions");
+    if (const char *o = opts.value("--out"))
+        options.out = o;
+    if (const char *f = opts.value("--frame-records"))
+        options.frameRecords = parseCount32(f, "--frame-records");
+    return runStreamGen(options);
+}
+
+int
 cmdMerge(const OptionParser &opts)
 {
     if (opts.present("--help"))
@@ -1020,6 +1210,10 @@ cmdHelp(int argc, char **argv)
         return usage(kRunHelp, true);
     if (topic == "sweep")
         return usage(kSweepHelp, true);
+    if (topic == "serve")
+        return usage(kServeHelp, true);
+    if (topic == "stream")
+        return usage(kStreamHelp, true);
     if (topic == "merge")
         return usage(kMergeHelp, true);
     if (topic == "import")
@@ -1050,6 +1244,10 @@ main(int argc, char **argv)
             return cmdRun(opts);
         if (command == "sweep")
             return cmdSweep(opts);
+        if (command == "serve")
+            return cmdServe(opts);
+        if (command == "stream")
+            return cmdStream(opts);
         if (command == "merge")
             return cmdMerge(opts);
         if (command == "import")

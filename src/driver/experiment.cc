@@ -139,7 +139,9 @@ manifestText(const ExperimentSpec &spec)
     out << "],\n  \"instructions\": " << spec.instructions
         << ",\n  \"intervals\": " << spec.intervals
         << ",\n  \"interval_warmup\": " << spec.intervalWarmup
-        << ",\n  \"warm_horizon\": " << spec.warmHorizon << "\n}\n";
+        << ",\n  \"warm_horizon\": " << spec.warmHorizon
+        << ",\n  \"use_oracle\": "
+        << (spec.useOracle ? "true" : "false") << "\n}\n";
     return out.str();
 }
 
@@ -206,24 +208,42 @@ ExperimentDriver::ExperimentDriver(ExperimentSpec spec)
 std::shared_ptr<const SharedWorkload>
 ExperimentDriver::prepareWorkload(const WorkloadEntry &entry) const
 {
-    if (entry.source == WorkloadSource::TraceFile) {
+    std::shared_ptr<SharedWorkload> shared;
+    if (entry.source == WorkloadSource::Stream) {
+        // A pipe/stdin entry is single-pass: it can be neither
+        // materialized for concurrent schemes nor replayed for the
+        // oracle, so the batch driver cannot run it.
+        const std::string msg =
+            "workload '" + entry.name() +
+            "' is a live stream; the batch driver needs a "
+            "re-iterable trace. Drive it with 'acic_run serve " +
+            entry.name() +
+            " --schemes ...' instead, or materialize it to a file "
+            "first";
+        ACIC_FATAL(msg.c_str());
+    } else if (entry.source == WorkloadSource::TraceFile) {
         FileTraceSource file(entry.path);
-        return std::make_shared<SharedWorkload>(file, spec_.config);
-    }
-    if (!spec_.traceDir.empty()) {
+        shared =
+            std::make_shared<SharedWorkload>(file, spec_.config);
+    } else if (!spec_.traceDir.empty()) {
         const std::string path = spec_.traceDir + "/" +
                                  entry.name() +
                                  TraceFormat::suffix();
         FileTraceSource file(path);
-        return std::make_shared<SharedWorkload>(file, spec_.config);
+        shared =
+            std::make_shared<SharedWorkload>(file, spec_.config);
+    } else {
+        // Precedence: explicit spec override > ACIC_TRACE_LEN >
+        // preset.
+        WorkloadParams effective =
+            WorkloadContext::withEnvOverrides(entry.params);
+        if (spec_.instructions != 0)
+            effective.instructions = spec_.instructions;
+        shared = std::make_shared<SharedWorkload>(
+            std::move(effective), spec_.config);
     }
-    // Precedence: explicit spec override > ACIC_TRACE_LEN > preset.
-    WorkloadParams effective =
-        WorkloadContext::withEnvOverrides(entry.params);
-    if (spec_.instructions != 0)
-        effective.instructions = spec_.instructions;
-    return std::make_shared<SharedWorkload>(std::move(effective),
-                                            spec_.config);
+    shared->setOracleEnabled(spec_.useOracle);
+    return shared;
 }
 
 namespace {
@@ -417,7 +437,7 @@ ExperimentDriver::run(const Observer &observer)
                                          spec_.intervals,
                                          spec_.intervalWarmup,
                                          spec_.warmHorizon);
-                    if (plan.size() > 1)
+                    if (plan.size() > 1 && spec_.useOracle)
                         oracles = std::make_shared<ShardOracles>(
                             plan.size());
                 }
@@ -509,9 +529,11 @@ ExperimentDriver::run(const Observer &observer)
                                     shared->runInterval(
                                         spec_.schemes[s],
                                         shards->plan[i],
-                                        &oracles->get(
-                                            i, *shared,
-                                            shards->plan[i]));
+                                        oracles
+                                            ? &oracles->get(
+                                                  i, *shared,
+                                                  shards->plan[i])
+                                            : nullptr);
                             } catch (const std::exception &e) {
                                 ACIC_FATAL(e.what());
                             }

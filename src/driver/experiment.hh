@@ -85,6 +85,18 @@ struct ExperimentSpec
     std::uint64_t warmHorizon = 0;
 
     /**
+     * Build and pass the Belady demand oracle to every cell (the
+     * default). OPT-style schemes need it to make decisions; for the
+     * others it only feeds advisory accuracy counters (match_opt,
+     * acic.*_r<N>) in the org-stats dump. Turning it off skips the
+     * oracle pass entirely and zeroes those counters — which is also
+     * what `acic_run serve` reports, since a live stream cannot be
+     * replayed for an oracle — so `run --no-oracle` output is the
+     * byte-comparison currency between served and file-based runs.
+     */
+    bool useOracle = true;
+
+    /**
      * Per-workload trace-length override; 0 keeps preset lengths.
      * Applies to synthetic entries only — trace-file entries always
      * replay their recorded stream in full.

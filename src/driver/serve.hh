@@ -1,0 +1,89 @@
+/**
+ * @file
+ * `acic_run serve` — streaming live-traffic simulation service
+ * (DESIGN.md section 12) — and `acic_run stream`, the matching
+ * framed-stream producer.
+ *
+ * serve attaches one resident SimEngine per scheme to a single-pass
+ * framed instruction stream (stdin, a FIFO, or any readable path),
+ * fans the stream out through a StreamTee so every engine sees the
+ * identical record sequence, steps the engines in bounded lockstep
+ * rounds (memory stays bounded by the ring + tee backlog, not the
+ * stream length), and periodically emits rolling-window statistics
+ * as JSON lines. On a clean end-of-stream it prints the same final
+ * statistics `acic_run run` computes over the equivalent
+ * materialized trace — byte-identical when run is given
+ * --no-oracle, since a single-pass stream can never build the
+ * Belady oracle.
+ *
+ * stream is the producer side: it frames a synthetic workload or an
+ * existing `.acictrace` file onto stdout (or --out), so
+ *
+ *   acic_run stream --workloads web_search | acic_run serve - \
+ *       --schemes acic,lru
+ *
+ * is a complete live pipeline.
+ */
+
+#ifndef ACIC_DRIVER_SERVE_HH
+#define ACIC_DRIVER_SERVE_HH
+
+#include <cstdint>
+#include <string>
+
+namespace acic {
+
+/** Options of `acic_run serve` (defaults match the CLI help). */
+struct ServeOptions
+{
+    /** Stream input: "-" (stdin), "pipe:PATH", or a path. */
+    std::string input;
+    /** Comma-separated scheme list (registry spec strings). */
+    std::string schemes;
+    /** Warmup instructions before measurement starts (absolute
+     *  count; a live stream has no known length to take a fraction
+     *  of). */
+    std::uint64_t warmup = 0;
+    /** Rolling-window width in instructions. */
+    std::uint64_t window = 1'000'000;
+    /** Lockstep round granularity in instructions. */
+    std::uint64_t step = 65'536;
+    /** Ingest ring capacity in records. */
+    std::uint64_t ring = 65'536;
+    /** Rolling-stats JSONL destination ("" = stdout). */
+    std::string statsOut;
+    /** Print the golden-corpus stats dump after the final stats. */
+    bool dumpStats = false;
+    /** Suppress the human-readable summary on stderr. */
+    bool quiet = false;
+};
+
+/**
+ * Run the serve loop. @return process exit code: 0 on clean
+ * end-of-stream or SIGTERM/SIGINT shutdown; throws (mapped to exit
+ * 1 by main's catch-all) on a malformed or truncated stream.
+ */
+int runServe(const ServeOptions &options);
+
+/** Options of `acic_run stream`. */
+struct StreamGenOptions
+{
+    /** Synthetic catalog workload to generate ("" with trace set). */
+    std::string workload;
+    /** Existing .acictrace file to re-frame ("" with workload set). */
+    std::string trace;
+    /** Instruction-count override for synthetic workloads (0 =
+     *  preset length). */
+    std::uint64_t instructions = 0;
+    /** Output path ("" = stdout). */
+    std::string out;
+    /** Records per frame. */
+    std::uint32_t frameRecords = 4096;
+};
+
+/** Produce a framed stream. @return process exit code. */
+int runStreamGen(const StreamGenOptions &options);
+
+} // namespace acic
+
+#endif // ACIC_DRIVER_SERVE_HH

@@ -159,7 +159,8 @@ SharedWorkload::run(IcacheOrg &org) const
 {
     MemoryTraceSource cursor = source();
     Simulator simulator(config_);
-    return simulator.run(cursor, org, &oracle());
+    return simulator.run(cursor, org,
+                         oracleEnabled_ ? &oracle() : nullptr);
 }
 
 SimResult
@@ -169,7 +170,8 @@ SharedWorkload::runCheckpointed(const SchemeSpec &scheme,
 {
     auto org = makeScheme(scheme, config_);
     MemoryTraceSource cursor = source();
-    SimEngine engine(config_, cursor, *org, &oracle());
+    SimEngine engine(config_, cursor, *org,
+                     oracleEnabled_ ? &oracle() : nullptr);
 
     const std::uint64_t total = instructions();
     const std::uint64_t warmup = static_cast<std::uint64_t>(
@@ -237,7 +239,7 @@ SharedWorkload::runInterval(IcacheOrg &org,
                     interval.begin <= interval.end,
                 "malformed simulation interval");
     DemandOracle local;
-    if (oracle == nullptr) {
+    if (oracle == nullptr && oracleEnabled_) {
         local = buildIntervalOracle(interval);
         oracle = &local;
     }

@@ -215,10 +215,23 @@ class SharedWorkload
     const std::string &name() const { return name_; }
     std::uint64_t instructions() const { return image_->size(); }
 
+    /**
+     * Enable/disable the Belady oracle for subsequent run*() calls
+     * (default on). Disabled, run()/runCheckpointed()/runInterval()
+     * hand the engine a null oracle — OPT-style schemes then see
+     * "never reused" for every block, and the advisory accuracy
+     * counters (match_opt, acic.*_r<N>) stay zero, matching what a
+     * single-pass live stream (`acic_run serve`) can compute. Set
+     * before sharing across threads; not synchronized.
+     */
+    void setOracleEnabled(bool enabled) { oracleEnabled_ = enabled; }
+    bool oracleEnabled() const { return oracleEnabled_; }
+
   private:
     SimConfig config_;
     std::string name_;
     TraceImage image_;
+    bool oracleEnabled_ = true;
     mutable std::once_flag oracleOnce_;
     mutable DemandOracle oracle_;
 };

@@ -5,6 +5,7 @@
 
 #include "common/logging.hh"
 #include "trace/io.hh"
+#include "trace/streaming.hh"
 #include "trace/synthetic.hh"
 
 namespace acic {
@@ -22,9 +23,30 @@ WorkloadEntry::traceFile(std::string name_, std::string path_,
     return entry;
 }
 
+WorkloadEntry
+WorkloadEntry::stream(const std::string &spec)
+{
+    WorkloadEntry entry;
+    entry.source = WorkloadSource::Stream;
+    entry.params.name = spec;
+    // "pipe:PATH" strips to the path; "-" stays as the stdin marker
+    // StreamingTraceSource::openPath understands.
+    entry.path = spec.rfind("pipe:", 0) == 0 ? spec.substr(5) : spec;
+    entry.suite = "stream";
+    return entry;
+}
+
+bool
+WorkloadEntry::isStreamSpec(const std::string &text)
+{
+    return text == "-" || text.rfind("pipe:", 0) == 0;
+}
+
 std::unique_ptr<TraceSource>
 WorkloadEntry::open() const
 {
+    if (source == WorkloadSource::Stream)
+        return StreamingTraceSource::openPath(path);
     if (source == WorkloadSource::TraceFile)
         return std::make_unique<FileTraceSource>(path);
     return std::make_unique<SyntheticWorkload>(params);
@@ -133,13 +155,17 @@ WorkloadCatalog::resolve(const std::string &list) const
                 start, comma == std::string::npos ? std::string::npos
                                                   : comma - start);
             if (!name.empty()) {
-                const WorkloadEntry *entry = find(name);
-                if (!entry) {
-                    const std::string msg =
-                        "unknown workload '" + name + "'";
-                    ACIC_FATAL(msg.c_str());
+                if (WorkloadEntry::isStreamSpec(name)) {
+                    out.push_back(WorkloadEntry::stream(name));
+                } else {
+                    const WorkloadEntry *entry = find(name);
+                    if (!entry) {
+                        const std::string msg =
+                            "unknown workload '" + name + "'";
+                        ACIC_FATAL(msg.c_str());
+                    }
+                    out.push_back(*entry);
                 }
-                out.push_back(*entry);
             }
             if (comma == std::string::npos)
                 break;

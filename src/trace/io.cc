@@ -3,6 +3,7 @@
 #include <cstring>
 
 #include "common/logging.hh"
+#include "trace/errors.hh"
 
 namespace acic {
 
@@ -285,6 +286,7 @@ FileTraceSource::seekToInstruction(std::uint64_t index)
         in_.seekg(payloadOff_ +
                   static_cast<std::streamoff>(cp.offset));
         bufPos_ = bufEnd_ = 0;
+        bufBase_ = cp.offset;
         prevNext_ = cp.prevNext;
         emitted_ = cp_idx * indexInterval_;
     }
@@ -299,6 +301,7 @@ FileTraceSource::reset()
     in_.clear();
     in_.seekg(payloadOff_);
     bufPos_ = bufEnd_ = 0;
+    bufBase_ = 0;
     prevNext_ = 0;
     emitted_ = 0;
 }
@@ -307,6 +310,7 @@ bool
 FileTraceSource::getByte(std::uint8_t &b)
 {
     if (bufPos_ == bufEnd_) {
+        bufBase_ += bufEnd_;
         in_.read(reinterpret_cast<char *>(buf_.data()),
                  static_cast<std::streamsize>(buf_.size()));
         bufEnd_ = static_cast<std::size_t>(in_.gcount());
@@ -325,8 +329,19 @@ FileTraceSource::getVarint()
     unsigned shift = 0;
     std::uint8_t b = 0;
     do {
-        if (!getByte(b) || shift > 63)
-            ACIC_FATAL("truncated or corrupt trace record");
+        if (shift > 63)
+            throw TraceFormatError(
+                path_ + ": corrupt trace record (runaway varint "
+                        "continuation in record " +
+                    std::to_string(emitted_) + " of " +
+                    std::to_string(count_) + ")",
+                byteOffset());
+        if (!getByte(b))
+            throw TraceTruncatedError(
+                path_ + ": trace truncated mid-record (record " +
+                    std::to_string(emitted_) + " of " +
+                    std::to_string(count_) + ")",
+                byteOffset(), 1, 0);
         v |= static_cast<std::uint64_t>(b & 0x7f) << shift;
         shift += 7;
     } while (b & 0x80);
@@ -339,6 +354,7 @@ FileTraceSource::refillBuffer()
     const std::size_t leftover = bufEnd_ - bufPos_;
     if (leftover > 0 && bufPos_ > 0)
         std::memmove(buf_.data(), buf_.data() + bufPos_, leftover);
+    bufBase_ += bufPos_;
     bufPos_ = 0;
     bufEnd_ = leftover;
     // A previous short read may have latched eofbit; clear it so the
@@ -355,17 +371,22 @@ namespace {
 /** Worst-case encoded record: tag byte + two 10-byte varints. */
 constexpr std::size_t kMaxRecordBytes = 21;
 
-/** Pointer-decode one varint; FATALs on a runaway (corrupt) chain,
- *  which also bounds the bytes consumed to kMaxRecordBytes. */
+/** Pointer-decode one varint; throws TraceFormatError on a runaway
+ *  (corrupt) chain, which also bounds the bytes consumed to
+ *  kMaxRecordBytes. @p base_abs is the absolute file offset of
+ *  @p buf_start, so the error pinpoints the bad byte. */
 inline std::uint64_t
-takeVarint(const std::uint8_t *&p)
+takeVarint(const std::uint8_t *&p, const std::uint8_t *buf_start,
+           std::uint64_t base_abs)
 {
     std::uint64_t v = 0;
     unsigned shift = 0;
     std::uint8_t b;
     do {
         if (shift > 63)
-            ACIC_FATAL("truncated or corrupt trace record");
+            throw TraceFormatError(
+                "corrupt trace record (runaway varint continuation)",
+                base_abs + static_cast<std::uint64_t>(p - buf_start));
         b = *p++;
         v |= static_cast<std::uint64_t>(b & 0x7f) << shift;
         shift += 7;
@@ -402,25 +423,34 @@ FileTraceSource::decodeBatch(InstBatch &out)
 
     // Fast path: the buffer provably holds a worst-case batch, so
     // decode with a raw pointer and no per-byte checks. takeVarint
-    // FATALs on malformed chains, which caps every record at
+    // throws on malformed chains, which caps every record at
     // kMaxRecordBytes — the pointer cannot run off the buffer.
-    const std::uint8_t *p = buf_.data() + bufPos_;
+    const std::uint8_t *const base = buf_.data();
+    const std::uint64_t base_abs =
+        static_cast<std::uint64_t>(payloadOff_) + bufBase_;
+    const std::uint8_t *p = base + bufPos_;
     Addr prev = prevNext_;
     for (unsigned i = 0; i < target; ++i) {
         const std::uint8_t tag = *p++;
         const auto kind_raw = tag & TraceFormat::kKindMask;
         if (kind_raw > static_cast<std::uint8_t>(BranchKind::Return))
-            ACIC_FATAL("corrupt trace record (bad branch kind)");
+            throw TraceFormatError(
+                path_ + ": corrupt trace record (bad branch kind " +
+                    std::to_string(kind_raw) + " in record " +
+                    std::to_string(emitted_ + i) + " of " +
+                    std::to_string(count_) + ")",
+                base_abs + static_cast<std::uint64_t>(p - 1 - base));
         out.kind[i] = static_cast<BranchKind>(kind_raw);
         out.taken[i] = (tag & TraceFormat::kTakenBit) != 0;
 
         Addr pc = prev;
         if (!(tag & TraceFormat::kLinkedBit))
-            pc += static_cast<Addr>(zigzagDecode(takeVarint(p)));
+            pc += static_cast<Addr>(
+                zigzagDecode(takeVarint(p, base, base_abs)));
         Addr next_pc = pc + TraceInst::kInstBytes;
         if (!(tag & TraceFormat::kSequentialBit))
-            next_pc +=
-                static_cast<Addr>(zigzagDecode(takeVarint(p)));
+            next_pc += static_cast<Addr>(
+                zigzagDecode(takeVarint(p, base, base_abs)));
         out.pc[i] = pc;
         out.nextPc[i] = next_pc;
         prev = next_pc;
@@ -439,10 +469,20 @@ FileTraceSource::next(TraceInst &out)
         return false;
     std::uint8_t tag = 0;
     if (!getByte(tag))
-        ACIC_FATAL("trace shorter than its header count");
+        throw TraceTruncatedError(
+            path_ + ": trace shorter than its header count (file "
+                    "ends before record " +
+                std::to_string(emitted_) + " of " +
+                std::to_string(count_) + ")",
+            byteOffset(), 1, 0);
     const auto kind_raw = tag & TraceFormat::kKindMask;
     if (kind_raw > static_cast<std::uint8_t>(BranchKind::Return))
-        ACIC_FATAL("corrupt trace record (bad branch kind)");
+        throw TraceFormatError(
+            path_ + ": corrupt trace record (bad branch kind " +
+                std::to_string(kind_raw) + " in record " +
+                std::to_string(emitted_) + " of " +
+                std::to_string(count_) + ")",
+            byteOffset() - 1);
     out.kind = static_cast<BranchKind>(kind_raw);
     out.taken = (tag & TraceFormat::kTakenBit) != 0;
 

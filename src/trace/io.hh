@@ -173,6 +173,15 @@ class FileTraceSource : public TraceSource
     explicit FileTraceSource(const std::string &path);
 
     void reset() override;
+
+    /**
+     * Decode the next record. Throws TraceTruncatedError when the
+     * file ends mid-record or short of the header count (the message
+     * carries the absolute byte offset and expected/got bytes), and
+     * TraceFormatError on a corrupt record (runaway varint chain,
+     * invalid branch kind) — the same failure contract the streaming
+     * frame parser uses (trace/errors.hh).
+     */
     bool next(TraceInst &out) override;
 
     /**
@@ -180,7 +189,9 @@ class FileTraceSource : public TraceSource
      * raw pointer over the read buffer (no per-byte bounds checks —
      * the buffer is guaranteed to hold a worst-case batch up front).
      * Interleaves freely with next()/seekToInstruction(); the stream
-     * position and varint-chain state stay shared.
+     * position and varint-chain state stay shared. Shares next()'s
+     * failure contract: TraceTruncatedError / TraceFormatError on a
+     * file that ends mid-record or decodes to garbage.
      */
     unsigned decodeBatch(InstBatch &out) override;
 
@@ -225,6 +236,14 @@ class FileTraceSource : public TraceSource
     std::uint64_t getVarint();
     void loadIndexFooter();
 
+    /** Absolute file offset of the next unread payload byte (error
+     *  reporting: pinpoints where a truncated/corrupt decode died). */
+    std::uint64_t byteOffset() const
+    {
+        return static_cast<std::uint64_t>(payloadOff_) + bufBase_ +
+               bufPos_;
+    }
+
     /** Compact the unread buffer tail to the front and top the
      *  buffer up from the file (decodeBatch fast-path supply). */
     void refillBuffer();
@@ -239,6 +258,8 @@ class FileTraceSource : public TraceSource
     std::vector<std::uint8_t> buf_;
     std::size_t bufPos_ = 0;
     std::size_t bufEnd_ = 0;
+    /** Payload-relative file offset of buf_[0]. */
+    std::uint64_t bufBase_ = 0;
     Addr prevNext_ = 0;
 
     std::uint64_t indexInterval_ = 0;

@@ -1,0 +1,780 @@
+#include "trace/streaming.hh"
+
+#include <fcntl.h>
+#include <poll.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+
+#include "common/logging.hh"
+#include "trace/io.hh"
+
+namespace acic {
+
+namespace {
+
+/** Ring/read waits poll the stop flag at this cadence: condition
+ *  variables and read(2) cannot be interrupted portably, so both
+ *  sides wake briefly to notice a shutdown request. */
+constexpr auto kPollTick = std::chrono::milliseconds(50);
+constexpr int kPollTickMs = 100;
+
+void
+putU16(std::vector<std::uint8_t> &buf, std::uint16_t v)
+{
+    buf.push_back(static_cast<std::uint8_t>(v));
+    buf.push_back(static_cast<std::uint8_t>(v >> 8));
+}
+
+void
+putU32(std::vector<std::uint8_t> &buf, std::uint32_t v)
+{
+    for (int i = 0; i < 4; ++i)
+        buf.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+void
+putU64(std::vector<std::uint8_t> &buf, std::uint64_t v)
+{
+    for (int i = 0; i < 8; ++i)
+        buf.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+std::uint16_t
+loadU16(const std::uint8_t *p)
+{
+    return static_cast<std::uint16_t>(p[0] | (p[1] << 8));
+}
+
+std::uint32_t
+loadU32(const std::uint8_t *p)
+{
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i)
+        v |= static_cast<std::uint32_t>(p[i]) << (8 * i);
+    return v;
+}
+
+std::uint64_t
+loadU64(const std::uint8_t *p)
+{
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i)
+        v |= static_cast<std::uint64_t>(p[i]) << (8 * i);
+    return v;
+}
+
+} // namespace
+
+// ------------------------------------------------------ StreamTraceWriter
+
+StreamTraceWriter::StreamTraceWriter(std::ostream &out,
+                                     const std::string &name,
+                                     std::uint32_t frame_records)
+    : out_(out),
+      frameRecords_(frame_records == 0 ? 1 : frame_records)
+{
+    std::vector<std::uint8_t> header;
+    putU32(header, StreamFormat::kMagic);
+    putU16(header, StreamFormat::kVersion);
+    putU16(header, 0); // flags
+    putU32(header, static_cast<std::uint32_t>(name.size()));
+    for (const char c : name)
+        header.push_back(static_cast<std::uint8_t>(c));
+    out_.write(reinterpret_cast<const char *>(header.data()),
+               static_cast<std::streamsize>(header.size()));
+    payload_.reserve(frameRecords_ * 2);
+}
+
+StreamTraceWriter::~StreamTraceWriter()
+{
+    if (!finished_ && out_.good()) {
+        try {
+            finish();
+        } catch (...) {
+            // Swallow: a destructor on an unwind path must not
+            // throw; the caller's stream-state check reports it.
+        }
+    }
+}
+
+void
+StreamTraceWriter::putVarint(std::uint64_t v)
+{
+    while (v >= 0x80) {
+        payload_.push_back(static_cast<std::uint8_t>(v) | 0x80);
+        v >>= 7;
+    }
+    payload_.push_back(static_cast<std::uint8_t>(v));
+}
+
+void
+StreamTraceWriter::append(const TraceInst &inst)
+{
+    ACIC_ASSERT(!finished_,
+                "append() on a finished StreamTraceWriter");
+    const bool linked = inst.pc == prevNext_;
+    const Addr seq_next = inst.pc + TraceInst::kInstBytes;
+    const bool sequential = inst.nextPc == seq_next;
+
+    std::uint8_t tag = static_cast<std::uint8_t>(inst.kind) &
+                       TraceFormat::kKindMask;
+    if (inst.taken)
+        tag |= TraceFormat::kTakenBit;
+    if (linked)
+        tag |= TraceFormat::kLinkedBit;
+    if (sequential)
+        tag |= TraceFormat::kSequentialBit;
+    payload_.push_back(tag);
+
+    if (!linked)
+        putVarint(zigzagEncode(
+            static_cast<std::int64_t>(inst.pc - prevNext_)));
+    if (!sequential)
+        putVarint(zigzagEncode(
+            static_cast<std::int64_t>(inst.nextPc - seq_next)));
+
+    prevNext_ = inst.nextPc;
+    ++count_;
+    if (++inFrame_ >= frameRecords_)
+        flushFrame();
+}
+
+void
+StreamTraceWriter::flushFrame()
+{
+    if (inFrame_ == 0)
+        return;
+    std::vector<std::uint8_t> header;
+    putU32(header, StreamFormat::kFrameMagic);
+    putU32(header, static_cast<std::uint32_t>(payload_.size()));
+    putU32(header, inFrame_);
+    putU64(header, frameSeed_);
+    out_.write(reinterpret_cast<const char *>(header.data()),
+               static_cast<std::streamsize>(header.size()));
+    out_.write(reinterpret_cast<const char *>(payload_.data()),
+               static_cast<std::streamsize>(payload_.size()));
+    payload_.clear();
+    inFrame_ = 0;
+    frameSeed_ = prevNext_;
+}
+
+void
+StreamTraceWriter::finish()
+{
+    if (finished_)
+        return;
+    flushFrame();
+    std::vector<std::uint8_t> eos;
+    putU32(eos, StreamFormat::kFrameMagic);
+    putU32(eos, 0);
+    putU32(eos, 0);
+    putU64(eos, count_);
+    out_.write(reinterpret_cast<const char *>(eos.data()),
+               static_cast<std::streamsize>(eos.size()));
+    out_.flush();
+    finished_ = true;
+}
+
+// --------------------------------------------------------------- SpscRing
+
+SpscRing::SpscRing(std::size_t capacity,
+                   const std::atomic<bool> *stop)
+    : capacity_(capacity == 0 ? 1 : capacity), stop_(stop),
+      buf_(capacity_)
+{
+}
+
+bool
+SpscRing::push(const TraceInst *recs, std::size_t n)
+{
+    std::size_t done = 0;
+    std::unique_lock<std::mutex> lock(mutex_);
+    while (done < n) {
+        while (size_ == capacity_ && !consumerDone_ && !stopped())
+            notFull_.wait_for(lock, kPollTick);
+        if (consumerDone_ || stopped())
+            return false;
+        const std::size_t room = capacity_ - size_;
+        std::size_t chunk = n - done;
+        if (chunk > room)
+            chunk = room;
+        for (std::size_t i = 0; i < chunk; ++i)
+            buf_[(head_ + size_ + i) % capacity_] = recs[done + i];
+        size_ += chunk;
+        done += chunk;
+        if (size_ > maxOcc_)
+            maxOcc_ = size_;
+        notEmpty_.notify_one();
+    }
+    return true;
+}
+
+void
+SpscRing::closeProducer()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    producerDone_ = true;
+    notEmpty_.notify_all();
+}
+
+void
+SpscRing::fail(std::exception_ptr error)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    error_ = std::move(error);
+    producerDone_ = true;
+    notEmpty_.notify_all();
+}
+
+std::size_t
+SpscRing::pop(TraceInst *out, std::size_t max)
+{
+    if (max == 0)
+        return 0;
+    std::unique_lock<std::mutex> lock(mutex_);
+    while (size_ == 0 && !producerDone_ && !stopped())
+        notEmpty_.wait_for(lock, kPollTick);
+    if (size_ == 0) {
+        // Drained: surface the producer's error (if any) exactly at
+        // the record position where the stream went bad.
+        if (error_) {
+            std::exception_ptr e = error_;
+            error_ = nullptr;
+            std::rethrow_exception(e);
+        }
+        return 0;
+    }
+    std::size_t take = size_ < max ? size_ : max;
+    for (std::size_t i = 0; i < take; ++i)
+        out[i] = buf_[(head_ + i) % capacity_];
+    head_ = (head_ + take) % capacity_;
+    size_ -= take;
+    notFull_.notify_one();
+    return take;
+}
+
+void
+SpscRing::closeConsumer()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    consumerDone_ = true;
+    notFull_.notify_all();
+}
+
+bool
+SpscRing::consumerClosed() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return consumerDone_;
+}
+
+std::size_t
+SpscRing::maxOccupancy() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return maxOcc_;
+}
+
+// ---------------------------------------------------- StreamingTraceSource
+
+std::unique_ptr<StreamingTraceSource>
+StreamingTraceSource::openPath(const std::string &path,
+                               std::size_t ring_records,
+                               const std::atomic<bool> *stop)
+{
+    int fd;
+    bool own;
+    if (path == "-") {
+        fd = ::dup(STDIN_FILENO);
+        own = true;
+        if (fd < 0)
+            ACIC_FATAL("cannot dup stdin for stream input");
+    } else {
+        // A FIFO opened O_RDONLY blocks here until a writer
+        // connects — the intended `serve` startup handshake.
+        fd = ::open(path.c_str(), O_RDONLY);
+        own = true;
+        if (fd < 0) {
+            const std::string msg =
+                "cannot open stream input '" + path +
+                "': " + std::strerror(errno);
+            ACIC_FATAL(msg.c_str());
+        }
+    }
+    return std::make_unique<StreamingTraceSource>(fd, own,
+                                                  ring_records, stop);
+}
+
+StreamingTraceSource::StreamingTraceSource(
+    int fd, bool own_fd, std::size_t ring_records,
+    const std::atomic<bool> *stop)
+    : fd_(fd), ownFd_(own_fd), stop_(stop),
+      ring_(ring_records, stop)
+{
+    readHeader();
+    reader_ = std::thread([this] { readerMain(); });
+}
+
+StreamingTraceSource::~StreamingTraceSource()
+{
+    // Closing the consumer side unblocks a reader stuck in push();
+    // the poll loop in readFully notices it before the next read.
+    ring_.closeConsumer();
+    if (reader_.joinable())
+        reader_.join();
+    if (ownFd_ && fd_ >= 0)
+        ::close(fd_);
+}
+
+StreamingTraceSource::ReadStatus
+StreamingTraceSource::readFully(void *dst, std::size_t n,
+                                std::size_t &got)
+{
+    got = 0;
+    auto *p = static_cast<std::uint8_t *>(dst);
+    while (got < n) {
+        if (ring_.consumerClosed() ||
+            (stop_ && stop_->load(std::memory_order_relaxed)))
+            return ReadStatus::Aborted;
+        struct pollfd pfd;
+        pfd.fd = fd_;
+        pfd.events = POLLIN;
+        pfd.revents = 0;
+        const int pr = ::poll(&pfd, 1, kPollTickMs);
+        if (pr < 0) {
+            if (errno == EINTR)
+                continue;
+            return ReadStatus::Eof;
+        }
+        if (pr == 0)
+            continue; // timeout: re-check the abort conditions
+        const ssize_t r = ::read(fd_, p + got, n - got);
+        if (r < 0) {
+            if (errno == EINTR || errno == EAGAIN)
+                continue;
+            return ReadStatus::Eof;
+        }
+        if (r == 0)
+            return ReadStatus::Eof;
+        got += static_cast<std::size_t>(r);
+    }
+    return ReadStatus::Full;
+}
+
+void
+StreamingTraceSource::readHeader()
+{
+    std::uint8_t fixed[StreamFormat::kHeaderBytes];
+    std::size_t got = 0;
+    ReadStatus st = readFully(fixed, sizeof(fixed), got);
+    if (st == ReadStatus::Aborted)
+        throw TraceTruncatedError(
+            "stream aborted before the header arrived", 0,
+            sizeof(fixed), got);
+    if (st == ReadStatus::Eof)
+        throw TraceTruncatedError(
+            "stream ended inside the ACIS header", streamOff_ + got,
+            sizeof(fixed), got);
+    if (loadU32(fixed) != StreamFormat::kMagic)
+        throw TraceFormatError(
+            "not an ACIS instruction stream (bad magic; pipe the "
+            "output of 'acic_run stream' here)",
+            streamOff_);
+    const std::uint16_t version = loadU16(fixed + 4);
+    if (version != StreamFormat::kVersion)
+        throw TraceFormatError(
+            "unsupported ACIS stream version " +
+                std::to_string(version),
+            streamOff_ + 4);
+    const std::uint32_t name_len = loadU32(fixed + 8);
+    if (name_len > (1u << 20))
+        throw TraceFormatError("corrupt ACIS header (name length " +
+                                   std::to_string(name_len) + ")",
+                               streamOff_ + 8);
+    streamOff_ += sizeof(fixed);
+    name_.resize(name_len);
+    if (name_len > 0) {
+        st = readFully(name_.data(), name_len, got);
+        if (st != ReadStatus::Full)
+            throw TraceTruncatedError(
+                "stream ended inside the workload name",
+                streamOff_ + got, name_len, got);
+        streamOff_ += name_len;
+    }
+    if (name_.empty())
+        name_ = "stream";
+}
+
+void
+StreamingTraceSource::decodeFrame(const std::uint8_t *payload,
+                                  std::size_t payload_bytes,
+                                  std::uint32_t records, Addr seed,
+                                  std::uint64_t frame_off,
+                                  std::vector<TraceInst> &out)
+{
+    out.clear();
+    out.reserve(records);
+    const std::uint8_t *p = payload;
+    const std::uint8_t *const end = payload + payload_bytes;
+    Addr prev = seed;
+    for (std::uint32_t i = 0; i < records; ++i) {
+        if (p >= end)
+            throw TraceFormatError(
+                "frame payload ends before record " +
+                    std::to_string(i) + " of " +
+                    std::to_string(records),
+                frame_off + static_cast<std::uint64_t>(p - payload));
+        const std::uint8_t tag = *p++;
+        const auto kind_raw = tag & TraceFormat::kKindMask;
+        if (kind_raw > static_cast<std::uint8_t>(BranchKind::Return))
+            throw TraceFormatError(
+                "corrupt stream record (bad branch kind " +
+                    std::to_string(kind_raw) + " in frame record " +
+                    std::to_string(i) + ")",
+                frame_off +
+                    static_cast<std::uint64_t>(p - 1 - payload));
+
+        auto take_varint = [&]() -> std::uint64_t {
+            std::uint64_t v = 0;
+            unsigned shift = 0;
+            std::uint8_t b;
+            do {
+                if (shift > 63)
+                    throw TraceFormatError(
+                        "corrupt stream record (runaway varint "
+                        "continuation)",
+                        frame_off +
+                            static_cast<std::uint64_t>(p - payload));
+                if (p >= end)
+                    throw TraceTruncatedError(
+                        "frame payload ends mid-varint in record " +
+                            std::to_string(i),
+                        frame_off +
+                            static_cast<std::uint64_t>(p - payload),
+                        1, 0);
+                b = *p++;
+                v |= static_cast<std::uint64_t>(b & 0x7f) << shift;
+                shift += 7;
+            } while (b & 0x80);
+            return v;
+        };
+
+        TraceInst inst;
+        inst.kind = static_cast<BranchKind>(kind_raw);
+        inst.taken = (tag & TraceFormat::kTakenBit) != 0;
+        inst.pc = prev;
+        if (!(tag & TraceFormat::kLinkedBit))
+            inst.pc += static_cast<Addr>(
+                zigzagDecode(take_varint()));
+        inst.nextPc = inst.pc + TraceInst::kInstBytes;
+        if (!(tag & TraceFormat::kSequentialBit))
+            inst.nextPc += static_cast<Addr>(
+                zigzagDecode(take_varint()));
+        prev = inst.nextPc;
+        out.push_back(inst);
+    }
+    if (p != end)
+        throw TraceFormatError(
+            "frame payload has " +
+                std::to_string(static_cast<std::uint64_t>(end - p)) +
+                " trailing byte(s) after its declared records",
+            frame_off + static_cast<std::uint64_t>(p - payload));
+}
+
+void
+StreamingTraceSource::readerMain()
+{
+    std::vector<std::uint8_t> payload;
+    std::vector<TraceInst> scratch;
+    try {
+        for (;;) {
+            std::uint8_t header[StreamFormat::kFrameHeaderBytes];
+            std::size_t got = 0;
+            const std::uint64_t frame_off = streamOff_;
+            ReadStatus st = readFully(header, sizeof(header), got);
+            if (st == ReadStatus::Aborted)
+                return; // consumer gone / shutdown: not an error
+            if (st == ReadStatus::Eof) {
+                if (got == 0)
+                    throw TraceTruncatedError(
+                        "stream ended without its end-of-stream "
+                        "frame (the producer likely died)",
+                        frame_off, sizeof(header), 0);
+                throw TraceTruncatedError(
+                    "stream ended inside a frame header (the "
+                    "producer likely died)",
+                    frame_off + got, sizeof(header), got);
+            }
+            if (loadU32(header) != StreamFormat::kFrameMagic)
+                throw TraceFormatError(
+                    "bad frame magic (stream desynchronized or "
+                    "corrupt)",
+                    frame_off);
+            const std::uint32_t payload_bytes = loadU32(header + 4);
+            const std::uint32_t records = loadU32(header + 8);
+            const std::uint64_t seed_or_total = loadU64(header + 12);
+            streamOff_ += sizeof(header);
+
+            if (payload_bytes == 0 && records == 0) {
+                // End-of-stream frame: the u64 carries the total.
+                if (seed_or_total != decoded_)
+                    throw TraceFormatError(
+                        "end-of-stream record count mismatch: "
+                        "stream announced " +
+                            std::to_string(seed_or_total) +
+                            ", decoded " + std::to_string(decoded_),
+                        frame_off);
+                total_.store(decoded_, std::memory_order_release);
+                cleanEos_.store(true, std::memory_order_release);
+                ring_.closeProducer();
+                return;
+            }
+            if (payload_bytes > StreamFormat::kMaxFramePayload)
+                throw TraceFormatError(
+                    "frame payload of " +
+                        std::to_string(payload_bytes) +
+                        " bytes exceeds the format bound",
+                    frame_off + 4);
+            if (records == 0 || records > StreamFormat::kMaxFrameRecords)
+                throw TraceFormatError(
+                    "frame record count " + std::to_string(records) +
+                        " outside the format bounds",
+                    frame_off + 8);
+
+            payload.resize(payload_bytes);
+            st = readFully(payload.data(), payload_bytes, got);
+            if (st == ReadStatus::Aborted)
+                return;
+            if (st == ReadStatus::Eof)
+                throw TraceTruncatedError(
+                    "stream ended inside a frame payload (the "
+                    "producer likely died)",
+                    streamOff_ + got, payload_bytes, got);
+            decodeFrame(payload.data(), payload_bytes, records,
+                        seed_or_total, streamOff_, scratch);
+            streamOff_ += payload_bytes;
+            decoded_ += records;
+            if (!ring_.push(scratch.data(), scratch.size()))
+                return; // consumer gone / shutdown
+        }
+    } catch (...) {
+        ring_.fail(std::current_exception());
+    }
+}
+
+void
+StreamingTraceSource::reset()
+{
+    // SimEngine's constructor defensively resets its source before
+    // any record is consumed; that is a no-op here. A rewind after
+    // consumption is impossible on a live stream.
+    if (delivered_ != 0)
+        ACIC_FATAL("cannot rewind a live instruction stream "
+                   "(single-pass source)");
+}
+
+bool
+StreamingTraceSource::next(TraceInst &out)
+{
+    if (carryPos_ == carryLen_) {
+        carryLen_ = ring_.pop(carry_, InstBatch::kCapacity);
+        carryPos_ = 0;
+        if (carryLen_ == 0)
+            return false;
+    }
+    out = carry_[carryPos_++];
+    ++delivered_;
+    return true;
+}
+
+unsigned
+StreamingTraceSource::decodeBatch(InstBatch &out)
+{
+    out.count = 0;
+    // Drain the next()-carry first so the two entry points stay
+    // interleavable on one stream position.
+    while (carryPos_ < carryLen_ &&
+           out.count < InstBatch::kCapacity)
+        out.set(out.count++, carry_[carryPos_++]);
+    if (out.count < InstBatch::kCapacity) {
+        TraceInst tmp[InstBatch::kCapacity];
+        const std::size_t got =
+            ring_.pop(tmp, InstBatch::kCapacity - out.count);
+        for (std::size_t i = 0; i < got; ++i)
+            out.set(out.count++, tmp[i]);
+    }
+    delivered_ += out.count;
+    return out.count;
+}
+
+std::uint64_t
+StreamingTraceSource::length() const
+{
+    const std::uint64_t total =
+        total_.load(std::memory_order_acquire);
+    return total != 0 ? total : delivered_;
+}
+
+// -------------------------------------------------------------- StreamTee
+
+StreamTee::StreamTee(TraceSource &upstream, unsigned cursors,
+                     std::size_t chunk_records)
+    : upstream_(upstream),
+      chunkRecords_(chunk_records == 0 ? 1 : chunk_records)
+{
+    ACIC_ASSERT(cursors > 0, "StreamTee needs at least one cursor");
+    cursors_.reserve(cursors);
+    for (unsigned i = 0; i < cursors; ++i)
+        cursors_.push_back(std::make_unique<Cursor>(*this, i));
+}
+
+StreamTee::~StreamTee() = default;
+
+bool
+StreamTee::pullBatch()
+{
+    if (eof_)
+        return false;
+    const unsigned got = upstream_.decodeBatch(scratch_);
+    if (got == 0) {
+        eof_ = true;
+        return false;
+    }
+    if (chunks_.empty() ||
+        chunks_.back()->data.size() + got > chunkRecords_) {
+        auto chunk = std::make_shared<Chunk>();
+        chunk->base = end_;
+        chunk->data.reserve(chunkRecords_);
+        chunks_.push_back(std::move(chunk));
+    }
+    Chunk &tail = *chunks_.back();
+    for (unsigned i = 0; i < got; ++i)
+        tail.data.push_back(scratch_.get(i));
+    end_ += got;
+    return true;
+}
+
+std::uint64_t
+StreamTee::ensureBuffered(std::uint64_t target)
+{
+    while (end_ < target && pullBatch()) {
+    }
+    return end_;
+}
+
+std::shared_ptr<StreamTee::Chunk>
+StreamTee::chunkAt(std::uint64_t pos) const
+{
+    for (const auto &chunk : chunks_) {
+        if (pos >= chunk->base &&
+            pos < chunk->base + chunk->data.size())
+            return chunk;
+    }
+    return nullptr;
+}
+
+void
+StreamTee::trim()
+{
+    std::uint64_t min_pos = ~std::uint64_t(0);
+    for (const auto &cursor : cursors_)
+        if (cursor->pos_ < min_pos)
+            min_pos = cursor->pos_;
+    while (!chunks_.empty()) {
+        const Chunk &front = *chunks_.front();
+        const std::uint64_t front_end =
+            front.base + front.data.size();
+        if (front_end > min_pos)
+            break;
+        start_ = front_end;
+        chunks_.pop_front();
+    }
+}
+
+// ------------------------------------------------------ StreamTee::Cursor
+
+StreamTee::Cursor::Cursor(StreamTee &tee, unsigned index)
+    : tee_(tee), index_(index)
+{
+}
+
+void
+StreamTee::Cursor::reset()
+{
+    if (pos_ != 0)
+        ACIC_FATAL("cannot rewind a live-stream cursor "
+                   "(single-pass source)");
+}
+
+bool
+StreamTee::Cursor::next(TraceInst &out)
+{
+    if (pos_ >= tee_.end_) {
+        // Pull on demand: a cursor must never report a premature
+        // end-of-stream (BundleWalker latches exhaustion).
+        if (tee_.ensureBuffered(pos_ + 1) <= pos_)
+            return false;
+    }
+    if (!cur_ || pos_ < cur_->base ||
+        pos_ >= cur_->base + cur_->data.size())
+        cur_ = tee_.chunkAt(pos_);
+    out = cur_->data[static_cast<std::size_t>(pos_ - cur_->base)];
+    ++pos_;
+    return true;
+}
+
+unsigned
+StreamTee::Cursor::decodeBatch(InstBatch &out)
+{
+    out.count = 0;
+    if (pos_ >= tee_.end_ &&
+        tee_.ensureBuffered(pos_ + InstBatch::kCapacity) <= pos_)
+        return 0;
+    TraceInst inst;
+    while (out.count < InstBatch::kCapacity && next(inst))
+        out.set(out.count++, inst);
+    return out.count;
+}
+
+const TraceInst *
+StreamTee::Cursor::acquireRun(std::uint64_t max, std::uint64_t &n)
+{
+    n = 0;
+    if (max == 0)
+        return nullptr;
+    if (pos_ >= tee_.end_ &&
+        tee_.ensureBuffered(pos_ + InstBatch::kCapacity) <= pos_)
+        return nullptr;
+    std::shared_ptr<Chunk> chunk = tee_.chunkAt(pos_);
+    if (!chunk)
+        return nullptr;
+    const std::size_t off =
+        static_cast<std::size_t>(pos_ - chunk->base);
+    std::uint64_t run = chunk->data.size() - off;
+    if (run > max)
+        run = max;
+    // Pin the chunk so trim() cannot free storage the walker still
+    // reads from (the run pointer outlives this call).
+    pin_ = chunk;
+    pos_ += run;
+    n = run;
+    return chunk->data.data() + off;
+}
+
+std::uint64_t
+StreamTee::Cursor::length() const
+{
+    const std::uint64_t up = tee_.upstream_.length();
+    return up > tee_.end_ ? up : tee_.end_;
+}
+
+const std::string &
+StreamTee::Cursor::name() const
+{
+    return tee_.upstream_.name();
+}
+
+} // namespace acic

@@ -1,0 +1,448 @@
+/**
+ * @file
+ * Live-traffic trace streaming (DESIGN.md section 12): a framed
+ * variant of the `.acictrace` record encoding that flows through
+ * pipes, FIFOs, and stdin, and a TraceSource that consumes it with
+ * bounded memory.
+ *
+ * Stream layout (little-endian):
+ *
+ *   stream header:
+ *     u32  magic "ACIS"
+ *     u16  version (currently 1)
+ *     u16  flags (reserved, 0)
+ *     u32  workload-name length N
+ *     N    workload name (no terminator)
+ *   frame (repeated):
+ *     u32  frame magic "AFRM"
+ *     u32  payload bytes P
+ *     u32  record count R
+ *     u64  prevNext decoder seed (varint-chain state before the
+ *          frame's first record)
+ *     P    record payload — the exact `.acictrace` tag-byte +
+ *          zigzag-varint encoding (trace/io.hh), decodable from the
+ *          seed alone, so every frame is self-contained
+ *   end-of-stream frame (exactly once, last):
+ *     u32  frame magic "AFRM"
+ *     u32  0
+ *     u32  0
+ *     u64  total records streamed (must match the sum of frame
+ *          record counts)
+ *
+ * The on-disk header cannot be used here: TraceWriter patches the
+ * instruction count back into the header on close, which needs a
+ * seekable output. Frames carry their own lengths instead and the
+ * count rides in the EOS frame, so nothing is ever patched. An fd
+ * that ends without the EOS frame is a *truncated* stream (the
+ * producer died) and raises TraceTruncatedError; a frame whose
+ * magic, bounds, or record accounting is wrong raises
+ * TraceFormatError — the same failure contract as FileTraceSource
+ * (trace/errors.hh).
+ *
+ * Backpressure: StreamingTraceSource runs a reader thread that
+ * decodes frames into a bounded single-producer/single-consumer
+ * ring of TraceInst records. When the ring is full the reader stops
+ * reading — the pipe fills, and the producer process blocks in
+ * write(2); when the ring is empty the consumer blocks until
+ * records, EOF, or an error arrive. Peak memory is therefore set by
+ * the ring capacity, not the stream length.
+ */
+
+#ifndef ACIC_TRACE_STREAMING_HH
+#define ACIC_TRACE_STREAMING_HH
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "trace/errors.hh"
+#include "trace/trace.hh"
+
+namespace acic {
+
+/** Stream-format constants shared by writer, reader, and tests. */
+struct StreamFormat
+{
+    static constexpr std::uint32_t kMagic = 0x53494341; // "ACIS"
+    static constexpr std::uint16_t kVersion = 1;
+    static constexpr std::uint32_t kFrameMagic = 0x4d524641; // "AFRM"
+
+    /** Bytes of the stream header before the workload name. */
+    static constexpr std::size_t kHeaderBytes = 12;
+    /** Bytes of one frame header (and of the EOS frame). */
+    static constexpr std::size_t kFrameHeaderBytes = 20;
+
+    /** Sanity bounds a well-formed producer never exceeds; a frame
+     *  past them is garbage, not data. */
+    static constexpr std::uint32_t kMaxFramePayload = 1u << 26;
+    static constexpr std::uint32_t kMaxFrameRecords = 1u << 22;
+
+    /** Default records per frame for writers. */
+    static constexpr std::uint32_t kDefaultFrameRecords = 4096;
+};
+
+/**
+ * Frame the record stream of a TraceSource onto any std::ostream —
+ * no seeking, so pipes and stdout work. finish() flushes the last
+ * partial frame and appends the EOS frame; a stream that ends
+ * without it reads as truncated, which is exactly right for a
+ * writer killed mid-flight.
+ */
+class StreamTraceWriter
+{
+  public:
+    StreamTraceWriter(std::ostream &out, const std::string &name,
+                      std::uint32_t frame_records =
+                          StreamFormat::kDefaultFrameRecords);
+
+    /** finish()es if still open (a destructor on the unwind path
+     *  after an output error must not throw; errors are left to the
+     *  caller's stream-state check). */
+    ~StreamTraceWriter();
+
+    StreamTraceWriter(const StreamTraceWriter &) = delete;
+    StreamTraceWriter &operator=(const StreamTraceWriter &) = delete;
+
+    /** Encode and buffer one instruction. */
+    void append(const TraceInst &inst);
+
+    /** Flush the partial frame and emit the EOS frame. */
+    void finish();
+
+    /** Records appended so far. */
+    std::uint64_t written() const { return count_; }
+
+  private:
+    void putVarint(std::uint64_t v);
+    void flushFrame();
+
+    std::ostream &out_;
+    std::vector<std::uint8_t> payload_;
+    std::uint32_t frameRecords_;
+    std::uint32_t inFrame_ = 0;
+    Addr prevNext_ = 0;
+    Addr frameSeed_ = 0;
+    std::uint64_t count_ = 0;
+    bool finished_ = false;
+};
+
+/**
+ * Bounded single-producer/single-consumer record ring with blocking
+ * backpressure on both sides (see file comment). The optional stop
+ * flag aborts both sides' waits: condition variables are not
+ * async-signal-safe, so signal handlers set the flag and the waits
+ * poll it on a short timeout.
+ */
+class SpscRing
+{
+  public:
+    explicit SpscRing(std::size_t capacity,
+                      const std::atomic<bool> *stop = nullptr);
+
+    /**
+     * Producer: append @p n records, blocking while the ring is
+     * full. @return false when the consumer closed or the stop flag
+     * rose before every record was accepted.
+     */
+    bool push(const TraceInst *recs, std::size_t n);
+
+    /** Producer: mark clean end-of-stream. */
+    void closeProducer();
+
+    /**
+     * Producer: mark the stream failed. The consumer drains the
+     * records buffered before the failure, then pop() rethrows
+     * @p error — so the error surfaces at the exact record position
+     * where the stream went bad.
+     */
+    void fail(std::exception_ptr error);
+
+    /**
+     * Consumer: take up to @p max records, blocking while the ring
+     * is empty and the producer is alive. @return records taken; 0
+     * means end-of-stream (or the stop flag rose with the ring
+     * empty). Throws the producer's stored error once the buffered
+     * records before it are drained.
+     */
+    std::size_t pop(TraceInst *out, std::size_t max);
+
+    /** Consumer: abandon the stream; push() starts returning false. */
+    void closeConsumer();
+
+    bool consumerClosed() const;
+
+    std::size_t capacity() const { return capacity_; }
+
+    /** High-water mark of buffered records (backpressure tests pin
+     *  this at <= capacity()). */
+    std::size_t maxOccupancy() const;
+
+  private:
+    bool stopped() const
+    {
+        return stop_ != nullptr &&
+               stop_->load(std::memory_order_relaxed);
+    }
+
+    const std::size_t capacity_;
+    const std::atomic<bool> *stop_;
+    std::vector<TraceInst> buf_;
+    std::size_t head_ = 0; ///< index of the oldest record
+    std::size_t size_ = 0;
+    std::size_t maxOcc_ = 0;
+    bool producerDone_ = false;
+    bool consumerDone_ = false;
+    std::exception_ptr error_;
+    mutable std::mutex mutex_;
+    std::condition_variable notFull_;
+    std::condition_variable notEmpty_;
+};
+
+/**
+ * TraceSource over a live framed stream: a reader thread pulls and
+ * decodes frames from an fd into a bounded SpscRing; next() and
+ * decodeBatch() block on the ring until records, end-of-stream, or
+ * a stream error arrive. Single-pass — reset() is only valid before
+ * the first record is consumed (the SimEngine constructor's
+ * defensive reset), and seeking is unsupported.
+ *
+ * The constructor reads the stream header synchronously on the
+ * calling thread (so name() is valid immediately); on a FIFO this
+ * blocks until the producer connects, which is the intended serve
+ * startup behavior.
+ */
+class StreamingTraceSource : public TraceSource
+{
+  public:
+    static constexpr std::size_t kDefaultRingRecords = 1u << 16;
+
+    /**
+     * Attach to @p path: "-" for stdin, otherwise any readable path
+     * (FIFO, regular file, /dev/fd/N). @p stop, when given, aborts
+     * blocked reads and ring waits (signal-handler shutdown).
+     */
+    static std::unique_ptr<StreamingTraceSource>
+    openPath(const std::string &path,
+             std::size_t ring_records = kDefaultRingRecords,
+             const std::atomic<bool> *stop = nullptr);
+
+    /**
+     * Adopt @p fd (closed on destruction when @p own_fd). Reads the
+     * stream header before returning; throws TraceFormatError /
+     * TraceTruncatedError when the header is not a framed ACIS
+     * stream.
+     */
+    StreamingTraceSource(int fd, bool own_fd,
+                         std::size_t ring_records =
+                             kDefaultRingRecords,
+                         const std::atomic<bool> *stop = nullptr);
+
+    /** Joins the reader thread (closing the ring unblocks it). */
+    ~StreamingTraceSource() override;
+
+    void reset() override;
+    bool next(TraceInst &out) override;
+    unsigned decodeBatch(InstBatch &out) override;
+
+    /** Total records once the EOS frame arrived; until then, the
+     *  count delivered so far (a monotonic lower bound — a live
+     *  stream's length is unknowable up front). */
+    std::uint64_t length() const override;
+
+    const std::string &name() const override { return name_; }
+
+    /** Records handed to the consumer so far. */
+    std::uint64_t delivered() const { return delivered_; }
+
+    /** Total announced by the EOS frame; 0 before it arrives. */
+    std::uint64_t streamTotal() const
+    {
+        return total_.load(std::memory_order_acquire);
+    }
+
+    /** True once the EOS frame was parsed (clean shutdown). */
+    bool sawEndOfStream() const
+    {
+        return cleanEos_.load(std::memory_order_acquire);
+    }
+
+    std::size_t ringCapacity() const { return ring_.capacity(); }
+    std::size_t ringMaxOccupancy() const
+    {
+        return ring_.maxOccupancy();
+    }
+
+  private:
+    enum class ReadStatus
+    {
+        Full,    ///< all requested bytes read
+        Eof,     ///< fd ended first (got < wanted)
+        Aborted, ///< stop flag / consumer close while waiting
+    };
+
+    /** Read exactly @p n bytes, polling so the stop flag and a
+     *  closed ring can abort a wait on a silent producer. */
+    ReadStatus readFully(void *dst, std::size_t n, std::size_t &got);
+
+    void readHeader();
+    void readerMain();
+
+    /** Decode one frame payload; throws TraceFormatError when the
+     *  declared record count and payload bytes disagree. */
+    void decodeFrame(const std::uint8_t *payload,
+                     std::size_t payload_bytes,
+                     std::uint32_t records, Addr seed,
+                     std::uint64_t frame_off,
+                     std::vector<TraceInst> &out);
+
+    int fd_;
+    bool ownFd_;
+    const std::atomic<bool> *stop_;
+    std::string name_;
+    SpscRing ring_;
+    std::thread reader_;
+
+    /** Bytes consumed from the stream so far (error offsets). */
+    std::uint64_t streamOff_ = 0;
+    /** Records decoded and pushed by the reader thread. */
+    std::uint64_t decoded_ = 0;
+
+    std::atomic<std::uint64_t> total_{0};
+    std::atomic<bool> cleanEos_{false};
+
+    // Consumer-side carry buffer feeding next() between ring pops.
+    TraceInst carry_[InstBatch::kCapacity];
+    std::size_t carryPos_ = 0;
+    std::size_t carryLen_ = 0;
+    std::uint64_t delivered_ = 0;
+};
+
+/**
+ * Single-threaded fan-out of one single-pass TraceSource to N
+ * cursor views — `acic_run serve` keeps one resident engine per
+ * scheme, and every engine must see the identical record sequence
+ * of the one live stream. Records pulled from upstream are buffered
+ * in chunks; trim() drops every chunk all cursors have fully
+ * consumed, so the backlog stays bounded by how far the engines
+ * drift apart (the serve loop steps them in lockstep), not by the
+ * stream length.
+ *
+ * Not thread-safe: the serve loop drives engines sequentially.
+ * Cursors pull from upstream on demand, so a cursor never reports a
+ * premature end-of-stream (BundleWalker latches exhaustion
+ * permanently); ensureBuffered() exists to prefetch a round's
+ * records up front and to learn where the stream actually ended.
+ */
+class StreamTee
+{
+  public:
+    class Cursor;
+
+    explicit StreamTee(TraceSource &upstream, unsigned cursors,
+                       std::size_t chunk_records = 16384);
+    ~StreamTee();
+
+    StreamTee(const StreamTee &) = delete;
+    StreamTee &operator=(const StreamTee &) = delete;
+
+    /**
+     * Pull from upstream until @p target records (absolute, from
+     * the stream start) are buffered or the stream ends.
+     * @return the absolute buffered end — >= target unless the
+     *         stream ended first. Rethrows upstream stream errors.
+     */
+    std::uint64_t ensureBuffered(std::uint64_t target);
+
+    /** True once upstream reported end-of-stream. */
+    bool exhausted() const { return eof_; }
+
+    /** Absolute record index one past the last buffered record. */
+    std::uint64_t bufferedEnd() const { return end_; }
+
+    /** Absolute record index of the oldest buffered record; the
+     *  backlog bound tests pin bufferedEnd() - bufferedStart(). */
+    std::uint64_t bufferedStart() const { return start_; }
+
+    /** Drop chunks every cursor has fully consumed. */
+    void trim();
+
+    Cursor &cursor(unsigned i) { return *cursors_[i]; }
+    unsigned cursorCount() const
+    {
+        return static_cast<unsigned>(cursors_.size());
+    }
+
+  private:
+    struct Chunk
+    {
+        std::uint64_t base = 0; ///< absolute index of data[0]
+        std::vector<TraceInst> data;
+    };
+
+    /** One upstream batch into the tail chunk; false at EOF. */
+    bool pullBatch();
+
+    std::shared_ptr<Chunk> chunkAt(std::uint64_t pos) const;
+
+    TraceSource &upstream_;
+    std::size_t chunkRecords_;
+    std::deque<std::shared_ptr<Chunk>> chunks_;
+    std::uint64_t start_ = 0;
+    std::uint64_t end_ = 0;
+    bool eof_ = false;
+    InstBatch scratch_;
+    std::vector<std::unique_ptr<Cursor>> cursors_;
+};
+
+/**
+ * One cursor view of the tee'd stream. Implements the full
+ * TraceSource supply surface — next(), decodeBatch(), and zero-copy
+ * acquireRun() out of the tee's chunk storage (the walker's fast
+ * path) — pulling from upstream on demand. The chunk backing the
+ * most recent acquireRun() is pinned, so trim() never invalidates a
+ * run the walker still reads.
+ */
+class StreamTee::Cursor : public TraceSource
+{
+  public:
+    Cursor(StreamTee &tee, unsigned index);
+
+    /** Valid only before the first record is consumed. */
+    void reset() override;
+
+    bool next(TraceInst &out) override;
+    unsigned decodeBatch(InstBatch &out) override;
+    const TraceInst *acquireRun(std::uint64_t max,
+                                std::uint64_t &n) override;
+
+    /** Upstream's view: the announced total once known, else the
+     *  monotonic lower bound (see StreamingTraceSource::length). */
+    std::uint64_t length() const override;
+
+    const std::string &name() const override;
+
+    /** Absolute records this cursor has consumed. */
+    std::uint64_t position() const { return pos_; }
+
+  private:
+    friend class StreamTee;
+
+    StreamTee &tee_;
+    unsigned index_;
+    std::uint64_t pos_ = 0;
+    /** Cached chunk containing pos_ (fast path). */
+    std::shared_ptr<Chunk> cur_;
+    /** Chunk backing the last acquireRun() (kept alive past trim). */
+    std::shared_ptr<Chunk> pin_;
+};
+
+} // namespace acic
+
+#endif // ACIC_TRACE_STREAMING_HH

@@ -1,0 +1,454 @@
+/**
+ * @file
+ * End-to-end battery for the streaming service, exercised through
+ * the installed `acic_run` binary exactly as an operator would drive
+ * it (DESIGN.md section 12):
+ *
+ *  - equivalence: `stream | serve -` over a recorded trace must
+ *    reproduce the `run --no-oracle --dump-stats` golden dump
+ *    byte-for-byte;
+ *  - shutdown paths: clean end-of-stream exits 0; a SIGKILLed
+ *    producer surfaces the named truncation diagnostic and exits
+ *    nonzero; SIGTERM mid-stream is a clean (exit 0) shutdown;
+ *    malformed input is refused loudly;
+ *  - the bounded-memory soak: a 10M-instruction piped stream must
+ *    finish with peak RSS bounded far below what buffering the
+ *    stream would need, while emitting at least three rolling-window
+ *    snapshots per scheme.
+ *
+ * POSIX-only (fork/exec/kill/pipes); the whole file is compiled out
+ * on Windows.
+ */
+
+#ifndef _WIN32
+
+#include <sys/resource.h>
+#include <sys/types.h>
+#include <sys/wait.h>
+
+#include <signal.h>
+#include <unistd.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace fs = std::filesystem;
+
+namespace {
+
+// The sanitizers multiply RSS (shadow memory) and slow everything
+// down; the soak shrinks and skips its memory assertion under them.
+#if defined(__SANITIZE_ADDRESS__) || defined(__SANITIZE_THREAD__)
+constexpr bool kSanitized = true;
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer) || __has_feature(thread_sanitizer)
+constexpr bool kSanitized = true;
+#else
+constexpr bool kSanitized = false;
+#endif
+#else
+constexpr bool kSanitized = false;
+#endif
+
+std::string
+readAll(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    std::ostringstream text;
+    text << in.rdbuf();
+    return text.str();
+}
+
+/** Run @p cmd through the shell; return its exit status (or -1 if it
+ *  died on a signal / could not spawn). */
+int
+runCommand(const std::string &cmd)
+{
+    const int status = std::system(cmd.c_str());
+    if (status == -1 || !WIFEXITED(status))
+        return -1;
+    return WEXITSTATUS(status);
+}
+
+fs::path
+scratchDir()
+{
+    static const fs::path dir = [] {
+        fs::path d = fs::temp_directory_path() /
+                     ("acic_serve_cli_" +
+                      std::to_string(::getpid()));
+        fs::create_directories(d);
+        return d;
+    }();
+    return dir;
+}
+
+/** Everything from the first golden-dump separator on — strips the
+ *  human-facing results table `run` prints before its dump. */
+std::string
+fromFirstDumpSeparator(const std::string &text)
+{
+    const std::size_t at = text.find("# workload=");
+    return at == std::string::npos ? std::string() : text.substr(at);
+}
+
+/** Count lines containing @p needle. */
+std::size_t
+countLines(const std::string &text, const std::string &needle)
+{
+    std::istringstream in(text);
+    std::string line;
+    std::size_t n = 0;
+    while (std::getline(in, line))
+        if (line.find(needle) != std::string::npos)
+            ++n;
+    return n;
+}
+
+struct ChildProc
+{
+    pid_t pid = -1;
+    /** waitpid + decode; -1 on signal death. */
+    int wait(struct rusage *ru = nullptr) const
+    {
+        int status = 0;
+        const pid_t got = ru ? ::wait4(pid, &status, 0, ru)
+                             : ::waitpid(pid, &status, 0);
+        if (got < 0 || !WIFEXITED(status))
+            return -1;
+        return WEXITSTATUS(status);
+    }
+};
+
+/** fork + exec `sh -c cmd` with optional stdin/stderr redirection
+ *  (paths; empty = inherit). */
+ChildProc
+spawnShell(const std::string &cmd, const std::string &stdin_path,
+           const std::string &stderr_path)
+{
+    ChildProc child;
+    child.pid = ::fork();
+    if (child.pid == 0) {
+        if (!stdin_path.empty()) {
+            FILE *in = std::freopen(stdin_path.c_str(), "rb", stdin);
+            if (!in)
+                _exit(127);
+        }
+        if (!stderr_path.empty()) {
+            FILE *err =
+                std::freopen(stderr_path.c_str(), "wb", stderr);
+            if (!err)
+                _exit(127);
+        }
+        ::execl("/bin/sh", "sh", "-c", cmd.c_str(),
+                static_cast<char *>(nullptr));
+        _exit(127);
+    }
+    return child;
+}
+
+/** Record web_search to a trace file once; reused across tests. */
+std::string
+recordedTrace()
+{
+    static const std::string path = [] {
+        const std::string dir = scratchDir().string();
+        const int rc = runCommand(
+            std::string(ACIC_RUN_BIN) +
+            " record --workloads web_search --instructions 200000"
+            " --out-dir " +
+            dir + " > /dev/null 2>&1");
+        EXPECT_EQ(rc, 0);
+        return dir + "/web_search.acictrace";
+    }();
+    return path;
+}
+
+} // namespace
+
+TEST(ServeCli, FinalStatsMatchFileRunByteForByte)
+{
+    const std::string dir = scratchDir().string();
+    const std::string trace = recordedTrace();
+
+    // File-based reference: run over the materialized trace with the
+    // oracle disabled (a single-pass stream can never build one).
+    const std::string run_out = dir + "/run_dump.txt";
+    ASSERT_EQ(runCommand(std::string(ACIC_RUN_BIN) +
+                         " run --workloads web_search --trace-dir " +
+                         dir +
+                         " --schemes acic,lru --no-oracle"
+                         " --dump-stats --quiet > " +
+                         run_out + " 2>/dev/null"),
+              0);
+
+    // Live pipeline over the identical records. run's warmup is
+    // warmupFraction (0.10) of the 200000-instruction trace.
+    const std::string serve_out = dir + "/serve_dump.txt";
+    ASSERT_EQ(runCommand(std::string(ACIC_RUN_BIN) + " stream --trace " +
+                         trace + " 2>/dev/null | " + ACIC_RUN_BIN +
+                         " serve - --schemes acic,lru --warmup 20000"
+                         " --window 50000 --quiet --stats-out " +
+                         dir + "/eq_stats.jsonl --dump-stats > " +
+                         serve_out + " 2>/dev/null"),
+              0);
+
+    const std::string want =
+        fromFirstDumpSeparator(readAll(run_out));
+    const std::string got =
+        fromFirstDumpSeparator(readAll(serve_out));
+    ASSERT_FALSE(want.empty());
+    EXPECT_EQ(want, got)
+        << "streamed statistics diverged from the file-based run";
+
+    // Rolling stats emitted along the way, one line per scheme per
+    // window boundary.
+    const std::string stats = readAll(dir + "/eq_stats.jsonl");
+    EXPECT_GE(countLines(stats, "\"ev\":\"serve.window\""), 3u);
+    EXPECT_EQ(countLines(stats, "\"ev\":\"serve.final\""), 2u);
+}
+
+TEST(ServeCli, MalformedInputExitsNonzeroWithDiagnostic)
+{
+    const std::string dir = scratchDir().string();
+    const std::string garbage = dir + "/garbage.acis";
+    {
+        std::ofstream out(garbage, std::ios::binary);
+        out << "this is not an instruction stream at all";
+    }
+    const std::string err = dir + "/garbage.err";
+    ASSERT_EQ(runCommand(std::string(ACIC_RUN_BIN) + " serve " +
+                         garbage + " --schemes lru --quiet"
+                         " --stats-out /dev/null 2> " + err),
+              1);
+    const std::string diag = readAll(err);
+    EXPECT_NE(diag.find("magic"), std::string::npos) << diag;
+    EXPECT_NE(diag.find("acic_run stream"), std::string::npos)
+        << diag;
+}
+
+TEST(ServeCli, TruncatedStreamFileExitsNonzero)
+{
+    const std::string dir = scratchDir().string();
+    const std::string framed = dir + "/trunc_src.acis";
+    ASSERT_EQ(runCommand(std::string(ACIC_RUN_BIN) +
+                         " stream --workloads web_search"
+                         " --instructions 50000 --out " +
+                         framed + " 2>/dev/null"),
+              0);
+    // Drop the end-of-stream frame and half the last data frame.
+    const auto size = fs::file_size(framed);
+    fs::resize_file(framed, size - size / 3);
+
+    const std::string err = dir + "/trunc.err";
+    ASSERT_EQ(runCommand(std::string(ACIC_RUN_BIN) + " serve " +
+                         framed + " --schemes acic --quiet"
+                         " --stats-out /dev/null 2> " + err),
+              1);
+    const std::string diag = readAll(err);
+    EXPECT_NE(diag.find("producer likely died"), std::string::npos)
+        << diag;
+}
+
+TEST(ServeCli, ProducerSigkillSurfacesTruncation)
+{
+    // A live feeder killed mid-stream: serve must notice the torn
+    // stream (EOF without the end-of-stream frame), report the named
+    // diagnostic, and exit nonzero — not hang, not exit clean.
+    const std::string dir = scratchDir().string();
+    int fds[2];
+    ASSERT_EQ(::pipe(fds), 0);
+
+    const pid_t producer = ::fork();
+    ASSERT_GE(producer, 0);
+    if (producer == 0) {
+        ::dup2(fds[1], STDOUT_FILENO);
+        ::close(fds[0]);
+        ::close(fds[1]);
+        ::execl(ACIC_RUN_BIN, ACIC_RUN_BIN, "stream", "--workloads",
+                "web_search", "--instructions", "50000000",
+                static_cast<char *>(nullptr));
+        _exit(127);
+    }
+
+    const std::string err = dir + "/sigkill.err";
+    const pid_t server = ::fork();
+    ASSERT_GE(server, 0);
+    if (server == 0) {
+        ::dup2(fds[0], STDIN_FILENO);
+        ::close(fds[0]);
+        ::close(fds[1]);
+        FILE *e = std::freopen(err.c_str(), "wb", stderr);
+        if (!e)
+            _exit(127);
+        ::execl(ACIC_RUN_BIN, ACIC_RUN_BIN, "serve", "-", "--schemes",
+                "acic,lru", "--quiet", "--stats-out", "/dev/null",
+                static_cast<char *>(nullptr));
+        _exit(127);
+    }
+    ::close(fds[0]);
+    ::close(fds[1]);
+
+    // Let the pipeline reach steady state, then kill the feeder hard.
+    ::usleep(500 * 1000);
+    ASSERT_EQ(::kill(producer, SIGKILL), 0);
+    int status = 0;
+    ::waitpid(producer, &status, 0);
+
+    ::waitpid(server, &status, 0);
+    ASSERT_TRUE(WIFEXITED(status));
+    EXPECT_EQ(WEXITSTATUS(status), 1);
+    const std::string diag = readAll(err);
+    EXPECT_NE(diag.find("producer likely died"), std::string::npos)
+        << diag;
+}
+
+TEST(ServeCli, SigtermIsCleanShutdown)
+{
+    // An idle-but-live stream (records delivered, write end held
+    // open, no EOF): SIGTERM must produce an orderly exit 0 with the
+    // shutdown reason in the summary.
+    const std::string dir = scratchDir().string();
+    const std::string framed = dir + "/term_src.acis";
+    ASSERT_EQ(runCommand(std::string(ACIC_RUN_BIN) +
+                         " stream --workloads web_search"
+                         " --instructions 20000 --out " +
+                         framed + " 2>/dev/null"),
+              0);
+    // Feed the frames but never the EOF: strip the end-of-stream
+    // frame so serve keeps waiting for more traffic.
+    std::string bytes = readAll(framed);
+    bytes.resize(bytes.size() - 20); // EOS frame: one header's worth
+
+    int fds[2];
+    ASSERT_EQ(::pipe(fds), 0);
+    const std::string err = dir + "/term.err";
+    const pid_t server = ::fork();
+    ASSERT_GE(server, 0);
+    if (server == 0) {
+        ::dup2(fds[0], STDIN_FILENO);
+        ::close(fds[0]);
+        ::close(fds[1]);
+        FILE *e = std::freopen(err.c_str(), "wb", stderr);
+        if (!e)
+            _exit(127);
+        ::execl(ACIC_RUN_BIN, ACIC_RUN_BIN, "serve", "-", "--schemes",
+                "acic", "--stats-out", "/dev/null",
+                static_cast<char *>(nullptr));
+        _exit(127);
+    }
+    ::close(fds[0]);
+    ASSERT_EQ(::write(fds[1], bytes.data(), bytes.size()),
+              static_cast<ssize_t>(bytes.size()));
+    // Keep fds[1] open: no EOF, serve idles on the live stream.
+    ::usleep(500 * 1000);
+    ASSERT_EQ(::kill(server, SIGTERM), 0);
+    int status = 0;
+    ::waitpid(server, &status, 0);
+    ::close(fds[1]);
+    ASSERT_TRUE(WIFEXITED(status));
+    EXPECT_EQ(WEXITSTATUS(status), 0);
+    EXPECT_NE(readAll(err).find("stopped by signal"),
+              std::string::npos)
+        << readAll(err);
+}
+
+TEST(ServeCli, SoakTenMillionInstructionsBoundedMemory)
+{
+    // The acceptance soak: a >=10M-instruction piped stream (2M
+    // under sanitizers, where everything is ~10x slower) must finish
+    // cleanly with peak RSS a small multiple of the ring + engines —
+    // nowhere near the ~240MB that buffering the decoded stream
+    // would take — and emit rolling windows throughout.
+    const char *insts = kSanitized ? "2000000" : "10000000";
+    const std::string dir = scratchDir().string();
+    const std::string stats = dir + "/soak_stats.jsonl";
+    const std::string cmd =
+        std::string(ACIC_RUN_BIN) +
+        " stream --workloads web_search --instructions " + insts +
+        " 2>/dev/null | " + ACIC_RUN_BIN +
+        " serve - --schemes acic,lru --warmup 500000"
+        " --window 500000 --quiet --stats-out " +
+        stats;
+
+    struct rusage ru = {};
+    const ChildProc child = spawnShell(cmd, "", dir + "/soak.err");
+    ASSERT_EQ(child.wait(&ru), 0) << readAll(dir + "/soak.err");
+
+    // ru_maxrss covers the shell's whole waited-for pipeline; the
+    // producer is tiny, so this is effectively serve's peak. Linux
+    // reports kilobytes.
+    if (!kSanitized) {
+        EXPECT_LE(ru.ru_maxrss, 150 * 1024)
+            << "serve's memory scaled with stream length";
+    }
+
+    const std::string lines = readAll(stats);
+    EXPECT_GE(countLines(lines, "\"ev\":\"serve.window\""), 3u);
+    EXPECT_EQ(countLines(lines, "\"ev\":\"serve.final\""), 2u);
+    // Spot-check the JSONL shape the dashboard consumes.
+    EXPECT_NE(lines.find("\"window_mpki\":"), std::string::npos);
+    EXPECT_NE(lines.find("\"window_ipc\":"), std::string::npos);
+    EXPECT_NE(lines.find("\"minst_per_s\":"), std::string::npos);
+}
+
+TEST(StreamCli, UsageErrors)
+{
+    // Exactly one of --workloads / --trace.
+    EXPECT_EQ(runCommand(std::string(ACIC_RUN_BIN) +
+                         " stream > /dev/null 2>&1"),
+              2);
+    EXPECT_EQ(runCommand(std::string(ACIC_RUN_BIN) +
+                         " stream --workloads web_search --trace"
+                         " x.acictrace > /dev/null 2>&1"),
+              2);
+    // serve requires an input and --schemes.
+    EXPECT_EQ(runCommand(std::string(ACIC_RUN_BIN) +
+                         " serve > /dev/null 2>&1"),
+              2);
+    EXPECT_EQ(runCommand(std::string(ACIC_RUN_BIN) +
+                         " serve - > /dev/null 2>&1"),
+              2);
+    // Bad scheme spec in serve is a usage error too.
+    EXPECT_EQ(runCommand(std::string(ACIC_RUN_BIN) +
+                         " serve /dev/null --schemes nosuch"
+                         " > /dev/null 2>&1"),
+              2);
+}
+
+TEST(StreamCli, FifoPipelineDeliversStream)
+{
+    // The documented FIFO deployment: serve attaches to a named
+    // pipe, a producer appears later and streams through it.
+    const std::string dir = scratchDir().string();
+    const std::string fifo = dir + "/insts.fifo";
+    ASSERT_EQ(::mkfifo(fifo.c_str(), 0600), 0);
+
+    const std::string stats = dir + "/fifo_stats.jsonl";
+    const ChildProc server = spawnShell(
+        std::string(ACIC_RUN_BIN) + " serve pipe:" + fifo +
+            " --schemes acic --quiet --window 20000 --stats-out " +
+            stats,
+        "", dir + "/fifo.err");
+
+    // The producer's open(2) of the FIFO rendezvouses with serve's.
+    ASSERT_EQ(runCommand(std::string(ACIC_RUN_BIN) +
+                         " stream --workloads web_search"
+                         " --instructions 100000 --out " +
+                         fifo + " 2>/dev/null"),
+              0);
+    ASSERT_EQ(server.wait(), 0) << readAll(dir + "/fifo.err");
+    const std::string lines = readAll(stats);
+    EXPECT_GE(countLines(lines, "\"ev\":\"serve.window\""), 3u);
+    EXPECT_EQ(countLines(lines, "\"instructions\":100000"), 1u);
+}
+
+#endif // _WIN32
