@@ -8,6 +8,19 @@
  * so the table is a noise-resistant before/after comparison for
  * performance PRs.
  *
+ * The file-sourced and streamed lanes are timed *interleaved* — for
+ * each scheme every repetition runs one file-backed pass immediately
+ * followed by one streamed pass — so the streamed-vs-file ratio is
+ * an A/B comparison under the same transient machine conditions,
+ * not two tables measured minutes apart. Both lanes gate the
+ * perf-trajectory check (ci/check_throughput.py).
+ *
+ * A serve-scaling lane times the full multi-scheme `acic_run serve`
+ * round loop (resident engines, lockstep rounds) serial vs parallel
+ * to show how N resident schemes scale with cores; its labels start
+ * with "serve" and stay informational in the perf gate because the
+ * speedup is a property of the runner's core count.
+ *
  * With an interval count the bench also measures interval-parallel
  * throughput (runShardedCell: K concurrently simulated regions of
  * the same trace, merged) and reports the intra-workload scaling
@@ -24,16 +37,20 @@
  * ACIC_TRACE_LEN overrides the 2M-instruction default trace length.
  */
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
+#include <thread>
 
 #include "bench_util.hh"
 #include "common/telemetry.hh"
 #include "driver/emitters.hh"
 #include "driver/experiment.hh"
+#include "driver/serve.hh"
 #include "sim/engine.hh"
+#include "sim/scheme.hh"
 #include "trace/streaming.hh"
 #include "trace/synthetic.hh"
 
@@ -42,6 +59,18 @@ using namespace acic::bench;
 
 namespace {
 
+/** Wall seconds of one call of @p fn. */
+template <typename Fn>
+double
+timedSeconds(Fn &&fn)
+{
+    const auto start = std::chrono::steady_clock::now();
+    fn();
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now() - start)
+        .count();
+}
+
 /** Best-of-@p reps wall seconds of @p fn. */
 template <typename Fn>
 double
@@ -49,12 +78,7 @@ bestSeconds(int reps, Fn &&fn)
 {
     double best = 0.0;
     for (int r = 0; r < reps; ++r) {
-        const auto start = std::chrono::steady_clock::now();
-        fn();
-        const double secs =
-            std::chrono::duration<double>(
-                std::chrono::steady_clock::now() - start)
-                .count();
+        const double secs = timedSeconds(fn);
         if (best == 0.0 || secs < best)
             best = secs;
     }
@@ -103,6 +127,45 @@ main(int argc, char **argv)
     const double minst =
         static_cast<double>(params.instructions) / 1e6;
 
+    // The same workload framed once to a file (outside every timed
+    // region) for the streamed lanes, consumed the way `acic_run
+    // serve` consumes live traffic — decode thread, bounded ring,
+    // zero-copy tee fan-out, no oracle.
+    const std::string framed = "bench_stream.acis";
+    {
+        SyntheticWorkload synth(params);
+        std::ofstream out(framed,
+                          std::ios::binary | std::ios::trunc);
+        StreamTraceWriter writer(out, params.name);
+        TraceInst inst;
+        while (synth.next(inst))
+            writer.append(inst);
+        writer.finish();
+    }
+    const SimConfig config;
+    const std::uint64_t warm = static_cast<std::uint64_t>(
+        static_cast<double>(params.instructions) *
+        config.warmupFraction);
+    const auto streamed_pass = [&](const SchemeSpec &scheme) {
+        auto source = StreamingTraceSource::openPath(framed);
+        StreamTee tee(*source, 1);
+        auto org = makeScheme(scheme, config);
+        SimEngine engine(config, tee.cursor(0), *org);
+        engine.warmUp(warm);
+        // Step-and-trim like the serve loop: the tee backlog (and
+        // the cache footprint) stays bounded by one step, instead
+        // of silently buffering the whole decoded stream.
+        std::uint64_t target = warm;
+        while (target < params.instructions) {
+            const std::uint64_t step = std::min<std::uint64_t>(
+                65'536, params.instructions - target);
+            engine.measure(step);
+            target += step;
+            tee.trim();
+        }
+        (void)engine.finish();
+    };
+
     std::vector<BenchRow> rows;
 
     TablePrinter table("Simulator throughput (" + params.name + ", " +
@@ -110,91 +173,149 @@ main(int argc, char **argv)
                        " instructions, best of " +
                        std::to_string(reps) + ")");
     table.setHeader({"scheme", "seconds", "Minst/s"});
+    TablePrinter stable("Streamed-source throughput (framed "
+                        "stream, ring " +
+                        std::to_string(StreamingTraceSource::
+                                           kDefaultRingRecords) +
+                        ", A/B-interleaved with the file lane, "
+                        "best of " +
+                        std::to_string(reps) + ")");
+    stable.setHeader(
+        {"scheme", "seconds", "Minst/s", "vs file-sourced"});
+
     std::vector<double> serial_secs(schemes.size(), 0.0);
+    std::vector<BenchRow> streamed_rows;
     for (std::size_t s = 0; s < schemes.size(); ++s) {
         const SchemeSpec &scheme = schemes[s];
-        const double secs = bestSeconds(
-            reps, [&] { (void)context.run(scheme); });
-        serial_secs[s] = secs;
-        if (secs <= 0.0) {
-            table.addRow({schemeName(scheme), "-", "-"});
-            continue;
+        // Interleave the two lanes repetition by repetition: any
+        // machine-speed transient hits both sides equally, so the
+        // streamed/file ratio is trustworthy.
+        double file_best = 0.0, stream_best = 0.0;
+        for (int r = 0; r < reps; ++r) {
+            const double fs =
+                timedSeconds([&] { (void)context.run(scheme); });
+            if (file_best == 0.0 || fs < file_best)
+                file_best = fs;
+            const double ss =
+                timedSeconds([&] { streamed_pass(scheme); });
+            if (stream_best == 0.0 || ss < stream_best)
+                stream_best = ss;
         }
-        table.addRow({schemeName(scheme), TablePrinter::fmt(secs, 3),
-                      TablePrinter::fmt(minst / secs, 2)});
-        rows.push_back({schemeName(scheme), secs, minst / secs});
+        serial_secs[s] = file_best;
+        if (file_best <= 0.0) {
+            table.addRow({schemeName(scheme), "-", "-"});
+        } else {
+            table.addRow({schemeName(scheme),
+                          TablePrinter::fmt(file_best, 3),
+                          TablePrinter::fmt(minst / file_best, 2)});
+            rows.push_back(
+                {schemeName(scheme), file_best, minst / file_best});
+        }
+        if (stream_best <= 0.0) {
+            stable.addRow({schemeName(scheme), "-", "-", "-"});
+        } else {
+            const std::string ratio =
+                file_best > 0.0
+                    ? TablePrinter::fmt(file_best / stream_best, 2) +
+                          "x"
+                    : "-";
+            stable.addRow({schemeName(scheme),
+                           TablePrinter::fmt(stream_best, 3),
+                           TablePrinter::fmt(minst / stream_best, 2),
+                           ratio});
+            streamed_rows.push_back({schemeName(scheme) + "@streamed",
+                                     stream_best,
+                                     minst / stream_best});
+        }
     }
     table.addNote("rate = trace instructions / host seconds of "
                   "Simulator::run (org built inside the timer)");
     table.print();
+    stable.addNote("decode thread + chunk ring + zero-copy tee, "
+                   "oracle disabled; the file-sourced lane replays "
+                   "a pre-materialized image");
+    stable.print();
+    for (BenchRow &row : streamed_rows)
+        rows.push_back(std::move(row));
 
-    {
-        // Streamed-source lane: the same workload framed once to a
-        // file (outside the timer), then consumed the way
-        // `acic_run serve` consumes live traffic — decode thread,
-        // bounded ring, tee fan-out, no oracle. The @streamed labels
-        // record the ingest path's cost trajectory in
-        // BENCH_throughput.json without gating the perf check
-        // (check_throughput.py compares them only when both sides
-        // have them).
-        const std::string framed = "bench_stream.acis";
-        {
-            SyntheticWorkload synth(params);
-            std::ofstream out(framed,
-                              std::ios::binary | std::ios::trunc);
-            StreamTraceWriter writer(out, params.name);
-            TraceInst inst;
-            while (synth.next(inst))
-                writer.append(inst);
-            writer.finish();
-        }
-        const SimConfig config;
-        const std::uint64_t warm = static_cast<std::uint64_t>(
-            static_cast<double>(params.instructions) *
-            config.warmupFraction);
-        TablePrinter stable("Streamed-source throughput (framed "
-                            "stream, ring " +
-                            std::to_string(
-                                StreamingTraceSource::
-                                    kDefaultRingRecords) +
-                            ", best of " + std::to_string(reps) +
-                            ")");
-        stable.setHeader(
-            {"scheme", "seconds", "Minst/s", "vs file-sourced"});
-        for (std::size_t s = 0; s < schemes.size(); ++s) {
-            const SchemeSpec &scheme = schemes[s];
-            const double secs = bestSeconds(reps, [&] {
-                auto source =
-                    StreamingTraceSource::openPath(framed);
-                StreamTee tee(*source, 1);
-                auto org = makeScheme(scheme, config);
-                SimEngine engine(config, tee.cursor(0), *org);
-                engine.warmUp(warm);
-                engine.measure(params.instructions - warm);
-                (void)engine.finish();
-            });
-            if (secs <= 0.0) {
-                stable.addRow({schemeName(scheme), "-", "-", "-"});
-                continue;
+    unsigned serve_threads = 0;
+    if (schemes.size() > 1) {
+        // Serve scaling lane: all schemes resident over one stream,
+        // stepped in lockstep rounds — exactly the `acic_run serve`
+        // hot loop — serial vs one-engine-per-task parallel rounds.
+        const auto serve_pass = [&](unsigned threads) {
+            auto source = StreamingTraceSource::openPath(framed);
+            StreamTee tee(*source,
+                          static_cast<unsigned>(schemes.size()));
+            std::vector<std::unique_ptr<IcacheOrg>> orgs;
+            std::vector<std::unique_ptr<SimEngine>> engines;
+            orgs.reserve(schemes.size());
+            engines.reserve(schemes.size());
+            for (std::size_t i = 0; i < schemes.size(); ++i) {
+                orgs.push_back(makeScheme(schemes[i], config));
+                engines.push_back(std::make_unique<SimEngine>(
+                    config, tee.cursor(static_cast<unsigned>(i)),
+                    *orgs[i], nullptr));
             }
-            const std::string ratio =
-                serial_secs[s] > 0.0
-                    ? TablePrinter::fmt(serial_secs[s] / secs, 2) +
-                          "x"
-                    : "-";
-            stable.addRow({schemeName(scheme),
-                           TablePrinter::fmt(secs, 3),
-                           TablePrinter::fmt(minst / secs, 2),
-                           ratio});
-            rows.push_back({schemeName(scheme) + "@streamed", secs,
-                            minst / secs});
+            LockstepOptions lockstep;
+            lockstep.warmup = warm;
+            lockstep.threads = threads;
+            (void)runLockstepRounds(tee, engines, config, lockstep,
+                                    nullptr, nullptr, nullptr);
+            for (auto &engine : engines)
+                (void)engine->finish();
+        };
+        const unsigned hw = std::thread::hardware_concurrency();
+        serve_threads = static_cast<unsigned>(
+            std::min<std::size_t>(schemes.size(), hw == 0 ? 1 : hw));
+        const std::string tag =
+            "serve" + std::to_string(schemes.size());
+        // Interleaved A/B again: serial round, then parallel round.
+        double serial_best = 0.0, parallel_best = 0.0;
+        for (int r = 0; r < reps; ++r) {
+            const double ss = timedSeconds([&] { serve_pass(1); });
+            if (serial_best == 0.0 || ss < serial_best)
+                serial_best = ss;
+            const double ps = timedSeconds([&] { serve_pass(0); });
+            if (parallel_best == 0.0 || ps < parallel_best)
+                parallel_best = ps;
         }
-        stable.addNote("decode thread + SPSC ring + tee, oracle "
-                       "disabled; the file-sourced lane replays a "
-                       "pre-materialized image");
-        stable.print();
-        std::remove(framed.c_str());
+        const double agg =
+            minst * static_cast<double>(schemes.size());
+        TablePrinter vtable(
+            "Multi-scheme serve scaling (" +
+            std::to_string(schemes.size()) +
+            " resident engines, lockstep rounds, best of " +
+            std::to_string(reps) + ")");
+        vtable.setHeader(
+            {"rounds", "threads", "seconds", "Minst/s", "speedup"});
+        if (serial_best > 0.0) {
+            vtable.addRow({"serial", "1",
+                           TablePrinter::fmt(serial_best, 3),
+                           TablePrinter::fmt(agg / serial_best, 2),
+                           "1.00x"});
+            rows.push_back({tag + "-serial", serial_best,
+                            agg / serial_best});
+        }
+        if (parallel_best > 0.0) {
+            vtable.addRow(
+                {"parallel", std::to_string(serve_threads),
+                 TablePrinter::fmt(parallel_best, 3),
+                 TablePrinter::fmt(agg / parallel_best, 2),
+                 serial_best > 0.0
+                     ? TablePrinter::fmt(
+                           serial_best / parallel_best, 2) +
+                           "x"
+                     : "-"});
+            rows.push_back({tag + "-parallel", parallel_best,
+                            agg / parallel_best});
+        }
+        vtable.addNote("aggregate rate = engines x instructions / "
+                       "wall; speedup is bounded by the runner's "
+                       "core count");
+        vtable.print();
     }
+    std::remove(framed.c_str());
 
     if (intervals > 1) {
         // Interval mode: the same cell sharded into K concurrently
@@ -240,7 +361,8 @@ main(int argc, char **argv)
         {{"workload", params.name},
          {"instructions", std::to_string(params.instructions)},
          {"repetitions", std::to_string(reps)},
-         {"intervals", std::to_string(intervals)}},
+         {"intervals", std::to_string(intervals)},
+         {"serve_threads", std::to_string(serve_threads)}},
         rows);
     if (json)
         std::printf("wrote BENCH_throughput.json\n");

@@ -301,9 +301,9 @@ const char *const kSweepHelp =
 const char *const kServeHelp =
     "usage: acic_run serve <input> --schemes S [--warmup N]\n"
     "                      [--window N] [--step N] [--ring N]\n"
-    "                      [--stats-out FILE] [--dump-stats]\n"
-    "                      [--quiet] [--telemetry FILE]\n"
-    "                      [--heartbeat N]\n"
+    "                      [--threads N] [--stats-out FILE]\n"
+    "                      [--dump-stats] [--quiet]\n"
+    "                      [--telemetry FILE] [--heartbeat N]\n"
     "\n"
     "Simulate a live framed instruction stream (the 'acic_run\n"
     "stream' format, DESIGN.md section 12) with one resident engine\n"
@@ -341,6 +341,11 @@ const char *const kServeHelp =
     "  --ring N          ingest ring capacity in records (default\n"
     "                    65536); bounds decoded-but-unconsumed\n"
     "                    buffering and thus peak memory\n"
+    "  --threads N       engine-round worker threads (default 0 =\n"
+    "                    one per scheme up to the hardware\n"
+    "                    concurrency; 1 = serial rounds). Output is\n"
+    "                    identical for every value — threads trade\n"
+    "                    wall time only\n"
     "  --stats-out FILE  write the JSON stats lines to FILE instead\n"
     "                    of stdout\n"
     "  --dump-stats      after the final stats, print the\n"
@@ -1050,6 +1055,8 @@ cmdServe(const OptionParser &opts)
         options.step = parseCount(s, "--step");
     if (const char *r = opts.value("--ring"))
         options.ring = parseCount(r, "--ring");
+    if (const char *t = opts.value("--threads"))
+        options.threads = parseCount32(t, "--threads");
     if (const char *p = opts.value("--stats-out"))
         options.statsOut = p;
     options.dumpStats = opts.present("--dump-stats");

@@ -12,6 +12,7 @@
 #include "common/logging.hh"
 #include "common/telemetry.hh"
 #include "driver/emitters.hh"
+#include "driver/thread_pool.hh"
 #include "sim/engine.hh"
 #include "sim/runner.hh"
 #include "sim/scheme.hh"
@@ -25,15 +26,18 @@ namespace acic {
 
 namespace {
 
-/** Set by SIGTERM/SIGINT; polled by the ring waits, the stream
- *  reader, and the serve loop (condition variables and read(2) are
- *  not async-signal-safe, so the handler only flips this flag). */
-std::atomic<bool> gServeStop{false};
+/** Shutdown token of the active serve run. SIGTERM/SIGINT call its
+ *  request() — an async-signal-safe flag store plus a self-pipe
+ *  write that unblocks the reader's infinite poll; ring CV waiters
+ *  are then woken by the reader relaying the stop (condition
+ *  variables cannot be notified from a handler). */
+StopSignal *gServeStop = nullptr;
 
 extern "C" void
 serveStopHandler(int)
 {
-    gServeStop.store(true, std::memory_order_relaxed);
+    if (gServeStop != nullptr)
+        gServeStop->request();
 }
 
 void
@@ -139,13 +143,186 @@ emitFinalLine(std::ostream &out, const SimResult &r)
     out.flush();
 }
 
+/**
+ * Runs one callable per engine per round — serially inline, or one
+ * task per engine on a ThreadPool with a barrier — and rethrows the
+ * first per-engine exception after the barrier (never mid-round, so
+ * the engines are always quiescent when an error propagates).
+ */
+class EngineCrew
+{
+  public:
+    EngineCrew(std::size_t engines, unsigned threads)
+        : errors_(engines)
+    {
+        unsigned want = threads;
+        if (want == 0) {
+            const unsigned hw = std::thread::hardware_concurrency();
+            want = hw == 0 ? 1 : hw;
+        }
+        if (want > engines)
+            want = static_cast<unsigned>(engines);
+        if (want > 1)
+            pool_ = std::make_unique<ThreadPool>(want);
+    }
+
+    unsigned threads() const
+    {
+        return pool_ ? pool_->threads() : 1;
+    }
+
+    /** Run fn(i) for every engine index; returns past the barrier. */
+    template <typename Fn>
+    void
+    round(Fn &&fn)
+    {
+        const std::size_t n = errors_.size();
+        if (!pool_) {
+            for (std::size_t i = 0; i < n; ++i)
+                fn(i);
+            return;
+        }
+        for (auto &e : errors_)
+            e = nullptr;
+        for (std::size_t i = 0; i < n; ++i)
+            pool_->submit([this, i, &fn] {
+                try {
+                    fn(i);
+                } catch (...) {
+                    errors_[i] = std::current_exception();
+                }
+            });
+        pool_->wait();
+        for (auto &e : errors_)
+            if (e)
+                std::rethrow_exception(e);
+    }
+
+  private:
+    std::unique_ptr<ThreadPool> pool_;
+    std::vector<std::exception_ptr> errors_;
+};
+
 } // namespace
+
+LockstepResult
+runLockstepRounds(StreamTee &tee,
+                  std::vector<std::unique_ptr<SimEngine>> &engines,
+                  const SimConfig &config,
+                  const LockstepOptions &options,
+                  const std::function<void(std::uint64_t)> &onWindow,
+                  const std::atomic<bool> *stop,
+                  StreamingTraceSource *ring_source)
+{
+    // Lookahead slack: the walker pulls ahead of retirement by at
+    // most the FTQ + decode queue + one decode batch, so pre-buffer
+    // that much beyond each round's retire target to keep every
+    // engine's supply entirely within the tee buffer — which also
+    // makes mid-round tee pulls (and their lock traffic) rare.
+    const std::uint64_t slack =
+        static_cast<std::uint64_t>(config.ftqEntries) *
+            config.fetchWidth +
+        config.decodeQueueEntries + InstBatch::kCapacity + 8;
+    const std::uint64_t step = options.step == 0 ? 1 : options.step;
+
+    EngineCrew crew(engines.size(), options.threads);
+    const bool telemetry = Telemetry::enabled();
+    std::vector<double> engine_us(engines.size(), 0.0);
+
+    LockstepResult out;
+
+    // Warmup: bounded by what the stream actually carries — the
+    // engine must never be asked to retire records the stream cannot
+    // supply (it would spin forever waiting for them).
+    std::uint64_t avail = tee.ensureBuffered(options.warmup + slack);
+    out.warm = options.warmup < avail ? options.warmup : avail;
+    crew.round([&](std::size_t i) { engines[i]->warmUp(out.warm); });
+
+    // Lockstep rounds: extend every engine's planned target by one
+    // step, clipped to the records known to exist. Engines drift
+    // apart by at most one round, so the tee backlog — and with the
+    // bounded ring, total memory — stays O(step + slack) regardless
+    // of stream length.
+    std::uint64_t target = out.warm;
+    std::uint64_t next_window =
+        options.window == 0 ? ~std::uint64_t(0)
+                            : out.warm + options.window;
+    for (;;) {
+        if (stop != nullptr &&
+            stop->load(std::memory_order_relaxed)) {
+            out.stopped = true;
+            break;
+        }
+        const std::uint64_t goal = target + step;
+        avail = tee.ensureBuffered(goal + slack);
+        const std::uint64_t new_target = goal < avail ? goal : avail;
+        if (new_target <= target) {
+            if (tee.exhausted())
+                break;
+            continue;
+        }
+        const std::uint64_t delta = new_target - target;
+        crew.round([&](std::size_t i) {
+            if (telemetry) {
+                const auto t0 = std::chrono::steady_clock::now();
+                engines[i]->measure(delta);
+                engine_us[i] =
+                    std::chrono::duration<double, std::micro>(
+                        std::chrono::steady_clock::now() - t0)
+                        .count();
+            } else {
+                engines[i]->measure(delta);
+            }
+        });
+        target = new_target;
+        if (telemetry) {
+            if (ring_source != nullptr)
+                Telemetry::gauge(
+                    "serve.ring_occupancy",
+                    static_cast<double>(
+                        ring_source->ringOccupancy()));
+            Telemetry::gauge(
+                "serve.tee_backlog",
+                static_cast<double>(tee.bufferedEnd() -
+                                    tee.bufferedStart()));
+            if (engines.size() > 1) {
+                double lo = engine_us[0], hi = engine_us[0];
+                for (const double us : engine_us) {
+                    lo = us < lo ? us : lo;
+                    hi = us > hi ? us : hi;
+                }
+                Telemetry::gauge("serve.round_lag_us", hi - lo);
+            }
+            for (std::size_t i = 0;
+                 i < options.labels.size() && i < engine_us.size();
+                 ++i)
+                Telemetry::gauge(
+                    ("serve.engine_us." + options.labels[i]).c_str(),
+                    engine_us[i]);
+        }
+        while (target >= next_window) {
+            if (onWindow)
+                onWindow(next_window);
+            next_window += options.window;
+        }
+        tee.trim();
+        if (tee.exhausted() && target >= tee.bufferedEnd())
+            break;
+    }
+    out.target = target;
+    return out;
+}
 
 int
 runServe(const ServeOptions &options)
 {
+    // Function-local so the pipe fds exist only for serve runs; the
+    // handler reaches it through the pointer, and re-entry (tests
+    // calling runServe twice in-process) just reuses the token.
+    static StopSignal stop_signal;
+    gServeStop = &stop_signal;
+    stop_signal.flag.store(false, std::memory_order_relaxed);
     installServeSignals();
-    gServeStop.store(false, std::memory_order_relaxed);
 
     const std::vector<SchemeSpec> schemes =
         parseSchemeList(options.schemes);
@@ -175,7 +352,7 @@ runServe(const ServeOptions &options)
             ? options.input.substr(5)
             : options.input;
     auto source = StreamingTraceSource::openPath(
-        path, static_cast<std::size_t>(options.ring), &gServeStop);
+        path, static_cast<std::size_t>(options.ring), &stop_signal);
     StreamTee tee(*source,
                   static_cast<unsigned>(schemes.size()));
 
@@ -195,71 +372,36 @@ runServe(const ServeOptions &options)
             nullptr));
     }
 
-    // Lookahead slack: the walker pulls ahead of retirement by at
-    // most the FTQ + decode queue + one decode batch, so pre-buffer
-    // that much beyond each round's retire target to keep every
-    // engine's supply entirely within the tee buffer.
-    const std::uint64_t slack =
-        static_cast<std::uint64_t>(config.ftqEntries) *
-            config.fetchWidth +
-        config.decodeQueueEntries + InstBatch::kCapacity + 8;
-    const std::uint64_t step = options.step == 0 ? 1 : options.step;
-    const std::uint64_t window =
-        options.window == 0 ? 1 : options.window;
+    LockstepOptions lockstep;
+    lockstep.warmup = options.warmup;
+    lockstep.window = options.window == 0 ? 1 : options.window;
+    lockstep.step = options.step;
+    lockstep.threads = options.threads;
+    if (Telemetry::enabled()) {
+        lockstep.labels.reserve(schemes.size());
+        for (const SchemeSpec &spec : schemes)
+            lockstep.labels.push_back(spec.toString());
+    }
 
-    // Warmup: bounded by what the stream actually carries — the
-    // engine must never be asked to retire records the stream cannot
-    // supply (it would spin forever waiting for them).
-    std::uint64_t avail = tee.ensureBuffered(options.warmup + slack);
-    const std::uint64_t warm =
-        options.warmup < avail ? options.warmup : avail;
-    for (auto &engine : engines)
-        engine->warmUp(warm);
     const auto measure_start = std::chrono::steady_clock::now();
     for (auto &track : windows)
         track.lastWall = measure_start;
+    const auto on_window = [&](std::uint64_t) {
+        for (std::size_t i = 0; i < schemes.size(); ++i)
+            emitWindowLine(*stats, source->name(),
+                           schemes[i].toString(), windows[i],
+                           *engines[i]);
+    };
 
-    // Lockstep rounds: extend every engine's planned target by one
-    // step, clipped to the records known to exist. Engines drift
-    // apart by at most one round, so the tee backlog — and with the
-    // bounded ring, total memory — stays O(step + slack) regardless
-    // of stream length.
-    std::uint64_t target = warm; // absolute planned retire target
-    std::uint64_t next_window = warm + window;
-    bool stopped = false;
-    for (;;) {
-        if (gServeStop.load(std::memory_order_relaxed)) {
-            stopped = true;
-            break;
-        }
-        const std::uint64_t goal = target + step;
-        avail = tee.ensureBuffered(goal + slack);
-        const std::uint64_t new_target = goal < avail ? goal : avail;
-        if (new_target <= target) {
-            if (tee.exhausted())
-                break;
-            continue;
-        }
-        for (auto &engine : engines)
-            engine->measure(new_target - target);
-        target = new_target;
-        while (target >= next_window) {
-            for (std::size_t i = 0; i < schemes.size(); ++i)
-                emitWindowLine(*stats, source->name(),
-                               schemes[i].toString(), windows[i],
-                               *engines[i]);
-            next_window += window;
-        }
-        tee.trim();
-        if (tee.exhausted() && target >= tee.bufferedEnd())
-            break;
-    }
+    const LockstepResult run = runLockstepRounds(
+        tee, engines, config, lockstep, on_window,
+        &stop_signal.flag, source.get());
+
     // A signal that lands while the loop is blocked inside
     // ensureBuffered() surfaces as stream exhaustion (the reader
     // aborts and the ring drains); re-check so the shutdown is
     // attributed to the signal, not mistaken for end-of-data.
-    if (gServeStop.load(std::memory_order_relaxed))
-        stopped = true;
+    const bool stopped = run.stopped || stop_signal.requested();
 
     // Final statistics: one serve.final line per scheme, the
     // golden-dump fixture format on request, and a human summary on
@@ -295,7 +437,7 @@ runServe(const ServeOptions &options)
                                              : "ended",
                      static_cast<unsigned long long>(
                          source->delivered()),
-                     static_cast<unsigned long long>(warm), wall,
+                     static_cast<unsigned long long>(run.warm), wall,
                      stopped ? " (shutdown requested)" : "");
         for (const SimResult &r : results)
             std::fprintf(stderr,

@@ -10,8 +10,12 @@
  * identical record sequence, steps the engines in bounded lockstep
  * rounds (memory stays bounded by the ring + tee backlog, not the
  * stream length), and periodically emits rolling-window statistics
- * as JSON lines. On a clean end-of-stream it prints the same final
- * statistics `acic_run run` computes over the equivalent
+ * as JSON lines. Rounds run one-engine-per-task on a thread pool
+ * with a barrier at each round boundary, so N resident schemes cost
+ * about one scheme of wall time on N cores while every output stays
+ * deterministic (the engines are independent and each round's input
+ * is pre-buffered). On a clean end-of-stream it prints the same
+ * final statistics `acic_run run` computes over the equivalent
  * materialized trace — byte-identical when run is given
  * --no-oracle, since a single-pass stream can never build the
  * Belady oracle.
@@ -28,10 +32,19 @@
 #ifndef ACIC_DRIVER_SERVE_HH
 #define ACIC_DRIVER_SERVE_HH
 
+#include <atomic>
 #include <cstdint>
+#include <functional>
+#include <memory>
 #include <string>
+#include <vector>
 
 namespace acic {
+
+class SimEngine;
+class StreamTee;
+class StreamingTraceSource;
+struct SimConfig;
 
 /** Options of `acic_run serve` (defaults match the CLI help). */
 struct ServeOptions
@@ -50,6 +63,10 @@ struct ServeOptions
     std::uint64_t step = 65'536;
     /** Ingest ring capacity in records. */
     std::uint64_t ring = 65'536;
+    /** Engine-round worker threads: 0 = one per scheme up to the
+     *  hardware concurrency; 1 = serial rounds. Any value produces
+     *  identical output — threads trade wall time only. */
+    unsigned threads = 0;
     /** Rolling-stats JSONL destination ("" = stdout). */
     std::string statsOut;
     /** Print the golden-corpus stats dump after the final stats. */
@@ -57,6 +74,58 @@ struct ServeOptions
     /** Suppress the human-readable summary on stderr. */
     bool quiet = false;
 };
+
+/** Tuning of one lockstep-round run (see runLockstepRounds). */
+struct LockstepOptions
+{
+    /** Warmup instructions (clipped to what the stream carries). */
+    std::uint64_t warmup = 0;
+    /** Window width for the onWindow callback; 0 = no windows. */
+    std::uint64_t window = 0;
+    /** Round granularity in instructions. */
+    std::uint64_t step = 65'536;
+    /** Worker threads: 0 = one per engine up to the hardware
+     *  concurrency; 1 = serial rounds on the calling thread. */
+    unsigned threads = 0;
+    /** Per-engine labels for the round-lag telemetry gauges
+     *  (optional; sized like the engine vector when present). */
+    std::vector<std::string> labels;
+};
+
+/** What a lockstep-round run actually did. */
+struct LockstepResult
+{
+    /** Warmup instructions applied (= options.warmup unless the
+     *  stream ended first). */
+    std::uint64_t warm = 0;
+    /** Absolute retire target every engine reached. */
+    std::uint64_t target = 0;
+    /** True when the stop flag ended the run. */
+    bool stopped = false;
+};
+
+/**
+ * Drive every engine over the tee'd stream in clipped lockstep
+ * rounds: warm up, then repeatedly pre-buffer one step (plus the
+ * walker's lookahead slack) and measure() it on every engine — in
+ * parallel on a thread pool when options.threads allows — with a
+ * barrier per round. @p onWindow, when set, fires at each window
+ * boundary (at a barrier, engines quiescent) with the absolute
+ * boundary target. @p stop aborts between rounds; @p ring_source,
+ * when set, feeds the ring-occupancy telemetry gauge. Engine
+ * exceptions and upstream stream errors propagate to the caller.
+ *
+ * This is the shared core of `acic_run serve` and the bench serve
+ * scaling lane.
+ */
+LockstepResult
+runLockstepRounds(StreamTee &tee,
+                  std::vector<std::unique_ptr<SimEngine>> &engines,
+                  const SimConfig &config,
+                  const LockstepOptions &options,
+                  const std::function<void(std::uint64_t)> &onWindow,
+                  const std::atomic<bool> *stop,
+                  StreamingTraceSource *ring_source);
 
 /**
  * Run the serve loop. @return process exit code: 0 on clean

@@ -4,8 +4,8 @@
 #include <poll.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
-#include <chrono>
 #include <cstring>
 
 #include "common/logging.hh"
@@ -14,12 +14,6 @@
 namespace acic {
 
 namespace {
-
-/** Ring/read waits poll the stop flag at this cadence: condition
- *  variables and read(2) cannot be interrupted portably, so both
- *  sides wake briefly to notice a shutdown request. */
-constexpr auto kPollTick = std::chrono::milliseconds(50);
-constexpr int kPollTickMs = 100;
 
 void
 putU16(std::vector<std::uint8_t> &buf, std::uint16_t v)
@@ -178,42 +172,76 @@ StreamTraceWriter::finish()
     finished_ = true;
 }
 
-// --------------------------------------------------------------- SpscRing
+// ------------------------------------------------------------ WakeChannel
 
-SpscRing::SpscRing(std::size_t capacity,
-                   const std::atomic<bool> *stop)
-    : capacity_(capacity == 0 ? 1 : capacity), stop_(stop),
-      buf_(capacity_)
+WakeChannel::WakeChannel()
+{
+    if (::pipe(fds_) != 0)
+        ACIC_FATAL("cannot create wake pipe");
+    for (const int fd : fds_) {
+        ::fcntl(fd, F_SETFL,
+                ::fcntl(fd, F_GETFL, 0) | O_NONBLOCK);
+        ::fcntl(fd, F_SETFD,
+                ::fcntl(fd, F_GETFD, 0) | FD_CLOEXEC);
+    }
+}
+
+WakeChannel::~WakeChannel()
+{
+    for (const int fd : fds_)
+        if (fd >= 0)
+            ::close(fd);
+}
+
+void
+WakeChannel::wake() noexcept
+{
+    const std::uint8_t byte = 1;
+    // Nonblocking: a full pipe means a wakeup is already pending,
+    // which is all a level-triggered channel needs. write(2) is
+    // async-signal-safe; errno is restored for handler contexts.
+    const int saved_errno = errno;
+    [[maybe_unused]] const ssize_t r =
+        ::write(fds_[1], &byte, 1);
+    errno = saved_errno;
+}
+
+// ---------------------------------------------------------- SpscChunkRing
+
+SpscChunkRing::SpscChunkRing(std::size_t capacity_records,
+                             const std::atomic<bool> *stop)
+    : capacity_(capacity_records == 0 ? 1 : capacity_records),
+      stop_(stop)
 {
 }
 
 bool
-SpscRing::push(const TraceInst *recs, std::size_t n)
+SpscChunkRing::push(std::shared_ptr<const StreamChunk> chunk)
 {
-    std::size_t done = 0;
+    if (!chunk || chunk->data.empty())
+        return true;
+    const std::size_t n = chunk->data.size();
     std::unique_lock<std::mutex> lock(mutex_);
-    while (done < n) {
-        while (size_ == capacity_ && !consumerDone_ && !stopped())
-            notFull_.wait_for(lock, kPollTick);
-        if (consumerDone_ || stopped())
-            return false;
-        const std::size_t room = capacity_ - size_;
-        std::size_t chunk = n - done;
-        if (chunk > room)
-            chunk = room;
-        for (std::size_t i = 0; i < chunk; ++i)
-            buf_[(head_ + size_ + i) % capacity_] = recs[done + i];
-        size_ += chunk;
-        done += chunk;
-        if (size_ > maxOcc_)
-            maxOcc_ = size_;
-        notEmpty_.notify_one();
-    }
+    // A chunk larger than the whole capacity is admitted only into
+    // an empty ring so an oversized frame cannot deadlock progress;
+    // occupancy then transiently exceeds capacity_, which the
+    // high-water mark reports honestly.
+    notFull_.wait(lock, [&] {
+        return consumerDone_ || stopped() || records_ == 0 ||
+               records_ + n <= capacity_;
+    });
+    if (consumerDone_ || stopped())
+        return false;
+    records_ += n;
+    if (records_ > maxOcc_)
+        maxOcc_ = records_;
+    chunks_.push_back(std::move(chunk));
+    notEmpty_.notify_one();
     return true;
 }
 
 void
-SpscRing::closeProducer()
+SpscChunkRing::closeProducer()
 {
     std::lock_guard<std::mutex> lock(mutex_);
     producerDone_ = true;
@@ -221,7 +249,7 @@ SpscRing::closeProducer()
 }
 
 void
-SpscRing::fail(std::exception_ptr error)
+SpscChunkRing::fail(std::exception_ptr error)
 {
     std::lock_guard<std::mutex> lock(mutex_);
     error_ = std::move(error);
@@ -229,50 +257,65 @@ SpscRing::fail(std::exception_ptr error)
     notEmpty_.notify_all();
 }
 
-std::size_t
-SpscRing::pop(TraceInst *out, std::size_t max)
+std::shared_ptr<const StreamChunk>
+SpscChunkRing::pop()
 {
-    if (max == 0)
-        return 0;
     std::unique_lock<std::mutex> lock(mutex_);
-    while (size_ == 0 && !producerDone_ && !stopped())
-        notEmpty_.wait_for(lock, kPollTick);
-    if (size_ == 0) {
-        // Drained: surface the producer's error (if any) exactly at
-        // the record position where the stream went bad.
-        if (error_) {
-            std::exception_ptr e = error_;
-            error_ = nullptr;
-            std::rethrow_exception(e);
-        }
-        return 0;
+    notEmpty_.wait(lock, [&] {
+        return !chunks_.empty() || producerDone_ || stopped();
+    });
+    if (!chunks_.empty()) {
+        std::shared_ptr<const StreamChunk> chunk =
+            std::move(chunks_.front());
+        chunks_.pop_front();
+        records_ -= chunk->data.size();
+        notFull_.notify_one();
+        return chunk;
     }
-    std::size_t take = size_ < max ? size_ : max;
-    for (std::size_t i = 0; i < take; ++i)
-        out[i] = buf_[(head_ + i) % capacity_];
-    head_ = (head_ + take) % capacity_;
-    size_ -= take;
-    notFull_.notify_one();
-    return take;
+    // Drained: surface the producer's error (if any) exactly at the
+    // record position where the stream went bad.
+    if (error_) {
+        std::exception_ptr e = error_;
+        error_ = nullptr;
+        std::rethrow_exception(e);
+    }
+    return nullptr;
 }
 
 void
-SpscRing::closeConsumer()
+SpscChunkRing::closeConsumer()
 {
     std::lock_guard<std::mutex> lock(mutex_);
     consumerDone_ = true;
     notFull_.notify_all();
+    notEmpty_.notify_all();
+}
+
+void
+SpscChunkRing::notifyStop()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    stopSeen_ = true;
+    notFull_.notify_all();
+    notEmpty_.notify_all();
 }
 
 bool
-SpscRing::consumerClosed() const
+SpscChunkRing::consumerClosed() const
 {
     std::lock_guard<std::mutex> lock(mutex_);
     return consumerDone_;
 }
 
 std::size_t
-SpscRing::maxOccupancy() const
+SpscChunkRing::occupancy() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return records_;
+}
+
+std::size_t
+SpscChunkRing::maxOccupancy() const
 {
     std::lock_guard<std::mutex> lock(mutex_);
     return maxOcc_;
@@ -283,7 +326,7 @@ SpscRing::maxOccupancy() const
 std::unique_ptr<StreamingTraceSource>
 StreamingTraceSource::openPath(const std::string &path,
                                std::size_t ring_records,
-                               const std::atomic<bool> *stop)
+                               const StopSignal *stop)
 {
     int fd;
     bool own;
@@ -308,11 +351,11 @@ StreamingTraceSource::openPath(const std::string &path,
                                                   ring_records, stop);
 }
 
-StreamingTraceSource::StreamingTraceSource(
-    int fd, bool own_fd, std::size_t ring_records,
-    const std::atomic<bool> *stop)
+StreamingTraceSource::StreamingTraceSource(int fd, bool own_fd,
+                                           std::size_t ring_records,
+                                           const StopSignal *stop)
     : fd_(fd), ownFd_(own_fd), stop_(stop),
-      ring_(ring_records, stop)
+      ring_(ring_records, stop != nullptr ? &stop->flag : nullptr)
 {
     readHeader();
     reader_ = std::thread([this] { readerMain(); });
@@ -321,8 +364,9 @@ StreamingTraceSource::StreamingTraceSource(
 StreamingTraceSource::~StreamingTraceSource()
 {
     // Closing the consumer side unblocks a reader stuck in push();
-    // the poll loop in readFully notices it before the next read.
+    // the wake pipe unblocks one stuck in poll(2).
     ring_.closeConsumer();
+    ownWake_.wake();
     if (reader_.joinable())
         reader_.join();
     if (ownFd_ && fd_ >= 0)
@@ -337,20 +381,33 @@ StreamingTraceSource::readFully(void *dst, std::size_t n,
     auto *p = static_cast<std::uint8_t *>(dst);
     while (got < n) {
         if (ring_.consumerClosed() ||
-            (stop_ && stop_->load(std::memory_order_relaxed)))
+            (stop_ != nullptr && stop_->requested()))
             return ReadStatus::Aborted;
-        struct pollfd pfd;
-        pfd.fd = fd_;
-        pfd.events = POLLIN;
-        pfd.revents = 0;
-        const int pr = ::poll(&pfd, 1, kPollTickMs);
+        struct pollfd pfds[3];
+        pfds[0].fd = fd_;
+        pfds[0].events = POLLIN;
+        pfds[0].revents = 0;
+        pfds[1].fd = ownWake_.pollFd();
+        pfds[1].events = POLLIN;
+        pfds[1].revents = 0;
+        nfds_t nfds = 2;
+        if (stop_ != nullptr) {
+            pfds[2].fd = stop_->wake.pollFd();
+            pfds[2].events = POLLIN;
+            pfds[2].revents = 0;
+            nfds = 3;
+        }
+        // Infinite timeout: wakeups come from data, EOF/HUP, or a
+        // wake pipe — never from a tick, so waiting costs no CPU.
+        const int pr = ::poll(pfds, nfds, -1);
         if (pr < 0) {
             if (errno == EINTR)
                 continue;
             return ReadStatus::Eof;
         }
-        if (pr == 0)
-            continue; // timeout: re-check the abort conditions
+        if ((pfds[0].revents &
+             (POLLIN | POLLHUP | POLLERR)) == 0)
+            continue; // woken to re-check the abort conditions
         const ssize_t r = ::read(fd_, p + got, n - got);
         if (r < 0) {
             if (errno == EINTR || errno == EAGAIN)
@@ -415,12 +472,74 @@ StreamingTraceSource::decodeFrame(const std::uint8_t *payload,
                                   std::uint64_t frame_off,
                                   std::vector<TraceInst> &out)
 {
+    // A record is one tag byte plus at most two 10-byte varints; a
+    // runaway chain throws at shift > 63, so the fast path's pointer
+    // can never advance more than this past its entry check.
+    constexpr std::size_t kMaxRecordBytes = 21;
+
     out.clear();
-    out.reserve(records);
+    out.resize(records);
     const std::uint8_t *p = payload;
     const std::uint8_t *const end = payload + payload_bytes;
     Addr prev = seed;
-    for (std::uint32_t i = 0; i < records; ++i) {
+    std::uint32_t i = 0;
+
+    const auto bad_kind = [&](std::uint8_t kind_raw) {
+        return TraceFormatError(
+            "corrupt stream record (bad branch kind " +
+                std::to_string(kind_raw) + " in frame record " +
+                std::to_string(i) + ")",
+            frame_off + static_cast<std::uint64_t>(p - 1 - payload));
+    };
+
+    // Fast path: while a worst-case record provably fits, decode
+    // with no per-byte bounds checks — the same trick as
+    // FileTraceSource::decodeBatch, and the bulk of every frame
+    // (typical records are 1-3 bytes against the 21-byte bound).
+    while (i < records &&
+           static_cast<std::size_t>(end - p) >= kMaxRecordBytes) {
+        const std::uint8_t tag = *p++;
+        const auto kind_raw = tag & TraceFormat::kKindMask;
+        if (kind_raw > static_cast<std::uint8_t>(BranchKind::Return))
+            throw bad_kind(kind_raw);
+
+        auto take_varint = [&]() -> std::uint64_t {
+            std::uint64_t v = 0;
+            unsigned shift = 0;
+            std::uint8_t b;
+            do {
+                if (shift > 63)
+                    throw TraceFormatError(
+                        "corrupt stream record (runaway varint "
+                        "continuation)",
+                        frame_off +
+                            static_cast<std::uint64_t>(p - payload));
+                b = *p++;
+                v |= static_cast<std::uint64_t>(b & 0x7f) << shift;
+                shift += 7;
+            } while (b & 0x80);
+            return v;
+        };
+
+        TraceInst &inst = out[i];
+        inst.kind = static_cast<BranchKind>(kind_raw);
+        inst.taken = (tag & TraceFormat::kTakenBit) != 0;
+        Addr pc = prev;
+        if (!(tag & TraceFormat::kLinkedBit))
+            pc += static_cast<Addr>(zigzagDecode(take_varint()));
+        Addr next_pc = pc + TraceInst::kInstBytes;
+        if (!(tag & TraceFormat::kSequentialBit))
+            next_pc += static_cast<Addr>(
+                zigzagDecode(take_varint()));
+        inst.pc = pc;
+        inst.nextPc = next_pc;
+        prev = next_pc;
+        ++i;
+    }
+
+    // Bounds-checked tail: the last few records of the frame, where
+    // a worst-case record no longer provably fits.
+    for (; i < records; ++i) {
         if (p >= end)
             throw TraceFormatError(
                 "frame payload ends before record " +
@@ -430,12 +549,7 @@ StreamingTraceSource::decodeFrame(const std::uint8_t *payload,
         const std::uint8_t tag = *p++;
         const auto kind_raw = tag & TraceFormat::kKindMask;
         if (kind_raw > static_cast<std::uint8_t>(BranchKind::Return))
-            throw TraceFormatError(
-                "corrupt stream record (bad branch kind " +
-                    std::to_string(kind_raw) + " in frame record " +
-                    std::to_string(i) + ")",
-                frame_off +
-                    static_cast<std::uint64_t>(p - 1 - payload));
+            throw bad_kind(kind_raw);
 
         auto take_varint = [&]() -> std::uint64_t {
             std::uint64_t v = 0;
@@ -462,7 +576,7 @@ StreamingTraceSource::decodeFrame(const std::uint8_t *payload,
             return v;
         };
 
-        TraceInst inst;
+        TraceInst &inst = out[i];
         inst.kind = static_cast<BranchKind>(kind_raw);
         inst.taken = (tag & TraceFormat::kTakenBit) != 0;
         inst.pc = prev;
@@ -474,7 +588,6 @@ StreamingTraceSource::decodeFrame(const std::uint8_t *payload,
             inst.nextPc += static_cast<Addr>(
                 zigzagDecode(take_varint()));
         prev = inst.nextPc;
-        out.push_back(inst);
     }
     if (p != end)
         throw TraceFormatError(
@@ -487,8 +600,17 @@ StreamingTraceSource::decodeFrame(const std::uint8_t *payload,
 void
 StreamingTraceSource::readerMain()
 {
+    // Whatever path the reader exits by, wake the consumer so a
+    // pop() blocked on an empty ring re-checks its predicates (a
+    // signal handler cannot notify the ring's CVs itself; this
+    // thread relays the wakeup).
+    struct RingWaker
+    {
+        SpscChunkRing &ring;
+        ~RingWaker() { ring.notifyStop(); }
+    } waker{ring_};
+
     std::vector<std::uint8_t> payload;
-    std::vector<TraceInst> scratch;
     try {
         for (;;) {
             std::uint8_t header[StreamFormat::kFrameHeaderBytes];
@@ -553,11 +675,14 @@ StreamingTraceSource::readerMain()
                     "stream ended inside a frame payload (the "
                     "producer likely died)",
                     streamOff_ + got, payload_bytes, got);
+            // Decode once, directly into the immutable chunk every
+            // downstream consumer will share — no staging copy.
+            auto chunk = std::make_shared<StreamChunk>();
             decodeFrame(payload.data(), payload_bytes, records,
-                        seed_or_total, streamOff_, scratch);
+                        seed_or_total, streamOff_, chunk->data);
             streamOff_ += payload_bytes;
             decoded_ += records;
-            if (!ring_.push(scratch.data(), scratch.size()))
+            if (!ring_.push(std::move(chunk)))
                 return; // consumer gone / shutdown
         }
     } catch (...) {
@@ -577,16 +702,24 @@ StreamingTraceSource::reset()
 }
 
 bool
-StreamingTraceSource::next(TraceInst &out)
+StreamingTraceSource::refillCur()
 {
-    if (carryPos_ == carryLen_) {
-        carryLen_ = ring_.pop(carry_, InstBatch::kCapacity);
-        carryPos_ = 0;
-        if (carryLen_ == 0)
+    while (!cur_ || curPos_ >= cur_->data.size()) {
+        cur_ = ring_.pop();
+        curPos_ = 0;
+        if (!cur_)
             return false;
     }
-    out = carry_[carryPos_++];
-    ++delivered_;
+    return true;
+}
+
+bool
+StreamingTraceSource::next(TraceInst &out)
+{
+    if (!refillCur())
+        return false;
+    out = cur_->data[curPos_++];
+    delivered_.fetch_add(1, std::memory_order_relaxed);
     return true;
 }
 
@@ -594,20 +727,56 @@ unsigned
 StreamingTraceSource::decodeBatch(InstBatch &out)
 {
     out.count = 0;
-    // Drain the next()-carry first so the two entry points stay
-    // interleavable on one stream position.
-    while (carryPos_ < carryLen_ &&
-           out.count < InstBatch::kCapacity)
-        out.set(out.count++, carry_[carryPos_++]);
-    if (out.count < InstBatch::kCapacity) {
-        TraceInst tmp[InstBatch::kCapacity];
-        const std::size_t got =
-            ring_.pop(tmp, InstBatch::kCapacity - out.count);
-        for (std::size_t i = 0; i < got; ++i)
-            out.set(out.count++, tmp[i]);
+    while (out.count < InstBatch::kCapacity) {
+        if (!refillCur())
+            break;
+        const std::size_t avail = cur_->data.size() - curPos_;
+        std::size_t take = InstBatch::kCapacity - out.count;
+        if (take > avail)
+            take = avail;
+        const TraceInst *recs = cur_->data.data() + curPos_;
+        for (std::size_t i = 0; i < take; ++i)
+            out.set(out.count++, recs[i]);
+        curPos_ += take;
     }
-    delivered_ += out.count;
+    delivered_.fetch_add(out.count, std::memory_order_relaxed);
     return out.count;
+}
+
+const TraceInst *
+StreamingTraceSource::acquireRun(std::uint64_t max, std::uint64_t &n)
+{
+    n = 0;
+    if (max == 0)
+        return nullptr;
+    if (!refillCur())
+        return nullptr;
+    std::uint64_t run = cur_->data.size() - curPos_;
+    if (run > max)
+        run = max;
+    const TraceInst *recs = cur_->data.data() + curPos_;
+    // Keep the chunk alive until the next acquireRun(): the walker
+    // reads the run after this source has moved past the chunk.
+    lastRun_ = cur_;
+    curPos_ += static_cast<std::size_t>(run);
+    delivered_.fetch_add(run, std::memory_order_relaxed);
+    n = run;
+    return recs;
+}
+
+std::shared_ptr<const StreamChunk>
+StreamingTraceSource::nextChunk()
+{
+    ACIC_ASSERT(!cur_ || curPos_ == cur_->data.size(),
+                "nextChunk() interleaved with partially consumed "
+                "record reads");
+    cur_.reset();
+    curPos_ = 0;
+    std::shared_ptr<const StreamChunk> chunk = ring_.pop();
+    if (chunk)
+        delivered_.fetch_add(chunk->data.size(),
+                             std::memory_order_relaxed);
+    return chunk;
 }
 
 std::uint64_t
@@ -615,7 +784,9 @@ StreamingTraceSource::length() const
 {
     const std::uint64_t total =
         total_.load(std::memory_order_acquire);
-    return total != 0 ? total : delivered_;
+    return total != 0
+               ? total
+               : delivered_.load(std::memory_order_relaxed);
 }
 
 // -------------------------------------------------------------- StreamTee
@@ -623,6 +794,7 @@ StreamingTraceSource::length() const
 StreamTee::StreamTee(TraceSource &upstream, unsigned cursors,
                      std::size_t chunk_records)
     : upstream_(upstream),
+      chunked_(dynamic_cast<ChunkedTraceSource *>(&upstream)),
       chunkRecords_(chunk_records == 0 ? 1 : chunk_records)
 {
     ACIC_ASSERT(cursors > 0, "StreamTee needs at least one cursor");
@@ -634,62 +806,118 @@ StreamTee::StreamTee(TraceSource &upstream, unsigned cursors,
 StreamTee::~StreamTee() = default;
 
 bool
-StreamTee::pullBatch()
+StreamTee::pullLocked()
 {
     if (eof_)
         return false;
+    const std::uint64_t end = end_.load(std::memory_order_relaxed);
+    if (chunked_ != nullptr) {
+        // Zero-copy path: adopt the ring's chunk as-is. The records
+        // were decoded once on the reader thread and are never
+        // copied again.
+        std::shared_ptr<const StreamChunk> chunk =
+            chunked_->nextChunk();
+        if (!chunk) {
+            eof_ = true;
+            return false;
+        }
+        if (chunk->data.empty())
+            return true;
+        const std::uint64_t got = chunk->data.size();
+        chunks_.push_back(Entry{end, std::move(chunk)});
+        end_.store(end + got, std::memory_order_release);
+        return true;
+    }
     const unsigned got = upstream_.decodeBatch(scratch_);
     if (got == 0) {
         eof_ = true;
+        // Close the staging chunk: nothing will be appended again,
+        // so trim() may now drop it once every cursor passes it.
+        open_.reset();
         return false;
     }
-    if (chunks_.empty() ||
-        chunks_.back()->data.size() + got > chunkRecords_) {
-        auto chunk = std::make_shared<Chunk>();
-        chunk->base = end_;
-        chunk->data.reserve(chunkRecords_);
-        chunks_.push_back(std::move(chunk));
+    if (!open_ || open_->data.size() + got > chunkRecords_) {
+        open_ = std::make_shared<StreamChunk>();
+        // reserve() once: record addresses stay stable while the
+        // chunk fills, so concurrently captured cursor windows into
+        // the visible prefix never dangle.
+        open_->data.reserve(chunkRecords_);
+        chunks_.push_back(Entry{end, open_});
     }
-    Chunk &tail = *chunks_.back();
     for (unsigned i = 0; i < got; ++i)
-        tail.data.push_back(scratch_.get(i));
-    end_ += got;
+        open_->data.push_back(scratch_.get(i));
+    end_.store(end + got, std::memory_order_release);
     return true;
 }
 
 std::uint64_t
 StreamTee::ensureBuffered(std::uint64_t target)
 {
-    while (end_ < target && pullBatch()) {
+    std::lock_guard<std::mutex> lock(mu_);
+    while (end_.load(std::memory_order_relaxed) < target &&
+           pullLocked()) {
     }
-    return end_;
+    return end_.load(std::memory_order_relaxed);
 }
 
-std::shared_ptr<StreamTee::Chunk>
-StreamTee::chunkAt(std::uint64_t pos) const
+bool
+StreamTee::exhausted() const
 {
-    for (const auto &chunk : chunks_) {
-        if (pos >= chunk->base &&
-            pos < chunk->base + chunk->data.size())
-            return chunk;
+    std::lock_guard<std::mutex> lock(mu_);
+    return eof_;
+}
+
+bool
+StreamTee::windowAtLocked(std::uint64_t pos, Window &out)
+{
+    while (pos >= end_.load(std::memory_order_relaxed) &&
+           pullLocked()) {
     }
-    return nullptr;
+    const std::uint64_t end = end_.load(std::memory_order_relaxed);
+    if (pos >= end)
+        return false;
+    for (const Entry &e : chunks_) {
+        // The tail chunk may still be filling on the generic path;
+        // only the records below end_ are published.
+        const std::uint64_t chunk_end =
+            std::min<std::uint64_t>(e.base + e.chunk->data.size(),
+                                    end);
+        if (pos >= e.base && pos < chunk_end) {
+            out.recs = e.chunk->data.data() +
+                       static_cast<std::size_t>(pos - e.base);
+            out.base = pos;
+            out.count = chunk_end - pos;
+            out.owner = e.chunk;
+            return true;
+        }
+    }
+    ACIC_FATAL("StreamTee cursor position fell below the trimmed "
+               "backlog");
+    return false;
 }
 
 void
 StreamTee::trim()
 {
+    std::lock_guard<std::mutex> lock(mu_);
     std::uint64_t min_pos = ~std::uint64_t(0);
-    for (const auto &cursor : cursors_)
-        if (cursor->pos_ < min_pos)
-            min_pos = cursor->pos_;
+    for (const auto &cursor : cursors_) {
+        const std::uint64_t p =
+            cursor->pos_.load(std::memory_order_relaxed);
+        if (p < min_pos)
+            min_pos = p;
+    }
     while (!chunks_.empty()) {
-        const Chunk &front = *chunks_.front();
+        const Entry &front = chunks_.front();
+        // Never drop the chunk still being filled: upcoming records
+        // would land in a chunk no cursor can find.
+        if (front.chunk == open_)
+            break;
         const std::uint64_t front_end =
-            front.base + front.data.size();
+            front.base + front.chunk->data.size();
         if (front_end > min_pos)
             break;
-        start_ = front_end;
+        start_.store(front_end, std::memory_order_release);
         chunks_.pop_front();
     }
 }
@@ -704,25 +932,35 @@ StreamTee::Cursor::Cursor(StreamTee &tee, unsigned index)
 void
 StreamTee::Cursor::reset()
 {
-    if (pos_ != 0)
+    if (pos_.load(std::memory_order_relaxed) != 0)
         ACIC_FATAL("cannot rewind a live-stream cursor "
                    "(single-pass source)");
 }
 
 bool
+StreamTee::Cursor::refill()
+{
+    const std::uint64_t pos = pos_.load(std::memory_order_relaxed);
+    std::lock_guard<std::mutex> lock(tee_.mu_);
+    Window w;
+    if (!tee_.windowAtLocked(pos, w))
+        return false;
+    win_ = std::move(w);
+    return true;
+}
+
+bool
 StreamTee::Cursor::next(TraceInst &out)
 {
-    if (pos_ >= tee_.end_) {
+    const std::uint64_t pos = pos_.load(std::memory_order_relaxed);
+    if (win_.recs == nullptr || pos >= win_.base + win_.count) {
         // Pull on demand: a cursor must never report a premature
         // end-of-stream (BundleWalker latches exhaustion).
-        if (tee_.ensureBuffered(pos_ + 1) <= pos_)
+        if (!refill())
             return false;
     }
-    if (!cur_ || pos_ < cur_->base ||
-        pos_ >= cur_->base + cur_->data.size())
-        cur_ = tee_.chunkAt(pos_);
-    out = cur_->data[static_cast<std::size_t>(pos_ - cur_->base)];
-    ++pos_;
+    out = win_.recs[static_cast<std::size_t>(pos - win_.base)];
+    pos_.store(pos + 1, std::memory_order_relaxed);
     return true;
 }
 
@@ -730,12 +968,23 @@ unsigned
 StreamTee::Cursor::decodeBatch(InstBatch &out)
 {
     out.count = 0;
-    if (pos_ >= tee_.end_ &&
-        tee_.ensureBuffered(pos_ + InstBatch::kCapacity) <= pos_)
-        return 0;
-    TraceInst inst;
-    while (out.count < InstBatch::kCapacity && next(inst))
-        out.set(out.count++, inst);
+    while (out.count < InstBatch::kCapacity) {
+        const std::uint64_t pos =
+            pos_.load(std::memory_order_relaxed);
+        if (win_.recs == nullptr || pos >= win_.base + win_.count) {
+            if (!refill())
+                break;
+        }
+        const std::uint64_t cur = pos_.load(std::memory_order_relaxed);
+        const TraceInst *recs =
+            win_.recs + static_cast<std::size_t>(cur - win_.base);
+        std::uint64_t take = win_.base + win_.count - cur;
+        if (take > InstBatch::kCapacity - out.count)
+            take = InstBatch::kCapacity - out.count;
+        for (std::uint64_t i = 0; i < take; ++i)
+            out.set(out.count++, recs[i]);
+        pos_.store(cur + take, std::memory_order_relaxed);
+    }
     return out.count;
 }
 
@@ -745,30 +994,29 @@ StreamTee::Cursor::acquireRun(std::uint64_t max, std::uint64_t &n)
     n = 0;
     if (max == 0)
         return nullptr;
-    if (pos_ >= tee_.end_ &&
-        tee_.ensureBuffered(pos_ + InstBatch::kCapacity) <= pos_)
-        return nullptr;
-    std::shared_ptr<Chunk> chunk = tee_.chunkAt(pos_);
-    if (!chunk)
-        return nullptr;
-    const std::size_t off =
-        static_cast<std::size_t>(pos_ - chunk->base);
-    std::uint64_t run = chunk->data.size() - off;
+    const std::uint64_t pos = pos_.load(std::memory_order_relaxed);
+    if (win_.recs == nullptr || pos >= win_.base + win_.count) {
+        if (!refill())
+            return nullptr;
+    }
+    const std::uint64_t cur = pos_.load(std::memory_order_relaxed);
+    std::uint64_t run = win_.base + win_.count - cur;
     if (run > max)
         run = max;
-    // Pin the chunk so trim() cannot free storage the walker still
-    // reads from (the run pointer outlives this call).
-    pin_ = chunk;
-    pos_ += run;
+    // Pin the owning chunk so trim() cannot free storage the walker
+    // still reads from (the run pointer outlives this call).
+    pin_ = win_.owner;
+    pos_.store(cur + run, std::memory_order_relaxed);
     n = run;
-    return chunk->data.data() + off;
+    return win_.recs + static_cast<std::size_t>(cur - win_.base);
 }
 
 std::uint64_t
 StreamTee::Cursor::length() const
 {
     const std::uint64_t up = tee_.upstream_.length();
-    return up > tee_.end_ ? up : tee_.end_;
+    const std::uint64_t end = tee_.bufferedEnd();
+    return up > end ? up : end;
 }
 
 const std::string &

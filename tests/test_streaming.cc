@@ -1,9 +1,10 @@
 /**
  * @file
  * Streaming-trace battery (DESIGN.md section 12): the bounded SPSC
- * ingest ring (seeded-schedule property tests: occupancy bounded by
- * capacity, no drop/dup/reorder under randomized producer/consumer
- * stalls), the framed stream format (round trips bit-for-bit against
+ * chunk ring (seeded-schedule property tests: record occupancy
+ * bounded by capacity, no drop/dup/reorder under randomized
+ * producer/consumer stalls, event-driven stop wakeups, the oversized
+ * chunk escape hatch), the framed stream format (round trips bit-for-bit against
  * the file-sourced record sequence; torn frames, garbage prefixes,
  * and record-count mismatches raise the named trace errors with byte
  * offsets), the StreamTee fan-out (cursor equality, bounded backlog
@@ -135,36 +136,45 @@ expectSame(const std::vector<TraceInst> &a,
 
 } // namespace
 
-// ------------------------------------------------------- SpscRing battery
+// -------------------------------------------------- SpscChunkRing battery
 
 namespace {
 
-/** One backpressure schedule: a producer thread pushing chunked
- *  slices of a tagged sequence with seeded stalls, a consumer
- *  popping with its own seeded stalls. Verifies the full
- *  no-drop/no-dup/no-reorder property and the occupancy bound. */
+/** Build one immutable chunk whose records tag their absolute
+ *  position in the sequence. */
+std::shared_ptr<const StreamChunk>
+makeChunk(std::size_t base, std::size_t n)
+{
+    auto chunk = std::make_shared<StreamChunk>();
+    chunk->data.resize(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        chunk->data[i].pc = base + i;
+        chunk->data[i].nextPc = (base + i) * 2;
+    }
+    return chunk;
+}
+
+/** One backpressure schedule: a producer thread pushing chunks of a
+ *  tagged sequence with seeded stalls, a consumer popping chunks
+ *  with its own seeded stalls. Verifies the full
+ *  no-drop/no-dup/no-reorder property and the record-count occupancy
+ *  bound (chunks never exceed the capacity here, so the oversized
+ *  escape hatch stays cold). */
 void
 runRingSchedule(std::uint64_t seed, std::size_t capacity,
-                std::size_t total, unsigned producer_stall_us,
+                std::size_t total, std::size_t max_chunk,
+                unsigned producer_stall_us,
                 unsigned consumer_stall_us)
 {
-    SpscRing ring(capacity);
+    SpscChunkRing ring(capacity);
     std::thread producer([&] {
         std::mt19937_64 rng(seed);
-        std::vector<TraceInst> chunk;
         std::size_t sent = 0;
         while (sent < total) {
-            std::size_t n = rng() % 96 + 1;
+            std::size_t n = rng() % max_chunk + 1;
             if (n > total - sent)
                 n = total - sent;
-            chunk.clear();
-            for (std::size_t i = 0; i < n; ++i) {
-                TraceInst inst;
-                inst.pc = sent + i; // tag: position in sequence
-                inst.nextPc = (sent + i) * 2;
-                chunk.push_back(inst);
-            }
-            ASSERT_TRUE(ring.push(chunk.data(), chunk.size()));
+            ASSERT_TRUE(ring.push(makeChunk(sent, n)));
             sent += n;
             if (producer_stall_us && rng() % 4 == 0)
                 std::this_thread::sleep_for(
@@ -175,20 +185,15 @@ runRingSchedule(std::uint64_t seed, std::size_t capacity,
     });
 
     std::mt19937_64 rng(seed ^ 0x9e3779b97f4a7c15ull);
-    std::vector<TraceInst> buf(128);
     std::size_t received = 0;
-    for (;;) {
-        const std::size_t want = rng() % 127 + 1;
-        const std::size_t got = ring.pop(buf.data(), want);
-        if (got == 0)
-            break;
-        ASSERT_LE(got, want);
-        for (std::size_t i = 0; i < got; ++i) {
-            ASSERT_EQ(buf[i].pc, received + i)
+    while (auto chunk = ring.pop()) {
+        ASSERT_FALSE(chunk->data.empty());
+        for (std::size_t i = 0; i < chunk->data.size(); ++i) {
+            ASSERT_EQ(chunk->data[i].pc, received + i)
                 << "dropped/duplicated/reordered record";
-            ASSERT_EQ(buf[i].nextPc, (received + i) * 2);
+            ASSERT_EQ(chunk->data[i].nextPc, (received + i) * 2);
         }
-        received += got;
+        received += chunk->data.size();
         if (consumer_stall_us && rng() % 4 == 0)
             std::this_thread::sleep_for(std::chrono::microseconds(
                 rng() % consumer_stall_us));
@@ -201,65 +206,113 @@ runRingSchedule(std::uint64_t seed, std::size_t capacity,
 
 } // namespace
 
-TEST(SpscRing, BalancedSchedulePreservesSequence)
+TEST(SpscChunkRing, BalancedSchedulePreservesSequence)
 {
-    runRingSchedule(1, 256, 20000, 0, 0);
+    runRingSchedule(1, 256, 20000, 96, 0, 0);
 }
 
-TEST(SpscRing, SlowConsumerBackpressure)
+TEST(SpscChunkRing, SlowConsumerBackpressure)
 {
     // The producer outruns the consumer: pushes must block at the
-    // capacity bound, never overwrite.
-    runRingSchedule(2, 64, 8000, 0, 40);
+    // record-count capacity bound, never overwrite.
+    runRingSchedule(2, 64, 8000, 48, 0, 40);
 }
 
-TEST(SpscRing, SlowProducerStarvation)
+TEST(SpscChunkRing, SlowProducerStarvation)
 {
     // The consumer outruns the producer: pops must block on empty,
-    // never fabricate or re-deliver records.
-    runRingSchedule(3, 64, 8000, 40, 0);
+    // never fabricate or re-deliver chunks.
+    runRingSchedule(3, 64, 8000, 48, 40, 0);
 }
 
-TEST(SpscRing, JitterBothSides)
+TEST(SpscChunkRing, JitterBothSides)
 {
-    runRingSchedule(4, 32, 6000, 25, 25);
+    runRingSchedule(4, 32, 6000, 24, 25, 25);
 }
 
-TEST(SpscRing, TinyCapacityLockstep)
+TEST(SpscChunkRing, TinyCapacityLockstep)
 {
-    runRingSchedule(5, 2, 3000, 10, 10);
+    runRingSchedule(5, 2, 3000, 2, 10, 10);
 }
 
-TEST(SpscRing, StopFlagAbortsBothSides)
+TEST(SpscChunkRing, OversizedChunkAdmittedIntoEmptyRingOnly)
+{
+    // A chunk larger than the whole capacity must still make
+    // progress — but only through an otherwise-empty ring, so the
+    // memory bound degrades to one chunk, never capacity + chunk.
+    SpscChunkRing ring(4);
+    ASSERT_TRUE(ring.push(makeChunk(0, 2)));
+    std::atomic<bool> oversized_in{false};
+    std::thread producer([&] {
+        ASSERT_TRUE(ring.push(makeChunk(2, 10))); // blocks: not empty
+        oversized_in.store(true);
+        ring.closeProducer();
+    });
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    EXPECT_FALSE(oversized_in.load())
+        << "oversized chunk entered a non-empty ring";
+    auto small = ring.pop();
+    ASSERT_TRUE(small);
+    EXPECT_EQ(small->data.size(), 2u);
+    auto big = ring.pop(); // unblocks the producer
+    ASSERT_TRUE(big);
+    EXPECT_EQ(big->data.size(), 10u);
+    EXPECT_EQ(big->data[0].pc, 2u);
+    producer.join();
+    EXPECT_TRUE(oversized_in.load());
+    EXPECT_FALSE(ring.pop());
+    EXPECT_EQ(ring.maxOccupancy(), 10u); // the one-chunk degradation
+}
+
+TEST(SpscChunkRing, StopFlagAbortsBothSides)
 {
     std::atomic<bool> stop{false};
-    SpscRing ring(4, &stop);
-    TraceInst recs[8] = {};
-    ASSERT_TRUE(ring.push(recs, 4)); // fills to capacity
+    SpscChunkRing ring(4, &stop);
+    ASSERT_TRUE(ring.push(makeChunk(0, 4))); // fills to capacity
     stop.store(true);
     // Producer: a full ring would block forever; the flag aborts.
-    EXPECT_FALSE(ring.push(recs, 1));
-    // Consumer: buffered records still drain, then 0 (not a hang).
-    TraceInst out[8];
-    EXPECT_EQ(ring.pop(out, 8), 4u);
-    EXPECT_EQ(ring.pop(out, 8), 0u);
+    EXPECT_FALSE(ring.push(makeChunk(4, 1)));
+    // Consumer: buffered chunks still drain, then null (not a hang).
+    auto chunk = ring.pop();
+    ASSERT_TRUE(chunk);
+    EXPECT_EQ(chunk->data.size(), 4u);
+    EXPECT_FALSE(ring.pop());
 }
 
-TEST(SpscRing, FailureDrainsBufferedThenThrows)
+TEST(SpscChunkRing, NotifyStopWakesBlockedConsumer)
 {
-    SpscRing ring(16);
-    TraceInst recs[3] = {};
-    recs[0].pc = 7;
-    ASSERT_TRUE(ring.push(recs, 3));
+    // The shutdown relay: a consumer parked on an empty ring (a pure
+    // CV sleep — there are no poll ticks to bail it out) must be
+    // woken by the flag + notifyStop() pair and see end-of-stream.
+    std::atomic<bool> stop{false};
+    SpscChunkRing ring(16, &stop);
+    std::atomic<bool> woke{false};
+    std::thread consumer([&] {
+        EXPECT_FALSE(ring.pop());
+        woke.store(true);
+    });
+    std::this_thread::sleep_for(std::chrono::milliseconds(30));
+    EXPECT_FALSE(woke.load());
+    stop.store(true);
+    ring.notifyStop();
+    consumer.join();
+    EXPECT_TRUE(woke.load());
+}
+
+TEST(SpscChunkRing, FailureDrainsBufferedThenThrows)
+{
+    SpscChunkRing ring(16);
+    ASSERT_TRUE(ring.push(makeChunk(7, 3)));
     ring.fail(std::make_exception_ptr(
         TraceFormatError("injected", 99)));
-    TraceInst out[8];
-    // The records buffered before the failure arrive intact...
-    EXPECT_EQ(ring.pop(out, 8), 3u);
-    EXPECT_EQ(out[0].pc, 7u);
+    // The chunks buffered before the failure arrive intact...
+    auto chunk = ring.pop();
+    ASSERT_TRUE(chunk);
+    EXPECT_EQ(chunk->data.size(), 3u);
+    EXPECT_EQ(chunk->data[0].pc, 7u);
     // ...and only then does the stored error surface.
     try {
-        ring.pop(out, 8);
+        ring.pop();
         FAIL() << "expected TraceFormatError";
     } catch (const TraceFormatError &e) {
         EXPECT_EQ(e.offset(), 99u);
@@ -670,6 +723,111 @@ TEST(StreamTee, LaggingCursorHoldsBacklog)
     EXPECT_EQ(tee.bufferedStart(), 0u);
     expectSame(insts, drain(tee.cursor(1)));
     tee.trim();
+    EXPECT_EQ(tee.bufferedStart(), tee.bufferedEnd());
+}
+
+TEST(StreamTee, AdoptsStreamChunksZeroCopy)
+{
+    // The zero-copy fast path: a tee over a ChunkedTraceSource
+    // adopts the reader thread's frame-shaped chunks as-is, so a
+    // cursor's acquireRun() hands back whole frames — 512 records
+    // per run here, not the tee's own (much larger) staging size,
+    // and never an InstBatch-sized sliver.
+    const std::size_t frame = 512;
+    const auto insts = makeInsts(4 * frame + 100, 51);
+    const std::string path = writeBytes(
+        frameToString(insts, "zcopy", frame), "zcopy.acis");
+    auto src = StreamingTraceSource::openPath(path, 4096);
+    StreamTee tee(*src, 1);
+
+    std::vector<TraceInst> got;
+    std::vector<std::uint64_t> run_sizes;
+    for (;;) {
+        std::uint64_t n = 0;
+        const TraceInst *run =
+            tee.cursor(0).acquireRun(~0ull, n);
+        if (!run || n == 0)
+            break;
+        run_sizes.push_back(n);
+        got.insert(got.end(), run, run + n);
+    }
+    expectSame(insts, got);
+    ASSERT_EQ(run_sizes.size(), 5u);
+    for (std::size_t i = 0; i < 4; ++i)
+        EXPECT_EQ(run_sizes[i], frame)
+            << "run " << i << " is not frame-shaped: the tee copied "
+            << "instead of adopting";
+    EXPECT_EQ(run_sizes[4], 100u);
+}
+
+TEST(StreamTee, ConcurrentCursorsDrainIdentically)
+{
+    // The serve parallel-round shape: N cursors driven from N
+    // threads over one live streaming source, each through a
+    // different supply API, with trim() running concurrently from a
+    // fifth thread — every cursor must deliver the full sequence.
+    const auto insts = makeInsts(40000, 52);
+    const std::string path = writeBytes(
+        frameToString(insts, "mt", 1024), "mt_cursors.acis");
+    auto src = StreamingTraceSource::openPath(path, 8192);
+    StreamTee tee(*src, 4);
+
+    std::vector<std::vector<TraceInst>> got(4);
+    std::atomic<unsigned> done{0};
+    std::vector<std::thread> threads;
+    for (unsigned c = 0; c < 4; ++c) {
+        threads.emplace_back([&, c] {
+            StreamTee::Cursor &cur = tee.cursor(c);
+            std::vector<TraceInst> &out = got[c];
+            out.reserve(insts.size());
+            if (c == 0) {
+                TraceInst inst;
+                while (cur.next(inst))
+                    out.push_back(inst);
+            } else if (c == 1) {
+                InstBatch batch;
+                while (cur.decodeBatch(batch) > 0)
+                    for (unsigned i = 0; i < batch.count; ++i)
+                        out.push_back(batch.get(i));
+            } else if (c == 2) {
+                for (;;) {
+                    std::uint64_t n = 0;
+                    const TraceInst *run = cur.acquireRun(777, n);
+                    if (!run || n == 0)
+                        break;
+                    out.insert(out.end(), run, run + n);
+                }
+            } else {
+                // Mixed entry points, alternating per call.
+                InstBatch batch;
+                TraceInst inst;
+                bool use_batch = true;
+                for (;;) {
+                    if (use_batch) {
+                        if (cur.decodeBatch(batch) == 0)
+                            break;
+                        for (unsigned i = 0; i < batch.count; ++i)
+                            out.push_back(batch.get(i));
+                    } else {
+                        if (!cur.next(inst))
+                            break;
+                        out.push_back(inst);
+                    }
+                    use_batch = !use_batch;
+                }
+            }
+            done.fetch_add(1);
+        });
+    }
+    while (done.load() < 4) {
+        tee.trim();
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    for (std::thread &t : threads)
+        t.join();
+    tee.trim();
+    for (unsigned c = 0; c < 4; ++c)
+        expectSame(insts, got[c]);
     EXPECT_EQ(tee.bufferedStart(), tee.bufferedEnd());
 }
 

@@ -361,6 +361,157 @@ TEST(ServeCli, SigtermIsCleanShutdown)
         << readAll(err);
 }
 
+namespace {
+
+/** Total CPU ticks (utime + stime) of @p pid from /proc/<pid>/stat;
+ *  -1 when procfs is unavailable. The comm field may contain spaces,
+ *  so parsing restarts after the closing paren. */
+long
+procCpuTicks(pid_t pid)
+{
+    std::ifstream in("/proc/" + std::to_string(pid) + "/stat");
+    std::string stat;
+    std::getline(in, stat);
+    const std::size_t paren = stat.rfind(')');
+    if (!in || paren == std::string::npos)
+        return -1;
+    std::istringstream fields(stat.substr(paren + 1));
+    std::string tok;
+    // After ")": state is field 1; utime is field 12, stime 13.
+    long utime = -1, stime = -1;
+    for (int i = 1; i <= 13 && (fields >> tok); ++i) {
+        if (i == 12)
+            utime = std::strtol(tok.c_str(), nullptr, 10);
+        if (i == 13)
+            stime = std::strtol(tok.c_str(), nullptr, 10);
+    }
+    if (utime < 0 || stime < 0)
+        return -1;
+    return utime + stime;
+}
+
+/** Remove every wall-clock-dependent "minst_per_s":<number> field
+ *  from a stats JSONL blob, so runs can be compared byte-wise. */
+std::string
+scrubThroughput(std::string text)
+{
+    const std::string key = "\"minst_per_s\":";
+    for (std::size_t at = text.find(key);
+         at != std::string::npos; at = text.find(key, at)) {
+        std::size_t end = at + key.size();
+        while (end < text.size() && text[end] != ',' &&
+               text[end] != '}')
+            ++end;
+        text.erase(at, end - at);
+        if (at < text.size() && text[at] == ',')
+            text.erase(at, 1);
+        else if (at > 0 && text[at - 1] == ',')
+            text.erase(at - 1, 1);
+    }
+    return text;
+}
+
+} // namespace
+
+TEST(ServeCli, IdleStreamBurnsNoCpu)
+{
+    // The event-driven-wakeup guarantee: a serve process parked on a
+    // live-but-silent stream (records delivered, write end open, no
+    // new traffic) must sit in poll(2)/CV sleeps — a busy-wait or
+    // fast poll tick here shows up directly as utime/stime ticks.
+    const std::string dir = scratchDir().string();
+    const std::string framed = dir + "/idle_src.acis";
+    ASSERT_EQ(runCommand(std::string(ACIC_RUN_BIN) +
+                         " stream --workloads web_search"
+                         " --instructions 20000 --out " +
+                         framed + " 2>/dev/null"),
+              0);
+    std::string bytes = readAll(framed);
+    bytes.resize(bytes.size() - 20); // strip the EOS frame
+
+    int fds[2];
+    ASSERT_EQ(::pipe(fds), 0);
+    const pid_t server = ::fork();
+    ASSERT_GE(server, 0);
+    if (server == 0) {
+        ::dup2(fds[0], STDIN_FILENO);
+        ::close(fds[0]);
+        ::close(fds[1]);
+        FILE *e = std::freopen("/dev/null", "wb", stderr);
+        if (!e)
+            _exit(127);
+        ::execl(ACIC_RUN_BIN, ACIC_RUN_BIN, "serve", "-", "--schemes",
+                "acic,lru", "--quiet", "--stats-out", "/dev/null",
+                static_cast<char *>(nullptr));
+        _exit(127);
+    }
+    ::close(fds[0]);
+    ASSERT_EQ(::write(fds[1], bytes.data(), bytes.size()),
+              static_cast<ssize_t>(bytes.size()));
+
+    // Let startup + the 20k-instruction burst finish, then measure
+    // CPU consumed across a pure-idle window.
+    ::usleep(500 * 1000);
+    const long before = procCpuTicks(server);
+    ::usleep(2500 * 1000);
+    const long after = procCpuTicks(server);
+
+    ASSERT_EQ(::kill(server, SIGTERM), 0);
+    int status = 0;
+    ::waitpid(server, &status, 0);
+    ::close(fds[1]);
+    ASSERT_TRUE(WIFEXITED(status));
+    EXPECT_EQ(WEXITSTATUS(status), 0);
+
+    if (before < 0 || after < 0)
+        GTEST_SKIP() << "/proc/<pid>/stat unavailable";
+    // 2.5 s of busy-waiting would be ~250 ticks at the usual 100 Hz;
+    // an event-driven idle is 0. Allow a generous margin for stray
+    // scheduler noise (and sanitizer bookkeeping).
+    const long budget = kSanitized ? 100 : 25;
+    EXPECT_LE(after - before, budget)
+        << "serve burned CPU while the stream was idle";
+}
+
+TEST(ServeCli, ThreadCountNeverChangesOutput)
+{
+    // The parallel-rounds determinism contract: --threads trades
+    // wall time only. The golden dump must be byte-identical and the
+    // stats JSONL identical up to the wall-clock minst_per_s field
+    // for serial, undersubscribed, and oversubscribed thread counts.
+    const std::string dir = scratchDir().string();
+    const std::string trace = recordedTrace();
+    const std::string framed = dir + "/threads_src.acis";
+    ASSERT_EQ(runCommand(std::string(ACIC_RUN_BIN) +
+                         " stream --trace " + trace + " --out " +
+                         framed + " 2>/dev/null"),
+              0);
+
+    const char *schemes = "lru,srrip,acic,acic_instant,opt_bypass";
+    std::vector<std::string> dumps, stats;
+    for (const char *threads : {"1", "2", "8"}) {
+        const std::string tag = dir + "/threads_" + threads;
+        ASSERT_EQ(runCommand(std::string(ACIC_RUN_BIN) + " serve " +
+                             framed + " --schemes " + schemes +
+                             " --warmup 20000 --window 50000"
+                             " --threads " + threads +
+                             " --quiet --stats-out " + tag +
+                             ".jsonl --dump-stats > " + tag +
+                             ".dump 2>/dev/null"),
+                  0)
+            << "--threads " << threads;
+        dumps.push_back(readAll(tag + ".dump"));
+        stats.push_back(scrubThroughput(readAll(tag + ".jsonl")));
+    }
+    ASSERT_FALSE(dumps[0].empty());
+    EXPECT_EQ(dumps[0], dumps[1]) << "--threads 2 changed the dump";
+    EXPECT_EQ(dumps[0], dumps[2]) << "--threads 8 changed the dump";
+    ASSERT_NE(stats[0].find("\"ev\":\"serve.window\""),
+              std::string::npos);
+    EXPECT_EQ(stats[0], stats[1]) << "--threads 2 changed the stats";
+    EXPECT_EQ(stats[0], stats[2]) << "--threads 8 changed the stats";
+}
+
 TEST(ServeCli, SoakTenMillionInstructionsBoundedMemory)
 {
     // The acceptance soak: a >=10M-instruction piped stream (2M
@@ -420,6 +571,12 @@ TEST(StreamCli, UsageErrors)
     // Bad scheme spec in serve is a usage error too.
     EXPECT_EQ(runCommand(std::string(ACIC_RUN_BIN) +
                          " serve /dev/null --schemes nosuch"
+                         " > /dev/null 2>&1"),
+              2);
+    // --threads must be a positive count (0 means "auto" only by
+    // omission).
+    EXPECT_EQ(runCommand(std::string(ACIC_RUN_BIN) +
+                         " serve /dev/null --schemes lru --threads 0"
                          " > /dev/null 2>&1"),
               2);
 }
